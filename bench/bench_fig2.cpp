@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 2: the number of gates in the circuit compiled from
+/// the `length` program of Fig. 1, for recursion depths n = 2..10, as
+/// MCX-complexity (idealized hardware) and T-complexity (error-corrected
+/// hardware). The paper's headline observation is that MCX is O(n) while
+/// T is O(n^2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Harness.h"
+
+#include <cstdio>
+
+using namespace spire;
+using namespace spire::benchmarks;
+
+int main() {
+  circuit::TargetConfig Config;
+  std::printf("== Figure 2: gate counts of the length circuit (Fig. 1) ==\n");
+  std::printf("%4s %16s %16s\n", "n", "MCX-complexity", "T-complexity");
+
+  Series MCX{"MCX", {}, {}}, T{"T", {}, {}};
+  for (int64_t N = 2; N <= 10; ++N) {
+    ir::CoreProgram P = lowerBenchmark(lengthBenchmark(), N);
+    circuit::CompileResult R = circuit::compileToCircuit(P, Config);
+    circuit::GateCounts Counts = circuit::countGates(R.Circ);
+    MCX.Depths.push_back(N);
+    MCX.Values.push_back(Counts.Total);
+    T.Depths.push_back(N);
+    T.Values.push_back(Counts.TComplexity);
+    std::printf("%4lld %16lld %16lld\n", static_cast<long long>(N),
+                static_cast<long long>(Counts.Total),
+                static_cast<long long>(Counts.TComplexity));
+  }
+
+  std::printf("\nfitted MCX-complexity: %s   (paper: O(n), e.g. 2246n+32)\n",
+              MCX.fit().str("n").c_str());
+  std::printf("fitted T-complexity:   %s   (paper: O(n^2), e.g. "
+              "15722n^2+19292n+3934)\n",
+              T.fit().str("n").c_str());
+  std::printf("degrees: MCX O(n^%d), T O(n^%d)  [expected 1 and 2]\n",
+              MCX.degree(), T.degree());
+  return MCX.degree() == 1 && T.degree() == 2 ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 24 (Appendix H): the synergy of the individual
+/// program-level optimizations with circuit optimizers on
+/// `length-simplified` — conditional narrowing (CN) and conditional
+/// flattening (CF) each combined with the Toffoli-cancel and exhaustive
+/// circuit optimizers. The paper's observations:
+///   * CN + optimizer beats the optimizer alone;
+///   * CF + optimizer beats the optimizer alone;
+///   * CF + CN + optimizer beats each single optimization + optimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Harness.h"
+
+#include <cstdio>
+
+using namespace spire;
+using namespace spire::benchmarks;
+
+int main(int argc, char **argv) {
+  int64_t MaxDepth = argc > 1 ? std::atoll(argv[1]) : 10;
+  const BenchmarkProgram &B = lengthSimplified();
+
+  struct Config {
+    const char *Label;
+    opt::SpireOptions Spire;
+    CircuitOptimizerKind Circ;
+  };
+  std::vector<Config> Configs = {
+      {"Original", opt::SpireOptions::none(), CircuitOptimizerKind::None},
+      {"CN alone", opt::SpireOptions::narrowingOnly(),
+       CircuitOptimizerKind::None},
+      {"CF alone", opt::SpireOptions::flatteningOnly(),
+       CircuitOptimizerKind::None},
+      {"ToffCancel", opt::SpireOptions::none(),
+       CircuitOptimizerKind::ToffoliCancel},
+      {"CN+ToffCancel", opt::SpireOptions::narrowingOnly(),
+       CircuitOptimizerKind::ToffoliCancel},
+      {"CF+ToffCancel", opt::SpireOptions::flatteningOnly(),
+       CircuitOptimizerKind::ToffoliCancel},
+      {"Exhaustive", opt::SpireOptions::none(),
+       CircuitOptimizerKind::ExhaustiveCancel},
+      {"CN+Exhaustive", opt::SpireOptions::narrowingOnly(),
+       CircuitOptimizerKind::ExhaustiveCancel},
+      {"CF+Exhaustive", opt::SpireOptions::flatteningOnly(),
+       CircuitOptimizerKind::ExhaustiveCancel},
+      {"CF+CN", opt::SpireOptions::all(), CircuitOptimizerKind::None},
+      {"CF+CN+ToffCancel", opt::SpireOptions::all(),
+       CircuitOptimizerKind::ToffoliCancel},
+      {"CF+CN+Exhaustive", opt::SpireOptions::all(),
+       CircuitOptimizerKind::ExhaustiveCancel},
+  };
+
+  std::printf("== Figure 24: synergy of individual program-level "
+              "optimizations with circuit optimizers ==\n");
+  std::vector<Series> Results(Configs.size());
+  for (int64_t N = 2; N <= MaxDepth; ++N)
+    for (size_t I = 0; I != Configs.size(); ++I) {
+      Results[I].Depths.push_back(N);
+      Results[I].Values.push_back(
+          measureT(B, N, Configs[I].Spire, Configs[I].Circ));
+    }
+
+  std::printf("%-18s", "n");
+  for (int64_t N = 2; N <= MaxDepth; ++N)
+    std::printf(" %8lld", static_cast<long long>(N));
+  std::printf("\n");
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    std::printf("%-18s", Configs[I].Label);
+    for (int64_t V : Results[I].Values)
+      std::printf(" %8lld", static_cast<long long>(V));
+    std::printf("\n");
+  }
+
+  auto Last = [&](const char *Label) {
+    for (size_t I = 0; I != Configs.size(); ++I)
+      if (std::string(Configs[I].Label) == Label)
+        return Results[I].Values.back();
+    return int64_t(-1);
+  };
+
+  bool CNHelps = Last("CN+ToffCancel") <= Last("ToffCancel") &&
+                 Last("CN+Exhaustive") <= Last("Exhaustive");
+  bool CFHelps = Last("CF+ToffCancel") <= Last("ToffCancel") &&
+                 Last("CF+Exhaustive") <= Last("Exhaustive");
+  bool BothBest = Last("CF+CN+ToffCancel") <= Last("CN+ToffCancel") &&
+                  Last("CF+CN+ToffCancel") <= Last("CF+ToffCancel");
+  std::printf("\nsynergy relations at n=%lld:\n", (long long)MaxDepth);
+  std::printf("  CN + optimizer beats optimizer alone: %s\n",
+              CNHelps ? "yes" : "NO");
+  std::printf("  CF + optimizer beats optimizer alone: %s\n",
+              CFHelps ? "yes" : "NO");
+  std::printf("  CF+CN + optimizer beats single-opt + optimizer: %s\n",
+              BothBest ? "yes" : "NO");
+  return CNHelps && CFHelps && BothBest ? 0 : 1;
+}

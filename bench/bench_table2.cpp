@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2: T-complexity reduction and compile time for
+/// `length` and `length-simplified` at depth n = 10, comparing circuit
+/// optimizers alone, Spire alone, and Spire followed by a circuit
+/// optimizer. Timings are the mean and standard error of 5 runs
+/// (Section 8.4 methodology). The paper's findings to reproduce:
+///   * Spire emits an efficient circuit orders of magnitude faster than
+///     circuit optimizers recover one (54x-2400x in the paper);
+///   * enabling Spire's optimizations *reduces* compile time;
+///   * Spire + circuit optimizer beats either alone in T reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Harness.h"
+
+#include <cstdio>
+
+using namespace spire;
+using namespace spire::benchmarks;
+
+namespace {
+
+struct Result {
+  const char *Label;
+  int64_t T = 0;
+  Timing Time;
+};
+
+Result measure(const char *Label, const BenchmarkProgram &B, int64_t Depth,
+               const opt::SpireOptions &Spire, CircuitOptimizerKind Kind,
+               unsigned Runs) {
+  circuit::TargetConfig Config;
+  Result R;
+  R.Label = Label;
+  R.Time = timeRuns(
+      [&] {
+        ir::CoreProgram P = lowerBenchmark(B, Depth);
+        ir::CoreProgram O = opt::optimizeProgram(P, Spire);
+        circuit::CompileResult Compiled =
+            circuit::compileToCircuit(O, Config);
+        circuit::Circuit Out = applyCircuitOptimizer(Compiled.Circ, Kind);
+        R.T = circuit::countGates(Out).TComplexity;
+      },
+      Runs);
+  return R;
+}
+
+void report(const BenchmarkProgram &B, int64_t Depth, unsigned Runs) {
+  std::printf("\n-- %s at depth %lld --\n", B.Name.c_str(),
+              static_cast<long long>(Depth));
+  int64_t Baseline =
+      measureT(B, Depth, opt::SpireOptions::none(),
+               CircuitOptimizerKind::None);
+  std::printf("unoptimized T-complexity: %lld\n",
+              static_cast<long long>(Baseline));
+  std::printf("%-42s %12s %10s %22s\n", "configuration", "T", "reduction",
+              "compile time");
+
+  std::vector<Result> Rows = {
+      measure("Toffoli-cancel (Feynman -mctExpand-style)", B, Depth,
+              opt::SpireOptions::none(), CircuitOptimizerKind::ToffoliCancel,
+              Runs),
+      measure("Exhaustive-cancel (QuiZX-style)", B, Depth,
+              opt::SpireOptions::none(),
+              CircuitOptimizerKind::ExhaustiveCancel, Runs),
+      measure("Spire (ours)", B, Depth, opt::SpireOptions::all(),
+              CircuitOptimizerKind::None, Runs),
+      measure("Spire + Toffoli-cancel", B, Depth, opt::SpireOptions::all(),
+              CircuitOptimizerKind::ToffoliCancel, Runs),
+      measure("Spire + Exhaustive-cancel", B, Depth,
+              opt::SpireOptions::all(),
+              CircuitOptimizerKind::ExhaustiveCancel, Runs),
+  };
+  double SpireTime = 0, BestCircuitTime = 0;
+  for (const Result &R : Rows) {
+    std::printf("%-42s %12lld %10s %22s\n", R.Label,
+                static_cast<long long>(R.T),
+                percentReduction(Baseline, R.T).c_str(),
+                formatTiming(R.Time).c_str());
+    if (std::string(R.Label) == "Spire (ours)")
+      SpireTime = R.Time.MeanSeconds;
+    if (std::string(R.Label).find("Exhaustive") == 0)
+      BestCircuitTime = R.Time.MeanSeconds;
+  }
+  if (SpireTime > 0)
+    std::printf("Spire speedup over the exhaustive circuit optimizer: "
+                "%.0fx\n",
+                BestCircuitTime / SpireTime);
+
+  // Compile-time effect of the program-level optimizations themselves.
+  circuit::TargetConfig Config;
+  Timing NoOpt = timeRuns(
+      [&] {
+        ir::CoreProgram P = lowerBenchmark(B, Depth);
+        circuit::compileToCircuit(P, Config);
+      },
+      Runs);
+  Timing WithOpt = timeRuns(
+      [&] {
+        ir::CoreProgram P = lowerBenchmark(B, Depth);
+        ir::CoreProgram O =
+            opt::optimizeProgram(P, opt::SpireOptions::all());
+        circuit::compileToCircuit(O, Config);
+      },
+      Runs);
+  std::printf("emit circuit without optimizations: %s; with: %s "
+              "(paper: optimizing *reduces* emission time)\n",
+              formatTiming(NoOpt).c_str(), formatTiming(WithOpt).c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int64_t Depth = argc > 1 ? std::atoll(argv[1]) : 10;
+  unsigned Runs = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 5;
+  std::printf("== Table 2: T reduction and compile time (mean +/- stderr "
+              "of %u runs) ==\n",
+              Runs);
+  report(lengthSimplified(), Depth, Runs);
+  report(lengthBenchmark(), Depth, Runs);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "ast/Reverse.h"
+
+namespace spire::ast {
+
+std::unique_ptr<Stmt> reverseStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Let: {
+    auto R = Stmt::unlet(S.Name, S.E->clone());
+    R->Loc = S.Loc;
+    return R;
+  }
+  case Stmt::Kind::UnLet: {
+    auto R = Stmt::let(S.Name, S.E->clone());
+    R->Loc = S.Loc;
+    return R;
+  }
+  case Stmt::Kind::If: {
+    auto R = Stmt::ifStmt(S.E->clone(), reverseStmts(S.Body),
+                          reverseStmts(S.ElseBody));
+    R->Loc = S.Loc;
+    return R;
+  }
+  case Stmt::Kind::With: {
+    auto R = Stmt::with(cloneStmts(S.Body), reverseStmts(S.ElseBody));
+    R->Loc = S.Loc;
+    return R;
+  }
+  case Stmt::Kind::Swap:
+  case Stmt::Kind::MemSwap:
+  case Stmt::Kind::Hadamard:
+  case Stmt::Kind::Skip:
+    return S.clone();
+  }
+  return S.clone();
+}
+
+StmtList reverseStmts(const StmtList &Stmts) {
+  StmtList Out;
+  Out.reserve(Stmts.size());
+  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+    Out.push_back(reverseStmt(**It));
+  return Out;
+}
+
+} // namespace spire::ast

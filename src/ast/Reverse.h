@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Surface-level statement reversal, the derived form I[s] of Section 4:
+///   I[s1; s2]      = I[s2]; I[s1]
+///   I[x <- e]      = x -> e                       (and vice versa)
+///   I[if x { s }]  = if x { I[s] }
+///   I[with{a}do{b}]= with { a } do { I[b] }   since (a; b; I[a])^-1
+///                                             = a; I[b]; I[a]
+///   I[s]           = s for swaps, memory swaps, H, skip
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_AST_REVERSE_H
+#define SPIRE_AST_REVERSE_H
+
+#include "ast/AST.h"
+
+namespace spire::ast {
+
+/// Returns the reverse of a single statement (deep copy).
+std::unique_ptr<Stmt> reverseStmt(const Stmt &S);
+
+/// Returns the reverse of a statement sequence (deep copy).
+StmtList reverseStmts(const StmtList &Stmts);
+
+} // namespace spire::ast
+
+#endif // SPIRE_AST_REVERSE_H

@@ -1,0 +1,136 @@
+#include "ast/Type.h"
+
+namespace spire::ast {
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Unit:
+    return "()";
+  case Kind::UInt:
+    return "uint";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Pair:
+    return "(" + Sub[0]->str() + ", " + Sub[1]->str() + ")";
+  case Kind::Ptr:
+    return "ptr<" + Sub[0]->str() + ">";
+  case Kind::Named:
+    return Name;
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext() {
+  UnitTy = create(Type::Kind::Unit);
+  UIntTy = create(Type::Kind::UInt);
+  BoolTy = create(Type::Kind::Bool);
+}
+
+Type *TypeContext::create(Type::Kind K) {
+  Owned.push_back(std::unique_ptr<Type>(new Type(K)));
+  return Owned.back().get();
+}
+
+const Type *TypeContext::pairType(const Type *First, const Type *Second) {
+  auto Key = std::make_pair(First, Second);
+  auto It = Pairs.find(Key);
+  if (It != Pairs.end())
+    return It->second;
+  Type *T = create(Type::Kind::Pair);
+  T->Sub[0] = First;
+  T->Sub[1] = Second;
+  Pairs[Key] = T;
+  return T;
+}
+
+const Type *TypeContext::ptrType(const Type *Pointee) {
+  auto It = Ptrs.find(Pointee);
+  if (It != Ptrs.end())
+    return It->second;
+  Type *T = create(Type::Kind::Ptr);
+  T->Sub[0] = Pointee;
+  Ptrs[Pointee] = T;
+  return T;
+}
+
+const Type *TypeContext::namedType(const std::string &Name) {
+  auto It = NamedTypes.find(Name);
+  if (It != NamedTypes.end())
+    return It->second;
+  Type *T = create(Type::Kind::Named);
+  T->Name = Name;
+  NamedTypes[Name] = T;
+  return T;
+}
+
+bool TypeContext::declareAlias(const std::string &Name,
+                               const Type *Underlying) {
+  return Aliases.emplace(Name, Underlying).second;
+}
+
+const Type *TypeContext::lookupAlias(const std::string &Name) const {
+  auto It = Aliases.find(Name);
+  return It == Aliases.end() ? nullptr : It->second;
+}
+
+const Type *TypeContext::resolveTopLevel(const Type *T) const {
+  while (T && T->isNamed()) {
+    const Type *U = lookupAlias(T->name());
+    if (!U)
+      return T;
+    T = U;
+  }
+  return T;
+}
+
+bool TypeContext::typesEqual(const Type *A, const Type *B) const {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  // Identical names are equal without expansion; this is what bounds the
+  // recursion for recursive aliases.
+  if (A->isNamed() && B->isNamed() && A->name() == B->name())
+    return true;
+  const Type *RA = resolveTopLevel(A);
+  const Type *RB = resolveTopLevel(B);
+  if (RA->kind() != RB->kind())
+    return false;
+  switch (RA->kind()) {
+  case Type::Kind::Unit:
+  case Type::Kind::UInt:
+  case Type::Kind::Bool:
+    return true;
+  case Type::Kind::Named:
+    return RA->name() == RB->name();
+  case Type::Kind::Pair:
+    return typesEqual(RA->first(), RB->first()) &&
+           typesEqual(RA->second(), RB->second());
+  case Type::Kind::Ptr:
+    // Pointee comparison expands at most one alias layer on each side
+    // before bottoming out in the same-name check above.
+    return typesEqual(RA->pointee(), RB->pointee());
+  }
+  return false;
+}
+
+unsigned TypeContext::bitWidth(const Type *T, unsigned WordBits) const {
+  T = resolveTopLevel(T);
+  switch (T->kind()) {
+  case Type::Kind::Unit:
+    return 0;
+  case Type::Kind::Bool:
+    return 1;
+  case Type::Kind::UInt:
+  case Type::Kind::Ptr:
+    return WordBits;
+  case Type::Kind::Pair:
+    return bitWidth(T->first(), WordBits) + bitWidth(T->second(), WordBits);
+  case Type::Kind::Named:
+    assert(false && "unresolved named type in bitWidth");
+    return 0;
+  }
+  return 0;
+}
+
+} // namespace spire::ast

@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of the Tower language (paper Fig. 13):
+///   tau ::= () | uint | bool | (tau1, tau2) | ptr(tau)
+/// plus named types introduced by `type list = (uint, ptr<list>);`, which
+/// make recursive data structures expressible. Named types are nominal;
+/// recursion always passes through a pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_AST_TYPE_H
+#define SPIRE_AST_TYPE_H
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spire::ast {
+
+class TypeContext;
+
+/// An immutable, context-interned Tower type. Compare with pointer equality
+/// only for identical spellings; use TypeContext::typesEqual for semantic
+/// equality (which expands named aliases).
+class Type {
+public:
+  enum class Kind { Unit, UInt, Bool, Pair, Ptr, Named };
+
+  Kind kind() const { return K; }
+  bool isUnit() const { return K == Kind::Unit; }
+  bool isUInt() const { return K == Kind::UInt; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isPair() const { return K == Kind::Pair; }
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isNamed() const { return K == Kind::Named; }
+
+  /// First component; valid for Pair types.
+  const Type *first() const {
+    assert(isPair() && "first() on non-pair type");
+    return Sub[0];
+  }
+  /// Second component; valid for Pair types.
+  const Type *second() const {
+    assert(isPair() && "second() on non-pair type");
+    return Sub[1];
+  }
+  /// Pointee type; valid for Ptr types.
+  const Type *pointee() const {
+    assert(isPtr() && "pointee() on non-pointer type");
+    return Sub[0];
+  }
+  /// Declared name; valid for Named types.
+  const std::string &name() const {
+    assert(isNamed() && "name() on unnamed type");
+    return Name;
+  }
+
+  /// Source-syntax rendering, e.g. "(uint, ptr<list>)".
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type(Kind K) : K(K) {}
+
+  Kind K;
+  const Type *Sub[2] = {nullptr, nullptr};
+  std::string Name;
+};
+
+/// Owns and uniquifies Type instances and records `type` declarations.
+///
+/// All types used by one compilation must come from one context; pointer
+/// identity then implies spelling identity.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *unitType() const { return UnitTy; }
+  const Type *uintType() const { return UIntTy; }
+  const Type *boolType() const { return BoolTy; }
+  const Type *pairType(const Type *First, const Type *Second);
+  const Type *ptrType(const Type *Pointee);
+  const Type *namedType(const std::string &Name);
+
+  /// Binds `Name` to `Underlying` for a `type Name = ...;` declaration.
+  /// Returns false if the name is already bound.
+  bool declareAlias(const std::string &Name, const Type *Underlying);
+
+  /// The declared underlying type of a named type, or null if undeclared.
+  const Type *lookupAlias(const std::string &Name) const;
+
+  /// Expands a top-level named alias (once); other types pass through.
+  const Type *resolveTopLevel(const Type *T) const;
+
+  /// Semantic equality: expands named aliases at the top level of the
+  /// comparison, compares pairs and pointers structurally. Terminates for
+  /// recursive aliases because recursion passes through Named under Ptr.
+  bool typesEqual(const Type *A, const Type *B) const;
+
+  /// Width of a value of type T in qubits, with `WordBits`-wide uint and
+  /// pointer registers and a 1-bit bool, matching the paper's assumption
+  /// of a small constant register width (Section 3.2).
+  unsigned bitWidth(const Type *T, unsigned WordBits) const;
+
+private:
+  std::vector<std::unique_ptr<Type>> Owned;
+  const Type *UnitTy;
+  const Type *UIntTy;
+  const Type *BoolTy;
+  std::map<std::pair<const Type *, const Type *>, const Type *> Pairs;
+  std::map<const Type *, const Type *> Ptrs;
+  std::map<std::string, const Type *> NamedTypes;
+  std::map<std::string, const Type *> Aliases;
+
+  Type *create(Type::Kind K);
+};
+
+} // namespace spire::ast
+
+#endif // SPIRE_AST_TYPE_H

@@ -1,0 +1,147 @@
+#include "benchmarks/Harness.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace spire::benchmarks {
+
+const char *optimizerName(CircuitOptimizerKind Kind) {
+  switch (Kind) {
+  case CircuitOptimizerKind::None:
+    return "none";
+  case CircuitOptimizerKind::Peephole:
+    return "Peephole (Qiskit/Pytket-style)";
+  case CircuitOptimizerKind::CliffordTCancel:
+    return "CliffordT-cancel (Feynman -toCliffordT-style)";
+  case CircuitOptimizerKind::RotationMerging:
+    return "Rotation-merging (VOQC/Pytket-ZX-style)";
+  case CircuitOptimizerKind::ToffoliCancel:
+    return "Toffoli-cancel (Feynman -mctExpand-style)";
+  case CircuitOptimizerKind::ExhaustiveCancel:
+    return "Exhaustive-cancel (QuiZX-style)";
+  }
+  return "?";
+}
+
+circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
+                                       CircuitOptimizerKind Kind) {
+  using circuit::Circuit;
+  switch (Kind) {
+  case CircuitOptimizerKind::None:
+    return decompose::toCliffordT(MCXCircuit);
+
+  case CircuitOptimizerKind::Peephole: {
+    // Decompose first, then a small-window inverse-pair peephole.
+    Circuit CT = decompose::toCliffordT(MCXCircuit);
+    return qopt::cancelAdjacentGates(CT, qopt::CancelOptions::peephole());
+  }
+
+  case CircuitOptimizerKind::CliffordTCancel: {
+    // Decompose first, then standard cancellation plus rotation merging
+    // over the Clifford+T gates — the -toCliffordT pipeline shape.
+    Circuit CT = decompose::toCliffordT(MCXCircuit);
+    Circuit Cancelled =
+        qopt::cancelAdjacentGates(CT, qopt::CancelOptions::standard());
+    return qopt::phaseFold(Cancelled);
+  }
+
+  case CircuitOptimizerKind::RotationMerging: {
+    Circuit CT = decompose::toCliffordT(MCXCircuit);
+    return qopt::phaseFold(CT);
+  }
+
+  case CircuitOptimizerKind::ToffoliCancel: {
+    // Simplify in terms of Toffoli gates *before* translating to
+    // Clifford+T (Section 8.3: the -mctExpand configuration).
+    Circuit Toff = decompose::toToffoli(MCXCircuit);
+    Circuit Cancelled =
+        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::standard());
+    return decompose::toCliffordT(Cancelled);
+  }
+
+  case CircuitOptimizerKind::ExhaustiveCancel: {
+    // Unbounded-lookahead fixpoint cancellation at the Toffoli level,
+    // then decomposition and rotation merging: stronger and much slower,
+    // like QuiZX's global-structure discovery.
+    Circuit Toff = decompose::toToffoli(MCXCircuit);
+    Circuit Cancelled =
+        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::exhaustive());
+    Circuit CT = decompose::toCliffordT(Cancelled);
+    Circuit Folded = qopt::phaseFold(CT);
+    return qopt::cancelAdjacentGates(Folded,
+                                     qopt::CancelOptions::exhaustive());
+  }
+  }
+  return decompose::toCliffordT(MCXCircuit);
+}
+
+int64_t measureT(const BenchmarkProgram &B, int64_t Depth,
+                 const opt::SpireOptions &Spire, CircuitOptimizerKind Kind) {
+  circuit::TargetConfig Config;
+  ir::CoreProgram P = lowerBenchmark(B, Depth);
+  ir::CoreProgram O = opt::optimizeProgram(P, Spire);
+  if (Kind == CircuitOptimizerKind::None) {
+    // The cost model equals the compiled count exactly (Theorem 5.2) and
+    // is much faster, matching how a developer would use it.
+    return costmodel::analyzeProgram(O, Config).T;
+  }
+  circuit::CompileResult R = circuit::compileToCircuit(O, Config);
+  circuit::Circuit Out = applyCircuitOptimizer(R.Circ, Kind);
+  return circuit::countGates(Out).TComplexity;
+}
+
+Timing timeRuns(const std::function<void()> &Fn, unsigned Runs) {
+  std::vector<double> Samples;
+  for (unsigned I = 0; I != Runs; ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    Fn();
+    auto End = std::chrono::steady_clock::now();
+    Samples.push_back(std::chrono::duration<double>(End - Start).count());
+  }
+  Timing T;
+  for (double S : Samples)
+    T.MeanSeconds += S;
+  T.MeanSeconds /= Samples.size();
+  if (Samples.size() > 1) {
+    double Var = 0;
+    for (double S : Samples)
+      Var += (S - T.MeanSeconds) * (S - T.MeanSeconds);
+    Var /= (Samples.size() - 1);
+    T.StdErrSeconds = std::sqrt(Var / Samples.size());
+  }
+  return T;
+}
+
+std::string formatTiming(const Timing &T) {
+  char Buf[64];
+  if (T.StdErrSeconds > 0.0005)
+    std::snprintf(Buf, sizeof(Buf), "%.3f +/- %.3f s", T.MeanSeconds,
+                  T.StdErrSeconds);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3f s", T.MeanSeconds);
+  return Buf;
+}
+
+std::string percentReduction(int64_t Before, int64_t After) {
+  if (Before == 0)
+    return "0.0%";
+  double Pct = 100.0 * (Before - After) / static_cast<double>(Before);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Pct);
+  return Buf;
+}
+
+int Series::stableDegree() const {
+  int Best = degree();
+  for (size_t Start = 0; Values.size() - Start >= 5; ++Start) {
+    std::vector<int64_t> Tail(Values.begin() + Start, Values.end());
+    int64_t StartX = Depths[Start];
+    int D = support::fittedDegree(StartX, Tail);
+    if (D <= static_cast<int>(Tail.size()) - 3)
+      Best = std::min(Best, D);
+  }
+  return Best;
+}
+
+} // namespace spire::benchmarks

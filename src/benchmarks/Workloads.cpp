@@ -1,0 +1,139 @@
+#include "benchmarks/Workloads.h"
+
+#include <cassert>
+
+namespace spire::benchmarks {
+
+uint64_t encodeListAt(sim::MachineState &State,
+                      const std::vector<uint64_t> &Values,
+                      unsigned &FirstCell, unsigned WordBits) {
+  if (Values.empty())
+    return 0;
+  uint64_t Head = FirstCell;
+  for (size_t I = 0; I != Values.size(); ++I) {
+    assert(FirstCell < State.Mem.size() && "list overflows the heap");
+    uint64_t Next = I + 1 < Values.size() ? FirstCell + 1 : 0;
+    State.Mem[FirstCell] = Values[I] | (Next << WordBits);
+    ++FirstCell;
+  }
+  return Head;
+}
+
+uint64_t encodeList(sim::MachineState &State,
+                    const std::vector<uint64_t> &Values, unsigned WordBits) {
+  unsigned Cell = 1;
+  return encodeListAt(State, Values, Cell, WordBits);
+}
+
+std::vector<uint64_t> decodeList(const sim::MachineState &State,
+                                 uint64_t Head, unsigned WordBits) {
+  std::vector<uint64_t> Values;
+  uint64_t Mask = (uint64_t(1) << WordBits) - 1;
+  uint64_t P = Head;
+  while (P != 0 && P < State.Mem.size() &&
+         Values.size() <= State.Mem.size()) {
+    uint64_t Node = State.Mem[P];
+    Values.push_back(Node & Mask);
+    P = (Node >> WordBits) & Mask;
+  }
+  return Values;
+}
+
+bool keyLess(const Key &A, const Key &B) {
+  // Matches str_less: "" < b iff b nonempty; heads compared, ties recurse.
+  size_t I = 0;
+  for (;; ++I) {
+    if (I == A.size())
+      return I != B.size();
+    if (I == B.size())
+      return false;
+    if (A[I] < B[I])
+      return true;
+    if (A[I] > B[I])
+      return false;
+  }
+}
+
+namespace {
+
+struct TreeEncoder {
+  sim::MachineState &State;
+  unsigned &FirstCell;
+  unsigned WordBits;
+
+  uint64_t allocKey(const Key &K) {
+    return encodeListAt(State, K, FirstCell, WordBits);
+  }
+
+  uint64_t nodeKeyPtr(uint64_t Node) const {
+    return State.Mem[Node] & ((uint64_t(1) << WordBits) - 1);
+  }
+  uint64_t nodeLeft(uint64_t Node) const {
+    return (State.Mem[Node] >> WordBits) & ((uint64_t(1) << WordBits) - 1);
+  }
+  uint64_t nodeRight(uint64_t Node) const {
+    return (State.Mem[Node] >> (2 * WordBits)) &
+           ((uint64_t(1) << WordBits) - 1);
+  }
+  void setLeft(uint64_t Node, uint64_t P) {
+    uint64_t Mask = ((uint64_t(1) << WordBits) - 1) << WordBits;
+    State.Mem[Node] = (State.Mem[Node] & ~Mask) | (P << WordBits);
+  }
+  void setRight(uint64_t Node, uint64_t P) {
+    uint64_t Mask = ((uint64_t(1) << WordBits) - 1) << (2 * WordBits);
+    State.Mem[Node] = (State.Mem[Node] & ~Mask) | (P << (2 * WordBits));
+  }
+
+  Key readKey(uint64_t Node) const {
+    std::vector<uint64_t> K =
+        decodeList(State, nodeKeyPtr(Node), WordBits);
+    return K;
+  }
+
+  uint64_t insert(uint64_t Root, const Key &K) {
+    if (Root == 0) {
+      uint64_t KeyPtr = allocKey(K);
+      assert(FirstCell < State.Mem.size() && "tree overflows the heap");
+      uint64_t Node = FirstCell++;
+      State.Mem[Node] = KeyPtr; // children null
+      return Node;
+    }
+    Key NK = readKey(Root);
+    if (keyLess(K, NK)) {
+      setLeft(Root, insert(nodeLeft(Root), K));
+    } else if (keyLess(NK, K)) {
+      setRight(Root, insert(nodeRight(Root), K));
+    }
+    return Root;
+  }
+};
+
+} // namespace
+
+uint64_t encodeTree(sim::MachineState &State, const std::vector<Key> &Keys,
+                    unsigned &FirstCell, unsigned WordBits) {
+  TreeEncoder Enc{State, FirstCell, WordBits};
+  uint64_t Root = 0;
+  for (const Key &K : Keys)
+    Root = Enc.insert(Root, K);
+  return Root;
+}
+
+bool treeContains(const sim::MachineState &State, uint64_t Root,
+                  const Key &K, unsigned WordBits) {
+  uint64_t Node = Root;
+  unsigned Guard = 0;
+  while (Node != 0 && Node < State.Mem.size() &&
+         ++Guard <= State.Mem.size()) {
+    uint64_t Mask = (uint64_t(1) << WordBits) - 1;
+    uint64_t KeyPtr = State.Mem[Node] & Mask;
+    Key NK = decodeList(State, KeyPtr, WordBits);
+    if (!keyLess(K, NK) && !keyLess(NK, K))
+      return true;
+    Node = keyLess(K, NK) ? (State.Mem[Node] >> WordBits) & Mask
+                          : (State.Mem[Node] >> (2 * WordBits)) & Mask;
+  }
+  return false;
+}
+
+} // namespace spire::benchmarks

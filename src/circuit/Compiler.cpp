@@ -1,0 +1,774 @@
+#include "circuit/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spire::ir;
+
+namespace spire::circuit {
+
+int64_t PrimitiveProfile::tComplexityUnder(unsigned ExtraControls) const {
+  int64_t T = 0;
+  for (unsigned C : XControlCounts)
+    T += tCostOfMCX(C + ExtraControls);
+  for (unsigned C : HControlCounts)
+    T += tCostOfControlledH(C + ExtraControls);
+  return T;
+}
+
+unsigned cellBitsFor(const CoreProgram &P, const TargetConfig &Config) {
+  unsigned Bits = 1;
+  for (const ast::Type *T : P.PointeeTypes)
+    Bits = std::max(Bits, P.Types->bitWidth(T, Config.WordBits));
+  return Bits;
+}
+
+namespace {
+
+/// A virtual operand bit used by the arithmetic emitters: a constant, a
+/// wire, or the AND of two wires (for multiplier partial products).
+struct VBit {
+  enum class Kind { Zero, One, Wire, And2 };
+  Kind K = Kind::Zero;
+  Qubit Q1 = 0, Q2 = 0;
+
+  static VBit zero() { return {}; }
+  static VBit one() {
+    VBit V;
+    V.K = Kind::One;
+    return V;
+  }
+  static VBit wire(Qubit Q) {
+    VBit V;
+    V.K = Kind::Wire;
+    V.Q1 = Q;
+    return V;
+  }
+  static VBit and2(Qubit A, Qubit B) {
+    VBit V;
+    V.K = Kind::And2;
+    V.Q1 = A;
+    V.Q2 = B;
+    return V;
+  }
+  static VBit constant(bool B) { return B ? one() : zero(); }
+};
+
+/// Compiles core IR to an MCX circuit. One instance per compilation; also
+/// reused by profilePrimitive with a pre-seeded variable map.
+class Emitter {
+public:
+  Emitter(const ast::TypeContext &Types, const TargetConfig &Config,
+          unsigned CellBits)
+      : Types(Types), Config(Config), CellBits(CellBits) {}
+
+  const ast::TypeContext &Types;
+  TargetConfig Config;
+  unsigned CellBits;
+
+  Circuit C;
+  std::vector<Qubit> Ctx;
+  std::map<std::string, BitRange> Vars;
+  /// Re-declaration depth per live variable: `let x <- e` on a live x
+  /// XORs into the same register (Appendix B.2) and its reversal
+  /// un-assigns the innermost re-declaration, so the register is released
+  /// only when the count returns to zero.
+  std::map<std::string, unsigned> DeclCount;
+  std::map<unsigned, std::vector<Qubit>> FreeByWidth;
+  Qubit NextFree = 0;
+  Qubit MemBase = 0;
+  bool MemAllocated = false;
+  /// Constant-source ancillas used by the popcount-uniform write of
+  /// alloc-cell addresses: OneBit is prepared to |1> once per program.
+  Qubit ZeroBit = 0, OneBit = 0;
+  bool AllocAncillas = false;
+
+  /// One Appendix-D reservation scope per active with-do do-block.
+  struct Reservation {
+    std::set<std::string> Affected;
+    std::map<std::string, BitRange> Parked;
+  };
+  std::vector<Reservation> Reservations;
+
+  unsigned widthOf(const ast::Type *T) const {
+    return Types.bitWidth(T, Config.WordBits);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Register allocation
+  //===--------------------------------------------------------------------===//
+
+  BitRange allocate(unsigned Width) {
+    if (Width == 0)
+      return {0, 0};
+    auto &Free = FreeByWidth[Width];
+    if (!Free.empty()) {
+      Qubit Offset = Free.back();
+      Free.pop_back();
+      return {Offset, Width};
+    }
+    BitRange R{NextFree, Width};
+    NextFree += Width;
+    return R;
+  }
+
+  void release(BitRange R) {
+    if (R.Width == 0)
+      return;
+    FreeByWidth[R.Width].push_back(R.Offset);
+  }
+
+  /// Allocates a register for a newly declared variable, preferring a
+  /// register parked for it by an enclosing do-block reservation
+  /// (Appendix D: an affected variable is re-assigned its old register).
+  BitRange allocateFor(const std::string &Name, unsigned Width) {
+    for (auto It = Reservations.rbegin(); It != Reservations.rend(); ++It) {
+      auto P = It->Parked.find(Name);
+      if (P != It->Parked.end()) {
+        BitRange R = P->second;
+        assert(R.Width == Width && "parked register width mismatch");
+        It->Parked.erase(P);
+        return R;
+      }
+    }
+    return allocate(Width);
+  }
+
+  /// Frees the register of an un-assigned variable, parking it instead if
+  /// an enclosing do-block reservation covers the variable.
+  void releaseFor(const std::string &Name, BitRange R) {
+    for (auto It = Reservations.rbegin(); It != Reservations.rend(); ++It) {
+      if (It->Affected.count(Name)) {
+        It->Parked[Name] = R;
+        return;
+      }
+    }
+    release(R);
+  }
+
+  void ensureMemory() {
+    if (MemAllocated)
+      return;
+    MemBase = NextFree;
+    NextFree += Config.HeapCells * CellBits;
+    MemAllocated = true;
+  }
+
+  /// Reserves the zero/one ancillas. The |1> preparation gate is emitted
+  /// only by the whole-program driver (EmitPrep), so that per-primitive
+  /// profiles exclude the one-time setup.
+  void ensureAllocAncillas(bool EmitPrep) {
+    if (AllocAncillas)
+      return;
+    ZeroBit = allocate(1).Offset;
+    OneBit = allocate(1).Offset;
+    AllocAncillas = true;
+    if (EmitPrep)
+      C.Gates.push_back(Gate(GateKind::X, OneBit));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Gate emission primitives
+  //===--------------------------------------------------------------------===//
+
+  /// Emits an X on Target controlled by the current context plus Extra.
+  /// The context is what makes `if` costly: every gate in a conditional
+  /// body carries the condition bits (Fig. 21).
+  void emitX(Qubit Target, std::vector<Qubit> Extra = {}) {
+    Extra.insert(Extra.end(), Ctx.begin(), Ctx.end());
+    std::sort(Extra.begin(), Extra.end());
+    Extra.erase(std::unique(Extra.begin(), Extra.end()), Extra.end());
+    assert(std::find(Extra.begin(), Extra.end(), Target) == Extra.end() &&
+           "gate target collides with a control; unsupported self-"
+           "referential assignment");
+    C.Gates.push_back(Gate(GateKind::X, Target, std::move(Extra)));
+  }
+
+  void emitH(Qubit Target) {
+    std::vector<Qubit> Controls(Ctx.begin(), Ctx.end());
+    std::sort(Controls.begin(), Controls.end());
+    // Nested ifs over the same condition variable put its qubit in the
+    // context twice; a duplicated control is the same single control.
+    Controls.erase(std::unique(Controls.begin(), Controls.end()),
+                   Controls.end());
+    C.Gates.push_back(Gate(GateKind::H, Target, std::move(Controls)));
+  }
+
+  /// Target ^= V (a virtual bit), under the context.
+  void emitXorV(Qubit Target, const VBit &V) {
+    switch (V.K) {
+    case VBit::Kind::Zero:
+      return;
+    case VBit::Kind::One:
+      emitX(Target);
+      return;
+    case VBit::Kind::Wire:
+      emitX(Target, {V.Q1});
+      return;
+    case VBit::Kind::And2:
+      emitX(Target, {V.Q1, V.Q2});
+      return;
+    }
+  }
+
+  /// Target ^= AND of all Controls (virtual); a constant-false control
+  /// suppresses the gate, constant-true controls are dropped.
+  void emitXV(Qubit Target, const std::vector<VBit> &VControls,
+              std::vector<Qubit> Extra = {}) {
+    for (const VBit &V : VControls) {
+      switch (V.K) {
+      case VBit::Kind::Zero:
+        return; // Gate can never fire.
+      case VBit::Kind::One:
+        break;
+      case VBit::Kind::Wire:
+        Extra.push_back(V.Q1);
+        break;
+      case VBit::Kind::And2:
+        Extra.push_back(V.Q1);
+        Extra.push_back(V.Q2);
+        break;
+      }
+    }
+    emitX(Target, std::move(Extra));
+  }
+
+  /// Re-emits gates [Start, End) in reverse order; all must be X-kind
+  /// (self-inverse), which holds for everything expression synthesis
+  /// produces. Used to restore scratch registers.
+  void appendReversed(size_t Start, size_t End) {
+    for (size_t I = End; I > Start; --I) {
+      const Gate &G = C.Gates[I - 1];
+      assert(G.Kind == GateKind::X && "cannot blindly reverse non-X gate");
+      C.Gates.push_back(G);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Operand access
+  //===--------------------------------------------------------------------===//
+
+  BitRange rangeOf(const std::string &Var) const {
+    auto It = Vars.find(Var);
+    assert(It != Vars.end() && "unbound variable reached the backend");
+    return It->second;
+  }
+
+  /// The i-th bit of an atom as a virtual bit.
+  VBit atomBit(const Atom &A, unsigned I) const {
+    if (A.isConst())
+      return VBit::constant(I < 64 && ((A.ConstBits >> I) & 1));
+    BitRange R = rangeOf(A.Var);
+    if (I >= R.Width)
+      return VBit::zero();
+    return VBit::wire(R.Offset + I);
+  }
+
+  unsigned atomWidth(const Atom &A) const { return widthOf(A.Ty); }
+
+  /// Target range ^= atom value (bit-wise XOR copy).
+  void emitXorAtom(BitRange Target, const Atom &A, unsigned SrcShift = 0) {
+    if (A.isConst() && A.IsAllocConst) {
+      // Popcount-uniform immediate write: one CNOT per bit, sourced from
+      // the constant one/zero ancillas, so every alloc site costs the
+      // same number of gates regardless of its address bit pattern.
+      ensureAllocAncillas(/*EmitPrep=*/false);
+      for (unsigned I = 0; I != Target.Width; ++I) {
+        bool Bit = (SrcShift + I) < 64 && ((A.ConstBits >> (SrcShift + I)) & 1);
+        emitX(Target.Offset + I, {Bit ? OneBit : ZeroBit});
+      }
+      return;
+    }
+    for (unsigned I = 0; I != Target.Width; ++I)
+      emitXorV(Target.Offset + I, atomBit(A, SrcShift + I));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic: VBE ripple adder (Vedral, Barenco, Ekert 1996)
+  //===--------------------------------------------------------------------===//
+
+  /// In-place B := B + V (mod 2^Width) where V is a vector of virtual
+  /// bits. Allocates and restores its own carry scratch.
+  void emitVBEAdd(const std::vector<VBit> &V, BitRange B) {
+    unsigned N = B.Width;
+    assert(V.size() >= N && "addend too narrow");
+    if (N == 0)
+      return;
+    if (N == 1) {
+      emitXorV(B.Offset, V[0]);
+      return;
+    }
+    // Carries c[1..N-1]; c[0] is identically zero and omitted.
+    BitRange Carry = allocate(N - 1);
+    auto CarryBit = [&](unsigned I) -> Qubit {
+      assert(I >= 1 && I <= N - 1);
+      return Carry.Offset + (I - 1);
+    };
+
+    // CARRY(c_i, v_i, b_i, c_{i+1}); gates on the constant-zero c_0 fold.
+    auto EmitCarry = [&](unsigned I) {
+      emitXV(CarryBit(I + 1), {V[I], VBit::wire(B.Offset + I)});
+      emitXorV(B.Offset + I, V[I]);
+      if (I >= 1)
+        emitX(CarryBit(I + 1), {CarryBit(I), B.Offset + I});
+    };
+    auto EmitCarryInv = [&](unsigned I) {
+      if (I >= 1)
+        emitX(CarryBit(I + 1), {CarryBit(I), B.Offset + I});
+      emitXorV(B.Offset + I, V[I]);
+      emitXV(CarryBit(I + 1), {V[I], VBit::wire(B.Offset + I)});
+    };
+    auto EmitSum = [&](unsigned I) {
+      emitXorV(B.Offset + I, V[I]);
+      if (I >= 1)
+        emitX(B.Offset + I, {CarryBit(I)});
+    };
+
+    for (unsigned I = 0; I + 1 < N; ++I)
+      EmitCarry(I);
+    EmitSum(N - 1);
+    for (unsigned I = N - 1; I-- > 0;) {
+      EmitCarryInv(I);
+      EmitSum(I);
+    }
+    release(Carry);
+  }
+
+  std::vector<VBit> atomBits(const Atom &A, unsigned Width,
+                             unsigned Shift = 0) const {
+    std::vector<VBit> Bits;
+    Bits.reserve(Width);
+    for (unsigned I = 0; I != Width; ++I) {
+      if (I < Shift)
+        Bits.push_back(VBit::zero());
+      else
+        Bits.push_back(atomBit(A, I - Shift));
+    }
+    return Bits;
+  }
+
+  static std::vector<VBit> constBits(uint64_t Value, unsigned Width) {
+    std::vector<VBit> Bits;
+    for (unsigned I = 0; I != Width; ++I)
+      Bits.push_back(VBit::constant(I < 64 && ((Value >> I) & 1)));
+    return Bits;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression synthesis: Target ^= e
+  //===--------------------------------------------------------------------===//
+
+  void emitEqCore(Qubit Target, const Atom &A, const Atom &B) {
+    unsigned Width = std::max(atomWidth(A), atomWidth(B));
+    if (Width == 0) {
+      emitX(Target); // Unit values are always equal.
+      return;
+    }
+    if (A.isConst() && B.isConst()) {
+      if (A.ConstBits == B.ConstBits)
+        emitX(Target);
+      return;
+    }
+    if (A.isVar() && B.isVar() && rangeOf(A.Var).Offset == rangeOf(B.Var).Offset) {
+      emitX(Target); // x == x.
+      return;
+    }
+    // diff := ~(a ^ b); Target ^= AND(diff); restore diff.
+    BitRange Diff = allocate(Width);
+    size_t Mark = C.Gates.size();
+    emitXorAtom(Diff, A);
+    emitXorAtom(Diff, B);
+    for (unsigned I = 0; I != Width; ++I)
+      emitX(Diff.Offset + I);
+    size_t EndCompute = C.Gates.size();
+    std::vector<Qubit> Controls;
+    for (unsigned I = 0; I != Width; ++I)
+      Controls.push_back(Diff.Offset + I);
+    emitX(Target, std::move(Controls));
+    appendReversed(Mark, EndCompute);
+    release(Diff);
+  }
+
+  void emitLess(Qubit Target, const Atom &A, const Atom &B) {
+    unsigned Width = Config.WordBits;
+    // acc := a + ~b + 1 over Width+1 bits; a < b iff the top bit is 0.
+    BitRange Acc = allocate(Width + 1);
+    size_t Mark = C.Gates.size();
+    // acc ^= ~b (low Width bits).
+    for (unsigned I = 0; I != Width; ++I) {
+      emitX(Acc.Offset + I);
+      emitXorV(Acc.Offset + I, atomBit(B, I));
+    }
+    emitVBEAdd(atomBits(A, Width + 1), Acc);
+    emitVBEAdd(constBits(1, Width + 1), Acc);
+    size_t EndCompute = C.Gates.size();
+    // Target ^= NOT acc[Width].
+    emitX(Target);
+    emitX(Target, {Acc.Offset + Width});
+    appendReversed(Mark, EndCompute);
+    release(Acc);
+  }
+
+  void emitArith(BitRange Target, ast::BinaryOp Op, const Atom &A,
+                 const Atom &B) {
+    unsigned Width = Target.Width;
+    BitRange Acc = allocate(Width);
+    size_t Mark = C.Gates.size();
+    switch (Op) {
+    case ast::BinaryOp::Add:
+      emitXorAtom(Acc, B);
+      emitVBEAdd(atomBits(A, Width), Acc);
+      break;
+    case ast::BinaryOp::Sub:
+      // a - b = a + ~b + 1.
+      for (unsigned I = 0; I != Width; ++I) {
+        emitX(Acc.Offset + I);
+        emitXorV(Acc.Offset + I, atomBit(B, I));
+      }
+      emitVBEAdd(atomBits(A, Width), Acc);
+      emitVBEAdd(constBits(1, Width), Acc);
+      break;
+    case ast::BinaryOp::Mul:
+      // Shift-and-add schoolbook product.
+      for (unsigned J = 0; J != Width; ++J) {
+        VBit BJ = atomBit(B, J);
+        if (BJ.K == VBit::Kind::Zero)
+          continue;
+        std::vector<VBit> Addend;
+        for (unsigned I = 0; I != Width; ++I) {
+          if (I < J) {
+            Addend.push_back(VBit::zero());
+            continue;
+          }
+          VBit AI = atomBit(A, I - J);
+          // Addend bit = a_{i-j} AND b_j, folded over constants.
+          if (AI.K == VBit::Kind::Zero || BJ.K == VBit::Kind::Zero)
+            Addend.push_back(VBit::zero());
+          else if (AI.K == VBit::Kind::One)
+            Addend.push_back(BJ);
+          else if (BJ.K == VBit::Kind::One)
+            Addend.push_back(AI);
+          else
+            Addend.push_back(VBit::and2(AI.Q1, BJ.Q1));
+        }
+        emitVBEAdd(Addend, Acc);
+      }
+      break;
+    default:
+      assert(false && "not an arithmetic operator");
+    }
+    size_t EndCompute = C.Gates.size();
+    for (unsigned I = 0; I != Width; ++I)
+      emitX(Target.Offset + I, {Acc.Offset + I});
+    appendReversed(Mark, EndCompute);
+    release(Acc);
+  }
+
+  void emitXorExpr(BitRange Target, const CoreExpr &E) {
+    switch (E.K) {
+    case CoreExpr::Kind::AtomE:
+      emitXorAtom(Target, E.A);
+      return;
+
+    case CoreExpr::Kind::Pair: {
+      unsigned WA = atomWidth(E.A);
+      emitXorAtom({Target.Offset, WA}, E.A);
+      emitXorAtom({Target.Offset + WA, Target.Width - WA}, E.B);
+      return;
+    }
+
+    case CoreExpr::Kind::Proj: {
+      const ast::Type *BaseTy = Types.resolveTopLevel(E.A.Ty);
+      assert(BaseTy->isPair() && "projection from non-pair");
+      unsigned W1 = widthOf(BaseTy->first());
+      unsigned Shift = E.ProjIndex == 1 ? 0 : W1;
+      emitXorAtom(Target, E.A, Shift);
+      return;
+    }
+
+    case CoreExpr::Kind::Unary: {
+      if (E.UOp == ast::UnaryOp::Not) {
+        emitX(Target.Offset);
+        emitXorV(Target.Offset, atomBit(E.A, 0));
+        return;
+      }
+      // test x: Target ^= [x != 0] = 1 ^ [x == 0].
+      emitX(Target.Offset);
+      emitEqCore(Target.Offset, E.A,
+                 Atom::constant(0, E.A.Ty));
+      return;
+    }
+
+    case CoreExpr::Kind::Binary: {
+      switch (E.BOp) {
+      case ast::BinaryOp::And: {
+        emitXV(Target.Offset, {atomBit(E.A, 0), atomBit(E.B, 0)});
+        return;
+      }
+      case ast::BinaryOp::Or: {
+        // t ^= 1 ^ (~a & ~b).
+        VBit A = atomBit(E.A, 0), B = atomBit(E.B, 0);
+        emitX(Target.Offset);
+        std::vector<Qubit> Flipped;
+        auto Negate = [&](VBit &V) {
+          switch (V.K) {
+          case VBit::Kind::Zero:
+            V = VBit::one();
+            break;
+          case VBit::Kind::One:
+            V = VBit::zero();
+            break;
+          case VBit::Kind::Wire:
+            emitX(V.Q1);
+            Flipped.push_back(V.Q1);
+            break;
+          case VBit::Kind::And2:
+            assert(false && "unexpected virtual AND operand");
+          }
+        };
+        Negate(A);
+        Negate(B);
+        emitXV(Target.Offset, {A, B});
+        for (Qubit Q : Flipped)
+          emitX(Q);
+        return;
+      }
+      case ast::BinaryOp::Eq:
+        emitEqCore(Target.Offset, E.A, E.B);
+        return;
+      case ast::BinaryOp::Ne:
+        emitX(Target.Offset);
+        emitEqCore(Target.Offset, E.A, E.B);
+        return;
+      case ast::BinaryOp::Lt:
+        emitLess(Target.Offset, E.A, E.B);
+        return;
+      case ast::BinaryOp::Add:
+      case ast::BinaryOp::Sub:
+      case ast::BinaryOp::Mul:
+        emitArith(Target, E.BOp, E.A, E.B);
+        return;
+      }
+      return;
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement compilation
+  //===--------------------------------------------------------------------===//
+
+  void compileStmt(const CoreStmt &S) {
+    switch (S.K) {
+    case CoreStmt::Kind::Skip:
+      return;
+
+    case CoreStmt::Kind::Assign: {
+      auto It = Vars.find(S.Name);
+      BitRange Target;
+      if (It != Vars.end()) {
+        Target = It->second; // Re-declaration XORs into the same qubits.
+        ++DeclCount[S.Name];
+      } else {
+        Target = allocateFor(S.Name, widthOf(S.Ty));
+        Vars[S.Name] = Target;
+        DeclCount[S.Name] = 1;
+      }
+      emitXorExpr(Target, S.E);
+      return;
+    }
+
+    case CoreStmt::Kind::UnAssign: {
+      BitRange Target = rangeOf(S.Name);
+      emitXorExpr(Target, S.E); // XOR of an equal value restores zero.
+      if (--DeclCount[S.Name] == 0) {
+        Vars.erase(S.Name);
+        DeclCount.erase(S.Name);
+        releaseFor(S.Name, Target);
+      }
+      return;
+    }
+
+    case CoreStmt::Kind::If: {
+      BitRange Cond = rangeOf(S.Name);
+      assert(Cond.Width == 1 && "if condition must be a single bit");
+      Ctx.push_back(Cond.Offset);
+      compileStmts(S.Body);
+      Ctx.pop_back();
+      return;
+    }
+
+    case CoreStmt::Kind::With: {
+      compileStmts(S.Body);
+      // Appendix D: variables referenced by the with-block and live at the
+      // start of the do-block must keep their registers across it.
+      Reservation R;
+      for (const std::string &Name : allVars(S.Body))
+        if (Vars.count(Name))
+          R.Affected.insert(Name);
+      Reservations.push_back(std::move(R));
+      compileStmts(S.DoBody);
+      Reservation Done = std::move(Reservations.back());
+      Reservations.pop_back();
+      for (const auto &[Name, Reg] : Done.Parked) {
+        // Consumed in the do-block and never re-created: now dead, but
+        // route through any outer reservation that also covers it.
+        releaseFor(Name, Reg);
+      }
+      CoreStmtList Rev = reverseStmts(S.Body);
+      compileStmts(Rev);
+      return;
+    }
+
+    case CoreStmt::Kind::Swap: {
+      BitRange A = rangeOf(S.Name);
+      BitRange B = rangeOf(S.Name2);
+      assert(A.Width == B.Width && "swap width mismatch");
+      for (unsigned I = 0; I != A.Width; ++I) {
+        emitX(A.Offset + I, {B.Offset + I});
+        emitX(B.Offset + I, {A.Offset + I});
+        emitX(A.Offset + I, {B.Offset + I});
+      }
+      return;
+    }
+
+    case CoreStmt::Kind::MemSwap: {
+      ensureMemory();
+      BitRange P = rangeOf(S.Name);
+      BitRange V = rangeOf(S.Name2);
+      unsigned SwapBits = std::min(V.Width, CellBits);
+      for (unsigned Address = 1; Address <= Config.HeapCells; ++Address) {
+        // Conjugate pointer bits so the address-match controls are all
+        // positive on the pattern `Address`.
+        std::vector<Qubit> Conj;
+        for (unsigned I = 0; I != P.Width; ++I)
+          if (((static_cast<uint64_t>(Address) >> I) & 1) == 0)
+            Conj.push_back(P.Offset + I);
+        for (Qubit Q : Conj)
+          emitX(Q);
+        std::vector<Qubit> Match;
+        for (unsigned I = 0; I != P.Width; ++I)
+          Match.push_back(P.Offset + I);
+        Qubit Cell = MemBase + (Address - 1) * CellBits;
+        for (unsigned I = 0; I != SwapBits; ++I) {
+          Qubit M = Cell + I, W = V.Offset + I;
+          emitX(M, {W});
+          std::vector<Qubit> Controls = Match;
+          Controls.push_back(M);
+          emitX(W, std::move(Controls));
+          emitX(M, {W});
+        }
+        for (Qubit Q : Conj)
+          emitX(Q);
+      }
+      return;
+    }
+
+    case CoreStmt::Kind::Hadamard: {
+      BitRange X = rangeOf(S.Name);
+      assert(X.Width == 1 && "H requires a bool variable");
+      emitH(X.Offset);
+      return;
+    }
+    }
+  }
+
+  void compileStmts(const CoreStmtList &Stmts) {
+    for (const auto &S : Stmts)
+      compileStmt(*S);
+  }
+};
+
+/// Collects (variable, type) pairs referenced by one primitive statement
+/// or an if-chain around one (the form profilePrimitive accepts).
+void collectStmtVarTypes(const CoreStmt &S,
+                         std::map<std::string, const ast::Type *> &Out) {
+  auto AddAtom = [&](const Atom &A) {
+    if (A.isVar())
+      Out.emplace(A.Var, A.Ty);
+  };
+  if (!S.Name.empty() && S.Ty)
+    Out.emplace(S.Name, S.Ty);
+  if (!S.Name2.empty() && S.Ty2)
+    Out.emplace(S.Name2, S.Ty2);
+  if (S.K == CoreStmt::Kind::Assign || S.K == CoreStmt::Kind::UnAssign) {
+    AddAtom(S.E.A);
+    if (S.E.K == CoreExpr::Kind::Pair || S.E.K == CoreExpr::Kind::Binary)
+      AddAtom(S.E.B);
+  }
+  if (S.K == CoreStmt::Kind::If)
+    for (const auto &Inner : S.Body)
+      collectStmtVarTypes(*Inner, Out);
+}
+
+} // namespace
+
+CompileResult compileToCircuit(const CoreProgram &P,
+                               const TargetConfig &Config) {
+  Emitter E(*P.Types, Config, cellBitsFor(P, Config));
+
+  CircuitLayout Layout;
+  for (const auto &[Name, Ty] : P.Inputs) {
+    BitRange R = E.allocate(E.widthOf(Ty));
+    E.Vars[Name] = R;
+    Layout.Inputs[Name] = R;
+  }
+  // Memory immediately after the inputs so its position is predictable.
+  E.ensureMemory();
+  Layout.MemBase = E.MemBase;
+  Layout.CellBits = E.CellBits;
+  Layout.HeapCells = Config.HeapCells;
+
+  if (P.NumAllocCells > 0)
+    E.ensureAllocAncillas(/*EmitPrep=*/true);
+
+  E.compileStmts(P.Body);
+
+  auto Out = E.Vars.find(P.OutputVar);
+  assert(Out != E.Vars.end() && "output variable not live at program end");
+  Layout.Output = Out->second;
+  Layout.NumQubits = E.NextFree;
+
+  CompileResult Result;
+  Result.Circ = std::move(E.C);
+  Result.Circ.NumQubits = E.NextFree;
+  Result.Layout = Layout;
+  return Result;
+}
+
+PrimitiveProfile profilePrimitive(const CoreStmt &S,
+                                  const ir::TypeContext &Types,
+                                  const TargetConfig &Config,
+                                  unsigned CellBits) {
+#ifndef NDEBUG
+  // A primitive statement, possibly wrapped in single-statement if-chains
+  // (the cost model profiles `if x { s }` directly when x is read by s,
+  // so that control merging is reflected exactly).
+  for (const CoreStmt *Cursor = &S; ;
+       Cursor = Cursor->Body.front().get()) {
+    assert(Cursor->K != CoreStmt::Kind::With &&
+           "profilePrimitive requires a primitive statement");
+    if (Cursor->K != CoreStmt::Kind::If)
+      break;
+    assert(Cursor->Body.size() == 1 &&
+           "profiled if-wrappers must have single-statement bodies");
+  }
+#endif
+  Emitter E(Types, Config, CellBits);
+  std::map<std::string, const ast::Type *> VarTypes;
+  collectStmtVarTypes(S, VarTypes);
+  for (const auto &[Name, Ty] : VarTypes)
+    E.Vars[Name] = E.allocate(E.widthOf(Ty));
+  E.compileStmt(S);
+
+  PrimitiveProfile Profile;
+  for (const Gate &G : E.C.Gates) {
+    if (G.Kind == GateKind::X)
+      Profile.XControlCounts.push_back(G.numControls());
+    else if (G.Kind == GateKind::H)
+      Profile.HControlCounts.push_back(G.numControls());
+  }
+  return Profile;
+}
+
+} // namespace spire::circuit

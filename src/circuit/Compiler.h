@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The straightforward compilation strategy from core IR to an MCX-level
+/// quantum circuit, per the paper's Section 7 and Appendix B.2:
+///
+///  * Variables are register-allocated onto qubit ranges with a free list;
+///    a re-declared variable reuses its original qubits, and the Appendix-D
+///    pinning rule reserves the registers of variables used by an enclosing
+///    with-block for the extent of its do-block.
+///  * `if x { s }` compiles by adding x as a control bit to every gate
+///    emitted for s (Fig. 21's "conditional execution"), which is exactly
+///    the source of the control-flow T-complexity costs the paper studies.
+///  * Arithmetic uses VBE-style ripple-carry adders; comparisons use
+///    XOR-difference zero tests; multiplication is shift-and-add.
+///  * `*x <-> y` expands the qRAM gate of Appendix B.2 into one
+///    address-matched controlled word swap per heap cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_CIRCUIT_COMPILER_H
+#define SPIRE_CIRCUIT_COMPILER_H
+
+#include "circuit/Gate.h"
+#include "circuit/Target.h"
+#include "ir/Core.h"
+
+#include <map>
+#include <string>
+
+namespace spire::circuit {
+
+/// A contiguous range of qubits assigned to a variable or memory cell.
+struct BitRange {
+  Qubit Offset = 0;
+  unsigned Width = 0;
+};
+
+/// Where everything ended up, for simulation and inspection.
+struct CircuitLayout {
+  std::map<std::string, BitRange> Inputs;
+  BitRange Output;
+  Qubit MemBase = 0;
+  unsigned CellBits = 0;
+  unsigned HeapCells = 0;
+  unsigned NumQubits = 0;
+
+  /// Qubit range of heap cell `Address` (1-based).
+  BitRange cell(unsigned Address) const {
+    return {static_cast<Qubit>(MemBase + (Address - 1) * CellBits), CellBits};
+  }
+};
+
+struct CompileResult {
+  Circuit Circ;
+  CircuitLayout Layout;
+};
+
+/// Width in qubits of a qRAM cell for this program: the widest pointee
+/// type ever stored through a pointer (at least 1).
+unsigned cellBitsFor(const ir::CoreProgram &P, const TargetConfig &Config);
+
+/// Compiles a lowered program to an MCX-level circuit.
+CompileResult compileToCircuit(const ir::CoreProgram &P,
+                               const TargetConfig &Config);
+
+/// The gate shape a primitive statement compiles to, independent of where
+/// its operands are placed: the control count of every X gate emitted plus
+/// the control counts of every H gate. Used by the cost model to predict
+/// T-complexity exactly (Theorems 5.1/5.2 instantiated with the real
+/// implementation constants).
+struct PrimitiveProfile {
+  std::vector<unsigned> XControlCounts;
+  std::vector<unsigned> HControlCounts;
+
+  int64_t totalGates() const {
+    return static_cast<int64_t>(XControlCounts.size() +
+                                HControlCounts.size());
+  }
+  /// T-complexity of this shape when nested under `ExtraControls`
+  /// additional control bits.
+  int64_t tComplexityUnder(unsigned ExtraControls) const;
+};
+
+/// Profiles one primitive (non-block) statement. `CellBits` must match the
+/// value compileToCircuit would use for the enclosing program.
+PrimitiveProfile profilePrimitive(const ir::CoreStmt &S,
+                                  const ir::TypeContext &Types,
+                                  const TargetConfig &Config,
+                                  unsigned CellBits);
+
+} // namespace spire::circuit
+
+#endif // SPIRE_CIRCUIT_COMPILER_H

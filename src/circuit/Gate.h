@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gate and circuit representation shared by the MCX-level, Toffoli-level,
+/// and Clifford+T-level stages of the backend.
+///
+/// The MCX-level circuit uses X gates with arbitrary control lists (the
+/// paper's "idealized gate set consisting of arbitrarily controllable
+/// Clifford gates") plus possibly-controlled H. The Clifford+T level adds
+/// T, Tdg, S, Sdg, Z. A controlled-H with exactly one control is kept as a
+/// primitive whose T-cost is c_CH = 8 (Lee et al. 2021), exactly as the
+/// paper's cost model treats it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_CIRCUIT_GATE_H
+#define SPIRE_CIRCUIT_GATE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spire::circuit {
+
+using Qubit = uint32_t;
+
+enum class GateKind : uint8_t {
+  X,   ///< NOT / CNOT / Toffoli / MCX depending on control count.
+  H,   ///< Hadamard; one control makes it the primitive CH.
+  T,   ///< pi/4 phase.
+  Tdg, ///< -pi/4 phase (T-complexity 1, paper footnote 3).
+  S,   ///< pi/2 phase (Clifford).
+  Sdg, ///< -pi/2 phase (Clifford).
+  Z,   ///< pi phase (Clifford).
+};
+
+/// One gate: a kind, a target qubit, and a (possibly empty) sorted list of
+/// positive control qubits.
+struct Gate {
+  GateKind Kind = GateKind::X;
+  Qubit Target = 0;
+  std::vector<Qubit> Controls;
+
+  Gate() = default;
+  Gate(GateKind Kind, Qubit Target, std::vector<Qubit> Controls = {})
+      : Kind(Kind), Target(Target), Controls(std::move(Controls)) {
+    normalize();
+  }
+
+  /// Sorts the control list so structural equality is canonical.
+  void normalize();
+
+  unsigned numControls() const {
+    return static_cast<unsigned>(Controls.size());
+  }
+  bool isMCX() const { return Kind == GateKind::X; }
+  bool isToffoli() const { return Kind == GateKind::X && numControls() == 2; }
+  bool isCNOT() const { return Kind == GateKind::X && numControls() == 1; }
+  bool isPhase() const {
+    return Kind == GateKind::T || Kind == GateKind::Tdg ||
+           Kind == GateKind::S || Kind == GateKind::Sdg ||
+           Kind == GateKind::Z;
+  }
+  /// T or Tdg: contributes 1 to the T-count.
+  bool isTLike() const { return Kind == GateKind::T || Kind == GateKind::Tdg; }
+
+  /// True when `Q` is the target or a control of this gate.
+  bool touches(Qubit Q) const;
+
+  /// Whether this gate is its own inverse (X, H, Z are; T and S are not).
+  bool isSelfInverse() const {
+    return Kind == GateKind::X || Kind == GateKind::H ||
+           Kind == GateKind::Z;
+  }
+
+  std::string str() const;
+  friend bool operator==(const Gate &A, const Gate &B) {
+    return A.Kind == B.Kind && A.Target == B.Target &&
+           A.Controls == B.Controls;
+  }
+};
+
+/// A flat gate list over `NumQubits` wires.
+struct Circuit {
+  unsigned NumQubits = 0;
+  std::vector<Gate> Gates;
+
+  void add(Gate G) {
+    assert(G.Target < NumQubits && "gate target out of range");
+    Gates.push_back(std::move(G));
+  }
+  void addX(Qubit Target, std::vector<Qubit> Controls = {}) {
+    add(Gate(GateKind::X, Target, std::move(Controls)));
+  }
+  void addH(Qubit Target, std::vector<Qubit> Controls = {}) {
+    add(Gate(GateKind::H, Target, std::move(Controls)));
+  }
+
+  size_t size() const { return Gates.size(); }
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Gate counting (paper Section 8.1 methodology)
+//===----------------------------------------------------------------------===//
+
+/// T gates required to realize an MCX with `NumControls` controls via the
+/// decompositions of Figs. 5 and 6: an MCX with c >= 2 controls expands to
+/// 2(c-2)+1 Toffoli gates, each costing 7 T gates. NOT and CNOT are
+/// Clifford and cost 0.
+int64_t tCostOfMCX(unsigned NumControls);
+
+/// T gates required for an H under `NumControls` controls: 0 uncontrolled,
+/// c_CH = 8 for one control (Lee et al. 2021), and 8 + 14(c-1) for more
+/// (an AND-ladder of c-1 Toffolis computed and uncomputed around a CH).
+int64_t tCostOfControlledH(unsigned NumControls);
+
+/// Counts of interest for a circuit at any stage.
+struct GateCounts {
+  int64_t Total = 0;     ///< All gates (the paper's MCX-complexity when the
+                         ///< circuit is at the MCX level).
+  int64_t MCX = 0;       ///< X-kind gates of any control count.
+  int64_t Toffoli = 0;   ///< X-kind gates with exactly two controls.
+  int64_t CNOT = 0;      ///< X-kind gates with exactly one control.
+  int64_t H = 0;         ///< Hadamard gates (however controlled).
+  int64_t T = 0;         ///< T + Tdg gates present in the gate list.
+  /// T-complexity: for Clifford+T circuits this equals T; for MCX or
+  /// Toffoli-level circuits it is the T-count the circuit would have after
+  /// the standard decomposition (Section 8.1's counting rule).
+  int64_t TComplexity = 0;
+  int64_t Qubits = 0;
+};
+
+GateCounts countGates(const Circuit &C);
+
+/// T-depth of a circuit (Amy et al. 2014): the number of T stages on the
+/// critical path, where gates acting on disjoint qubits may share a
+/// stage. T and Tdg gates contribute one stage on the qubits they touch;
+/// Clifford gates synchronize their qubits without adding a stage. Only
+/// meaningful for Clifford+T-level circuits (X-kind gates with more than
+/// two controls are rejected by assertion).
+int64_t tDepth(const Circuit &C);
+
+} // namespace spire::circuit
+
+#endif // SPIRE_CIRCUIT_GATE_H

@@ -1,0 +1,157 @@
+#include "circuit/QcReader.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spire::circuit {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::stringstream Stream(Line);
+  std::string Token;
+  while (Stream >> Token)
+    Tokens.push_back(Token);
+  return Tokens;
+}
+
+} // namespace
+
+std::optional<Circuit> readQc(std::string_view Text,
+                              support::DiagnosticEngine &Diags) {
+  Circuit C;
+  std::map<std::string, Qubit> QubitByName;
+  bool SawVars = false, InBody = false, SawEnd = false;
+  unsigned LineNo = 0;
+
+  std::stringstream Stream{std::string(Text)};
+  std::string Line;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tokens = tokenize(Line);
+    if (Tokens.empty())
+      continue;
+    support::SourceLoc Loc{LineNo, 1};
+
+    auto LookupQubit = [&](const std::string &Name) -> std::optional<Qubit> {
+      auto It = QubitByName.find(Name);
+      if (It == QubitByName.end()) {
+        Diags.error(Loc, "unknown qubit '" + Name + "'");
+        return std::nullopt;
+      }
+      return It->second;
+    };
+
+    if (Tokens[0] == ".v") {
+      SawVars = true;
+      for (size_t I = 1; I != Tokens.size(); ++I) {
+        if (QubitByName.count(Tokens[I])) {
+          Diags.error(Loc, "duplicate qubit '" + Tokens[I] + "'");
+          return std::nullopt;
+        }
+        QubitByName[Tokens[I]] = C.NumQubits++;
+      }
+      continue;
+    }
+    if (Tokens[0] == ".i" || Tokens[0] == ".o") {
+      // Input/output markers: validated for known names, not otherwise
+      // interpreted (the reader has no register-level layout).
+      for (size_t I = 1; I != Tokens.size(); ++I)
+        if (!LookupQubit(Tokens[I]))
+          return std::nullopt;
+      continue;
+    }
+    if (Tokens[0] == "BEGIN") {
+      if (!SawVars) {
+        Diags.error(Loc, "BEGIN before any .v declaration");
+        return std::nullopt;
+      }
+      InBody = true;
+      continue;
+    }
+    if (Tokens[0] == "END") {
+      InBody = false;
+      SawEnd = true;
+      continue;
+    }
+    if (!InBody) {
+      Diags.error(Loc, "gate line '" + Tokens[0] +
+                           "' outside a BEGIN/END block");
+      return std::nullopt;
+    }
+
+    // Gate lines: operands are qubit names, target last.
+    GateKind Kind;
+    bool Controlled = false;
+    if (Tokens[0] == "tof") {
+      Kind = GateKind::X;
+      Controlled = true;
+    } else if (Tokens[0] == "H") {
+      Kind = GateKind::H;
+    } else if (Tokens[0] == "CH") {
+      Kind = GateKind::H;
+      Controlled = true;
+    } else if (Tokens[0] == "T") {
+      Kind = GateKind::T;
+    } else if (Tokens[0] == "T*") {
+      Kind = GateKind::Tdg;
+    } else if (Tokens[0] == "S") {
+      Kind = GateKind::S;
+    } else if (Tokens[0] == "S*") {
+      Kind = GateKind::Sdg;
+    } else if (Tokens[0] == "Z") {
+      Kind = GateKind::Z;
+    } else {
+      Diags.error(Loc, "unknown gate '" + Tokens[0] + "'");
+      return std::nullopt;
+    }
+
+    if (Tokens.size() < 2) {
+      Diags.error(Loc, "gate '" + Tokens[0] + "' needs a target qubit");
+      return std::nullopt;
+    }
+    if (!Controlled && Tokens.size() != 2) {
+      Diags.error(Loc, "gate '" + Tokens[0] + "' takes exactly one qubit");
+      return std::nullopt;
+    }
+
+    std::vector<Qubit> Operands;
+    for (size_t I = 1; I != Tokens.size(); ++I) {
+      std::optional<Qubit> Q = LookupQubit(Tokens[I]);
+      if (!Q)
+        return std::nullopt;
+      Operands.push_back(*Q);
+    }
+    Qubit Target = Operands.back();
+    Operands.pop_back();
+    std::sort(Operands.begin(), Operands.end());
+    if (std::adjacent_find(Operands.begin(), Operands.end()) !=
+        Operands.end()) {
+      Diags.error(Loc, "duplicate control qubit");
+      return std::nullopt;
+    }
+    for (Qubit Q : Operands)
+      if (Q == Target) {
+        Diags.error(Loc, "gate target repeats a control qubit");
+        return std::nullopt;
+      }
+    C.add(Gate(Kind, Target, std::move(Operands)));
+  }
+
+  if (!SawVars) {
+    Diags.error(support::SourceLoc{LineNo, 1}, "missing .v declaration");
+    return std::nullopt;
+  }
+  if (!SawEnd) {
+    Diags.error(support::SourceLoc{LineNo, 1}, "missing END");
+    return std::nullopt;
+  }
+  return C;
+}
+
+} // namespace spire::circuit

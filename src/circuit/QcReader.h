@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsing of circuits in the `.qc` format of Mosca [2016] — the inverse
+/// of QcWriter. Together they allow circuits produced by this compiler
+/// (or by external tools that speak the same dialect, such as Feynman)
+/// to be re-loaded, optimized by the qopt passes, and re-emitted.
+///
+/// The accepted dialect is the subset QcWriter produces: a `.v` line
+/// naming the qubits, optional `.i`/`.o` lines (recorded but not
+/// interpreted), and a BEGIN/END block of gates spelled `tof` (X with
+/// the target last), `H`, `CH`, `T`, `T*`, `S`, `S*`, and `Z`. Unknown
+/// qubit names and malformed lines are reported through the diagnostic
+/// engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_CIRCUIT_QCREADER_H
+#define SPIRE_CIRCUIT_QCREADER_H
+
+#include "circuit/Gate.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+
+namespace spire::circuit {
+
+/// Parses `.qc` text into a circuit. Returns std::nullopt and reports
+/// diagnostics on malformed input.
+std::optional<Circuit> readQc(std::string_view Text,
+                              support::DiagnosticEngine &Diags);
+
+} // namespace spire::circuit
+
+#endif // SPIRE_CIRCUIT_QCREADER_H

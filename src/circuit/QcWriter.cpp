@@ -1,0 +1,64 @@
+#include "circuit/QcWriter.h"
+
+namespace spire::circuit {
+
+static std::string qubitName(Qubit Q) { return "q" + std::to_string(Q); }
+
+std::string writeQc(const Circuit &C, const CircuitLayout *Layout) {
+  std::string Out = ".v";
+  for (Qubit Q = 0; Q != C.NumQubits; ++Q)
+    Out += " " + qubitName(Q);
+  Out += "\n";
+
+  if (Layout) {
+    Out += ".i";
+    for (const auto &[Name, R] : Layout->Inputs)
+      for (unsigned I = 0; I != R.Width; ++I)
+        Out += " " + qubitName(R.Offset + I);
+    Out += "\n.o";
+    for (unsigned I = 0; I != Layout->Output.Width; ++I)
+      Out += " " + qubitName(Layout->Output.Offset + I);
+    Out += "\n";
+  }
+
+  Out += "\nBEGIN\n";
+  for (const Gate &G : C.Gates) {
+    std::string Line;
+    switch (G.Kind) {
+    case GateKind::X:
+      // `tof` with k operands: the last is the target (Mosca's convention,
+      // covering NOT, CNOT, Toffoli, and larger MCX uniformly).
+      Line = "tof";
+      for (Qubit Q : G.Controls)
+        Line += " " + qubitName(Q);
+      Line += " " + qubitName(G.Target);
+      break;
+    case GateKind::H:
+      Line = G.Controls.empty() ? "H" : "CH";
+      for (Qubit Q : G.Controls)
+        Line += " " + qubitName(Q);
+      Line += " " + qubitName(G.Target);
+      break;
+    case GateKind::T:
+      Line = "T " + qubitName(G.Target);
+      break;
+    case GateKind::Tdg:
+      Line = "T* " + qubitName(G.Target);
+      break;
+    case GateKind::S:
+      Line = "S " + qubitName(G.Target);
+      break;
+    case GateKind::Sdg:
+      Line = "S* " + qubitName(G.Target);
+      break;
+    case GateKind::Z:
+      Line = "Z " + qubitName(G.Target);
+      break;
+    }
+    Out += Line + "\n";
+  }
+  Out += "END\n";
+  return Out;
+}
+
+} // namespace spire::circuit

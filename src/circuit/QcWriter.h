@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emission of circuits in the `.qc` format of Mosca [2016], the output
+/// format of the Tower compiler (Section 7) and the input format of the
+/// Feynman circuit toolkit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_CIRCUIT_QCWRITER_H
+#define SPIRE_CIRCUIT_QCWRITER_H
+
+#include "circuit/Compiler.h"
+
+#include <string>
+
+namespace spire::circuit {
+
+/// Renders a circuit as `.qc` text. Qubits are named q0..qN-1; the layout,
+/// when provided, marks program inputs and the output register in the .i
+/// and .o lines.
+std::string writeQc(const Circuit &C, const CircuitLayout *Layout = nullptr);
+
+} // namespace spire::circuit
+
+#endif // SPIRE_CIRCUIT_QCWRITER_H

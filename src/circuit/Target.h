@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend target configuration.
+///
+/// The paper assumes "the bit width of integer and pointer registers is a
+/// small constant" (Section 3.2) and uses 8-bit registers in its worked
+/// example (Section 3.5); the qRAM has a fixed number of cells independent
+/// of the recursion depth, so memory operations cost O(1) gates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_CIRCUIT_TARGET_H
+#define SPIRE_CIRCUIT_TARGET_H
+
+namespace spire::circuit {
+
+struct TargetConfig {
+  /// Width in qubits of uint and pointer registers.
+  unsigned WordBits = 8;
+  /// Number of qRAM cells; addresses run 1..HeapCells so that the null
+  /// pointer (0) dereferences to a no-op.
+  unsigned HeapCells = 16;
+};
+
+} // namespace spire::circuit
+
+#endif // SPIRE_CIRCUIT_TARGET_H

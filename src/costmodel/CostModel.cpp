@@ -1,0 +1,171 @@
+#include "costmodel/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace spire::ir;
+
+namespace spire::costmodel {
+
+namespace {
+
+/// Structural signature of a primitive, including operand widths, so that
+/// profiles can be cached across the many identical statements produced
+/// by recursion inlining. If-wrapped primitives (see analyzeStmtUnder)
+/// hash their condition names through str() as well.
+std::string signatureOf(const CoreStmt &S, const TypeContext &Types,
+                        unsigned WordBits) {
+  std::string Key = S.str();
+  const CoreStmt *Prim = &S;
+  while (Prim->K == CoreStmt::Kind::If)
+    Prim = Prim->Body.front().get();
+  auto AddWidth = [&](const ast::Type *Ty) {
+    Key += "#" + std::to_string(Ty ? Types.bitWidth(Ty, WordBits) : 0);
+  };
+  AddWidth(Prim->Ty);
+  AddWidth(Prim->Ty2);
+  if (Prim->K == CoreStmt::Kind::Assign ||
+      Prim->K == CoreStmt::Kind::UnAssign) {
+    AddWidth(Prim->E.A.Ty);
+    if (Prim->E.K == CoreExpr::Kind::Pair ||
+        Prim->E.K == CoreExpr::Kind::Binary)
+      AddWidth(Prim->E.B.Ty);
+    AddWidth(Prim->E.Ty);
+  }
+  return Key;
+}
+
+/// The variables a primitive statement reads or writes.
+std::set<std::string> primitiveVars(const CoreStmt &S) {
+  std::set<std::string> Vars;
+  if (!S.Name.empty())
+    Vars.insert(S.Name);
+  if (!S.Name2.empty())
+    Vars.insert(S.Name2);
+  if (S.K == CoreStmt::Kind::Assign || S.K == CoreStmt::Kind::UnAssign)
+    S.E.collectVars(Vars);
+  return Vars;
+}
+
+} // namespace
+
+const circuit::PrimitiveProfile &
+CostModel::profileFor(const CoreStmt &S) const {
+  std::string Key = signatureOf(S, Types, Config.WordBits);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  circuit::PrimitiveProfile P =
+      circuit::profilePrimitive(S, Types, Config, CellBits);
+  return Cache.emplace(std::move(Key), std::move(P)).first->second;
+}
+
+Cost CostModel::analyzeStmtUnder(const CoreStmt &S,
+                                 std::vector<std::string> &Conds) const {
+  switch (S.K) {
+  case CoreStmt::Kind::Skip:
+    return {};
+
+  case CoreStmt::Kind::If: {
+    // C_T(if x { s }) distributes over sequencing; the added control bit
+    // is modeled by pushing the condition onto the enclosing stack.
+    Conds.push_back(S.Name);
+    Cost C = analyzeStmtsUnder(S.Body, Conds);
+    Conds.pop_back();
+    return C;
+  }
+
+  case CoreStmt::Kind::With: {
+    // with { s1 } do { s2 } expands to s1; s2; I[s1], and reversal
+    // preserves gate counts statement by statement.
+    Cost C1 = analyzeStmtsUnder(S.Body, Conds);
+    Cost C2 = analyzeStmtsUnder(S.DoBody, Conds);
+    return C1 + C1 + C2;
+  }
+
+  case CoreStmt::Kind::Assign:
+  case CoreStmt::Kind::UnAssign:
+  case CoreStmt::Kind::Swap:
+  case CoreStmt::Kind::MemSwap:
+  case CoreStmt::Kind::Hadamard: {
+    // Distinct enclosing conditions not read by the primitive each add
+    // one fresh control to every gate; conditions the primitive reads
+    // merge with the existing control on that variable's qubit, so they
+    // are accounted for by profiling an explicit if-wrapper. Nested ifs
+    // over the same variable contribute a single control (the compiler
+    // emits a deduplicated control list).
+    std::vector<std::string> Unique;
+    for (const std::string &C : Conds)
+      if (std::find(Unique.begin(), Unique.end(), C) == Unique.end())
+        Unique.push_back(C);
+
+    std::set<std::string> Read = primitiveVars(S);
+    unsigned Fresh = 0;
+    std::vector<std::string> Coinciding;
+    for (const std::string &C : Unique) {
+      if (Read.count(C))
+        Coinciding.push_back(C);
+      else
+        ++Fresh;
+    }
+
+    Cost Result;
+    if (Coinciding.empty()) {
+      const circuit::PrimitiveProfile &P = profileFor(S);
+      Result.MCX = P.totalGates();
+      Result.T = P.tComplexityUnder(Fresh);
+      return Result;
+    }
+
+    // Build if c1 { if c2 { ... S } } for the coinciding conditions and
+    // profile the whole nest so control merging is exact.
+    CoreStmtPtr Wrapped = S.clone();
+    const ast::Type *Bool = Types.boolType();
+    for (auto It = Coinciding.rbegin(); It != Coinciding.rend(); ++It) {
+      CoreStmtList Body;
+      Body.push_back(std::move(Wrapped));
+      Wrapped = CoreStmt::ifStmt(*It, std::move(Body));
+      Wrapped->Ty = Bool; // Lets the profiler allocate the condition.
+    }
+    const circuit::PrimitiveProfile &P = profileFor(*Wrapped);
+    Result.MCX = P.totalGates();
+    Result.T = P.tComplexityUnder(Fresh);
+    return Result;
+  }
+  }
+  return {};
+}
+
+Cost CostModel::analyzeStmtsUnder(const CoreStmtList &Stmts,
+                                  std::vector<std::string> &Conds) const {
+  Cost Total;
+  for (const auto &S : Stmts)
+    Total += analyzeStmtUnder(*S, Conds);
+  return Total;
+}
+
+Cost CostModel::analyzeStmt(const CoreStmt &S, unsigned Depth) const {
+  // Synthetic condition names: IR variable names never contain spaces,
+  // so these can never coincide with a variable the statement reads.
+  std::vector<std::string> Conds;
+  for (unsigned I = 0; I != Depth; ++I)
+    Conds.push_back(" cond" + std::to_string(I));
+  return analyzeStmtUnder(S, Conds);
+}
+
+Cost CostModel::analyzeStmts(const CoreStmtList &Stmts,
+                             unsigned Depth) const {
+  std::vector<std::string> Conds;
+  for (unsigned I = 0; I != Depth; ++I)
+    Conds.push_back(" cond" + std::to_string(I));
+  return analyzeStmtsUnder(Stmts, Conds);
+}
+
+Cost analyzeProgram(const CoreProgram &Program,
+                    const circuit::TargetConfig &Config) {
+  CostModel Model(Program, Config);
+  return Model.analyze(Program);
+}
+
+} // namespace spire::costmodel

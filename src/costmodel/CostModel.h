@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The T-complexity cost model of the paper's Section 5.
+///
+/// C_MCX(s) and C_T(s) are computed by structural recursion on the core
+/// IR:
+///
+///   C_MCX(skip) = 0        C_MCX(s1; s2) = C_MCX(s1) + C_MCX(s2)
+///   C_MCX(if x { s }) = C_MCX(s)          C_MCX(s) = c^MCX_s otherwise
+///
+///   C_T(skip) = 0          C_T(s1; s2) = C_T(s1) + C_T(s2)
+///   C_T(if x { s1; s2 }) = C_T(if x { s1 }) + C_T(if x { s2 })
+///   C_T(if x { H(y) }) = c^T_CH
+///   C_T(if x { y <- v }) = 0 for a value v (controlled X is CNOT)
+///   C_T(if x { s }) = c^T_ctrl * C_MCX(s) + C_T(s) otherwise
+///
+/// with c^T_ctrl = 14 and c^T_CH = 8 (Section 5). Rather than leaving the
+/// per-primitive constants c^MCX_s and c^T_s symbolic, this implementation
+/// instantiates them from the actual gate shapes the circuit backend emits
+/// (circuit::profilePrimitive), so the soundness theorems 5.1 and 5.2 hold
+/// *exactly*: analyze() equals the gate counts of the compiled and
+/// decomposed circuit, which the test suite verifies. A nesting depth is
+/// threaded through the recursion so that the per-control cost is exact at
+/// every depth (the first added control of an X costs 7, later ones 14,
+/// matching the decomposition in Figs. 5 and 6).
+///
+/// The model also exposes the paper's closed-form constants for
+/// documentation and the asymptotic analysis benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_COSTMODEL_COSTMODEL_H
+#define SPIRE_COSTMODEL_COSTMODEL_H
+
+#include "circuit/Compiler.h"
+#include "ir/Core.h"
+
+#include <cstdint>
+#include <map>
+
+namespace spire::costmodel {
+
+/// The paper's per-control T cost: two Toffoli gates of 7 T each (Figs. 5
+/// and 6) per additional control bit.
+inline constexpr int64_t CCtrl = 14;
+/// The paper's controlled-Hadamard T cost (Lee et al. 2021, Figure 17).
+inline constexpr int64_t CCH = 8;
+
+struct Cost {
+  int64_t MCX = 0; ///< Gates in the idealized arbitrarily-controlled set.
+  int64_t T = 0;   ///< T gates after Clifford+T decomposition.
+
+  Cost &operator+=(const Cost &O) {
+    MCX += O.MCX;
+    T += O.T;
+    return *this;
+  }
+  friend Cost operator+(Cost A, const Cost &B) { return A += B; }
+  friend bool operator==(const Cost &A, const Cost &B) {
+    return A.MCX == B.MCX && A.T == B.T;
+  }
+};
+
+/// Syntax-level analyzer: computes the cost of a program without building
+/// its circuit (the whole point of the model — Section 1.2: analyze the
+/// program "without compiling the program to an asymptotically large
+/// circuit"). Only individual primitive statements are profiled, and
+/// profiles are cached by shape.
+class CostModel {
+public:
+  CostModel(const ir::CoreProgram &Program,
+            const circuit::TargetConfig &Config)
+      : Types(*Program.Types), Config(Config),
+        CellBits(circuit::cellBitsFor(Program, Config)) {}
+
+  /// Cost of the whole program. Programs that allocate add one gate for
+  /// the backend's one-time ancilla preparation.
+  Cost analyze(const ir::CoreProgram &Program) const {
+    Cost C = analyzeStmts(Program.Body, 0);
+    if (Program.NumAllocCells > 0)
+      C.MCX += 1;
+    return C;
+  }
+
+  /// Cost of a statement sequence nested under `Depth` control bits that
+  /// are distinct from every variable the statements reference.
+  Cost analyzeStmts(const ir::CoreStmtList &Stmts, unsigned Depth) const;
+  Cost analyzeStmt(const ir::CoreStmt &S, unsigned Depth) const;
+
+private:
+  /// Workhorse: `Conds` is the stack of enclosing if-condition variables.
+  /// A condition the primitive itself reads merges with the operand's
+  /// control bit in the compiled circuit (a duplicated control is a
+  /// single control), so such conditions are accounted for by profiling
+  /// the primitive wrapped in the actual if-statements, rather than by
+  /// depth arithmetic; so are repeated conditions of nested ifs over the
+  /// same variable.
+  Cost analyzeStmtsUnder(const ir::CoreStmtList &Stmts,
+                         std::vector<std::string> &Conds) const;
+  Cost analyzeStmtUnder(const ir::CoreStmt &S,
+                        std::vector<std::string> &Conds) const;
+
+  const circuit::PrimitiveProfile &profileFor(const ir::CoreStmt &S) const;
+
+  const ir::TypeContext &Types;
+  circuit::TargetConfig Config;
+  unsigned CellBits;
+  /// Profile cache keyed by a structural signature of the primitive.
+  mutable std::map<std::string, circuit::PrimitiveProfile> Cache;
+};
+
+/// Convenience: analyze a program in one call.
+Cost analyzeProgram(const ir::CoreProgram &Program,
+                    const circuit::TargetConfig &Config);
+
+} // namespace spire::costmodel
+
+#endif // SPIRE_COSTMODEL_COSTMODEL_H

@@ -1,0 +1,203 @@
+#include "decompose/Decompose.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spire::circuit;
+
+namespace spire::decompose {
+
+namespace {
+
+/// Emits the AND-ladder computing the conjunction of Controls into a
+/// chain of ancillas starting at AncillaBase; returns the qubit holding
+/// the full conjunction and appends the ladder gates to Out. The caller
+/// re-emits the ladder in reverse to uncompute.
+Qubit emitAndLadder(const std::vector<Qubit> &Controls, Qubit AncillaBase,
+                    std::vector<Gate> &Out) {
+  assert(Controls.size() >= 2 && "ladder needs at least two controls");
+  Qubit Acc = AncillaBase;
+  Out.push_back(Gate(GateKind::X, Acc, {Controls[0], Controls[1]}));
+  for (size_t I = 2; I < Controls.size(); ++I) {
+    Qubit Next = AncillaBase + static_cast<Qubit>(I - 1);
+    Out.push_back(Gate(GateKind::X, Next, {Acc, Controls[I]}));
+    Acc = Next;
+  }
+  return Acc;
+}
+
+} // namespace
+
+Circuit toToffoli(const Circuit &C) {
+  // Ancilla requirement: c-2 for an X with c > 2 controls, c-1 for an H
+  // with c > 1 controls.
+  unsigned MaxAncillas = 0;
+  for (const Gate &G : C.Gates) {
+    unsigned NC = G.numControls();
+    if (G.Kind == GateKind::X && NC > 2)
+      MaxAncillas = std::max(MaxAncillas, NC - 2);
+    if (G.Kind == GateKind::H && NC > 1)
+      MaxAncillas = std::max(MaxAncillas, NC - 1);
+  }
+
+  Circuit Out;
+  Out.NumQubits = C.NumQubits + MaxAncillas;
+  Qubit AncillaBase = C.NumQubits;
+
+  for (const Gate &G : C.Gates) {
+    unsigned NC = G.numControls();
+    if (G.Kind == GateKind::X && NC > 2) {
+      // Barenco Fig. 5: ladder over all controls but the last, then a
+      // Toffoli of (ladder head, last control) onto the target.
+      std::vector<Qubit> LadderControls(G.Controls.begin(),
+                                        G.Controls.end() - 1);
+      std::vector<Gate> Ladder;
+      Qubit Head = emitAndLadder(LadderControls, AncillaBase, Ladder);
+      for (const Gate &L : Ladder)
+        Out.Gates.push_back(L);
+      Out.Gates.push_back(
+          Gate(GateKind::X, G.Target, {Head, G.Controls.back()}));
+      for (auto It = Ladder.rbegin(); It != Ladder.rend(); ++It)
+        Out.Gates.push_back(*It);
+      continue;
+    }
+    if (G.Kind == GateKind::H && NC > 1) {
+      std::vector<Gate> Ladder;
+      Qubit Head = emitAndLadder(G.Controls, AncillaBase, Ladder);
+      for (const Gate &L : Ladder)
+        Out.Gates.push_back(L);
+      Out.Gates.push_back(Gate(GateKind::H, G.Target, {Head}));
+      for (auto It = Ladder.rbegin(); It != Ladder.rend(); ++It)
+        Out.Gates.push_back(*It);
+      continue;
+    }
+    Out.Gates.push_back(G);
+  }
+  return Out;
+}
+
+Circuit toCliffordT(const Circuit &C) {
+  // Normalize to the Toffoli level first.
+  bool NeedsToffoliPass = false;
+  for (const Gate &G : C.Gates) {
+    if ((G.Kind == GateKind::X && G.numControls() > 2) ||
+        (G.Kind == GateKind::H && G.numControls() > 1)) {
+      NeedsToffoliPass = true;
+      break;
+    }
+  }
+  Circuit Staged;
+  const Circuit *InPtr = &C;
+  if (NeedsToffoliPass) {
+    Staged = toToffoli(C);
+    InPtr = &Staged;
+  }
+  const Circuit &In = *InPtr;
+
+  Circuit Out;
+  Out.NumQubits = In.NumQubits;
+
+  for (const Gate &G : In.Gates) {
+    if (G.Kind == GateKind::X && G.numControls() == 2) {
+      // Standard 7-T Toffoli (paper Fig. 6).
+      Qubit A = G.Controls[0], B = G.Controls[1], T = G.Target;
+      auto Add = [&](GateKind K, Qubit Target,
+                     std::vector<Qubit> Controls = {}) {
+        Out.Gates.push_back(Gate(K, Target, std::move(Controls)));
+      };
+      Add(GateKind::H, T);
+      Add(GateKind::X, T, {B});
+      Add(GateKind::Tdg, T);
+      Add(GateKind::X, T, {A});
+      Add(GateKind::T, T);
+      Add(GateKind::X, T, {B});
+      Add(GateKind::Tdg, T);
+      Add(GateKind::X, T, {A});
+      Add(GateKind::T, B);
+      Add(GateKind::T, T);
+      Add(GateKind::H, T);
+      Add(GateKind::X, B, {A});
+      Add(GateKind::T, A);
+      Add(GateKind::Tdg, B);
+      Add(GateKind::X, B, {A});
+      continue;
+    }
+    Out.Gates.push_back(G);
+  }
+  return Out;
+}
+
+namespace {
+
+/// Whether a gate of this kind and control count is a primitive of the
+/// Clifford+Toffoli(+CH) level.
+bool isNoAncillaBase(GateKind Kind, size_t NumControls) {
+  return Kind == GateKind::X ? NumControls <= 2 : NumControls <= 1;
+}
+
+/// Recursively expands one gate by the dirty-borrow split V W V W (see
+/// the header comment). `Kind` is X or H; `Controls`/`Target` describe
+/// the gate; every wire of the circuit outside the gate's support may be
+/// borrowed in an unknown state.
+void expandDirty(GateKind Kind, const std::vector<Qubit> &Controls,
+                 Qubit Target, unsigned NumQubits, std::vector<Gate> &Out) {
+  if (isNoAncillaBase(Kind, Controls.size())) {
+    Out.push_back(Gate(Kind, Target, Controls));
+    return;
+  }
+
+  // Borrow any wire outside the gate's support as the dirty carrier.
+  std::vector<bool> Used(NumQubits, false);
+  Used[Target] = true;
+  for (Qubit Q : Controls)
+    Used[Q] = true;
+  Qubit Aux = 0;
+  while (Aux < NumQubits && Used[Aux])
+    ++Aux;
+  assert(Aux < NumQubits && "no borrowable wire; caller adds one");
+
+  // Split the controls: V computes AND(First) onto Aux (toggling it), W
+  // applies the gate under AND(Rest) and Aux. The V W V W sequence
+  // applies the gate to the target exactly when both halves hold (an
+  // even number of applications of a self-inverse gate is the identity),
+  // and restores Aux to its unknown initial state.
+  //
+  // For X both halves must shrink, so the controls split evenly. For H
+  // the W gate must bottom out at the primitive single-controlled CH, so
+  // V takes every control (V is X-kind and terminates independently).
+  size_t Half = Kind == GateKind::H ? Controls.size()
+                                    : (Controls.size() + 1) / 2;
+  std::vector<Qubit> First(Controls.begin(), Controls.begin() + Half);
+  std::vector<Qubit> Rest(Controls.begin() + Half, Controls.end());
+  Rest.push_back(Aux);
+
+  for (int Round = 0; Round != 2; ++Round) {
+    expandDirty(GateKind::X, First, Aux, NumQubits, Out);
+    expandDirty(Kind, Rest, Target, NumQubits, Out);
+  }
+}
+
+} // namespace
+
+Circuit toToffoliNoAncilla(const Circuit &C) {
+  // A gate whose support is the whole register has nothing to borrow;
+  // only then is one extra wire added (shared by all such gates).
+  bool NeedsSpare = false;
+  for (const Gate &G : C.Gates)
+    if (!isNoAncillaBase(G.Kind, G.numControls()) &&
+        G.numControls() + 1 >= C.NumQubits)
+      NeedsSpare = true;
+
+  Circuit Out;
+  Out.NumQubits = C.NumQubits + (NeedsSpare ? 1 : 0);
+  for (const Gate &G : C.Gates) {
+    if (isNoAncillaBase(G.Kind, G.numControls())) {
+      Out.Gates.push_back(G);
+      continue;
+    }
+    expandDirty(G.Kind, G.Controls, G.Target, Out.NumQubits, Out.Gates);
+  }
+  return Out;
+}
+
+} // namespace spire::decompose

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gate-set lowering for error-corrected execution (paper Section 3.3):
+///
+///  * toToffoli: each MCX with c > 2 controls expands by the process of
+///    Barenco et al. [1995] (paper Fig. 5) into 2(c-2)+1 Toffoli gates
+///    using c-2 clean ancillas (an AND-ladder computed, used, and
+///    uncomputed). Ancillas are shared across gates.
+///  * toCliffordT: each Toffoli expands into the standard 7-T Clifford+T
+///    sequence (paper Fig. 6; Nielsen & Chuang Fig. 4.9). A singly
+///    controlled H is kept as the primitive CH of T-cost 8 (Lee et al.
+///    2021), exactly as the cost model treats it; multiply controlled H
+///    first reduces its controls through the same AND-ladder.
+///
+/// The counting rule of Section 8.1 (each MCX with c >= 2 controls is
+/// 2(c-2)+1 Toffolis of 7 T each) is realized literally by these passes,
+/// so countGates(...).TComplexity is invariant across them — a property
+/// the test suite checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_DECOMPOSE_DECOMPOSE_H
+#define SPIRE_DECOMPOSE_DECOMPOSE_H
+
+#include "circuit/Gate.h"
+
+namespace spire::decompose {
+
+/// Expands every X gate to at most 2 controls (Clifford+Toffoli level)
+/// and every H to at most 1 control. Adds shared ancilla qubits.
+circuit::Circuit toToffoli(const circuit::Circuit &C);
+
+/// Fully lowers to the Clifford+T gate set (with CH kept primitive).
+/// Accepts any input level; large MCX gates are first run through
+/// toToffoli.
+circuit::Circuit toCliffordT(const circuit::Circuit &C);
+
+/// Ancilla-free alternative to toToffoli (paper Section 9: "alternatives
+/// to Figure 5 exist that use no extra qubits but use more T gates
+/// [Barenco et al. 1995, Section 7]"). Each MCX with c > 2 controls is
+/// expanded by the recursive split Lambda_c(X) = V W V W, where V
+/// computes the conjunction of half the controls onto a *borrowed dirty*
+/// wire of the circuit and W is the remaining smaller MCX; the toggling
+/// cancels the borrowed wire's unknown state. Uses quadratically many
+/// Toffolis in c but adds no qubits (except one ancilla in the
+/// degenerate case of a gate touching every wire of the circuit).
+/// Multiply-controlled H is handled by the same split, bottoming out at
+/// the primitive CH.
+circuit::Circuit toToffoliNoAncilla(const circuit::Circuit &C);
+
+} // namespace spire::decompose
+
+#endif // SPIRE_DECOMPOSE_DECOMPOSE_H

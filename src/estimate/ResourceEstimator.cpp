@@ -1,0 +1,90 @@
+#include "estimate/ResourceEstimator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+using namespace spire::circuit;
+
+namespace spire::estimate {
+
+std::string Estimate::str() const {
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "%lld logical qubits, %lld T, %lld Clifford; spacetime "
+                "%.3g CNOT-eq (%.3g NAND-eq), %.1f%% spent on T",
+                static_cast<long long>(LogicalQubits),
+                static_cast<long long>(TCount),
+                static_cast<long long>(CliffordCount), SpacetimeCNOTs,
+                SpacetimeNANDs, TFraction * 100.0);
+  return Buffer;
+}
+
+Estimate estimateCounts(int64_t TCount, int64_t CliffordCount,
+                        int64_t LogicalQubits,
+                        const SurfaceCodeModel &Model) {
+  Estimate E;
+  E.LogicalQubits = LogicalQubits;
+  E.TCount = TCount;
+  E.CliffordCount = CliffordCount;
+  double TCost = Model.TCostFactor * static_cast<double>(TCount);
+  E.SpacetimeCNOTs = static_cast<double>(CliffordCount) + TCost;
+  E.SpacetimeNANDs = E.SpacetimeCNOTs * Model.CNOTCostInNands;
+  E.TFraction = E.SpacetimeCNOTs > 0 ? TCost / E.SpacetimeCNOTs : 0;
+  return E;
+}
+
+Estimate estimateCircuit(const Circuit &C, const SurfaceCodeModel &Model) {
+  GateCounts Counts = countGates(C);
+  // Everything that is not a T gate after full decomposition is treated
+  // as Clifford. At the MCX level, the Section 8.1 rule expands each MCX
+  // with c controls into 2(c-2)+1 Toffolis of 7 T + 9 Clifford+CNOT
+  // gates each (the Fig. 6 network has 16 gates, 7 of them T).
+  int64_t T = Counts.TComplexity;
+  int64_t Clifford = 0;
+  for (const Gate &G : C.Gates) {
+    switch (G.Kind) {
+    case GateKind::X: {
+      int64_t THere = tCostOfMCX(G.numControls());
+      Clifford += THere > 0 ? (THere / 7) * 9 : 1;
+      break;
+    }
+    case GateKind::H:
+      Clifford += 1;
+      break;
+    case GateKind::T:
+    case GateKind::Tdg:
+      break;
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::Z:
+      Clifford += 1;
+      break;
+    }
+  }
+  Estimate E = estimateCounts(T, Clifford, C.NumQubits, Model);
+  return E;
+}
+
+int64_t extrapolateSeries(int64_t StartDepth,
+                          const std::vector<int64_t> &Values,
+                          int64_t TargetDepth) {
+  support::Polynomial P = support::fitPolynomial(StartDepth, Values);
+  // Evaluate in floating point: extrapolation targets (e.g. n = 10^6)
+  // overflow exact arithmetic long before they overflow double's range,
+  // and estimation precision is dominated by the model constants anyway.
+  double X = static_cast<double>(TargetDepth);
+  double Acc = 0, Power = 1;
+  for (const support::Rational &Coeff : P.Coeffs) {
+    Acc += Power * static_cast<double>(Coeff.numerator()) /
+           static_cast<double>(Coeff.denominator());
+    Power *= X;
+  }
+  if (!(Acc < static_cast<double>(std::numeric_limits<int64_t>::max())))
+    return std::numeric_limits<int64_t>::max();
+  if (Acc < 0)
+    return 0;
+  return static_cast<int64_t>(std::llround(Acc));
+}
+
+} // namespace spire::estimate

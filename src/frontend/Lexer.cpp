@@ -1,0 +1,312 @@
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace spire::frontend {
+
+const char *tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::KwType:
+    return "'type'";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwWith:
+    return "'with'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwTest:
+    return "'test'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwAlloc:
+    return "'alloc'";
+  case TokenKind::KwUInt:
+    return "'uint'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwPtr:
+    return "'ptr'";
+  case TokenKind::KwH:
+    return "'h'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'<-'";
+  case TokenKind::UnAssign:
+    return "'->'";
+  case TokenKind::SwapArrow:
+    return "'<->'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Invalid:
+    return "invalid token";
+  }
+  return "?";
+}
+
+static const std::map<std::string, TokenKind> &keywordTable() {
+  static const std::map<std::string, TokenKind> Table = {
+      {"type", TokenKind::KwType},       {"fun", TokenKind::KwFun},
+      {"let", TokenKind::KwLet},         {"with", TokenKind::KwWith},
+      {"do", TokenKind::KwDo},           {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"return", TokenKind::KwReturn},
+      {"skip", TokenKind::KwSkip},       {"not", TokenKind::KwNot},
+      {"test", TokenKind::KwTest},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"null", TokenKind::KwNull},
+      {"default", TokenKind::KwDefault}, {"alloc", TokenKind::KwAlloc},
+      {"uint", TokenKind::KwUInt},       {"bool", TokenKind::KwBool},
+      {"ptr", TokenKind::KwPtr},         {"h", TokenKind::KwH},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string_view Source, support::DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      support::SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  Token T;
+  T.Loc = loc();
+  if (Pos >= Source.size()) {
+    T.Kind = TokenKind::EndOfFile;
+    return T;
+  }
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordTable().find(Text);
+    T.Kind = It != keywordTable().end() ? It->second : TokenKind::Identifier;
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    uint64_t Value = C - '0';
+    std::string Text(1, C);
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      char D = advance();
+      Text += D;
+      Value = Value * 10 + (D - '0');
+    }
+    T.Kind = TokenKind::Integer;
+    T.Text = std::move(Text);
+    T.IntValue = Value;
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    return T;
+  case '[':
+    T.Kind = TokenKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokenKind::RBracket;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case ';':
+    T.Kind = TokenKind::Semicolon;
+    return T;
+  case ':':
+    T.Kind = TokenKind::Colon;
+    return T;
+  case '.':
+    T.Kind = TokenKind::Dot;
+    return T;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    return T;
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case '>':
+    T.Kind = TokenKind::Greater;
+    return T;
+  case '=':
+    T.Kind = match('=') ? TokenKind::EqEq : TokenKind::Equal;
+    return T;
+  case '!':
+    if (match('=')) {
+      T.Kind = TokenKind::NotEq;
+      return T;
+    }
+    break;
+  case '&':
+    if (match('&')) {
+      T.Kind = TokenKind::AmpAmp;
+      return T;
+    }
+    break;
+  case '|':
+    if (match('|')) {
+      T.Kind = TokenKind::PipePipe;
+      return T;
+    }
+    break;
+  case '-':
+    T.Kind = match('>') ? TokenKind::UnAssign : TokenKind::Minus;
+    return T;
+  case '<':
+    if (match('-')) {
+      T.Kind = match('>') ? TokenKind::SwapArrow : TokenKind::Assign;
+      return T;
+    }
+    T.Kind = TokenKind::Less;
+    return T;
+  default:
+    break;
+  }
+
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  T.Kind = TokenKind::Invalid;
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    bool Done = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}
+
+} // namespace spire::frontend

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Tower surface language (Section 7: "the lexer
+/// and parser construct its abstract syntax tree").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_FRONTEND_LEXER_H
+#define SPIRE_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spire::frontend {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+
+  // Keywords.
+  KwType,
+  KwFun,
+  KwLet,
+  KwWith,
+  KwDo,
+  KwIf,
+  KwElse,
+  KwReturn,
+  KwSkip,
+  KwNot,
+  KwTest,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwDefault,
+  KwAlloc,
+  KwUInt,
+  KwBool,
+  KwPtr,
+  KwH,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  Assign,    // <-
+  UnAssign,  // ->
+  SwapArrow, // <->
+  Equal,     // =
+  EqEq,      // ==
+  NotEq,     // !=
+  Less,      // <
+  Greater,   // >
+  AmpAmp,    // &&
+  PipePipe,  // ||
+  Plus,
+  Minus,
+  Star,
+
+  EndOfFile,
+  Invalid,
+};
+
+/// Returns a human-readable name for a token kind, used in parse errors.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  std::string Text;
+  uint64_t IntValue = 0;
+  support::SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes an entire buffer up front. Lexical errors are reported to the
+/// DiagnosticEngine and produce an Invalid token.
+class Lexer {
+public:
+  Lexer(std::string_view Source, support::DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer, ending with an EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  support::SourceLoc loc() const { return {Line, Col}; }
+
+  std::string_view Source;
+  support::DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace spire::frontend
+
+#endif // SPIRE_FRONTEND_LEXER_H

@@ -1,0 +1,623 @@
+#include "frontend/Parser.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spire::ast;
+
+namespace spire::frontend {
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, support::DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {
+    Program.Types = std::make_shared<TypeContext>();
+  }
+
+  std::optional<ast::Program> run();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[I];
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool match(TokenKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokenKind K, const char *Context) {
+    if (match(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokenKindName(K) +
+                                " " + Context + ", found " +
+                                tokenKindName(peek().Kind));
+    Failed = true;
+    return false;
+  }
+
+  bool parseTypeDecl();
+  bool parseFunDecl();
+  const Type *parseType();
+  bool parseStmtList(StmtList &Out, bool StopAtReturn);
+  std::unique_ptr<Stmt> parseStmt();
+  std::unique_ptr<Expr> parseExpr();
+  std::unique_ptr<Expr> parseOr();
+  std::unique_ptr<Expr> parseAnd();
+  std::unique_ptr<Expr> parseCompare();
+  std::unique_ptr<Expr> parseAdditive();
+  std::unique_ptr<Expr> parseMultiplicative();
+  std::unique_ptr<Expr> parseUnary();
+  std::unique_ptr<Expr> parsePostfix();
+  std::unique_ptr<Expr> parsePrimary();
+  std::unique_ptr<SizeExpr> parseSizeExpr();
+
+  std::vector<Token> Tokens;
+  support::DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+  ast::Program Program;
+};
+
+std::optional<ast::Program> Parser::run() {
+  while (!check(TokenKind::EndOfFile) && !Failed) {
+    if (check(TokenKind::KwType)) {
+      if (!parseTypeDecl())
+        return std::nullopt;
+    } else if (check(TokenKind::KwFun)) {
+      if (!parseFunDecl())
+        return std::nullopt;
+    } else {
+      Diags.error(peek().Loc, std::string("expected 'type' or 'fun' at top "
+                                          "level, found ") +
+                                  tokenKindName(peek().Kind));
+      return std::nullopt;
+    }
+  }
+  if (Failed)
+    return std::nullopt;
+  return std::move(Program);
+}
+
+bool Parser::parseTypeDecl() {
+  expect(TokenKind::KwType, "to begin type declaration");
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected type name");
+    return false;
+  }
+  std::string Name = advance().Text;
+  if (!expect(TokenKind::Equal, "in type declaration"))
+    return false;
+  const Type *T = parseType();
+  if (!T)
+    return false;
+  if (!expect(TokenKind::Semicolon, "after type declaration"))
+    return false;
+  if (!Program.Types->declareAlias(Name, T)) {
+    Diags.error(peek().Loc, "redefinition of type '" + Name + "'");
+    return false;
+  }
+  Program.TypeDecls.emplace_back(Name, T);
+  return true;
+}
+
+const Type *Parser::parseType() {
+  TypeContext &Types = *Program.Types;
+  if (match(TokenKind::KwUInt))
+    return Types.uintType();
+  if (match(TokenKind::KwBool))
+    return Types.boolType();
+  if (match(TokenKind::KwPtr)) {
+    if (!expect(TokenKind::Less, "after 'ptr'"))
+      return nullptr;
+    const Type *Pointee = parseType();
+    if (!Pointee)
+      return nullptr;
+    if (!expect(TokenKind::Greater, "to close 'ptr<'"))
+      return nullptr;
+    return Types.ptrType(Pointee);
+  }
+  if (check(TokenKind::Identifier))
+    return Types.namedType(advance().Text);
+  if (match(TokenKind::LParen)) {
+    if (match(TokenKind::RParen))
+      return Types.unitType();
+    const Type *First = parseType();
+    if (!First)
+      return nullptr;
+    if (!expect(TokenKind::Comma, "in pair type"))
+      return nullptr;
+    const Type *Second = parseType();
+    if (!Second)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close pair type"))
+      return nullptr;
+    return Types.pairType(First, Second);
+  }
+  Diags.error(peek().Loc, std::string("expected a type, found ") +
+                              tokenKindName(peek().Kind));
+  Failed = true;
+  return nullptr;
+}
+
+bool Parser::parseFunDecl() {
+  FunDecl F;
+  F.Loc = peek().Loc;
+  expect(TokenKind::KwFun, "to begin function");
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected function name");
+    return false;
+  }
+  F.Name = advance().Text;
+  if (match(TokenKind::LBracket)) {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected size parameter name");
+      return false;
+    }
+    F.SizeParam = advance().Text;
+    if (!expect(TokenKind::RBracket, "to close size parameter"))
+      return false;
+  }
+  if (!expect(TokenKind::LParen, "to begin parameter list"))
+    return false;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(peek().Loc, "expected parameter name");
+        return false;
+      }
+      std::string PName = advance().Text;
+      if (!expect(TokenKind::Colon, "after parameter name"))
+        return false;
+      const Type *PTy = parseType();
+      if (!PTy)
+        return false;
+      F.Params.emplace_back(std::move(PName), PTy);
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "to close parameter list"))
+    return false;
+  if (match(TokenKind::UnAssign)) { // `-> type` return annotation
+    F.ReturnTy = parseType();
+    if (!F.ReturnTy)
+      return false;
+  }
+  if (!expect(TokenKind::LBrace, "to begin function body"))
+    return false;
+  if (!parseStmtList(F.Body, /*StopAtReturn=*/true))
+    return false;
+  if (!expect(TokenKind::KwReturn, "at end of function body"))
+    return false;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(peek().Loc, "expected variable name after 'return'");
+    return false;
+  }
+  F.ReturnVar = advance().Text;
+  if (!expect(TokenKind::Semicolon, "after return"))
+    return false;
+  if (!expect(TokenKind::RBrace, "to close function body"))
+    return false;
+  Program.Functions.push_back(std::move(F));
+  return true;
+}
+
+bool Parser::parseStmtList(StmtList &Out, bool StopAtReturn) {
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (StopAtReturn && check(TokenKind::KwReturn))
+      return true;
+    std::unique_ptr<Stmt> S = parseStmt();
+    if (!S)
+      return false;
+    Out.push_back(std::move(S));
+  }
+  return true;
+}
+
+std::unique_ptr<Stmt> Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+
+  if (match(TokenKind::KwSkip)) {
+    expect(TokenKind::Semicolon, "after 'skip'");
+    auto S = Stmt::skip();
+    S->Loc = Loc;
+    return S;
+  }
+
+  if (match(TokenKind::KwH)) {
+    expect(TokenKind::LParen, "after 'h'");
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected variable in h(...)");
+      Failed = true;
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    expect(TokenKind::RParen, "to close h(...)");
+    expect(TokenKind::Semicolon, "after h(...)");
+    auto S = Stmt::hadamard(std::move(Name));
+    S->Loc = Loc;
+    return S;
+  }
+
+  if (match(TokenKind::KwLet)) {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected variable name after 'let'");
+      Failed = true;
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    bool IsAssign;
+    if (match(TokenKind::Assign)) {
+      IsAssign = true;
+    } else if (match(TokenKind::UnAssign)) {
+      IsAssign = false;
+    } else {
+      Diags.error(peek().Loc, "expected '<-' or '->' in let statement");
+      Failed = true;
+      return nullptr;
+    }
+    std::unique_ptr<Expr> E = parseExpr();
+    if (!E)
+      return nullptr;
+    expect(TokenKind::Semicolon, "after let statement");
+    auto S = IsAssign ? Stmt::let(std::move(Name), std::move(E))
+                      : Stmt::unlet(std::move(Name), std::move(E));
+    S->Loc = Loc;
+    return S;
+  }
+
+  if (match(TokenKind::Star)) {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected pointer variable after '*'");
+      Failed = true;
+      return nullptr;
+    }
+    std::string Ptr = advance().Text;
+    if (!expect(TokenKind::SwapArrow, "in memory swap"))
+      return nullptr;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected variable on right of '<->'");
+      Failed = true;
+      return nullptr;
+    }
+    std::string Val = advance().Text;
+    expect(TokenKind::Semicolon, "after memory swap");
+    auto S = Stmt::memSwap(std::move(Ptr), std::move(Val));
+    S->Loc = Loc;
+    return S;
+  }
+
+  if (match(TokenKind::KwIf)) {
+    std::unique_ptr<Expr> Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    StmtList Then;
+    if (!expect(TokenKind::LBrace, "to begin if body"))
+      return nullptr;
+    if (!parseStmtList(Then, /*StopAtReturn=*/false))
+      return nullptr;
+    if (!expect(TokenKind::RBrace, "to close if body"))
+      return nullptr;
+    StmtList Else;
+    if (match(TokenKind::KwElse)) {
+      if (check(TokenKind::KwIf) || check(TokenKind::KwWith)) {
+        // `else if` / `else with ... do` chains nest as a single statement.
+        std::unique_ptr<Stmt> Nested = parseStmt();
+        if (!Nested)
+          return nullptr;
+        Else.push_back(std::move(Nested));
+      } else {
+        if (!expect(TokenKind::LBrace, "to begin else body"))
+          return nullptr;
+        if (!parseStmtList(Else, /*StopAtReturn=*/false))
+          return nullptr;
+        if (!expect(TokenKind::RBrace, "to close else body"))
+          return nullptr;
+      }
+    }
+    auto S = Stmt::ifStmt(std::move(Cond), std::move(Then), std::move(Else));
+    S->Loc = Loc;
+    return S;
+  }
+
+  if (match(TokenKind::KwWith)) {
+    StmtList WithBody, DoBody;
+    if (!expect(TokenKind::LBrace, "to begin with block"))
+      return nullptr;
+    if (!parseStmtList(WithBody, /*StopAtReturn=*/false))
+      return nullptr;
+    if (!expect(TokenKind::RBrace, "to close with block"))
+      return nullptr;
+    if (!expect(TokenKind::KwDo, "after with block"))
+      return nullptr;
+    if (check(TokenKind::KwIf) || check(TokenKind::KwWith)) {
+      // `do if ...` / `do with ...` sugar used throughout the paper
+      // (e.g. Fig. 1 line 5): the do-block is a single nested statement.
+      std::unique_ptr<Stmt> Nested = parseStmt();
+      if (!Nested)
+        return nullptr;
+      DoBody.push_back(std::move(Nested));
+    } else {
+      if (!expect(TokenKind::LBrace, "to begin do block"))
+        return nullptr;
+      if (!parseStmtList(DoBody, /*StopAtReturn=*/false))
+        return nullptr;
+      if (!expect(TokenKind::RBrace, "to close do block"))
+        return nullptr;
+    }
+    auto S = Stmt::with(std::move(WithBody), std::move(DoBody));
+    S->Loc = Loc;
+    return S;
+  }
+
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::SwapArrow)) {
+    std::string A = advance().Text;
+    advance(); // <->
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(peek().Loc, "expected variable on right of '<->'");
+      Failed = true;
+      return nullptr;
+    }
+    std::string B = advance().Text;
+    expect(TokenKind::Semicolon, "after swap");
+    auto S = Stmt::swap(std::move(A), std::move(B));
+    S->Loc = Loc;
+    return S;
+  }
+
+  Diags.error(Loc, std::string("expected a statement, found ") +
+                       tokenKindName(peek().Kind));
+  Failed = true;
+  return nullptr;
+}
+
+std::unique_ptr<Expr> Parser::parseExpr() { return parseOr(); }
+
+std::unique_ptr<Expr> Parser::parseOr() {
+  std::unique_ptr<Expr> E = parseAnd();
+  while (E && check(TokenKind::PipePipe)) {
+    advance();
+    std::unique_ptr<Expr> RHS = parseAnd();
+    if (!RHS)
+      return nullptr;
+    E = Expr::binary(BinaryOp::Or, std::move(E), std::move(RHS));
+  }
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parseAnd() {
+  std::unique_ptr<Expr> E = parseCompare();
+  while (E && check(TokenKind::AmpAmp)) {
+    advance();
+    std::unique_ptr<Expr> RHS = parseCompare();
+    if (!RHS)
+      return nullptr;
+    E = Expr::binary(BinaryOp::And, std::move(E), std::move(RHS));
+  }
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parseCompare() {
+  std::unique_ptr<Expr> E = parseAdditive();
+  if (!E)
+    return nullptr;
+  BinaryOp Op;
+  if (check(TokenKind::EqEq))
+    Op = BinaryOp::Eq;
+  else if (check(TokenKind::NotEq))
+    Op = BinaryOp::Ne;
+  else if (check(TokenKind::Less))
+    Op = BinaryOp::Lt;
+  else
+    return E;
+  advance();
+  std::unique_ptr<Expr> RHS = parseAdditive();
+  if (!RHS)
+    return nullptr;
+  return Expr::binary(Op, std::move(E), std::move(RHS));
+}
+
+std::unique_ptr<Expr> Parser::parseAdditive() {
+  std::unique_ptr<Expr> E = parseMultiplicative();
+  while (E && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    BinaryOp Op = check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    advance();
+    std::unique_ptr<Expr> RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    E = Expr::binary(Op, std::move(E), std::move(RHS));
+  }
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parseMultiplicative() {
+  std::unique_ptr<Expr> E = parseUnary();
+  while (E && check(TokenKind::Star)) {
+    advance();
+    std::unique_ptr<Expr> RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    E = Expr::binary(BinaryOp::Mul, std::move(E), std::move(RHS));
+  }
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parseUnary() {
+  if (match(TokenKind::KwNot)) {
+    std::unique_ptr<Expr> E = parseUnary();
+    if (!E)
+      return nullptr;
+    return Expr::unary(UnaryOp::Not, std::move(E));
+  }
+  if (match(TokenKind::KwTest)) {
+    std::unique_ptr<Expr> E = parseUnary();
+    if (!E)
+      return nullptr;
+    return Expr::unary(UnaryOp::Test, std::move(E));
+  }
+  return parsePostfix();
+}
+
+std::unique_ptr<Expr> Parser::parsePostfix() {
+  std::unique_ptr<Expr> E = parsePrimary();
+  while (E && check(TokenKind::Dot)) {
+    advance();
+    if (!check(TokenKind::Integer) ||
+        (peek().IntValue != 1 && peek().IntValue != 2)) {
+      Diags.error(peek().Loc, "projection index must be 1 or 2");
+      Failed = true;
+      return nullptr;
+    }
+    unsigned Idx = static_cast<unsigned>(advance().IntValue);
+    E = Expr::proj(std::move(E), Idx);
+  }
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  TypeContext &Types = *Program.Types;
+
+  if (check(TokenKind::Integer))
+    return Expr::uintLit(advance().IntValue);
+  if (match(TokenKind::KwTrue))
+    return Expr::boolLit(true);
+  if (match(TokenKind::KwFalse))
+    return Expr::boolLit(false);
+  if (match(TokenKind::KwNull))
+    return Expr::nullLit();
+
+  if (match(TokenKind::KwDefault)) {
+    if (!expect(TokenKind::Less, "after 'default'"))
+      return nullptr;
+    const Type *T = parseType();
+    if (!T)
+      return nullptr;
+    if (!expect(TokenKind::Greater, "to close 'default<'"))
+      return nullptr;
+    return Expr::defaultOf(T);
+  }
+
+  if (match(TokenKind::KwAlloc)) {
+    if (!expect(TokenKind::Less, "after 'alloc'"))
+      return nullptr;
+    const Type *T = parseType();
+    if (!T)
+      return nullptr;
+    if (!expect(TokenKind::Greater, "to close 'alloc<'"))
+      return nullptr;
+    return Expr::allocCell(T);
+  }
+
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    // Call: f[size](args) or f(args).
+    if (check(TokenKind::LBracket) || check(TokenKind::LParen)) {
+      auto Call = std::make_unique<Expr>(Expr::Kind::Call, Loc);
+      Call->Name = Name;
+      if (match(TokenKind::LBracket)) {
+        Call->SizeArg = parseSizeExpr();
+        if (!Call->SizeArg)
+          return nullptr;
+        if (!expect(TokenKind::RBracket, "to close size argument"))
+          return nullptr;
+      }
+      if (!expect(TokenKind::LParen, "to begin call arguments"))
+        return nullptr;
+      if (!check(TokenKind::RParen)) {
+        do {
+          std::unique_ptr<Expr> Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Call->Args.push_back(std::move(Arg));
+        } while (match(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "to close call arguments"))
+        return nullptr;
+      return Call;
+    }
+    return Expr::var(std::move(Name), Loc);
+  }
+
+  if (match(TokenKind::LParen)) {
+    if (match(TokenKind::RParen))
+      return Expr::unitLit();
+    std::unique_ptr<Expr> First = parseExpr();
+    if (!First)
+      return nullptr;
+    if (match(TokenKind::Comma)) {
+      std::unique_ptr<Expr> Second = parseExpr();
+      if (!Second)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "to close tuple"))
+        return nullptr;
+      return Expr::tuple(std::move(First), std::move(Second));
+    }
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return First;
+  }
+
+  (void)Types;
+  Diags.error(Loc, std::string("expected an expression, found ") +
+                       tokenKindName(peek().Kind));
+  Failed = true;
+  return nullptr;
+}
+
+std::unique_ptr<SizeExpr> Parser::parseSizeExpr() {
+  auto ParseTerm = [&]() -> std::unique_ptr<SizeExpr> {
+    if (check(TokenKind::Integer))
+      return SizeExpr::literal(static_cast<int64_t>(advance().IntValue));
+    if (check(TokenKind::Identifier))
+      return SizeExpr::param(advance().Text);
+    Diags.error(peek().Loc, "expected size literal or parameter");
+    Failed = true;
+    return nullptr;
+  };
+  std::unique_ptr<SizeExpr> E = ParseTerm();
+  while (E && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    SizeExpr::Kind K =
+        check(TokenKind::Plus) ? SizeExpr::Kind::Add : SizeExpr::Kind::Sub;
+    advance();
+    std::unique_ptr<SizeExpr> RHS = ParseTerm();
+    if (!RHS)
+      return nullptr;
+    E = SizeExpr::binary(K, std::move(E), std::move(RHS));
+  }
+  return E;
+}
+
+} // namespace
+
+std::optional<ast::Program> parseProgram(std::string_view Source,
+                                         support::DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser P(std::move(Tokens), Diags);
+  return P.run();
+}
+
+ast::Program parseProgramOrDie(std::string_view Source) {
+  support::DiagnosticEngine Diags;
+  std::optional<ast::Program> P = parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s\n", Diags.str().c_str());
+    std::abort();
+  }
+  return std::move(*P);
+}
+
+} // namespace spire::frontend

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Tower surface language.
+///
+/// Grammar (informal):
+///   program   := (typedecl | fundecl)*
+///   typedecl  := 'type' IDENT '=' type ';'
+///   fundecl   := 'fun' IDENT ('[' IDENT ']')? '(' params? ')'
+///                '{' stmt* 'return' IDENT ';' '}'
+///   stmt      := 'let' IDENT ('<-' | '->') expr ';'
+///              | IDENT '<->' IDENT ';' | '*' IDENT '<->' IDENT ';'
+///              | 'if' expr block ('else' (block | if-stmt))?
+///              | 'with' block 'do' block | 'h' '(' IDENT ')' ';' | 'skip' ';'
+///   expr      := standard precedence: || < && < (==,!=,<) < (+,-) < *
+///                < unary (not, test) < postfix (.1/.2) < primary
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_FRONTEND_PARSER_H
+#define SPIRE_FRONTEND_PARSER_H
+
+#include "ast/AST.h"
+#include "frontend/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace spire::frontend {
+
+/// Parses one Tower compilation unit. On any parse error, reports through
+/// the DiagnosticEngine and returns std::nullopt.
+std::optional<ast::Program> parseProgram(std::string_view Source,
+                                         support::DiagnosticEngine &Diags);
+
+/// Parses a program and asserts success; convenient for tests and for the
+/// embedded benchmark sources, which are known-good.
+ast::Program parseProgramOrDie(std::string_view Source);
+
+} // namespace spire::frontend
+
+#endif // SPIRE_FRONTEND_PARSER_H

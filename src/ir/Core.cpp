@@ -1,0 +1,398 @@
+#include "ir/Core.h"
+
+#include <cassert>
+
+namespace spire::ir {
+
+//===----------------------------------------------------------------------===//
+// Atom
+//===----------------------------------------------------------------------===//
+
+Atom Atom::var(std::string Name, const Type *Ty) {
+  Atom A;
+  A.K = Kind::Var;
+  A.Var = std::move(Name);
+  A.Ty = Ty;
+  return A;
+}
+
+Atom Atom::constant(uint64_t Bits, const Type *Ty) {
+  Atom A;
+  A.K = Kind::Const;
+  A.ConstBits = Bits;
+  A.Ty = Ty;
+  return A;
+}
+
+Atom Atom::allocConst(uint64_t Address, const Type *Ty) {
+  Atom A = constant(Address, Ty);
+  A.IsAllocConst = true;
+  return A;
+}
+
+std::string Atom::str() const {
+  if (isVar())
+    return Var;
+  if (Ty && Ty->isBool())
+    return ConstBits ? "true" : "false";
+  if (Ty && Ty->isPtr())
+    return ConstBits == 0 ? "null" : "ptr[" + std::to_string(ConstBits) + "]";
+  if (Ty && Ty->isUnit())
+    return "()";
+  return std::to_string(ConstBits);
+}
+
+bool operator==(const Atom &A, const Atom &B) {
+  if (A.K != B.K)
+    return false;
+  if (A.isVar())
+    return A.Var == B.Var;
+  return A.ConstBits == B.ConstBits;
+}
+
+//===----------------------------------------------------------------------===//
+// CoreExpr
+//===----------------------------------------------------------------------===//
+
+CoreExpr CoreExpr::atom(Atom A) {
+  CoreExpr E;
+  E.K = Kind::AtomE;
+  E.Ty = A.Ty;
+  E.A = std::move(A);
+  return E;
+}
+
+CoreExpr CoreExpr::pair(Atom A, Atom B, const Type *Ty) {
+  CoreExpr E;
+  E.K = Kind::Pair;
+  E.A = std::move(A);
+  E.B = std::move(B);
+  E.Ty = Ty;
+  return E;
+}
+
+CoreExpr CoreExpr::proj(Atom A, unsigned Index, const Type *Ty) {
+  assert((Index == 1 || Index == 2) && "projection index must be 1 or 2");
+  CoreExpr E;
+  E.K = Kind::Proj;
+  E.A = std::move(A);
+  E.ProjIndex = Index;
+  E.Ty = Ty;
+  return E;
+}
+
+CoreExpr CoreExpr::unary(UnaryOp Op, Atom A, const Type *Ty) {
+  CoreExpr E;
+  E.K = Kind::Unary;
+  E.UOp = Op;
+  E.A = std::move(A);
+  E.Ty = Ty;
+  return E;
+}
+
+CoreExpr CoreExpr::binary(BinaryOp Op, Atom A, Atom B, const Type *Ty) {
+  CoreExpr E;
+  E.K = Kind::Binary;
+  E.BOp = Op;
+  E.A = std::move(A);
+  E.B = std::move(B);
+  E.Ty = Ty;
+  return E;
+}
+
+void CoreExpr::collectVars(std::set<std::string> &Out) const {
+  if (A.isVar())
+    Out.insert(A.Var);
+  if ((K == Kind::Pair || K == Kind::Binary) && B.isVar())
+    Out.insert(B.Var);
+}
+
+std::string CoreExpr::str() const {
+  switch (K) {
+  case Kind::AtomE:
+    return A.str();
+  case Kind::Pair:
+    return "(" + A.str() + ", " + B.str() + ")";
+  case Kind::Proj:
+    return A.str() + "." + std::to_string(ProjIndex);
+  case Kind::Unary:
+    return std::string(ast::spelling(UOp)) + " " + A.str();
+  case Kind::Binary:
+    return A.str() + " " + ast::spelling(BOp) + " " + B.str();
+  }
+  return "?";
+}
+
+bool operator==(const CoreExpr &X, const CoreExpr &Y) {
+  if (X.K != Y.K)
+    return false;
+  switch (X.K) {
+  case CoreExpr::Kind::AtomE:
+    return X.A == Y.A;
+  case CoreExpr::Kind::Pair:
+    return X.A == Y.A && X.B == Y.B;
+  case CoreExpr::Kind::Proj:
+    return X.A == Y.A && X.ProjIndex == Y.ProjIndex;
+  case CoreExpr::Kind::Unary:
+    return X.UOp == Y.UOp && X.A == Y.A;
+  case CoreExpr::Kind::Binary:
+    return X.BOp == Y.BOp && X.A == Y.A && X.B == Y.B;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// CoreStmt
+//===----------------------------------------------------------------------===//
+
+CoreStmtPtr CoreStmt::clone() const {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = K;
+  S->Name = Name;
+  S->Name2 = Name2;
+  S->Ty = Ty;
+  S->Ty2 = Ty2;
+  S->E = E;
+  S->Body = cloneStmts(Body);
+  S->DoBody = cloneStmts(DoBody);
+  return S;
+}
+
+static std::string pad(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+std::string CoreStmt::str(unsigned Indent) const {
+  switch (K) {
+  case Kind::Skip:
+    return pad(Indent) + "skip;\n";
+  case Kind::Assign:
+    return pad(Indent) + Name + " <- " + E.str() + ";\n";
+  case Kind::UnAssign:
+    return pad(Indent) + Name + " -> " + E.str() + ";\n";
+  case Kind::If:
+    return pad(Indent) + "if " + Name + " {\n" + strStmts(Body, Indent + 1) +
+           pad(Indent) + "}\n";
+  case Kind::With:
+    return pad(Indent) + "with {\n" + strStmts(Body, Indent + 1) +
+           pad(Indent) + "} do {\n" + strStmts(DoBody, Indent + 1) +
+           pad(Indent) + "}\n";
+  case Kind::Swap:
+    return pad(Indent) + Name + " <-> " + Name2 + ";\n";
+  case Kind::MemSwap:
+    return pad(Indent) + "*" + Name + " <-> " + Name2 + ";\n";
+  case Kind::Hadamard:
+    return pad(Indent) + "H(" + Name + ");\n";
+  }
+  return pad(Indent) + "?\n";
+}
+
+CoreStmtPtr CoreStmt::skip() { return std::make_unique<CoreStmt>(); }
+
+CoreStmtPtr CoreStmt::assign(std::string X, const Type *Ty, CoreExpr E) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::Assign;
+  S->Name = std::move(X);
+  S->Ty = Ty;
+  S->E = std::move(E);
+  return S;
+}
+
+CoreStmtPtr CoreStmt::unassign(std::string X, const Type *Ty, CoreExpr E) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::UnAssign;
+  S->Name = std::move(X);
+  S->Ty = Ty;
+  S->E = std::move(E);
+  return S;
+}
+
+CoreStmtPtr CoreStmt::ifStmt(std::string CondVar, CoreStmtList Body) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::If;
+  S->Name = std::move(CondVar);
+  S->Body = std::move(Body);
+  return S;
+}
+
+CoreStmtPtr CoreStmt::with(CoreStmtList Body, CoreStmtList DoBody) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::With;
+  S->Body = std::move(Body);
+  S->DoBody = std::move(DoBody);
+  return S;
+}
+
+CoreStmtPtr CoreStmt::swap(std::string A, const Type *TyA, std::string B,
+                           const Type *TyB) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::Swap;
+  S->Name = std::move(A);
+  S->Ty = TyA;
+  S->Name2 = std::move(B);
+  S->Ty2 = TyB;
+  return S;
+}
+
+CoreStmtPtr CoreStmt::memSwap(std::string Ptr, const Type *PtrTy,
+                              std::string Val, const Type *ValTy) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::MemSwap;
+  S->Name = std::move(Ptr);
+  S->Ty = PtrTy;
+  S->Name2 = std::move(Val);
+  S->Ty2 = ValTy;
+  return S;
+}
+
+CoreStmtPtr CoreStmt::hadamard(std::string X, const Type *Ty) {
+  auto S = std::make_unique<CoreStmt>();
+  S->K = Kind::Hadamard;
+  S->Name = std::move(X);
+  S->Ty = Ty;
+  return S;
+}
+
+bool stmtEquals(const CoreStmt &A, const CoreStmt &B) {
+  if (A.K != B.K || A.Name != B.Name || A.Name2 != B.Name2)
+    return false;
+  if ((A.K == CoreStmt::Kind::Assign || A.K == CoreStmt::Kind::UnAssign) &&
+      !(A.E == B.E))
+    return false;
+  return stmtListEquals(A.Body, B.Body) && stmtListEquals(A.DoBody, B.DoBody);
+}
+
+bool stmtListEquals(const CoreStmtList &A, const CoreStmtList &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!stmtEquals(*A[I], *B[I]))
+      return false;
+  return true;
+}
+
+CoreStmtList cloneStmts(const CoreStmtList &Stmts) {
+  CoreStmtList Out;
+  Out.reserve(Stmts.size());
+  for (const auto &S : Stmts)
+    Out.push_back(S->clone());
+  return Out;
+}
+
+std::string strStmts(const CoreStmtList &Stmts, unsigned Indent) {
+  std::string Out;
+  for (const auto &S : Stmts)
+    Out += S->str(Indent);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Reversal and analyses
+//===----------------------------------------------------------------------===//
+
+CoreStmtPtr reverseStmt(const CoreStmt &S) {
+  switch (S.K) {
+  case CoreStmt::Kind::Assign:
+    return CoreStmt::unassign(S.Name, S.Ty, S.E);
+  case CoreStmt::Kind::UnAssign:
+    return CoreStmt::assign(S.Name, S.Ty, S.E);
+  case CoreStmt::Kind::If:
+    return CoreStmt::ifStmt(S.Name, reverseStmts(S.Body));
+  case CoreStmt::Kind::With:
+    // (a; b; I[a])^-1 = a; I[b]; I[a].
+    return CoreStmt::with(cloneStmts(S.Body), reverseStmts(S.DoBody));
+  case CoreStmt::Kind::Skip:
+  case CoreStmt::Kind::Swap:
+  case CoreStmt::Kind::MemSwap:
+  case CoreStmt::Kind::Hadamard:
+    return S.clone();
+  }
+  return S.clone();
+}
+
+CoreStmtList reverseStmts(const CoreStmtList &Stmts) {
+  CoreStmtList Out;
+  Out.reserve(Stmts.size());
+  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+    Out.push_back(reverseStmt(**It));
+  return Out;
+}
+
+static void modStmt(const CoreStmt &S, std::set<std::string> &Out) {
+  switch (S.K) {
+  case CoreStmt::Kind::Skip:
+    break;
+  case CoreStmt::Kind::Assign:
+  case CoreStmt::Kind::UnAssign:
+  case CoreStmt::Kind::Hadamard:
+    Out.insert(S.Name);
+    break;
+  case CoreStmt::Kind::Swap:
+    Out.insert(S.Name);
+    Out.insert(S.Name2);
+    break;
+  case CoreStmt::Kind::MemSwap:
+    Out.insert(S.Name2);
+    break;
+  case CoreStmt::Kind::If:
+    for (const auto &Sub : S.Body)
+      modStmt(*Sub, Out);
+    break;
+  case CoreStmt::Kind::With:
+    for (const auto &Sub : S.Body)
+      modStmt(*Sub, Out);
+    for (const auto &Sub : S.DoBody)
+      modStmt(*Sub, Out);
+    break;
+  }
+}
+
+std::set<std::string> modSet(const CoreStmtList &Stmts) {
+  std::set<std::string> Out;
+  for (const auto &S : Stmts)
+    modStmt(*S, Out);
+  return Out;
+}
+
+static void allVarsStmt(const CoreStmt &S, std::set<std::string> &Out) {
+  if (!S.Name.empty())
+    Out.insert(S.Name);
+  if (!S.Name2.empty())
+    Out.insert(S.Name2);
+  if (S.K == CoreStmt::Kind::Assign || S.K == CoreStmt::Kind::UnAssign)
+    S.E.collectVars(Out);
+  for (const auto &Sub : S.Body)
+    allVarsStmt(*Sub, Out);
+  for (const auto &Sub : S.DoBody)
+    allVarsStmt(*Sub, Out);
+}
+
+std::set<std::string> allVars(const CoreStmtList &Stmts) {
+  std::set<std::string> Out;
+  for (const auto &S : Stmts)
+    allVarsStmt(*S, Out);
+  return Out;
+}
+
+CoreProgram CoreProgram::clone() const {
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = Inputs;
+  P.OutputVar = OutputVar;
+  P.OutputTy = OutputTy;
+  P.Body = cloneStmts(Body);
+  P.NumAllocCells = NumAllocCells;
+  P.PointeeTypes = PointeeTypes;
+  return P;
+}
+
+std::string CoreProgram::str() const {
+  std::string Out = "program(";
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Inputs[I].first + ": " + Inputs[I].second->str();
+  }
+  Out += ") -> " + OutputVar + " {\n" + strStmts(Body, 1) + "}\n";
+  return Out;
+}
+
+} // namespace spire::ir

@@ -1,0 +1,651 @@
+#include "lowering/Lower.h"
+
+#include "ast/Reverse.h"
+#include "sema/TypeChecker.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace spire::ast;
+using namespace spire::ir;
+
+namespace spire::lowering {
+
+namespace {
+
+/// A live variable binding in the current lowering scope: the core-IR name
+/// it was renamed to, plus its type.
+struct VarBinding {
+  std::string CoreName;
+  const Type *Ty = nullptr;
+};
+
+using Scope = std::map<std::string, VarBinding>;
+
+class Lowerer {
+public:
+  Lowerer(ast::Program &Program, support::DiagnosticEngine &Diags,
+          const LowerOptions &Opts)
+      : Program(Program), Diags(Diags), Opts(Opts), Types(*Program.Types) {}
+
+  std::optional<CoreProgram> run(const std::string &Entry, int64_t SizeValue);
+
+private:
+  // Statement lowering. Returns false on error.
+  bool lowerStmts(const StmtList &Stmts, Scope &S, CoreStmtList &Out);
+  bool lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out);
+
+  // Expression flattening: produces a core expression whose operands are
+  // atoms, appending temporary computations (to be wrapped in a with-block
+  // by the caller) to Pre.
+  bool flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre, CoreExpr &Out);
+  bool atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out);
+
+  /// Inlines a call. In forward mode the callee body is spliced and
+  /// ResultName/ResultTy name the register holding the return value; when
+  /// `BoundResult` is non-null (the caller re-declares an existing
+  /// variable) the callee's return variable is pre-bound to it so the
+  /// callee XORs into the existing register. In reversed mode the
+  /// reversed body un-computes *BoundResult.
+  enum class CallMode { Forward, Reversed };
+  bool inlineCall(const Expr &Call, Scope &CallerScope, CoreStmtList &Out,
+                  CallMode Mode, const VarBinding *BoundResult,
+                  std::string &ResultName, const Type *&ResultTy);
+
+  /// Evaluates a static size expression in the current instance.
+  int64_t evalSize(const SizeExpr &E) const {
+    return E.evaluate(CurrentSizeParam, CurrentSizeValue);
+  }
+
+  /// Produces a unique core-IR name derived from a surface name.
+  std::string uniquify(const std::string &Name);
+
+  /// Encodes a value literal as a constant atom.
+  bool lowerConstant(const Expr &E, Atom &Out);
+
+  ast::Program &Program;
+  support::DiagnosticEngine &Diags;
+  const LowerOptions &Opts;
+  TypeContext &Types;
+
+  std::map<std::string, unsigned> NameCounters;
+  unsigned InlineInstances = 0;
+  unsigned AllocCells = 0;
+  std::vector<const Type *> PointeeTypes;
+
+  std::string CurrentSizeParam;
+  int64_t CurrentSizeValue = 0;
+};
+
+std::string Lowerer::uniquify(const std::string &Name) {
+  unsigned &Counter = NameCounters[Name];
+  std::string Result =
+      Counter == 0 ? Name : Name + "'" + std::to_string(Counter);
+  ++Counter;
+  // Guard against a user-written name colliding with a suffixed one.
+  while (NameCounters.count(Result) && Result != Name) {
+    Result = Name + "'" + std::to_string(NameCounters[Name]);
+    ++NameCounters[Name];
+  }
+  if (Result != Name)
+    NameCounters[Result] = 1;
+  return Result;
+}
+
+bool Lowerer::lowerConstant(const Expr &E, Atom &Out) {
+  switch (E.K) {
+  case Expr::Kind::UIntLit:
+    Out = Atom::constant(E.UIntValue, Types.uintType());
+    return true;
+  case Expr::Kind::BoolLit:
+    Out = Atom::constant(E.BoolValue ? 1 : 0, Types.boolType());
+    return true;
+  case Expr::Kind::UnitLit:
+    Out = Atom::constant(0, Types.unitType());
+    return true;
+  case Expr::Kind::NullLit:
+    assert(E.Ty && "null literal not annotated by the type checker");
+    Out = Atom::constant(0, E.Ty);
+    return true;
+  case Expr::Kind::Default:
+    Out = Atom::constant(0, E.Ty);
+    return true;
+  case Expr::Kind::AllocCell: {
+    // Static allocation: cells from the top of the heap downward (input
+    // data structures conventionally occupy low cells; see DESIGN.md).
+    if (AllocCells >= Opts.HeapCells) {
+      Diags.error(E.Loc, "static allocator exhausted the heap (" +
+                             std::to_string(Opts.HeapCells) + " cells)");
+      return false;
+    }
+    uint64_t Address = Opts.HeapCells - AllocCells;
+    ++AllocCells;
+    PointeeTypes.push_back(E.Ty);
+    Out = Atom::allocConst(Address, Types.ptrType(E.Ty));
+    return true;
+  }
+  default:
+    assert(false && "not a constant expression");
+    return false;
+  }
+}
+
+bool Lowerer::atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out) {
+  switch (E.K) {
+  case Expr::Kind::Var: {
+    auto It = S.find(E.Name);
+    if (It == S.end()) {
+      Diags.error(E.Loc, "use of undeclared variable '" + E.Name +
+                             "' during lowering");
+      return false;
+    }
+    Out = Atom::var(It->second.CoreName, It->second.Ty);
+    return true;
+  }
+  case Expr::Kind::UIntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::NullLit:
+  case Expr::Kind::Default:
+  case Expr::Kind::AllocCell:
+    return lowerConstant(E, Out);
+  case Expr::Kind::Call: {
+    std::string ResultName;
+    const Type *ResultTy = nullptr;
+    if (!inlineCall(E, S, Pre, CallMode::Forward, /*BoundResult=*/nullptr,
+                    ResultName, ResultTy))
+      return false;
+    Out = Atom::var(ResultName, ResultTy);
+    return true;
+  }
+  default: {
+    // Compound operand: compute it into a fresh temporary. The caller
+    // wraps Pre in a with-block, so the temporary is uncomputed.
+    CoreExpr Sub;
+    if (!flattenExpr(E, S, Pre, Sub))
+      return false;
+    std::string Temp = uniquify("%e");
+    Atom Var = Atom::var(Temp, Sub.Ty);
+    Pre.push_back(CoreStmt::assign(Temp, Sub.Ty, std::move(Sub)));
+    Out = std::move(Var);
+    return true;
+  }
+  }
+}
+
+bool Lowerer::flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre,
+                          CoreExpr &Out) {
+  assert(E.Ty && "expression not annotated by the type checker");
+  switch (E.K) {
+  case Expr::Kind::Var:
+  case Expr::Kind::UIntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::UnitLit:
+  case Expr::Kind::NullLit:
+  case Expr::Kind::Default:
+  case Expr::Kind::AllocCell:
+  case Expr::Kind::Call: {
+    Atom A;
+    if (!atomize(E, S, Pre, A))
+      return false;
+    Out = CoreExpr::atom(std::move(A));
+    return true;
+  }
+  case Expr::Kind::Tuple: {
+    Atom A, B;
+    if (!atomize(*E.Args[0], S, Pre, A) || !atomize(*E.Args[1], S, Pre, B))
+      return false;
+    Out = CoreExpr::pair(std::move(A), std::move(B), E.Ty);
+    return true;
+  }
+  case Expr::Kind::Proj: {
+    Atom A;
+    if (!atomize(*E.Args[0], S, Pre, A))
+      return false;
+    Out = CoreExpr::proj(std::move(A), E.ProjIndex, E.Ty);
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    Atom A;
+    if (!atomize(*E.Args[0], S, Pre, A))
+      return false;
+    Out = CoreExpr::unary(E.UOp, std::move(A), E.Ty);
+    return true;
+  }
+  case Expr::Kind::Binary: {
+    Atom A, B;
+    if (!atomize(*E.Args[0], S, Pre, A) || !atomize(*E.Args[1], S, Pre, B))
+      return false;
+    Out = CoreExpr::binary(E.BOp, std::move(A), std::move(B), E.Ty);
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Lowerer::inlineCall(const Expr &Call, Scope &CallerScope,
+                         CoreStmtList &Out, CallMode Mode,
+                         const VarBinding *BoundResult,
+                         std::string &ResultName, const Type *&ResultTy) {
+  const FunDecl *Callee = Program.findFunction(Call.Name);
+  assert(Callee && "call to unknown function survived type checking");
+  bool Reversed = Mode == CallMode::Reversed;
+  assert((!Reversed || BoundResult) && "reversed calls need a target");
+
+  if (++InlineInstances > Opts.MaxInlineInstances) {
+    Diags.error(Call.Loc, "inlining exceeded " +
+                              std::to_string(Opts.MaxInlineInstances) +
+                              " instances; is the recursion unbounded?");
+    return false;
+  }
+
+  int64_t CalleeSize = 0;
+  if (!Callee->SizeParam.empty())
+    CalleeSize = evalSize(*Call.SizeArg);
+
+  ResultTy = Call.Ty;
+  assert(ResultTy && "call expression not annotated");
+
+  // Base case: a size-indexed function at size <= 0 produces the all-zero
+  // value of its return type (Section 3.1's semantics for `length`).
+  if (!Callee->SizeParam.empty() && CalleeSize <= 0) {
+    CoreExpr Zero = CoreExpr::atom(Atom::constant(0, ResultTy));
+    if (Reversed) {
+      Out.push_back(CoreStmt::unassign(BoundResult->CoreName,
+                                       BoundResult->Ty, std::move(Zero)));
+      ResultName.clear();
+      return true;
+    }
+    if (BoundResult) {
+      // Re-declaration: XOR zero into the existing register (no gates).
+      Out.push_back(CoreStmt::assign(BoundResult->CoreName, BoundResult->Ty,
+                                     std::move(Zero)));
+      ResultName = BoundResult->CoreName;
+      ResultTy = BoundResult->Ty;
+      return true;
+    }
+    std::string Name = uniquify(Callee->Name + ".base");
+    Out.push_back(CoreStmt::assign(Name, ResultTy, std::move(Zero)));
+    ResultName = Name;
+    return true;
+  }
+
+  // Bind parameters. Variable arguments alias the caller's registers (the
+  // callee body operates on them directly); constant arguments are
+  // substituted through a with-block temporary and must not be modified
+  // by the callee body, which we verify against mod(body).
+  Scope CalleeScope;
+  std::set<std::string> CalleeMods = sema::collectModSet(Callee->Body);
+  CoreStmtList ConstPrologue;
+  for (size_t I = 0; I != Call.Args.size(); ++I) {
+    const Expr &Arg = *Call.Args[I];
+    const auto &[PName, PTy] = Callee->Params[I];
+    if (Arg.K == Expr::Kind::Var) {
+      auto It = CallerScope.find(Arg.Name);
+      if (It == CallerScope.end()) {
+        Diags.error(Arg.Loc, "argument variable '" + Arg.Name +
+                                 "' is not live at the call");
+        return false;
+      }
+      CalleeScope[PName] = It->second;
+      continue;
+    }
+    Atom C;
+    switch (Arg.K) {
+    case Expr::Kind::UIntLit:
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::UnitLit:
+    case Expr::Kind::NullLit:
+    case Expr::Kind::Default:
+    case Expr::Kind::AllocCell:
+      if (!lowerConstant(Arg, C))
+        return false;
+      break;
+    default:
+      Diags.error(Arg.Loc, "call arguments must be variables or constants "
+                           "(compound expressions are not supported)");
+      return false;
+    }
+    if (CalleeMods.count(PName)) {
+      Diags.error(Arg.Loc, "constant argument bound to parameter '" + PName +
+                               "' which the callee modifies; pass a "
+                               "variable instead");
+      return false;
+    }
+    std::string Temp = uniquify(PName);
+    VarBinding TempBinding{Temp, PTy};
+    ConstPrologue.push_back(
+        CoreStmt::assign(Temp, PTy, CoreExpr::atom(std::move(C))));
+    CalleeScope[PName] = TempBinding;
+  }
+
+  if (BoundResult) {
+    if (CalleeScope.count(Callee->ReturnVar)) {
+      Diags.error(Call.Loc, "cannot bind the result of '" + Call.Name +
+                                "': its return variable shadows a "
+                                "parameter");
+      return false;
+    }
+    CalleeScope[Callee->ReturnVar] = *BoundResult;
+  }
+
+  // Save and set the size-parameter environment for the callee instance.
+  std::string SavedParam = std::move(CurrentSizeParam);
+  int64_t SavedValue = CurrentSizeValue;
+  CurrentSizeParam = Callee->SizeParam;
+  CurrentSizeValue = CalleeSize;
+
+  StmtList BodyToLower = Reversed ? ast::reverseStmts(Callee->Body)
+                                  : ast::cloneStmts(Callee->Body);
+
+  CoreStmtList BodyOut;
+  bool OK = lowerStmts(BodyToLower, CalleeScope, BodyOut);
+
+  CurrentSizeParam = std::move(SavedParam);
+  CurrentSizeValue = SavedValue;
+  if (!OK)
+    return false;
+
+  if (!ConstPrologue.empty()) {
+    // with { consts } do { body } uncomputes the constant temporaries.
+    Out.push_back(
+        CoreStmt::with(std::move(ConstPrologue), std::move(BodyOut)));
+  } else {
+    for (auto &St : BodyOut)
+      Out.push_back(std::move(St));
+  }
+
+  if (Reversed) {
+    ResultName.clear();
+    return true;
+  }
+
+  auto RV = CalleeScope.find(Callee->ReturnVar);
+  if (RV == CalleeScope.end()) {
+    Diags.error(Callee->Loc, "return variable '" + Callee->ReturnVar +
+                                 "' is not live at the end of '" +
+                                 Callee->Name + "'");
+    return false;
+  }
+  ResultName = RV->second.CoreName;
+  ResultTy = RV->second.Ty;
+  return true;
+}
+
+bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
+  switch (St.K) {
+  case Stmt::Kind::Skip:
+    Out.push_back(CoreStmt::skip());
+    return true;
+
+  case Stmt::Kind::Let: {
+    // Direct call: splice the inlined body and alias the result variable.
+    // If the target already exists (re-declaration) the callee's return
+    // variable is pre-bound to it so writes XOR into the same register.
+    if (St.E->K == Expr::Kind::Call) {
+      auto Existing = S.find(St.Name);
+      VarBinding Bound;
+      const VarBinding *BoundPtr = nullptr;
+      if (Existing != S.end()) {
+        Bound = Existing->second;
+        BoundPtr = &Bound;
+      }
+      std::string ResultName;
+      const Type *ResultTy = nullptr;
+      if (!inlineCall(*St.E, S, Out, CallMode::Forward, BoundPtr, ResultName,
+                      ResultTy))
+        return false;
+      S[St.Name] = {ResultName, ResultTy};
+      return true;
+    }
+    CoreStmtList Pre;
+    CoreExpr RHS;
+    if (!flattenExpr(*St.E, S, Pre, RHS))
+      return false;
+    auto It = S.find(St.Name);
+    std::string CoreName;
+    if (It != S.end()) {
+      // Re-declaration: XOR into the same register (Appendix B.2).
+      CoreName = It->second.CoreName;
+    } else {
+      CoreName = uniquify(St.Name);
+      S[St.Name] = {CoreName, RHS.Ty};
+    }
+    const Type *Ty = RHS.Ty;
+    auto Assign = CoreStmt::assign(CoreName, Ty, std::move(RHS));
+    if (Pre.empty()) {
+      Out.push_back(std::move(Assign));
+    } else {
+      CoreStmtList DoBody;
+      DoBody.push_back(std::move(Assign));
+      Out.push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
+    }
+    return true;
+  }
+
+  case Stmt::Kind::UnLet: {
+    auto It = S.find(St.Name);
+    if (It == S.end()) {
+      Diags.error(St.Loc, "un-assignment of unbound variable '" + St.Name +
+                              "' during lowering");
+      return false;
+    }
+    if (St.E->K == Expr::Kind::Call) {
+      // Uncompute via the reversed inlined body, with the callee's return
+      // variable aliased to the target register.
+      VarBinding Target = It->second;
+      std::string Ignored;
+      const Type *IgnoredTy = nullptr;
+      if (!inlineCall(*St.E, S, Out, CallMode::Reversed, &Target, Ignored,
+                      IgnoredTy))
+        return false;
+      S.erase(St.Name);
+      return true;
+    }
+    CoreStmtList Pre;
+    CoreExpr RHS;
+    if (!flattenExpr(*St.E, S, Pre, RHS))
+      return false;
+    auto UnAssign =
+        CoreStmt::unassign(It->second.CoreName, It->second.Ty, std::move(RHS));
+    if (Pre.empty()) {
+      Out.push_back(std::move(UnAssign));
+    } else {
+      CoreStmtList DoBody;
+      DoBody.push_back(std::move(UnAssign));
+      Out.push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
+    }
+    S.erase(St.Name);
+    return true;
+  }
+
+  case Stmt::Kind::Swap: {
+    auto A = S.find(St.Name), B = S.find(St.Name2);
+    if (A == S.end() || B == S.end()) {
+      Diags.error(St.Loc, "swap of unbound variable during lowering");
+      return false;
+    }
+    Out.push_back(CoreStmt::swap(A->second.CoreName, A->second.Ty,
+                                 B->second.CoreName, B->second.Ty));
+    return true;
+  }
+
+  case Stmt::Kind::MemSwap: {
+    auto P = S.find(St.Name), V = S.find(St.Name2);
+    if (P == S.end() || V == S.end()) {
+      Diags.error(St.Loc, "memory swap of unbound variable during lowering");
+      return false;
+    }
+    PointeeTypes.push_back(V->second.Ty);
+    Out.push_back(CoreStmt::memSwap(P->second.CoreName, P->second.Ty,
+                                    V->second.CoreName, V->second.Ty));
+    return true;
+  }
+
+  case Stmt::Kind::Hadamard: {
+    auto X = S.find(St.Name);
+    if (X == S.end()) {
+      Diags.error(St.Loc, "h() of unbound variable during lowering");
+      return false;
+    }
+    Out.push_back(CoreStmt::hadamard(X->second.CoreName, X->second.Ty));
+    return true;
+  }
+
+  case Stmt::Kind::If: {
+    bool CondIsVar = St.E->K == Expr::Kind::Var;
+    bool HasElse = !St.ElseBody.empty();
+
+    if (CondIsVar && !HasElse) {
+      auto C = S.find(St.E->Name);
+      if (C == S.end()) {
+        Diags.error(St.Loc, "if condition variable unbound during lowering");
+        return false;
+      }
+      CoreStmtList Body;
+      if (!lowerStmts(St.Body, S, Body))
+        return false;
+      Out.push_back(CoreStmt::ifStmt(C->second.CoreName, std::move(Body)));
+      return true;
+    }
+
+    // General case (Yuan & Carbin [2022, Appendix B]):
+    //   with { c <- cond; nc <- not c } do { if c {then}; if nc {else} }
+    CoreStmtList Pre;
+    Atom CondAtom;
+    if (!atomize(*St.E, S, Pre, CondAtom))
+      return false;
+    assert(CondAtom.isVar() && "condition atom should be a variable");
+    std::string CondName = CondAtom.Var;
+
+    std::string NotName;
+    if (HasElse) {
+      NotName = uniquify("%not");
+      Pre.push_back(CoreStmt::assign(
+          NotName, Types.boolType(),
+          CoreExpr::unary(UnaryOp::Not, CondAtom, Types.boolType())));
+    }
+
+    CoreStmtList DoBody;
+    CoreStmtList Then;
+    if (!lowerStmts(St.Body, S, Then))
+      return false;
+    DoBody.push_back(CoreStmt::ifStmt(CondName, std::move(Then)));
+    if (HasElse) {
+      CoreStmtList Else;
+      if (!lowerStmts(St.ElseBody, S, Else))
+        return false;
+      DoBody.push_back(CoreStmt::ifStmt(NotName, std::move(Else)));
+    }
+
+    if (Pre.empty()) {
+      for (auto &X : DoBody)
+        Out.push_back(std::move(X));
+    } else {
+      Out.push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
+    }
+    return true;
+  }
+
+  case Stmt::Kind::With: {
+    Scope Snapshot = S;
+    CoreStmtList WithBody;
+    if (!lowerStmts(St.Body, S, WithBody))
+      return false;
+    Scope AfterWith = S;
+    CoreStmtList DoBody;
+    if (!lowerStmts(St.ElseBody, S, DoBody))
+      return false;
+    // Bindings net-created by the with-block are uncomputed by its
+    // reversal; the do-block's additions persist.
+    Scope Final = Snapshot;
+    for (const auto &[Name, B] : S) {
+      auto InWith = AfterWith.find(Name);
+      bool CreatedByWith = InWith != AfterWith.end() &&
+                           !Snapshot.count(Name) &&
+                           InWith->second.CoreName == B.CoreName;
+      if (!CreatedByWith)
+        Final[Name] = B;
+    }
+    S = std::move(Final);
+    Out.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Lowerer::lowerStmts(const StmtList &Stmts, Scope &S, CoreStmtList &Out) {
+  for (const auto &St : Stmts)
+    if (!lowerStmt(*St, S, Out))
+      return false;
+  return true;
+}
+
+std::optional<CoreProgram> Lowerer::run(const std::string &Entry,
+                                        int64_t SizeValue) {
+  sema::TypeChecker Checker(Program, Diags);
+  if (!Checker.check())
+    return std::nullopt;
+
+  const FunDecl *F = Program.findFunction(Entry);
+  if (!F) {
+    Diags.error("entry function '" + Entry + "' not found");
+    return std::nullopt;
+  }
+
+  CoreProgram Result;
+  Result.Types = Program.Types;
+
+  Scope S;
+  for (const auto &[Name, Ty] : F->Params) {
+    NameCounters[Name] = 1; // Reserve parameter names verbatim.
+    S[Name] = {Name, Ty};
+    Result.Inputs.emplace_back(Name, Ty);
+  }
+
+  CurrentSizeParam = F->SizeParam;
+  CurrentSizeValue = SizeValue;
+
+  if (!lowerStmts(F->Body, S, Result.Body))
+    return std::nullopt;
+
+  auto RV = S.find(F->ReturnVar);
+  if (RV == S.end()) {
+    Diags.error(F->Loc, "return variable '" + F->ReturnVar +
+                            "' is not live at the end of '" + Entry + "'");
+    return std::nullopt;
+  }
+  Result.OutputVar = RV->second.CoreName;
+  Result.OutputTy = RV->second.Ty;
+  Result.NumAllocCells = AllocCells;
+  Result.PointeeTypes = std::move(PointeeTypes);
+  return Result;
+}
+
+} // namespace
+
+std::optional<CoreProgram> lowerProgram(ast::Program &Program,
+                                        const std::string &Entry,
+                                        int64_t SizeValue,
+                                        support::DiagnosticEngine &Diags,
+                                        const LowerOptions &Opts) {
+  Lowerer L(Program, Diags, Opts);
+  return L.run(Entry, SizeValue);
+}
+
+CoreProgram lowerProgramOrDie(ast::Program &Program, const std::string &Entry,
+                              int64_t SizeValue, const LowerOptions &Opts) {
+  support::DiagnosticEngine Diags;
+  std::optional<CoreProgram> P =
+      lowerProgram(Program, Entry, SizeValue, Diags, Opts);
+  if (!P) {
+    std::fprintf(stderr, "lowering failed:\n%s\n", Diags.str().c_str());
+    std::abort();
+  }
+  return std::move(*P);
+}
+
+} // namespace spire::lowering

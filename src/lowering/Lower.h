@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering from the Tower surface AST to the core IR of Fig. 13.
+///
+/// This stage implements Section 4's "Derived Forms" and the compiler
+/// behavior of Section 7 ("This lowering involves inlining all function
+/// calls and translating memory allocation and derived forms to core
+/// syntax"):
+///
+///  * Function inlining. Recursive calls carry static size arguments
+///    (`length[n-1](...)`); each call is inlined with the size evaluated,
+///    bottoming out at size <= 0 where the call produces the all-zero
+///    value of its return type (Section 3.1: "returns the length of the
+///    list xs if it is less than n, or 0 otherwise").
+///  * if-else desugaring (Yuan & Carbin [2022, Appendix B]):
+///      if e { s1 } else { s2 }
+///        ~> with { c <- e; nc <- not c } do { if c {s1}; if nc {s2} }
+///  * Nested-expression flattening: compound operands are computed into
+///    temporaries inside a with-block so they are automatically
+///    uncomputed, preserving reversibility.
+///  * Memory allocation: `alloc<T>` sites are assigned distinct static
+///    heap cells from the top of the heap downward. This substitutes
+///    Tower's dynamic Boson allocator with a reversible static allocator
+///    (see DESIGN.md §2); allocation costs O(1) MCX gates, preserving the
+///    asymptotics the paper studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_LOWERING_LOWER_H
+#define SPIRE_LOWERING_LOWER_H
+
+#include "ast/AST.h"
+#include "ir/Core.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace spire::lowering {
+
+struct LowerOptions {
+  /// Number of qRAM cells the backend will instantiate; static `alloc<T>`
+  /// cells are assigned from the top of this range.
+  unsigned HeapCells = 16;
+  /// Safety bound on the number of inlined function instances.
+  unsigned MaxInlineInstances = 100000;
+};
+
+/// Type-checks `Program` (annotating expressions in place) and lowers the
+/// entry function instantiated at the given size value to core IR.
+/// `SizeValue` is ignored for functions without a size parameter.
+/// Returns std::nullopt and reports diagnostics on failure.
+std::optional<ir::CoreProgram>
+lowerProgram(ast::Program &Program, const std::string &Entry,
+             int64_t SizeValue, support::DiagnosticEngine &Diags,
+             const LowerOptions &Opts = {});
+
+/// Convenience wrapper asserting success; used by tests and benchmarks.
+ir::CoreProgram lowerProgramOrDie(ast::Program &Program,
+                                  const std::string &Entry, int64_t SizeValue,
+                                  const LowerOptions &Opts = {});
+
+} // namespace spire::lowering
+
+#endif // SPIRE_LOWERING_LOWER_H

@@ -1,0 +1,171 @@
+#include "opt/Spire.h"
+
+#include <cassert>
+
+using namespace spire::ir;
+
+namespace spire::opt {
+
+namespace {
+
+class Rewriter {
+public:
+  Rewriter(const SpireOptions &Options, NameGen &Names,
+           const TypeContext &Types)
+      : Options(Options), Names(Names), Types(Types) {}
+
+  /// Appends the rewrite of S to Out (one statement may become several
+  /// because of the if-splitting rule).
+  void rewriteStmt(const CoreStmt &S, CoreStmtList &Out) {
+    switch (S.K) {
+    case CoreStmt::Kind::If:
+      rewriteIf(S.Name, S.Body, Out);
+      return;
+    case CoreStmt::Kind::With: {
+      Out.push_back(
+          CoreStmt::with(rewriteStmts(S.Body), rewriteStmts(S.DoBody)));
+      return;
+    }
+    default:
+      Out.push_back(S.clone());
+      return;
+    }
+  }
+
+  CoreStmtList rewriteStmts(const CoreStmtList &Stmts) {
+    CoreStmtList Out;
+    for (const auto &S : Stmts)
+      rewriteStmt(*S, Out);
+    return Out;
+  }
+
+private:
+  /// Rewrites `if x { Body }` elementwise, following the paper's Fig. 22.
+  void rewriteIf(const std::string &X, const CoreStmtList &Body,
+                 CoreStmtList &Out) {
+    for (const auto &Sub : Body) {
+      switch (Sub->K) {
+      case CoreStmt::Kind::With: {
+        if (Options.ConditionalNarrowing) {
+          // if x { with { s1 } do { s2 } } ~> with { s1 } do { if x {s2} }
+          CoreStmtList Narrowed;
+          rewriteIf(X, Sub->DoBody, Narrowed);
+          Out.push_back(
+              CoreStmt::with(rewriteStmts(Sub->Body), std::move(Narrowed)));
+          continue;
+        }
+        if (Options.ConditionalFlattening) {
+          // Narrowing is off: distribute the condition through the block
+          // instead — if x { with {s1} do {s2} } becomes
+          // with { if x {s1} } do { if x {s2} }. Both sides expand to
+          // if x {s1}; if x {s2}; if x {I[s1]} (the Section 6.1
+          // if-splitting rule applied to the with-do expansion), so no
+          // control bits are saved here, but nested ifs inside the
+          // do-block become visible to flattening — which is what makes
+          // conditional flattening alone asymptotically effective
+          // (Section 8.2's 88.2% figure).
+          CoreStmtList GuardedWith, GuardedDo;
+          rewriteIf(X, Sub->Body, GuardedWith);
+          rewriteIf(X, Sub->DoBody, GuardedDo);
+          Out.push_back(CoreStmt::with(std::move(GuardedWith),
+                                       std::move(GuardedDo)));
+          continue;
+        }
+        break;
+      }
+      case CoreStmt::Kind::If: {
+        if (Options.ConditionalFlattening) {
+          // if x { if y { s } } ~> with { z <- x && y } do { if z { s } }
+          std::string Z = Names.fresh("cf");
+          const ast::Type *Bool = Types.boolType();
+          CoreStmtList WithBody;
+          WithBody.push_back(CoreStmt::assign(
+              Z, Bool,
+              CoreExpr::binary(ast::BinaryOp::And, Atom::var(X, Bool),
+                               Atom::var(Sub->Name, Bool), Bool)));
+          CoreStmtList Flattened;
+          rewriteIf(Z, Sub->Body, Flattened);
+          Out.push_back(
+              CoreStmt::with(std::move(WithBody), std::move(Flattened)));
+          continue;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+      // Fallback: keep the statement under a single-statement if, with
+      // its interior rewritten (the if-splitting rule of Section 6.1).
+      CoreStmtList Inner;
+      rewriteStmt(*Sub, Inner);
+      // rewriteStmt can fan out (splitting); wrap each piece.
+      for (auto &Piece : Inner) {
+        CoreStmtList One;
+        One.push_back(std::move(Piece));
+        Out.push_back(CoreStmt::ifStmt(X, std::move(One)));
+      }
+    }
+  }
+
+  const SpireOptions &Options;
+  NameGen &Names;
+  const TypeContext &Types;
+};
+
+/// Bottom-up with-do flattening:
+///   with { a } do { with { b } do { c } } ~> with { a; b } do { c }
+/// (both expand to a; b; c; I[b]; I[a]).
+CoreStmtPtr flattenWithDoStmt(const CoreStmt &S);
+
+CoreStmtList flattenWithDoStmts(const CoreStmtList &Stmts) {
+  CoreStmtList Out;
+  Out.reserve(Stmts.size());
+  for (const auto &S : Stmts)
+    Out.push_back(flattenWithDoStmt(*S));
+  return Out;
+}
+
+CoreStmtPtr flattenWithDoStmt(const CoreStmt &S) {
+  switch (S.K) {
+  case CoreStmt::Kind::If:
+    return CoreStmt::ifStmt(S.Name, flattenWithDoStmts(S.Body));
+  case CoreStmt::Kind::With: {
+    CoreStmtList Body = flattenWithDoStmts(S.Body);
+    CoreStmtList DoBody = flattenWithDoStmts(S.DoBody);
+    while (DoBody.size() == 1 && DoBody[0]->K == CoreStmt::Kind::With) {
+      CoreStmtPtr Inner = std::move(DoBody[0]);
+      for (auto &B : Inner->Body)
+        Body.push_back(std::move(B));
+      DoBody = std::move(Inner->DoBody);
+    }
+    return CoreStmt::with(std::move(Body), std::move(DoBody));
+  }
+  default:
+    return S.clone();
+  }
+}
+
+} // namespace
+
+CoreStmtList optimizeStmts(const CoreStmtList &Stmts,
+                           const SpireOptions &Options, NameGen &Names,
+                           const TypeContext &Types) {
+  Rewriter R(Options, Names, Types);
+  CoreStmtList Out = R.rewriteStmts(Stmts);
+  if (Options.FlattenWithDo)
+    Out = flattenWithDoStmts(Out);
+  return Out;
+}
+
+CoreProgram optimizeProgram(const CoreProgram &Program,
+                            const SpireOptions &Options) {
+  CoreProgram Out = Program.clone();
+  if (!Options.ConditionalFlattening && !Options.ConditionalNarrowing &&
+      !Options.FlattenWithDo)
+    return Out;
+  NameGen Names;
+  Out.Body = optimizeStmts(Program.Body, Options, Names, *Program.Types);
+  return Out;
+}
+
+} // namespace spire::opt

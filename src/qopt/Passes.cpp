@@ -1,0 +1,304 @@
+#include "qopt/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <random>
+#include <vector>
+
+using namespace spire::circuit;
+
+namespace spire::qopt {
+
+//===----------------------------------------------------------------------===//
+// Commutation
+//===----------------------------------------------------------------------===//
+
+static bool controlsContain(const Gate &G, Qubit Q) {
+  return std::binary_search(G.Controls.begin(), G.Controls.end(), Q);
+}
+
+bool gatesCommute(const Gate &A, const Gate &B) {
+  // Diagonal gates commute with each other unconditionally.
+  if (A.isPhase() && B.isPhase())
+    return true;
+  if (A.isPhase())
+    return A.Target != B.Target || B.isPhase();
+  if (B.isPhase())
+    return B.Target != A.Target;
+
+  if (A.Kind == GateKind::X && B.Kind == GateKind::X) {
+    // X gates commute unless the target of one is a control of the other
+    // (equal targets and shared controls are fine).
+    return !controlsContain(B, A.Target) && !controlsContain(A, B.Target);
+  }
+
+  // At least one Hadamard: require that neither gate's target is touched
+  // by the other (shared controls remain fine).
+  if (A.Target == B.Target)
+    return false;
+  return !B.touches(A.Target) && !A.touches(B.Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Adjacent-inverse cancellation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The inverse kind of a gate, when expressible as a single gate.
+GateKind inverseKind(GateKind K) {
+  switch (K) {
+  case GateKind::T:
+    return GateKind::Tdg;
+  case GateKind::Tdg:
+    return GateKind::T;
+  case GateKind::S:
+    return GateKind::Sdg;
+  case GateKind::Sdg:
+    return GateKind::S;
+  default:
+    return K; // X, H, Z are self-inverse.
+  }
+}
+
+bool isInversePair(const Gate &A, const Gate &B) {
+  return B.Kind == inverseKind(A.Kind) && A.Target == B.Target &&
+         A.Controls == B.Controls;
+}
+
+} // namespace
+
+Circuit cancelAdjacentGates(const Circuit &C, const CancelOptions &Options) {
+  std::vector<Gate> Gates = C.Gates;
+  std::vector<bool> Removed(Gates.size(), false);
+
+  for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
+    bool Changed = false;
+    for (size_t I = 0; I != Gates.size(); ++I) {
+      if (Removed[I])
+        continue;
+      unsigned Scanned = 0;
+      for (size_t J = I + 1; J != Gates.size(); ++J) {
+        if (Removed[J])
+          continue;
+        if (isInversePair(Gates[I], Gates[J])) {
+          Removed[I] = Removed[J] = true;
+          Changed = true;
+          break;
+        }
+        if (!gatesCommute(Gates[I], Gates[J]))
+          break;
+        if (++Scanned >= Options.MaxLookahead)
+          break;
+      }
+    }
+    if (!Changed)
+      break;
+    // Compact so later rounds see newly adjacent pairs.
+    std::vector<Gate> Compacted;
+    Compacted.reserve(Gates.size());
+    for (size_t I = 0; I != Gates.size(); ++I)
+      if (!Removed[I])
+        Compacted.push_back(std::move(Gates[I]));
+    Gates = std::move(Compacted);
+    Removed.assign(Gates.size(), false);
+  }
+
+  Circuit Out;
+  Out.NumQubits = C.NumQubits;
+  for (size_t I = 0; I != Gates.size(); ++I)
+    if (!Removed[I])
+      Out.Gates.push_back(std::move(Gates[I]));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase folding (rotation merging)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A wire parity: a sorted set of region variables, XOR-composed, plus a
+/// complement bit.
+struct Parity {
+  std::vector<uint32_t> Vars; // Sorted, unique.
+  bool Complemented = false;
+
+  void xorVar(uint32_t V) {
+    auto It = std::lower_bound(Vars.begin(), Vars.end(), V);
+    if (It != Vars.end() && *It == V)
+      Vars.erase(It);
+    else
+      Vars.insert(It, V);
+  }
+  void xorWith(const Parity &O) {
+    std::vector<uint32_t> Merged;
+    std::set_symmetric_difference(Vars.begin(), Vars.end(), O.Vars.begin(),
+                                  O.Vars.end(), std::back_inserter(Merged));
+    Vars = std::move(Merged);
+    Complemented ^= O.Complemented;
+  }
+};
+
+/// Phase contribution of a gate kind in units of pi/4, mod 8.
+int phaseUnits(GateKind K) {
+  switch (K) {
+  case GateKind::T:
+    return 1;
+  case GateKind::S:
+    return 2;
+  case GateKind::Z:
+    return 4;
+  case GateKind::Sdg:
+    return 6;
+  case GateKind::Tdg:
+    return 7;
+  default:
+    return 0;
+  }
+}
+
+/// Emits phase gates realizing `Units` (mod 8) of pi/4 onto a wire.
+void emitPhase(int Units, Qubit Target, std::vector<Gate> &Out) {
+  Units = ((Units % 8) + 8) % 8;
+  if (Units >= 4) {
+    Out.push_back(Gate(GateKind::Z, Target));
+    Units -= 4;
+  }
+  if (Units >= 2) {
+    Out.push_back(Gate(GateKind::S, Target));
+    Units -= 2;
+  }
+  if (Units == 1)
+    Out.push_back(Gate(GateKind::T, Target));
+}
+
+} // namespace
+
+Circuit phaseFold(const Circuit &C) {
+  std::vector<Parity> Wire(C.NumQubits);
+  uint32_t NextVar = 0;
+  for (unsigned Q = 0; Q != C.NumQubits; ++Q)
+    Wire[Q].Vars = {NextVar++};
+
+  struct Accum {
+    int Units = 0;
+    size_t FirstGate = 0; ///< Index in C.Gates of the first contribution.
+    Qubit Target = 0;
+    bool FirstComplemented = false; ///< Wire complement at the first site.
+  };
+  std::map<std::vector<uint32_t>, Accum> Phases;
+  // Non-phase gates survive; phase gates are replaced by merged emissions.
+  std::vector<bool> IsPhaseGate(C.Gates.size(), false);
+
+  for (size_t I = 0; I != C.Gates.size(); ++I) {
+    const Gate &G = C.Gates[I];
+    if (G.isPhase() && G.Controls.empty()) {
+      IsPhaseGate[I] = true;
+      Parity &P = Wire[G.Target];
+      int Units = phaseUnits(G.Kind);
+      // A phase on a complemented parity 1^p contributes a global phase
+      // plus the negated rotation on p.
+      if (P.Complemented)
+        Units = -Units;
+      auto [It, Fresh] = Phases.try_emplace(P.Vars);
+      if (Fresh) {
+        It->second.FirstGate = I;
+        It->second.Target = G.Target;
+        It->second.FirstComplemented = P.Complemented;
+      }
+      It->second.Units = (It->second.Units + Units) % 8;
+      continue;
+    }
+    switch (G.Kind) {
+    case GateKind::X:
+      if (G.Controls.empty()) {
+        Wire[G.Target].Complemented ^= true;
+      } else if (G.Controls.size() == 1) {
+        Wire[G.Target].xorWith(Wire[G.Controls[0]]);
+      } else {
+        // Toffoli or larger: non-linear; fresh variable for the target.
+        Wire[G.Target].Vars = {NextVar++};
+        Wire[G.Target].Complemented = false;
+      }
+      break;
+    case GateKind::H:
+      Wire[G.Target].Vars = {NextVar++};
+      Wire[G.Target].Complemented = false;
+      break;
+    default:
+      // Controlled phase gates (not produced by this compiler): barrier.
+      Wire[G.Target].Vars = {NextVar++};
+      Wire[G.Target].Complemented = false;
+      break;
+    }
+  }
+
+  // Re-emit: non-phase gates as-is; merged phases at their first site.
+  std::map<size_t, const Accum *> EmitAt;
+  for (const auto &[Vars, A] : Phases)
+    if (A.Units % 8 != 0)
+      EmitAt[A.FirstGate] = &A;
+
+  Circuit Out;
+  Out.NumQubits = C.NumQubits;
+  for (size_t I = 0; I != C.Gates.size(); ++I) {
+    auto It = EmitAt.find(I);
+    if (It != EmitAt.end()) {
+      // The emission site's wire holds p ^ c where c is the complement at
+      // that point; realizing k units of phase on p requires -k when the
+      // wire was complemented (up to global phase).
+      const Accum &A = *It->second;
+      emitPhase(A.FirstComplemented ? -A.Units : A.Units, A.Target,
+                Out.Gates);
+    }
+    if (!IsPhaseGate[I])
+      Out.Gates.push_back(C.Gates[I]);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Search-based rewriting (Quartz / QUESO stand-in)
+//===----------------------------------------------------------------------===//
+
+Circuit searchRewrite(const Circuit &C, const SearchOptions &Options) {
+  using Clock = std::chrono::steady_clock;
+  auto Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         Options.TimeoutSeconds));
+  std::mt19937_64 Rng(Options.Seed);
+
+  Circuit Best = C;
+  int64_t BestT = countGates(Best).TComplexity;
+  Circuit Current = C;
+
+  CancelOptions Window;
+  Window.MaxLookahead = Options.WindowSize;
+  Window.MaxRounds = 4;
+
+  while (Clock::now() < Deadline) {
+    // Local simplification.
+    Current = cancelAdjacentGates(Current, Window);
+    int64_t T = countGates(Current).TComplexity;
+    if (T < BestT) {
+      BestT = T;
+      Best = Current;
+    }
+    // Randomized commuting transposition to escape local minima.
+    if (Current.Gates.size() >= 2) {
+      for (unsigned K = 0; K != 32 && Clock::now() < Deadline; ++K) {
+        size_t I = Rng() % (Current.Gates.size() - 1);
+        if (gatesCommute(Current.Gates[I], Current.Gates[I + 1]))
+          std::swap(Current.Gates[I], Current.Gates[I + 1]);
+      }
+    }
+    if (Current.Gates.empty())
+      break;
+  }
+  return Best;
+}
+
+} // namespace spire::qopt

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Circuit-optimizer baselines standing in for the third-party optimizers
+/// of the paper's Section 8.3 (see DESIGN.md §2 for the mapping):
+///
+///  * cancelAdjacentGates — commutation-aware cancellation of adjacent
+///    inverse gate pairs. Run at the MCX/Toffoli level it captures the
+///    effect of conditional flattening (Feynman -mctExpand; paper §8.5:
+///    "Feynman -mctExpand first cancels Toffoli gates in the circuit
+///    before translating them to Clifford+T gates"); run at the
+///    Clifford+T level it is the Qiskit/Pytket-style peephole that cannot
+///    cancel the asymmetric decomposition of Fig. 17.
+///  * phaseFold — phase-polynomial rotation merging (Nam et al. 2018),
+///    the mechanism behind VOQC / Feynman -toCliffordT's intermediate
+///    results: merges T rotations applied to equal wire parities across
+///    unbounded gate ranges, cut at Hadamard gates.
+///  * searchRewrite — a bounded-window, wall-clock-limited rewrite search
+///    standing in for the Quartz/QUESO superoptimizers (Appendix G):
+///    partial improvement that plateaus, bounded only by its timeout.
+///
+/// Every pass is semantics-preserving; the test suite verifies this by
+/// simulation on random basis states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_QOPT_PASSES_H
+#define SPIRE_QOPT_PASSES_H
+
+#include "circuit/Gate.h"
+
+#include <cstdint>
+
+namespace spire::qopt {
+
+struct CancelOptions {
+  /// How far past commuting gates to search for a cancelling partner.
+  /// Small values model peephole optimizers; ~0 lookahead beyond direct
+  /// adjacency models the weakest ones. Use Unbounded for the expensive
+  /// exhaustive configuration (the QuiZX stand-in).
+  unsigned MaxLookahead = 128;
+  /// Fixpoint iteration bound.
+  unsigned MaxRounds = 64;
+
+  static CancelOptions peephole() { return {8, 8}; }
+  static CancelOptions standard() { return {128, 64}; }
+  static CancelOptions exhaustive() { return {~0u, 1024}; }
+};
+
+/// Cancels pairs of identical self-inverse gates (X-kind, H, Z) and
+/// adjacent inverse phase pairs (T/Tdg, S/Sdg) separated only by
+/// commuting gates. Works at any circuit level.
+circuit::Circuit cancelAdjacentGates(const circuit::Circuit &C,
+                                     const CancelOptions &Options);
+
+/// Rotation merging over wire parities (phase folding). Expects a
+/// Clifford+T-level circuit; multiply-controlled X gates and CH are
+/// treated as parity barriers for their targets.
+circuit::Circuit phaseFold(const circuit::Circuit &C);
+
+/// Search-based optimization under a wall-clock budget: repeated
+/// small-window cancellation, phase merging, and randomized commuting
+/// reorderings, keeping the best circuit found. Deterministic for a
+/// fixed seed up to timer granularity.
+struct SearchOptions {
+  double TimeoutSeconds = 1.0;
+  unsigned WindowSize = 16;
+  uint64_t Seed = 1;
+};
+circuit::Circuit searchRewrite(const circuit::Circuit &C,
+                               const SearchOptions &Options);
+
+/// True when gates A and B commute under the conservative syntactic rules
+/// used by the passes (exposed for testing).
+bool gatesCommute(const circuit::Gate &A, const circuit::Gate &B);
+
+} // namespace spire::qopt
+
+#endif // SPIRE_QOPT_PASSES_H

@@ -1,0 +1,502 @@
+#include "sema/TypeChecker.h"
+
+#include "ast/Reverse.h"
+
+#include <cassert>
+
+using namespace spire::ast;
+
+namespace spire::sema {
+
+void collectFreeVars(const Expr &E, std::set<std::string> &Out) {
+  if (E.K == Expr::Kind::Var)
+    Out.insert(E.Name);
+  for (const auto &A : E.Args)
+    collectFreeVars(*A, Out);
+}
+
+static void collectModStmt(const Stmt &S, std::set<std::string> &Out) {
+  switch (S.K) {
+  case Stmt::Kind::Let:
+  case Stmt::Kind::UnLet:
+    Out.insert(S.Name);
+    if (S.E->K == Expr::Kind::Call) {
+      // Conservative: an inlined callee may modify its arguments.
+      collectFreeVars(*S.E, Out);
+    }
+    break;
+  case Stmt::Kind::Swap:
+    Out.insert(S.Name);
+    Out.insert(S.Name2);
+    break;
+  case Stmt::Kind::MemSwap:
+    Out.insert(S.Name2);
+    break;
+  case Stmt::Kind::Hadamard:
+    Out.insert(S.Name);
+    break;
+  case Stmt::Kind::If:
+  case Stmt::Kind::With:
+    for (const auto &Sub : S.Body)
+      collectModStmt(*Sub, Out);
+    for (const auto &Sub : S.ElseBody)
+      collectModStmt(*Sub, Out);
+    break;
+  case Stmt::Kind::Skip:
+    break;
+  }
+}
+
+std::set<std::string> collectModSet(const StmtList &Stmts) {
+  std::set<std::string> Out;
+  for (const auto &S : Stmts)
+    collectModStmt(*S, Out);
+  return Out;
+}
+
+const TypeChecker::Binding *TypeChecker::lookup(const std::string &Name) const {
+  for (auto It = Context.rbegin(); It != Context.rend(); ++It)
+    if (It->Name == Name)
+      return &*It;
+  return nullptr;
+}
+
+bool TypeChecker::declare(const std::string &Name, const Type *Ty,
+                          support::SourceLoc Loc) {
+  if (const Binding *Existing = lookup(Name)) {
+    // Re-declaration (paper Appendix B.1, first change): allowed, but the
+    // variable reuses the original qubits, so the width must agree; we
+    // require type equality.
+    if (!Types.typesEqual(Existing->Ty, Ty)) {
+      Diags.error(Loc, "re-declaration of '" + Name + "' with type " +
+                           Ty->str() + " conflicts with existing type " +
+                           Existing->Ty->str());
+      return false;
+    }
+  }
+  Context.push_back({Name, Ty});
+  return true;
+}
+
+bool TypeChecker::undeclare(const std::string &Name, const Type *Ty,
+                            support::SourceLoc Loc) {
+  for (auto It = Context.rbegin(); It != Context.rend(); ++It) {
+    if (It->Name != Name)
+      continue;
+    if (!Types.typesEqual(It->Ty, Ty)) {
+      Diags.error(Loc, "un-assignment of '" + Name + "' at type " +
+                           Ty->str() + " conflicts with declared type " +
+                           It->Ty->str());
+      return false;
+    }
+    Context.erase(std::next(It).base());
+    return true;
+  }
+  Diags.error(Loc, "un-assignment of undeclared variable '" + Name + "'");
+  return false;
+}
+
+std::set<std::string> TypeChecker::domain() const {
+  std::set<std::string> Dom;
+  for (const Binding &B : Context)
+    Dom.insert(B.Name);
+  return Dom;
+}
+
+bool TypeChecker::check() {
+  bool OK = true;
+  for (FunDecl &F : Program.Functions)
+    OK = checkFunction(F) && OK;
+  return OK;
+}
+
+bool TypeChecker::checkFunction(FunDecl &F) {
+  Context.clear();
+  CurrentFunction = &F;
+  AssumedSelfReturn = nullptr;
+  for (const auto &[Name, Ty] : F.Params)
+    Context.push_back({Name, Ty});
+
+  // A declared return type makes recursive calls typeable even when they
+  // bind fresh variables.
+  if (F.ReturnTy)
+    ReturnTypes[F.Name] = F.ReturnTy;
+
+  if (!checkStmts(F.Body))
+    return false;
+
+  const Binding *Ret = lookup(F.ReturnVar);
+  if (!Ret) {
+    Diags.error(F.Loc, "function '" + F.Name + "' returns undeclared "
+                       "variable '" + F.ReturnVar + "'");
+    return false;
+  }
+  if (AssumedSelfReturn && !Types.typesEqual(AssumedSelfReturn, Ret->Ty)) {
+    Diags.error(F.Loc, "recursive calls to '" + F.Name + "' were assumed to "
+                       "return " + AssumedSelfReturn->str() +
+                       " but the function returns " + Ret->Ty->str());
+    return false;
+  }
+  if (F.ReturnTy && !Types.typesEqual(F.ReturnTy, Ret->Ty)) {
+    Diags.error(F.Loc, "function '" + F.Name + "' declares return type " +
+                       F.ReturnTy->str() + " but returns " + Ret->Ty->str());
+    return false;
+  }
+  ReturnTypes[F.Name] = Ret->Ty;
+  return true;
+}
+
+bool TypeChecker::checkStmts(StmtList &Stmts) {
+  for (auto &S : Stmts)
+    if (!checkStmt(*S))
+      return false;
+  return true;
+}
+
+bool TypeChecker::checkStmt(Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Skip:
+    return true;
+
+  case Stmt::Kind::Let: {
+    const Binding *Existing = lookup(S.Name);
+    const Type *Ty = checkExpr(*S.E, Existing ? Existing->Ty : nullptr);
+    if (!Ty)
+      return false;
+    return declare(S.Name, Ty, S.Loc);
+  }
+
+  case Stmt::Kind::UnLet: {
+    const Binding *Existing = lookup(S.Name);
+    if (!Existing) {
+      Diags.error(S.Loc, "un-assignment of undeclared variable '" + S.Name +
+                             "'");
+      return false;
+    }
+    const Type *Ty = checkExpr(*S.E, Existing->Ty);
+    if (!Ty)
+      return false;
+    return undeclare(S.Name, Ty, S.Loc);
+  }
+
+  case Stmt::Kind::Swap: {
+    const Binding *A = lookup(S.Name);
+    const Binding *B = lookup(S.Name2);
+    if (!A || !B) {
+      Diags.error(S.Loc, "swap of undeclared variable '" +
+                             (A ? S.Name2 : S.Name) + "'");
+      return false;
+    }
+    if (!Types.typesEqual(A->Ty, B->Ty)) {
+      Diags.error(S.Loc, "swap between mismatched types " + A->Ty->str() +
+                             " and " + B->Ty->str());
+      return false;
+    }
+    return true;
+  }
+
+  case Stmt::Kind::MemSwap: {
+    const Binding *P = lookup(S.Name);
+    const Binding *V = lookup(S.Name2);
+    if (!P || !V) {
+      Diags.error(S.Loc, "memory swap of undeclared variable '" +
+                             (P ? S.Name2 : S.Name) + "'");
+      return false;
+    }
+    const Type *PTy = Types.resolveTopLevel(P->Ty);
+    if (!PTy->isPtr()) {
+      Diags.error(S.Loc, "left side of '*x <-> y' must be a pointer, got " +
+                             P->Ty->str());
+      return false;
+    }
+    if (!Types.typesEqual(PTy->pointee(), V->Ty)) {
+      Diags.error(S.Loc, "memory swap stores " + V->Ty->str() +
+                             " through pointer to " + PTy->pointee()->str());
+      return false;
+    }
+    return true;
+  }
+
+  case Stmt::Kind::Hadamard: {
+    const Binding *X = lookup(S.Name);
+    if (!X) {
+      Diags.error(S.Loc, "h() of undeclared variable '" + S.Name + "'");
+      return false;
+    }
+    if (!Types.resolveTopLevel(X->Ty)->isBool()) {
+      Diags.error(S.Loc, "h() requires a bool variable, got " +
+                             X->Ty->str());
+      return false;
+    }
+    return true;
+  }
+
+  case Stmt::Kind::If: {
+    const Type *CondTy = checkExpr(*S.E);
+    if (!CondTy)
+      return false;
+    if (!Types.resolveTopLevel(CondTy)->isBool()) {
+      Diags.error(S.Loc, "if condition must be bool, got " + CondTy->str());
+      return false;
+    }
+    // S-If side condition: free variables of the condition may not be
+    // modified by either branch.
+    std::set<std::string> Free;
+    collectFreeVars(*S.E, Free);
+    std::set<std::string> Mod = collectModSet(S.Body);
+    for (const std::string &M : collectModSet(S.ElseBody))
+      Mod.insert(M);
+    for (const std::string &Name : Free) {
+      if (Mod.count(Name)) {
+        Diags.error(S.Loc, "if condition variable '" + Name +
+                               "' is modified inside the conditional body");
+        return false;
+      }
+    }
+    // S-If side condition: dom G is preserved (branches may add bindings
+    // but may not consume outer ones).
+    std::set<std::string> Before = domain();
+    if (!checkStmts(S.Body))
+      return false;
+    // The else branch type-checks in the context left by the then branch,
+    // matching the sequential desugaring if x { s1 }; if !x { s2 }.
+    if (!checkStmts(S.ElseBody))
+      return false;
+    std::set<std::string> After = domain();
+    for (const std::string &Name : Before) {
+      if (!After.count(Name)) {
+        Diags.error(S.Loc, "conditional body consumes outer variable '" +
+                               Name + "'");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  case Stmt::Kind::With: {
+    // with { s1 } do { s2 } expands to s1; s2; I[s1]; check exactly that.
+    if (!checkStmts(S.Body))
+      return false;
+    if (!checkStmts(S.ElseBody))
+      return false;
+    StmtList Reversed = reverseStmts(S.Body);
+    if (!checkStmts(Reversed))
+      return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+const Type *TypeChecker::checkExpr(Expr &E, const Type *Expected) {
+  auto Annotate = [&](const Type *Ty) -> const Type * {
+    E.Ty = Ty;
+    return Ty;
+  };
+
+  switch (E.K) {
+  case Expr::Kind::Var: {
+    const Binding *B = lookup(E.Name);
+    if (!B) {
+      Diags.error(E.Loc, "use of undeclared variable '" + E.Name + "'");
+      return nullptr;
+    }
+    return Annotate(B->Ty);
+  }
+  case Expr::Kind::UIntLit:
+    return Annotate(Types.uintType());
+  case Expr::Kind::BoolLit:
+    return Annotate(Types.boolType());
+  case Expr::Kind::UnitLit:
+    return Annotate(Types.unitType());
+  case Expr::Kind::NullLit: {
+    if (E.Ty)
+      return E.Ty;
+    if (Expected && Types.resolveTopLevel(Expected)->isPtr())
+      return Annotate(Expected);
+    Diags.error(E.Loc, "cannot infer the pointer type of 'null' here");
+    return nullptr;
+  }
+  case Expr::Kind::Default:
+    return Annotate(E.Ty);
+  case Expr::Kind::AllocCell:
+    return Annotate(Types.ptrType(E.Ty));
+  case Expr::Kind::Tuple: {
+    const Type *A = checkExpr(*E.Args[0]);
+    if (!A)
+      return nullptr;
+    const Type *B = checkExpr(*E.Args[1]);
+    if (!B)
+      return nullptr;
+    return Annotate(Types.pairType(A, B));
+  }
+  case Expr::Kind::Proj: {
+    const Type *BaseTy = checkExpr(*E.Args[0]);
+    if (!BaseTy)
+      return nullptr;
+    const Type *R = Types.resolveTopLevel(BaseTy);
+    if (!R->isPair()) {
+      Diags.error(E.Loc, "projection from non-pair type " + BaseTy->str());
+      return nullptr;
+    }
+    return Annotate(E.ProjIndex == 1 ? R->first() : R->second());
+  }
+  case Expr::Kind::Unary: {
+    const Type *A = checkExpr(*E.Args[0]);
+    if (!A)
+      return nullptr;
+    const Type *R = Types.resolveTopLevel(A);
+    if (E.UOp == UnaryOp::Not) {
+      if (!R->isBool()) {
+        Diags.error(E.Loc, "'not' requires bool, got " + A->str());
+        return nullptr;
+      }
+      return Annotate(Types.boolType());
+    }
+    // TE-Test: uint or pointer operand.
+    if (!R->isUInt() && !R->isPtr()) {
+      Diags.error(E.Loc, "'test' requires uint or pointer, got " + A->str());
+      return nullptr;
+    }
+    return Annotate(Types.boolType());
+  }
+  case Expr::Kind::Binary: {
+    switch (E.BOp) {
+    case BinaryOp::And:
+    case BinaryOp::Or: {
+      const Type *A = checkExpr(*E.Args[0]);
+      const Type *B = A ? checkExpr(*E.Args[1]) : nullptr;
+      if (!A || !B)
+        return nullptr;
+      if (!Types.resolveTopLevel(A)->isBool() ||
+          !Types.resolveTopLevel(B)->isBool()) {
+        Diags.error(E.Loc, "logical operator requires bool operands");
+        return nullptr;
+      }
+      return Annotate(Types.boolType());
+    }
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul: {
+      const Type *A = checkExpr(*E.Args[0]);
+      const Type *B = A ? checkExpr(*E.Args[1]) : nullptr;
+      if (!A || !B)
+        return nullptr;
+      if (!Types.resolveTopLevel(A)->isUInt() ||
+          !Types.resolveTopLevel(B)->isUInt()) {
+        Diags.error(E.Loc, "arithmetic requires uint operands");
+        return nullptr;
+      }
+      return Annotate(Types.uintType());
+    }
+    case BinaryOp::Lt: {
+      const Type *A = checkExpr(*E.Args[0]);
+      const Type *B = A ? checkExpr(*E.Args[1]) : nullptr;
+      if (!A || !B)
+        return nullptr;
+      if (!Types.resolveTopLevel(A)->isUInt() ||
+          !Types.resolveTopLevel(B)->isUInt()) {
+        Diags.error(E.Loc, "comparison requires uint operands");
+        return nullptr;
+      }
+      return Annotate(Types.boolType());
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      // Check the non-null side first so an unannotated null can take its
+      // type from the other operand.
+      Expr &L = *E.Args[0];
+      Expr &R = *E.Args[1];
+      const Type *A, *B;
+      if (L.K == Expr::Kind::NullLit && R.K != Expr::Kind::NullLit) {
+        B = checkExpr(R);
+        A = B ? checkExpr(L, B) : nullptr;
+      } else {
+        A = checkExpr(L);
+        B = A ? checkExpr(R, A) : nullptr;
+      }
+      if (!A || !B)
+        return nullptr;
+      const Type *RA = Types.resolveTopLevel(A);
+      if (!Types.typesEqual(A, B)) {
+        Diags.error(E.Loc, "equality between mismatched types " + A->str() +
+                               " and " + B->str());
+        return nullptr;
+      }
+      if (!RA->isUInt() && !RA->isPtr() && !RA->isBool()) {
+        Diags.error(E.Loc, "equality requires uint, bool, or pointer "
+                           "operands");
+        return nullptr;
+      }
+      return Annotate(Types.boolType());
+    }
+    }
+    return nullptr;
+  }
+  case Expr::Kind::Call: {
+    const FunDecl *Callee = Program.findFunction(E.Name);
+    if (!Callee) {
+      Diags.error(E.Loc, "call to undefined function '" + E.Name + "'");
+      return nullptr;
+    }
+    if (Callee->SizeParam.empty() != (E.SizeArg == nullptr)) {
+      Diags.error(E.Loc, E.SizeArg
+                             ? "function '" + E.Name +
+                                   "' takes no size argument"
+                             : "function '" + E.Name +
+                                   "' requires a size argument");
+      return nullptr;
+    }
+    if (E.Args.size() != Callee->Params.size()) {
+      Diags.error(E.Loc, "call to '" + E.Name + "' with " +
+                             std::to_string(E.Args.size()) +
+                             " arguments; expected " +
+                             std::to_string(Callee->Params.size()));
+      return nullptr;
+    }
+    for (size_t I = 0; I != E.Args.size(); ++I) {
+      const Type *ArgTy = checkExpr(*E.Args[I], Callee->Params[I].second);
+      if (!ArgTy)
+        return nullptr;
+      if (!Types.typesEqual(ArgTy, Callee->Params[I].second)) {
+        Diags.error(E.Loc, "argument " + std::to_string(I + 1) + " of '" +
+                               E.Name + "' has type " + ArgTy->str() +
+                               "; expected " +
+                               Callee->Params[I].second->str());
+        return nullptr;
+      }
+    }
+    // Return type: known for previously checked functions; for recursive
+    // self-calls, adopt the expected type and verify at function end.
+    auto It = ReturnTypes.find(E.Name);
+    if (It != ReturnTypes.end())
+      return Annotate(It->second);
+    if (CurrentFunction && E.Name == CurrentFunction->Name) {
+      if (!Expected) {
+        Diags.error(E.Loc, "cannot infer the return type of recursive call "
+                           "to '" + E.Name + "'");
+        return nullptr;
+      }
+      if (AssumedSelfReturn &&
+          !Types.typesEqual(AssumedSelfReturn, Expected)) {
+        Diags.error(E.Loc, "inconsistent assumed return types for "
+                           "recursive calls to '" + E.Name + "'");
+        return nullptr;
+      }
+      AssumedSelfReturn = Expected;
+      return Annotate(Expected);
+    }
+    Diags.error(E.Loc, "function '" + E.Name +
+                           "' must be defined before it is called");
+    return nullptr;
+  }
+  }
+  return nullptr;
+}
+
+bool typeCheck(Program &Prog, support::DiagnosticEngine &Diags) {
+  TypeChecker Checker(Prog, Diags);
+  return Checker.check();
+}
+
+} // namespace spire::sema

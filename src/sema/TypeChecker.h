@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checker for Tower surface programs, implementing the typing rules of
+/// the paper's Appendix B.1 (Figs. 18-20), including the two extensions the
+/// paper makes to Yuan & Carbin [2022]: re-declaration of a variable in the
+/// same scope (S-Assign with an existing binding) and the H(x) rule
+/// (S-Hadamard). Also enforces the S-If side conditions: the condition is
+/// boolean, its free variables are disjoint from mod(s), and dom G is
+/// preserved across the body.
+///
+/// On success the checker annotates every expression node's `Ty` field with
+/// its inferred type (used by the lowering stage) and records the return
+/// type of every function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SEMA_TYPECHECKER_H
+#define SPIRE_SEMA_TYPECHECKER_H
+
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace spire::sema {
+
+/// Collects the names a statement sequence may modify, following mod(s)
+/// from Fig. 20 (extended conservatively to surface constructs: a call
+/// counts its bound variable and all argument variables as modified).
+std::set<std::string> collectModSet(const ast::StmtList &Stmts);
+
+/// Collects the free variable names of an expression.
+void collectFreeVars(const ast::Expr &E, std::set<std::string> &Out);
+
+/// Checks a whole program. Returns true on success. Expression nodes are
+/// annotated in place.
+class TypeChecker {
+public:
+  TypeChecker(ast::Program &Program, support::DiagnosticEngine &Diags)
+      : Program(Program), Diags(Diags), Types(*Program.Types) {}
+
+  bool check();
+
+  /// Return type of a checked function.
+  const ast::Type *returnTypeOf(const std::string &Name) const {
+    auto It = ReturnTypes.find(Name);
+    return It == ReturnTypes.end() ? nullptr : It->second;
+  }
+
+private:
+  struct Binding {
+    std::string Name;
+    const ast::Type *Ty;
+  };
+
+  bool checkFunction(ast::FunDecl &F);
+  bool checkStmts(ast::StmtList &Stmts);
+  bool checkStmt(ast::Stmt &S);
+  /// Checks an expression, optionally against an expected type used to
+  /// resolve unannotated `null` literals and recursive call results.
+  const ast::Type *checkExpr(ast::Expr &E,
+                             const ast::Type *Expected = nullptr);
+
+  const Binding *lookup(const std::string &Name) const;
+  bool declare(const std::string &Name, const ast::Type *Ty,
+               support::SourceLoc Loc);
+  bool undeclare(const std::string &Name, const ast::Type *Ty,
+                 support::SourceLoc Loc);
+  std::set<std::string> domain() const;
+
+  ast::Program &Program;
+  support::DiagnosticEngine &Diags;
+  ast::TypeContext &Types;
+  std::vector<Binding> Context;
+  std::map<std::string, const ast::Type *> ReturnTypes;
+  const ast::FunDecl *CurrentFunction = nullptr;
+  const ast::Type *AssumedSelfReturn = nullptr;
+};
+
+/// Convenience: parse-and-check entry point used by tests.
+bool typeCheck(ast::Program &Program, support::DiagnosticEngine &Diags);
+
+} // namespace spire::sema
+
+#endif // SPIRE_SEMA_TYPECHECKER_H

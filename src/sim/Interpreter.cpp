@@ -1,0 +1,222 @@
+#include "sim/Interpreter.h"
+
+#include <cassert>
+
+using namespace spire::ir;
+
+namespace spire::sim {
+
+std::string MachineState::str() const {
+  std::string Out = "regs {";
+  for (const auto &[Name, Value] : Regs)
+    Out += " " + Name + "=" + std::to_string(Value);
+  Out += " } mem {";
+  for (size_t A = 1; A < Mem.size(); ++A)
+    Out += " [" + std::to_string(A) + "]=" + std::to_string(Mem[A]);
+  Out += " }";
+  return Out;
+}
+
+uint64_t Interpreter::maskOf(const ast::Type *Ty) const {
+  unsigned W = widthOf(Ty);
+  assert(W <= 64 && "values wider than 64 bits are unsupported");
+  return W == 64 ? ~uint64_t(0) : ((uint64_t(1) << W) - 1);
+}
+
+uint64_t Interpreter::evalAtom(const Atom &A,
+                               const MachineState &State) const {
+  if (A.isConst())
+    return A.ConstBits & maskOf(A.Ty);
+  auto It = State.Regs.find(A.Var);
+  uint64_t V = It == State.Regs.end() ? 0 : It->second;
+  return V & maskOf(A.Ty);
+}
+
+uint64_t Interpreter::evalExpr(const CoreExpr &E,
+                               const MachineState &State) const {
+  switch (E.K) {
+  case CoreExpr::Kind::AtomE:
+    return evalAtom(E.A, State);
+
+  case CoreExpr::Kind::Pair: {
+    uint64_t A = evalAtom(E.A, State);
+    uint64_t B = evalAtom(E.B, State);
+    return A | (B << widthOf(E.A.Ty));
+  }
+
+  case CoreExpr::Kind::Proj: {
+    const ast::Type *BaseTy = Program.Types->resolveTopLevel(E.A.Ty);
+    assert(BaseTy->isPair() && "projection from non-pair");
+    uint64_t V = evalAtom(E.A, State);
+    unsigned W1 = widthOf(BaseTy->first());
+    if (E.ProjIndex == 1)
+      return V & maskOf(BaseTy->first());
+    return (V >> W1) & maskOf(BaseTy->second());
+  }
+
+  case CoreExpr::Kind::Unary: {
+    uint64_t A = evalAtom(E.A, State);
+    if (E.UOp == ast::UnaryOp::Not)
+      return (A ^ 1) & 1;
+    return A != 0 ? 1 : 0; // test
+  }
+
+  case CoreExpr::Kind::Binary: {
+    uint64_t A = evalAtom(E.A, State);
+    uint64_t B = evalAtom(E.B, State);
+    uint64_t Mask = maskOf(E.A.Ty);
+    switch (E.BOp) {
+    case ast::BinaryOp::And:
+      return A & B & 1;
+    case ast::BinaryOp::Or:
+      return (A | B) & 1;
+    case ast::BinaryOp::Add:
+      return (A + B) & Mask;
+    case ast::BinaryOp::Sub:
+      return (A - B) & Mask;
+    case ast::BinaryOp::Mul:
+      return (A * B) & Mask;
+    case ast::BinaryOp::Eq:
+      return A == B ? 1 : 0;
+    case ast::BinaryOp::Ne:
+      return A != B ? 1 : 0;
+    case ast::BinaryOp::Lt:
+      return A < B ? 1 : 0;
+    }
+    return 0;
+  }
+  }
+  return 0;
+}
+
+bool Interpreter::execStmt(const CoreStmt &S, MachineState &State) {
+  switch (S.K) {
+  case CoreStmt::Kind::Skip:
+    return true;
+
+  case CoreStmt::Kind::Assign: {
+    uint64_t V = evalExpr(S.E, State);
+    State.Regs[S.Name] ^= V & maskOf(S.Ty);
+    ++DeclCount[S.Name];
+    return true;
+  }
+
+  case CoreStmt::Kind::UnAssign: {
+    uint64_t V = evalExpr(S.E, State);
+    uint64_t &R = State.Regs[S.Name];
+    R ^= V & maskOf(S.Ty);
+    // The zero invariant applies only when the outermost declaration is
+    // removed; intermediate re-declaration layers may hold other layers'
+    // contributions (e.g. reversed conditional re-declarations).
+    if (--DeclCount[S.Name] > 0)
+      return true;
+    DeclCount.erase(S.Name);
+    if (R != 0) {
+      Error = "un-assignment of '" + S.Name +
+              "' did not restore zero (value " + std::to_string(R) + ")";
+      return false;
+    }
+    State.Regs.erase(S.Name);
+    return true;
+  }
+
+  case CoreStmt::Kind::If: {
+    auto It = State.Regs.find(S.Name);
+    bool Cond = It != State.Regs.end() && (It->second & 1);
+    if (Cond)
+      return execStmts(S.Body, State);
+    return true;
+  }
+
+  case CoreStmt::Kind::With: {
+    if (!execStmts(S.Body, State))
+      return false;
+    if (!execStmts(S.DoBody, State))
+      return false;
+    CoreStmtList Rev = reverseStmts(S.Body);
+    return execStmts(Rev, State);
+  }
+
+  case CoreStmt::Kind::Swap: {
+    uint64_t A = State.Regs[S.Name];
+    uint64_t B = State.Regs[S.Name2];
+    State.Regs[S.Name] = B;
+    State.Regs[S.Name2] = A;
+    return true;
+  }
+
+  case CoreStmt::Kind::MemSwap: {
+    uint64_t Address = State.Regs[S.Name] & maskOf(S.Ty);
+    if (Address == 0 || Address >= State.Mem.size())
+      return true; // Null or out-of-range dereference is a no-op.
+    unsigned SwapBits = std::min(widthOf(S.Ty2), CellBits);
+    uint64_t Mask = SwapBits >= 64 ? ~uint64_t(0)
+                                   : ((uint64_t(1) << SwapBits) - 1);
+    uint64_t &Cell = State.Mem[Address];
+    uint64_t &Reg = State.Regs[S.Name2];
+    uint64_t CellLow = Cell & Mask, RegLow = Reg & Mask;
+    Cell = (Cell & ~Mask) | RegLow;
+    Reg = (Reg & ~Mask) | CellLow;
+    return true;
+  }
+
+  case CoreStmt::Kind::Hadamard:
+    Error = "interpreter cannot execute H(" + S.Name +
+            "); use the state-vector simulator";
+    return false;
+  }
+  return false;
+}
+
+bool Interpreter::execStmts(const CoreStmtList &Stmts, MachineState &State) {
+  for (const auto &S : Stmts)
+    if (!execStmt(*S, State))
+      return false;
+  return true;
+}
+
+bool Interpreter::run(MachineState &State) {
+  if (State.Mem.size() != Config.HeapCells + 1)
+    State.Mem.resize(Config.HeapCells + 1, 0);
+  return execStmts(Program.Body, State);
+}
+
+uint64_t Interpreter::output(const MachineState &State) const {
+  auto It = State.Regs.find(Program.OutputVar);
+  return It == State.Regs.end() ? 0 : It->second;
+}
+
+BitString encodeState(const MachineState &State,
+                      const circuit::CircuitLayout &Layout) {
+  BitString Bits(Layout.NumQubits);
+  for (const auto &[Name, Range] : Layout.Inputs) {
+    auto It = State.Regs.find(Name);
+    if (It != State.Regs.end())
+      Bits.write(Range.Offset, Range.Width, It->second);
+  }
+  for (unsigned A = 1; A <= Layout.HeapCells; ++A) {
+    if (A < State.Mem.size()) {
+      circuit::BitRange Cell = Layout.cell(A);
+      Bits.write(Cell.Offset, Cell.Width, State.Mem[A]);
+    }
+  }
+  return Bits;
+}
+
+MachineState decodeState(const BitString &Bits,
+                         const circuit::CircuitLayout &Layout,
+                         const std::vector<std::string> &Names) {
+  MachineState State = MachineState::make(Layout.HeapCells);
+  for (const std::string &Name : Names) {
+    auto It = Layout.Inputs.find(Name);
+    if (It != Layout.Inputs.end())
+      State.Regs[Name] = Bits.read(It->second.Offset, It->second.Width);
+  }
+  for (unsigned A = 1; A <= Layout.HeapCells; ++A) {
+    circuit::BitRange Cell = Layout.cell(A);
+    State.Mem[A] = Bits.read(Cell.Offset, Cell.Width);
+  }
+  return State;
+}
+
+} // namespace spire::sim

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classical reversible interpreter for core-IR programs.
+///
+/// Implements the circuit semantics of Appendix B.2 on classical machine
+/// states |R, M> directly at the IR level: a register file mapping
+/// variables to values and a qRAM memory mapping addresses to values.
+/// Re-definition XORs (Section 4); null dereference is a no-op. H is not
+/// supported (programs with H are validated through the state-vector
+/// simulator instead).
+///
+/// The interpreter is the reference point for three validation layers:
+/// optimizer soundness (Theorems 6.3/6.5: original vs optimized programs
+/// agree on all machine states), backend correctness (interpreter vs
+/// compiled circuit under runBasis), and benchmark functional tests
+/// (`length` really computes the length of an encoded list).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SIM_INTERPRETER_H
+#define SPIRE_SIM_INTERPRETER_H
+
+#include "circuit/Compiler.h"
+#include "ir/Core.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spire::sim {
+
+/// A classical machine state: register file plus memory. Memory cell
+/// addresses are 1-based; index 0 of Mem is unused.
+struct MachineState {
+  std::map<std::string, uint64_t> Regs;
+  std::vector<uint64_t> Mem; ///< size HeapCells + 1.
+
+  static MachineState make(unsigned HeapCells) {
+    MachineState S;
+    S.Mem.assign(HeapCells + 1, 0);
+    return S;
+  }
+
+  friend bool operator==(const MachineState &A, const MachineState &B) {
+    return A.Regs == B.Regs && A.Mem == B.Mem;
+  }
+  std::string str() const;
+};
+
+/// Executes a core program on a machine state. Unbound variables read as
+/// zero-initialized registers (consistent with the circuit, where every
+/// register starts at |0>).
+class Interpreter {
+public:
+  Interpreter(const ir::CoreProgram &Program,
+              const circuit::TargetConfig &Config)
+      : Program(Program), Config(Config),
+        CellBits(circuit::cellBitsFor(Program, Config)) {}
+
+  /// Runs the whole program body on `State` in place. Returns false (with
+  /// Error set) on an unsupported construct (H) or a failed un-assignment
+  /// (the value did not restore to zero), which indicates a compiler bug.
+  bool run(MachineState &State);
+
+  /// Value of the output variable after run().
+  uint64_t output(const MachineState &State) const;
+
+  const std::string &error() const { return Error; }
+
+private:
+  bool execStmts(const ir::CoreStmtList &Stmts, MachineState &State);
+  bool execStmt(const ir::CoreStmt &S, MachineState &State);
+  uint64_t evalExpr(const ir::CoreExpr &E, const MachineState &State) const;
+  uint64_t evalAtom(const ir::Atom &A, const MachineState &State) const;
+  uint64_t maskOf(const ast::Type *Ty) const;
+  unsigned widthOf(const ast::Type *Ty) const {
+    return Program.Types->bitWidth(Ty, Config.WordBits);
+  }
+
+  const ir::CoreProgram &Program;
+  circuit::TargetConfig Config;
+  unsigned CellBits;
+  std::string Error;
+  /// Live re-declaration depth per variable (see Interpreter.cpp).
+  std::map<std::string, unsigned> DeclCount;
+};
+
+/// Encodes a machine state onto the compiled circuit's qubit layout
+/// (inputs and memory; all other qubits zero).
+BitString encodeState(const MachineState &State,
+                      const circuit::CircuitLayout &Layout);
+
+/// Reads the register/memory contents back from circuit qubits. Only the
+/// given named registers are decoded.
+MachineState decodeState(const BitString &Bits,
+                         const circuit::CircuitLayout &Layout,
+                         const std::vector<std::string> &Names);
+
+} // namespace spire::sim
+
+#endif // SPIRE_SIM_INTERPRETER_H

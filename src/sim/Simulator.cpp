@@ -1,0 +1,178 @@
+#include "sim/Simulator.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spire::circuit;
+
+namespace spire::sim {
+
+uint64_t BitString::read(unsigned Offset, unsigned Width) const {
+  assert(Width <= 64 && "read wider than 64 bits");
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != Width; ++I)
+    if (get(Offset + I))
+      Value |= uint64_t(1) << I;
+  return Value;
+}
+
+void BitString::write(unsigned Offset, unsigned Width, uint64_t Value) {
+  assert(Width <= 64 && "write wider than 64 bits");
+  for (unsigned I = 0; I != Width; ++I)
+    set(Offset + I, (Value >> I) & 1);
+}
+
+static bool controlsActive(const Gate &G, const BitString &S) {
+  for (Qubit C : G.Controls)
+    if (!S.get(C))
+      return false;
+  return true;
+}
+
+void runBasis(const Circuit &C, BitString &State) {
+  for (const Gate &G : C.Gates) {
+    assert(G.Kind == GateKind::X &&
+           "runBasis requires a classical reversible (X-only) circuit");
+    if (controlsActive(G, State))
+      State.flip(G.Target);
+  }
+}
+
+namespace {
+
+constexpr double Prune = 1e-12;
+
+void applyGate(const Gate &G, SparseState &State) {
+  switch (G.Kind) {
+  case GateKind::X: {
+    SparseState Next;
+    for (auto &[Basis, Amp] : State) {
+      BitString B = Basis;
+      if (controlsActive(G, B))
+        B.flip(G.Target);
+      Next[B] += Amp;
+    }
+    State = std::move(Next);
+    return;
+  }
+  case GateKind::H: {
+    const double InvSqrt2 = 1.0 / std::sqrt(2.0);
+    SparseState Next;
+    for (auto &[Basis, Amp] : State) {
+      if (!controlsActive(G, Basis)) {
+        Next[Basis] += Amp;
+        continue;
+      }
+      bool Bit = Basis.get(G.Target);
+      BitString Flipped = Basis;
+      Flipped.flip(G.Target);
+      // |0> -> (|0>+|1>)/sqrt2 ; |1> -> (|0>-|1>)/sqrt2.
+      Next[Basis] += Amp * (Bit ? -InvSqrt2 : InvSqrt2);
+      Next[Flipped] += Amp * InvSqrt2;
+    }
+    for (auto It = Next.begin(); It != Next.end();) {
+      if (std::abs(It->second) < Prune)
+        It = Next.erase(It);
+      else
+        ++It;
+    }
+    State = std::move(Next);
+    return;
+  }
+  case GateKind::T:
+  case GateKind::Tdg:
+  case GateKind::S:
+  case GateKind::Sdg:
+  case GateKind::Z: {
+    double Angle = 0;
+    switch (G.Kind) {
+    case GateKind::T:
+      Angle = M_PI / 4;
+      break;
+    case GateKind::Tdg:
+      Angle = -M_PI / 4;
+      break;
+    case GateKind::S:
+      Angle = M_PI / 2;
+      break;
+    case GateKind::Sdg:
+      Angle = -M_PI / 2;
+      break;
+    default:
+      Angle = M_PI;
+      break;
+    }
+    Amplitude Phase(std::cos(Angle), std::sin(Angle));
+    for (auto &[Basis, Amp] : State)
+      if (controlsActive(G, Basis) && Basis.get(G.Target))
+        Amp *= Phase;
+    return;
+  }
+  }
+}
+
+} // namespace
+
+SparseState runState(const Circuit &C, const SparseState &Initial) {
+  SparseState State = Initial;
+  for (const Gate &G : C.Gates)
+    applyGate(G, State);
+  return State;
+}
+
+SparseState runState(const Circuit &C, const BitString &Initial) {
+  SparseState State;
+  State[Initial] = Amplitude(1.0, 0.0);
+  return runState(C, State);
+}
+
+bool statesEquivalent(const SparseState &A, const SparseState &B) {
+  constexpr double Tol = 1e-9;
+  // Find the global phase from the largest amplitude of A.
+  const BitString *Ref = nullptr;
+  double Best = 0;
+  for (const auto &[Basis, Amp] : A) {
+    if (std::abs(Amp) > Best) {
+      Best = std::abs(Amp);
+      Ref = &Basis;
+    }
+  }
+  if (!Ref) {
+    for (const auto &[Basis, Amp] : B)
+      if (std::abs(Amp) > Tol)
+        return false;
+    return true;
+  }
+  auto ItB = B.find(*Ref);
+  if (ItB == B.end() || std::abs(ItB->second) < Tol)
+    return false;
+  Amplitude Phase = ItB->second / A.at(*Ref);
+  if (std::abs(std::abs(Phase) - 1.0) > Tol)
+    return false;
+
+  auto Check = [&](const SparseState &X, const SparseState &Y,
+                   bool ApplyPhase) {
+    for (const auto &[Basis, Amp] : X) {
+      if (std::abs(Amp) < Tol)
+        continue;
+      auto It = Y.find(Basis);
+      Amplitude Expect = ApplyPhase ? Amp * Phase : Amp;
+      Amplitude Actual =
+          It == Y.end() ? Amplitude(0, 0)
+                        : (ApplyPhase ? It->second : It->second);
+      if (ApplyPhase) {
+        if (It == Y.end() || std::abs(It->second - Amp * Phase) > Tol)
+          return false;
+      } else {
+        if (It == Y.end() || std::abs(It->second * Phase - Amp) > Tol)
+          return false;
+      }
+      (void)Expect;
+      (void)Actual;
+    }
+    return true;
+  };
+  return Check(A, B, true) && Check(B, A, false);
+}
+
+} // namespace spire::sim

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Circuit simulation used to validate the backend and the optimizers.
+///
+/// Two levels:
+///  * runBasis: classical reversible simulation of X-only circuits (every
+///    compiled Tower program without H is a permutation of basis states),
+///    fast enough for whole-benchmark validation.
+///  * StateVector: sparse amplitude simulation supporting H, CH, and the
+///    phase gates, for small circuits (decomposition correctness tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SIM_SIMULATOR_H
+#define SPIRE_SIM_SIMULATOR_H
+
+#include "circuit/Gate.h"
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace spire::sim {
+
+/// A classical basis state over a fixed number of qubits.
+class BitString {
+public:
+  BitString() = default;
+  explicit BitString(unsigned NumQubits)
+      : Words((NumQubits + 63) / 64, 0) {}
+
+  bool get(unsigned Q) const {
+    return (Words[Q / 64] >> (Q % 64)) & 1;
+  }
+  void set(unsigned Q, bool V) {
+    uint64_t Mask = uint64_t(1) << (Q % 64);
+    if (V)
+      Words[Q / 64] |= Mask;
+    else
+      Words[Q / 64] &= ~Mask;
+  }
+  void flip(unsigned Q) { Words[Q / 64] ^= uint64_t(1) << (Q % 64); }
+
+  /// Reads `Width` bits starting at `Offset` as an integer (Width <= 64).
+  uint64_t read(unsigned Offset, unsigned Width) const;
+  /// Writes `Width` bits starting at `Offset` (Width <= 64).
+  void write(unsigned Offset, unsigned Width, uint64_t Value);
+
+  friend bool operator<(const BitString &A, const BitString &B) {
+    return A.Words < B.Words;
+  }
+  friend bool operator==(const BitString &A, const BitString &B) {
+    return A.Words == B.Words;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// Runs an X-only circuit on a basis state in place. Asserts the circuit
+/// contains no H or phase gates (phase gates would be unobservable on a
+/// basis state only up to global phase, so they are rejected to keep the
+/// check strict).
+void runBasis(const circuit::Circuit &C, BitString &State);
+
+/// Runs any circuit (X, H, CH, T, Tdg, S, Sdg, Z) on a basis state,
+/// returning the sparse final state. Amplitudes below 1e-12 are pruned.
+using Amplitude = std::complex<double>;
+using SparseState = std::map<BitString, Amplitude>;
+
+SparseState runState(const circuit::Circuit &C, const BitString &Initial);
+SparseState runState(const circuit::Circuit &C, const SparseState &Initial);
+
+/// True when the two states are equal up to a global phase and 1e-9
+/// tolerance.
+bool statesEquivalent(const SparseState &A, const SparseState &B);
+
+} // namespace spire::sim
+
+#endif // SPIRE_SIM_SIMULATOR_H

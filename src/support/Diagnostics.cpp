@@ -1,0 +1,33 @@
+#include "support/Diagnostics.h"
+
+namespace spire::support {
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  switch (Kind) {
+  case DiagKind::Error:
+    Out = "error: ";
+    break;
+  case DiagKind::Warning:
+    Out = "warning: ";
+    break;
+  case DiagKind::Note:
+    Out = "note: ";
+    break;
+  }
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace spire::support

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic accumulation for the Spire compiler. Library code never prints
+/// or throws; it reports through a DiagnosticEngine which tools inspect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_DIAGNOSTICS_H
+#define SPIRE_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace spire::support {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single diagnostic message attached to an optional source location.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" in the style of classic compilers.
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by any stage of the compiler.
+///
+/// The engine is passed by reference through the pipeline; stages report
+/// problems and the driver decides whether to continue. Following LLVM
+/// conventions, no stage throws.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics rendered one per line; empty string when clean.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_DIAGNOSTICS_H

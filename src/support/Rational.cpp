@@ -1,0 +1,61 @@
+#include "support/Rational.h"
+
+namespace spire::support {
+
+namespace {
+
+__int128 gcd128(__int128 A, __int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+std::string int128ToString(__int128 Value) {
+  if (Value == 0)
+    return "0";
+  bool Negative = Value < 0;
+  // Careful with INT128_MIN: negate digit by digit via unsigned.
+  unsigned __int128 Magnitude =
+      Negative ? -static_cast<unsigned __int128>(Value)
+               : static_cast<unsigned __int128>(Value);
+  std::string Digits;
+  while (Magnitude != 0) {
+    Digits += static_cast<char>('0' + static_cast<int>(Magnitude % 10));
+    Magnitude /= 10;
+  }
+  if (Negative)
+    Digits += '-';
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+} // namespace
+
+void Rational::normalize() {
+  assert(Den != 0 && "rational with zero denominator");
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num == 0) {
+    Den = 1;
+    return;
+  }
+  Int G = gcd128(Num, Den);
+  Num /= G;
+  Den /= G;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return int128ToString(Num);
+  return int128ToString(Num) + "/" + int128ToString(Den);
+}
+
+} // namespace spire::support

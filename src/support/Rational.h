@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational arithmetic used by the polynomial-fitting machinery that
+/// reproduces the paper's Section 8.1 methodology ("found the lowest-degree
+/// polynomial that exactly fits the T-complexities"). Gate counts are exact
+/// integers, and fitted coefficients may be non-integral (e.g. Table 3's
+/// (3076192/3) d^3 term), so fitting must be exact rather than floating-point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_RATIONAL_H
+#define SPIRE_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace spire::support {
+
+/// An exact rational number with 128-bit numerator and denominator.
+///
+/// Always kept normalized: gcd(Num, Den) == 1 and Den > 0. The 128-bit
+/// representation is ample for gate-count polynomials: counts fit in 64
+/// bits and fitting introduces denominators bounded by small factorials.
+class Rational {
+public:
+  Rational() = default;
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Numerator, int64_t Denominator)
+      : Num(Numerator), Den(Denominator) {
+    assert(Denominator != 0 && "rational with zero denominator");
+    normalize();
+  }
+
+  bool isZero() const { return Num == 0; }
+  bool isInteger() const { return Den == 1; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Numerator after normalization; may be negative.
+  int64_t numerator() const { return static_cast<int64_t>(Num); }
+  /// Denominator after normalization; always positive.
+  int64_t denominator() const { return static_cast<int64_t>(Den); }
+
+  /// The integer value; asserts that the rational is integral.
+  int64_t asInteger() const {
+    assert(isInteger() && "rational is not an integer");
+    return static_cast<int64_t>(Num);
+  }
+
+  Rational operator-() const { return makeRaw(-Num, Den); }
+
+  friend Rational operator+(const Rational &A, const Rational &B) {
+    return makeNormalized(A.Num * B.Den + B.Num * A.Den, A.Den * B.Den);
+  }
+  friend Rational operator-(const Rational &A, const Rational &B) {
+    return makeNormalized(A.Num * B.Den - B.Num * A.Den, A.Den * B.Den);
+  }
+  friend Rational operator*(const Rational &A, const Rational &B) {
+    return makeNormalized(A.Num * B.Num, A.Den * B.Den);
+  }
+  friend Rational operator/(const Rational &A, const Rational &B) {
+    assert(!B.isZero() && "division by zero rational");
+    return makeNormalized(A.Num * B.Den, A.Den * B.Num);
+  }
+
+  Rational &operator+=(const Rational &B) { return *this = *this + B; }
+  Rational &operator-=(const Rational &B) { return *this = *this - B; }
+  Rational &operator*=(const Rational &B) { return *this = *this * B; }
+  Rational &operator/=(const Rational &B) { return *this = *this / B; }
+
+  friend bool operator==(const Rational &A, const Rational &B) {
+    return A.Num == B.Num && A.Den == B.Den;
+  }
+  friend bool operator!=(const Rational &A, const Rational &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Rational &A, const Rational &B) {
+    return A.Num * B.Den < B.Num * A.Den;
+  }
+
+  /// Renders "7", "-3", or "7/3".
+  std::string str() const;
+
+private:
+  using Int = __int128;
+
+  static Rational makeRaw(Int Numerator, Int Denominator) {
+    Rational R;
+    R.Num = Numerator;
+    R.Den = Denominator;
+    return R;
+  }
+
+  static Rational makeNormalized(Int Numerator, Int Denominator) {
+    Rational R = makeRaw(Numerator, Denominator);
+    R.normalize();
+    return R;
+  }
+
+  void normalize();
+
+  Int Num = 0;
+  Int Den = 1;
+};
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_RATIONAL_H

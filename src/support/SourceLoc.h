@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations for diagnostics emitted by the Tower frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_SOURCELOC_H
+#define SPIRE_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace spire::support {
+
+/// A (line, column) position within a Tower source buffer. Lines and columns
+/// are 1-based; a default-constructed location is "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:col", or "<unknown>" for invalid locations.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_SOURCELOC_H

@@ -1,0 +1,261 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared test utilities: a generator of random well-formed core-IR
+/// programs (used for property tests of optimizer soundness, backend
+/// correctness, and cost-model exactness) and machine-state helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_TESTS_TESTUTIL_H
+#define SPIRE_TESTS_TESTUTIL_H
+
+#include "circuit/Compiler.h"
+#include "ir/Core.h"
+#include "sim/Interpreter.h"
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace spire::testutil {
+
+/// Generates random well-formed core programs over a few bool and uint
+/// variables, with nested ifs, with-do blocks, assignments/un-assignments,
+/// swaps, and memory swaps — the construct mix the Spire rewrites and the
+/// backend must handle.
+class RandomProgramGen {
+public:
+  explicit RandomProgramGen(uint64_t Seed) : Rng(Seed) {
+    Types = std::make_shared<ir::TypeContext>();
+  }
+
+  ir::CoreProgram generate(unsigned NumStmts = 12) {
+    ir::CoreProgram P;
+    P.Types = Types;
+    const ast::Type *Bool = Types->boolType();
+    const ast::Type *UInt = Types->uintType();
+    const ast::Type *Ptr = Types->ptrType(UInt);
+    // Inputs: two bools, two uints, one pointer.
+    P.Inputs = {{"b0", Bool}, {"b1", Bool}, {"u0", UInt},
+                {"u1", UInt}, {"p0", Ptr}};
+    for (auto &[Name, Ty] : P.Inputs)
+      Live.push_back({Name, Ty});
+    P.PointeeTypes.push_back(UInt);
+
+    genStmts(P.Body, NumStmts, /*Depth=*/0);
+    // Output: make one final bool from whatever is live.
+    P.OutputVar = "result";
+    P.OutputTy = Bool;
+    P.Body.push_back(ir::CoreStmt::assign(
+        "result", Bool,
+        ir::CoreExpr::unary(ast::UnaryOp::Test, pickAtom(UInt), Bool)));
+    Live.clear();
+    return P;
+  }
+
+private:
+  struct Binding {
+    std::string Name;
+    const ast::Type *Ty;
+  };
+
+  uint64_t roll(uint64_t N) { return Rng() % N; }
+
+  bool isProtected(const std::string &Name) const {
+    return Protected.count(Name) != 0;
+  }
+
+  ir::Atom pickAtom(const ast::Type *Ty) {
+    std::vector<const Binding *> Candidates;
+    for (const Binding &B : Live)
+      if (B.Ty == Ty)
+        Candidates.push_back(&B);
+    if (!Candidates.empty() && roll(4) != 0) {
+      const Binding *B = Candidates[roll(Candidates.size())];
+      return ir::Atom::var(B->Name, B->Ty);
+    }
+    uint64_t Bits = Ty->isBool() ? roll(2) : roll(17);
+    return ir::Atom::constant(Bits, Ty);
+  }
+
+  /// A bool variable usable as an if condition that statements below may
+  /// not modify; returns empty if none is live.
+  std::string pickCondition(const std::set<std::string> &Forbidden) {
+    std::vector<const Binding *> Candidates;
+    for (const Binding &B : Live)
+      if (B.Ty->isBool() && !Forbidden.count(B.Name))
+        Candidates.push_back(&B);
+    if (Candidates.empty())
+      return {};
+    return Candidates[roll(Candidates.size())]->Name;
+  }
+
+  ir::CoreExpr genExpr(const ast::Type *Ty) {
+    using ast::BinaryOp;
+    using ast::UnaryOp;
+    const ast::Type *Bool = Types->boolType();
+    const ast::Type *UInt = Types->uintType();
+    if (Ty->isBool()) {
+      switch (roll(6)) {
+      case 0:
+        return ir::CoreExpr::atom(pickAtom(Bool));
+      case 1:
+        return ir::CoreExpr::unary(UnaryOp::Not, pickAtom(Bool), Bool);
+      case 2:
+        return ir::CoreExpr::unary(UnaryOp::Test, pickAtom(UInt), Bool);
+      case 3:
+        return ir::CoreExpr::binary(BinaryOp::And, pickAtom(Bool),
+                                    pickAtom(Bool), Bool);
+      case 4:
+        return ir::CoreExpr::binary(BinaryOp::Eq, pickAtom(UInt),
+                                    pickAtom(UInt), Bool);
+      default:
+        return ir::CoreExpr::binary(BinaryOp::Lt, pickAtom(UInt),
+                                    pickAtom(UInt), Bool);
+      }
+    }
+    switch (roll(5)) {
+    case 0:
+      return ir::CoreExpr::atom(pickAtom(UInt));
+    case 1:
+      return ir::CoreExpr::binary(BinaryOp::Add, pickAtom(UInt),
+                                  pickAtom(UInt), UInt);
+    case 2:
+      return ir::CoreExpr::binary(BinaryOp::Sub, pickAtom(UInt),
+                                  pickAtom(UInt), UInt);
+    case 3:
+      return ir::CoreExpr::binary(BinaryOp::Mul, pickAtom(UInt),
+                                  pickAtom(UInt), UInt);
+    default:
+      return ir::CoreExpr::atom(pickAtom(UInt));
+    }
+  }
+
+  void genStmts(ir::CoreStmtList &Out, unsigned Budget, unsigned Depth) {
+    while (Budget > 0) {
+      unsigned Kind = roll(10);
+      if (Kind < 4 || Depth >= 3) {
+        // Fresh assignment.
+        const ast::Type *Ty =
+            roll(2) ? Types->boolType()
+                    : static_cast<const ast::Type *>(Types->uintType());
+        std::string Name = "v" + std::to_string(Counter++);
+        ir::CoreExpr E = genExpr(Ty);
+        Out.push_back(ir::CoreStmt::assign(Name, Ty, E));
+        Live.push_back({Name, Ty});
+        --Budget;
+        continue;
+      }
+      if (Kind < 6) {
+        // Swap two uints, if available.
+        std::vector<const Binding *> UInts;
+        for (const Binding &B : Live)
+          if (B.Ty->isUInt() && !isProtected(B.Name))
+            UInts.push_back(&B);
+        if (UInts.size() >= 2) {
+          const Binding *A = UInts[roll(UInts.size())];
+          const Binding *B = UInts[roll(UInts.size())];
+          if (A != B) {
+            Out.push_back(
+                ir::CoreStmt::swap(A->Name, A->Ty, B->Name, B->Ty));
+            --Budget;
+            continue;
+          }
+        }
+        --Budget;
+        continue;
+      }
+      if (Kind < 7) {
+        // Memory swap through the pointer input.
+        std::vector<const Binding *> UInts;
+        for (const Binding &B : Live)
+          if (B.Ty->isUInt() && !isProtected(B.Name))
+            UInts.push_back(&B);
+        if (!UInts.empty()) {
+          const Binding *V = UInts[roll(UInts.size())];
+          Out.push_back(ir::CoreStmt::memSwap(
+              "p0", Types->ptrType(Types->uintType()), V->Name, V->Ty));
+        }
+        --Budget;
+        continue;
+      }
+      if (Kind < 9) {
+        // Conditional block over a live bool.
+        ir::CoreStmtList Body;
+        size_t LiveBefore = Live.size();
+        unsigned Inner = 1 + roll(std::min(Budget, 4u));
+        genStmts(Body, Inner, Depth + 1);
+        // The condition must not be modified by the body.
+        std::set<std::string> Mods = ir::modSet(Body);
+        std::string Cond = pickCondition(Mods);
+        Budget -= std::min(Budget, Inner);
+        if (Cond.empty())
+          continue; // Drop the block; no usable condition.
+        // Variables declared under the if stay live afterwards (S-If).
+        (void)LiveBefore;
+        Out.push_back(ir::CoreStmt::ifStmt(Cond, std::move(Body)));
+        continue;
+      }
+      // with { temporaries } do { statements }: temporaries are scoped.
+      ir::CoreStmtList WithBody, DoBody;
+      size_t LiveBefore = Live.size();
+      unsigned WithInner = 1 + roll(2);
+      for (unsigned I = 0; I != WithInner; ++I) {
+        const ast::Type *Ty =
+            roll(2) ? Types->boolType()
+                    : static_cast<const ast::Type *>(Types->uintType());
+        std::string Name = "w" + std::to_string(Counter++);
+        WithBody.push_back(ir::CoreStmt::assign(Name, Ty, genExpr(Ty)));
+        Live.push_back({Name, Ty});
+      }
+      // The do-block must not modify anything the with-block reads or
+      // created, or its reversal would not restore the temporaries.
+      std::set<std::string> SavedProtected = Protected;
+      std::set<std::string> WithVars = ir::allVars(WithBody);
+      Protected.insert(WithVars.begin(), WithVars.end());
+      unsigned DoInner = 1 + roll(std::min(Budget, 3u));
+      genStmts(DoBody, DoInner, Depth + 1);
+      Protected = std::move(SavedProtected);
+      Budget -= std::min(Budget, DoInner + 1);
+      // With temporaries die after the block; do-block vars survive.
+      std::vector<Binding> Survivors(Live.begin(),
+                                     Live.begin() + LiveBefore);
+      for (size_t I = LiveBefore + WithInner; I < Live.size(); ++I)
+        Survivors.push_back(Live[I]);
+      Live = std::move(Survivors);
+      Out.push_back(
+          ir::CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+    }
+  }
+
+  std::mt19937_64 Rng;
+  std::shared_ptr<ir::TypeContext> Types;
+  std::vector<Binding> Live;
+  std::set<std::string> Protected;
+  unsigned Counter = 0;
+};
+
+/// A random machine state for a program's inputs and memory.
+inline sim::MachineState randomState(const ir::CoreProgram &P,
+                                     const circuit::TargetConfig &Config,
+                                     uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  for (const auto &[Name, Ty] : P.Inputs) {
+    unsigned W = P.Types->bitWidth(Ty, Config.WordBits);
+    uint64_t Mask = W >= 64 ? ~uint64_t(0) : ((uint64_t(1) << W) - 1);
+    S.Regs[Name] = Rng() & Mask;
+  }
+  unsigned CellBits = circuit::cellBitsFor(P, Config);
+  uint64_t CellMask =
+      CellBits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << CellBits) - 1);
+  for (unsigned A = 1; A <= Config.HeapCells; ++A)
+    S.Mem[A] = Rng() & CellMask;
+  return S;
+}
+
+} // namespace spire::testutil
+
+#endif // SPIRE_TESTS_TESTUTIL_H

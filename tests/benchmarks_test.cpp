@@ -1,0 +1,380 @@
+//===----------------------------------------------------------------------===//
+// Functional tests for the 11 benchmark programs (Table 1): each program
+// is lowered and interpreted on concrete data structures and compared to
+// a reference implementation. Semantics preservation under Spire's
+// optimizations is checked for every benchmark.
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "benchmarks/Workloads.h"
+#include "costmodel/CostModel.h"
+#include "opt/Spire.h"
+#include "support/PolyFit.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::benchmarks;
+
+namespace {
+
+circuit::TargetConfig Config;
+
+const BenchmarkProgram &byName(const std::string &Name) {
+  for (const BenchmarkProgram &B : allBenchmarks())
+    if (B.Name == Name)
+      return B;
+  abort();
+}
+
+/// Runs a lowered benchmark on a machine state; returns the output value.
+uint64_t runOn(const ir::CoreProgram &P, sim::MachineState &S) {
+  sim::Interpreter Interp(P, Config);
+  EXPECT_TRUE(Interp.run(S)) << Interp.error();
+  return Interp.output(S);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// List
+//===----------------------------------------------------------------------===//
+
+TEST(BenchList, Sum) {
+  ir::CoreProgram P = lowerBenchmark(byName("sum"), 5);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {3, 9, 20});
+  EXPECT_EQ(runOn(P, S), 32u);
+}
+
+TEST(BenchList, SumEmpty) {
+  ir::CoreProgram P = lowerBenchmark(byName("sum"), 4);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = 0;
+  S.Regs["acc"] = 5;
+  EXPECT_EQ(runOn(P, S), 5u);
+}
+
+TEST(BenchList, SumWrapsModWord) {
+  ir::CoreProgram P = lowerBenchmark(byName("sum"), 4);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {200, 100});
+  EXPECT_EQ(runOn(P, S), (200u + 100u) % 256u);
+}
+
+TEST(BenchList, FindPos) {
+  ir::CoreProgram P = lowerBenchmark(byName("find_pos"), 5);
+  for (uint64_t V : {5u, 8u, 13u, 99u}) {
+    sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+    S.Regs["xs"] = encodeList(S, {5, 8, 13});
+    S.Regs["v"] = V;
+    uint64_t Expected = V == 5 ? 1 : V == 8 ? 2 : V == 13 ? 3 : 0;
+    EXPECT_EQ(runOn(P, S), Expected) << "v=" << V;
+  }
+}
+
+TEST(BenchList, RemoveHead) {
+  ir::CoreProgram P = lowerBenchmark(byName("remove"), 4);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {7, 8, 9});
+  S.Regs["v"] = 7;
+  uint64_t NewHead = runOn(P, S);
+  EXPECT_EQ(decodeList(S, NewHead), (std::vector<uint64_t>{8, 9}));
+}
+
+TEST(BenchList, RemoveMiddle) {
+  ir::CoreProgram P = lowerBenchmark(byName("remove"), 4);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {7, 8, 9});
+  S.Regs["v"] = 8;
+  uint64_t NewHead = runOn(P, S);
+  EXPECT_EQ(decodeList(S, NewHead), (std::vector<uint64_t>{7, 9}));
+}
+
+TEST(BenchList, RemoveAbsentKeepsList) {
+  ir::CoreProgram P = lowerBenchmark(byName("remove"), 4);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {7, 8});
+  S.Regs["v"] = 42;
+  uint64_t NewHead = runOn(P, S);
+  EXPECT_EQ(decodeList(S, NewHead), (std::vector<uint64_t>{7, 8}));
+}
+
+//===----------------------------------------------------------------------===//
+// Queue
+//===----------------------------------------------------------------------===//
+
+TEST(BenchQueue, PushBackOntoEmpty) {
+  ir::CoreProgram P = lowerBenchmark(byName("push_back"), 3);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = 0;
+  S.Regs["v"] = 42;
+  uint64_t Head = runOn(P, S);
+  EXPECT_EQ(decodeList(S, Head), (std::vector<uint64_t>{42}));
+}
+
+TEST(BenchQueue, PushBackAppends) {
+  ir::CoreProgram P = lowerBenchmark(byName("push_back"), 4);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {1, 2});
+  S.Regs["v"] = 3;
+  uint64_t Head = runOn(P, S);
+  EXPECT_EQ(decodeList(S, Head), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(BenchQueue, PopFront) {
+  ir::CoreProgram P = lowerBenchmark(byName("pop_front"), 0);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["xs"] = encodeList(S, {5, 6, 7});
+  uint64_t Rest = runOn(P, S);
+  EXPECT_EQ(decodeList(S, Rest), (std::vector<uint64_t>{6, 7}));
+}
+
+//===----------------------------------------------------------------------===//
+// String
+//===----------------------------------------------------------------------===//
+
+TEST(BenchString, IsPrefix) {
+  ir::CoreProgram P = lowerBenchmark(byName("is_prefix"), 5);
+  struct Case {
+    std::vector<uint64_t> Prefix, Str;
+    uint64_t Expected;
+  };
+  for (const Case &C : std::vector<Case>{
+           {{}, {1, 2}, 1},
+           {{1}, {1, 2}, 1},
+           {{1, 2}, {1, 2}, 1},
+           {{1, 3}, {1, 2}, 0},
+           {{1, 2, 3}, {1, 2}, 0},
+       }) {
+    sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+    unsigned Cell = 1;
+    S.Regs["ps"] = encodeListAt(S, C.Prefix, Cell);
+    S.Regs["ss"] = encodeListAt(S, C.Str, Cell);
+    EXPECT_EQ(runOn(P, S), C.Expected);
+  }
+}
+
+TEST(BenchString, NumMatching) {
+  ir::CoreProgram P = lowerBenchmark(byName("num_matching"), 5);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  unsigned Cell = 1;
+  S.Regs["as"] = encodeListAt(S, {1, 5, 3, 9}, Cell);
+  S.Regs["bs"] = encodeListAt(S, {1, 6, 3, 8}, Cell);
+  EXPECT_EQ(runOn(P, S), 2u);
+}
+
+TEST(BenchString, CompareEqualAndUnequal) {
+  ir::CoreProgram P = lowerBenchmark(byName("compare"), 5);
+  struct Case {
+    std::vector<uint64_t> A, B;
+    uint64_t Expected;
+  };
+  for (const Case &C : std::vector<Case>{
+           {{}, {}, 1},
+           {{4}, {4}, 1},
+           {{4, 5}, {4, 5}, 1},
+           {{4, 5}, {4, 6}, 0},
+           {{4}, {4, 5}, 0},
+           {{4, 5}, {4}, 0},
+       }) {
+    sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+    unsigned Cell = 1;
+    S.Regs["as"] = encodeListAt(S, C.A, Cell);
+    S.Regs["bs"] = encodeListAt(S, C.B, Cell);
+    EXPECT_EQ(runOn(P, S), C.Expected);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Set (radix tree)
+//===----------------------------------------------------------------------===//
+
+TEST(BenchSet, ContainsOnSmallTree) {
+  ir::CoreProgram P = lowerBenchmark(byName("contains"), 3);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  unsigned Cell = 1;
+  std::vector<Key> Keys = {{5}, {3}, {7}};
+  uint64_t Root = encodeTree(S, Keys, Cell);
+  for (const Key &K : std::vector<Key>{{5}, {3}, {7}, {4}, {8}}) {
+    sim::MachineState SC = S;
+    unsigned KeyCell = Cell;
+    SC.Regs["t"] = Root;
+    SC.Regs["key"] = encodeListAt(SC, K, KeyCell);
+    bool Expected = treeContains(S, Root, K);
+    EXPECT_EQ(runOn(P, SC), Expected ? 1u : 0u) << "key " << K[0];
+  }
+}
+
+TEST(BenchSet, InsertThenContains) {
+  ir::CoreProgram Insert = lowerBenchmark(byName("insert"), 3);
+  ir::CoreProgram Contains = lowerBenchmark(byName("contains"), 3);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  unsigned Cell = 1;
+  uint64_t Root = encodeTree(S, {{4}}, Cell);
+  S.Regs["t"] = Root;
+  S.Regs["key"] = encodeListAt(S, {6}, Cell);
+  uint64_t NewRoot = runOn(Insert, S);
+
+  sim::MachineState SC = S;
+  SC.Regs.clear();
+  SC.Regs["t"] = NewRoot;
+  unsigned KeyCell = Cell;
+  SC.Regs["key"] = encodeListAt(SC, {6}, KeyCell);
+  EXPECT_EQ(runOn(Contains, SC), 1u);
+
+  sim::MachineState SC2 = S;
+  SC2.Regs.clear();
+  SC2.Regs["t"] = NewRoot;
+  KeyCell = Cell;
+  SC2.Regs["key"] = encodeListAt(SC2, {9}, KeyCell);
+  EXPECT_EQ(runOn(Contains, SC2), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-cutting properties
+//===----------------------------------------------------------------------===//
+
+/// All benchmarks lower successfully across depths.
+TEST(BenchAll, LowersAtEveryDepth) {
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    for (int64_t N = 1; N <= (B.SizeIndexed ? 4 : 1); ++N) {
+      ir::CoreProgram P = lowerBenchmark(B, N);
+      EXPECT_FALSE(P.OutputVar.empty()) << B.Name << " n=" << N;
+    }
+  }
+}
+
+/// Table 1's asymptotic pattern: T-complexity before optimization is one
+/// degree above MCX-complexity (for non-constant benchmarks) and equal in
+/// degree after Spire's optimizations.
+struct DegreeCase {
+  const char *Name;
+  int MCXDegree;
+};
+
+class BenchDegrees : public ::testing::TestWithParam<DegreeCase> {};
+
+TEST_P(BenchDegrees, PaperAsymptotics) {
+  const DegreeCase &C = GetParam();
+  const BenchmarkProgram &B = byName(C.Name);
+  std::vector<int64_t> MCX, TBefore, TAfter;
+  for (int64_t N = 2; N <= 6; ++N) {
+    ir::CoreProgram P = lowerBenchmark(B, N);
+    costmodel::Cost Cost = costmodel::analyzeProgram(P, Config);
+    MCX.push_back(Cost.MCX);
+    TBefore.push_back(Cost.T);
+    ir::CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::all());
+    TAfter.push_back(costmodel::analyzeProgram(O, Config).T);
+  }
+  EXPECT_EQ(support::fittedDegree(2, MCX), C.MCXDegree) << "MCX degree";
+  EXPECT_EQ(support::fittedDegree(2, TBefore), C.MCXDegree + 1)
+      << "unoptimized T degree";
+  EXPECT_EQ(support::fittedDegree(2, TAfter), C.MCXDegree)
+      << "optimized T degree";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BenchDegrees,
+    ::testing::Values(DegreeCase{"length", 1}, DegreeCase{"sum", 1},
+                      DegreeCase{"find_pos", 1}, DegreeCase{"remove", 1},
+                      DegreeCase{"push_back", 1},
+                      DegreeCase{"is_prefix", 1},
+                      DegreeCase{"num_matching", 1},
+                      DegreeCase{"compare", 1}, DegreeCase{"insert", 2},
+                      DegreeCase{"contains", 2}),
+    [](const ::testing::TestParamInfo<DegreeCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(BenchDegreesSpecial, PopFrontIsConstant) {
+  const BenchmarkProgram &B = byName("pop_front");
+  ir::CoreProgram P = lowerBenchmark(B, 0);
+  costmodel::Cost Cost = costmodel::analyzeProgram(P, Config);
+  EXPECT_GT(Cost.MCX, 0);
+  ir::CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::all());
+  // pop_front has no conditionals: optimization leaves T unchanged
+  // (Table 1 reports 8456 before and after).
+  EXPECT_EQ(costmodel::analyzeProgram(O, Config).T, Cost.T);
+}
+
+/// Spire preserves interpreter semantics on every benchmark with real
+/// data (Theorems 6.3 / 6.5 end to end).
+TEST(BenchAll, SpirePreservesSemantics) {
+  struct Setup {
+    const char *Name;
+    int64_t Depth;
+    std::function<void(sim::MachineState &)> Init;
+  };
+  std::vector<Setup> Setups = {
+      {"length", 4,
+       [](sim::MachineState &S) { S.Regs["xs"] = encodeList(S, {1, 2, 3}); }},
+      {"sum", 4,
+       [](sim::MachineState &S) { S.Regs["xs"] = encodeList(S, {4, 5}); }},
+      {"find_pos", 4,
+       [](sim::MachineState &S) {
+         S.Regs["xs"] = encodeList(S, {4, 5});
+         S.Regs["v"] = 5;
+       }},
+      {"remove", 3,
+       [](sim::MachineState &S) {
+         S.Regs["xs"] = encodeList(S, {4, 5});
+         S.Regs["v"] = 4;
+       }},
+      {"push_back", 3,
+       [](sim::MachineState &S) {
+         S.Regs["xs"] = encodeList(S, {9});
+         S.Regs["v"] = 2;
+       }},
+      {"pop_front", 0,
+       [](sim::MachineState &S) { S.Regs["xs"] = encodeList(S, {3, 1}); }},
+      {"is_prefix", 3,
+       [](sim::MachineState &S) {
+         unsigned Cell = 1;
+         S.Regs["ps"] = encodeListAt(S, {1}, Cell);
+         S.Regs["ss"] = encodeListAt(S, {1, 2}, Cell);
+       }},
+      {"num_matching", 3,
+       [](sim::MachineState &S) {
+         unsigned Cell = 1;
+         S.Regs["as"] = encodeListAt(S, {1, 2}, Cell);
+         S.Regs["bs"] = encodeListAt(S, {1, 3}, Cell);
+       }},
+      {"compare", 3,
+       [](sim::MachineState &S) {
+         unsigned Cell = 1;
+         S.Regs["as"] = encodeListAt(S, {1, 2}, Cell);
+         S.Regs["bs"] = encodeListAt(S, {1, 2}, Cell);
+       }},
+      {"contains", 2,
+       [](sim::MachineState &S) {
+         unsigned Cell = 1;
+         uint64_t Root = encodeTree(S, {{5}}, Cell);
+         S.Regs["t"] = Root;
+         S.Regs["key"] = encodeListAt(S, {5}, Cell);
+       }},
+      {"insert", 2,
+       [](sim::MachineState &S) {
+         unsigned Cell = 1;
+         uint64_t Root = encodeTree(S, {{5}}, Cell);
+         S.Regs["t"] = Root;
+         S.Regs["key"] = encodeListAt(S, {7}, Cell);
+       }},
+  };
+
+  for (const Setup &Case : Setups) {
+    const BenchmarkProgram &B = byName(Case.Name);
+    ir::CoreProgram P = lowerBenchmark(B, Case.Depth);
+    ir::CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::all());
+
+    sim::MachineState S1 = sim::MachineState::make(Config.HeapCells);
+    Case.Init(S1);
+    sim::MachineState S2 = S1;
+
+    sim::Interpreter I1(P, Config), I2(O, Config);
+    ASSERT_TRUE(I1.run(S1)) << Case.Name << ": " << I1.error();
+    ASSERT_TRUE(I2.run(S2)) << Case.Name << ": " << I2.error();
+    EXPECT_EQ(I1.output(S1), I2.output(S2)) << Case.Name;
+    EXPECT_EQ(S1.Mem, S2.Mem) << Case.Name;
+  }
+}

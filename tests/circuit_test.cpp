@@ -1,0 +1,404 @@
+//===----------------------------------------------------------------------===//
+// Tests for the circuit backend: gate representation, expression
+// synthesis (validated by simulation against the interpreter), register
+// allocation (including the Appendix-D pinning rule), qRAM expansion, and
+// the .qc writer.
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "circuit/QcWriter.h"
+#include "sim/Interpreter.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::ir;
+using namespace spire::circuit;
+
+namespace {
+
+TargetConfig Config;
+
+/// Compiles a one-expression program `out <- E(inputs)` and evaluates the
+/// circuit on a basis state; used to check every gate builder against the
+/// interpreter's reference semantics.
+struct ExprHarness {
+  std::shared_ptr<TypeContext> Types = std::make_shared<TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  const ast::Type *UInt = Types->uintType();
+
+  uint64_t evalCircuit(const CoreProgram &P, const sim::MachineState &In) {
+    CompileResult R = compileToCircuit(P, Config);
+    sim::BitString Bits = sim::encodeState(In, R.Layout);
+    sim::runBasis(R.Circ, Bits);
+    return Bits.read(R.Layout.Output.Offset, R.Layout.Output.Width);
+  }
+
+  uint64_t evalInterp(const CoreProgram &P, sim::MachineState In) {
+    sim::Interpreter Interp(P, Config);
+    EXPECT_TRUE(Interp.run(In)) << Interp.error();
+    return Interp.output(In);
+  }
+};
+
+} // namespace
+
+TEST(Gate, NormalizationSortsControls) {
+  Gate G(GateKind::X, 0, {5, 3, 9});
+  EXPECT_EQ(G.Controls, (std::vector<Qubit>{3, 5, 9}));
+  EXPECT_TRUE(G.touches(5));
+  EXPECT_TRUE(G.touches(0));
+  EXPECT_FALSE(G.touches(4));
+}
+
+TEST(Gate, TCostOfMCXFollowsSection81) {
+  // Section 8.1: each MCX with c >= 2 controls is 2(c-2)+1 Toffolis of
+  // 7 T each; NOT and CNOT are free.
+  EXPECT_EQ(tCostOfMCX(0), 0);
+  EXPECT_EQ(tCostOfMCX(1), 0);
+  EXPECT_EQ(tCostOfMCX(2), 7);
+  EXPECT_EQ(tCostOfMCX(3), 21); // "3 x 7 = 21 T gates" (Section 3.3)
+  EXPECT_EQ(tCostOfMCX(4), 35);
+}
+
+TEST(Gate, TCostOfControlledH) {
+  EXPECT_EQ(tCostOfControlledH(0), 0);
+  EXPECT_EQ(tCostOfControlledH(1), 8);  // c_CH (Lee et al. 2021)
+  EXPECT_EQ(tCostOfControlledH(2), 22); // 8 + 14
+}
+
+TEST(Gate, CountGates) {
+  Circuit C;
+  C.NumQubits = 4;
+  C.addX(0);
+  C.addX(1, {0});
+  C.addX(2, {0, 1});
+  C.addX(3, {0, 1, 2});
+  C.addH(3);
+  GateCounts Counts = countGates(C);
+  EXPECT_EQ(Counts.Total, 5);
+  EXPECT_EQ(Counts.MCX, 4);
+  EXPECT_EQ(Counts.CNOT, 1);
+  EXPECT_EQ(Counts.Toffoli, 1);
+  EXPECT_EQ(Counts.H, 1);
+  EXPECT_EQ(Counts.TComplexity, 7 + 21);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression synthesis properties: circuit == interpreter on all inputs.
+//===----------------------------------------------------------------------===//
+
+struct BinOpCase {
+  ast::BinaryOp Op;
+  const char *Name;
+};
+
+class BinaryOpSynthesis : public ::testing::TestWithParam<BinOpCase> {};
+
+TEST_P(BinaryOpSynthesis, MatchesInterpreterOnRandomInputs) {
+  ExprHarness H;
+  const ast::Type *ResultTy =
+      (GetParam().Op == ast::BinaryOp::Eq ||
+       GetParam().Op == ast::BinaryOp::Ne ||
+       GetParam().Op == ast::BinaryOp::Lt)
+          ? H.Bool
+          : H.UInt;
+
+  CoreProgram P;
+  P.Types = H.Types;
+  P.Inputs = {{"a", H.UInt}, {"b", H.UInt}};
+  P.OutputVar = "out";
+  P.OutputTy = ResultTy;
+  P.Body.push_back(CoreStmt::assign(
+      "out", ResultTy,
+      CoreExpr::binary(GetParam().Op, Atom::var("a", H.UInt),
+                       Atom::var("b", H.UInt), ResultTy)));
+
+  std::mt19937_64 Rng(7);
+  for (int Trial = 0; Trial != 24; ++Trial) {
+    sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+    S.Regs["a"] = Rng() & 0xFF;
+    S.Regs["b"] = Rng() & 0xFF;
+    uint64_t FromInterp = H.evalInterp(P, S);
+    uint64_t FromCircuit = H.evalCircuit(P, S);
+    EXPECT_EQ(FromCircuit, FromInterp)
+        << GetParam().Name << "(" << S.Regs["a"] << ", " << S.Regs["b"]
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BinaryOpSynthesis,
+    ::testing::Values(BinOpCase{ast::BinaryOp::Add, "add"},
+                      BinOpCase{ast::BinaryOp::Sub, "sub"},
+                      BinOpCase{ast::BinaryOp::Mul, "mul"},
+                      BinOpCase{ast::BinaryOp::Eq, "eq"},
+                      BinOpCase{ast::BinaryOp::Ne, "ne"},
+                      BinOpCase{ast::BinaryOp::Lt, "lt"}),
+    [](const ::testing::TestParamInfo<BinOpCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(ExprSynthesis, ConstOperands) {
+  ExprHarness H;
+  // out <- a + 13 and out <- 200 - a exercise constant folding in the
+  // virtual-bit adder.
+  for (auto [Op, ConstVal, Left] :
+       std::vector<std::tuple<ast::BinaryOp, uint64_t, bool>>{
+           {ast::BinaryOp::Add, 13, false},
+           {ast::BinaryOp::Sub, 200, true},
+           {ast::BinaryOp::Mul, 5, false},
+           {ast::BinaryOp::Lt, 100, true},
+           {ast::BinaryOp::Eq, 77, false}}) {
+    const ast::Type *ResultTy =
+        (Op == ast::BinaryOp::Eq || Op == ast::BinaryOp::Lt) ? H.Bool
+                                                             : H.UInt;
+    CoreProgram P;
+    P.Types = H.Types;
+    P.Inputs = {{"a", H.UInt}};
+    P.OutputVar = "out";
+    P.OutputTy = ResultTy;
+    Atom A = Left ? Atom::constant(ConstVal, H.UInt) : Atom::var("a", H.UInt);
+    Atom B = Left ? Atom::var("a", H.UInt) : Atom::constant(ConstVal, H.UInt);
+    P.Body.push_back(CoreStmt::assign(
+        "out", ResultTy, CoreExpr::binary(Op, A, B, ResultTy)));
+    for (uint64_t V : {0ull, 1ull, 76ull, 77ull, 100ull, 255ull}) {
+      sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+      S.Regs["a"] = V;
+      EXPECT_EQ(H.evalCircuit(P, S), H.evalInterp(P, S))
+          << "op " << static_cast<int>(Op) << " a=" << V;
+    }
+  }
+}
+
+TEST(ExprSynthesis, BoolOpsAndTest) {
+  ExprHarness H;
+  CoreProgram P;
+  P.Types = H.Types;
+  P.Inputs = {{"x", H.Bool}, {"y", H.Bool}, {"u", H.UInt}};
+  P.OutputVar = "out";
+  P.OutputTy = H.Bool;
+  // out = (x && y) xor (x || y) xor (not x) xor (test u), built through
+  // repeated re-declaration (XOR accumulation).
+  P.Body.push_back(CoreStmt::assign(
+      "out", H.Bool,
+      CoreExpr::binary(ast::BinaryOp::And, Atom::var("x", H.Bool),
+                       Atom::var("y", H.Bool), H.Bool)));
+  P.Body.push_back(CoreStmt::assign(
+      "out", H.Bool,
+      CoreExpr::binary(ast::BinaryOp::Or, Atom::var("x", H.Bool),
+                       Atom::var("y", H.Bool), H.Bool)));
+  P.Body.push_back(CoreStmt::assign(
+      "out", H.Bool,
+      CoreExpr::unary(ast::UnaryOp::Not, Atom::var("x", H.Bool), H.Bool)));
+  P.Body.push_back(CoreStmt::assign(
+      "out", H.Bool,
+      CoreExpr::unary(ast::UnaryOp::Test, Atom::var("u", H.UInt), H.Bool)));
+  for (uint64_t X : {0, 1})
+    for (uint64_t Y : {0, 1})
+      for (uint64_t U : {0, 3}) {
+        sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+        S.Regs["x"] = X;
+        S.Regs["y"] = Y;
+        S.Regs["u"] = U;
+        uint64_t Expected = ((X & Y) ^ (X | Y) ^ (1 ^ X) ^ (U ? 1 : 0)) & 1;
+        EXPECT_EQ(H.evalCircuit(P, S), Expected);
+        EXPECT_EQ(H.evalInterp(P, S), Expected);
+      }
+}
+
+TEST(ExprSynthesis, PairAndProjection) {
+  ExprHarness H;
+  const ast::Type *Pair = H.Types->pairType(H.UInt, H.Bool);
+  CoreProgram P;
+  P.Types = H.Types;
+  P.Inputs = {{"u", H.UInt}, {"b", H.Bool}};
+  P.OutputVar = "back";
+  P.OutputTy = H.UInt;
+  P.Body.push_back(CoreStmt::assign(
+      "t", Pair,
+      CoreExpr::pair(Atom::var("u", H.UInt), Atom::var("b", H.Bool), Pair)));
+  P.Body.push_back(CoreStmt::assign(
+      "back", H.UInt, CoreExpr::proj(Atom::var("t", Pair), 1, H.UInt)));
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["u"] = 173;
+  S.Regs["b"] = 1;
+  EXPECT_EQ(H.evalCircuit(P, S), 173u);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program property: interpreter == compiled circuit.
+//===----------------------------------------------------------------------===//
+
+class BackendProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendProperty, RandomProgramsAgreeWithInterpreter) {
+  testutil::RandomProgramGen Gen(GetParam());
+  CoreProgram P = Gen.generate(14);
+
+  CompileResult R = compileToCircuit(P, Config);
+  for (uint64_t Trial = 0; Trial != 4; ++Trial) {
+    sim::MachineState S =
+        testutil::randomState(P, Config, GetParam() * 97 + Trial);
+    sim::MachineState Expected = S;
+    sim::Interpreter Interp(P, Config);
+    ASSERT_TRUE(Interp.run(Expected)) << Interp.error();
+
+    sim::BitString Bits = sim::encodeState(S, R.Layout);
+    sim::runBasis(R.Circ, Bits);
+    uint64_t Out = Bits.read(R.Layout.Output.Offset, R.Layout.Output.Width);
+    EXPECT_EQ(Out, Interp.output(Expected)) << "seed " << GetParam();
+
+    // Memory must agree as well.
+    for (unsigned A = 1; A <= Config.HeapCells; ++A) {
+      BitRange Cell = R.Layout.cell(A);
+      EXPECT_EQ(Bits.read(Cell.Offset, Cell.Width), Expected.Mem[A])
+          << "cell " << A << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Register allocation
+//===----------------------------------------------------------------------===//
+
+TEST(RegAlloc, ReusesReleasedRegisters) {
+  // x allocated, consumed, then y allocated: y reuses x's register, so
+  // the program needs width(out)+width(x) qubits beyond fixed overhead,
+  // not width(out)+2*width(x).
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"a", UInt}};
+  P.OutputVar = "out";
+  P.OutputTy = UInt;
+  P.Body.push_back(
+      CoreStmt::assign("x", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  P.Body.push_back(
+      CoreStmt::unassign("x", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  P.Body.push_back(
+      CoreStmt::assign("y", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  P.Body.push_back(
+      CoreStmt::assign("out", UInt, CoreExpr::atom(Atom::var("y", UInt))));
+  CompileResult R = compileToCircuit(P, Config);
+  // Inputs (8) + memory (16 cells x 1 bit) + x/y shared (8) + out (8).
+  unsigned Fixed = 8 + Config.HeapCells * 1;
+  EXPECT_EQ(R.Layout.NumQubits, Fixed + 8 + 8);
+}
+
+TEST(RegAlloc, AppendixDPinning) {
+  // The Fig. 23 scenario: a variable is consumed and re-declared inside
+  // a do-block; Appendix D requires it to get the same register back.
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"c", Bool}};
+  P.OutputVar = "x";
+  P.OutputTy = UInt;
+
+  // with { x <- 1 } do { if c { x -> 1; y <- 2; x <- y-1; } } ... x
+  // must live in one register on both paths.
+  CoreStmtList WithBody, DoBody, IfBody;
+  WithBody.push_back(
+      CoreStmt::assign("x", UInt, CoreExpr::atom(Atom::constant(1, UInt))));
+  IfBody.push_back(CoreStmt::unassign(
+      "x", UInt, CoreExpr::atom(Atom::constant(1, UInt))));
+  IfBody.push_back(
+      CoreStmt::assign("y", UInt, CoreExpr::atom(Atom::constant(2, UInt))));
+  IfBody.push_back(CoreStmt::assign(
+      "x", UInt,
+      CoreExpr::binary(ast::BinaryOp::Sub, Atom::var("y", UInt),
+                       Atom::constant(1, UInt), UInt)));
+  DoBody.push_back(CoreStmt::ifStmt("c", std::move(IfBody)));
+  // Copy x out so it survives the with reversal.
+  DoBody.push_back(
+      CoreStmt::assign("out", UInt, CoreExpr::atom(Atom::var("x", UInt))));
+  P.Body.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+  P.OutputVar = "out";
+
+  CompileResult R = compileToCircuit(P, Config);
+  // Correctness through both control paths.
+  for (uint64_t C : {0, 1}) {
+    sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+    S.Regs["c"] = C;
+    sim::MachineState Expected = S;
+    sim::Interpreter Interp(P, Config);
+    ASSERT_TRUE(Interp.run(Expected)) << Interp.error();
+    sim::BitString Bits = sim::encodeState(S, R.Layout);
+    sim::runBasis(R.Circ, Bits);
+    EXPECT_EQ(Bits.read(R.Layout.Output.Offset, R.Layout.Output.Width),
+              Interp.output(Expected))
+        << "c=" << C;
+    EXPECT_EQ(Interp.output(Expected), C ? 1u : 1u);
+  }
+}
+
+TEST(QRam, NullDereferenceIsNoOp) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"p", Types->ptrType(UInt)}, {"v", UInt}};
+  P.OutputVar = "v";
+  P.OutputTy = UInt;
+  P.PointeeTypes.push_back(UInt);
+  P.Body.push_back(
+      CoreStmt::memSwap("p", Types->ptrType(UInt), "v", UInt));
+
+  CompileResult R = compileToCircuit(P, Config);
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["p"] = 0; // null
+  S.Regs["v"] = 99;
+  S.Mem[3] = 42;
+  sim::BitString Bits = sim::encodeState(S, R.Layout);
+  sim::runBasis(R.Circ, Bits);
+  EXPECT_EQ(Bits.read(R.Layout.Inputs.at("v").Offset, 8), 99u);
+  EXPECT_EQ(Bits.read(R.Layout.cell(3).Offset, R.Layout.cell(3).Width), 42u);
+}
+
+TEST(QRam, SwapsAddressedCell) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"p", Types->ptrType(UInt)}, {"v", UInt}};
+  P.OutputVar = "v";
+  P.OutputTy = UInt;
+  P.PointeeTypes.push_back(UInt);
+  P.Body.push_back(
+      CoreStmt::memSwap("p", Types->ptrType(UInt), "v", UInt));
+
+  CompileResult R = compileToCircuit(P, Config);
+  for (uint64_t Addr : {1u, 7u, 16u}) {
+    sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+    S.Regs["p"] = Addr;
+    S.Regs["v"] = 99;
+    S.Mem[Addr] = 42;
+    sim::BitString Bits = sim::encodeState(S, R.Layout);
+    sim::runBasis(R.Circ, Bits);
+    EXPECT_EQ(Bits.read(R.Layout.Inputs.at("v").Offset, 8), 42u);
+    EXPECT_EQ(Bits.read(R.Layout.cell(Addr).Offset, 8), 99u);
+  }
+}
+
+TEST(QcWriter, EmitsMoscaFormat) {
+  Circuit C;
+  C.NumQubits = 3;
+  C.addX(2, {0, 1});
+  C.addH(0);
+  C.add(Gate(GateKind::T, 1));
+  std::string Text = writeQc(C);
+  EXPECT_NE(Text.find(".v q0 q1 q2"), std::string::npos);
+  EXPECT_NE(Text.find("BEGIN"), std::string::npos);
+  EXPECT_NE(Text.find("tof q0 q1 q2"), std::string::npos);
+  EXPECT_NE(Text.find("H q0"), std::string::npos);
+  EXPECT_NE(Text.find("T q1"), std::string::npos);
+  EXPECT_NE(Text.find("END"), std::string::npos);
+}

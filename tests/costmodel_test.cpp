@@ -1,0 +1,268 @@
+//===----------------------------------------------------------------------===//
+// Cost-model tests: Theorems 5.1 and 5.2 instantiated exactly against the
+// backend, on hand-written programs, random programs, and the full
+// benchmark suite; plus the paper's worked Section 3.4 relations.
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "benchmarks/Benchmarks.h"
+#include "costmodel/CostModel.h"
+#include "decompose/Decompose.h"
+#include "opt/Spire.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::ir;
+
+namespace {
+
+circuit::TargetConfig Config;
+
+costmodel::Cost predicted(const CoreProgram &P) {
+  return costmodel::analyzeProgram(P, Config);
+}
+
+costmodel::Cost measured(const CoreProgram &P) {
+  circuit::CompileResult R = circuit::compileToCircuit(P, Config);
+  circuit::GateCounts Counts = circuit::countGates(R.Circ);
+  return {Counts.Total, Counts.TComplexity};
+}
+
+} // namespace
+
+TEST(CostModel, PaperConstants) {
+  EXPECT_EQ(costmodel::CCtrl, 14); // 2 Toffolis x 7 T (Section 5)
+  EXPECT_EQ(costmodel::CCH, 8);    // Lee et al. 2021
+}
+
+TEST(CostModel, SkipAndZeroAssignAreFree) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  CoreProgram P;
+  P.Types = Types;
+  P.OutputVar = "x";
+  P.OutputTy = UInt;
+  P.Body.push_back(CoreStmt::skip());
+  // x <- 0 with an all-zero bit pattern emits no gates (Section 5).
+  P.Body.push_back(
+      CoreStmt::assign("x", UInt, CoreExpr::atom(Atom::constant(0, UInt))));
+  costmodel::Cost C = predicted(P);
+  EXPECT_EQ(C.MCX, 0);
+  EXPECT_EQ(C.T, 0);
+  EXPECT_EQ(measured(P).MCX, 0);
+}
+
+TEST(CostModel, ControlledConstantAssignIsTFree) {
+  // C_T(if x { y <- v }) = 0: X under one control is CNOT (Clifford).
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"c", Bool}};
+  P.OutputVar = "y";
+  P.OutputTy = UInt;
+  CoreStmtList Body;
+  Body.push_back(
+      CoreStmt::assign("y", UInt, CoreExpr::atom(Atom::constant(5, UInt))));
+  P.Body.push_back(CoreStmt::ifStmt("c", std::move(Body)));
+  costmodel::Cost C = predicted(P);
+  EXPECT_GT(C.MCX, 0);
+  EXPECT_EQ(C.T, 0);
+  EXPECT_EQ(measured(P).T, 0);
+}
+
+TEST(CostModel, NestedControlledConstantCostsT) {
+  // Two levels of if make the constant writes Toffolis: 7 T per set bit.
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"c1", Bool}, {"c2", Bool}};
+  P.OutputVar = "y";
+  P.OutputTy = UInt;
+  CoreStmtList Inner;
+  Inner.push_back(
+      CoreStmt::assign("y", UInt, CoreExpr::atom(Atom::constant(3, UInt))));
+  CoreStmtList Outer;
+  Outer.push_back(CoreStmt::ifStmt("c2", std::move(Inner)));
+  P.Body.push_back(CoreStmt::ifStmt("c1", std::move(Outer)));
+  costmodel::Cost C = predicted(P);
+  EXPECT_EQ(C.T, 2 * 7); // two set bits, each an X with 2 controls
+  EXPECT_EQ(measured(P).T, C.T);
+}
+
+TEST(CostModel, ControlledHadamardCostsCCH) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"c", Bool}, {"y", Bool}};
+  P.OutputVar = "y";
+  P.OutputTy = Bool;
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::hadamard("y", Bool));
+  P.Body.push_back(CoreStmt::ifStmt("c", std::move(Body)));
+  EXPECT_EQ(predicted(P).T, costmodel::CCH);
+}
+
+TEST(CostModel, WithBlockCountsReversalOnce) {
+  // with { s1 } do { s2 } expands to s1; s2; I[s1]: cost 2*C(s1)+C(s2).
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"a", UInt}};
+  P.OutputVar = "d";
+  P.OutputTy = UInt;
+  CoreStmtList WithBody, DoBody;
+  WithBody.push_back(
+      CoreStmt::assign("w", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  DoBody.push_back(
+      CoreStmt::assign("d", UInt, CoreExpr::atom(Atom::var("w", UInt))));
+  P.Body.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+  // A copy of one 8-bit register is 8 CNOTs; with-forward + do + reverse.
+  EXPECT_EQ(predicted(P).MCX, 8 + 8 + 8);
+  EXPECT_EQ(measured(P).MCX, 24);
+}
+
+TEST(CostModel, ExactOnAllBenchmarks) {
+  for (const auto &B : benchmarks::allBenchmarks()) {
+    for (int64_t N : {2, 4}) {
+      if (!B.SizeIndexed && N != 2)
+        continue;
+      CoreProgram P = benchmarks::lowerBenchmark(B, N);
+      costmodel::Cost Pred = predicted(P);
+      costmodel::Cost Meas = measured(P);
+      EXPECT_EQ(Pred.MCX, Meas.MCX) << B.Name << " n=" << N;
+      EXPECT_EQ(Pred.T, Meas.T) << B.Name << " n=" << N;
+    }
+  }
+}
+
+TEST(CostModel, ExactOnOptimizedBenchmarks) {
+  for (const auto &B : benchmarks::allBenchmarks()) {
+    CoreProgram P = benchmarks::lowerBenchmark(B, 3);
+    CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::all());
+    EXPECT_EQ(predicted(O).MCX, measured(O).MCX) << B.Name;
+    EXPECT_EQ(predicted(O).T, measured(O).T) << B.Name;
+  }
+}
+
+class CostModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CostModelProperty, ExactOnRandomPrograms) {
+  testutil::RandomProgramGen Gen(GetParam());
+  CoreProgram P = Gen.generate(16);
+  costmodel::Cost Pred = predicted(P);
+  costmodel::Cost Meas = measured(P);
+  EXPECT_EQ(Pred.MCX, Meas.MCX) << "seed " << GetParam();
+  EXPECT_EQ(Pred.T, Meas.T) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelProperty,
+                         ::testing::Range<uint64_t>(100, 125));
+
+TEST(CostModel, TMatchesFullyDecomposedCircuit) {
+  // The T prediction equals the literal T gate count after Clifford+T
+  // decomposition, not just the counting rule at the MCX level.
+  CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 3);
+  circuit::CompileResult R = circuit::compileToCircuit(P, Config);
+  circuit::Circuit CT = decompose::toCliffordT(R.Circ);
+  EXPECT_EQ(predicted(P).T, circuit::countGates(CT).T);
+}
+
+TEST(CostModel, Section34Recurrence) {
+  // Section 3.4: C_T(n) - C_T(n-1) grows linearly in n (the
+  // C_MCX(n-1) control-flow term), so the second difference of C_T is a
+  // positive constant while C_MCX's first difference is constant.
+  std::vector<int64_t> MCX, T;
+  for (int N = 2; N <= 7; ++N) {
+    CoreProgram P =
+        benchmarks::lowerBenchmark(benchmarks::lengthBenchmark(), N);
+    costmodel::Cost C = predicted(P);
+    MCX.push_back(C.MCX);
+    T.push_back(C.T);
+  }
+  for (size_t I = 2; I < MCX.size(); ++I) {
+    EXPECT_EQ(MCX[I] - MCX[I - 1], MCX[1] - MCX[0]) << "MCX linear";
+    int64_t D2 = (T[I] - T[I - 1]) - (T[I - 1] - T[I - 2]);
+    int64_t D2First = (T[2] - T[1]) - (T[1] - T[0]);
+    EXPECT_EQ(D2, D2First) << "T second difference constant";
+    EXPECT_GT(D2, 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Control merging: when an if condition is itself read by the body, the
+// compiled gate carries that qubit once, not twice; the model must match
+// the circuit exactly in that case too.
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, ConditionReadInBodyMergesControls) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"b0", Bool}, {"b1", Bool}};
+  P.OutputVar = "v";
+  P.OutputTy = Bool;
+  // if b0 { v <- b0 && b1 }: the && gate is controlled by b0 and b1
+  // already; the if adds b0 again, which merges.
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "v", Bool,
+      CoreExpr::binary(ast::BinaryOp::And, Atom::var("b0", Bool),
+                       Atom::var("b1", Bool), Bool)));
+  P.Body.push_back(CoreStmt::ifStmt("b0", std::move(Body)));
+  EXPECT_EQ(predicted(P).T, measured(P).T);
+  // The gate stays a Toffoli (7 T), not a 3-control MCX (21 T).
+  EXPECT_EQ(measured(P).T, 7);
+}
+
+TEST(CostModel, NestedSameConditionCountsOnce) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  const ast::Type *UInt = Types->uintType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"x", Bool}, {"a", UInt}};
+  P.OutputVar = "t";
+  P.OutputTy = UInt;
+  // if x { if x { t <- a } }: one control bit, not two.
+  CoreStmtList Inner;
+  Inner.push_back(CoreStmt::assign(
+      "t", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  CoreStmtList Outer;
+  Outer.push_back(CoreStmt::ifStmt("x", std::move(Inner)));
+  P.Body.push_back(CoreStmt::ifStmt("x", std::move(Outer)));
+  EXPECT_EQ(predicted(P), measured(P));
+  // The copy is 8 CNOTs (control a_i); the merged condition adds exactly
+  // one control, making 8 Toffolis — not the 8 three-control MCX gates a
+  // depth-2 count would give.
+  EXPECT_EQ(measured(P).T, 8 * circuit::tCostOfMCX(2));
+}
+
+TEST(CostModel, DistinctConditionOverCoincidingOne) {
+  auto Types = std::make_shared<TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"b0", Bool}, {"b1", Bool}, {"c", Bool}};
+  P.OutputVar = "v";
+  P.OutputTy = Bool;
+  // if c { if b0 { v <- b0 && b1 } }: c is fresh, b0 merges.
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "v", Bool,
+      CoreExpr::binary(ast::BinaryOp::And, Atom::var("b0", Bool),
+                       Atom::var("b1", Bool), Bool)));
+  CoreStmtList Mid;
+  Mid.push_back(CoreStmt::ifStmt("b0", std::move(Body)));
+  P.Body.push_back(CoreStmt::ifStmt("c", std::move(Mid)));
+  EXPECT_EQ(predicted(P), measured(P));
+  EXPECT_EQ(measured(P).T, circuit::tCostOfMCX(3));
+}

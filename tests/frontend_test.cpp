@@ -1,0 +1,339 @@
+//===----------------------------------------------------------------------===//
+// Tests for the Tower lexer, parser, and type checker.
+//===----------------------------------------------------------------------===//
+
+#include "ast/Reverse.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::frontend;
+
+namespace {
+
+std::vector<Token> lex(const char *Source) {
+  support::DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+bool checks(const char *Source) {
+  support::DiagnosticEngine Diags;
+  std::optional<ast::Program> P = parseProgram(Source, Diags);
+  if (!P)
+    return false;
+  return sema::typeCheck(*P, Diags);
+}
+
+} // namespace
+
+TEST(Lexer, Arrows) {
+  std::vector<Token> T = lex("<- -> <-> < > = == != && ||");
+  ASSERT_GE(T.size(), 10u);
+  EXPECT_EQ(T[0].Kind, TokenKind::Assign);
+  EXPECT_EQ(T[1].Kind, TokenKind::UnAssign);
+  EXPECT_EQ(T[2].Kind, TokenKind::SwapArrow);
+  EXPECT_EQ(T[3].Kind, TokenKind::Less);
+  EXPECT_EQ(T[4].Kind, TokenKind::Greater);
+  EXPECT_EQ(T[5].Kind, TokenKind::Equal);
+  EXPECT_EQ(T[6].Kind, TokenKind::EqEq);
+  EXPECT_EQ(T[7].Kind, TokenKind::NotEq);
+  EXPECT_EQ(T[8].Kind, TokenKind::AmpAmp);
+  EXPECT_EQ(T[9].Kind, TokenKind::PipePipe);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  std::vector<Token> T = lex("fun length with do iff lettuce");
+  EXPECT_EQ(T[0].Kind, TokenKind::KwFun);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Text, "length");
+  EXPECT_EQ(T[2].Kind, TokenKind::KwWith);
+  EXPECT_EQ(T[3].Kind, TokenKind::KwDo);
+  EXPECT_EQ(T[4].Kind, TokenKind::Identifier); // iff is not a keyword
+  EXPECT_EQ(T[5].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, IntegersAndComments) {
+  std::vector<Token> T = lex("42 /* block\ncomment */ 7 // trailing\n99");
+  EXPECT_EQ(T[0].IntValue, 42u);
+  EXPECT_EQ(T[1].IntValue, 7u);
+  EXPECT_EQ(T[2].IntValue, 99u);
+  EXPECT_EQ(T[3].Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Locations) {
+  std::vector<Token> T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, ErrorOnStrayCharacter) {
+  support::DiagnosticEngine Diags;
+  Lexer L("a $ b", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, Figure1Parses) {
+  const char *Source = R"(
+type list = (uint, ptr<list>);
+fun length[n](xs: ptr<list>, acc: uint) {
+  with {
+    let is_empty <- xs == null;
+  } do if is_empty {
+    let out <- acc;
+  } else with {
+    let temp <- default<list>;
+    *xs <-> temp;
+    let next <- temp.2;
+    let r <- acc + 1;
+  } do {
+    let out <- length[n-1](next, r);
+  }
+  return out;
+}
+)";
+  ast::Program P = parseProgramOrDie(Source);
+  ASSERT_EQ(P.Functions.size(), 1u);
+  const ast::FunDecl &F = P.Functions[0];
+  EXPECT_EQ(F.Name, "length");
+  EXPECT_EQ(F.SizeParam, "n");
+  EXPECT_EQ(F.ReturnVar, "out");
+  ASSERT_EQ(F.Params.size(), 2u);
+  EXPECT_EQ(F.Params[0].first, "xs");
+  // Body: one with-do statement.
+  ASSERT_EQ(F.Body.size(), 1u);
+  EXPECT_EQ(F.Body[0]->K, ast::Stmt::Kind::With);
+}
+
+TEST(Parser, TypeSyntax) {
+  ast::Program P = parseProgramOrDie(
+      "type pairptr = ((uint, bool), ptr<uint>);\n"
+      "fun id(x: pairptr) { let out <- x; return out; }");
+  const ast::Type *T = P.Types->lookupAlias("pairptr");
+  ASSERT_NE(T, nullptr);
+  ASSERT_TRUE(T->isPair());
+  EXPECT_TRUE(T->first()->isPair());
+  EXPECT_TRUE(T->second()->isPtr());
+  EXPECT_EQ(T->str(), "((uint, bool), ptr<uint>)");
+}
+
+TEST(Parser, PrecedenceRendering) {
+  ast::Program P = parseProgramOrDie(
+      "fun f(a: uint, b: uint, c: uint) {"
+      "  let x <- a + b * c;"
+      "  let y <- a == b && c == a;"
+      "  return x; }");
+  const auto &Body = P.Functions[0].Body;
+  // a + (b * c)
+  EXPECT_EQ(Body[0]->E->str(), "a + b * c");
+  EXPECT_EQ(Body[0]->E->BOp, ast::BinaryOp::Add);
+  // (a == b) && (c == a)
+  EXPECT_EQ(Body[1]->E->BOp, ast::BinaryOp::And);
+}
+
+TEST(Parser, SwapForms) {
+  ast::Program P = parseProgramOrDie(
+      "fun f(p: ptr<uint>, a: uint, b: uint) {"
+      "  a <-> b;"
+      "  *p <-> a;"
+      "  let out <- a;"
+      "  return out; }");
+  const auto &Body = P.Functions[0].Body;
+  EXPECT_EQ(Body[0]->K, ast::Stmt::Kind::Swap);
+  EXPECT_EQ(Body[1]->K, ast::Stmt::Kind::MemSwap);
+  EXPECT_EQ(Body[1]->Name, "p");
+  EXPECT_EQ(Body[1]->Name2, "a");
+}
+
+TEST(Parser, ReturnTypeAnnotation) {
+  ast::Program P = parseProgramOrDie(
+      "fun f(a: uint) -> bool { let out <- test a; return out; }");
+  ASSERT_NE(P.Functions[0].ReturnTy, nullptr);
+  EXPECT_TRUE(P.Functions[0].ReturnTy->isBool());
+}
+
+TEST(Parser, ErrorRecoveryReportsLocation) {
+  support::DiagnosticEngine Diags;
+  std::optional<ast::Program> P =
+      parseProgram("fun f( { return x; }", Diags);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Sema, Figure1TypeChecks) {
+  EXPECT_TRUE(checks(R"(
+type list = (uint, ptr<list>);
+fun length[n](xs: ptr<list>, acc: uint) {
+  with {
+    let is_empty <- xs == null;
+  } do if is_empty {
+    let out <- acc;
+  } else with {
+    let temp <- default<list>;
+    *xs <-> temp;
+    let next <- temp.2;
+    let r <- acc + 1;
+  } do {
+    let out <- length[n-1](next, r);
+  }
+  return out;
+}
+)"));
+}
+
+TEST(Sema, RejectsUndeclaredVariable) {
+  EXPECT_FALSE(checks("fun f(a: uint) { let out <- b; return out; }"));
+}
+
+TEST(Sema, RejectsTypeMismatch) {
+  EXPECT_FALSE(checks("fun f(a: uint, b: bool) {"
+                      "  let out <- a && b; return out; }"));
+}
+
+TEST(Sema, RejectsModifiedCondition) {
+  // S-If: the condition may not be modified by the body.
+  EXPECT_FALSE(checks("fun f(c: bool) {"
+                      "  if c { let c <- true; }"
+                      "  let out <- c; return out; }"));
+}
+
+TEST(Sema, RejectsBranchConsumingOuter) {
+  EXPECT_FALSE(checks("fun f(c: bool, x: uint) {"
+                      "  if c { let x -> 5; }"
+                      "  let out <- c; return out; }"));
+}
+
+TEST(Sema, AllowsRedeclarationSameType) {
+  EXPECT_TRUE(checks("fun f(c: bool, d: bool, a: uint, b: uint) {"
+                     "  if c { let out <- a; }"
+                     "  if d { let out <- b; }"
+                     "  return out; }"));
+}
+
+TEST(Sema, RejectsRedeclarationDifferentType) {
+  EXPECT_FALSE(checks("fun f(a: uint) {"
+                      "  let out <- a;"
+                      "  let out <- test a;"
+                      "  return out; }"));
+}
+
+TEST(Sema, UnassignRemovesBinding) {
+  EXPECT_FALSE(checks("fun f(a: uint) {"
+                      "  let t <- a;"
+                      "  let t -> a;"
+                      "  let out <- t;" // t is gone
+                      "  return out; }"));
+}
+
+TEST(Sema, NullNeedsPointerContext) {
+  EXPECT_TRUE(checks("type l = (uint, ptr<l>);"
+                     "fun f(p: ptr<l>) { let out <- p == null;"
+                     "  return out; }"));
+  EXPECT_FALSE(checks("fun f(a: uint) { let out <- a == null;"
+                      "  return out; }"));
+}
+
+TEST(Sema, HadamardRequiresBool) {
+  EXPECT_TRUE(checks("fun f(b: bool) { h(b); let out <- b; return out; }"));
+  EXPECT_FALSE(checks("fun f(a: uint) { h(a); let out <- a; return out; }"));
+}
+
+TEST(Sema, MemSwapTypes) {
+  EXPECT_TRUE(checks("fun f(p: ptr<uint>, v: uint) { *p <-> v;"
+                     "  let out <- v; return out; }"));
+  EXPECT_FALSE(checks("fun f(p: ptr<uint>, v: bool) { *p <-> v;"
+                      "  let out <- v; return out; }"));
+}
+
+TEST(Sema, RecursiveCallNeedsAnnotationOrContext) {
+  // Fresh binding of a self-call result without a return annotation.
+  EXPECT_FALSE(checks("fun f[n](a: uint) {"
+                      "  let out <- f[n-1](a);"
+                      "  return out; }"));
+  // Same with an annotation: fine.
+  EXPECT_TRUE(checks("fun f[n](a: uint) -> uint {"
+                     "  let out <- f[n-1](a);"
+                     "  return out; }"));
+}
+
+TEST(Reverse, RoundTrip) {
+  ast::Program P = parseProgramOrDie(
+      "fun f(a: uint, b: bool) {"
+      "  let t <- a;"
+      "  if b { let u <- t; let u -> t; }"
+      "  with { let w <- a; } do { let v <- w; }"
+      "  let t -> a;"
+      "  let out <- v;"
+      "  return out; }");
+  const ast::StmtList &Body = P.Functions[0].Body;
+  ast::StmtList Rev = ast::reverseStmts(Body);
+  ast::StmtList Back = ast::reverseStmts(Rev);
+  ASSERT_EQ(Back.size(), Body.size());
+  for (size_t I = 0; I != Body.size(); ++I)
+    EXPECT_EQ(Back[I]->str(), Body[I]->str());
+  // Reversal turns the leading let into a trailing un-let.
+  EXPECT_EQ(Rev.back()->K, ast::Stmt::Kind::UnLet);
+  EXPECT_EQ(Rev.back()->Name, "t");
+}
+
+TEST(ModSet, CoversConstructs) {
+  ast::Program P = parseProgramOrDie(
+      "fun f(p: ptr<uint>, a: uint, b: uint, c: bool) {"
+      "  a <-> b;"
+      "  *p <-> a;"
+      "  if c { let d <- a; }"
+      "  h(c);"
+      "  let out <- a;"
+      "  return out; }");
+  std::set<std::string> Mods = sema::collectModSet(P.Functions[0].Body);
+  EXPECT_TRUE(Mods.count("a"));
+  EXPECT_TRUE(Mods.count("b"));
+  EXPECT_TRUE(Mods.count("d"));
+  EXPECT_TRUE(Mods.count("c")); // h(c)
+  EXPECT_TRUE(Mods.count("out"));
+  EXPECT_FALSE(Mods.count("p")); // mem-swap pointer is read-only
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round trips: parsing the printer's output reproduces the same
+// program, for every benchmark source. This pins the printer to the
+// grammar and guards both against drift.
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "lowering/Lower.h"
+
+TEST(PrinterRoundTrip, AllBenchmarkSourcesReparse) {
+  for (const auto &B : spire::benchmarks::allBenchmarks()) {
+    support::DiagnosticEngine Diags;
+    std::optional<ast::Program> P = parseProgram(B.Source, Diags);
+    ASSERT_TRUE(P.has_value()) << B.Name << ": " << Diags.str();
+    std::string Printed = P->str();
+
+    std::optional<ast::Program> Q = parseProgram(Printed, Diags);
+    ASSERT_TRUE(Q.has_value()) << B.Name << " reparse: " << Diags.str()
+                               << "\n" << Printed;
+    // Printing is a normal form: print(parse(print(p))) == print(p).
+    EXPECT_EQ(Q->str(), Printed) << B.Name;
+  }
+}
+
+TEST(PrinterRoundTrip, ReparsedProgramLowersIdentically) {
+  const auto &B = spire::benchmarks::lengthBenchmark();
+  support::DiagnosticEngine Diags;
+  std::optional<ast::Program> P = parseProgram(B.Source, Diags);
+  ASSERT_TRUE(P.has_value());
+  std::optional<ast::Program> Q = parseProgram(P->str(), Diags);
+  ASSERT_TRUE(Q.has_value()) << Diags.str();
+  ir::CoreProgram L1 = lowering::lowerProgramOrDie(*P, B.Entry, 3);
+  ir::CoreProgram L2 = lowering::lowerProgramOrDie(*Q, B.Entry, 3);
+  EXPECT_EQ(L1.str(), L2.str());
+}

@@ -1,0 +1,205 @@
+//===----------------------------------------------------------------------===//
+// Focused tests for the reversible IR interpreter (Appendix B.2 machine
+// semantics): null-pointer dereference, word-width wraparound, memory
+// swaps, swaps, state encoding/decoding, and reversibility — running
+// s; I[s] restores the machine state exactly.
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "ir/Core.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::ir;
+
+namespace {
+
+circuit::TargetConfig Config;
+
+struct InterpFixture : ::testing::Test {
+  InterpFixture() {
+    Types = std::make_shared<TypeContext>();
+    UInt = Types->uintType();
+    Bool = Types->boolType();
+    Ptr = Types->ptrType(UInt);
+  }
+
+  CoreProgram makeProgram(CoreStmtList Body,
+                          std::vector<std::pair<std::string, const Type *>>
+                              Inputs) {
+    CoreProgram P;
+    P.Types = Types;
+    P.Inputs = std::move(Inputs);
+    P.Body = std::move(Body);
+    P.OutputVar = P.Inputs.empty() ? "" : P.Inputs.front().first;
+    P.OutputTy = P.Inputs.empty() ? nullptr : P.Inputs.front().second;
+    P.PointeeTypes.push_back(UInt);
+    return P;
+  }
+
+  uint64_t run(const CoreProgram &P, sim::MachineState &S) {
+    sim::Interpreter Interp(P, Config);
+    EXPECT_TRUE(Interp.run(S)) << Interp.error();
+    return Interp.output(S);
+  }
+
+  std::shared_ptr<TypeContext> Types;
+  const Type *UInt, *Bool, *Ptr;
+};
+
+} // namespace
+
+TEST_F(InterpFixture, NullDereferenceIsNoOp) {
+  // Section 4: "the dereferencing of a null pointer is a no-op, not a
+  // runtime error".
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::memSwap("p", Ptr, "v", UInt));
+  CoreProgram P = makeProgram(std::move(Body), {{"p", Ptr}, {"v", UInt}});
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["p"] = 0; // null
+  S.Regs["v"] = 42;
+  S.Mem[1] = 7;
+  run(P, S);
+  EXPECT_EQ(S.Regs["v"], 42u); // untouched
+  EXPECT_EQ(S.Mem[1], 7u);
+}
+
+TEST_F(InterpFixture, MemSwapExchangesCellAndRegister) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::memSwap("p", Ptr, "v", UInt));
+  CoreProgram P = makeProgram(std::move(Body), {{"p", Ptr}, {"v", UInt}});
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["p"] = 3;
+  S.Regs["v"] = 42;
+  S.Mem[3] = 9;
+  run(P, S);
+  EXPECT_EQ(S.Regs["v"], 9u);
+  EXPECT_EQ(S.Mem[3], 42u);
+}
+
+TEST_F(InterpFixture, ArithmeticWrapsAtWordWidth) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "s", UInt,
+      CoreExpr::binary(ast::BinaryOp::Add, Atom::var("a", UInt),
+                       Atom::var("b", UInt), UInt)));
+  CoreProgram P = makeProgram(std::move(Body), {{"a", UInt}, {"b", UInt}});
+  P.OutputVar = "s";
+  P.OutputTy = UInt;
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 200;
+  S.Regs["b"] = 100;
+  EXPECT_EQ(run(P, S), (200u + 100u) % 256u); // 8-bit words
+}
+
+TEST_F(InterpFixture, MultiplicationWraps) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "m", UInt,
+      CoreExpr::binary(ast::BinaryOp::Mul, Atom::var("a", UInt),
+                       Atom::var("b", UInt), UInt)));
+  CoreProgram P = makeProgram(std::move(Body), {{"a", UInt}, {"b", UInt}});
+  P.OutputVar = "m";
+  P.OutputTy = UInt;
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 77;
+  S.Regs["b"] = 55;
+  EXPECT_EQ(run(P, S), (77u * 55u) % 256u);
+}
+
+TEST_F(InterpFixture, SubtractionIsModular) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "d", UInt,
+      CoreExpr::binary(ast::BinaryOp::Sub, Atom::var("a", UInt),
+                       Atom::var("b", UInt), UInt)));
+  CoreProgram P = makeProgram(std::move(Body), {{"a", UInt}, {"b", UInt}});
+  P.OutputVar = "d";
+  P.OutputTy = UInt;
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 3;
+  S.Regs["b"] = 5;
+  EXPECT_EQ(run(P, S), (3u - 5u) & 0xFFu);
+}
+
+TEST_F(InterpFixture, SwapExchangesRegisters) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::swap("a", UInt, "b", UInt));
+  CoreProgram P = makeProgram(std::move(Body), {{"a", UInt}, {"b", UInt}});
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 1;
+  S.Regs["b"] = 2;
+  run(P, S);
+  EXPECT_EQ(S.Regs["a"], 2u);
+  EXPECT_EQ(S.Regs["b"], 1u);
+}
+
+TEST_F(InterpFixture, UnboundVariablesReadAsZero) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "x", UInt,
+      CoreExpr::binary(ast::BinaryOp::Add, Atom::var("a", UInt),
+                       Atom::constant(1, UInt), UInt)));
+  CoreProgram P = makeProgram(std::move(Body), {{"a", UInt}});
+  P.OutputVar = "x";
+  P.OutputTy = UInt;
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  EXPECT_EQ(run(P, S), 1u); // a defaults to zero
+}
+
+TEST_F(InterpFixture, EncodeDecodeRoundTrip) {
+  CoreStmtList Body;
+  Body.push_back(CoreStmt::skip());
+  CoreProgram P = makeProgram(std::move(Body), {{"a", UInt}, {"b", Bool}});
+  circuit::CompileResult R = circuit::compileToCircuit(P, Config);
+
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 0xAB;
+  S.Regs["b"] = 1;
+  for (unsigned Cell = 1; Cell <= Config.HeapCells; ++Cell)
+    S.Mem[Cell] = Cell % 2;
+
+  sim::BitString Bits = sim::encodeState(S, R.Layout);
+  sim::MachineState Back = sim::decodeState(Bits, R.Layout, {"a", "b"});
+  EXPECT_EQ(Back.Regs["a"], 0xABu);
+  EXPECT_EQ(Back.Regs["b"], 1u);
+  EXPECT_EQ(Back.Mem, S.Mem);
+}
+
+//===----------------------------------------------------------------------===//
+// Reversibility: running s; I[s] restores the machine state (the
+// property underlying the with-do construct and all uncomputation).
+//===----------------------------------------------------------------------===//
+
+class ReversalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReversalProperty, ForwardThenReverseRestoresState) {
+  testutil::RandomProgramGen Gen(GetParam());
+  CoreProgram P = Gen.generate(12);
+
+  // Build s; I[s] as the body.
+  CoreStmtList Reversed = reverseStmts(P.Body);
+  for (auto &S : Reversed)
+    P.Body.push_back(std::move(S));
+
+  sim::MachineState S0 = testutil::randomState(P, Config, GetParam() + 7);
+  sim::MachineState S = S0;
+  sim::Interpreter Interp(P, Config);
+  ASSERT_TRUE(Interp.run(S)) << Interp.error();
+
+  for (const auto &[Name, Ty] : P.Inputs)
+    EXPECT_EQ(S.Regs[Name], S0.Regs[Name]) << Name;
+  EXPECT_EQ(S.Mem, S0.Mem);
+}
+
+TEST_P(ReversalProperty, ReversalIsAnInvolutionSyntactically) {
+  testutil::RandomProgramGen Gen(GetParam());
+  CoreProgram P = Gen.generate(12);
+  CoreStmtList Twice = reverseStmts(reverseStmts(P.Body));
+  EXPECT_TRUE(stmtListEquals(P.Body, Twice));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReversalProperty,
+                         ::testing::Range<uint64_t>(300, 320));

@@ -1,0 +1,154 @@
+//===----------------------------------------------------------------------===//
+// Tests for the core IR: construction, printing, reversal, mod-sets.
+//===----------------------------------------------------------------------===//
+
+#include "ir/Core.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire::ir;
+
+namespace {
+
+struct IrFixture : ::testing::Test {
+  std::shared_ptr<TypeContext> Types = std::make_shared<TypeContext>();
+  const spire::ast::Type *Bool = Types->boolType();
+  const spire::ast::Type *UInt = Types->uintType();
+
+  CoreStmtPtr assignConst(const std::string &X, uint64_t V) {
+    return CoreStmt::assign(X, UInt,
+                            CoreExpr::atom(Atom::constant(V, UInt)));
+  }
+  CoreStmtPtr assignVar(const std::string &X, const std::string &Y) {
+    return CoreStmt::assign(X, UInt, CoreExpr::atom(Atom::var(Y, UInt)));
+  }
+};
+
+} // namespace
+
+TEST_F(IrFixture, AtomPrinting) {
+  EXPECT_EQ(Atom::var("x", UInt).str(), "x");
+  EXPECT_EQ(Atom::constant(42, UInt).str(), "42");
+  EXPECT_EQ(Atom::constant(1, Bool).str(), "true");
+  EXPECT_EQ(Atom::constant(0, Types->ptrType(UInt)).str(), "null");
+  EXPECT_EQ(Atom::constant(3, Types->ptrType(UInt)).str(), "ptr[3]");
+}
+
+TEST_F(IrFixture, ExprPrinting) {
+  CoreExpr E = CoreExpr::binary(spire::ast::BinaryOp::And,
+                                Atom::var("x", Bool), Atom::var("y", Bool),
+                                Bool);
+  EXPECT_EQ(E.str(), "x && y");
+  CoreExpr P = CoreExpr::proj(Atom::var("t", UInt), 2, UInt);
+  EXPECT_EQ(P.str(), "t.2");
+}
+
+TEST_F(IrFixture, ReversalOfAssignIsUnassign) {
+  CoreStmtPtr S = assignConst("x", 7);
+  CoreStmtPtr R = reverseStmt(*S);
+  EXPECT_EQ(R->K, CoreStmt::Kind::UnAssign);
+  EXPECT_EQ(R->Name, "x");
+  CoreStmtPtr RR = reverseStmt(*R);
+  EXPECT_TRUE(stmtEquals(*RR, *S));
+}
+
+TEST_F(IrFixture, ReversalReversesSequences) {
+  CoreStmtList Seq;
+  Seq.push_back(assignConst("a", 1));
+  Seq.push_back(assignConst("b", 2));
+  CoreStmtList Rev = reverseStmts(Seq);
+  ASSERT_EQ(Rev.size(), 2u);
+  EXPECT_EQ(Rev[0]->Name, "b");
+  EXPECT_EQ(Rev[1]->Name, "a");
+  EXPECT_EQ(Rev[0]->K, CoreStmt::Kind::UnAssign);
+}
+
+TEST_F(IrFixture, ReversalOfIfKeepsCondition) {
+  CoreStmtList Body;
+  Body.push_back(assignConst("x", 1));
+  Body.push_back(assignConst("y", 2));
+  CoreStmtPtr S = CoreStmt::ifStmt("c", std::move(Body));
+  CoreStmtPtr R = reverseStmt(*S);
+  EXPECT_EQ(R->K, CoreStmt::Kind::If);
+  EXPECT_EQ(R->Name, "c");
+  ASSERT_EQ(R->Body.size(), 2u);
+  EXPECT_EQ(R->Body[0]->Name, "y"); // reversed order
+}
+
+TEST_F(IrFixture, ReversalOfWithReversesOnlyDo) {
+  // (a; b; I[a])^-1 = a; I[b]; I[a]: the with-block stays forward.
+  CoreStmtList WithBody, DoBody;
+  WithBody.push_back(assignConst("w", 1));
+  DoBody.push_back(assignConst("d1", 2));
+  DoBody.push_back(assignConst("d2", 3));
+  CoreStmtPtr S = CoreStmt::with(std::move(WithBody), std::move(DoBody));
+  CoreStmtPtr R = reverseStmt(*S);
+  EXPECT_EQ(R->K, CoreStmt::Kind::With);
+  EXPECT_EQ(R->Body[0]->K, CoreStmt::Kind::Assign); // forward
+  EXPECT_EQ(R->DoBody[0]->Name, "d2");              // reversed
+  EXPECT_EQ(R->DoBody[0]->K, CoreStmt::Kind::UnAssign);
+}
+
+TEST_F(IrFixture, SwapAndHadamardSelfInverse) {
+  CoreStmtPtr S1 = CoreStmt::swap("a", UInt, "b", UInt);
+  EXPECT_TRUE(stmtEquals(*reverseStmt(*S1), *S1));
+  CoreStmtPtr S2 = CoreStmt::hadamard("h", Bool);
+  EXPECT_TRUE(stmtEquals(*reverseStmt(*S2), *S2));
+  CoreStmtPtr S3 = CoreStmt::memSwap("p", Types->ptrType(UInt), "v", UInt);
+  EXPECT_TRUE(stmtEquals(*reverseStmt(*S3), *S3));
+}
+
+TEST_F(IrFixture, ModSet) {
+  CoreStmtList Seq;
+  Seq.push_back(assignVar("x", "y"));
+  Seq.push_back(CoreStmt::swap("a", UInt, "b", UInt));
+  Seq.push_back(CoreStmt::memSwap("p", Types->ptrType(UInt), "v", UInt));
+  CoreStmtList IfBody;
+  IfBody.push_back(assignConst("z", 1));
+  Seq.push_back(CoreStmt::ifStmt("c", std::move(IfBody)));
+  std::set<std::string> Mods = modSet(Seq);
+  EXPECT_EQ(Mods, (std::set<std::string>{"x", "a", "b", "v", "z"}));
+}
+
+TEST_F(IrFixture, AllVarsIncludesOperandsAndConditions) {
+  CoreStmtList IfBody;
+  IfBody.push_back(CoreStmt::assign(
+      "x", UInt,
+      CoreExpr::binary(spire::ast::BinaryOp::Add, Atom::var("y", UInt),
+                       Atom::var("z", UInt), UInt)));
+  CoreStmtList Seq;
+  Seq.push_back(CoreStmt::ifStmt("c", std::move(IfBody)));
+  std::set<std::string> Vars = allVars(Seq);
+  EXPECT_EQ(Vars, (std::set<std::string>{"c", "x", "y", "z"}));
+}
+
+TEST_F(IrFixture, CloneIsDeepAndEqual) {
+  CoreStmtList WithBody, DoBody;
+  WithBody.push_back(assignConst("w", 3));
+  DoBody.push_back(CoreStmt::ifStmt("c", CoreStmtList()));
+  CoreStmtPtr S = CoreStmt::with(std::move(WithBody), std::move(DoBody));
+  CoreStmtPtr C = S->clone();
+  EXPECT_TRUE(stmtEquals(*S, *C));
+  C->Body[0]->Name = "mutated";
+  EXPECT_FALSE(stmtEquals(*S, *C));
+}
+
+TEST_F(IrFixture, PrintingIsStable) {
+  CoreStmtList WithBody, DoBody;
+  WithBody.push_back(assignConst("w", 1));
+  CoreStmtList IfBody;
+  IfBody.push_back(CoreStmt::unassign(
+      "q", UInt, CoreExpr::atom(Atom::constant(0, UInt))));
+  DoBody.push_back(CoreStmt::ifStmt("c", std::move(IfBody)));
+  CoreStmtPtr S = CoreStmt::with(std::move(WithBody), std::move(DoBody));
+  EXPECT_EQ(S->str(),
+            "with {\n  w <- 1;\n} do {\n  if c {\n    q -> 0;\n  }\n}\n");
+}
+
+TEST_F(IrFixture, NameGenIsFresh) {
+  NameGen Gen;
+  std::string A = Gen.fresh("cf");
+  std::string B = Gen.fresh("cf");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A.substr(0, 3), "%cf");
+}

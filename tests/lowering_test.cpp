@@ -1,0 +1,236 @@
+//===----------------------------------------------------------------------===//
+// Tests for lowering: desugaring (if-else, nested expressions), function
+// inlining with static size arguments, re-declaration aliasing, un-call,
+// and the static allocator.
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "lowering/Lower.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::ir;
+
+namespace {
+
+CoreProgram lower(const char *Source, const char *Entry, int64_t Size = 0,
+                  lowering::LowerOptions Opts = {}) {
+  ast::Program P = frontend::parseProgramOrDie(Source);
+  return lowering::lowerProgramOrDie(P, Entry, Size, Opts);
+}
+
+uint64_t runProgram(const CoreProgram &P,
+                    std::map<std::string, uint64_t> Inputs) {
+  circuit::TargetConfig Config;
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs = std::move(Inputs);
+  sim::Interpreter I(P, Config);
+  EXPECT_TRUE(I.run(S)) << I.error();
+  return I.output(S);
+}
+
+/// Counts statements of a kind anywhere in the program.
+unsigned countKind(const CoreStmtList &Stmts, CoreStmt::Kind K) {
+  unsigned N = 0;
+  for (const auto &S : Stmts) {
+    if (S->K == K)
+      ++N;
+    N += countKind(S->Body, K);
+    N += countKind(S->DoBody, K);
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(Lowering, SimpleAssignIsDirect) {
+  CoreProgram P = lower(
+      "fun f(a: uint) { let out <- a; return out; }", "f");
+  ASSERT_EQ(P.Body.size(), 1u);
+  EXPECT_EQ(P.Body[0]->K, CoreStmt::Kind::Assign);
+  EXPECT_EQ(P.OutputVar, "out");
+}
+
+TEST(Lowering, IfElseDesugarsToNotAndTwoIfs) {
+  CoreProgram P = lower("fun f(c: bool, a: uint, b: uint) {"
+                        "  if c { let out <- a; } else { let out <- b; }"
+                        "  return out; }",
+                        "f");
+  // with { %not <- not c } do { if c {..}; if %not {..} }
+  ASSERT_EQ(P.Body.size(), 1u);
+  const CoreStmt &W = *P.Body[0];
+  ASSERT_EQ(W.K, CoreStmt::Kind::With);
+  ASSERT_EQ(W.Body.size(), 1u);
+  EXPECT_EQ(W.Body[0]->E.K, CoreExpr::Kind::Unary);
+  ASSERT_EQ(W.DoBody.size(), 2u);
+  EXPECT_EQ(W.DoBody[0]->K, CoreStmt::Kind::If);
+  EXPECT_EQ(W.DoBody[0]->Name, "c");
+  EXPECT_EQ(W.DoBody[1]->K, CoreStmt::Kind::If);
+
+  EXPECT_EQ(runProgram(P, {{"c", 1}, {"a", 5}, {"b", 9}}), 5u);
+  EXPECT_EQ(runProgram(P, {{"c", 0}, {"a", 5}, {"b", 9}}), 9u);
+}
+
+TEST(Lowering, NestedExpressionsUseWithTemporaries) {
+  CoreProgram P = lower("fun f(a: uint, b: uint, c: uint) {"
+                        "  let out <- a + b * c;"
+                        "  return out; }",
+                        "f");
+  // b * c is computed in a with-block temporary and uncomputed.
+  EXPECT_EQ(countKind(P.Body, CoreStmt::Kind::With), 1u);
+  EXPECT_EQ(runProgram(P, {{"a", 2}, {"b", 3}, {"c", 4}}), 14u);
+}
+
+TEST(Lowering, ExpressionConditionGetsTemporary) {
+  CoreProgram P = lower("fun f(a: uint, b: uint) {"
+                        "  let out <- 0;"
+                        "  if a == b { let out <- 1; }"
+                        "  return out; }",
+                        "f");
+  EXPECT_EQ(countKind(P.Body, CoreStmt::Kind::With), 1u);
+  EXPECT_EQ(runProgram(P, {{"a", 3}, {"b", 3}}), 1u);
+  EXPECT_EQ(runProgram(P, {{"a", 3}, {"b", 4}}), 0u);
+}
+
+TEST(Lowering, RecursionUnrollsToDepth) {
+  const char *Source = "fun f[n](a: uint) -> uint {"
+                       "  let a2 <- a + 1;"
+                       "  let out <- f[n-1](a2);"
+                       "  return out; }";
+  // f[n](a) recurses n times then yields 0 at the base, so out == 0; but
+  // the point is the unrolled structure: n additions.
+  CoreProgram P3 = lower(Source, "f", 3);
+  CoreProgram P5 = lower(Source, "f", 5);
+  unsigned Assign3 = countKind(P3.Body, CoreStmt::Kind::Assign);
+  unsigned Assign5 = countKind(P5.Body, CoreStmt::Kind::Assign);
+  EXPECT_EQ(Assign5 - Assign3, 2u * (Assign5 - Assign3) / 2);
+  EXPECT_GT(Assign5, Assign3);
+  EXPECT_EQ(runProgram(P3, {{"a", 10}}), 0u); // base case yields zero
+}
+
+TEST(Lowering, BaseCaseBindsZeroIntoExistingRegister) {
+  // At n=0 the call produces the all-zero value; when bound to an
+  // existing variable this must emit a zero-cost assignment, not a fresh
+  // register.
+  const char *Source = "fun f[n](a: uint) {"
+                       "  let out <- a;"
+                       "  let out <- f[n-1](a);"
+                       "  return out; }";
+  CoreProgram P = lower(Source, "f", 1);
+  // Re-definition XORs old and new values (Section 4): out holds a after
+  // the first assignment, and the base-case call contributes all-zero
+  // bits, so out == a ^ 0 == a.
+  EXPECT_EQ(runProgram(P, {{"a", 7}}), 7u ^ 0u);
+}
+
+TEST(Lowering, InlinedCalleeSharesCallerRegisters) {
+  const char *Source = "fun g(x: uint) { let out <- x + 1; return out; }"
+                       "fun f(a: uint) { let r <- g(a); let out <- r + 1;"
+                       "  return out; }";
+  CoreProgram P = lower(Source, "f");
+  EXPECT_EQ(runProgram(P, {{"a", 5}}), 7u);
+}
+
+TEST(Lowering, ConstantArgumentsAreMaterialized) {
+  const char *Source = "fun g(x: uint) { let out <- x + 1; return out; }"
+                       "fun f(a: uint) { let r <- g(41); let out <- r + a;"
+                       "  return out; }";
+  CoreProgram P = lower(Source, "f");
+  EXPECT_EQ(runProgram(P, {{"a", 0}}), 42u);
+}
+
+TEST(Lowering, UnCallReversesInlinedBody) {
+  // Compute r via g, use it, then un-call to reclaim it.
+  const char *Source = "fun g(x: uint) { let out <- x + 5; return out; }"
+                       "fun f(a: uint) {"
+                       "  let r <- g(a);"
+                       "  let keep <- r;"
+                       "  let r -> g(a);"
+                       "  let out <- keep;"
+                       "  return out; }";
+  CoreProgram P = lower(Source, "f");
+  EXPECT_EQ(runProgram(P, {{"a", 3}}), 8u);
+  // After the un-call no residue: interpreter's strict un-assign check
+  // passed, which is the real assertion here.
+}
+
+TEST(Lowering, AllocAssignsDistinctTopDownCells) {
+  const char *Source = "fun f(v: uint) {"
+                       "  let p1 <- alloc<uint>;"
+                       "  let p2 <- alloc<uint>;"
+                       "  *p1 <-> v;"
+                       "  let out <- p2;"
+                       "  return out; }";
+  lowering::LowerOptions Opts;
+  Opts.HeapCells = 16;
+  CoreProgram P = lower(Source, "f", 0, Opts);
+  EXPECT_EQ(P.NumAllocCells, 2u);
+  EXPECT_EQ(runProgram(P, {{"v", 9}}), 15u); // p1=16, p2=15
+}
+
+TEST(Lowering, AllocExhaustionIsDiagnosed) {
+  std::string Source = "fun f(v: uint) {";
+  for (int I = 0; I != 5; ++I)
+    Source += "let p" + std::to_string(I) + " <- alloc<uint>;";
+  Source += "let out <- v; return out; }";
+  ast::Program Prog = frontend::parseProgramOrDie(Source);
+  lowering::LowerOptions Opts;
+  Opts.HeapCells = 3;
+  support::DiagnosticEngine Diags;
+  EXPECT_FALSE(lowering::lowerProgram(Prog, "f", 0, Diags, Opts));
+  EXPECT_NE(Diags.str().find("static allocator exhausted"),
+            std::string::npos);
+}
+
+TEST(Lowering, InliningGuardTrips) {
+  const char *Source =
+      "fun f(a: uint) { let out <- f(a); return out; }";
+  ast::Program Prog = frontend::parseProgramOrDie(Source);
+  // Unbounded self-recursion without a size parameter: the type checker
+  // actually rejects this (no size argument), so check for *an* error.
+  support::DiagnosticEngine Diags;
+  EXPECT_FALSE(lowering::lowerProgram(Prog, "f", 0, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lowering, SwapAndMemSwapSurvive) {
+  CoreProgram P = lower("fun f(p: ptr<uint>, a: uint, b: uint) {"
+                        "  a <-> b;"
+                        "  *p <-> a;"
+                        "  let out <- a;"
+                        "  return out; }",
+                        "f");
+  EXPECT_EQ(countKind(P.Body, CoreStmt::Kind::Swap), 1u);
+  EXPECT_EQ(countKind(P.Body, CoreStmt::Kind::MemSwap), 1u);
+  // p null: memswap is a no-op; out = b after the swap.
+  EXPECT_EQ(runProgram(P, {{"p", 0}, {"a", 1}, {"b", 2}}), 2u);
+}
+
+TEST(Lowering, WithScopeRemovesTemporaries) {
+  // Using a with-temporary after the block is an error.
+  const char *Source = "fun f(a: uint) {"
+                       "  with { let t <- a; } do { let u <- t; }"
+                       "  let out <- t;"
+                       "  return out; }";
+  ast::Program Prog = frontend::parseProgramOrDie(Source);
+  support::DiagnosticEngine Diags;
+  EXPECT_FALSE(lowering::lowerProgram(Prog, "f", 0, Diags));
+}
+
+TEST(Lowering, DoScopePersists) {
+  CoreProgram P = lower("fun f(a: uint) {"
+                        "  with { let t <- a; } do { let u <- t; }"
+                        "  let out <- u;"
+                        "  return out; }",
+                        "f");
+  EXPECT_EQ(runProgram(P, {{"a", 13}}), 13u);
+}
+
+TEST(Lowering, HadamardLowered) {
+  CoreProgram P = lower("fun f(b: bool) { h(b); let out <- b;"
+                        "  return out; }",
+                        "f");
+  EXPECT_EQ(countKind(P.Body, CoreStmt::Kind::Hadamard), 1u);
+}

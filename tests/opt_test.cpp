@@ -1,0 +1,314 @@
+//===----------------------------------------------------------------------===//
+// Tests for Spire's program-level optimizations (Section 6): rewrite
+// structure, the paper's worked examples, soundness on random programs
+// (Theorems 6.3 / 6.5), and the cost relations of Theorems 6.1 / 6.4.
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "benchmarks/Benchmarks.h"
+#include "costmodel/CostModel.h"
+#include "frontend/Parser.h"
+#include "lowering/Lower.h"
+#include "opt/Spire.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::ir;
+
+namespace {
+
+circuit::TargetConfig Config;
+
+std::shared_ptr<TypeContext> makeTypes() {
+  return std::make_shared<TypeContext>();
+}
+
+CoreStmtPtr assignConst(const ast::Type *Ty, const std::string &X,
+                        uint64_t V) {
+  return CoreStmt::assign(X, Ty, CoreExpr::atom(Atom::constant(V, Ty)));
+}
+
+} // namespace
+
+TEST(Flattening, RewritesNestedIf) {
+  auto Types = makeTypes();
+  const ast::Type *UInt = Types->uintType();
+  // if x { if y { s } } ~> with { z <- x && y } do { if z { s } }.
+  CoreStmtList Inner;
+  Inner.push_back(assignConst(UInt, "s", 5));
+  CoreStmtList Outer;
+  Outer.push_back(CoreStmt::ifStmt("y", std::move(Inner)));
+  CoreStmtList Program;
+  Program.push_back(CoreStmt::ifStmt("x", std::move(Outer)));
+
+  NameGen Names;
+  CoreStmtList Out = opt::optimizeStmts(
+      Program, opt::SpireOptions::flatteningOnly(), Names, *Types);
+  ASSERT_EQ(Out.size(), 1u);
+  const CoreStmt &W = *Out[0];
+  ASSERT_EQ(W.K, CoreStmt::Kind::With);
+  ASSERT_EQ(W.Body.size(), 1u);
+  EXPECT_EQ(W.Body[0]->K, CoreStmt::Kind::Assign);
+  EXPECT_EQ(W.Body[0]->E.K, CoreExpr::Kind::Binary);
+  EXPECT_EQ(W.Body[0]->E.BOp, ast::BinaryOp::And);
+  ASSERT_EQ(W.DoBody.size(), 1u);
+  EXPECT_EQ(W.DoBody[0]->K, CoreStmt::Kind::If);
+  EXPECT_EQ(W.DoBody[0]->Name, W.Body[0]->Name);
+}
+
+TEST(Flattening, SplitsIfBodies) {
+  auto Types = makeTypes();
+  const ast::Type *UInt = Types->uintType();
+  // if x { s1; s2 } ~> if x { s1 }; if x { s2 }.
+  CoreStmtList Body;
+  Body.push_back(assignConst(UInt, "a", 1));
+  Body.push_back(assignConst(UInt, "b", 2));
+  CoreStmtList Program;
+  Program.push_back(CoreStmt::ifStmt("x", std::move(Body)));
+
+  NameGen Names;
+  CoreStmtList Out = opt::optimizeStmts(
+      Program, opt::SpireOptions::flatteningOnly(), Names, *Types);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0]->K, CoreStmt::Kind::If);
+  EXPECT_EQ(Out[1]->K, CoreStmt::Kind::If);
+  EXPECT_EQ(Out[0]->Body[0]->Name, "a");
+  EXPECT_EQ(Out[1]->Body[0]->Name, "b");
+}
+
+TEST(Narrowing, PullsWithOutOfIf) {
+  auto Types = makeTypes();
+  const ast::Type *UInt = Types->uintType();
+  // if x { with { w } do { d } } ~> with { w } do { if x { d } }.
+  CoreStmtList WithBody, DoBody;
+  WithBody.push_back(assignConst(UInt, "w", 1));
+  DoBody.push_back(assignConst(UInt, "d", 2));
+  CoreStmtList IfBody;
+  IfBody.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+  CoreStmtList Program;
+  Program.push_back(CoreStmt::ifStmt("x", std::move(IfBody)));
+
+  NameGen Names;
+  CoreStmtList Out = opt::optimizeStmts(
+      Program, opt::SpireOptions::narrowingOnly(), Names, *Types);
+  ASSERT_EQ(Out.size(), 1u);
+  const CoreStmt &W = *Out[0];
+  ASSERT_EQ(W.K, CoreStmt::Kind::With);
+  EXPECT_EQ(W.Body[0]->Name, "w");
+  ASSERT_EQ(W.DoBody.size(), 1u);
+  EXPECT_EQ(W.DoBody[0]->K, CoreStmt::Kind::If);
+  EXPECT_EQ(W.DoBody[0]->Name, "x");
+}
+
+TEST(WithDoFlattening, MergesNestedBlocks) {
+  auto Types = makeTypes();
+  const ast::Type *UInt = Types->uintType();
+  // with { a } do { with { b } do { c } } ~> with { a; b } do { c }.
+  CoreStmtList InnerWith, InnerDo;
+  InnerWith.push_back(assignConst(UInt, "b", 2));
+  InnerDo.push_back(assignConst(UInt, "c", 3));
+  CoreStmtList OuterWith, OuterDo;
+  OuterWith.push_back(assignConst(UInt, "a", 1));
+  OuterDo.push_back(CoreStmt::with(std::move(InnerWith), std::move(InnerDo)));
+  CoreStmtList Program;
+  Program.push_back(CoreStmt::with(std::move(OuterWith), std::move(OuterDo)));
+
+  NameGen Names;
+  opt::SpireOptions OnlyFlattenWithDo = opt::SpireOptions::none();
+  OnlyFlattenWithDo.FlattenWithDo = true;
+  CoreStmtList Out =
+      opt::optimizeStmts(Program, OnlyFlattenWithDo, Names, *Types);
+  ASSERT_EQ(Out.size(), 1u);
+  const CoreStmt &W = *Out[0];
+  ASSERT_EQ(W.K, CoreStmt::Kind::With);
+  ASSERT_EQ(W.Body.size(), 2u);
+  EXPECT_EQ(W.Body[0]->Name, "a");
+  EXPECT_EQ(W.Body[1]->Name, "b");
+  ASSERT_EQ(W.DoBody.size(), 1u);
+  EXPECT_EQ(W.DoBody[0]->Name, "c");
+}
+
+TEST(SpirePipeline, NoneIsIdentity) {
+  CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthBenchmark(), 3);
+  CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::none());
+  EXPECT_TRUE(stmtListEquals(P.Body, O.Body));
+}
+
+TEST(SpirePipeline, Figure3Savings) {
+  // The Fig. 3 toy program: flattening + narrowing strictly reduce the
+  // T-complexity, and the result compiles to a circuit whose innermost
+  // statements carry one control (Fig. 8) rather than three (Fig. 4).
+  ast::Program Prog =
+      frontend::parseProgramOrDie(benchmarks::figure3Program().Source);
+  CoreProgram P = lowering::lowerProgramOrDie(Prog, "fig3", 0);
+  costmodel::Cost Before = costmodel::analyzeProgram(P, Config);
+
+  CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::all());
+  costmodel::Cost After = costmodel::analyzeProgram(O, Config);
+  EXPECT_LT(After.T, Before.T);
+  EXPECT_GT(Before.T, 0);
+
+  // Narrowing alone and flattening alone also help, and stack.
+  costmodel::Cost NarrowOnly = costmodel::analyzeProgram(
+      opt::optimizeProgram(P, opt::SpireOptions::narrowingOnly()), Config);
+  costmodel::Cost FlattenOnly = costmodel::analyzeProgram(
+      opt::optimizeProgram(P, opt::SpireOptions::flatteningOnly()), Config);
+  EXPECT_LE(NarrowOnly.T, Before.T);
+  EXPECT_LT(FlattenOnly.T, Before.T);
+  EXPECT_LE(After.T, FlattenOnly.T);
+}
+
+TEST(SpirePipeline, Figure3Semantics) {
+  // Truth-table equivalence of the Fig. 3 program before and after each
+  // optimization combination: Theorems 6.3/6.5 on every machine state.
+  ast::Program Prog =
+      frontend::parseProgramOrDie(benchmarks::figure3Program().Source);
+  CoreProgram P = lowering::lowerProgramOrDie(Prog, "fig3", 0);
+  for (auto Options :
+       {opt::SpireOptions::flatteningOnly(),
+        opt::SpireOptions::narrowingOnly(), opt::SpireOptions::all()}) {
+    CoreProgram O = opt::optimizeProgram(P, Options);
+    for (unsigned Bits = 0; Bits != 8; ++Bits) {
+      sim::MachineState S1 = sim::MachineState::make(Config.HeapCells);
+      S1.Regs["x"] = Bits & 1;
+      S1.Regs["y"] = (Bits >> 1) & 1;
+      S1.Regs["z"] = (Bits >> 2) & 1;
+      sim::MachineState S2 = S1;
+      sim::Interpreter I1(P, Config), I2(O, Config);
+      ASSERT_TRUE(I1.run(S1)) << I1.error();
+      ASSERT_TRUE(I2.run(S2)) << I2.error();
+      EXPECT_EQ(I1.output(S1), I2.output(S2)) << "inputs " << Bits;
+      // Fig. 3 semantics: (a, b) = (not z, true) iff x && y && z.
+      uint64_t X = Bits & 1, Y = (Bits >> 1) & 1, Z = (Bits >> 2) & 1;
+      uint64_t A = (X && Y && Z) ? (1 ^ Z) : 0;
+      uint64_t B = (X && Y && Z) ? 1 : 0;
+      EXPECT_EQ(I1.output(S1), A | (B << 1)) << "inputs " << Bits;
+    }
+  }
+}
+
+TEST(Theorem61, FlatteningAsymptotics) {
+  // When s (k gates) sits under n nested ifs, flattening takes the
+  // T-complexity from O(kn) to O(k + n): check the concrete reduction
+  // grows linearly with nesting depth.
+  auto Types = makeTypes();
+  const ast::Type *UInt = Types->uintType();
+  const ast::Type *Bool = Types->boolType();
+
+  auto Build = [&](unsigned Depth) {
+    CoreProgram P;
+    P.Types = Types;
+    for (unsigned I = 0; I != Depth; ++I)
+      P.Inputs.emplace_back("c" + std::to_string(I), Bool);
+    P.Inputs.emplace_back("a", UInt);
+    P.OutputVar = "s";
+    P.OutputTy = UInt;
+    // Innermost body: one real statement with nonzero MCX cost.
+    CoreStmtList Body;
+    Body.push_back(CoreStmt::assign(
+        "s", UInt,
+        CoreExpr::binary(ast::BinaryOp::Add, Atom::var("a", UInt),
+                         Atom::constant(3, UInt), UInt)));
+    for (unsigned I = Depth; I-- > 0;) {
+      CoreStmtList Wrapped;
+      Wrapped.push_back(
+          CoreStmt::ifStmt("c" + std::to_string(I), std::move(Body)));
+      Body = std::move(Wrapped);
+    }
+    P.Body = std::move(Body);
+    return P;
+  };
+
+  std::vector<int64_t> Unopt, Opted;
+  for (unsigned Depth = 2; Depth <= 6; ++Depth) {
+    CoreProgram P = Build(Depth);
+    Unopt.push_back(costmodel::analyzeProgram(P, Config).T);
+    CoreProgram O = opt::optimizeProgram(P, opt::SpireOptions::all());
+    Opted.push_back(costmodel::analyzeProgram(O, Config).T);
+  }
+  // Unoptimized: each extra control adds c_ctrl per gate of the body
+  // (steep slope). Optimized: each level adds only the constant AND
+  // temporary (shallow slope).
+  int64_t UnoptSlope = Unopt[1] - Unopt[0];
+  int64_t OptSlope = Opted[1] - Opted[0];
+  EXPECT_GT(UnoptSlope, OptSlope);
+  for (size_t I = 2; I != Unopt.size(); ++I) {
+    EXPECT_EQ(Unopt[I] - Unopt[I - 1], UnoptSlope) << "linear growth";
+    EXPECT_EQ(Opted[I] - Opted[I - 1], OptSlope) << "constant per level";
+  }
+}
+
+TEST(Theorem64, NarrowingRemovesControlsOnWithBlock) {
+  // if x { with { s1 } do { s2 } }: narrowing saves exactly the cost of
+  // controlling s1 twice (forward and reversed).
+  auto Types = makeTypes();
+  const ast::Type *UInt = Types->uintType();
+  const ast::Type *Bool = Types->boolType();
+  CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"x", Bool}, {"a", UInt}};
+  P.OutputVar = "d";
+  P.OutputTy = UInt;
+  CoreStmtList WithBody, DoBody;
+  WithBody.push_back(CoreStmt::assign(
+      "w", UInt,
+      CoreExpr::binary(ast::BinaryOp::Add, Atom::var("a", UInt),
+                       Atom::constant(1, UInt), UInt)));
+  DoBody.push_back(
+      CoreStmt::assign("d", UInt, CoreExpr::atom(Atom::var("w", UInt))));
+  CoreStmtList IfBody;
+  IfBody.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+  P.Body.push_back(CoreStmt::ifStmt("x", std::move(IfBody)));
+
+  costmodel::Cost Before = costmodel::analyzeProgram(P, Config);
+  CoreProgram O =
+      opt::optimizeProgram(P, opt::SpireOptions::narrowingOnly());
+  costmodel::Cost After = costmodel::analyzeProgram(O, Config);
+  EXPECT_LT(After.T, Before.T);
+  EXPECT_EQ(After.MCX, Before.MCX); // narrowing moves, never adds, gates
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness property: random programs, all optimization combinations.
+//===----------------------------------------------------------------------===//
+
+class OptSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptSoundness, RandomProgramsPreserveSemantics) {
+  testutil::RandomProgramGen Gen(GetParam());
+  CoreProgram P = Gen.generate(14);
+  for (auto Options :
+       {opt::SpireOptions::flatteningOnly(),
+        opt::SpireOptions::narrowingOnly(), opt::SpireOptions::all()}) {
+    CoreProgram O = opt::optimizeProgram(P, Options);
+    for (uint64_t Trial = 0; Trial != 3; ++Trial) {
+      sim::MachineState S1 =
+          testutil::randomState(P, Config, GetParam() * 31 + Trial);
+      sim::MachineState S2 = S1;
+      sim::Interpreter I1(P, Config), I2(O, Config);
+      ASSERT_TRUE(I1.run(S1)) << I1.error();
+      ASSERT_TRUE(I2.run(S2)) << I2.error();
+      EXPECT_EQ(I1.output(S1), I2.output(S2)) << "seed " << GetParam();
+      EXPECT_EQ(S1.Mem, S2.Mem) << "seed " << GetParam();
+      // Definition 6.2: shared (input) registers must agree too.
+      for (const auto &[Name, Ty] : P.Inputs)
+        EXPECT_EQ(S1.Regs[Name], S2.Regs[Name]) << Name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptSoundness,
+                         ::testing::Range<uint64_t>(200, 240));
+
+TEST(OptIdempotence, SecondRunChangesNothing) {
+  CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthBenchmark(), 4);
+  CoreProgram O1 = opt::optimizeProgram(P, opt::SpireOptions::all());
+  costmodel::Cost C1 = costmodel::analyzeProgram(O1, Config);
+  CoreProgram O2 = opt::optimizeProgram(O1, opt::SpireOptions::all());
+  costmodel::Cost C2 = costmodel::analyzeProgram(O2, Config);
+  EXPECT_EQ(C1.T, C2.T);
+  EXPECT_EQ(C1.MCX, C2.MCX);
+}

@@ -1,0 +1,248 @@
+//===----------------------------------------------------------------------===//
+// Tests for .qc emission (Mosca 2016, the Tower compiler's output format
+// and Feynman's input format): header lines, per-gate syntax, layout
+// markers, and end-to-end emission of a compiled benchmark.
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "circuit/QcWriter.h"
+#include "decompose/Decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+using namespace spire;
+using namespace spire::circuit;
+
+namespace {
+
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  std::stringstream Stream(Text);
+  std::string Line;
+  while (std::getline(Stream, Line))
+    Out.push_back(Line);
+  return Out;
+}
+
+/// First line starting with the given prefix, or "".
+std::string lineWith(const std::string &Text, const std::string &Prefix) {
+  for (const std::string &L : lines(Text))
+    if (L.rfind(Prefix, 0) == 0)
+      return L;
+  return "";
+}
+
+} // namespace
+
+TEST(QcWriter, HeaderListsAllQubits) {
+  Circuit C;
+  C.NumQubits = 3;
+  EXPECT_EQ(lineWith(writeQc(C), ".v"), ".v q0 q1 q2");
+}
+
+TEST(QcWriter, BeginEndBracketTheGateList) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.addX(0);
+  std::vector<std::string> L = lines(writeQc(C));
+  ASSERT_GE(L.size(), 4u);
+  EXPECT_EQ(L[L.size() - 1], "END");
+  bool SawBegin = false;
+  for (const std::string &Line : L)
+    SawBegin |= Line == "BEGIN";
+  EXPECT_TRUE(SawBegin);
+}
+
+TEST(QcWriter, MCXUsesTofWithTargetLast) {
+  Circuit C;
+  C.NumQubits = 4;
+  C.addX(3, {0, 1, 2});
+  EXPECT_EQ(lineWith(writeQc(C), "tof"), "tof q0 q1 q2 q3");
+}
+
+TEST(QcWriter, PlainNotIsSingleOperandTof) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.addX(1);
+  EXPECT_EQ(lineWith(writeQc(C), "tof"), "tof q1");
+}
+
+TEST(QcWriter, PhaseAndHadamardSpellings) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.Gates.push_back(Gate(GateKind::T, 0));
+  C.Gates.push_back(Gate(GateKind::Tdg, 0));
+  C.Gates.push_back(Gate(GateKind::S, 1));
+  C.Gates.push_back(Gate(GateKind::Sdg, 1));
+  C.Gates.push_back(Gate(GateKind::Z, 1));
+  C.addH(0);
+  C.addH(1, {0});
+  std::string Text = writeQc(C);
+  EXPECT_NE(Text.find("T q0"), std::string::npos);
+  EXPECT_NE(Text.find("T* q0"), std::string::npos);
+  EXPECT_NE(Text.find("S q1"), std::string::npos);
+  EXPECT_NE(Text.find("S* q1"), std::string::npos);
+  EXPECT_NE(Text.find("Z q1"), std::string::npos);
+  EXPECT_NE(Text.find("H q0"), std::string::npos);
+  EXPECT_NE(Text.find("CH q0 q1"), std::string::npos);
+}
+
+TEST(QcWriter, LayoutMarksInputsAndOutput) {
+  Circuit C;
+  C.NumQubits = 6;
+  CircuitLayout Layout;
+  Layout.Inputs["a"] = {0, 2};
+  Layout.Output = {4, 2};
+  std::string Text = writeQc(C, &Layout);
+  EXPECT_EQ(lineWith(Text, ".i"), ".i q0 q1");
+  EXPECT_EQ(lineWith(Text, ".o"), ".o q4 q5");
+}
+
+TEST(QcWriter, NoLayoutMeansNoMarkers) {
+  Circuit C;
+  C.NumQubits = 2;
+  std::string Text = writeQc(C);
+  EXPECT_EQ(lineWith(Text, ".i"), "");
+  EXPECT_EQ(lineWith(Text, ".o"), "");
+}
+
+TEST(QcWriter, EmissionIsDeterministic) {
+  ir::CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 3);
+  TargetConfig Config;
+  CompileResult R1 = compileToCircuit(P, Config);
+  CompileResult R2 = compileToCircuit(P, Config);
+  EXPECT_EQ(writeQc(R1.Circ, &R1.Layout), writeQc(R2.Circ, &R2.Layout));
+}
+
+TEST(QcWriter, GateCountMatchesEmittedLines) {
+  ir::CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 2);
+  TargetConfig Config;
+  CompileResult R = compileToCircuit(P, Config);
+  Circuit CT = decompose::toCliffordT(R.Circ);
+  std::vector<std::string> L = lines(writeQc(CT));
+  // Lines between BEGIN and END correspond one-to-one to gates.
+  size_t Begin = 0, End = 0;
+  for (size_t I = 0; I != L.size(); ++I) {
+    if (L[I] == "BEGIN")
+      Begin = I;
+    if (L[I] == "END")
+      End = I;
+  }
+  EXPECT_EQ(End - Begin - 1, CT.Gates.size());
+}
+
+//===----------------------------------------------------------------------===//
+// .qc reading (QcReader): round trips with the writer, external-dialect
+// acceptance, and rejection of malformed input.
+//===----------------------------------------------------------------------===//
+
+#include "circuit/QcReader.h"
+
+namespace {
+
+std::optional<Circuit> parseQc(const std::string &Text,
+                               std::string *ErrorsOut = nullptr) {
+  support::DiagnosticEngine Diags;
+  std::optional<Circuit> C = readQc(Text, Diags);
+  if (ErrorsOut)
+    *ErrorsOut = Diags.str();
+  return C;
+}
+
+} // namespace
+
+TEST(QcReader, RoundTripsWriterOutput) {
+  Circuit C;
+  C.NumQubits = 4;
+  C.addX(3, {0, 1});
+  C.addX(0);
+  C.addH(1);
+  C.addH(2, {0});
+  C.Gates.push_back(Gate(GateKind::T, 2));
+  C.Gates.push_back(Gate(GateKind::Tdg, 3));
+  C.Gates.push_back(Gate(GateKind::S, 0));
+  C.Gates.push_back(Gate(GateKind::Sdg, 1));
+  C.Gates.push_back(Gate(GateKind::Z, 2));
+
+  std::optional<Circuit> Back = parseQc(writeQc(C));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->NumQubits, C.NumQubits);
+  ASSERT_EQ(Back->Gates.size(), C.Gates.size());
+  for (size_t I = 0; I != C.Gates.size(); ++I)
+    EXPECT_TRUE(Back->Gates[I] == C.Gates[I]) << "gate " << I;
+}
+
+TEST(QcReader, RoundTripsCompiledBenchmark) {
+  ir::CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 3);
+  TargetConfig Config;
+  CompileResult R = compileToCircuit(P, Config);
+  std::optional<Circuit> Back = parseQc(writeQc(R.Circ, &R.Layout));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->NumQubits, R.Circ.NumQubits);
+  ASSERT_EQ(Back->Gates.size(), R.Circ.Gates.size());
+  EXPECT_EQ(countGates(*Back).TComplexity,
+            countGates(R.Circ).TComplexity);
+}
+
+TEST(QcReader, AcceptsArbitraryQubitNames) {
+  std::optional<Circuit> C = parseQc(".v alice bob\nBEGIN\n"
+                                     "tof alice bob\nEND\n");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->NumQubits, 2u);
+  ASSERT_EQ(C->Gates.size(), 1u);
+  EXPECT_TRUE(C->Gates[0].isCNOT());
+}
+
+TEST(QcReader, RejectsUnknownQubit) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v q0\nBEGIN\ntof q9\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("unknown qubit"), std::string::npos);
+}
+
+TEST(QcReader, RejectsUnknownGate) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v q0\nBEGIN\nfrobnicate q0\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("unknown gate"), std::string::npos);
+}
+
+TEST(QcReader, RejectsGateOutsideBody) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v q0\ntof q0\nBEGIN\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("outside"), std::string::npos);
+}
+
+TEST(QcReader, RejectsMissingEnd) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v q0\nBEGIN\ntof q0\n", &Errors));
+  EXPECT_NE(Errors.find("missing END"), std::string::npos);
+}
+
+TEST(QcReader, RejectsDuplicateQubitDeclaration) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v q0 q0\nBEGIN\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("duplicate qubit"), std::string::npos);
+}
+
+TEST(QcReader, RejectsDuplicateControls) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a b c\nBEGIN\ntof a a c\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("duplicate control"), std::string::npos);
+}
+
+TEST(QcReader, RejectsTargetAsControl) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a b\nBEGIN\ntof a a\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("repeats a control"), std::string::npos);
+}
+
+TEST(QcReader, RejectsPhaseGateWithControls) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a b\nBEGIN\nT a b\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("exactly one qubit"), std::string::npos);
+}

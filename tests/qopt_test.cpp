@@ -1,0 +1,263 @@
+//===----------------------------------------------------------------------===//
+// Tests for the circuit-optimizer baselines: commutation rules,
+// cancellation, phase folding, search — including the paper's Fig. 16/17
+// phenomenon: adjacent Toffoli pairs cancel at the Toffoli level but NOT
+// at the Clifford+T level under adjacent-gate cancellation.
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "circuit/Compiler.h"
+#include "decompose/Decompose.h"
+#include "qopt/Passes.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace spire;
+using namespace spire::circuit;
+using namespace spire::qopt;
+
+namespace {
+
+/// Semantic check on every basis state over `DataQubits`.
+void expectSameAction(const Circuit &C1, const Circuit &C2,
+                      unsigned DataQubits) {
+  ASSERT_LE(DataQubits, 10u);
+  unsigned Max = std::max(C1.NumQubits, C2.NumQubits);
+  for (uint64_t Input = 0; Input != (uint64_t(1) << DataQubits); ++Input) {
+    sim::BitString In(Max);
+    for (unsigned Q = 0; Q != DataQubits; ++Q)
+      In.set(Q, (Input >> Q) & 1);
+    EXPECT_TRUE(
+        sim::statesEquivalent(sim::runState(C1, In), sim::runState(C2, In)))
+        << "input " << Input;
+  }
+}
+
+} // namespace
+
+TEST(Commutation, Rules) {
+  Gate X01(GateKind::X, 1, {0});
+  Gate X02(GateKind::X, 2, {0});
+  Gate X10(GateKind::X, 0, {1});
+  Gate T1(GateKind::T, 1);
+  Gate T0(GateKind::T, 0);
+  Gate H1(GateKind::H, 1);
+
+  // Shared control, distinct targets: commute.
+  EXPECT_TRUE(gatesCommute(X01, X02));
+  // Target of one is control of the other: do not commute.
+  EXPECT_FALSE(gatesCommute(X01, X10));
+  // Same target: X gates commute.
+  EXPECT_TRUE(gatesCommute(X01, Gate(GateKind::X, 1)));
+  // Phase on a control is fine; phase on the target is not.
+  EXPECT_TRUE(gatesCommute(T0, X01));
+  EXPECT_FALSE(gatesCommute(T1, X01));
+  EXPECT_TRUE(gatesCommute(T0, T1));
+  // H blocks anything touching its target.
+  EXPECT_FALSE(gatesCommute(H1, X01));
+  EXPECT_TRUE(gatesCommute(H1, Gate(GateKind::X, 2, {0})));
+}
+
+TEST(Cancel, RemovesAdjacentIdenticalPairs) {
+  Circuit C;
+  C.NumQubits = 3;
+  C.addX(2, {0, 1});
+  C.addX(2, {0, 1});
+  Circuit Out = cancelAdjacentGates(C, CancelOptions::standard());
+  EXPECT_TRUE(Out.Gates.empty());
+}
+
+TEST(Cancel, CancelsAcrossCommutingGates) {
+  Circuit C;
+  C.NumQubits = 4;
+  C.addX(2, {0, 1});
+  C.addX(3, {0}); // commutes with both neighbors
+  C.addX(2, {0, 1});
+  Circuit Out = cancelAdjacentGates(C, CancelOptions::standard());
+  ASSERT_EQ(Out.Gates.size(), 1u);
+  EXPECT_EQ(Out.Gates[0].Target, 3u);
+}
+
+TEST(Cancel, BlockedByNonCommutingGate) {
+  Circuit C;
+  C.NumQubits = 3;
+  C.addX(2, {0, 1});
+  C.addX(0, {2}); // target 0 is a control of the Toffolis: blocks
+  C.addX(2, {0, 1});
+  Circuit Out = cancelAdjacentGates(C, CancelOptions::standard());
+  EXPECT_EQ(Out.Gates.size(), 3u);
+}
+
+TEST(Cancel, TTdgPairs) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.add(Gate(GateKind::T, 0));
+  C.add(Gate(GateKind::Tdg, 0));
+  Circuit Out = cancelAdjacentGates(C, CancelOptions::standard());
+  EXPECT_TRUE(Out.Gates.empty());
+}
+
+TEST(Cancel, PreservesSemanticsOnBenchmark) {
+  ir::CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 2);
+  CompileResult R = compileToCircuit(P, TargetConfig{});
+  Circuit Out = cancelAdjacentGates(R.Circ, CancelOptions::standard());
+  EXPECT_LE(Out.Gates.size(), R.Circ.Gates.size());
+  // Validate on random basis states.
+  std::mt19937_64 Rng(3);
+  for (int Trial = 0; Trial != 5; ++Trial) {
+    sim::BitString In(R.Circ.NumQubits);
+    for (unsigned Q = 0; Q != R.Circ.NumQubits; ++Q)
+      In.set(Q, Rng() & 1);
+    sim::BitString A = In, B = In;
+    sim::runBasis(R.Circ, A);
+    sim::runBasis(Out, B);
+    EXPECT_TRUE(A == B) << "trial " << Trial;
+  }
+}
+
+TEST(Figure16And17, ToffoliLevelCancelsButCliffordTDoesNot) {
+  // Two adjacent identical Toffolis are the identity (Fig. 16's gray
+  // gates). At the Toffoli level, cancellation removes them; after the
+  // asymmetric Fig. 6 decomposition (Fig. 17), adjacent-gate cancellation
+  // cannot reduce the pair to the empty circuit — the paper's explanation
+  // for why -toCliffordT-style optimizers stay quadratic (Section 8.5).
+  Circuit Pair;
+  Pair.NumQubits = 3;
+  Pair.addX(2, {0, 1});
+  Pair.addX(2, {0, 1});
+
+  Circuit ToffoliCancelled =
+      cancelAdjacentGates(Pair, CancelOptions::standard());
+  EXPECT_TRUE(ToffoliCancelled.Gates.empty());
+
+  Circuit CT = decompose::toCliffordT(Pair);
+  EXPECT_EQ(countGates(CT).T, 14);
+  Circuit CTCancelled = cancelAdjacentGates(CT, CancelOptions::standard());
+  EXPECT_GT(countGates(CTCancelled).T, 0)
+      << "adjacent-gate cancellation should NOT fully cancel Fig. 17";
+  // Still semantically the identity, of course.
+  expectSameAction(Pair, CTCancelled, 3);
+
+  // Phase folding (rotation merging over unbounded ranges) does better:
+  // it merges the T rotations across the two Toffolis.
+  Circuit Folded = phaseFold(CT);
+  EXPECT_LT(countGates(Folded).T, countGates(CT).T);
+  expectSameAction(Pair, Folded, 3);
+}
+
+TEST(PhaseFold, MergesTTIntoS) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.add(Gate(GateKind::T, 0));
+  C.add(Gate(GateKind::T, 0));
+  Circuit Out = phaseFold(C);
+  EXPECT_EQ(countGates(Out).T, 0);
+  ASSERT_EQ(Out.Gates.size(), 1u);
+  EXPECT_EQ(Out.Gates[0].Kind, GateKind::S);
+}
+
+TEST(PhaseFold, MergesAcrossCNOTs) {
+  // T(q1); CNOT(0->1); CNOT(0->1); Tdg(q1): the parities match, so the
+  // rotations cancel entirely.
+  Circuit C;
+  C.NumQubits = 2;
+  C.add(Gate(GateKind::T, 1));
+  C.addX(1, {0});
+  C.addX(1, {0});
+  C.add(Gate(GateKind::Tdg, 1));
+  Circuit Out = phaseFold(C);
+  EXPECT_EQ(countGates(Out).T, 0);
+  expectSameAction(C, Out, 2);
+}
+
+TEST(PhaseFold, ParityTrackingThroughCNOT) {
+  // T(1); CNOT(0->1); T(1): different parities (x1 vs x0^x1): no merge.
+  Circuit C;
+  C.NumQubits = 2;
+  C.add(Gate(GateKind::T, 1));
+  C.addX(1, {0});
+  C.add(Gate(GateKind::T, 1));
+  Circuit Out = phaseFold(C);
+  EXPECT_EQ(countGates(Out).T, 2);
+  expectSameAction(C, Out, 2);
+}
+
+TEST(PhaseFold, HBarriersPreventMerging) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.add(Gate(GateKind::T, 0));
+  C.addH(0);
+  C.add(Gate(GateKind::Tdg, 0));
+  Circuit Out = phaseFold(C);
+  EXPECT_EQ(countGates(Out).T, 2);
+  expectSameAction(C, Out, 1);
+}
+
+TEST(PhaseFold, XFlipsNegateRotations) {
+  // T; X; T; X == X X plus phases on complementary values: the two T
+  // rotations are on p and 1^p, so they merge to global + Tdg-like
+  // contribution: total one T remains (T - T = S^0... check semantics
+  // only, plus the T-count drops below 2).
+  Circuit C;
+  C.NumQubits = 1;
+  C.add(Gate(GateKind::T, 0));
+  C.addX(0);
+  C.add(Gate(GateKind::T, 0));
+  C.addX(0);
+  Circuit Out = phaseFold(C);
+  expectSameAction(C, Out, 1);
+  EXPECT_LE(countGates(Out).T, 2);
+}
+
+TEST(PhaseFold, SoundOnDecomposedBenchmark) {
+  ir::CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 2);
+  CompileResult R = compileToCircuit(P, TargetConfig{});
+  Circuit CT = decompose::toCliffordT(R.Circ);
+  Circuit Folded = phaseFold(CT);
+  EXPECT_LE(countGates(Folded).T, countGates(CT).T);
+  std::mt19937_64 Rng(5);
+  for (int Trial = 0; Trial != 3; ++Trial) {
+    sim::BitString In(CT.NumQubits);
+    for (unsigned Q = 0; Q != R.Circ.NumQubits; ++Q)
+      In.set(Q, Rng() & 1);
+    sim::SparseState A = sim::runState(CT, In);
+    sim::SparseState B = sim::runState(Folded, In);
+    EXPECT_TRUE(sim::statesEquivalent(A, B)) << "trial " << Trial;
+  }
+}
+
+TEST(SearchRewrite, NeverWorseAndSound) {
+  ir::CoreProgram P =
+      benchmarks::lowerBenchmark(benchmarks::lengthSimplified(), 2);
+  CompileResult R = compileToCircuit(P, TargetConfig{});
+  Circuit CT = decompose::toCliffordT(R.Circ);
+  SearchOptions Options;
+  Options.TimeoutSeconds = 0.2;
+  Circuit Out = searchRewrite(CT, Options);
+  EXPECT_LE(countGates(Out).TComplexity, countGates(CT).TComplexity);
+  std::mt19937_64 Rng(9);
+  sim::BitString In(CT.NumQubits);
+  for (unsigned Q = 0; Q != R.Circ.NumQubits; ++Q)
+    In.set(Q, Rng() & 1);
+  EXPECT_TRUE(sim::statesEquivalent(sim::runState(CT, In),
+                                    sim::runState(Out, In)));
+}
+
+TEST(CancelExhaustive, FullLookaheadBeatsPeephole) {
+  // The exhaustive configuration must be at least as strong as the
+  // peephole one on a circuit with far-separated cancelling pairs.
+  Circuit C;
+  C.NumQubits = 12;
+  C.addX(10, {0, 1});
+  for (unsigned I = 0; I != 9; ++I)
+    C.addX(11, {I}); // many commuting spacers
+  C.addX(10, {0, 1});
+  Circuit Peep = cancelAdjacentGates(C, CancelOptions::peephole());
+  Circuit Full = cancelAdjacentGates(C, CancelOptions::exhaustive());
+  EXPECT_EQ(Peep.Gates.size(), 11u); // lookahead 8 cannot reach the pair
+  EXPECT_EQ(Full.Gates.size(), 9u);
+}

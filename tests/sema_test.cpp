@@ -1,0 +1,382 @@
+//===----------------------------------------------------------------------===//
+// Tests for the type checker (paper Appendix B.1, Figs. 18-20), with a
+// focus on rejection paths: every S-* and TE-* side condition that can
+// fail should produce a diagnostic, not a miscompile. The two extensions
+// the paper makes to Tower's rules — same-scope re-declaration and
+// S-Hadamard — get dedicated positive and negative cases.
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+
+namespace {
+
+/// Type-checks a source string; on failure returns the rendered
+/// diagnostics, on success the empty string.
+std::string diagnose(const char *Source) {
+  support::DiagnosticEngine Diags;
+  std::optional<ast::Program> P = frontend::parseProgram(Source, Diags);
+  if (!P)
+    return "parse error: " + Diags.str();
+  if (sema::typeCheck(*P, Diags))
+    return "";
+  return Diags.str();
+}
+
+::testing::AssertionResult checksOK(const char *Source) {
+  std::string D = diagnose(Source);
+  if (D.empty())
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << D;
+}
+
+::testing::AssertionResult rejectedWith(const char *Source,
+                                        const char *Fragment) {
+  std::string D = diagnose(Source);
+  if (D.empty())
+    return ::testing::AssertionFailure() << "expected rejection containing '"
+                                         << Fragment << "' but it checked";
+  if (D.find(Fragment) == std::string::npos)
+    return ::testing::AssertionFailure()
+           << "diagnostics lack '" << Fragment << "':\n" << D;
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Declarations and scope
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, UndeclaredVariableInExpr) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let out <- a + b;"
+                           " return out; }",
+                           "undeclared variable 'b'"));
+}
+
+TEST(Sema, ReDeclarationSameTypeAllowed) {
+  // The paper's first change to the Tower rules: a variable may be
+  // re-declared in the same scope (new value XORs into the register).
+  EXPECT_TRUE(checksOK("fun f(a: uint) { let out <- a;"
+                       " let out <- a + 1; return out; }"));
+}
+
+TEST(Sema, ReDeclarationDifferentTypeRejected) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let out <- a;"
+                           " let out <- true; return out; }",
+                           "re-declaration"));
+}
+
+TEST(Sema, UnAssignUndeclared) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let x -> a;"
+                           " let out <- a; return out; }",
+                           "un-assignment of undeclared variable 'x'"));
+}
+
+TEST(Sema, UnAssignWrongTypeRejected) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let x <- a;"
+                           " let x -> true; let out <- a; return out; }",
+                           "un-assignment"));
+}
+
+TEST(Sema, UnAssignRemovesBinding) {
+  // After `let x -> e` the binding is gone (S-UnAssign): further uses
+  // are undeclared.
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let x <- a; let x -> a;"
+                           " let out <- x; return out; }",
+                           "undeclared variable 'x'"));
+}
+
+TEST(Sema, ReturnUndeclared) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { skip; return out; }",
+                           "returns undeclared"));
+}
+
+//===----------------------------------------------------------------------===//
+// Swap and memory swap
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, SwapTypeMismatch) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint, b: bool) { a <-> b;"
+                           " let out <- a; return out; }",
+                           "mismatched types"));
+}
+
+TEST(Sema, SwapUndeclared) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { a <-> b;"
+                           " let out <- a; return out; }",
+                           "swap of undeclared variable"));
+}
+
+TEST(Sema, MemSwapRequiresPointerOnLeft) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint, b: uint) { *a <-> b;"
+                           " let out <- a; return out; }",
+                           "must be a pointer"));
+}
+
+TEST(Sema, MemSwapPointeeTypeMismatch) {
+  EXPECT_TRUE(rejectedWith(
+      "fun f(p: ptr<uint>, b: bool) { *p <-> b;"
+      " let out <- b; return out; }",
+      "memory swap stores"));
+}
+
+TEST(Sema, MemSwapWellTyped) {
+  EXPECT_TRUE(checksOK("fun f(p: ptr<uint>, b: uint) { *p <-> b;"
+                       " let out <- b; return out; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Hadamard (the paper's S-Hadamard extension)
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, HadamardOnBoolAllowed) {
+  EXPECT_TRUE(checksOK("fun f(b: bool) { h(b); let out <- b;"
+                       " return out; }"));
+}
+
+TEST(Sema, HadamardOnUIntRejected) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { h(a); let out <- a;"
+                           " return out; }",
+                           "requires a bool"));
+}
+
+TEST(Sema, HadamardUndeclared) {
+  EXPECT_TRUE(rejectedWith("fun f(a: bool) { h(c); let out <- a;"
+                           " return out; }",
+                           "h() of undeclared variable"));
+}
+
+TEST(Sema, HadamardUnderItsOwnConditionRejected) {
+  // mod(H(x)) = {x}, so `if x { h(x) }` violates the S-If condition.
+  EXPECT_TRUE(rejectedWith("fun f(x: bool) { if x { h(x); }"
+                           " let out <- x; return out; }",
+                           "condition variable"));
+}
+
+//===----------------------------------------------------------------------===//
+// The S-If side conditions
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, IfConditionMustBeBool) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { if a { skip; }"
+                           " let out <- a; return out; }",
+                           "must be bool"));
+}
+
+TEST(Sema, IfBodyMayNotModifyCondition) {
+  EXPECT_TRUE(rejectedWith("fun f(x: bool, y: bool) {"
+                           " if x { let x <- y; }"
+                           " let out <- x; return out; }",
+                           "condition variable"));
+}
+
+TEST(Sema, IfBodyMayNotModifyConditionFreeVars) {
+  // The condition here is an expression over y; the body flips y.
+  EXPECT_TRUE(rejectedWith("fun f(y: bool, z: bool) {"
+                           " if y && z { let y <- z; }"
+                           " let out <- y; return out; }",
+                           "condition variable"));
+}
+
+TEST(Sema, IfBodyMayNotConsumeOuterVariable) {
+  // dom G must be preserved across the body (S-If): consuming an outer
+  // binding in only one branch would leave the context path-dependent.
+  EXPECT_TRUE(rejectedWith("fun f(x: bool, a: uint) {"
+                           " let t <- a;"
+                           " if x { let t -> a; }"
+                           " let out <- a; return out; }",
+                           "consumes outer variable"));
+}
+
+TEST(Sema, IfBodyMayDeclareNewVariables) {
+  // Declarations inside the body extend the context (dom G subset of
+  // dom G' is allowed).
+  EXPECT_TRUE(checksOK("fun f(x: bool, a: uint) {"
+                       " if x { let t <- a + 1; }"
+                       " let out <- a; return out; }"));
+}
+
+TEST(Sema, IfConditionMayBeReadInBody) {
+  // Reading the condition inside the body is legal (only modification is
+  // excluded) — this is the control-merging case the cost model profiles
+  // through an if-wrapper.
+  EXPECT_TRUE(checksOK("fun f(x: bool, y: bool) {"
+                       " if x { let t <- x && y; }"
+                       " let out <- y; return out; }"));
+}
+
+TEST(Sema, NestedIfSameConditionAllowed) {
+  EXPECT_TRUE(checksOK("fun f(x: bool, a: uint) {"
+                       " if x { if x { let t <- a; } }"
+                       " let out <- a; return out; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions (Figs. 18 and 19)
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, NotRequiresBool) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let b <- not a;"
+                           " let out <- b; return out; }",
+                           "'not' requires bool"));
+}
+
+TEST(Sema, TestRequiresUIntOrPointer) {
+  EXPECT_TRUE(rejectedWith("fun f(b: bool) { let c <- test b;"
+                           " let out <- c; return out; }",
+                           "'test' requires uint or pointer"));
+  EXPECT_TRUE(checksOK("fun f(a: uint) { let c <- test a;"
+                       " let out <- c; return out; }"));
+  EXPECT_TRUE(checksOK("fun f(p: ptr<uint>) { let c <- test p;"
+                       " let out <- c; return out; }"));
+}
+
+TEST(Sema, LogicalOpsRequireBool) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint, b: bool) { let c <- a && b;"
+                           " let out <- c; return out; }",
+                           "logical operator requires bool"));
+}
+
+TEST(Sema, ArithmeticRequiresUInt) {
+  EXPECT_TRUE(rejectedWith("fun f(a: bool, b: bool) { let c <- a + b;"
+                           " let out <- c; return out; }",
+                           "arithmetic requires uint"));
+}
+
+TEST(Sema, ComparisonRequiresUInt) {
+  EXPECT_TRUE(rejectedWith("fun f(a: bool, b: bool) { let c <- a < b;"
+                           " let out <- c; return out; }",
+                           "comparison requires uint"));
+}
+
+TEST(Sema, EqualityTypeMismatch) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint, b: bool) { let c <- a == b;"
+                           " let out <- c; return out; }",
+                           "mismatched types"));
+}
+
+TEST(Sema, EqualityOnPointers) {
+  EXPECT_TRUE(checksOK("fun f(p: ptr<uint>, q: ptr<uint>) {"
+                       " let c <- p == q; let out <- c; return out; }"));
+}
+
+TEST(Sema, NullComparesAgainstPointer) {
+  // TV-Null: null's pointer type is inferred from the other operand.
+  EXPECT_TRUE(checksOK("fun f(p: ptr<uint>) { let c <- p == null;"
+                       " let out <- c; return out; }"));
+}
+
+TEST(Sema, BareNullWithoutContextRejected) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let p <- null;"
+                           " let out <- a; return out; }",
+                           "cannot infer the pointer type"));
+}
+
+TEST(Sema, ProjectionFromNonPair) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let x <- a.1;"
+                           " let out <- x; return out; }",
+                           "projection from non-pair"));
+}
+
+TEST(Sema, ProjectionTypes) {
+  EXPECT_TRUE(checksOK("fun f(p: (uint, bool)) {"
+                       " let a <- p.1; let b <- p.2;"
+                       " let c <- a + 1; let d <- not b;"
+                       " let out <- c; return out; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and calls
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, CallToUndefinedFunction) {
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) { let r <- g(a);"
+                           " let out <- r; return out; }",
+                           "undefined function 'g'"));
+}
+
+TEST(Sema, CallArityMismatch) {
+  EXPECT_TRUE(rejectedWith("fun g(x: uint, y: uint) { let out <- x + y;"
+                           " return out; }"
+                           "fun f(a: uint) { let r <- g(a);"
+                           " let out <- r; return out; }",
+                           "with 1 argument"));
+}
+
+TEST(Sema, CallArgumentTypeMismatch) {
+  EXPECT_TRUE(rejectedWith("fun g(x: uint) { let out <- x; return out; }"
+                           "fun f(b: bool) { let r <- g(b);"
+                           " let out <- r; return out; }",
+                           "argument 1"));
+}
+
+TEST(Sema, SizeArgOnNonSizedFunction) {
+  EXPECT_TRUE(rejectedWith("fun g(x: uint) { let out <- x; return out; }"
+                           "fun f(a: uint) { let r <- g[3](a);"
+                           " let out <- r; return out; }",
+                           "size"));
+}
+
+TEST(Sema, MissingSizeArgOnSizedFunction) {
+  EXPECT_TRUE(rejectedWith(
+      "fun g[n](x: uint) { let out <- g[n-1](x); return out; }"
+      "fun f(a: uint) { let r <- g(a); let out <- r; return out; }",
+      "size"));
+}
+
+TEST(Sema, MutualRecursionRejected) {
+  // Only self-recursion (with a size parameter) is supported; forward
+  // references between functions are rejected at the call site, matching
+  // the Tower compiler's define-before-use inlining order.
+  EXPECT_TRUE(rejectedWith(
+      "fun even[n](x: uint) { let out <- odd[n-1](x); return out; }"
+      "fun odd[n](x: uint) { let out <- even[n-1](x); return out; }"
+      "fun f(a: uint) { let r <- even[4](a);"
+      " let out <- r; return out; }",
+      "must be defined before"));
+}
+
+TEST(Sema, DeclaredReturnTypeMismatch) {
+  EXPECT_TRUE(rejectedWith("fun g(x: uint) -> bool { let out <- x;"
+                           " return out; }",
+                           "return type"));
+}
+
+TEST(Sema, DeclaredReturnTypeChecks) {
+  EXPECT_TRUE(checksOK("fun g(x: uint) -> bool { let out <- test x;"
+                       " return out; }"));
+}
+
+//===----------------------------------------------------------------------===//
+// With-do blocks
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, WithTemporariesScopeToTheBlock) {
+  // The with-block's bindings are reversed after the do-block; using one
+  // afterwards is an error.
+  EXPECT_TRUE(rejectedWith("fun f(a: uint) {"
+                           " with { let t <- a + 1; } do { let r <- t; }"
+                           " let out <- t; return out; }",
+                           "undeclared variable 't'"));
+}
+
+TEST(Sema, DoBlockResultsSurvive) {
+  EXPECT_TRUE(checksOK("fun f(a: uint) {"
+                       " with { let t <- a + 1; } do { let r <- t; }"
+                       " let out <- r; return out; }"));
+}
+
+TEST(Sema, NamedTypeUnfolding) {
+  // Recursive named types unfold through ptr (the list benchmark shape).
+  EXPECT_TRUE(checksOK("type list = (uint, ptr<list>);"
+                       "fun f(xs: ptr<list>) {"
+                       " let t <- default<list>;"
+                       " *xs <-> t;"
+                       " let head <- t.1; let tail <- t.2;"
+                       " let out <- head; return out; }"));
+}

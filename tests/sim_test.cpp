@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+// Tests for the simulators: bit strings, basis-state runs, sparse
+// state-vector gates (H, CH, phases), and the classical IR interpreter.
+//===----------------------------------------------------------------------===//
+
+#include "sim/Interpreter.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+using namespace spire::sim;
+using namespace spire::circuit;
+
+TEST(BitString, ReadWrite) {
+  BitString B(100);
+  B.write(3, 8, 0xA5);
+  EXPECT_EQ(B.read(3, 8), 0xA5u);
+  EXPECT_FALSE(B.get(2));
+  EXPECT_TRUE(B.get(3));  // 0xA5 bit 0
+  EXPECT_FALSE(B.get(4)); // 0xA5 bit 1
+  // Crossing a 64-bit word boundary.
+  B.write(60, 10, 0x3FF);
+  EXPECT_EQ(B.read(60, 10), 0x3FFu);
+  EXPECT_EQ(B.read(3, 8), 0xA5u);
+}
+
+TEST(RunBasis, MCXSemantics) {
+  Circuit C;
+  C.NumQubits = 3;
+  C.addX(0);         // q0 = 1
+  C.addX(1, {0});    // q1 ^= q0 -> 1
+  C.addX(2, {0, 1}); // q2 ^= q0&q1 -> 1
+  C.addX(2, {1});    // q2 ^= q1 -> 0
+  BitString S(3);
+  runBasis(C, S);
+  EXPECT_TRUE(S.get(0));
+  EXPECT_TRUE(S.get(1));
+  EXPECT_FALSE(S.get(2));
+}
+
+TEST(StateVector, BellState) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.addH(0);
+  C.addX(1, {0});
+  SparseState Out = runState(C, BitString(2));
+  ASSERT_EQ(Out.size(), 2u);
+  BitString B00(2), B11(2);
+  B11.set(0, true);
+  B11.set(1, true);
+  EXPECT_NEAR(std::abs(Out[B00]), 1 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(std::abs(Out[B11]), 1 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(StateVector, HHIsIdentity) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.addH(0);
+  C.addH(0);
+  BitString One(1);
+  One.set(0, true);
+  SparseState Out = runState(C, One);
+  SparseState Expected;
+  Expected[One] = 1.0;
+  EXPECT_TRUE(statesEquivalent(Out, Expected));
+}
+
+TEST(StateVector, TPhases) {
+  // T^8 = I; T^4 = Z; S = T^2.
+  Circuit T8;
+  T8.NumQubits = 1;
+  for (int I = 0; I != 8; ++I)
+    T8.Gates.push_back(Gate(GateKind::T, 0));
+  BitString One(1);
+  One.set(0, true);
+  SparseState Expected;
+  Expected[One] = 1.0;
+  EXPECT_TRUE(statesEquivalent(runState(T8, One), Expected));
+
+  Circuit TT;
+  TT.NumQubits = 1;
+  TT.Gates.push_back(Gate(GateKind::T, 0));
+  TT.Gates.push_back(Gate(GateKind::T, 0));
+  Circuit S;
+  S.NumQubits = 1;
+  S.Gates.push_back(Gate(GateKind::S, 0));
+  EXPECT_TRUE(statesEquivalent(runState(TT, One), runState(S, One)));
+}
+
+TEST(StateVector, ControlledHOnlyFiresWhenControlSet) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.addH(1, {0});
+  // Control 0: nothing happens.
+  SparseState Out0 = runState(C, BitString(2));
+  SparseState Id;
+  Id[BitString(2)] = 1.0;
+  EXPECT_TRUE(statesEquivalent(Out0, Id));
+  // Control 1: target splits.
+  BitString In(2);
+  In.set(0, true);
+  SparseState Out1 = runState(C, In);
+  EXPECT_EQ(Out1.size(), 2u);
+}
+
+TEST(StateVector, GlobalPhaseEquivalence) {
+  // Z|1> = -|1>: equal to |1> only up to global phase.
+  Circuit C;
+  C.NumQubits = 1;
+  C.Gates.push_back(Gate(GateKind::Z, 0));
+  BitString One(1);
+  One.set(0, true);
+  SparseState Expected;
+  Expected[One] = 1.0;
+  SparseState Out = runState(C, One);
+  EXPECT_TRUE(statesEquivalent(Out, Expected));
+  EXPECT_NEAR(Out[One].real(), -1.0, 1e-9); // literal amplitude differs
+}
+
+TEST(Interpreter, XorRedeclaration) {
+  auto Types = std::make_shared<ir::TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  ir::CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"a", UInt}};
+  P.OutputVar = "x";
+  P.OutputTy = UInt;
+  using ir::Atom;
+  using ir::CoreExpr;
+  using ir::CoreStmt;
+  P.Body.push_back(
+      CoreStmt::assign("x", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  P.Body.push_back(CoreStmt::assign(
+      "x", UInt, CoreExpr::atom(Atom::constant(0xFF, UInt))));
+  circuit::TargetConfig Config;
+  MachineState S = MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 0x0F;
+  Interpreter I(P, Config);
+  ASSERT_TRUE(I.run(S));
+  EXPECT_EQ(I.output(S), 0x0Fu ^ 0xFFu);
+}
+
+TEST(Interpreter, FailedUnassignmentReportsError) {
+  auto Types = std::make_shared<ir::TypeContext>();
+  const ast::Type *UInt = Types->uintType();
+  ir::CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"a", UInt}};
+  P.OutputVar = "a";
+  P.OutputTy = UInt;
+  using ir::Atom;
+  using ir::CoreExpr;
+  using ir::CoreStmt;
+  P.Body.push_back(
+      CoreStmt::assign("x", UInt, CoreExpr::atom(Atom::var("a", UInt))));
+  P.Body.push_back(CoreStmt::unassign(
+      "x", UInt, CoreExpr::atom(Atom::constant(1, UInt))));
+  circuit::TargetConfig Config;
+  MachineState S = MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 7; // x = 7, un-assign claims 1: residue 6.
+  Interpreter I(P, Config);
+  EXPECT_FALSE(I.run(S));
+  EXPECT_NE(I.error().find("did not restore zero"), std::string::npos);
+}
+
+TEST(Interpreter, HadamardIsRejected) {
+  auto Types = std::make_shared<ir::TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  ir::CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"b", Bool}};
+  P.OutputVar = "b";
+  P.OutputTy = Bool;
+  P.Body.push_back(ir::CoreStmt::hadamard("b", Bool));
+  circuit::TargetConfig Config;
+  MachineState S = MachineState::make(Config.HeapCells);
+  Interpreter I(P, Config);
+  EXPECT_FALSE(I.run(S));
+}
+
+TEST(HadamardPipeline, CompiledHMatchesStateSim) {
+  // A Tower program with H compiles to a circuit that produces a uniform
+  // superposition over the conditional outcome.
+  auto Types = std::make_shared<ir::TypeContext>();
+  const ast::Type *Bool = Types->boolType();
+  const ast::Type *UInt = Types->uintType();
+  ir::CoreProgram P;
+  P.Types = Types;
+  P.Inputs = {{"b", Bool}};
+  P.OutputVar = "y";
+  P.OutputTy = UInt;
+  using ir::Atom;
+  using ir::CoreExpr;
+  using ir::CoreStmt;
+  P.Body.push_back(CoreStmt::hadamard("b", Bool));
+  ir::CoreStmtList Body;
+  Body.push_back(CoreStmt::assign(
+      "y", UInt, CoreExpr::atom(Atom::constant(9, UInt))));
+  P.Body.push_back(CoreStmt::ifStmt("b", std::move(Body)));
+
+  circuit::TargetConfig Config;
+  circuit::CompileResult R = circuit::compileToCircuit(P, Config);
+  MachineState S = MachineState::make(Config.HeapCells);
+  BitString In = encodeState(S, R.Layout);
+  SparseState Out = runState(R.Circ, In);
+  // Two branches: (b=0, y=0) and (b=1, y=9), equal weight.
+  ASSERT_EQ(Out.size(), 2u);
+  for (const auto &[Basis, Amp] : Out) {
+    uint64_t B = Basis.read(R.Layout.Inputs.at("b").Offset, 1);
+    uint64_t Y = Basis.read(R.Layout.Output.Offset, 8);
+    EXPECT_EQ(Y, B ? 9u : 0u);
+    EXPECT_NEAR(std::abs(Amp), 1 / std::sqrt(2.0), 1e-9);
+  }
+}

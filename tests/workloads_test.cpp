@@ -1,0 +1,132 @@
+//===----------------------------------------------------------------------===//
+// Tests for the workload generators (heap encodings of lists, strings,
+// and radix trees) used by the functional benchmark tests and the
+// evaluation harness: encode/decode round trips, layout invariants, and
+// agreement between the reference tree operations and key ordering.
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Workloads.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace spire;
+using namespace spire::benchmarks;
+
+namespace {
+constexpr unsigned HeapCells = 32;
+} // namespace
+
+TEST(Workloads, EmptyListEncodesToNull) {
+  sim::MachineState S = sim::MachineState::make(HeapCells);
+  EXPECT_EQ(encodeList(S, {}), 0u);
+}
+
+TEST(Workloads, ListRoundTrip) {
+  sim::MachineState S = sim::MachineState::make(HeapCells);
+  std::vector<uint64_t> Values = {3, 1, 4, 1, 5};
+  uint64_t Head = encodeList(S, Values);
+  ASSERT_NE(Head, 0u);
+  EXPECT_EQ(decodeList(S, Head), Values);
+}
+
+TEST(Workloads, SingletonList) {
+  sim::MachineState S = sim::MachineState::make(HeapCells);
+  uint64_t Head = encodeList(S, {42});
+  EXPECT_EQ(decodeList(S, Head), std::vector<uint64_t>{42});
+}
+
+TEST(Workloads, EncodeAtAdvancesCellCursor) {
+  sim::MachineState S = sim::MachineState::make(HeapCells);
+  unsigned Cell = 1;
+  uint64_t A = encodeListAt(S, {1, 2}, Cell);
+  unsigned AfterA = Cell;
+  uint64_t B = encodeListAt(S, {3}, Cell);
+  EXPECT_GT(AfterA, 1u);
+  EXPECT_GT(Cell, AfterA);
+  // Both lists decode independently: disjoint cells.
+  EXPECT_EQ(decodeList(S, A), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(decodeList(S, B), (std::vector<uint64_t>{3}));
+}
+
+TEST(Workloads, KeyLessIsLexicographic) {
+  EXPECT_TRUE(keyLess({1}, {2}));
+  EXPECT_TRUE(keyLess({1, 2}, {2}));
+  EXPECT_TRUE(keyLess({1}, {1, 1}));   // prefix < extension
+  EXPECT_FALSE(keyLess({1, 1}, {1}));
+  EXPECT_FALSE(keyLess({2}, {1, 9}));
+  EXPECT_FALSE(keyLess({3}, {3}));     // irreflexive
+}
+
+TEST(Workloads, KeyLessIsStrictWeakOrder) {
+  std::mt19937_64 Rng(5);
+  std::vector<Key> Keys;
+  for (int I = 0; I != 24; ++I) {
+    Key K;
+    unsigned Len = 1 + Rng() % 4;
+    for (unsigned J = 0; J != Len; ++J)
+      K.push_back(Rng() % 4);
+    Keys.push_back(std::move(K));
+  }
+  for (const Key &A : Keys)
+    for (const Key &B : Keys) {
+      EXPECT_FALSE(keyLess(A, B) && keyLess(B, A));
+      for (const Key &C : Keys)
+        if (keyLess(A, B) && keyLess(B, C)) {
+          EXPECT_TRUE(keyLess(A, C));
+        }
+    }
+}
+
+TEST(Workloads, TreeContainsExactlyItsKeys) {
+  sim::MachineState S = sim::MachineState::make(64);
+  unsigned Cell = 1;
+  std::vector<Key> Keys = {{2}, {1, 3}, {3, 1}, {1}};
+  uint64_t Root = encodeTree(S, Keys, Cell);
+  ASSERT_NE(Root, 0u);
+  for (const Key &K : Keys)
+    EXPECT_TRUE(treeContains(S, Root, K));
+  EXPECT_FALSE(treeContains(S, Root, {4}));
+  EXPECT_FALSE(treeContains(S, Root, {1, 2}));
+  EXPECT_FALSE(treeContains(S, Root, {2, 1}));
+}
+
+TEST(Workloads, EmptyTreeContainsNothing) {
+  sim::MachineState S = sim::MachineState::make(HeapCells);
+  unsigned Cell = 1;
+  uint64_t Root = encodeTree(S, {}, Cell);
+  EXPECT_EQ(Root, 0u);
+  EXPECT_FALSE(treeContains(S, Root, {1}));
+}
+
+TEST(Workloads, RandomTreeMatchesReferenceSet) {
+  std::mt19937_64 Rng(9);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    std::vector<Key> Keys;
+    unsigned NumKeys = 1 + Rng() % 4;
+    for (unsigned I = 0; I != NumKeys; ++I) {
+      Key K;
+      unsigned Len = 1 + Rng() % 3;
+      for (unsigned J = 0; J != Len; ++J)
+        K.push_back(1 + Rng() % 3);
+      Keys.push_back(std::move(K));
+    }
+    sim::MachineState S = sim::MachineState::make(64);
+    unsigned Cell = 1;
+    uint64_t Root = encodeTree(S, Keys, Cell);
+
+    auto InKeys = [&](const Key &K) {
+      for (const Key &Existing : Keys)
+        if (Existing == K)
+          return true;
+      return false;
+    };
+    for (int Probe = 0; Probe != 12; ++Probe) {
+      Key K;
+      unsigned Len = 1 + Rng() % 3;
+      for (unsigned J = 0; J != Len; ++J)
+        K.push_back(1 + Rng() % 3);
+      EXPECT_EQ(treeContains(S, Root, K), InKeys(K));
+    }
+  }
+}

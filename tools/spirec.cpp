@@ -1,0 +1,338 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// spirec — command-line driver for the Spire/Tower compiler.
+///
+/// Usage:
+///   spirec <file.tower> --entry <fun> [--size N] [options]
+///   spirec --qc-in <file.qc> [--circuit-opt <name>] [--emit <level>]
+///          [-o <path>]
+///
+/// Modes (combinable):
+///   --report              print the cost-model analysis (MCX- and
+///                         T-complexity) before and after optimization
+///   --emit <level>        write the compiled circuit in .qc format;
+///                         level is one of mcx | toffoli | cliffordt
+///   -o <path>             output path for --emit (default: stdout)
+///   --run k=v,k=v         interpret the program on a machine state with
+///                         the given input registers and print the output
+///   --dump-ir             print the (optimized) core IR
+///
+/// Options:
+///   --no-flatten          disable conditional flattening
+///   --no-narrow           disable conditional narrowing
+///   -O0                   disable all Spire optimizations
+///   --word-bits N         register width in qubits (default 8)
+///   --heap-cells N        qRAM size in cells (default 16)
+///   --circuit-opt <name>  additionally run a circuit-optimizer baseline:
+///                         peephole | rotation | cliffordt-cancel |
+///                         toffoli-cancel | exhaustive
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Harness.h"
+#include "circuit/QcReader.h"
+#include "circuit/QcWriter.h"
+#include "costmodel/CostModel.h"
+#include "decompose/Decompose.h"
+#include "frontend/Parser.h"
+#include "lowering/Lower.h"
+#include "opt/Spire.h"
+#include "sim/Interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace spire;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  std::string QcInPath;
+  std::string Entry;
+  int64_t Size = 0;
+  bool Report = false;
+  bool DumpIR = false;
+  std::string EmitLevel; ///< "", "mcx", "toffoli", "cliffordt".
+  std::string OutputPath;
+  std::optional<std::string> RunInputs;
+  opt::SpireOptions Spire = opt::SpireOptions::all();
+  circuit::TargetConfig Target;
+  std::string CircuitOpt;
+};
+
+[[noreturn]] void usageError(const char *Message) {
+  std::fprintf(stderr, "spirec: error: %s\n", Message);
+  std::fprintf(stderr,
+               "usage: spirec <file.tower> --entry <fun> [--size N] "
+               "[--report] [--dump-ir]\n"
+               "              [--emit mcx|toffoli|cliffordt] [-o <path>] "
+               "[--run k=v,...]\n"
+               "              [--no-flatten] [--no-narrow] [-O0] "
+               "[--word-bits N] [--heap-cells N]\n"
+               "              [--circuit-opt peephole|rotation|"
+               "cliffordt-cancel|toffoli-cancel|exhaustive]\n");
+  std::exit(2);
+}
+
+int64_t parseInt(const char *Text, const char *What) {
+  char *End = nullptr;
+  long long Value = std::strtoll(Text, &End, 10);
+  if (End == Text || *End != '\0') {
+    std::string Message = std::string("invalid integer for ") + What;
+    usageError(Message.c_str());
+  }
+  return Value;
+}
+
+Options parseArgs(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&](const char *What) -> const char * {
+      if (I + 1 >= Argc)
+        usageError((std::string("missing value for ") + What).c_str());
+      return Argv[++I];
+    };
+    if (Arg == "--entry")
+      Opts.Entry = next("--entry");
+    else if (Arg == "--size")
+      Opts.Size = parseInt(next("--size"), "--size");
+    else if (Arg == "--report")
+      Opts.Report = true;
+    else if (Arg == "--dump-ir")
+      Opts.DumpIR = true;
+    else if (Arg == "--emit")
+      Opts.EmitLevel = next("--emit");
+    else if (Arg == "-o")
+      Opts.OutputPath = next("-o");
+    else if (Arg == "--run")
+      Opts.RunInputs = next("--run");
+    else if (Arg == "--no-flatten")
+      Opts.Spire.ConditionalFlattening = false;
+    else if (Arg == "--no-narrow")
+      Opts.Spire.ConditionalNarrowing = false;
+    else if (Arg == "-O0")
+      Opts.Spire = opt::SpireOptions::none();
+    else if (Arg == "--word-bits")
+      Opts.Target.WordBits =
+          static_cast<unsigned>(parseInt(next("--word-bits"), "--word-bits"));
+    else if (Arg == "--heap-cells")
+      Opts.Target.HeapCells = static_cast<unsigned>(
+          parseInt(next("--heap-cells"), "--heap-cells"));
+    else if (Arg == "--circuit-opt")
+      Opts.CircuitOpt = next("--circuit-opt");
+    else if (Arg == "--qc-in")
+      Opts.QcInPath = next("--qc-in");
+    else if (!Arg.empty() && Arg[0] == '-')
+      usageError((std::string("unknown option ") + Arg).c_str());
+    else if (Opts.InputPath.empty())
+      Opts.InputPath = Arg;
+    else
+      usageError("multiple input files");
+  }
+  if (!Opts.QcInPath.empty()) {
+    if (!Opts.InputPath.empty() || !Opts.Entry.empty())
+      usageError("--qc-in is exclusive with a Tower input file");
+  } else {
+    if (Opts.InputPath.empty())
+      usageError("no input file");
+    if (Opts.Entry.empty())
+      usageError("--entry is required");
+  }
+  if (!Opts.EmitLevel.empty() && Opts.EmitLevel != "mcx" &&
+      Opts.EmitLevel != "toffoli" && Opts.EmitLevel != "cliffordt")
+    usageError("--emit level must be mcx, toffoli, or cliffordt");
+  return Opts;
+}
+
+std::optional<benchmarks::CircuitOptimizerKind>
+circuitOptKind(const std::string &Name) {
+  using K = benchmarks::CircuitOptimizerKind;
+  if (Name == "peephole")
+    return K::Peephole;
+  if (Name == "rotation")
+    return K::RotationMerging;
+  if (Name == "cliffordt-cancel")
+    return K::CliffordTCancel;
+  if (Name == "toffoli-cancel")
+    return K::ToffoliCancel;
+  if (Name == "exhaustive")
+    return K::ExhaustiveCancel;
+  return std::nullopt;
+}
+
+/// Parses "--run xs=5,acc=0" into register assignments.
+std::vector<std::pair<std::string, uint64_t>>
+parseRunInputs(const std::string &Text) {
+  std::vector<std::pair<std::string, uint64_t>> Result;
+  std::stringstream Stream(Text);
+  std::string Item;
+  while (std::getline(Stream, Item, ',')) {
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      usageError("--run entries must look like name=value");
+    Result.emplace_back(Item.substr(0, Eq),
+                        parseInt(Item.c_str() + Eq + 1, "--run value"));
+  }
+  return Result;
+}
+
+void writeOutput(const Options &Opts, const std::string &Text) {
+  if (Opts.OutputPath.empty()) {
+    std::fputs(Text.c_str(), stdout);
+    return;
+  }
+  std::ofstream Out(Opts.OutputPath);
+  if (!Out) {
+    std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
+                 Opts.OutputPath.c_str());
+    std::exit(1);
+  }
+  Out << Text;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts = parseArgs(Argc, Argv);
+
+  // -- Circuit-in mode: load a .qc, optionally optimize, re-emit. ----------
+  if (!Opts.QcInPath.empty()) {
+    std::ifstream In(Opts.QcInPath);
+    if (!In) {
+      std::fprintf(stderr, "spirec: error: cannot read %s\n",
+                   Opts.QcInPath.c_str());
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    support::DiagnosticEngine Diags;
+    std::optional<circuit::Circuit> Circ = circuit::readQc(Buffer.str(),
+                                                           Diags);
+    if (!Circ) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    circuit::GateCounts Before = circuit::countGates(*Circ);
+    if (!Opts.CircuitOpt.empty()) {
+      std::optional<benchmarks::CircuitOptimizerKind> Kind =
+          circuitOptKind(Opts.CircuitOpt);
+      if (!Kind)
+        usageError("unknown --circuit-opt name");
+      *Circ = benchmarks::applyCircuitOptimizer(*Circ, *Kind);
+    } else if (Opts.EmitLevel == "toffoli") {
+      *Circ = decompose::toToffoli(*Circ);
+    } else if (Opts.EmitLevel == "cliffordt") {
+      *Circ = decompose::toCliffordT(*Circ);
+    }
+    circuit::GateCounts After = circuit::countGates(*Circ);
+    std::fprintf(stderr,
+                 "spirec: %lld gates, T-complexity %lld -> %lld gates, "
+                 "T-complexity %lld\n",
+                 static_cast<long long>(Before.Total),
+                 static_cast<long long>(Before.TComplexity),
+                 static_cast<long long>(After.Total),
+                 static_cast<long long>(After.TComplexity));
+    writeOutput(Opts, circuit::writeQc(*Circ));
+    return 0;
+  }
+
+  // -- Read and parse the source. ----------------------------------------
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "spirec: error: cannot read %s\n",
+                 Opts.InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  support::DiagnosticEngine Diags;
+  std::optional<ast::Program> Program = frontend::parseProgram(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // -- Type-check and lower at the requested size. -----------------------
+  lowering::LowerOptions LowerOpts;
+  LowerOpts.HeapCells = Opts.Target.HeapCells;
+  std::optional<ir::CoreProgram> Core =
+      lowering::lowerProgram(*Program, Opts.Entry, Opts.Size, Diags,
+                             LowerOpts);
+  if (!Core) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // -- Optimize. ----------------------------------------------------------
+  costmodel::Cost Before = costmodel::analyzeProgram(*Core, Opts.Target);
+  ir::CoreProgram Optimized = opt::optimizeProgram(*Core, Opts.Spire);
+  costmodel::Cost After = costmodel::analyzeProgram(Optimized, Opts.Target);
+
+  if (Opts.Report) {
+    std::printf("entry %s at size %lld (%u-bit words, %u heap cells)\n",
+                Opts.Entry.c_str(), static_cast<long long>(Opts.Size),
+                Opts.Target.WordBits, Opts.Target.HeapCells);
+    std::printf("  unoptimized: MCX-complexity %lld, T-complexity %lld\n",
+                static_cast<long long>(Before.MCX),
+                static_cast<long long>(Before.T));
+    std::printf("  optimized:   MCX-complexity %lld, T-complexity %lld\n",
+                static_cast<long long>(After.MCX),
+                static_cast<long long>(After.T));
+  }
+
+  if (Opts.DumpIR)
+    std::printf("%s", Optimized.str().c_str());
+
+  // -- Interpret. ----------------------------------------------------------
+  if (Opts.RunInputs) {
+    sim::MachineState State =
+        sim::MachineState::make(Opts.Target.HeapCells);
+    for (const auto &[Name, Value] : parseRunInputs(*Opts.RunInputs))
+      State.Regs[Name] = Value;
+    sim::Interpreter Interp(Optimized, Opts.Target);
+    if (!Interp.run(State)) {
+      std::fprintf(stderr, "spirec: runtime error: %s\n",
+                   Interp.error().c_str());
+      return 1;
+    }
+    std::printf("%s = %llu\n", Optimized.OutputVar.c_str(),
+                static_cast<unsigned long long>(Interp.output(State)));
+  }
+
+  // -- Emit a circuit. -----------------------------------------------------
+  if (!Opts.EmitLevel.empty()) {
+    circuit::CompileResult Result =
+        circuit::compileToCircuit(Optimized, Opts.Target);
+    circuit::Circuit Circ = std::move(Result.Circ);
+    if (!Opts.CircuitOpt.empty()) {
+      std::optional<benchmarks::CircuitOptimizerKind> Kind =
+          circuitOptKind(Opts.CircuitOpt);
+      if (!Kind)
+        usageError("unknown --circuit-opt name");
+      Circ = benchmarks::applyCircuitOptimizer(Circ, *Kind);
+    } else if (Opts.EmitLevel == "toffoli") {
+      Circ = decompose::toToffoli(Circ);
+    } else if (Opts.EmitLevel == "cliffordt") {
+      Circ = decompose::toCliffordT(Circ);
+    }
+    // Layouts describe MCX-level wires only; decomposition adds ancillas,
+    // so emit without input/output markers at lower levels.
+    bool MCXLevel = Opts.EmitLevel == "mcx" && Opts.CircuitOpt.empty();
+    writeOutput(Opts, circuit::writeQc(Circ, MCXLevel ? &Result.Layout
+                                                      : nullptr));
+  }
+  return 0;
+}
