@@ -9,11 +9,13 @@
 /// the first costs 14 T under the Fig. 5/6 decompositions; flattening
 /// removes the bulk of them; narrowing removes the with-block's).
 ///
+/// Every configuration is one run of the unified driver pipeline with a
+/// different opt::SpireOptions; per-stage wall-clock timings of the full
+/// configuration are reported at the end.
+///
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Harness.h"
-#include "frontend/Parser.h"
-#include "lowering/Lower.h"
 
 #include <cstdio>
 
@@ -22,14 +24,20 @@ using namespace spire::benchmarks;
 
 namespace {
 
-void describe(const char *Label, const ir::CoreProgram &P) {
-  circuit::TargetConfig Config;
-  circuit::CompileResult R = circuit::compileToCircuit(P, Config);
-  circuit::GateCounts Counts = circuit::countGates(R.Circ);
+/// Compiles fig3 under one Spire configuration and prints its inventory.
+driver::CompilationResult describe(const char *Label,
+                                   const opt::SpireOptions &Spire) {
+  driver::PipelineOptions Opts;
+  Opts.Spire = Spire;
+  Opts.BuildCircuit = true;
+  driver::CompilationResult R =
+      runPipelineOrDie(figure3Program(), 0, Opts);
+  const circuit::Circuit &Circ = *R.finalCircuit();
+  circuit::GateCounts Counts = circuit::countGates(Circ);
   // "Orange controls": control bits beyond the first on each gate (only
   // the first is free because CNOT is Clifford — Section 3.3).
   int64_t ExtraControls = 0;
-  for (const circuit::Gate &G : R.Circ.Gates)
+  for (const circuit::Gate &G : Circ.Gates)
     if (G.numControls() > 1)
       ExtraControls += G.numControls() - 1;
   std::printf("%-22s %3lld gates, %3lld extra controls, T-complexity "
@@ -37,30 +45,28 @@ void describe(const char *Label, const ir::CoreProgram &P) {
               Label, static_cast<long long>(Counts.Total),
               static_cast<long long>(ExtraControls),
               static_cast<long long>(Counts.TComplexity));
+  return R;
 }
 
 } // namespace
 
 int main() {
-  ast::Program Prog = frontend::parseProgramOrDie(figure3Program().Source);
-  ir::CoreProgram P = lowering::lowerProgramOrDie(Prog, "fig3", 0);
-
   std::printf("== Fig. 3/4/7/8 worked example ==\n");
   std::printf("source program:\n%s\n", figure3Program().Source);
 
-  describe("original (Fig. 4)", P);
-  ir::CoreProgram CN =
-      opt::optimizeProgram(P, opt::SpireOptions::narrowingOnly());
-  describe("narrowing (CN)", CN);
-  ir::CoreProgram CF =
-      opt::optimizeProgram(P, opt::SpireOptions::flatteningOnly());
-  describe("flattening (CF)", CF);
-  ir::CoreProgram Both = opt::optimizeProgram(P, opt::SpireOptions::all());
-  describe("both (Fig. 8)", Both);
+  driver::CompilationResult Orig =
+      describe("original (Fig. 4)", opt::SpireOptions::none());
+  driver::CompilationResult CN =
+      describe("narrowing (CN)", opt::SpireOptions::narrowingOnly());
+  driver::CompilationResult CF =
+      describe("flattening (CF)", opt::SpireOptions::flatteningOnly());
+  driver::CompilationResult Both =
+      describe("both (Fig. 8)", opt::SpireOptions::all());
 
-  circuit::TargetConfig Config;
-  int64_t TOrig = costmodel::analyzeProgram(P, Config).T;
-  int64_t TBoth = costmodel::analyzeProgram(Both, Config).T;
+  // The estimate stage analyzed each optimized program; with Spire
+  // disabled the "optimized" cost is the original program's.
+  int64_t TOrig = Orig.OptimizedCost->T;
+  int64_t TBoth = Both.OptimizedCost->T;
   std::printf("\nT saving from both optimizations: %lld -> %lld (%s)\n",
               static_cast<long long>(TOrig),
               static_cast<long long>(TBoth),
@@ -70,11 +76,14 @@ int main() {
               "more control bits)\n");
 
   // Qualitative relations the example must exhibit.
-  int64_t TCN = costmodel::analyzeProgram(CN, Config).T;
-  int64_t TCF = costmodel::analyzeProgram(CF, Config).T;
+  int64_t TCN = CN.OptimizedCost->T;
+  int64_t TCF = CF.OptimizedCost->T;
   bool OK = TCN < TOrig && TCF < TOrig && TBoth <= TCF && TBoth <= TCN &&
             TBoth < TOrig;
   std::printf("orderings (CN < orig, CF < orig, CF+CN <= each): %s\n",
               OK ? "yes" : "NO");
+
+  std::printf("\npipeline stage timings (both optimizations):\n  %s\n",
+              formatStageTimings(Both).c_str());
   return OK ? 0 : 1;
 }

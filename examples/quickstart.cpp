@@ -1,20 +1,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Quickstart: compile a small Tower program, analyze its T-complexity
-/// with the cost model, optimize it with Spire, and emit a .qc circuit.
+/// Quickstart: compile a small Tower program through the unified
+/// driver::CompilationPipeline — parse, type-check, lower, analyze its
+/// T-complexity with the cost model, optimize with Spire, and emit a .qc
+/// circuit, all from one staged result.
 ///
 /// Build and run:
-///   cmake -B build -G Ninja && cmake --build build
+///   cmake -B build -S . && cmake --build build -j
 ///   ./build/examples/example_quickstart
 ///
 //===----------------------------------------------------------------------===//
 
 #include "circuit/QcWriter.h"
-#include "costmodel/CostModel.h"
-#include "frontend/Parser.h"
-#include "lowering/Lower.h"
-#include "opt/Spire.h"
+#include "driver/Pipeline.h"
 
 #include <cstdio>
 
@@ -43,31 +42,36 @@ fun fig3(x: bool, y: bool, z: bool) {
 }
 )";
 
-  // 1. Parse, type-check, and lower to core IR.
-  ast::Program Program = frontend::parseProgramOrDie(Source);
-  ir::CoreProgram Core = lowering::lowerProgramOrDie(Program, "fig3", 0);
-  std::printf("=== core IR ===\n%s\n", Core.str().c_str());
+  // One pipeline run produces every artifact below: the lowered core IR,
+  // the Section 5 cost analysis before and after the Section 6 Spire
+  // rewrites, and the compiled MCX circuit.
+  driver::PipelineOptions Opts = driver::PipelineOptions::forEntry("fig3");
+  Opts.BuildCircuit = true;
+  driver::CompilationPipeline Pipeline(Opts);
+  driver::CompilationResult R = Pipeline.run(Source);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "compilation failed at %s:\n%s",
+                 driver::stageName(*R.Failed), R.Diags.str().c_str());
+    return 1;
+  }
 
-  // 2. Analyze with the cost model (Section 5): no circuit needed.
-  circuit::TargetConfig Config;
-  costmodel::Cost Before = costmodel::analyzeProgram(Core, Config);
+  // 1. The lowered core IR.
+  std::printf("=== core IR ===\n%s\n", R.Core->str().c_str());
+
+  // 2. Cost-model analysis (Section 5): no circuit needed.
   std::printf("unoptimized: MCX-complexity %lld, T-complexity %lld\n",
-              static_cast<long long>(Before.MCX),
-              static_cast<long long>(Before.T));
+              static_cast<long long>(R.UnoptimizedCost->MCX),
+              static_cast<long long>(R.UnoptimizedCost->T));
 
-  // 3. Apply Spire's program-level optimizations (Section 6).
-  ir::CoreProgram Optimized =
-      opt::optimizeProgram(Core, opt::SpireOptions::all());
-  costmodel::Cost After = costmodel::analyzeProgram(Optimized, Config);
+  // 3. The effect of Spire's program-level optimizations (Section 6).
   std::printf("optimized:   MCX-complexity %lld, T-complexity %lld\n",
-              static_cast<long long>(After.MCX),
-              static_cast<long long>(After.T));
-  std::printf("=== optimized core IR ===\n%s\n", Optimized.str().c_str());
+              static_cast<long long>(R.OptimizedCost->MCX),
+              static_cast<long long>(R.OptimizedCost->T));
+  std::printf("=== optimized core IR ===\n%s\n", R.Optimized->str().c_str());
 
-  // 4. Compile to an MCX circuit and emit .qc (Mosca 2016).
-  circuit::CompileResult R = circuit::compileToCircuit(Optimized, Config);
+  // 4. The compiled MCX circuit, emitted as .qc (Mosca 2016).
   std::printf("=== circuit (%u qubits, %zu gates) ===\n%s",
-              R.Circ.NumQubits, R.Circ.Gates.size(),
-              circuit::writeQc(R.Circ, &R.Layout).c_str());
+              R.Compiled->Circ.NumQubits, R.Compiled->Circ.Gates.size(),
+              circuit::writeQc(R.Compiled->Circ, &R.Compiled->Layout).c_str());
   return 0;
 }

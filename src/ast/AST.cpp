@@ -119,6 +119,7 @@ std::unique_ptr<Expr> Expr::clone() const {
   E->UIntValue = UIntValue;
   E->BoolValue = BoolValue;
   E->Ty = Ty;
+  E->TypeArg = TypeArg;
   E->ProjIndex = ProjIndex;
   E->UOp = UOp;
   E->BOp = BOp;
@@ -142,9 +143,9 @@ std::string Expr::str() const {
   case Kind::NullLit:
     return "null";
   case Kind::Default:
-    return "default<" + (Ty ? Ty->str() : std::string("?")) + ">";
+    return "default<" + (TypeArg ? TypeArg->str() : std::string("?")) + ">";
   case Kind::AllocCell:
-    return "alloc<" + (Ty ? Ty->str() : std::string("?")) + ">";
+    return "alloc<" + (TypeArg ? TypeArg->str() : std::string("?")) + ">";
   case Kind::Tuple:
     return "(" + Args[0]->str() + ", " + Args[1]->str() + ")";
   case Kind::Proj:
@@ -199,13 +200,13 @@ std::unique_ptr<Expr> Expr::nullLit(const Type *Ty) {
 
 std::unique_ptr<Expr> Expr::defaultOf(const Type *Ty) {
   auto E = std::make_unique<Expr>(Kind::Default);
-  E->Ty = Ty;
+  E->TypeArg = Ty;
   return E;
 }
 
 std::unique_ptr<Expr> Expr::allocCell(const Type *Ty) {
   auto E = std::make_unique<Expr>(Kind::AllocCell);
-  E->Ty = Ty;
+  E->TypeArg = Ty;
   return E;
 }
 

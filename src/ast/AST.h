@@ -86,7 +86,14 @@ public:
   std::string Name;                         ///< Var name / callee name.
   uint64_t UIntValue = 0;                   ///< UIntLit.
   bool BoolValue = false;                   ///< BoolLit.
-  const Type *Ty = nullptr;                 ///< Default/AllocCell/NullLit.
+  /// Inferred type, annotated by the type checker; also the optional
+  /// pointer-type annotation of a NullLit. The checker may run more than
+  /// once over the same AST (the driver pipeline re-checks before
+  /// lowering), so annotation must be idempotent: payload types live in
+  /// TypeArg, never here.
+  const Type *Ty = nullptr;
+  /// Default/AllocCell: the parsed <T> argument.
+  const Type *TypeArg = nullptr;
   unsigned ProjIndex = 0;                   ///< Proj: 1 or 2.
   UnaryOp UOp = UnaryOp::Not;               ///< Unary.
   BinaryOp BOp = BinaryOp::And;             ///< Binary.

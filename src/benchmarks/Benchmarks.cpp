@@ -1,6 +1,9 @@
 #include "benchmarks/Benchmarks.h"
 
-#include "frontend/Parser.h"
+#include "benchmarks/Harness.h"
+#include "driver/Pipeline.h"
+
+#include <utility>
 
 namespace spire::benchmarks {
 
@@ -477,8 +480,15 @@ const BenchmarkProgram &figure3Program() {
 
 ir::CoreProgram lowerBenchmark(const BenchmarkProgram &B, int64_t Size,
                                const lowering::LowerOptions &Opts) {
-  ast::Program P = frontend::parseProgramOrDie(B.Source);
-  return lowering::lowerProgramOrDie(P, B.Entry, Size, Opts);
+  // Route through the unified driver pipeline, stopping after lowering
+  // (no Spire rewrites, no cost analysis).
+  driver::PipelineOptions PipeOpts;
+  PipeOpts.Target.HeapCells = Opts.HeapCells;
+  PipeOpts.MaxInlineInstances = Opts.MaxInlineInstances;
+  PipeOpts.StopAfter = driver::Stage::Lower;
+  driver::CompilationResult R =
+      runPipelineOrDie(B, Size, std::move(PipeOpts));
+  return std::move(*R.Core);
 }
 
 } // namespace spire::benchmarks

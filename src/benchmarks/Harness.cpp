@@ -6,89 +6,55 @@
 
 namespace spire::benchmarks {
 
-const char *optimizerName(CircuitOptimizerKind Kind) {
-  switch (Kind) {
-  case CircuitOptimizerKind::None:
-    return "none";
-  case CircuitOptimizerKind::Peephole:
-    return "Peephole (Qiskit/Pytket-style)";
-  case CircuitOptimizerKind::CliffordTCancel:
-    return "CliffordT-cancel (Feynman -toCliffordT-style)";
-  case CircuitOptimizerKind::RotationMerging:
-    return "Rotation-merging (VOQC/Pytket-ZX-style)";
-  case CircuitOptimizerKind::ToffoliCancel:
-    return "Toffoli-cancel (Feynman -mctExpand-style)";
-  case CircuitOptimizerKind::ExhaustiveCancel:
-    return "Exhaustive-cancel (QuiZX-style)";
-  }
-  return "?";
+driver::CompilationResult runPipeline(const BenchmarkProgram &B,
+                                      int64_t Size,
+                                      driver::PipelineOptions Base) {
+  Base.Entry = B.Entry;
+  Base.Size = Size;
+  driver::CompilationPipeline Pipeline(std::move(Base));
+  return Pipeline.run(B.Source);
 }
 
-circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
-                                       CircuitOptimizerKind Kind) {
-  using circuit::Circuit;
-  switch (Kind) {
-  case CircuitOptimizerKind::None:
-    return decompose::toCliffordT(MCXCircuit);
+driver::CompilationResult runPipelineOrDie(const BenchmarkProgram &B,
+                                           int64_t Size,
+                                           driver::PipelineOptions Base) {
+  driver::CompilationResult R = runPipeline(B, Size, std::move(Base));
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "benchmark '%s' failed at %s:\n%s\n",
+                 B.Name.c_str(), driver::stageName(*R.Failed),
+                 R.Diags.str().c_str());
+    std::abort();
+  }
+  return R;
+}
 
-  case CircuitOptimizerKind::Peephole: {
-    // Decompose first, then a small-window inverse-pair peephole.
-    Circuit CT = decompose::toCliffordT(MCXCircuit);
-    return qopt::cancelAdjacentGates(CT, qopt::CancelOptions::peephole());
+std::string formatStageTimings(const driver::CompilationResult &R) {
+  std::string Out;
+  char Buf[64];
+  for (const driver::StageTiming &T : R.Stages) {
+    std::snprintf(Buf, sizeof(Buf), "%s%s %.3fs", Out.empty() ? "" : "  ",
+                  driver::stageName(T.Which), T.Seconds);
+    Out += Buf;
   }
-
-  case CircuitOptimizerKind::CliffordTCancel: {
-    // Decompose first, then standard cancellation plus rotation merging
-    // over the Clifford+T gates — the -toCliffordT pipeline shape.
-    Circuit CT = decompose::toCliffordT(MCXCircuit);
-    Circuit Cancelled =
-        qopt::cancelAdjacentGates(CT, qopt::CancelOptions::standard());
-    return qopt::phaseFold(Cancelled);
-  }
-
-  case CircuitOptimizerKind::RotationMerging: {
-    Circuit CT = decompose::toCliffordT(MCXCircuit);
-    return qopt::phaseFold(CT);
-  }
-
-  case CircuitOptimizerKind::ToffoliCancel: {
-    // Simplify in terms of Toffoli gates *before* translating to
-    // Clifford+T (Section 8.3: the -mctExpand configuration).
-    Circuit Toff = decompose::toToffoli(MCXCircuit);
-    Circuit Cancelled =
-        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::standard());
-    return decompose::toCliffordT(Cancelled);
-  }
-
-  case CircuitOptimizerKind::ExhaustiveCancel: {
-    // Unbounded-lookahead fixpoint cancellation at the Toffoli level,
-    // then decomposition and rotation merging: stronger and much slower,
-    // like QuiZX's global-structure discovery.
-    Circuit Toff = decompose::toToffoli(MCXCircuit);
-    Circuit Cancelled =
-        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::exhaustive());
-    Circuit CT = decompose::toCliffordT(Cancelled);
-    Circuit Folded = qopt::phaseFold(CT);
-    return qopt::cancelAdjacentGates(Folded,
-                                     qopt::CancelOptions::exhaustive());
-  }
-  }
-  return decompose::toCliffordT(MCXCircuit);
+  return Out;
 }
 
 int64_t measureT(const BenchmarkProgram &B, int64_t Depth,
                  const opt::SpireOptions &Spire, CircuitOptimizerKind Kind) {
-  circuit::TargetConfig Config;
-  ir::CoreProgram P = lowerBenchmark(B, Depth);
-  ir::CoreProgram O = opt::optimizeProgram(P, Spire);
+  driver::PipelineOptions Opts;
+  Opts.Spire = Spire;
+  Opts.AnalyzeUnoptimized = false;
   if (Kind == CircuitOptimizerKind::None) {
     // The cost model equals the compiled count exactly (Theorem 5.2) and
     // is much faster, matching how a developer would use it.
-    return costmodel::analyzeProgram(O, Config).T;
+    driver::CompilationResult R = runPipelineOrDie(B, Depth, std::move(Opts));
+    return R.OptimizedCost->T;
   }
-  circuit::CompileResult R = circuit::compileToCircuit(O, Config);
-  circuit::Circuit Out = applyCircuitOptimizer(R.Circ, Kind);
-  return circuit::countGates(Out).TComplexity;
+  Opts.AnalyzeCost = false;
+  Opts.BuildCircuit = true;
+  Opts.CircuitOpt = Kind;
+  driver::CompilationResult R = runPipelineOrDie(B, Depth, std::move(Opts));
+  return circuit::countGates(*R.finalCircuit()).TComplexity;
 }
 
 Timing timeRuns(const std::function<void()> &Fn, unsigned Runs) {

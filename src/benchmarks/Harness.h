@@ -16,6 +16,7 @@
 #include "circuit/Compiler.h"
 #include "costmodel/CostModel.h"
 #include "decompose/Decompose.h"
+#include "driver/Pipeline.h"
 #include "opt/Spire.h"
 #include "qopt/Passes.h"
 #include "support/PolyFit.h"
@@ -49,26 +50,30 @@ struct Series {
   int stableDegree() const;
 };
 
-/// The circuit-optimizer baselines of Section 8.3, keyed by the system
-/// each one stands in for (see DESIGN.md section 2).
-enum class CircuitOptimizerKind {
-  None,
-  Peephole,         ///< Qiskit / Pytket-peephole analogue (Clifford+T).
-  CliffordTCancel,  ///< Feynman -toCliffordT analogue (decompose, then
-                    ///< cancel + rotation merging).
-  RotationMerging,  ///< VOQC / Pytket-ZX analogue (phase folding only).
-  ToffoliCancel,    ///< Feynman -mctExpand analogue (cancel at the
-                    ///< MCX/Toffoli level, then decompose).
-  ExhaustiveCancel, ///< QuiZX analogue (unbounded-lookahead fixpoint at
-                    ///< the Toffoli level plus rotation merging; slow).
-};
+/// The circuit-optimizer baselines of Section 8.3 now live in the driver
+/// (the single compile-pipeline implementation); re-exported here for the
+/// bench binaries and tests that spell them benchmarks::*.
+using CircuitOptimizerKind = driver::CircuitOptimizerKind;
+using driver::applyCircuitOptimizer;
+using driver::optimizerName;
 
-const char *optimizerName(CircuitOptimizerKind Kind);
+/// Runs the unified driver pipeline over a benchmark program at one
+/// size. `Base` supplies everything except Entry and Size, which come
+/// from the benchmark itself.
+driver::CompilationResult
+runPipeline(const BenchmarkProgram &B, int64_t Size,
+            driver::PipelineOptions Base = driver::PipelineOptions());
 
-/// Applies a circuit optimizer to an MCX-level compiled circuit and
-/// returns the resulting Clifford+T-level circuit.
-circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
-                                       CircuitOptimizerKind Kind);
+/// Like runPipeline, but aborts with the diagnostics on failure; the
+/// embedded benchmark sources are known-good, so a failure here is a
+/// harness bug.
+driver::CompilationResult
+runPipelineOrDie(const BenchmarkProgram &B, int64_t Size,
+                 driver::PipelineOptions Base = driver::PipelineOptions());
+
+/// Per-stage wall-clock timings of a pipeline run, e.g.
+/// "parse 0.001s  typecheck 0.000s  lower 0.013s ...".
+std::string formatStageTimings(const driver::CompilationResult &R);
 
 /// T-complexity of a benchmark at one depth under a Spire configuration
 /// and an optional circuit optimizer.

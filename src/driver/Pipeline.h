@@ -1,0 +1,206 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified compilation pipeline of the Spire compiler: the single
+/// entry point behind which the tool (`spirec`), the examples, and the
+/// benchmark harness all run the paper's frontend-to-backend sequence
+/// (Fig. 22 / Sections 6-8):
+///
+///   parse -> typecheck -> lower -> Spire-optimize -> circuit-compile
+///         -> qopt -> cost/estimate
+///
+/// Each stage records wall-clock time and either produces its artifact in
+/// the staged CompilationResult or marks the run failed at that stage;
+/// all errors flow through support::DiagnosticEngine — library code never
+/// prints or exits. Downstream consumers decide how to render failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_DRIVER_PIPELINE_H
+#define SPIRE_DRIVER_PIPELINE_H
+
+#include "ast/AST.h"
+#include "circuit/Compiler.h"
+#include "circuit/Target.h"
+#include "costmodel/CostModel.h"
+#include "estimate/ResourceEstimator.h"
+#include "ir/Core.h"
+#include "lowering/Lower.h"
+#include "opt/Spire.h"
+#include "qopt/Passes.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spire::driver {
+
+/// The stages of the compilation pipeline, in execution order.
+enum class Stage {
+  Parse,
+  Typecheck,
+  Lower,
+  SpireOpt,
+  CircuitCompile,
+  Qopt,
+  Estimate,
+};
+
+/// Short lower-case stage name, e.g. "circuit-compile".
+const char *stageName(Stage S);
+
+/// Gate level of the emitted circuit (the decomposition ladder of
+/// Section 8.1: multiply-controlled X, then Toffoli, then Clifford+T).
+enum class CircuitLevel { MCX, Toffoli, CliffordT };
+
+/// The circuit-optimizer baselines of Section 8.3, keyed by the system
+/// each one stands in for (see DESIGN.md section 2). `None` leaves the
+/// qopt stage idle.
+enum class CircuitOptimizerKind {
+  None,
+  Peephole,         ///< Qiskit / Pytket-peephole analogue (Clifford+T).
+  CliffordTCancel,  ///< Feynman -toCliffordT analogue (decompose, then
+                    ///< cancel + rotation merging).
+  RotationMerging,  ///< VOQC / Pytket-ZX analogue (phase folding only).
+  ToffoliCancel,    ///< Feynman -mctExpand analogue (cancel at the
+                    ///< MCX/Toffoli level, then decompose).
+  ExhaustiveCancel, ///< QuiZX analogue (unbounded-lookahead fixpoint at
+                    ///< the Toffoli level plus rotation merging; slow).
+};
+
+const char *optimizerName(CircuitOptimizerKind Kind);
+
+/// Applies a circuit-optimizer baseline to an MCX-level compiled circuit
+/// and returns the resulting Clifford+T-level circuit.
+circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
+                                       CircuitOptimizerKind Kind);
+
+/// Everything that configures a pipeline run, in one place.
+struct PipelineOptions {
+  /// Entry function to compile.
+  std::string Entry;
+  /// Static size (recursion depth) the entry is instantiated at; ignored
+  /// for functions without a size parameter.
+  int64_t Size = 0;
+
+  /// Spire's program-level optimizations (Section 6).
+  opt::SpireOptions Spire = opt::SpireOptions::all();
+  /// Backend word width and qRAM size; also seeds the lowering
+  /// allocator's heap-cell budget.
+  circuit::TargetConfig Target;
+  /// Safety bound on inlined function instances during lowering.
+  unsigned MaxInlineInstances = 100000;
+
+  /// Last stage to execute; later stages are skipped entirely. Lets
+  /// lowering-only consumers avoid the Spire rewrite's program clone.
+  Stage StopAfter = Stage::Estimate;
+
+  /// Whether to run the circuit-compile stage (and the stages after it
+  /// that need a circuit). Cost-model-only consumers leave this off and
+  /// stop at the estimate stage, which is the paper's headline use case:
+  /// analyze without building the asymptotically large circuit.
+  bool BuildCircuit = false;
+  /// Decomposition level of the emitted circuit.
+  CircuitLevel EmitLevel = CircuitLevel::MCX;
+  /// Circuit-optimizer baseline applied by the qopt stage. When not
+  /// `None` it consumes the MCX-level circuit and produces Clifford+T,
+  /// overriding `EmitLevel`.
+  CircuitOptimizerKind CircuitOpt = CircuitOptimizerKind::None;
+
+  /// Whether the estimate stage computes cost-model figures (cheap,
+  /// syntax-level; on by default).
+  bool AnalyzeCost = true;
+  /// Whether the estimate stage also analyzes the unoptimized program
+  /// (for before/after reports); measurement loops that only need the
+  /// optimized figure turn this off.
+  bool AnalyzeUnoptimized = true;
+  /// Whether the estimate stage also derives a surface-code resource
+  /// estimate from the optimized program's cost (or the compiled
+  /// circuit when one was built).
+  bool EstimateResources = false;
+  estimate::SurfaceCodeModel SurfaceModel;
+
+  static PipelineOptions forEntry(std::string Entry, int64_t Size = 0) {
+    PipelineOptions O;
+    O.Entry = std::move(Entry);
+    O.Size = Size;
+    return O;
+  }
+};
+
+/// Wall-clock record of one executed stage.
+struct StageTiming {
+  Stage Which = Stage::Parse;
+  double Seconds = 0;
+};
+
+/// The staged result of a pipeline run: every artifact a stage produced,
+/// per-stage timings, and — on failure — the stage that failed plus the
+/// diagnostics explaining why. Stages after the failed one do not run.
+struct CompilationResult {
+  /// Diagnostics accumulated by every stage.
+  support::DiagnosticEngine Diags;
+  /// Executed stages in order, with wall-clock seconds each.
+  std::vector<StageTiming> Stages;
+  /// Set when a stage failed; later stages are skipped.
+  std::optional<Stage> Failed;
+
+  /// Stage artifacts, present when the producing stage ran successfully.
+  std::optional<ast::Program> AST;            ///< After typecheck.
+  std::optional<ir::CoreProgram> Core;        ///< After lowering.
+  std::optional<ir::CoreProgram> Optimized;   ///< After Spire rewrites.
+  std::optional<costmodel::Cost> UnoptimizedCost;
+  std::optional<costmodel::Cost> OptimizedCost;
+  std::optional<circuit::CompileResult> Compiled; ///< MCX level + layout.
+  /// The decomposed / qopt-optimized circuit, when a decomposition level
+  /// below MCX or a circuit optimizer was requested. At the MCX level
+  /// this stays empty (the compiled circuit is not duplicated); use
+  /// finalCircuit() to read the emitted circuit uniformly.
+  std::optional<circuit::Circuit> Final;
+  std::optional<estimate::Estimate> Resources;
+
+  bool succeeded() const { return !Failed.has_value(); }
+
+  /// The circuit at the requested emit level: the decomposed/optimized
+  /// one when a stage produced it, otherwise the compiled MCX circuit.
+  /// Null when no circuit was built.
+  const circuit::Circuit *finalCircuit() const {
+    if (Final)
+      return &*Final;
+    if (Compiled)
+      return &Compiled->Circ;
+    return nullptr;
+  }
+
+  /// Seconds spent in one stage (0 when it did not run).
+  double stageSeconds(Stage S) const;
+  /// Total wall-clock across all executed stages.
+  double totalSeconds() const;
+};
+
+/// The single compile-pipeline implementation. Construct with options,
+/// then run over source text; the pipeline itself is stateless across
+/// runs and a const instance may be reused.
+class CompilationPipeline {
+public:
+  explicit CompilationPipeline(PipelineOptions Options)
+      : Options(std::move(Options)) {}
+
+  const PipelineOptions &options() const { return Options; }
+
+  /// Runs the staged pipeline over Tower source text.
+  CompilationResult run(std::string_view Source) const;
+
+  /// Reads `Path` and runs the pipeline over its contents. A missing or
+  /// unreadable file fails the parse stage with a diagnostic.
+  CompilationResult runFile(const std::string &Path) const;
+
+private:
+  PipelineOptions Options;
+};
+
+} // namespace spire::driver
+
+#endif // SPIRE_DRIVER_PIPELINE_H

@@ -45,6 +45,9 @@ struct LowerOptions {
   unsigned HeapCells = 16;
   /// Safety bound on the number of inlined function instances.
   unsigned MaxInlineInstances = 100000;
+  /// Skip the internal type-check pass when the caller (the driver
+  /// pipeline) has already checked and annotated the program.
+  bool AssumeTypeChecked = false;
 };
 
 /// Type-checks `Program` (annotating expressions in place) and lowers the

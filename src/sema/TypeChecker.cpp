@@ -318,9 +318,9 @@ const Type *TypeChecker::checkExpr(Expr &E, const Type *Expected) {
     return nullptr;
   }
   case Expr::Kind::Default:
-    return Annotate(E.Ty);
+    return Annotate(E.TypeArg);
   case Expr::Kind::AllocCell:
-    return Annotate(Types.ptrType(E.Ty));
+    return Annotate(Types.ptrType(E.TypeArg));
   case Expr::Kind::Tuple: {
     const Type *A = checkExpr(*E.Args[0]);
     if (!A)

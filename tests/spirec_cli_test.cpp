@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+// Regression tests for the spirec command-line driver's error paths:
+// every CLI mistake (missing input file, unknown flag, missing --entry,
+// bad --emit level, bad --circuit-opt name) must exit 2 with a
+// diagnostic on stderr — never crash or silently succeed — while compile
+// errors exit 1 and successful runs exit 0.
+//
+// The spirec binary path arrives in the SPIREC environment variable,
+// set by CTest from $<TARGET_FILE:spirec>.
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stderr;
+};
+
+std::string spirecPath() {
+  const char *Path = std::getenv("SPIREC");
+  return Path ? Path : "";
+}
+
+/// Runs spirec with `Args`, discarding stdout and capturing stderr.
+RunResult runSpirec(const std::string &Args) {
+  std::string Cmd =
+      "'" + spirecPath() + "' " + Args + " 2>&1 >/dev/null";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  RunResult R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    R.Stderr.append(Buf, N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status)
+                                 : 128 + WTERMSIG(Status);
+  return R;
+}
+
+/// Writes a known-good Tower program to a temp path and returns it.
+std::string writeGoodProgram() {
+  std::string Path = ::testing::TempDir() + "spirec_cli_good.tower";
+  std::ofstream Out(Path);
+  Out << "fun f(x: bool) {\n"
+         "  let y <- not x;\n"
+         "  return y;\n"
+         "}\n";
+  return Path;
+}
+
+/// Writes a file that does not parse.
+std::string writeBadProgram() {
+  std::string Path = ::testing::TempDir() + "spirec_cli_bad.tower";
+  std::ofstream Out(Path);
+  Out << "fun broken( {\n";
+  return Path;
+}
+
+} // namespace
+
+TEST(SpirecCli, BinaryPathIsConfigured) {
+  ASSERT_FALSE(spirecPath().empty())
+      << "SPIREC env var not set; run via ctest";
+}
+
+TEST(SpirecCli, NoArgumentsIsUsageError) {
+  RunResult R = runSpirec("");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("no input file"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, MissingInputFileExitsTwo) {
+  RunResult R = runSpirec("/nonexistent/prog.tower --entry f");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("cannot read"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, MissingQcInputFileExitsTwo) {
+  RunResult R = runSpirec("--qc-in /nonexistent/circ.qc");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("cannot read"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, UnknownFlagExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f --frobnicate");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("unknown option --frobnicate"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, MissingEntryExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram());
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--entry is required"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, BadEmitLevelExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f --emit qasm");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--emit level must be"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, BadCircuitOptNameExitsTwo) {
+  RunResult R =
+      runSpirec(writeGoodProgram() + " --entry f --circuit-opt magic");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("unknown --circuit-opt"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, MissingFlagValueExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("missing value"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, UnwritableOutputPathExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() +
+                          " --entry f --emit mcx -o /nonexistent-dir/o.qc");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("cannot open"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, ParseErrorExitsOneWithStageDiagnostic) {
+  RunResult R = runSpirec(writeBadProgram() + " --entry broken");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("error"), std::string::npos) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("parse stage"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, UnknownEntryExitsOneWithStageDiagnostic) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry nope");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("entry function 'nope' not found"),
+            std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find("typecheck stage"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, GoodProgramSucceeds) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f --report");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stderr, "") << R.Stderr;
+}

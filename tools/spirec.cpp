@@ -1,7 +1,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// spirec — command-line driver for the Spire/Tower compiler.
+/// spirec — command-line driver for the Spire/Tower compiler. A thin
+/// argument-parsing shell over driver::CompilationPipeline, the single
+/// compile-pipeline implementation shared with the examples and the
+/// benchmark harness.
 ///
 /// Usage:
 ///   spirec <file.tower> --entry <fun> [--size N] [options]
@@ -17,6 +20,7 @@
 ///   --run k=v,k=v         interpret the program on a machine state with
 ///                         the given input registers and print the output
 ///   --dump-ir             print the (optimized) core IR
+///   --timings             print per-stage wall-clock timings to stderr
 ///
 /// Options:
 ///   --no-flatten          disable conditional flattening
@@ -28,16 +32,15 @@
 ///                         peephole | rotation | cliffordt-cancel |
 ///                         toffoli-cancel | exhaustive
 ///
+/// Exit status: 0 on success, 1 on a compile or runtime error, 2 on a
+/// command-line error (always with a diagnostic on stderr).
+///
 //===----------------------------------------------------------------------===//
 
-#include "benchmarks/Harness.h"
 #include "circuit/QcReader.h"
 #include "circuit/QcWriter.h"
-#include "costmodel/CostModel.h"
 #include "decompose/Decompose.h"
-#include "frontend/Parser.h"
-#include "lowering/Lower.h"
-#include "opt/Spire.h"
+#include "driver/Pipeline.h"
 #include "sim/Interpreter.h"
 
 #include <cstdio>
@@ -56,23 +59,21 @@ namespace {
 struct Options {
   std::string InputPath;
   std::string QcInPath;
-  std::string Entry;
-  int64_t Size = 0;
   bool Report = false;
   bool DumpIR = false;
+  bool Timings = false;
   std::string EmitLevel; ///< "", "mcx", "toffoli", "cliffordt".
   std::string OutputPath;
   std::optional<std::string> RunInputs;
-  opt::SpireOptions Spire = opt::SpireOptions::all();
-  circuit::TargetConfig Target;
   std::string CircuitOpt;
+  driver::PipelineOptions Pipeline;
 };
 
 [[noreturn]] void usageError(const char *Message) {
   std::fprintf(stderr, "spirec: error: %s\n", Message);
   std::fprintf(stderr,
                "usage: spirec <file.tower> --entry <fun> [--size N] "
-               "[--report] [--dump-ir]\n"
+               "[--report] [--dump-ir] [--timings]\n"
                "              [--emit mcx|toffoli|cliffordt] [-o <path>] "
                "[--run k=v,...]\n"
                "              [--no-flatten] [--no-narrow] [-O0] "
@@ -92,6 +93,22 @@ int64_t parseInt(const char *Text, const char *What) {
   return Value;
 }
 
+std::optional<driver::CircuitOptimizerKind>
+circuitOptKind(const std::string &Name) {
+  using K = driver::CircuitOptimizerKind;
+  if (Name == "peephole")
+    return K::Peephole;
+  if (Name == "rotation")
+    return K::RotationMerging;
+  if (Name == "cliffordt-cancel")
+    return K::CliffordTCancel;
+  if (Name == "toffoli-cancel")
+    return K::ToffoliCancel;
+  if (Name == "exhaustive")
+    return K::ExhaustiveCancel;
+  return std::nullopt;
+}
+
 Options parseArgs(int Argc, char **Argv) {
   Options Opts;
   for (int I = 1; I < Argc; ++I) {
@@ -102,13 +119,15 @@ Options parseArgs(int Argc, char **Argv) {
       return Argv[++I];
     };
     if (Arg == "--entry")
-      Opts.Entry = next("--entry");
+      Opts.Pipeline.Entry = next("--entry");
     else if (Arg == "--size")
-      Opts.Size = parseInt(next("--size"), "--size");
+      Opts.Pipeline.Size = parseInt(next("--size"), "--size");
     else if (Arg == "--report")
       Opts.Report = true;
     else if (Arg == "--dump-ir")
       Opts.DumpIR = true;
+    else if (Arg == "--timings")
+      Opts.Timings = true;
     else if (Arg == "--emit")
       Opts.EmitLevel = next("--emit");
     else if (Arg == "-o")
@@ -116,16 +135,16 @@ Options parseArgs(int Argc, char **Argv) {
     else if (Arg == "--run")
       Opts.RunInputs = next("--run");
     else if (Arg == "--no-flatten")
-      Opts.Spire.ConditionalFlattening = false;
+      Opts.Pipeline.Spire.ConditionalFlattening = false;
     else if (Arg == "--no-narrow")
-      Opts.Spire.ConditionalNarrowing = false;
+      Opts.Pipeline.Spire.ConditionalNarrowing = false;
     else if (Arg == "-O0")
-      Opts.Spire = opt::SpireOptions::none();
+      Opts.Pipeline.Spire = opt::SpireOptions::none();
     else if (Arg == "--word-bits")
-      Opts.Target.WordBits =
+      Opts.Pipeline.Target.WordBits =
           static_cast<unsigned>(parseInt(next("--word-bits"), "--word-bits"));
     else if (Arg == "--heap-cells")
-      Opts.Target.HeapCells = static_cast<unsigned>(
+      Opts.Pipeline.Target.HeapCells = static_cast<unsigned>(
           parseInt(next("--heap-cells"), "--heap-cells"));
     else if (Arg == "--circuit-opt")
       Opts.CircuitOpt = next("--circuit-opt");
@@ -139,34 +158,20 @@ Options parseArgs(int Argc, char **Argv) {
       usageError("multiple input files");
   }
   if (!Opts.QcInPath.empty()) {
-    if (!Opts.InputPath.empty() || !Opts.Entry.empty())
+    if (!Opts.InputPath.empty() || !Opts.Pipeline.Entry.empty())
       usageError("--qc-in is exclusive with a Tower input file");
   } else {
     if (Opts.InputPath.empty())
       usageError("no input file");
-    if (Opts.Entry.empty())
+    if (Opts.Pipeline.Entry.empty())
       usageError("--entry is required");
   }
   if (!Opts.EmitLevel.empty() && Opts.EmitLevel != "mcx" &&
       Opts.EmitLevel != "toffoli" && Opts.EmitLevel != "cliffordt")
     usageError("--emit level must be mcx, toffoli, or cliffordt");
+  if (!Opts.CircuitOpt.empty() && !circuitOptKind(Opts.CircuitOpt))
+    usageError("unknown --circuit-opt name");
   return Opts;
-}
-
-std::optional<benchmarks::CircuitOptimizerKind>
-circuitOptKind(const std::string &Name) {
-  using K = benchmarks::CircuitOptimizerKind;
-  if (Name == "peephole")
-    return K::Peephole;
-  if (Name == "rotation")
-    return K::RotationMerging;
-  if (Name == "cliffordt-cancel")
-    return K::CliffordTCancel;
-  if (Name == "toffoli-cancel")
-    return K::ToffoliCancel;
-  if (Name == "exhaustive")
-    return K::ExhaustiveCancel;
-  return std::nullopt;
 }
 
 /// Parses "--run xs=5,acc=0" into register assignments.
@@ -194,11 +199,49 @@ void writeOutput(const Options &Opts, const std::string &Text) {
   }
   std::ofstream Out(Opts.OutputPath);
   if (!Out) {
+    // A bad -o path is a command-line error, like an unreadable input.
     std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
                  Opts.OutputPath.c_str());
-    std::exit(1);
+    std::exit(2);
   }
   Out << Text;
+}
+
+/// Circuit-in mode: load a .qc, optionally optimize, re-emit.
+int runQcMode(const Options &Opts) {
+  std::ifstream In(Opts.QcInPath);
+  if (!In) {
+    std::fprintf(stderr, "spirec: error: cannot read %s\n",
+                 Opts.QcInPath.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  support::DiagnosticEngine Diags;
+  std::optional<circuit::Circuit> Circ = circuit::readQc(Buffer.str(), Diags);
+  if (!Circ) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  circuit::GateCounts Before = circuit::countGates(*Circ);
+  if (!Opts.CircuitOpt.empty()) {
+    *Circ = driver::applyCircuitOptimizer(*Circ,
+                                          *circuitOptKind(Opts.CircuitOpt));
+  } else if (Opts.EmitLevel == "toffoli") {
+    *Circ = decompose::toToffoli(*Circ);
+  } else if (Opts.EmitLevel == "cliffordt") {
+    *Circ = decompose::toCliffordT(*Circ);
+  }
+  circuit::GateCounts After = circuit::countGates(*Circ);
+  std::fprintf(stderr,
+               "spirec: %lld gates, T-complexity %lld -> %lld gates, "
+               "T-complexity %lld\n",
+               static_cast<long long>(Before.Total),
+               static_cast<long long>(Before.TComplexity),
+               static_cast<long long>(After.Total),
+               static_cast<long long>(After.TComplexity));
+  writeOutput(Opts, circuit::writeQc(*Circ));
+  return 0;
 }
 
 } // namespace
@@ -206,133 +249,90 @@ void writeOutput(const Options &Opts, const std::string &Text) {
 int main(int Argc, char **Argv) {
   Options Opts = parseArgs(Argc, Argv);
 
-  // -- Circuit-in mode: load a .qc, optionally optimize, re-emit. ----------
-  if (!Opts.QcInPath.empty()) {
-    std::ifstream In(Opts.QcInPath);
+  if (!Opts.QcInPath.empty())
+    return runQcMode(Opts);
+
+  // A missing or unreadable input file is a command-line error. Read it
+  // once here; the pipeline then runs over the in-memory source.
+  std::string Source;
+  {
+    std::ifstream In(Opts.InputPath);
     if (!In) {
       std::fprintf(stderr, "spirec: error: cannot read %s\n",
-                   Opts.QcInPath.c_str());
-      return 1;
+                   Opts.InputPath.c_str());
+      return 2;
     }
     std::stringstream Buffer;
     Buffer << In.rdbuf();
-    support::DiagnosticEngine Diags;
-    std::optional<circuit::Circuit> Circ = circuit::readQc(Buffer.str(),
-                                                           Diags);
-    if (!Circ) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
-      return 1;
-    }
-    circuit::GateCounts Before = circuit::countGates(*Circ);
-    if (!Opts.CircuitOpt.empty()) {
-      std::optional<benchmarks::CircuitOptimizerKind> Kind =
-          circuitOptKind(Opts.CircuitOpt);
-      if (!Kind)
-        usageError("unknown --circuit-opt name");
-      *Circ = benchmarks::applyCircuitOptimizer(*Circ, *Kind);
-    } else if (Opts.EmitLevel == "toffoli") {
-      *Circ = decompose::toToffoli(*Circ);
-    } else if (Opts.EmitLevel == "cliffordt") {
-      *Circ = decompose::toCliffordT(*Circ);
-    }
-    circuit::GateCounts After = circuit::countGates(*Circ);
-    std::fprintf(stderr,
-                 "spirec: %lld gates, T-complexity %lld -> %lld gates, "
-                 "T-complexity %lld\n",
-                 static_cast<long long>(Before.Total),
-                 static_cast<long long>(Before.TComplexity),
-                 static_cast<long long>(After.Total),
-                 static_cast<long long>(After.TComplexity));
-    writeOutput(Opts, circuit::writeQc(*Circ));
-    return 0;
+    Source = Buffer.str();
   }
 
-  // -- Read and parse the source. ----------------------------------------
-  std::ifstream In(Opts.InputPath);
-  if (!In) {
-    std::fprintf(stderr, "spirec: error: cannot read %s\n",
-                 Opts.InputPath.c_str());
+  // -- Configure and run the unified pipeline. -----------------------------
+  driver::PipelineOptions &Pipe = Opts.Pipeline;
+  Pipe.AnalyzeCost = Opts.Report;
+  if (!Opts.EmitLevel.empty()) {
+    Pipe.BuildCircuit = true;
+    if (!Opts.CircuitOpt.empty())
+      Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
+    else if (Opts.EmitLevel == "toffoli")
+      Pipe.EmitLevel = driver::CircuitLevel::Toffoli;
+    else if (Opts.EmitLevel == "cliffordt")
+      Pipe.EmitLevel = driver::CircuitLevel::CliffordT;
+  }
+
+  driver::CompilationPipeline Pipeline(Pipe);
+  driver::CompilationResult R = Pipeline.run(Source);
+  if (Opts.Timings) {
+    for (const driver::StageTiming &T : R.Stages)
+      std::fprintf(stderr, "spirec: %-15s %.3f s\n",
+                   driver::stageName(T.Which), T.Seconds);
+  }
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "%s", R.Diags.str().c_str());
+    std::fprintf(stderr, "spirec: error: compilation failed at the %s "
+                         "stage\n",
+                 driver::stageName(*R.Failed));
     return 1;
   }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  std::string Source = Buffer.str();
-
-  support::DiagnosticEngine Diags;
-  std::optional<ast::Program> Program = frontend::parseProgram(Source, Diags);
-  if (!Program) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-
-  // -- Type-check and lower at the requested size. -----------------------
-  lowering::LowerOptions LowerOpts;
-  LowerOpts.HeapCells = Opts.Target.HeapCells;
-  std::optional<ir::CoreProgram> Core =
-      lowering::lowerProgram(*Program, Opts.Entry, Opts.Size, Diags,
-                             LowerOpts);
-  if (!Core) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
-
-  // -- Optimize. ----------------------------------------------------------
-  costmodel::Cost Before = costmodel::analyzeProgram(*Core, Opts.Target);
-  ir::CoreProgram Optimized = opt::optimizeProgram(*Core, Opts.Spire);
-  costmodel::Cost After = costmodel::analyzeProgram(Optimized, Opts.Target);
 
   if (Opts.Report) {
     std::printf("entry %s at size %lld (%u-bit words, %u heap cells)\n",
-                Opts.Entry.c_str(), static_cast<long long>(Opts.Size),
-                Opts.Target.WordBits, Opts.Target.HeapCells);
+                Pipe.Entry.c_str(), static_cast<long long>(Pipe.Size),
+                Pipe.Target.WordBits, Pipe.Target.HeapCells);
     std::printf("  unoptimized: MCX-complexity %lld, T-complexity %lld\n",
-                static_cast<long long>(Before.MCX),
-                static_cast<long long>(Before.T));
+                static_cast<long long>(R.UnoptimizedCost->MCX),
+                static_cast<long long>(R.UnoptimizedCost->T));
     std::printf("  optimized:   MCX-complexity %lld, T-complexity %lld\n",
-                static_cast<long long>(After.MCX),
-                static_cast<long long>(After.T));
+                static_cast<long long>(R.OptimizedCost->MCX),
+                static_cast<long long>(R.OptimizedCost->T));
   }
 
   if (Opts.DumpIR)
-    std::printf("%s", Optimized.str().c_str());
+    std::printf("%s", R.Optimized->str().c_str());
 
   // -- Interpret. ----------------------------------------------------------
   if (Opts.RunInputs) {
-    sim::MachineState State =
-        sim::MachineState::make(Opts.Target.HeapCells);
+    sim::MachineState State = sim::MachineState::make(Pipe.Target.HeapCells);
     for (const auto &[Name, Value] : parseRunInputs(*Opts.RunInputs))
       State.Regs[Name] = Value;
-    sim::Interpreter Interp(Optimized, Opts.Target);
+    sim::Interpreter Interp(*R.Optimized, Pipe.Target);
     if (!Interp.run(State)) {
       std::fprintf(stderr, "spirec: runtime error: %s\n",
                    Interp.error().c_str());
       return 1;
     }
-    std::printf("%s = %llu\n", Optimized.OutputVar.c_str(),
+    std::printf("%s = %llu\n", R.Optimized->OutputVar.c_str(),
                 static_cast<unsigned long long>(Interp.output(State)));
   }
 
-  // -- Emit a circuit. -----------------------------------------------------
+  // -- Emit the compiled circuit. ------------------------------------------
   if (!Opts.EmitLevel.empty()) {
-    circuit::CompileResult Result =
-        circuit::compileToCircuit(Optimized, Opts.Target);
-    circuit::Circuit Circ = std::move(Result.Circ);
-    if (!Opts.CircuitOpt.empty()) {
-      std::optional<benchmarks::CircuitOptimizerKind> Kind =
-          circuitOptKind(Opts.CircuitOpt);
-      if (!Kind)
-        usageError("unknown --circuit-opt name");
-      Circ = benchmarks::applyCircuitOptimizer(Circ, *Kind);
-    } else if (Opts.EmitLevel == "toffoli") {
-      Circ = decompose::toToffoli(Circ);
-    } else if (Opts.EmitLevel == "cliffordt") {
-      Circ = decompose::toCliffordT(Circ);
-    }
     // Layouts describe MCX-level wires only; decomposition adds ancillas,
     // so emit without input/output markers at lower levels.
     bool MCXLevel = Opts.EmitLevel == "mcx" && Opts.CircuitOpt.empty();
-    writeOutput(Opts, circuit::writeQc(Circ, MCXLevel ? &Result.Layout
-                                                      : nullptr));
+    writeOutput(Opts, circuit::writeQc(*R.finalCircuit(),
+                                       MCXLevel ? &R.Compiled->Layout
+                                                : nullptr));
   }
   return 0;
 }
