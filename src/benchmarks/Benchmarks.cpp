@@ -485,6 +485,7 @@ ir::CoreProgram lowerBenchmark(const BenchmarkProgram &B, int64_t Size,
   driver::PipelineOptions PipeOpts;
   PipeOpts.Target.HeapCells = Opts.HeapCells;
   PipeOpts.MaxInlineInstances = Opts.MaxInlineInstances;
+  PipeOpts.MaxInlineDepth = Opts.MaxInlineDepth;
   PipeOpts.StopAfter = driver::Stage::Lower;
   driver::CompilationResult R =
       runPipelineOrDie(B, Size, std::move(PipeOpts));

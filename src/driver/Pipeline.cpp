@@ -167,6 +167,7 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
     lowering::LowerOptions LowerOpts;
     LowerOpts.HeapCells = Options.Target.HeapCells;
     LowerOpts.MaxInlineInstances = Options.MaxInlineInstances;
+    LowerOpts.MaxInlineDepth = Options.MaxInlineDepth;
     LowerOpts.AssumeTypeChecked = true; // The typecheck stage just ran.
     std::optional<ir::CoreProgram> Core = lowering::lowerProgram(
         *R.AST, Options.Entry, Options.Size, R.Diags, LowerOpts);

@@ -92,6 +92,10 @@ struct PipelineOptions {
   circuit::TargetConfig Target;
   /// Safety bound on inlined function instances during lowering.
   unsigned MaxInlineInstances = 100000;
+  /// Safety bound on call-inlining depth during lowering. The lowerer is
+  /// iterative, so exceeding either bound yields a diagnostic at the
+  /// lower stage rather than a stack overflow.
+  unsigned MaxInlineDepth = 100000;
 
   /// Last stage to execute; later stages are skipped entirely. Lets
   /// lowering-only consumers avoid the Spire rewrite's program clone.

@@ -7,6 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
 
 using namespace spire::ast;
 using namespace spire::ir;
@@ -24,6 +28,119 @@ struct VarBinding {
 
 using Scope = std::map<std::string, VarBinding>;
 
+/// Whether a callee body is spliced forward or reversed (un-call).
+enum class CallMode { Forward, Reversed };
+
+/// Tri-state result of lowering a statement's expressions: `Suspend` means
+/// an expression-position call must be inlined by the machine before the
+/// statement can be replayed (see the Lowerer comment below).
+enum class Flow { OK, Error, Suspend };
+
+/// A completed expression-position call inline, memoized so that replaying
+/// the suspended statement can splice the already-lowered body at exactly
+/// the position the recursive lowerer would have produced it.
+struct PendingCall {
+  CoreStmtList Body;
+  VarBinding Result;
+};
+
+/// Progress state of the statement a frame is currently lowering; present
+/// only while that statement is suspended on child frames or pending
+/// inlines.
+struct StmtWork {
+  enum class Kind { Expr, If, With };
+  Kind K = Kind::Expr;
+
+  /// Memoized expression-position inlines, consumed in the deterministic
+  /// DFS order flattening visits call sites.
+  std::vector<PendingCall> Pending;
+  size_t NextPending = 0;
+
+  /// Construct-specific phase counter; see resumeIf/resumeWith.
+  int Phase = 0;
+
+  // If artifacts.
+  CoreStmtList Pre;
+  std::string CondName, NotName;
+  CoreStmtList Then, Else;
+
+  // With artifacts.
+  Scope Snapshot, AfterWith;
+  CoreStmtList WithBody, DoBody;
+};
+
+/// Epilogue data for an inlined-call frame: everything needed to finish
+/// the call once its body has been lowered, and where to deliver the
+/// spliced statements and result binding.
+struct CallCompletion {
+  const FunDecl *Callee = nullptr;
+  CallMode Mode = CallMode::Forward;
+  CoreStmtList ConstPrologue;
+  std::optional<VarBinding> BoundResult;
+  std::string SavedSizeParam;
+  int64_t SavedSizeValue = 0;
+
+  /// Where the finished call delivers: a `let x <- f(...)` splices into
+  /// the caller's output and binds x; a `let x -> f(...)` splices the
+  /// reversed body and unbinds x; an expression-position call is memoized
+  /// in the caller's pending list for statement replay.
+  enum class Dest { LetDirect, UnLetDirect, ExprPending };
+  Dest D = Dest::ExprPending;
+  std::string LetName; ///< Surface variable for LetDirect/UnLetDirect.
+};
+
+/// One in-flight block lowering on the machine's explicit stack: a
+/// statement sequence, the scope it mutates, accumulated output, and what
+/// to do with the output when the sequence is exhausted.
+struct Frame {
+  const StmtList *Stmts = nullptr; ///< Borrowed for forward bodies.
+  StmtList OwnedStmts;             ///< Storage for reversed bodies.
+  size_t Next = 0;
+
+  /// Where lowered statements accumulate. Sub-block frames own their
+  /// output (it is wrapped or repositioned on delivery), but a directly
+  /// bound call with no constant-argument prologue splices flat into its
+  /// caller at the caller's current end — so such frames write straight
+  /// into the caller's list, making delivery O(1) instead of re-moving
+  /// every statement at every level of a deep inline chain (which made
+  /// the lowering quadratic in the recursion depth).
+  CoreStmtList *Out = nullptr;
+  CoreStmtList OwnedOut;
+
+  /// The scope in effect: the enclosing frame's for if/with bodies, the
+  /// frame-owned callee scope for inlined calls.
+  Scope *S = nullptr;
+  Scope OwnedScope;
+
+  std::unique_ptr<StmtWork> Work; ///< In-progress statement, if any.
+
+  /// Where Out goes on completion.
+  enum class Deliver { Root, Then, Else, WithBlock, DoBlock, Call };
+  Deliver D = Deliver::Root;
+  Frame *Parent = nullptr;
+  std::unique_ptr<CallCompletion> Call; ///< For Deliver::Call frames.
+};
+
+/// The lowerer, rewritten from mutual C++ recursion into an explicit
+/// worklist machine so that inlining depth is bounded by
+/// LowerOptions::MaxInlineDepth (a diagnostic) rather than by the C++
+/// call stack (a segfault at `--size 5000+` in the seed).
+///
+/// Structure-bounded recursion remains recursive: expression flattening
+/// (flattenExpr/atomize) recurses over the source expression tree, whose
+/// depth is fixed by the program text. The unbounded dimension — the
+/// call-inlining chain — runs on a heap-allocated stack of Frames driven
+/// by runMachine(): each frame lowers one statement sequence (the entry
+/// body, an if/with sub-block, or an inlined callee body) and delivers its
+/// output to its parent on completion.
+///
+/// Calls in expression position are handled by attempt/replay: lowering a
+/// statement's expressions is deterministic, so when flattening reaches a
+/// call that has not been inlined yet, the attempt rolls back (an undo
+/// journal covers name counters and the static allocator), the machine
+/// inlines the call into a memoized PendingCall, and the statement is
+/// replayed, splicing the memoized body at exactly the position the
+/// recursive lowerer emitted it — the resulting IR is unchanged.
 class Lowerer {
 public:
   Lowerer(ast::Program &Program, support::DiagnosticEngine &Diags,
@@ -33,26 +150,69 @@ public:
   std::optional<CoreProgram> run(const std::string &Entry, int64_t SizeValue);
 
 private:
-  // Statement lowering. Returns false on error.
-  bool lowerStmts(const StmtList &Stmts, Scope &S, CoreStmtList &Out);
-  bool lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out);
+  // -- Machine driver. -----------------------------------------------------
+  bool runMachine();
+  bool stepFrame(Frame &F);
+  bool completeFrame();
+  bool finishCall(Frame &F);
+  bool deliverCall(Frame &Caller, CallCompletion &C, CoreStmtList Final,
+                   VarBinding Result);
+  void pushBlockFrame(Frame &Parent, const StmtList &Stmts,
+                      Frame::Deliver D);
 
-  // Expression flattening: produces a core expression whose operands are
-  // atoms, appending temporary computations (to be wrapped in a with-block
-  // by the caller) to Pre.
-  bool flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre, CoreExpr &Out);
-  bool atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out);
+  // -- Statement dispatch and construct resumption. ------------------------
+  bool dispatchStmt(Frame &F, const Stmt &St);
+  bool resumeWork(Frame &F);
+  bool runExprStmt(Frame &F, const Stmt &St);
+  bool resumeIf(Frame &F, const Stmt &St);
+  bool resumeWith(Frame &F, const Stmt &St);
+  bool emitIf(Frame &F, const Stmt &St);
 
-  /// Inlines a call. In forward mode the callee body is spliced and
-  /// ResultName/ResultTy name the register holding the return value; when
-  /// `BoundResult` is non-null (the caller re-declares an existing
-  /// variable) the callee's return variable is pre-bound to it so the
-  /// callee XORs into the existing register. In reversed mode the
-  /// reversed body un-computes *BoundResult.
-  enum class CallMode { Forward, Reversed };
-  bool inlineCall(const Expr &Call, Scope &CallerScope, CoreStmtList &Out,
-                  CallMode Mode, const VarBinding *BoundResult,
-                  std::string &ResultName, const Type *&ResultTy);
+  /// Starts inlining a call: runs the prologue (instance/depth guards,
+  /// base case, parameter binding) and pushes a callee frame, or delivers
+  /// synchronously for the size<=0 base case. Returns false on error.
+  bool startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
+                       std::optional<VarBinding> BoundResult,
+                       CallCompletion::Dest D, std::string LetName);
+
+  /// Inlines the call recorded by the last Flow::Suspend into the frame's
+  /// pending list.
+  bool requestInline(Frame &F) {
+    assert(SuspendedCall && "suspend without a recorded call site");
+    const Expr &Call = *SuspendedCall;
+    SuspendedCall = nullptr;
+    return startInlineCall(F, Call, CallMode::Forward, std::nullopt,
+                           CallCompletion::Dest::ExprPending, "");
+  }
+
+  // -- Expression flattening (recursive; depth bounded by the source). -----
+  Flow flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre, CoreExpr &Out,
+                   StmtWork &W);
+  Flow atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out,
+               StmtWork &W);
+  bool lowerConstant(const Expr &E, Atom &Out);
+
+  // -- Attempt journaling: rollback for replayed statements. ---------------
+  struct Journal {
+    unsigned SavedAllocCells = 0;
+    size_t SavedPointees = 0;
+    /// Touched name counters with their prior value (nullopt = absent).
+    std::vector<std::pair<std::string, std::optional<unsigned>>> Counters;
+    /// Pending bodies moved into Pre: (pending index, start, length).
+    struct Splice {
+      size_t PendingIdx, Start, Len;
+    };
+    std::vector<Splice> Splices;
+  };
+
+  void beginAttempt(Journal &J) {
+    J.SavedAllocCells = AllocCells;
+    J.SavedPointees = PointeeTypes.size();
+    ActiveJournal = &J;
+  }
+  void endAttempt() { ActiveJournal = nullptr; }
+  void rollbackAttempt(Journal &J, CoreStmtList &Pre, StmtWork &W);
+  void journalCounter(const std::string &Name);
 
   /// Evaluates a static size expression in the current instance.
   int64_t evalSize(const SizeExpr &E) const {
@@ -62,8 +222,10 @@ private:
   /// Produces a unique core-IR name derived from a surface name.
   std::string uniquify(const std::string &Name);
 
-  /// Encodes a value literal as a constant atom.
-  bool lowerConstant(const Expr &E, Atom &Out);
+  /// mod(body) of a callee, cached: collectModSet walks the whole body
+  /// and the recursive benchmarks inline the same function up to 10^5
+  /// times.
+  const std::set<std::string> &modSetOf(const FunDecl &F);
 
   ast::Program &Program;
   support::DiagnosticEngine &Diags;
@@ -72,14 +234,30 @@ private:
 
   std::map<std::string, unsigned> NameCounters;
   unsigned InlineInstances = 0;
+  unsigned InlineDepth = 0;
   unsigned AllocCells = 0;
   std::vector<const Type *> PointeeTypes;
+  std::map<const FunDecl *, std::set<std::string>> ModSets;
 
   std::string CurrentSizeParam;
   int64_t CurrentSizeValue = 0;
+
+  std::vector<std::unique_ptr<Frame>> Frames;
+  const Expr *SuspendedCall = nullptr;
+  Journal *ActiveJournal = nullptr;
 };
 
+void Lowerer::journalCounter(const std::string &Name) {
+  if (!ActiveJournal)
+    return;
+  auto It = NameCounters.find(Name);
+  ActiveJournal->Counters.emplace_back(
+      Name, It == NameCounters.end() ? std::nullopt
+                                     : std::optional<unsigned>(It->second));
+}
+
 std::string Lowerer::uniquify(const std::string &Name) {
+  journalCounter(Name);
   unsigned &Counter = NameCounters[Name];
   std::string Result =
       Counter == 0 ? Name : Name + "'" + std::to_string(Counter);
@@ -89,9 +267,36 @@ std::string Lowerer::uniquify(const std::string &Name) {
     Result = Name + "'" + std::to_string(NameCounters[Name]);
     ++NameCounters[Name];
   }
-  if (Result != Name)
+  if (Result != Name) {
+    journalCounter(Result);
     NameCounters[Result] = 1;
+  }
   return Result;
+}
+
+const std::set<std::string> &Lowerer::modSetOf(const FunDecl &F) {
+  auto It = ModSets.find(&F);
+  if (It == ModSets.end())
+    It = ModSets.emplace(&F, sema::collectModSet(F.Body)).first;
+  return It->second;
+}
+
+void Lowerer::rollbackAttempt(Journal &J, CoreStmtList &Pre, StmtWork &W) {
+  AllocCells = J.SavedAllocCells;
+  PointeeTypes.resize(J.SavedPointees);
+  for (auto It = J.Counters.rbegin(); It != J.Counters.rend(); ++It) {
+    if (It->second)
+      NameCounters[It->first] = *It->second;
+    else
+      NameCounters.erase(It->first);
+  }
+  // Return memoized bodies moved into the discarded prologue.
+  for (const Journal::Splice &Sp : J.Splices) {
+    CoreStmtList &Body = W.Pending[Sp.PendingIdx].Body;
+    for (size_t I = 0; I != Sp.Len; ++I)
+      Body.push_back(std::move(Pre[Sp.Start + I]));
+  }
+  W.NextPending = 0;
 }
 
 bool Lowerer::lowerConstant(const Expr &E, Atom &Out) {
@@ -134,17 +339,18 @@ bool Lowerer::lowerConstant(const Expr &E, Atom &Out) {
   }
 }
 
-bool Lowerer::atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out) {
+Flow Lowerer::atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out,
+                      StmtWork &W) {
   switch (E.K) {
   case Expr::Kind::Var: {
     auto It = S.find(E.Name);
     if (It == S.end()) {
       Diags.error(E.Loc, "use of undeclared variable '" + E.Name +
                              "' during lowering");
-      return false;
+      return Flow::Error;
     }
     Out = Atom::var(It->second.CoreName, It->second.Ty);
-    return true;
+    return Flow::OK;
   }
   case Expr::Kind::UIntLit:
   case Expr::Kind::BoolLit:
@@ -152,33 +358,44 @@ bool Lowerer::atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out) {
   case Expr::Kind::NullLit:
   case Expr::Kind::Default:
   case Expr::Kind::AllocCell:
-    return lowerConstant(E, Out);
+    return lowerConstant(E, Out) ? Flow::OK : Flow::Error;
   case Expr::Kind::Call: {
-    std::string ResultName;
-    const Type *ResultTy = nullptr;
-    if (!inlineCall(E, S, Pre, CallMode::Forward, /*BoundResult=*/nullptr,
-                    ResultName, ResultTy))
-      return false;
-    Out = Atom::var(ResultName, ResultTy);
-    return true;
+    // Flattening visits call sites in a fixed order, so the memoized
+    // inlines are consumed positionally. An unvisited call suspends the
+    // statement; the machine inlines it and replays.
+    if (W.NextPending < W.Pending.size()) {
+      PendingCall &P = W.Pending[W.NextPending];
+      if (ActiveJournal)
+        ActiveJournal->Splices.push_back(
+            {W.NextPending, Pre.size(), P.Body.size()});
+      for (auto &St : P.Body)
+        Pre.push_back(std::move(St));
+      P.Body.clear();
+      Out = Atom::var(P.Result.CoreName, P.Result.Ty);
+      ++W.NextPending;
+      return Flow::OK;
+    }
+    SuspendedCall = &E;
+    return Flow::Suspend;
   }
   default: {
     // Compound operand: compute it into a fresh temporary. The caller
     // wraps Pre in a with-block, so the temporary is uncomputed.
     CoreExpr Sub;
-    if (!flattenExpr(E, S, Pre, Sub))
-      return false;
+    Flow Fl = flattenExpr(E, S, Pre, Sub, W);
+    if (Fl != Flow::OK)
+      return Fl;
     std::string Temp = uniquify("%e");
     Atom Var = Atom::var(Temp, Sub.Ty);
     Pre.push_back(CoreStmt::assign(Temp, Sub.Ty, std::move(Sub)));
     Out = std::move(Var);
-    return true;
+    return Flow::OK;
   }
   }
 }
 
-bool Lowerer::flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre,
-                          CoreExpr &Out) {
+Flow Lowerer::flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre,
+                          CoreExpr &Out, StmtWork &W) {
   assert(E.Ty && "expression not annotated by the type checker");
   switch (E.K) {
   case Expr::Kind::Var:
@@ -190,47 +407,57 @@ bool Lowerer::flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre,
   case Expr::Kind::AllocCell:
   case Expr::Kind::Call: {
     Atom A;
-    if (!atomize(E, S, Pre, A))
-      return false;
+    Flow Fl = atomize(E, S, Pre, A, W);
+    if (Fl != Flow::OK)
+      return Fl;
     Out = CoreExpr::atom(std::move(A));
-    return true;
+    return Flow::OK;
   }
   case Expr::Kind::Tuple: {
     Atom A, B;
-    if (!atomize(*E.Args[0], S, Pre, A) || !atomize(*E.Args[1], S, Pre, B))
-      return false;
+    Flow Fl = atomize(*E.Args[0], S, Pre, A, W);
+    if (Fl != Flow::OK)
+      return Fl;
+    Fl = atomize(*E.Args[1], S, Pre, B, W);
+    if (Fl != Flow::OK)
+      return Fl;
     Out = CoreExpr::pair(std::move(A), std::move(B), E.Ty);
-    return true;
+    return Flow::OK;
   }
   case Expr::Kind::Proj: {
     Atom A;
-    if (!atomize(*E.Args[0], S, Pre, A))
-      return false;
+    Flow Fl = atomize(*E.Args[0], S, Pre, A, W);
+    if (Fl != Flow::OK)
+      return Fl;
     Out = CoreExpr::proj(std::move(A), E.ProjIndex, E.Ty);
-    return true;
+    return Flow::OK;
   }
   case Expr::Kind::Unary: {
     Atom A;
-    if (!atomize(*E.Args[0], S, Pre, A))
-      return false;
+    Flow Fl = atomize(*E.Args[0], S, Pre, A, W);
+    if (Fl != Flow::OK)
+      return Fl;
     Out = CoreExpr::unary(E.UOp, std::move(A), E.Ty);
-    return true;
+    return Flow::OK;
   }
   case Expr::Kind::Binary: {
     Atom A, B;
-    if (!atomize(*E.Args[0], S, Pre, A) || !atomize(*E.Args[1], S, Pre, B))
-      return false;
+    Flow Fl = atomize(*E.Args[0], S, Pre, A, W);
+    if (Fl != Flow::OK)
+      return Fl;
+    Fl = atomize(*E.Args[1], S, Pre, B, W);
+    if (Fl != Flow::OK)
+      return Fl;
     Out = CoreExpr::binary(E.BOp, std::move(A), std::move(B), E.Ty);
-    return true;
+    return Flow::OK;
   }
   }
-  return false;
+  return Flow::Error;
 }
 
-bool Lowerer::inlineCall(const Expr &Call, Scope &CallerScope,
-                         CoreStmtList &Out, CallMode Mode,
-                         const VarBinding *BoundResult,
-                         std::string &ResultName, const Type *&ResultTy) {
+bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
+                              std::optional<VarBinding> BoundResult,
+                              CallCompletion::Dest D, std::string LetName) {
   const FunDecl *Callee = Program.findFunction(Call.Name);
   assert(Callee && "call to unknown function survived type checking");
   bool Reversed = Mode == CallMode::Reversed;
@@ -247,31 +474,46 @@ bool Lowerer::inlineCall(const Expr &Call, Scope &CallerScope,
   if (!Callee->SizeParam.empty())
     CalleeSize = evalSize(*Call.SizeArg);
 
-  ResultTy = Call.Ty;
+  const Type *ResultTy = Call.Ty;
   assert(ResultTy && "call expression not annotated");
 
   // Base case: a size-indexed function at size <= 0 produces the all-zero
-  // value of its return type (Section 3.1's semantics for `length`).
+  // value of its return type (Section 3.1's semantics for `length`). No
+  // frame is pushed; the call completes synchronously.
   if (!Callee->SizeParam.empty() && CalleeSize <= 0) {
     CoreExpr Zero = CoreExpr::atom(Atom::constant(0, ResultTy));
+    CoreStmtList Final;
+    VarBinding Result;
     if (Reversed) {
-      Out.push_back(CoreStmt::unassign(BoundResult->CoreName,
-                                       BoundResult->Ty, std::move(Zero)));
-      ResultName.clear();
-      return true;
-    }
-    if (BoundResult) {
+      Final.push_back(CoreStmt::unassign(BoundResult->CoreName,
+                                         BoundResult->Ty, std::move(Zero)));
+    } else if (BoundResult) {
       // Re-declaration: XOR zero into the existing register (no gates).
-      Out.push_back(CoreStmt::assign(BoundResult->CoreName, BoundResult->Ty,
-                                     std::move(Zero)));
-      ResultName = BoundResult->CoreName;
-      ResultTy = BoundResult->Ty;
-      return true;
+      Final.push_back(CoreStmt::assign(BoundResult->CoreName,
+                                       BoundResult->Ty, std::move(Zero)));
+      Result = *BoundResult;
+    } else {
+      std::string Name = uniquify(Callee->Name + ".base");
+      Final.push_back(CoreStmt::assign(Name, ResultTy, std::move(Zero)));
+      Result = {Name, ResultTy};
     }
-    std::string Name = uniquify(Callee->Name + ".base");
-    Out.push_back(CoreStmt::assign(Name, ResultTy, std::move(Zero)));
-    ResultName = Name;
-    return true;
+    CallCompletion C;
+    C.Callee = Callee;
+    C.Mode = Mode;
+    C.D = D;
+    C.LetName = std::move(LetName);
+    return deliverCall(Caller, C, std::move(Final), std::move(Result));
+  }
+
+  // The machine stack replaces C++ recursion, so depth is bounded by this
+  // option rather than by a segfault.
+  if (InlineDepth >= Opts.MaxInlineDepth) {
+    Diags.error(Call.Loc,
+                "inlining exceeded the maximum call depth " +
+                    std::to_string(Opts.MaxInlineDepth) +
+                    "; raise the max-inline-depth limit if the program "
+                    "really recurses this deeply");
+    return false;
   }
 
   // Bind parameters. Variable arguments alias the caller's registers (the
@@ -279,14 +521,14 @@ bool Lowerer::inlineCall(const Expr &Call, Scope &CallerScope,
   // substituted through a with-block temporary and must not be modified
   // by the callee body, which we verify against mod(body).
   Scope CalleeScope;
-  std::set<std::string> CalleeMods = sema::collectModSet(Callee->Body);
+  const std::set<std::string> &CalleeMods = modSetOf(*Callee);
   CoreStmtList ConstPrologue;
   for (size_t I = 0; I != Call.Args.size(); ++I) {
     const Expr &Arg = *Call.Args[I];
     const auto &[PName, PTy] = Callee->Params[I];
     if (Arg.K == Expr::Kind::Var) {
-      auto It = CallerScope.find(Arg.Name);
-      if (It == CallerScope.end()) {
+      auto It = Caller.S->find(Arg.Name);
+      if (It == Caller.S->end()) {
         Diags.error(Arg.Loc, "argument variable '" + Arg.Name +
                                  "' is not live at the call");
         return false;
@@ -333,79 +575,149 @@ bool Lowerer::inlineCall(const Expr &Call, Scope &CallerScope,
     CalleeScope[Callee->ReturnVar] = *BoundResult;
   }
 
-  // Save and set the size-parameter environment for the callee instance.
-  std::string SavedParam = std::move(CurrentSizeParam);
-  int64_t SavedValue = CurrentSizeValue;
+  auto C = std::make_unique<CallCompletion>();
+  C->Callee = Callee;
+  C->Mode = Mode;
+  C->ConstPrologue = std::move(ConstPrologue);
+  C->BoundResult = std::move(BoundResult);
+  C->SavedSizeParam = std::move(CurrentSizeParam);
+  C->SavedSizeValue = CurrentSizeValue;
+  C->D = D;
+  C->LetName = std::move(LetName);
   CurrentSizeParam = Callee->SizeParam;
   CurrentSizeValue = CalleeSize;
 
-  StmtList BodyToLower = Reversed ? ast::reverseStmts(Callee->Body)
-                                  : ast::cloneStmts(Callee->Body);
-
-  CoreStmtList BodyOut;
-  bool OK = lowerStmts(BodyToLower, CalleeScope, BodyOut);
-
-  CurrentSizeParam = std::move(SavedParam);
-  CurrentSizeValue = SavedValue;
-  if (!OK)
-    return false;
-
-  if (!ConstPrologue.empty()) {
-    // with { consts } do { body } uncomputes the constant temporaries.
-    Out.push_back(
-        CoreStmt::with(std::move(ConstPrologue), std::move(BodyOut)));
-  } else {
-    for (auto &St : BodyOut)
-      Out.push_back(std::move(St));
-  }
-
+  auto NF = std::make_unique<Frame>();
+  NF->D = Frame::Deliver::Call;
+  NF->Parent = &Caller;
+  // A directly bound call with no constant prologue splices flat at the
+  // caller's current end, so its body can accumulate there in place;
+  // otherwise the body is wrapped or memoized on completion and needs its
+  // own list.
+  NF->Call = std::move(C);
+  if (NF->Call->ConstPrologue.empty() &&
+      D != CallCompletion::Dest::ExprPending)
+    NF->Out = Caller.Out;
+  else
+    NF->Out = &NF->OwnedOut;
+  NF->OwnedScope = std::move(CalleeScope);
+  NF->S = &NF->OwnedScope;
   if (Reversed) {
-    ResultName.clear();
-    return true;
+    NF->OwnedStmts = ast::reverseStmts(Callee->Body);
+    NF->Stmts = &NF->OwnedStmts;
+  } else {
+    // Forward bodies are lowered read-only; borrow the AST instead of
+    // cloning it per instance.
+    NF->Stmts = &Callee->Body;
   }
-
-  auto RV = CalleeScope.find(Callee->ReturnVar);
-  if (RV == CalleeScope.end()) {
-    Diags.error(Callee->Loc, "return variable '" + Callee->ReturnVar +
-                                 "' is not live at the end of '" +
-                                 Callee->Name + "'");
-    return false;
-  }
-  ResultName = RV->second.CoreName;
-  ResultTy = RV->second.Ty;
+  ++InlineDepth;
+  Frames.push_back(std::move(NF));
   return true;
 }
 
-bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
-  switch (St.K) {
-  case Stmt::Kind::Skip:
-    Out.push_back(CoreStmt::skip());
-    return true;
+bool Lowerer::finishCall(Frame &F) {
+  CallCompletion &C = *F.Call;
+  CurrentSizeParam = std::move(C.SavedSizeParam);
+  CurrentSizeValue = C.SavedSizeValue;
+  --InlineDepth;
 
-  case Stmt::Kind::Let: {
-    // Direct call: splice the inlined body and alias the result variable.
-    // If the target already exists (re-declaration) the callee's return
-    // variable is pre-bound to it so writes XOR into the same register.
-    if (St.E->K == Expr::Kind::Call) {
-      auto Existing = S.find(St.Name);
-      VarBinding Bound;
-      const VarBinding *BoundPtr = nullptr;
-      if (Existing != S.end()) {
-        Bound = Existing->second;
-        BoundPtr = &Bound;
-      }
-      std::string ResultName;
-      const Type *ResultTy = nullptr;
-      if (!inlineCall(*St.E, S, Out, CallMode::Forward, BoundPtr, ResultName,
-                      ResultTy))
-        return false;
-      S[St.Name] = {ResultName, ResultTy};
-      return true;
-    }
-    CoreStmtList Pre;
-    CoreExpr RHS;
-    if (!flattenExpr(*St.E, S, Pre, RHS))
+  CoreStmtList Final;
+  if (!C.ConstPrologue.empty()) {
+    // with { consts } do { body } uncomputes the constant temporaries.
+    Final.push_back(
+        CoreStmt::with(std::move(C.ConstPrologue), std::move(F.OwnedOut)));
+  } else if (F.Out == &F.OwnedOut) {
+    Final = std::move(F.OwnedOut);
+  }
+  // else: the body already accumulated in place in the caller's list.
+
+  VarBinding Result;
+  if (C.Mode == CallMode::Forward) {
+    auto RV = F.S->find(C.Callee->ReturnVar);
+    if (RV == F.S->end()) {
+      Diags.error(C.Callee->Loc, "return variable '" + C.Callee->ReturnVar +
+                                     "' is not live at the end of '" +
+                                     C.Callee->Name + "'");
       return false;
+    }
+    Result = RV->second;
+  }
+  return deliverCall(*F.Parent, C, std::move(Final), std::move(Result));
+}
+
+bool Lowerer::deliverCall(Frame &Caller, CallCompletion &C,
+                          CoreStmtList Final, VarBinding Result) {
+  switch (C.D) {
+  case CallCompletion::Dest::LetDirect:
+    for (auto &St : Final)
+      Caller.Out->push_back(std::move(St));
+    (*Caller.S)[C.LetName] = std::move(Result);
+    ++Caller.Next;
+    return true;
+  case CallCompletion::Dest::UnLetDirect:
+    for (auto &St : Final)
+      Caller.Out->push_back(std::move(St));
+    Caller.S->erase(C.LetName);
+    ++Caller.Next;
+    return true;
+  case CallCompletion::Dest::ExprPending:
+    assert(Caller.Work && "pending inline without a suspended statement");
+    Caller.Work->Pending.push_back({std::move(Final), std::move(Result)});
+    return true;
+  }
+  return false;
+}
+
+void Lowerer::pushBlockFrame(Frame &Parent, const StmtList &Stmts,
+                             Frame::Deliver D) {
+  auto NF = std::make_unique<Frame>();
+  NF->Stmts = &Stmts;
+  NF->Out = &NF->OwnedOut;
+  NF->S = Parent.S; // Nested blocks share the enclosing scope object.
+  NF->D = D;
+  NF->Parent = &Parent;
+  Frames.push_back(std::move(NF));
+}
+
+bool Lowerer::runExprStmt(Frame &F, const Stmt &St) {
+  if (!F.Work) {
+    F.Work = std::make_unique<StmtWork>();
+    F.Work->K = StmtWork::Kind::Expr;
+  }
+  StmtWork &W = *F.Work;
+  W.NextPending = 0;
+
+  bool IsUnLet = St.K == Stmt::Kind::UnLet;
+  Scope &S = *F.S;
+  auto Target = S.end();
+  if (IsUnLet) {
+    Target = S.find(St.Name);
+    if (Target == S.end()) {
+      Diags.error(St.Loc, "un-assignment of unbound variable '" + St.Name +
+                              "' during lowering");
+      return false;
+    }
+  }
+
+  Journal J;
+  beginAttempt(J);
+  CoreStmtList Pre;
+  CoreExpr RHS;
+  Flow Fl = flattenExpr(*St.E, S, Pre, RHS, W);
+  endAttempt();
+  if (Fl == Flow::Error)
+    return false;
+  if (Fl == Flow::Suspend) {
+    rollbackAttempt(J, Pre, W);
+    return requestInline(F);
+  }
+
+  CoreStmtPtr Main;
+  if (IsUnLet) {
+    Main = CoreStmt::unassign(Target->second.CoreName, Target->second.Ty,
+                              std::move(RHS));
+    S.erase(Target);
+  } else {
     auto It = S.find(St.Name);
     std::string CoreName;
     if (It != S.end()) {
@@ -416,15 +728,165 @@ bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
       S[St.Name] = {CoreName, RHS.Ty};
     }
     const Type *Ty = RHS.Ty;
-    auto Assign = CoreStmt::assign(CoreName, Ty, std::move(RHS));
-    if (Pre.empty()) {
-      Out.push_back(std::move(Assign));
-    } else {
-      CoreStmtList DoBody;
-      DoBody.push_back(std::move(Assign));
-      Out.push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
+    Main = CoreStmt::assign(CoreName, Ty, std::move(RHS));
+  }
+  if (Pre.empty()) {
+    F.Out->push_back(std::move(Main));
+  } else {
+    CoreStmtList DoBody;
+    DoBody.push_back(std::move(Main));
+    F.Out->push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
+  }
+  F.Work.reset();
+  ++F.Next;
+  return true;
+}
+
+bool Lowerer::emitIf(Frame &F, const Stmt &St) {
+  StmtWork &W = *F.Work;
+  bool HasElse = !St.ElseBody.empty();
+  CoreStmtList DoBody;
+  DoBody.push_back(CoreStmt::ifStmt(W.CondName, std::move(W.Then)));
+  if (HasElse)
+    DoBody.push_back(CoreStmt::ifStmt(W.NotName, std::move(W.Else)));
+  if (W.Pre.empty()) {
+    for (auto &X : DoBody)
+      F.Out->push_back(std::move(X));
+  } else {
+    F.Out->push_back(CoreStmt::with(std::move(W.Pre), std::move(DoBody)));
+  }
+  F.Work.reset();
+  ++F.Next;
+  return true;
+}
+
+bool Lowerer::resumeIf(Frame &F, const Stmt &St) {
+  // Phases: 0 condition attempt, 1 then-body running, 2 then delivered,
+  // 3 else-body running, 4 else delivered. Children advance the phase on
+  // delivery (completeFrame), so 1 and 3 are never resumed here.
+  //
+  // Desugaring (Yuan & Carbin [2022, Appendix B]):
+  //   with { c <- cond; nc <- not c } do { if c {then}; if nc {else} }
+  StmtWork &W = *F.Work;
+  bool HasElse = !St.ElseBody.empty();
+  switch (W.Phase) {
+  case 0: {
+    W.NextPending = 0;
+    Journal J;
+    beginAttempt(J);
+    CoreStmtList Pre;
+    Atom CondAtom;
+    Flow Fl = atomize(*St.E, *F.S, Pre, CondAtom, W);
+    endAttempt();
+    if (Fl == Flow::Error)
+      return false;
+    if (Fl == Flow::Suspend) {
+      rollbackAttempt(J, Pre, W);
+      return requestInline(F);
     }
+    assert(CondAtom.isVar() && "condition atom should be a variable");
+    W.CondName = CondAtom.Var;
+    if (HasElse) {
+      W.NotName = uniquify("%not");
+      Pre.push_back(CoreStmt::assign(
+          W.NotName, Types.boolType(),
+          CoreExpr::unary(UnaryOp::Not, CondAtom, Types.boolType())));
+    }
+    W.Pre = std::move(Pre);
+    W.Phase = 1;
+    pushBlockFrame(F, St.Body, Frame::Deliver::Then);
     return true;
+  }
+  case 2:
+    if (HasElse) {
+      W.Phase = 3;
+      pushBlockFrame(F, St.ElseBody, Frame::Deliver::Else);
+      return true;
+    }
+    return emitIf(F, St);
+  case 4:
+    return emitIf(F, St);
+  default:
+    assert(false && "if-frame resumed while a child is running");
+    return false;
+  }
+}
+
+bool Lowerer::resumeWith(Frame &F, const Stmt &St) {
+  // Phases: 0 start, 1 with-body running, 2 with delivered, 3 do-body
+  // running, 4 do delivered.
+  StmtWork &W = *F.Work;
+  switch (W.Phase) {
+  case 0:
+    W.Snapshot = *F.S;
+    W.Phase = 1;
+    pushBlockFrame(F, St.Body, Frame::Deliver::WithBlock);
+    return true;
+  case 2:
+    W.AfterWith = *F.S;
+    W.Phase = 3;
+    pushBlockFrame(F, St.ElseBody, Frame::Deliver::DoBlock);
+    return true;
+  case 4: {
+    // Bindings net-created by the with-block are uncomputed by its
+    // reversal; the do-block's additions persist.
+    Scope &S = *F.S;
+    Scope Final = W.Snapshot;
+    for (const auto &[Name, B] : S) {
+      auto InWith = W.AfterWith.find(Name);
+      bool CreatedByWith = InWith != W.AfterWith.end() &&
+                           !W.Snapshot.count(Name) &&
+                           InWith->second.CoreName == B.CoreName;
+      if (!CreatedByWith)
+        Final[Name] = B;
+    }
+    S = std::move(Final);
+    F.Out->push_back(
+        CoreStmt::with(std::move(W.WithBody), std::move(W.DoBody)));
+    F.Work.reset();
+    ++F.Next;
+    return true;
+  }
+  default:
+    assert(false && "with-frame resumed while a child is running");
+    return false;
+  }
+}
+
+bool Lowerer::resumeWork(Frame &F) {
+  const Stmt &St = *(*F.Stmts)[F.Next];
+  switch (F.Work->K) {
+  case StmtWork::Kind::Expr:
+    return runExprStmt(F, St);
+  case StmtWork::Kind::If:
+    return resumeIf(F, St);
+  case StmtWork::Kind::With:
+    return resumeWith(F, St);
+  }
+  return false;
+}
+
+bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
+  Scope &S = *F.S;
+  switch (St.K) {
+  case Stmt::Kind::Skip:
+    F.Out->push_back(CoreStmt::skip());
+    ++F.Next;
+    return true;
+
+  case Stmt::Kind::Let: {
+    // Direct call: splice the inlined body and alias the result variable.
+    // If the target already exists (re-declaration) the callee's return
+    // variable is pre-bound to it so writes XOR into the same register.
+    if (St.E->K == Expr::Kind::Call) {
+      std::optional<VarBinding> Bound;
+      auto Existing = S.find(St.Name);
+      if (Existing != S.end())
+        Bound = Existing->second;
+      return startInlineCall(F, *St.E, CallMode::Forward, std::move(Bound),
+                             CallCompletion::Dest::LetDirect, St.Name);
+    }
+    return runExprStmt(F, St);
   }
 
   case Stmt::Kind::UnLet: {
@@ -437,30 +899,10 @@ bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
     if (St.E->K == Expr::Kind::Call) {
       // Uncompute via the reversed inlined body, with the callee's return
       // variable aliased to the target register.
-      VarBinding Target = It->second;
-      std::string Ignored;
-      const Type *IgnoredTy = nullptr;
-      if (!inlineCall(*St.E, S, Out, CallMode::Reversed, &Target, Ignored,
-                      IgnoredTy))
-        return false;
-      S.erase(St.Name);
-      return true;
+      return startInlineCall(F, *St.E, CallMode::Reversed, It->second,
+                             CallCompletion::Dest::UnLetDirect, St.Name);
     }
-    CoreStmtList Pre;
-    CoreExpr RHS;
-    if (!flattenExpr(*St.E, S, Pre, RHS))
-      return false;
-    auto UnAssign =
-        CoreStmt::unassign(It->second.CoreName, It->second.Ty, std::move(RHS));
-    if (Pre.empty()) {
-      Out.push_back(std::move(UnAssign));
-    } else {
-      CoreStmtList DoBody;
-      DoBody.push_back(std::move(UnAssign));
-      Out.push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
-    }
-    S.erase(St.Name);
-    return true;
+    return runExprStmt(F, St);
   }
 
   case Stmt::Kind::Swap: {
@@ -469,8 +911,9 @@ bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
       Diags.error(St.Loc, "swap of unbound variable during lowering");
       return false;
     }
-    Out.push_back(CoreStmt::swap(A->second.CoreName, A->second.Ty,
-                                 B->second.CoreName, B->second.Ty));
+    F.Out->push_back(CoreStmt::swap(A->second.CoreName, A->second.Ty,
+                                   B->second.CoreName, B->second.Ty));
+    ++F.Next;
     return true;
   }
 
@@ -481,8 +924,9 @@ bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
       return false;
     }
     PointeeTypes.push_back(V->second.Ty);
-    Out.push_back(CoreStmt::memSwap(P->second.CoreName, P->second.Ty,
-                                    V->second.CoreName, V->second.Ty));
+    F.Out->push_back(CoreStmt::memSwap(P->second.CoreName, P->second.Ty,
+                                      V->second.CoreName, V->second.Ty));
+    ++F.Next;
     return true;
   }
 
@@ -492,97 +936,70 @@ bool Lowerer::lowerStmt(const Stmt &St, Scope &S, CoreStmtList &Out) {
       Diags.error(St.Loc, "h() of unbound variable during lowering");
       return false;
     }
-    Out.push_back(CoreStmt::hadamard(X->second.CoreName, X->second.Ty));
+    F.Out->push_back(CoreStmt::hadamard(X->second.CoreName, X->second.Ty));
+    ++F.Next;
     return true;
   }
 
-  case Stmt::Kind::If: {
-    bool CondIsVar = St.E->K == Expr::Kind::Var;
-    bool HasElse = !St.ElseBody.empty();
+  case Stmt::Kind::If:
+    F.Work = std::make_unique<StmtWork>();
+    F.Work->K = StmtWork::Kind::If;
+    return resumeIf(F, St);
 
-    if (CondIsVar && !HasElse) {
-      auto C = S.find(St.E->Name);
-      if (C == S.end()) {
-        Diags.error(St.Loc, "if condition variable unbound during lowering");
-        return false;
-      }
-      CoreStmtList Body;
-      if (!lowerStmts(St.Body, S, Body))
-        return false;
-      Out.push_back(CoreStmt::ifStmt(C->second.CoreName, std::move(Body)));
-      return true;
-    }
-
-    // General case (Yuan & Carbin [2022, Appendix B]):
-    //   with { c <- cond; nc <- not c } do { if c {then}; if nc {else} }
-    CoreStmtList Pre;
-    Atom CondAtom;
-    if (!atomize(*St.E, S, Pre, CondAtom))
-      return false;
-    assert(CondAtom.isVar() && "condition atom should be a variable");
-    std::string CondName = CondAtom.Var;
-
-    std::string NotName;
-    if (HasElse) {
-      NotName = uniquify("%not");
-      Pre.push_back(CoreStmt::assign(
-          NotName, Types.boolType(),
-          CoreExpr::unary(UnaryOp::Not, CondAtom, Types.boolType())));
-    }
-
-    CoreStmtList DoBody;
-    CoreStmtList Then;
-    if (!lowerStmts(St.Body, S, Then))
-      return false;
-    DoBody.push_back(CoreStmt::ifStmt(CondName, std::move(Then)));
-    if (HasElse) {
-      CoreStmtList Else;
-      if (!lowerStmts(St.ElseBody, S, Else))
-        return false;
-      DoBody.push_back(CoreStmt::ifStmt(NotName, std::move(Else)));
-    }
-
-    if (Pre.empty()) {
-      for (auto &X : DoBody)
-        Out.push_back(std::move(X));
-    } else {
-      Out.push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
-    }
-    return true;
-  }
-
-  case Stmt::Kind::With: {
-    Scope Snapshot = S;
-    CoreStmtList WithBody;
-    if (!lowerStmts(St.Body, S, WithBody))
-      return false;
-    Scope AfterWith = S;
-    CoreStmtList DoBody;
-    if (!lowerStmts(St.ElseBody, S, DoBody))
-      return false;
-    // Bindings net-created by the with-block are uncomputed by its
-    // reversal; the do-block's additions persist.
-    Scope Final = Snapshot;
-    for (const auto &[Name, B] : S) {
-      auto InWith = AfterWith.find(Name);
-      bool CreatedByWith = InWith != AfterWith.end() &&
-                           !Snapshot.count(Name) &&
-                           InWith->second.CoreName == B.CoreName;
-      if (!CreatedByWith)
-        Final[Name] = B;
-    }
-    S = std::move(Final);
-    Out.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
-    return true;
-  }
+  case Stmt::Kind::With:
+    F.Work = std::make_unique<StmtWork>();
+    F.Work->K = StmtWork::Kind::With;
+    return resumeWith(F, St);
   }
   return false;
 }
 
-bool Lowerer::lowerStmts(const StmtList &Stmts, Scope &S, CoreStmtList &Out) {
-  for (const auto &St : Stmts)
-    if (!lowerStmt(*St, S, Out))
+bool Lowerer::stepFrame(Frame &F) {
+  if (F.Work)
+    return resumeWork(F);
+  return dispatchStmt(F, *(*F.Stmts)[F.Next]);
+}
+
+bool Lowerer::completeFrame() {
+  std::unique_ptr<Frame> F = std::move(Frames.back());
+  Frames.pop_back();
+  switch (F->D) {
+  case Frame::Deliver::Root:
+    // The root frame writes directly into the result body.
+    return true;
+  case Frame::Deliver::Then:
+    F->Parent->Work->Then = std::move(F->OwnedOut);
+    F->Parent->Work->Phase = 2;
+    return true;
+  case Frame::Deliver::Else:
+    F->Parent->Work->Else = std::move(F->OwnedOut);
+    F->Parent->Work->Phase = 4;
+    return true;
+  case Frame::Deliver::WithBlock:
+    F->Parent->Work->WithBody = std::move(F->OwnedOut);
+    F->Parent->Work->Phase = 2;
+    return true;
+  case Frame::Deliver::DoBlock:
+    F->Parent->Work->DoBody = std::move(F->OwnedOut);
+    F->Parent->Work->Phase = 4;
+    return true;
+  case Frame::Deliver::Call:
+    return finishCall(*F);
+  }
+  return false;
+}
+
+bool Lowerer::runMachine() {
+  while (!Frames.empty()) {
+    Frame &F = *Frames.back();
+    if (!F.Work && F.Next == F.Stmts->size()) {
+      if (!completeFrame())
+        return false;
+      continue;
+    }
+    if (!stepFrame(F))
       return false;
+  }
   return true;
 }
 
@@ -603,21 +1020,27 @@ std::optional<CoreProgram> Lowerer::run(const std::string &Entry,
   CoreProgram Result;
   Result.Types = Program.Types;
 
-  Scope S;
+  Scope RootScope;
   for (const auto &[Name, Ty] : F->Params) {
     NameCounters[Name] = 1; // Reserve parameter names verbatim.
-    S[Name] = {Name, Ty};
+    RootScope[Name] = {Name, Ty};
     Result.Inputs.emplace_back(Name, Ty);
   }
 
   CurrentSizeParam = F->SizeParam;
   CurrentSizeValue = SizeValue;
 
-  if (!lowerStmts(F->Body, S, Result.Body))
+  auto Root = std::make_unique<Frame>();
+  Root->Stmts = &F->Body;
+  Root->Out = &Result.Body;
+  Root->S = &RootScope;
+  Root->D = Frame::Deliver::Root;
+  Frames.push_back(std::move(Root));
+  if (!runMachine())
     return std::nullopt;
 
-  auto RV = S.find(F->ReturnVar);
-  if (RV == S.end()) {
+  auto RV = RootScope.find(F->ReturnVar);
+  if (RV == RootScope.end()) {
     Diags.error(F->Loc, "return variable '" + F->ReturnVar +
                             "' is not live at the end of '" + Entry + "'");
     return std::nullopt;

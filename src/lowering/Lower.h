@@ -25,6 +25,12 @@
 ///    (see DESIGN.md §2); allocation costs O(1) MCX gates, preserving the
 ///    asymptotics the paper studies.
 ///
+/// Inlining runs on an explicit worklist of heap-allocated frames rather
+/// than C++ recursion, so recursion depth is limited only by
+/// LowerOptions::MaxInlineDepth / MaxInlineInstances (each produces a
+/// diagnostic, never a stack overflow); `--size 100000` programs lower in
+/// one pass. See docs/architecture.md for the machine's design.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIRE_LOWERING_LOWER_H
@@ -45,6 +51,13 @@ struct LowerOptions {
   unsigned HeapCells = 16;
   /// Safety bound on the number of inlined function instances.
   unsigned MaxInlineInstances = 100000;
+  /// Safety bound on the depth of the call-inlining stack. The lowerer is
+  /// iterative (an explicit worklist of heap-allocated frames), so deep
+  /// recursion is bounded by this option with a diagnostic — not by the
+  /// C++ call stack with a segfault. Depth never exceeds the instance
+  /// count, so with the defaults the instance bound trips first; lower
+  /// this to cap nesting (and the IR depth it implies) specifically.
+  unsigned MaxInlineDepth = 100000;
   /// Skip the internal type-check pass when the caller (the driver
   /// pipeline) has already checked and annotated the program.
   bool AssumeTypeChecked = false;

@@ -228,6 +228,102 @@ TEST(Lowering, DoScopePersists) {
   EXPECT_EQ(runProgram(P, {{"a", 13}}), 13u);
 }
 
+// -- Deep-recursion regression tests: the lowerer is an explicit worklist
+// machine, so `--size 2000+` programs (which stack-overflowed the seed's
+// recursive lowerer around depth 5000) must lower cleanly, and exceeding
+// the configured bounds must produce a diagnostic, never a crash. ------
+
+namespace {
+
+/// One directly bound recursive call per level — the workload class that
+/// used to segfault.
+const char *deepSource() {
+  return "fun f[n](a: uint) -> uint {"
+         "  let a2 <- a + 1;"
+         "  let out <- f[n-1](a2);"
+         "  let a2 -> a + 1;"
+         "  return out; }";
+}
+
+} // namespace
+
+TEST(Lowering, DeepRecursionLowersWithoutStackOverflow) {
+  // Depth 2000 is comfortably past typical C++ stack limits for the old
+  // mutually recursive lowerer; depth 5000 is the class the ROADMAP
+  // recorded as a seed segfault.
+  for (int64_t Size : {2000, 5000}) {
+    CoreProgram P = lower(deepSource(), "f", Size);
+    EXPECT_GE(countKind(P.Body, CoreStmt::Kind::Assign),
+              static_cast<unsigned>(Size));
+  }
+}
+
+TEST(Lowering, DepthGuardDiagnosesInsteadOfCrashing) {
+  ast::Program Prog = frontend::parseProgramOrDie(deepSource());
+  lowering::LowerOptions Opts;
+  Opts.MaxInlineDepth = 100;
+  support::DiagnosticEngine Diags;
+  EXPECT_FALSE(lowering::lowerProgram(Prog, "f", 500, Diags, Opts));
+  EXPECT_NE(Diags.str().find("maximum call depth 100"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(Lowering, InstanceGuardTripsBeforeDepthGuard) {
+  // Depth never exceeds the instance count, so when the instance bound is
+  // the smaller of the two it must be the one reported.
+  ast::Program Prog = frontend::parseProgramOrDie(deepSource());
+  lowering::LowerOptions Opts;
+  Opts.MaxInlineInstances = 50;
+  Opts.MaxInlineDepth = 1000;
+  support::DiagnosticEngine Diags;
+  EXPECT_FALSE(lowering::lowerProgram(Prog, "f", 500, Diags, Opts));
+  EXPECT_NE(Diags.str().find("50 instances"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(Lowering, DepthLimitAtBoundaryStillLowers) {
+  ast::Program Prog = frontend::parseProgramOrDie(deepSource());
+  lowering::LowerOptions Opts;
+  Opts.MaxInlineDepth = 64; // Exactly the depth the program needs.
+  support::DiagnosticEngine Diags;
+  EXPECT_TRUE(lowering::lowerProgram(Prog, "f", 64, Diags, Opts))
+      << Diags.str();
+}
+
+TEST(Lowering, ExpressionPositionCallsAtDepth) {
+  // The recursive call sits inside a compound expression, exercising the
+  // machine's memoized suspend-and-replay path at depth; g[n](a) counts
+  // the recursion, so the lowered program must compute n. Lowering is
+  // linear, but each level nests one with-block whose compute part the
+  // interpreter executes twice (forward and reversed uncomputation), so
+  // interpretation is exponential in the nesting — run it shallow and
+  // check the deep instantiation structurally only.
+  const char *Source = "fun g[n](a: uint) -> uint {"
+                       "  let out <- g[n-1](a) + 1;"
+                       "  return out; }";
+  CoreProgram Deep = lower(Source, "g", 200);
+  EXPECT_GE(countKind(Deep.Body, CoreStmt::Kind::With), 199u);
+  CoreProgram P = lower(Source, "g", 12);
+  EXPECT_EQ(runProgram(P, {{"a", 9}}), 12u);
+}
+
+TEST(Lowering, DeepUnCallReversesCleanly) {
+  // Un-calling a deeply recursive function splices the reversed body at
+  // depth; the interpreter's strict un-assignment check verifies that the
+  // reversal really uncomputes every register.
+  std::string Source = deepSource();
+  // (`h` is reserved for the Hadamard statement, so the wrapper is not
+  // named h.)
+  Source += "fun wrap[n](x: uint) -> uint {"
+            "  let r <- f[n](x);"
+            "  let keep <- r;"
+            "  let r -> f[n](x);"
+            "  let out <- keep;"
+            "  return out; }";
+  CoreProgram P = lower(Source.c_str(), "wrap", 60);
+  EXPECT_EQ(runProgram(P, {{"x", 3}}), 0u); // f bottoms out at zero.
+}
+
 TEST(Lowering, HadamardLowered) {
   CoreProgram P = lower("fun f(b: bool) { h(b); let out <- b;"
                         "  return out; }",

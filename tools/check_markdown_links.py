@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Checks that intra-repository markdown links resolve.
+
+Scans every .md file in the repository for inline links ``[text](target)``
+and verifies that
+
+  * relative-path targets name an existing file or directory, and
+  * ``#anchor`` fragments (same-file or ``file.md#anchor``) match a
+    heading in the target file, using GitHub's heading-slug rules.
+
+External links (http/https/mailto) are ignored — this check needs no
+network. Exit status is non-zero if any link is dead, listing each
+offender as ``file:line: message``; CI runs this as the docs job.
+
+Usage: tools/check_markdown_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces to
+    hyphens, numeric suffix for duplicates."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        slug = f"{slug}-{seen[slug]}"
+    else:
+        seen[slug] = 0
+    return slug
+
+
+def collect_anchors(path):
+    anchors, seen = set(), {}
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    anchors.add(github_slug(m.group(2), seen))
+    except (OSError, UnicodeDecodeError):
+        pass
+    return anchors
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root, anchor_cache):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Inline code spans may contain bracket syntax that is not a
+            # link (e.g. `f[n-1](next, r)`).
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for target in LINK_RE.findall(stripped):
+                if target.startswith(SKIP_SCHEMES):
+                    continue
+                dest, _, fragment = target.partition("#")
+                if dest:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), dest))
+                    if not resolved.startswith(root):
+                        errors.append((lineno,
+                                       f"link escapes the repository: "
+                                       f"{target}"))
+                        continue
+                    if not os.path.exists(resolved):
+                        errors.append((lineno, f"dead link: {target}"))
+                        continue
+                else:
+                    resolved = path
+                if fragment and resolved.endswith(".md"):
+                    if resolved not in anchor_cache:
+                        anchor_cache[resolved] = collect_anchors(resolved)
+                    if fragment not in anchor_cache[resolved]:
+                        errors.append((lineno,
+                                       f"dead anchor: {target}"))
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    anchor_cache = {}
+    failed = False
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        for lineno, message in check_file(path, root, anchor_cache):
+            failed = True
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: {message}")
+    if failed:
+        return 1
+    print(f"checked {checked} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

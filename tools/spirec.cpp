@@ -28,12 +28,17 @@
 ///   -O0                   disable all Spire optimizations
 ///   --word-bits N         register width in qubits (default 8)
 ///   --heap-cells N        qRAM size in cells (default 16)
+///   --max-inline-depth N      lowering's bound on call-inlining depth
+///                             (default 100000)
+///   --max-inline-instances N  lowering's bound on total inlined calls
+///                             (default 100000)
 ///   --circuit-opt <name>  additionally run a circuit-optimizer baseline:
 ///                         peephole | rotation | cliffordt-cancel |
 ///                         toffoli-cancel | exhaustive
 ///
 /// Exit status: 0 on success, 1 on a compile or runtime error, 2 on a
 /// command-line error (always with a diagnostic on stderr).
+/// docs/cli.md documents every flag and mode; keep the two in sync.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,17 +74,50 @@ struct Options {
   driver::PipelineOptions Pipeline;
 };
 
+// Keep this text in sync with parseArgs and docs/cli.md.
+const char UsageText[] =
+    "usage: spirec <file.tower> --entry <fun> [--size N] [options]\n"
+    "       spirec --qc-in <file.qc> [--circuit-opt <name>] "
+    "[--emit <level>] [-o <path>]\n"
+    "\n"
+    "modes (combinable):\n"
+    "  --report                  print the cost-model analysis before and\n"
+    "                            after optimization\n"
+    "  --emit mcx|toffoli|cliffordt\n"
+    "                            write the compiled circuit in .qc format\n"
+    "  -o <path>                 output path for --emit (default: stdout)\n"
+    "  --run k=v,k=v             interpret the program on the given input\n"
+    "                            registers and print the output\n"
+    "  --dump-ir                 print the (optimized) core IR\n"
+    "  --timings                 print per-stage timings to stderr\n"
+    "\n"
+    "options:\n"
+    "  --entry <fun>             entry function to compile (required)\n"
+    "  --size N                  static size (recursion depth) to\n"
+    "                            instantiate the entry at (default 0)\n"
+    "  --no-flatten              disable conditional flattening\n"
+    "  --no-narrow               disable conditional narrowing\n"
+    "  -O0                       disable all Spire optimizations\n"
+    "  --word-bits N             register width in qubits (default 8)\n"
+    "  --heap-cells N            qRAM size in cells (default 16)\n"
+    "  --max-inline-depth N      bound on call-inlining depth during\n"
+    "                            lowering (default 100000)\n"
+    "  --max-inline-instances N  bound on total inlined calls during\n"
+    "                            lowering (default 100000)\n"
+    "  --circuit-opt peephole|rotation|cliffordt-cancel|toffoli-cancel|"
+    "exhaustive\n"
+    "                            additionally run a circuit-optimizer\n"
+    "                            baseline\n"
+    "  --qc-in <file.qc>         circuit-in mode: load a .qc circuit\n"
+    "                            instead of compiling a Tower program\n"
+    "  --help, -h                print this help and exit\n"
+    "\n"
+    "exit status: 0 on success, 1 on a compile or runtime error, 2 on a\n"
+    "command-line error (always with a diagnostic on stderr).\n";
+
 [[noreturn]] void usageError(const char *Message) {
   std::fprintf(stderr, "spirec: error: %s\n", Message);
-  std::fprintf(stderr,
-               "usage: spirec <file.tower> --entry <fun> [--size N] "
-               "[--report] [--dump-ir] [--timings]\n"
-               "              [--emit mcx|toffoli|cliffordt] [-o <path>] "
-               "[--run k=v,...]\n"
-               "              [--no-flatten] [--no-narrow] [-O0] "
-               "[--word-bits N] [--heap-cells N]\n"
-               "              [--circuit-opt peephole|rotation|"
-               "cliffordt-cancel|toffoli-cancel|exhaustive]\n");
+  std::fprintf(stderr, "%s", UsageText);
   std::exit(2);
 }
 
@@ -118,6 +156,10 @@ Options parseArgs(int Argc, char **Argv) {
         usageError((std::string("missing value for ") + What).c_str());
       return Argv[++I];
     };
+    if (Arg == "--help" || Arg == "-h") {
+      std::fputs(UsageText, stdout);
+      std::exit(0);
+    }
     if (Arg == "--entry")
       Opts.Pipeline.Entry = next("--entry");
     else if (Arg == "--size")
@@ -146,6 +188,12 @@ Options parseArgs(int Argc, char **Argv) {
     else if (Arg == "--heap-cells")
       Opts.Pipeline.Target.HeapCells = static_cast<unsigned>(
           parseInt(next("--heap-cells"), "--heap-cells"));
+    else if (Arg == "--max-inline-depth")
+      Opts.Pipeline.MaxInlineDepth = static_cast<unsigned>(parseInt(
+          next("--max-inline-depth"), "--max-inline-depth"));
+    else if (Arg == "--max-inline-instances")
+      Opts.Pipeline.MaxInlineInstances = static_cast<unsigned>(parseInt(
+          next("--max-inline-instances"), "--max-inline-instances"));
     else if (Arg == "--circuit-opt")
       Opts.CircuitOpt = next("--circuit-opt");
     else if (Arg == "--qc-in")
