@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interchange at scale: sweeps the recursion depth (`--size`) of the
+/// paper's `length` benchmark, emits the compiled circuit in both
+/// interchange formats, re-parses each, and reports emission and parse
+/// throughput (gates/sec) alongside the per-stage pipeline timings.
+///
+/// Both the writers and the readers are single-pass and must scale
+/// linearly in the gate count; this bench is the regression guard: it
+/// fails (non-zero exit) if any sweep point fails to round-trip
+/// structurally or if throughput at the deep end collapses superlinearly
+/// against the shallow end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Harness.h"
+#include "interchange/Interchange.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace spire;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+struct Row {
+  int64_t Size = 0;
+  int64_t Gates = 0;
+  double WriteSeconds = 0;
+  double ReadSeconds = 0;
+
+  double writeRate() const {
+    return Gates / (WriteSeconds > 0 ? WriteSeconds : 1e-9);
+  }
+  double readRate() const {
+    return Gates / (ReadSeconds > 0 ? ReadSeconds : 1e-9);
+  }
+};
+
+/// Emits + re-parses the circuit in `F`, timing both, and checks the
+/// round trip is structurally lossless.
+bool roundTrip(const circuit::Circuit &C, interchange::Format F, Row &Out) {
+  auto StartWrite = std::chrono::steady_clock::now();
+  std::string Text = interchange::writeCircuit(C, F);
+  Out.WriteSeconds = secondsSince(StartWrite);
+
+  support::DiagnosticEngine Diags;
+  auto StartRead = std::chrono::steady_clock::now();
+  std::optional<circuit::Circuit> Back =
+      interchange::readCircuit(Text, F, Diags);
+  Out.ReadSeconds = secondsSince(StartRead);
+
+  if (!Back) {
+    std::fprintf(stderr, "%s re-parse failed:\n%s\n",
+                 interchange::formatName(F), Diags.str().c_str());
+    return false;
+  }
+  if (Back->NumQubits != C.NumQubits ||
+      Back->Gates.size() != C.Gates.size()) {
+    std::fprintf(stderr, "%s round trip lost gates: %zu -> %zu\n",
+                 interchange::formatName(F), C.Gates.size(),
+                 Back->Gates.size());
+    return false;
+  }
+  return true;
+}
+
+bool sweepPoint(interchange::Format F, int64_t Size, Row &Out) {
+  driver::PipelineOptions Opts;
+  Opts.BuildCircuit = true;
+  Opts.AnalyzeCost = false;
+  driver::CompilationResult R = benchmarks::runPipeline(
+      benchmarks::lengthBenchmark(), Size, Opts);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "size %lld failed to compile:\n%s\n",
+                 static_cast<long long>(Size), R.Diags.str().c_str());
+    return false;
+  }
+  Out.Size = Size;
+  Out.Gates = static_cast<int64_t>(R.Compiled->Circ.Gates.size());
+  if (!roundTrip(R.Compiled->Circ, F, Out))
+    return false;
+  std::printf("%8lld %10lld %9.3f %14.0f %9.3f %14.0f   | %s\n",
+              static_cast<long long>(Out.Size),
+              static_cast<long long>(Out.Gates), Out.WriteSeconds,
+              Out.writeRate(), Out.ReadSeconds, Out.readRate(),
+              benchmarks::formatStageTimings(R).c_str());
+  return true;
+}
+
+bool sweep(interchange::Format F, const std::vector<int64_t> &Sizes,
+           std::vector<Row> &Rows) {
+  std::printf("\n== %s ==\n", interchange::formatName(F));
+  std::printf("%8s %10s %9s %14s %9s %14s   | pipeline timings\n", "size",
+              "gates", "write s", "gates/sec", "read s", "gates/sec");
+  for (int64_t Size : Sizes) {
+    Row R;
+    if (!sweepPoint(F, Size, R))
+      return false;
+    Rows.push_back(R);
+  }
+  return true;
+}
+
+/// Throughput at the deep end must stay within 4x of the best observed
+/// rate — a quadratic writer or reader degrades ~50x over this sweep.
+bool linear(const char *Label, const std::vector<Row> &Rows,
+            double (Row::*Rate)() const) {
+  double Best = 0;
+  for (const Row &R : Rows)
+    Best = std::max(Best, (R.*Rate)());
+  double LastRate = (Rows.back().*Rate)();
+  bool OK = LastRate * 4 >= Best;
+  std::printf("%s: best %.0f gates/sec; %.0f gates/sec at size %lld -> "
+              "%s\n",
+              Label, Best, LastRate,
+              static_cast<long long>(Rows.back().Size),
+              OK ? "scales linearly (yes)" : "superlinear collapse (NO)");
+  return OK;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Interchange at scale: emission and re-parse throughput "
+              "by recursion depth ==\n");
+
+  const std::vector<int64_t> Sizes = {5, 10, 20, 50, 100, 200};
+  std::vector<Row> Qc, Qasm;
+  if (!sweep(interchange::Format::Qc, Sizes, Qc))
+    return 1;
+  if (!sweep(interchange::Format::Qasm3, Sizes, Qasm))
+    return 1;
+
+  std::printf("\n");
+  bool OK = true;
+  OK &= linear("qc write", Qc, &Row::writeRate);
+  OK &= linear("qc read", Qc, &Row::readRate);
+  OK &= linear("qasm3 write", Qasm, &Row::writeRate);
+  OK &= linear("qasm3 read", Qasm, &Row::readRate);
+  return OK ? 0 : 1;
+}

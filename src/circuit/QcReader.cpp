@@ -47,6 +47,13 @@ std::optional<Circuit> readQc(std::string_view Text,
       return It->second;
     };
 
+    if (Tokens[0] == ".v" || Tokens[0] == ".i" || Tokens[0] == ".o") {
+      if (InBody || SawEnd) {
+        Diags.error(Loc, "directive '" + Tokens[0] +
+                             "' must precede the BEGIN/END block");
+        return std::nullopt;
+      }
+    }
     if (Tokens[0] == ".v") {
       SawVars = true;
       for (size_t I = 1; I != Tokens.size(); ++I) {
@@ -105,7 +112,10 @@ std::optional<Circuit> readQc(std::string_view Text,
     } else if (Tokens[0] == "S*") {
       Kind = GateKind::Sdg;
     } else if (Tokens[0] == "Z") {
+      // Multi-operand Z is controlled-Z (target last), matching the
+      // writer and Feynman's ccz spelling `Z a b c`.
       Kind = GateKind::Z;
+      Controlled = true;
     } else {
       Diags.error(Loc, "unknown gate '" + Tokens[0] + "'");
       return std::nullopt;

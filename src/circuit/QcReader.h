@@ -9,9 +9,10 @@
 /// The accepted dialect is the subset QcWriter produces: a `.v` line
 /// naming the qubits, optional `.i`/`.o` lines (recorded but not
 /// interpreted), and a BEGIN/END block of gates spelled `tof` (X with
-/// the target last), `H`, `CH`, `T`, `T*`, `S`, `S*`, and `Z`. Unknown
-/// qubit names and malformed lines are reported through the diagnostic
-/// engine.
+/// the target last), `H`, `CH`, `T`, `T*`, `S`, `S*`, and `Z`
+/// (multi-operand Z is controlled-Z, target last). Unknown qubit
+/// names and malformed lines are reported through the diagnostic
+/// engine. docs/formats.md specifies the dialect.
 ///
 //===----------------------------------------------------------------------===//
 

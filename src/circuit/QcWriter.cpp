@@ -23,38 +23,41 @@ std::string writeQc(const Circuit &C, const CircuitLayout *Layout) {
 
   Out += "\nBEGIN\n";
   for (const Gate &G : C.Gates) {
+    // Every line is the gate mnemonic followed by its operands, controls
+    // first and target last (Mosca's convention: `tof` with k operands
+    // covers NOT, CNOT, Toffoli, and larger MCX uniformly; multi-operand
+    // `Z` is the dialect's controlled-Z). Controlled S/T, which only
+    // OpenQASM import can produce, has no spelling in the dialect: the
+    // operands are emitted anyway so the text is *rejected* on re-import
+    // rather than silently losing its controls — legalize onto a basis
+    // before emitting .qc.
     std::string Line;
     switch (G.Kind) {
     case GateKind::X:
-      // `tof` with k operands: the last is the target (Mosca's convention,
-      // covering NOT, CNOT, Toffoli, and larger MCX uniformly).
       Line = "tof";
-      for (Qubit Q : G.Controls)
-        Line += " " + qubitName(Q);
-      Line += " " + qubitName(G.Target);
       break;
     case GateKind::H:
       Line = G.Controls.empty() ? "H" : "CH";
-      for (Qubit Q : G.Controls)
-        Line += " " + qubitName(Q);
-      Line += " " + qubitName(G.Target);
       break;
     case GateKind::T:
-      Line = "T " + qubitName(G.Target);
+      Line = "T";
       break;
     case GateKind::Tdg:
-      Line = "T* " + qubitName(G.Target);
+      Line = "T*";
       break;
     case GateKind::S:
-      Line = "S " + qubitName(G.Target);
+      Line = "S";
       break;
     case GateKind::Sdg:
-      Line = "S* " + qubitName(G.Target);
+      Line = "S*";
       break;
     case GateKind::Z:
-      Line = "Z " + qubitName(G.Target);
+      Line = "Z";
       break;
     }
+    for (Qubit Q : G.Controls)
+      Line += " " + qubitName(Q);
+    Line += " " + qubitName(G.Target);
     Out += Line + "\n";
   }
   Out += "END\n";

@@ -25,6 +25,8 @@ const char *stageName(Stage S) {
     return "circuit-compile";
   case Stage::Qopt:
     return "qopt";
+  case Stage::Legalize:
+    return "legalize";
   case Stage::Estimate:
     return "estimate";
   }
@@ -138,6 +140,29 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
     return static_cast<int>(Options.StopAfter) < static_cast<int>(S);
   };
 
+  if (Options.Input == InputKind::Circuit) {
+    // Circuit-input axis: the circuit-compile stage parses interchange
+    // text instead of compiling IR; qopt, legalize, and estimate then
+    // run over it exactly as they would over a compiled circuit.
+    if (stopAfter(Stage::CircuitCompile))
+      return R;
+    bool OK = runStage(R, Stage::CircuitCompile, [&] {
+      std::optional<circuit::Circuit> C =
+          interchange::readCircuit(Source, Options.InputFormat, R.Diags);
+      if (!C)
+        return false;
+      circuit::CompileResult Parsed;
+      Parsed.Circ = std::move(*C);
+      Parsed.Layout.NumQubits = Parsed.Circ.NumQubits;
+      R.Compiled.emplace(std::move(Parsed));
+      return true;
+    });
+    if (!OK)
+      return R;
+    runBackendStages(R);
+    return R;
+  }
+
   // -- Parse. --------------------------------------------------------------
   bool OK = runStage(R, Stage::Parse, [&] {
     std::optional<ast::Program> P = frontend::parseProgram(Source, R.Diags);
@@ -208,23 +233,55 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
       }
       return true;
     });
-
-    // The qopt stage consumes the MCX-level circuit and produces
-    // Clifford+T, standing in for the Section 8.3 baselines.
-    if (QoptWillRun) {
-      runStage(R, Stage::Qopt, [&] {
-        R.Final.emplace(
-            applyCircuitOptimizer(R.Compiled->Circ, Options.CircuitOpt));
-        return true;
-      });
-    }
   }
 
-  // -- Cost analysis and resource estimation (Sections 5 and 1). -----------
-  if ((Options.AnalyzeCost || Options.EstimateResources) &&
-      !stopAfter(Stage::Estimate)) {
+  runBackendStages(R);
+  return R;
+}
+
+/// The stages downstream of circuit production, shared by the Tower and
+/// circuit input axes: the qopt baselines, gate-set legalization, and
+/// cost/resource estimation.
+void CompilationPipeline::runBackendStages(CompilationResult &R) const {
+  auto stopAfter = [&](Stage S) {
+    return static_cast<int>(Options.StopAfter) < static_cast<int>(S);
+  };
+
+  // -- The qopt stage consumes the MCX-level circuit and produces
+  // Clifford+T, standing in for the Section 8.3 baselines.
+  if (R.Compiled && Options.CircuitOpt != CircuitOptimizerKind::None &&
+      !stopAfter(Stage::Qopt) && !R.Failed) {
+    runStage(R, Stage::Qopt, [&] {
+      R.Final.emplace(
+          applyCircuitOptimizer(R.Compiled->Circ, Options.CircuitOpt));
+      return true;
+    });
+  }
+
+  // -- Gate-set legalization onto the declared target basis. Conformant
+  // circuits skip the stage (and the copy) entirely.
+  if (R.Compiled && Options.Basis && !stopAfter(Stage::Legalize) &&
+      !R.Failed && !interchange::conformsTo(*R.finalCircuit(),
+                                            *Options.Basis)) {
+    bool OK = runStage(R, Stage::Legalize, [&] {
+      std::optional<circuit::Circuit> Legal =
+          interchange::legalize(*R.finalCircuit(), *Options.Basis, R.Diags);
+      if (!Legal)
+        return false;
+      R.Final.emplace(std::move(*Legal));
+      return true;
+    });
+    if (!OK)
+      return;
+  }
+
+  // -- Cost analysis and resource estimation (Sections 5 and 1). Cost
+  // figures need the lowered IR, which the circuit axis does not have.
+  bool WantCost = Options.AnalyzeCost && R.Optimized.has_value();
+  if ((WantCost || Options.EstimateResources) && !stopAfter(Stage::Estimate)
+      && !R.Failed) {
     runStage(R, Stage::Estimate, [&] {
-      if (Options.AnalyzeCost) {
+      if (WantCost) {
         if (Options.AnalyzeUnoptimized)
           R.UnoptimizedCost =
               costmodel::analyzeProgram(*R.Core, Options.Target);
@@ -235,7 +292,7 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
         if (const circuit::Circuit *Circ = R.finalCircuit()) {
           R.Resources = estimate::estimateCircuit(*Circ,
                                                   Options.SurfaceModel);
-        } else {
+        } else if (R.Optimized) {
           costmodel::Cost C =
               R.OptimizedCost
                   ? *R.OptimizedCost
@@ -250,8 +307,21 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
       return true;
     });
   }
+}
 
-  return R;
+std::string
+CompilationPipeline::renderFinalCircuit(const CompilationResult &R) const {
+  const circuit::Circuit *Circ = R.finalCircuit();
+  if (!Circ)
+    return "";
+  // Layouts describe MCX-level wires only; decomposition, qopt, and
+  // legalization add ancillas, so attach the layout exactly when the
+  // final circuit is the compiled one. The circuit axis parses into an
+  // empty layout, which stays unattached.
+  const circuit::CircuitLayout *Layout = nullptr;
+  if (!R.Final && R.Compiled && Options.Input == InputKind::Tower)
+    Layout = &R.Compiled->Layout;
+  return interchange::writeCircuit(*Circ, Options.OutputFormat, Layout);
 }
 
 CompilationResult CompilationPipeline::runFile(const std::string &Path) const {

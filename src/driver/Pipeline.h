@@ -7,12 +7,20 @@
 /// (Fig. 22 / Sections 6-8):
 ///
 ///   parse -> typecheck -> lower -> Spire-optimize -> circuit-compile
-///         -> qopt -> cost/estimate
+///         -> qopt -> legalize -> cost/estimate
 ///
 /// Each stage records wall-clock time and either produces its artifact in
 /// the staged CompilationResult or marks the run failed at that stage;
 /// all errors flow through support::DiagnosticEngine — library code never
 /// prints or exits. Downstream consumers decide how to render failures.
+///
+/// The pipeline has two input axes (PipelineOptions::Input):
+///  * Tower source (the default): the full staged sequence above.
+///  * A circuit in an interchange format (`.qc` or OpenQASM 3): the
+///    frontend stages are skipped and the circuit-compile stage *parses*
+///    the text instead, after which qopt, legalize, and estimate run as
+///    usual — the CLI's circuit-in modes (--qc-in / --qasm-in) are this
+///    axis.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +32,7 @@
 #include "circuit/Target.h"
 #include "costmodel/CostModel.h"
 #include "estimate/ResourceEstimator.h"
+#include "interchange/Interchange.h"
 #include "ir/Core.h"
 #include "lowering/Lower.h"
 #include "opt/Spire.h"
@@ -45,6 +54,7 @@ enum class Stage {
   SpireOpt,
   CircuitCompile,
   Qopt,
+  Legalize,
   Estimate,
 };
 
@@ -77,6 +87,12 @@ const char *optimizerName(CircuitOptimizerKind Kind);
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
                                        CircuitOptimizerKind Kind);
 
+/// What the source text handed to run() contains.
+enum class InputKind {
+  Tower,   ///< Tower source: the full frontend-to-backend sequence.
+  Circuit, ///< A circuit in `InputFormat`: frontend stages are skipped.
+};
+
 /// Everything that configures a pipeline run, in one place.
 struct PipelineOptions {
   /// Entry function to compile.
@@ -84,6 +100,18 @@ struct PipelineOptions {
   /// Static size (recursion depth) the entry is instantiated at; ignored
   /// for functions without a size parameter.
   int64_t Size = 0;
+
+  /// Input axis: Tower source (default) or interchange circuit text.
+  InputKind Input = InputKind::Tower;
+  /// Format the circuit text is parsed as when Input is Circuit.
+  interchange::Format InputFormat = interchange::Format::Qc;
+  /// Format renderFinalCircuit() emits.
+  interchange::Format OutputFormat = interchange::Format::Qc;
+  /// Target gate basis; when set, the legalize stage lowers the final
+  /// circuit onto it via the interchange legalizer (MCX is the no-op
+  /// basis). Gates with no exact realization in the basis fail the
+  /// stage with a diagnostic.
+  std::optional<interchange::Basis> Basis;
 
   /// Spire's program-level optimizations (Section 6).
   opt::SpireOptions Spire = opt::SpireOptions::all();
@@ -157,11 +185,13 @@ struct CompilationResult {
   std::optional<ir::CoreProgram> Optimized;   ///< After Spire rewrites.
   std::optional<costmodel::Cost> UnoptimizedCost;
   std::optional<costmodel::Cost> OptimizedCost;
-  std::optional<circuit::CompileResult> Compiled; ///< MCX level + layout.
-  /// The decomposed / qopt-optimized circuit, when a decomposition level
-  /// below MCX or a circuit optimizer was requested. At the MCX level
-  /// this stays empty (the compiled circuit is not duplicated); use
-  /// finalCircuit() to read the emitted circuit uniformly.
+  /// The compiled MCX circuit + layout — or, on the circuit-input axis,
+  /// the parsed input circuit with an empty layout.
+  std::optional<circuit::CompileResult> Compiled;
+  /// The decomposed / qopt-optimized / legalized circuit, when a stage
+  /// below the MCX level produced one. At the MCX level this stays empty
+  /// (the compiled circuit is not duplicated); use finalCircuit() to
+  /// read the emitted circuit uniformly.
   std::optional<circuit::Circuit> Final;
   std::optional<estimate::Estimate> Resources;
 
@@ -194,14 +224,23 @@ public:
 
   const PipelineOptions &options() const { return Options; }
 
-  /// Runs the staged pipeline over Tower source text.
+  /// Runs the staged pipeline over Tower source text — or over circuit
+  /// text when Options.Input is InputKind::Circuit.
   CompilationResult run(std::string_view Source) const;
 
   /// Reads `Path` and runs the pipeline over its contents. A missing or
   /// unreadable file fails the parse stage with a diagnostic.
   CompilationResult runFile(const std::string &Path) const;
 
+  /// Renders the run's final circuit in Options.OutputFormat. The wire
+  /// layout is attached only when the final circuit *is* the compiled
+  /// MCX circuit (layouts describe MCX-level wires; decomposition and
+  /// legalization add ancillas). Empty string when no circuit was built.
+  std::string renderFinalCircuit(const CompilationResult &R) const;
+
 private:
+  void runBackendStages(CompilationResult &R) const;
+
   PipelineOptions Options;
 };
 

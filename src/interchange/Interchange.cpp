@@ -1,0 +1,212 @@
+#include "interchange/Interchange.h"
+
+#include "circuit/QcReader.h"
+#include "circuit/QcWriter.h"
+#include "interchange/QasmReader.h"
+#include "interchange/QasmWriter.h"
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace spire::interchange {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+const char *formatName(Format F) {
+  switch (F) {
+  case Format::Qc:
+    return "qc";
+  case Format::Qasm3:
+    return "qasm3";
+  }
+  return "?";
+}
+
+std::optional<Format> formatFromName(const std::string &Name) {
+  if (Name == "qc")
+    return Format::Qc;
+  if (Name == "qasm3")
+    return Format::Qasm3;
+  return std::nullopt;
+}
+
+Format detectFormat(std::string_view Text) {
+  // Skip whitespace and // comments, then look at the first word. The
+  // .qc dialect opens with a .v directive (or BEGIN); QASM with
+  // OPENQASM, include, qubit, or a lower-case gate statement.
+  size_t Pos = 0;
+  auto skip = [&] {
+    for (;;) {
+      while (Pos < Text.size() &&
+             (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\r' ||
+              Text[Pos] == '\n'))
+        ++Pos;
+      if (Pos + 1 < Text.size() && Text[Pos] == '/' && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      return;
+    }
+  };
+  skip();
+  size_t End = Pos;
+  while (End < Text.size() &&
+         !std::isspace(static_cast<unsigned char>(Text[End])) &&
+         Text[End] != ';' && Text[End] != '[')
+    ++End;
+  std::string_view First = Text.substr(Pos, End - Pos);
+  if (First == "OPENQASM" || First == "include" || First == "qubit")
+    return Format::Qasm3;
+  return Format::Qc;
+}
+
+std::string writeCircuit(const Circuit &C, Format F,
+                         const circuit::CircuitLayout *Layout) {
+  switch (F) {
+  case Format::Qc:
+    return circuit::writeQc(C, Layout);
+  case Format::Qasm3:
+    return writeQasm3(C, Layout);
+  }
+  return "";
+}
+
+std::optional<Circuit> readCircuit(std::string_view Text, Format F,
+                                   support::DiagnosticEngine &Diags) {
+  switch (F) {
+  case Format::Qc:
+    return circuit::readQc(Text, Diags);
+  case Format::Qasm3:
+    return readQasm3(Text, Diags);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool isXOnly(const Circuit &C) {
+  return std::all_of(C.Gates.begin(), C.Gates.end(), [](const Gate &G) {
+    return G.Kind == GateKind::X;
+  });
+}
+
+/// SplitMix64: a tiny deterministic generator for basis-state sampling
+/// (<random> engines are not guaranteed stable across libstdc++ versions,
+/// and these samples pin CI behavior).
+uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// A random basis state over the first `Qubits` wires of a `Width`-wide
+/// register (the ancilla tail stays |0>).
+sim::BitString sampleState(unsigned Qubits, unsigned Width,
+                           uint64_t &Rng, bool AllZero) {
+  sim::BitString S(Width);
+  if (AllZero)
+    return S;
+  for (unsigned Q = 0; Q < Qubits; Q += 64) {
+    uint64_t Bits = splitMix64(Rng);
+    unsigned Chunk = std::min(64u, Qubits - Q);
+    S.write(Q, Chunk, Chunk == 64 ? Bits : (Bits & ((1ull << Chunk) - 1)));
+  }
+  return S;
+}
+
+/// True when every qubit in [From, Width) of `S` is zero.
+bool tailIsZero(const sim::BitString &S, unsigned From, unsigned Width) {
+  for (unsigned Q = From; Q != Width; ++Q)
+    if (S.get(Q))
+      return false;
+  return true;
+}
+
+std::string describeState(const sim::BitString &S, unsigned Width) {
+  std::string Out;
+  for (unsigned Q = 0; Q != Width; ++Q)
+    Out += S.get(Q) ? '1' : '0';
+  return Out; // Qubit 0 first.
+}
+
+} // namespace
+
+EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
+                                   unsigned Samples, uint64_t Seed) {
+  EquivalenceReport Report;
+  // Sample over the narrower circuit's wires; the wider one's extra
+  // wires are legalization ancillas and must stay clean.
+  unsigned Common = std::min(A.NumQubits, B.NumQubits);
+  uint64_t Rng = Seed;
+
+  if (isXOnly(A) && isXOnly(B)) {
+    for (unsigned I = 0; I != Samples; ++I) {
+      sim::BitString SA = sampleState(Common, A.NumQubits, Rng, I == 0);
+      sim::BitString SB(B.NumQubits);
+      for (unsigned Q = 0; Q != Common; ++Q)
+        SB.set(Q, SA.get(Q));
+      sim::BitString Input = SA;
+      sim::runBasis(A, SA);
+      sim::runBasis(B, SB);
+      ++Report.SamplesRun;
+      bool Match = tailIsZero(SA, Common, A.NumQubits) &&
+                   tailIsZero(SB, Common, B.NumQubits);
+      for (unsigned Q = 0; Match && Q != Common; ++Q)
+        Match = SA.get(Q) == SB.get(Q);
+      if (!Match) {
+        Report.Detail = "basis state " + describeState(Input, Common) +
+                        " maps to " + describeState(SA, A.NumQubits) +
+                        " vs " + describeState(SB, B.NumQubits);
+        return Report;
+      }
+    }
+    Report.Equivalent = true;
+    return Report;
+  }
+
+  // State-vector path for circuits with H or phase gates: exact up to
+  // global phase, but exponential in superposition size — callers keep
+  // these circuits small (decomposition tests, --check-equiv on toys).
+  for (unsigned I = 0; I != Samples; ++I) {
+    sim::BitString SA = sampleState(Common, A.NumQubits, Rng, I == 0);
+    sim::BitString SB(B.NumQubits);
+    for (unsigned Q = 0; Q != Common; ++Q)
+      SB.set(Q, SA.get(Q));
+    sim::SparseState FA = sim::runState(A, SA);
+    sim::SparseState FB = sim::runState(B, SB);
+    ++Report.SamplesRun;
+    // Project the wider state onto the common wires, insisting the
+    // ancilla tail is exactly |0> in every branch.
+    auto project = [&](const sim::SparseState &S, unsigned Width,
+                       sim::SparseState &Out) {
+      for (const auto &[Basis, Amp] : S) {
+        if (!tailIsZero(Basis, Common, Width))
+          return false;
+        sim::BitString Narrow(Common);
+        for (unsigned Q = 0; Q != Common; ++Q)
+          Narrow.set(Q, Basis.get(Q));
+        Out[Narrow] += Amp;
+      }
+      return true;
+    };
+    sim::SparseState PA, PB;
+    bool Match = project(FA, A.NumQubits, PA) &&
+                 project(FB, B.NumQubits, PB) &&
+                 sim::statesEquivalent(PA, PB);
+    if (!Match) {
+      Report.Detail = "states diverge from basis state " +
+                      describeState(SA, Common);
+      return Report;
+    }
+  }
+  Report.Equivalent = true;
+  return Report;
+}
+
+} // namespace spire::interchange

@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interchange subsystem's front door: one enum naming every circuit
+/// text format the compiler speaks, read/write dispatch over it, and
+/// simulation-backed equivalence checking — the cross-format correctness
+/// oracle that round-trip tests, the CLI's --check-equiv mode, and CI use
+/// to prove that an exported circuit re-imports to the same behavior.
+///
+/// Formats:
+///   Qc     the `.qc` dialect of the Feynman toolkit (circuit/QcReader,
+///          circuit/QcWriter) — the paper's native output format.
+///   Qasm3  the OpenQASM 3 subset of interchange/QasmReader and
+///          interchange/QasmWriter.
+///
+/// Equivalence: two circuits are compared on sampled basis states. X-only
+/// (classical reversible) circuits — every compiled Tower program without
+/// `h` — run through sim::runBasis, which scales to whole-benchmark
+/// circuits; anything with H or phase gates falls back to the sparse
+/// state-vector simulator and sim::statesEquivalent (small circuits
+/// only). A circuit with *more* qubits than the other (legalization adds
+/// ancillas) is accepted when the extra wires start at |0> and return to
+/// |0>, which is exactly the clean-ancilla contract of the decompose
+/// ladder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_INTERCHANGE_INTERCHANGE_H
+#define SPIRE_INTERCHANGE_INTERCHANGE_H
+
+#include "circuit/Compiler.h"
+#include "interchange/Legalize.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spire::interchange {
+
+/// A circuit text format the compiler can read and write.
+enum class Format {
+  Qc,    ///< Feynman-toolkit `.qc` (the paper's Section 7 output).
+  Qasm3, ///< OpenQASM 3 subset (docs/formats.md).
+};
+
+/// Short lower-case format name as spelled on the command line
+/// ("qc" / "qasm3").
+const char *formatName(Format F);
+
+/// Parses an `--emit` format spelling (qc | qasm3).
+std::optional<Format> formatFromName(const std::string &Name);
+
+/// Guesses the format of circuit text: OpenQASM when the first
+/// non-comment content is an `OPENQASM` / `include` / `qubit` line,
+/// `.qc` otherwise. Used by --check-equiv, which accepts either.
+Format detectFormat(std::string_view Text);
+
+/// Renders a circuit in the format. The layout, when provided, marks the
+/// input/output registers (`.i`/`.o` lines in `.qc`, comments in QASM).
+std::string writeCircuit(const circuit::Circuit &C, Format F,
+                         const circuit::CircuitLayout *Layout = nullptr);
+
+/// Parses circuit text in the format. Returns std::nullopt and reports
+/// diagnostics on malformed input.
+std::optional<circuit::Circuit> readCircuit(std::string_view Text, Format F,
+                                            support::DiagnosticEngine &Diags);
+
+/// Outcome of an equivalence check over sampled basis states.
+struct EquivalenceReport {
+  bool Equivalent = false;
+  unsigned SamplesRun = 0;
+  /// Human-readable mismatch description (empty when Equivalent).
+  std::string Detail;
+};
+
+/// Checks that `A` and `B` act identically on `Samples` deterministically
+/// sampled basis states (seeded by `Seed`; the all-zero state is always
+/// among them). Qubit-count differences are tolerated per the ancilla
+/// contract described above.
+EquivalenceReport checkEquivalence(const circuit::Circuit &A,
+                                   const circuit::Circuit &B,
+                                   unsigned Samples = 32,
+                                   uint64_t Seed = 0x5eedc1c5u);
+
+} // namespace spire::interchange
+
+#endif // SPIRE_INTERCHANGE_INTERCHANGE_H

@@ -1,0 +1,148 @@
+#include "interchange/Legalize.h"
+
+#include "decompose/Decompose.h"
+
+namespace spire::interchange {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+const char *basisName(Basis B) {
+  switch (B) {
+  case Basis::MCX:
+    return "mcx";
+  case Basis::Toffoli:
+    return "toffoli";
+  case Basis::CX:
+    return "cx";
+  }
+  return "?";
+}
+
+std::optional<Basis> basisFromName(const std::string &Name) {
+  if (Name == "mcx")
+    return Basis::MCX;
+  if (Name == "toffoli")
+    return Basis::Toffoli;
+  if (Name == "cx")
+    return Basis::CX;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Control-count limit of one gate kind under a (non-MCX) basis.
+unsigned controlLimit(GateKind K, Basis B) {
+  switch (K) {
+  case GateKind::X:
+    return B == Basis::Toffoli ? 2 : 1;
+  case GateKind::H: // The primitive CH (T-cost 8) is in both bases.
+  case GateKind::Z: // CZ is Clifford and kept primitive alongside CH.
+    return 1;
+  case GateKind::S:
+  case GateKind::Sdg:
+  case GateKind::T:
+  case GateKind::Tdg:
+    return 0;
+  }
+  return 0;
+}
+
+/// Emits the exact Clifford+T expansion of a singly controlled S or Sdg:
+/// CS(a,t) = T(a) T(t) CX(a,t) Tdg(t) CX(a,t), and CSdg its reverse
+/// inverse. Both operands are symmetric (CS is diagonal).
+void emitControlledS(bool Dagger, Qubit A, Qubit T, std::vector<Gate> &Out) {
+  if (!Dagger) {
+    Out.push_back(Gate(GateKind::T, A));
+    Out.push_back(Gate(GateKind::T, T));
+    Out.push_back(Gate(GateKind::X, T, {A}));
+    Out.push_back(Gate(GateKind::Tdg, T));
+    Out.push_back(Gate(GateKind::X, T, {A}));
+  } else {
+    Out.push_back(Gate(GateKind::X, T, {A}));
+    Out.push_back(Gate(GateKind::T, T));
+    Out.push_back(Gate(GateKind::X, T, {A}));
+    Out.push_back(Gate(GateKind::Tdg, T));
+    Out.push_back(Gate(GateKind::Tdg, A));
+  }
+}
+
+/// Rewrites the controlled gates src/decompose does not know about —
+/// multi-controlled Z and singly controlled S/Sdg — into X/H/phase forms
+/// it does. Returns false with a diagnostic for gates with no exact
+/// realization.
+bool prepare(const Circuit &C, Circuit &Out,
+             support::DiagnosticEngine &Diags) {
+  Out.NumQubits = C.NumQubits;
+  for (const Gate &G : C.Gates) {
+    unsigned NC = G.numControls();
+    switch (G.Kind) {
+    case GateKind::X:
+    case GateKind::H:
+      Out.Gates.push_back(G); // decompose lowers any control count.
+      continue;
+    case GateKind::Z:
+      if (NC <= 1) {
+        Out.Gates.push_back(G);
+      } else {
+        // C^k Z = H(t) C^k X H(t); the MCX then lowers by the ladder.
+        Out.Gates.push_back(Gate(GateKind::H, G.Target));
+        Out.Gates.push_back(Gate(GateKind::X, G.Target, G.Controls));
+        Out.Gates.push_back(Gate(GateKind::H, G.Target));
+      }
+      continue;
+    case GateKind::S:
+    case GateKind::Sdg:
+      if (NC == 0) {
+        Out.Gates.push_back(G);
+        continue;
+      }
+      if (NC == 1) {
+        emitControlledS(G.Kind == GateKind::Sdg, G.Controls[0], G.Target,
+                        Out.Gates);
+        continue;
+      }
+      Diags.error("cannot legalize " + G.str() +
+                  ": S under 2+ controls has no exact realization in "
+                  "this gate set");
+      return false;
+    case GateKind::T:
+    case GateKind::Tdg:
+      if (NC == 0) {
+        Out.Gates.push_back(G);
+        continue;
+      }
+      Diags.error("cannot legalize " + G.str() +
+                  ": controlled T is not exactly representable in "
+                  "Clifford+T");
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool conformsTo(const Circuit &C, Basis B) {
+  if (B == Basis::MCX)
+    return true;
+  for (const Gate &G : C.Gates)
+    if (G.numControls() > controlLimit(G.Kind, B))
+      return false;
+  return true;
+}
+
+std::optional<Circuit> legalize(const Circuit &C, Basis B,
+                                support::DiagnosticEngine &Diags) {
+  if (B == Basis::MCX || conformsTo(C, B))
+    return C;
+  Circuit Pre;
+  if (!prepare(C, Pre, Diags))
+    return std::nullopt;
+  return B == Basis::Toffoli ? decompose::toToffoli(Pre)
+                             : decompose::toCliffordT(Pre);
+}
+
+} // namespace spire::interchange

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gate-set legalization: lowering a circuit onto the declared basis of an
+/// interchange target. Mainstream toolchains rarely accept arbitrary
+/// multiply-controlled gates, so before a circuit is exported to (or after
+/// it is imported from) OpenQASM it can be legalized onto a named basis,
+/// reusing the decomposition ladder of src/decompose:
+///
+///   mcx      arbitrary control counts — no lowering (the compiler's
+///            native MCX level).
+///   toffoli  X with at most 2 controls; H, Z with at most 1 (the CH and
+///            CZ primitives); phase gates uncontrolled. MCX gates expand
+///            by the Barenco AND-ladder (decompose::toToffoli).
+///   cx       X with at most 1 control: the full decompose::toCliffordT
+///            ladder down to {X, CX, H, CH, CZ, S, Sdg, T, Tdg, Z}.
+///
+/// Beyond delegating X/H lowering to src/decompose, the legalizer itself
+/// lowers the controlled gates only OpenQASM import can introduce:
+/// multi-controlled Z by H-conjugation to an MCX, and singly controlled
+/// S/Sdg by the exact 2-CNOT Clifford+T identity. A controlled T (or an
+/// S under 2+ controls) has no exact Clifford+T realization and is
+/// reported as a diagnostic — legalization never silently approximates.
+///
+/// legalize() is idempotent and conformsTo() lets callers (and the
+/// driver's legalize stage) skip the copy when a circuit already fits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_INTERCHANGE_LEGALIZE_H
+#define SPIRE_INTERCHANGE_LEGALIZE_H
+
+#include "circuit/Gate.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace spire::interchange {
+
+/// A named target gate basis, ordered from least to most lowered.
+enum class Basis {
+  MCX,     ///< Arbitrary control counts (no legalization).
+  Toffoli, ///< X with <= 2 controls (Clifford+Toffoli level).
+  CX,      ///< X with <= 1 control (Clifford+T level, CH/CZ primitive).
+};
+
+/// Short lower-case basis name as spelled on the command line.
+const char *basisName(Basis B);
+
+/// Parses a `--basis` spelling (mcx | toffoli | cx).
+std::optional<Basis> basisFromName(const std::string &Name);
+
+/// True when every gate of `C` fits the basis.
+bool conformsTo(const circuit::Circuit &C, Basis B);
+
+/// Lowers `C` onto the basis. Already-conformant circuits are returned
+/// unchanged (modulo the copy). Returns std::nullopt with a diagnostic
+/// for gates with no exact realization in the basis (controlled T,
+/// multiply controlled S).
+std::optional<circuit::Circuit> legalize(const circuit::Circuit &C, Basis B,
+                                         support::DiagnosticEngine &Diags);
+
+} // namespace spire::interchange
+
+#endif // SPIRE_INTERCHANGE_LEGALIZE_H

@@ -1,0 +1,156 @@
+#include "interchange/QasmLexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace spire::interchange {
+
+QasmLexer::QasmLexer(std::string_view Text, support::DiagnosticEngine &Diags)
+    : Text(Text), Diags(Diags) {
+  Lookahead = lex();
+}
+
+QasmToken QasmLexer::next() {
+  QasmToken T = Lookahead;
+  if (T.Kind != QasmTokenKind::End && T.Kind != QasmTokenKind::Invalid)
+    Lookahead = lex();
+  return T;
+}
+
+void QasmLexer::advance() {
+  if (Pos >= Text.size())
+    return;
+  if (Text[Pos] == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  ++Pos;
+}
+
+bool QasmLexer::skipTrivia() {
+  for (;;) {
+    char C = current();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+      while (current() != '\0' && current() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+      support::SourceLoc Open{Line, Column};
+      advance();
+      advance();
+      while (current() != '\0' &&
+             !(current() == '*' && Pos + 1 < Text.size() &&
+               Text[Pos + 1] == '/'))
+        advance();
+      if (current() == '\0') {
+        Diags.error(Open, "unterminated block comment");
+        return false;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return true;
+  }
+}
+
+QasmToken QasmLexer::lex() {
+  QasmToken T;
+  if (!skipTrivia()) {
+    T.Kind = QasmTokenKind::Invalid;
+    T.Loc = support::SourceLoc{Line, Column};
+    return T;
+  }
+  T.Loc = support::SourceLoc{Line, Column};
+  char C = current();
+
+  if (C == '\0') {
+    T.Kind = QasmTokenKind::End;
+    return T;
+  }
+
+  auto symbol = [&](QasmTokenKind K) {
+    T.Kind = K;
+    T.Text = std::string(1, C);
+    advance();
+    return T;
+  };
+  switch (C) {
+  case '[':
+    return symbol(QasmTokenKind::LBracket);
+  case ']':
+    return symbol(QasmTokenKind::RBracket);
+  case '(':
+    return symbol(QasmTokenKind::LParen);
+  case ')':
+    return symbol(QasmTokenKind::RParen);
+  case ',':
+    return symbol(QasmTokenKind::Comma);
+  case ';':
+    return symbol(QasmTokenKind::Semicolon);
+  case '@':
+    return symbol(QasmTokenKind::At);
+  default:
+    break;
+  }
+
+  if (C == '"') {
+    advance();
+    while (current() != '\0' && current() != '"' && current() != '\n') {
+      T.Text += current();
+      advance();
+    }
+    if (current() != '"') {
+      Diags.error(T.Loc, "unterminated string literal");
+      T.Kind = QasmTokenKind::Invalid;
+      return T;
+    }
+    advance();
+    T.Kind = QasmTokenKind::String;
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    while (std::isdigit(static_cast<unsigned char>(current()))) {
+      T.Text += current();
+      advance();
+    }
+    if (current() == '.') {
+      // A real literal: only the `OPENQASM 3.0;` version line uses one.
+      T.Text += current();
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(current()))) {
+        T.Text += current();
+        advance();
+      }
+      T.Kind = QasmTokenKind::Real;
+      return T;
+    }
+    T.Kind = QasmTokenKind::Integer;
+    T.IntValue = std::strtoull(T.Text.c_str(), nullptr, 10);
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+    while (std::isalnum(static_cast<unsigned char>(current())) ||
+           current() == '_' || current() == '$') {
+      T.Text += current();
+      advance();
+    }
+    T.Kind = QasmTokenKind::Identifier;
+    return T;
+  }
+
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  T.Kind = QasmTokenKind::Invalid;
+  return T;
+}
+
+} // namespace spire::interchange

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the OpenQASM 3 subset accepted by interchange::readQasm3:
+/// identifiers, integer and real literals, string literals (for
+/// `include`), the punctuation of gate statements and declarations, and
+/// the `@` of gate modifiers. Line comments (`//`) and block comments
+/// (`/* */`) are skipped. Every token carries a SourceLoc so the reader's
+/// diagnostics point at the offending text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_INTERCHANGE_QASMLEXER_H
+#define SPIRE_INTERCHANGE_QASMLEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace spire::interchange {
+
+enum class QasmTokenKind {
+  Identifier, ///< Keywords are not distinguished; the reader matches text.
+  Integer,    ///< Decimal integer literal.
+  Real,       ///< Real literal (only in the `OPENQASM 3.0;` version line).
+  String,     ///< Double-quoted string (only after `include`).
+  LBracket,   ///< `[`
+  RBracket,   ///< `]`
+  LParen,     ///< `(`
+  RParen,     ///< `)`
+  Comma,      ///< `,`
+  Semicolon,  ///< `;`
+  At,         ///< `@`
+  End,        ///< End of input.
+  Invalid,    ///< Unrecognized byte; the lexer reports a diagnostic.
+};
+
+struct QasmToken {
+  QasmTokenKind Kind = QasmTokenKind::End;
+  std::string Text;     ///< Identifier spelling, literal text, or symbol.
+  uint64_t IntValue = 0;///< For Integer tokens.
+  support::SourceLoc Loc;
+};
+
+/// A one-token-lookahead lexer over QASM text. Invalid bytes produce a
+/// diagnostic and an Invalid token; the reader stops at the first one.
+class QasmLexer {
+public:
+  QasmLexer(std::string_view Text, support::DiagnosticEngine &Diags);
+
+  const QasmToken &peek() const { return Lookahead; }
+  QasmToken next();
+
+private:
+  QasmToken lex();
+  /// Skips whitespace and comments; false on an unterminated block
+  /// comment (already reported), which poisons the token stream.
+  bool skipTrivia();
+  char current() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  void advance();
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1, Column = 1;
+  support::DiagnosticEngine &Diags;
+  QasmToken Lookahead;
+};
+
+} // namespace spire::interchange
+
+#endif // SPIRE_INTERCHANGE_QASMLEXER_H

@@ -1,0 +1,367 @@
+#include "interchange/QasmReader.h"
+
+#include "interchange/QasmLexer.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace spire::interchange {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+namespace {
+
+/// What one gate spelling means: a kind plus the number of leading
+/// operands the alias itself treats as controls (`cx` has 1, `ccx` 2),
+/// or a swap of the last two operands (`swap`, `cswap`).
+struct GateSpelling {
+  GateKind Kind = GateKind::X;
+  unsigned AliasControls = 0;
+  bool IsSwap = false;
+};
+
+const std::map<std::string, GateSpelling, std::less<>> &spellings() {
+  static const std::map<std::string, GateSpelling, std::less<>> Table = {
+      {"x", {GateKind::X, 0, false}},    {"cx", {GateKind::X, 1, false}},
+      {"ccx", {GateKind::X, 2, false}},  {"h", {GateKind::H, 0, false}},
+      {"ch", {GateKind::H, 1, false}},   {"z", {GateKind::Z, 0, false}},
+      {"cz", {GateKind::Z, 1, false}},   {"s", {GateKind::S, 0, false}},
+      {"sdg", {GateKind::Sdg, 0, false}},{"t", {GateKind::T, 0, false}},
+      {"tdg", {GateKind::Tdg, 0, false}},
+      {"swap", {GateKind::X, 0, true}},
+      {"cswap", {GateKind::X, 1, true}},
+  };
+  return Table;
+}
+
+/// `inv @` of each kind (self-inverse kinds map to themselves).
+GateKind inverseKind(GateKind K) {
+  switch (K) {
+  case GateKind::S:
+    return GateKind::Sdg;
+  case GateKind::Sdg:
+    return GateKind::S;
+  case GateKind::T:
+    return GateKind::Tdg;
+  case GateKind::Tdg:
+    return GateKind::T;
+  default:
+    return K; // X, H, Z (and swap) are self-inverse.
+  }
+}
+
+class Reader {
+public:
+  Reader(std::string_view Text, support::DiagnosticEngine &Diags)
+      : Lexer(Text, Diags), Diags(Diags) {}
+
+  std::optional<Circuit> run();
+
+private:
+  bool statement();
+  bool versionLine();
+  bool includeLine();
+  bool qubitDecl();
+  bool gateStatement();
+  bool operand(Qubit &Out);
+  bool expect(QasmTokenKind K, const char *What);
+
+  /// Appends `Gate(Kind, Target, Controls)` after validating operand
+  /// distinctness (QASM gate operands must be pairwise distinct).
+  bool emit(GateKind Kind, Qubit Target, std::vector<Qubit> Controls,
+            support::SourceLoc Loc);
+
+  QasmLexer Lexer;
+  support::DiagnosticEngine &Diags;
+  Circuit C;
+  /// Declared registers, in declaration order: name -> (offset, width).
+  std::map<std::string, std::pair<Qubit, unsigned>> Registers;
+};
+
+bool Reader::expect(QasmTokenKind K, const char *What) {
+  QasmToken T = Lexer.next();
+  if (T.Kind == K)
+    return true;
+  Diags.error(T.Loc, std::string("expected ") + What +
+                         (T.Text.empty() ? "" : " before '" + T.Text + "'"));
+  return false;
+}
+
+bool Reader::versionLine() {
+  QasmToken Kw = Lexer.next(); // 'OPENQASM'
+  QasmToken V = Lexer.next();
+  if (V.Kind != QasmTokenKind::Integer && V.Kind != QasmTokenKind::Real) {
+    Diags.error(V.Loc, "expected version number after OPENQASM");
+    return false;
+  }
+  // Accept `3` and `3.x`; anything else is a different language level.
+  if (V.Text != "3" && V.Text.rfind("3.", 0) != 0) {
+    Diags.error(V.Loc, "unsupported OpenQASM version '" + V.Text +
+                           "' (this reader accepts 3.x)");
+    return false;
+  }
+  (void)Kw;
+  return expect(QasmTokenKind::Semicolon, "';' after the version");
+}
+
+bool Reader::includeLine() {
+  Lexer.next(); // 'include'
+  QasmToken Path = Lexer.next();
+  if (Path.Kind != QasmTokenKind::String) {
+    Diags.error(Path.Loc, "expected a quoted path after include");
+    return false;
+  }
+  // Includes are recorded but never opened: stdgates.inc is built in and
+  // any other include is outside the interchange subset anyway.
+  return expect(QasmTokenKind::Semicolon, "';' after include");
+}
+
+bool Reader::qubitDecl() {
+  QasmToken Kw = Lexer.next(); // 'qubit'
+  unsigned Width = 1;
+  if (Lexer.peek().Kind == QasmTokenKind::LBracket) {
+    Lexer.next();
+    QasmToken N = Lexer.next();
+    if (N.Kind != QasmTokenKind::Integer) {
+      Diags.error(N.Loc, "expected a register width in qubit[...]");
+      return false;
+    }
+    if (N.IntValue == 0 || N.IntValue > (1u << 24)) {
+      Diags.error(N.Loc, "unsupported register width " + N.Text);
+      return false;
+    }
+    Width = static_cast<unsigned>(N.IntValue);
+    if (!expect(QasmTokenKind::RBracket, "']' after the register width"))
+      return false;
+  }
+  QasmToken Name = Lexer.next();
+  if (Name.Kind != QasmTokenKind::Identifier) {
+    Diags.error(Name.Loc, "expected a register name in a qubit declaration");
+    return false;
+  }
+  if (Registers.count(Name.Text)) {
+    Diags.error(Name.Loc, "duplicate register '" + Name.Text + "'");
+    return false;
+  }
+  Registers[Name.Text] = {C.NumQubits, Width};
+  C.NumQubits += Width;
+  (void)Kw;
+  return expect(QasmTokenKind::Semicolon, "';' after the qubit declaration");
+}
+
+bool Reader::operand(Qubit &Out) {
+  QasmToken Name = Lexer.next();
+  if (Name.Kind != QasmTokenKind::Identifier) {
+    Diags.error(Name.Loc, "expected a qubit operand" +
+                              (Name.Text.empty()
+                                   ? std::string()
+                                   : " before '" + Name.Text + "'"));
+    return false;
+  }
+  auto It = Registers.find(Name.Text);
+  if (It == Registers.end()) {
+    Diags.error(Name.Loc, "unknown register '" + Name.Text + "'");
+    return false;
+  }
+  auto [Offset, Width] = It->second;
+  if (Lexer.peek().Kind != QasmTokenKind::LBracket) {
+    // A bare register name broadcasts in QASM 3; only width-1 registers
+    // have an unambiguous single-qubit meaning in this subset.
+    if (Width != 1) {
+      Diags.error(Name.Loc, "register '" + Name.Text +
+                                "' used without an index (broadcasting is "
+                                "outside the supported subset)");
+      return false;
+    }
+    Out = Offset;
+    return true;
+  }
+  Lexer.next();
+  QasmToken Index = Lexer.next();
+  if (Index.Kind != QasmTokenKind::Integer) {
+    Diags.error(Index.Loc, "expected a qubit index");
+    return false;
+  }
+  if (Index.IntValue >= Width) {
+    Diags.error(Index.Loc, "index " + Index.Text + " out of range for '" +
+                               Name.Text + "' of width " +
+                               std::to_string(Width));
+    return false;
+  }
+  Out = Offset + static_cast<Qubit>(Index.IntValue);
+  return expect(QasmTokenKind::RBracket, "']' after the qubit index");
+}
+
+bool Reader::emit(GateKind Kind, Qubit Target, std::vector<Qubit> Controls,
+                  support::SourceLoc Loc) {
+  std::vector<Qubit> Sorted = Controls;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (std::adjacent_find(Sorted.begin(), Sorted.end()) != Sorted.end()) {
+    Diags.error(Loc, "duplicate control qubit");
+    return false;
+  }
+  for (Qubit Q : Sorted)
+    if (Q == Target) {
+      Diags.error(Loc, "gate target repeats a control qubit");
+      return false;
+    }
+  C.add(Gate(Kind, Target, std::move(Controls)));
+  return true;
+}
+
+bool Reader::gateStatement() {
+  support::SourceLoc Loc = Lexer.peek().Loc;
+
+  // Modifiers: any sequence of `ctrl(k) @` / `inv @`.
+  unsigned ModifierControls = 0;
+  bool Inverted = false;
+  for (;;) {
+    const QasmToken &T = Lexer.peek();
+    if (T.Kind != QasmTokenKind::Identifier ||
+        (T.Text != "ctrl" && T.Text != "inv" && T.Text != "negctrl"))
+      break;
+    QasmToken Mod = Lexer.next();
+    if (Mod.Text == "negctrl") {
+      Diags.error(Mod.Loc, "negctrl is outside the supported subset");
+      return false;
+    }
+    if (Mod.Text == "ctrl") {
+      unsigned K = 1;
+      if (Lexer.peek().Kind == QasmTokenKind::LParen) {
+        Lexer.next();
+        QasmToken N = Lexer.next();
+        // Bound before the narrowing cast: a count like 2^32 must be
+        // diagnosed, not silently wrapped to 0 controls.
+        if (N.Kind != QasmTokenKind::Integer || N.IntValue == 0 ||
+            N.IntValue > (1u << 24)) {
+          Diags.error(N.Loc, "expected a positive control count in ctrl(...)");
+          return false;
+        }
+        K = static_cast<unsigned>(N.IntValue);
+        if (!expect(QasmTokenKind::RParen, "')' after the control count"))
+          return false;
+      }
+      ModifierControls += K;
+    } else {
+      Inverted = !Inverted;
+    }
+    if (!expect(QasmTokenKind::At, "'@' after a gate modifier"))
+      return false;
+  }
+
+  QasmToken Name = Lexer.next();
+  if (Name.Kind != QasmTokenKind::Identifier) {
+    Diags.error(Name.Loc, "expected a gate name");
+    return false;
+  }
+  auto It = spellings().find(Name.Text);
+  if (It == spellings().end()) {
+    Diags.error(Name.Loc, "unknown or unsupported gate '" + Name.Text + "'");
+    return false;
+  }
+  GateSpelling Spelling = It->second;
+  GateKind Kind = Inverted ? inverseKind(Spelling.Kind) : Spelling.Kind;
+
+  std::vector<Qubit> Operands;
+  for (;;) {
+    Qubit Q = 0;
+    if (!operand(Q))
+      return false;
+    Operands.push_back(Q);
+    if (Lexer.peek().Kind != QasmTokenKind::Comma)
+      break;
+    Lexer.next();
+  }
+  if (!expect(QasmTokenKind::Semicolon, "';' after the gate"))
+    return false;
+
+  unsigned Targets = Spelling.IsSwap ? 2 : 1;
+  unsigned Expected = ModifierControls + Spelling.AliasControls + Targets;
+  if (Operands.size() != Expected) {
+    Diags.error(Loc, "gate '" + Name.Text + "' expects " +
+                         std::to_string(Expected) + " operands under " +
+                         std::to_string(ModifierControls) +
+                         " ctrl modifier control(s), got " +
+                         std::to_string(Operands.size()));
+    return false;
+  }
+
+  std::vector<Qubit> Controls(
+      Operands.begin(),
+      Operands.begin() + (ModifierControls + Spelling.AliasControls));
+
+  if (Spelling.IsSwap) {
+    // swap(a, b) = cx b,a; cx a,b; cx b,a — and a controlled swap needs
+    // the controls on the middle CNOT only (the Fredkin identity), so
+    // the outer CNOTs stay cheap under deep ctrl stacks.
+    Qubit A = Operands[Operands.size() - 2];
+    Qubit B = Operands.back();
+    if (A == B) {
+      Diags.error(Loc, "swap operands must be distinct");
+      return false;
+    }
+    std::vector<Qubit> Middle = Controls;
+    Middle.push_back(B);
+    return emit(GateKind::X, B, {A}, Loc) &&
+           emit(GateKind::X, A, std::move(Middle), Loc) &&
+           emit(GateKind::X, B, {A}, Loc);
+  }
+
+  return emit(Kind, Operands.back(), std::move(Controls), Loc);
+}
+
+bool Reader::statement() {
+  const QasmToken &T = Lexer.peek();
+  if (T.Kind != QasmTokenKind::Identifier) {
+    Diags.error(T.Loc, T.Text.empty()
+                           ? std::string("expected a statement")
+                           : "expected a statement before '" + T.Text + "'");
+    return false;
+  }
+  if (T.Text == "include")
+    return includeLine();
+  if (T.Text == "qubit")
+    return qubitDecl();
+  if (T.Text == "OPENQASM") {
+    Diags.error(T.Loc, "OPENQASM version line must be the first statement");
+    return false;
+  }
+  if (T.Text == "bit" || T.Text == "creg" || T.Text == "measure" ||
+      T.Text == "reset" || T.Text == "gate" || T.Text == "if" ||
+      T.Text == "for" || T.Text == "def" || T.Text == "barrier" ||
+      T.Text == "U" || T.Text == "gphase") {
+    Diags.error(T.Loc, "'" + T.Text +
+                           "' is outside the supported OpenQASM subset "
+                           "(see docs/formats.md)");
+    return false;
+  }
+  return gateStatement();
+}
+
+std::optional<Circuit> Reader::run() {
+  if (Lexer.peek().Kind == QasmTokenKind::Identifier &&
+      Lexer.peek().Text == "OPENQASM") {
+    if (!versionLine())
+      return std::nullopt;
+  }
+  while (Lexer.peek().Kind != QasmTokenKind::End) {
+    if (Lexer.peek().Kind == QasmTokenKind::Invalid)
+      return std::nullopt; // The lexer already reported it.
+    if (!statement())
+      return std::nullopt;
+  }
+  return std::move(C);
+}
+
+} // namespace
+
+std::optional<Circuit> readQasm3(std::string_view Text,
+                                 support::DiagnosticEngine &Diags) {
+  return Reader(Text, Diags).run();
+}
+
+} // namespace spire::interchange

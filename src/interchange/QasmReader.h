@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent reader for the OpenQASM 3 subset the compiler
+/// emits (interchange/QasmWriter) plus the standard-library aliases other
+/// toolchains commonly produce — the inverse direction of the interchange
+/// subsystem, so externally produced circuits can be legalized, optimized
+/// by the qopt passes, simulated, and re-emitted in either format.
+///
+/// Accepted grammar (statements end in `;`; `//` and `/* */` comments):
+///
+///   program   := version? statement*
+///   version   := 'OPENQASM' (INT | REAL) ';'         // must be major 3
+///   statement := 'include' STRING ';'                // recorded, not read
+///              | 'qubit' ('[' INT ']')? IDENT ';'    // registers flatten
+///              | modifier* gate operand (',' operand)* ';'
+///   modifier  := 'ctrl' ('(' INT ')')? '@'           // prepends controls
+///              | 'inv' '@'                           // s<->sdg, t<->tdg
+///   gate      := 'x'|'h'|'s'|'sdg'|'t'|'tdg'|'z'     // base gates
+///              | 'cx'|'ccx'|'cz'|'ch'                // alias + controls
+///              | 'swap'|'cswap'                      // lowered to CNOTs
+///   operand   := IDENT ('[' INT ']')?                // whole 1-qubit reg ok
+///
+/// Multiple `qubit` declarations are flattened into one contiguous index
+/// space in declaration order. `swap`/`cswap` (and `ctrl @ swap`) are
+/// lowered to the standard 3-CNOT / Fredkin form since the circuit IR has
+/// no swap primitive. Everything else of OpenQASM 3 (measurement, classical
+/// control, parametric gates, `U`, broadcasting over registers) is out of
+/// scope and reported as a diagnostic, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_INTERCHANGE_QASMREADER_H
+#define SPIRE_INTERCHANGE_QASMREADER_H
+
+#include "circuit/Gate.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+
+namespace spire::interchange {
+
+/// Parses OpenQASM 3 text into a circuit. Returns std::nullopt and
+/// reports diagnostics on malformed or out-of-subset input.
+std::optional<circuit::Circuit> readQasm3(std::string_view Text,
+                                          support::DiagnosticEngine &Diags);
+
+} // namespace spire::interchange
+
+#endif // SPIRE_INTERCHANGE_QASMREADER_H

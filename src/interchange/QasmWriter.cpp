@@ -1,0 +1,94 @@
+#include "interchange/QasmWriter.h"
+
+namespace spire::interchange {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+namespace {
+
+std::string ref(Qubit Q) { return "q[" + std::to_string(Q) + "]"; }
+
+/// `q[a..b]` for a register slice (inclusive), or `q[a]` when one wide.
+std::string rangeRef(const circuit::BitRange &R) {
+  if (R.Width == 1)
+    return ref(R.Offset);
+  return "q[" + std::to_string(R.Offset) + ".." +
+         std::to_string(R.Offset + R.Width - 1) + "]";
+}
+
+/// Base gate name for a kind with no controls.
+const char *baseName(GateKind K) {
+  switch (K) {
+  case GateKind::X:
+    return "x";
+  case GateKind::H:
+    return "h";
+  case GateKind::T:
+    return "t";
+  case GateKind::Tdg:
+    return "tdg";
+  case GateKind::S:
+    return "s";
+  case GateKind::Sdg:
+    return "sdg";
+  case GateKind::Z:
+    return "z";
+  }
+  return "?";
+}
+
+/// The stdgates alias that absorbs one or two controls, or nullptr when
+/// the kind has none (S/Sdg/T/Tdg).
+const char *aliasName(GateKind K, unsigned NumControls) {
+  switch (K) {
+  case GateKind::X:
+    return NumControls == 1 ? "cx" : NumControls == 2 ? "ccx" : nullptr;
+  case GateKind::H:
+    return NumControls == 1 ? "ch" : nullptr;
+  case GateKind::Z:
+    return NumControls == 1 ? "cz" : nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+void writeGate(std::string &Out, const Gate &G) {
+  unsigned NumControls = G.numControls();
+  const char *Alias = aliasName(G.Kind, NumControls);
+  if (NumControls != 0 && !Alias) {
+    Out += "ctrl";
+    if (NumControls > 1)
+      Out += "(" + std::to_string(NumControls) + ")";
+    Out += " @ ";
+  }
+  Out += Alias ? Alias : baseName(G.Kind);
+  Out += " ";
+  for (Qubit C : G.Controls)
+    Out += ref(C) + ", ";
+  Out += ref(G.Target) + ";\n";
+}
+
+} // namespace
+
+std::string writeQasm3(const Circuit &C,
+                       const circuit::CircuitLayout *Layout) {
+  std::string Out = "OPENQASM 3.0;\n"
+                    "include \"stdgates.inc\";\n";
+  if (Layout) {
+    for (const auto &[Name, R] : Layout->Inputs)
+      Out += "// input " + Name + ": " + rangeRef(R) + "\n";
+    Out += "// output: " + rangeRef(Layout->Output) + "\n";
+  }
+  // OpenQASM has no zero-width registers; an empty circuit is just the
+  // header (and readQasm3 accepts a program with no declaration back).
+  if (C.NumQubits != 0)
+    Out += "qubit[" + std::to_string(C.NumQubits) + "] q;\n";
+  for (const Gate &G : C.Gates)
+    writeGate(Out, G);
+  return Out;
+}
+
+} // namespace spire::interchange

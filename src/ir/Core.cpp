@@ -145,6 +145,31 @@ bool operator==(const CoreExpr &X, const CoreExpr &Y) {
 // CoreStmt
 //===----------------------------------------------------------------------===//
 
+CoreStmt::~CoreStmt() {
+  // Drain nested blocks onto an explicit worklist so destruction never
+  // recurses through the nesting (see the declaration comment). Each
+  // popped statement has its children moved out before its unique_ptr
+  // releases it, so the implicit member destructors only ever see empty
+  // Body/DoBody lists.
+  if (Body.empty() && DoBody.empty())
+    return;
+  std::vector<CoreStmtPtr> Work;
+  auto drain = [&Work](CoreStmtList &L) {
+    for (CoreStmtPtr &S : L)
+      if (S && !(S->Body.empty() && S->DoBody.empty()))
+        Work.push_back(std::move(S));
+    L.clear();
+  };
+  drain(Body);
+  drain(DoBody);
+  while (!Work.empty()) {
+    CoreStmtPtr S = std::move(Work.back());
+    Work.pop_back();
+    drain(S->Body);
+    drain(S->DoBody);
+  }
+}
+
 CoreStmtPtr CoreStmt::clone() const {
   auto S = std::make_unique<CoreStmt>();
   S->K = K;

@@ -136,6 +136,17 @@ struct CoreStmt {
   CoreStmtList Body;    ///< If / with-block.
   CoreStmtList DoBody;  ///< With do-block.
 
+  CoreStmt() = default;
+  CoreStmt(CoreStmt &&) = default;
+  CoreStmt &operator=(CoreStmt &&) = default;
+  /// Iterative (worklist) destruction: const-arg recursion lowers to IR
+  /// whose with-block nesting grows with the recursion depth, so the
+  /// default member-wise destructor would recurse once per level and
+  /// overflow the stack on deep programs. Children are drained onto an
+  /// explicit worklist instead, bounding destruction at O(1) stack depth
+  /// regardless of nesting (ir_test.cpp pins this at depth 200k).
+  ~CoreStmt();
+
   CoreStmtPtr clone() const;
   std::string str(unsigned Indent = 0) const;
 

@@ -152,3 +152,56 @@ TEST_F(IrFixture, NameGenIsFresh) {
   EXPECT_NE(A, B);
   EXPECT_EQ(A.substr(0, 3), "%cf");
 }
+
+//===----------------------------------------------------------------------===//
+// Iterative destruction: const-arg recursion lowers to IR whose
+// with-block nesting grows with the recursion depth, and the ROADMAP's
+// known limit was that destroying it recursed once per level. The
+// worklist destructor must handle nesting far beyond any stack budget.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds `Depth` with-blocks nested inside each other's do-blocks
+/// (the shape const-arg recursion produces), innermost holding one
+/// assignment. Built iteratively, inside out.
+CoreStmtPtr deeplyNestedWith(unsigned Depth, const spire::ast::Type *UInt) {
+  CoreStmtPtr Inner = CoreStmt::assign(
+      "x", UInt, CoreExpr::atom(Atom::constant(1, UInt)));
+  for (unsigned I = 0; I != Depth; ++I) {
+    CoreStmtList WithBody, DoBody;
+    WithBody.push_back(CoreStmt::skip());
+    DoBody.push_back(std::move(Inner));
+    Inner = CoreStmt::with(std::move(WithBody), std::move(DoBody));
+  }
+  return Inner;
+}
+
+} // namespace
+
+TEST_F(IrFixture, DeeplyNestedStmtDestructionDoesNotOverflow) {
+  // ~200k frames of member-wise destruction would need tens of MB of
+  // stack; the worklist destructor needs O(1).
+  CoreStmtPtr S = deeplyNestedWith(200000, UInt);
+  ASSERT_EQ(S->K, CoreStmt::Kind::With);
+  S.reset(); // Must not crash.
+}
+
+TEST_F(IrFixture, DeeplyNestedIfDestructionDoesNotOverflow) {
+  CoreStmtPtr Inner = CoreStmt::skip();
+  for (unsigned I = 0; I != 200000; ++I) {
+    CoreStmtList Body;
+    Body.push_back(std::move(Inner));
+    Inner = CoreStmt::ifStmt("c", std::move(Body));
+  }
+  Inner.reset();
+}
+
+TEST_F(IrFixture, DestructionPreservesSiblingOrderSafety) {
+  // A wide block of deep statements: every element drains through the
+  // same worklist.
+  CoreStmtList Block;
+  for (unsigned I = 0; I != 64; ++I)
+    Block.push_back(deeplyNestedWith(4000, UInt));
+  Block.clear();
+}

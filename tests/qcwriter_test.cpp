@@ -246,3 +246,98 @@ TEST(QcReader, RejectsPhaseGateWithControls) {
   EXPECT_FALSE(parseQc(".v a b\nBEGIN\nT a b\nEND\n", &Errors));
   EXPECT_NE(Errors.find("exactly one qubit"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// .qc reader error paths: every malformed construct must produce a
+// diagnostic through the engine, never a crash or a silently wrong
+// circuit (the reader is the trust boundary for external circuit text).
+//===----------------------------------------------------------------------===//
+
+TEST(QcReaderErrors, RejectsUnknownQubitInInputMarker) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a b\n.i a ghost\nBEGIN\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("unknown qubit 'ghost'"), std::string::npos)
+      << Errors;
+}
+
+TEST(QcReaderErrors, RejectsUnknownQubitInOutputMarker) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a b\n.o ghost\nBEGIN\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("unknown qubit 'ghost'"), std::string::npos)
+      << Errors;
+}
+
+TEST(QcReaderErrors, RejectsInputMarkerBeforeDeclaration) {
+  // Names in .i must already be declared; before .v nothing is.
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".i a\n.v a\nBEGIN\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("unknown qubit 'a'"), std::string::npos) << Errors;
+}
+
+TEST(QcReaderErrors, RejectsInputMarkerInsideBody) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a\nBEGIN\n.i a\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("must precede the BEGIN/END block"),
+            std::string::npos)
+      << Errors;
+}
+
+TEST(QcReaderErrors, RejectsDeclarationAfterEnd) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a\nBEGIN\nEND\n.v b\n", &Errors));
+  EXPECT_NE(Errors.find("must precede the BEGIN/END block"),
+            std::string::npos)
+      << Errors;
+}
+
+TEST(QcReaderErrors, RejectsGateWithNoOperands) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a\nBEGIN\ntof\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("needs a target qubit"), std::string::npos)
+      << Errors;
+}
+
+TEST(QcReaderErrors, RejectsBeginWithoutDeclaration) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc("BEGIN\nEND\n", &Errors));
+  EXPECT_NE(Errors.find("BEGIN before any .v"), std::string::npos)
+      << Errors;
+}
+
+TEST(QcReaderErrors, RejectsEmptyInput) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc("", &Errors));
+  EXPECT_NE(Errors.find("missing .v"), std::string::npos) << Errors;
+}
+
+TEST(QcReaderErrors, DiagnosticsCarryLineNumbers) {
+  std::string Errors;
+  EXPECT_FALSE(parseQc(".v a\nBEGIN\nfrobnicate a\nEND\n", &Errors));
+  // The unknown gate sits on line 3.
+  EXPECT_NE(Errors.find("3:"), std::string::npos) << Errors;
+}
+
+TEST(QcReaderErrors, ControlledZRoundTrips) {
+  // Multi-operand Z is controlled-Z in both directions.
+  std::optional<Circuit> C = parseQc(".v a b c\nBEGIN\nZ a b c\nEND\n");
+  ASSERT_TRUE(C.has_value());
+  ASSERT_EQ(C->Gates.size(), 1u);
+  EXPECT_EQ(C->Gates[0].Kind, GateKind::Z);
+  EXPECT_EQ(C->Gates[0].numControls(), 2u);
+  // The writer renames wires canonically but keeps the gate shape.
+  EXPECT_EQ(writeQc(*C), ".v q0 q1 q2\n\nBEGIN\nZ q0 q1 q2\nEND\n");
+}
+
+TEST(QcWriter, ControlledPhaseOperandsAreNeverDropped) {
+  // The dialect has no controlled-S/T spelling; the writer must emit
+  // the operands anyway so re-import rejects the text instead of
+  // silently producing an uncontrolled gate.
+  Circuit C;
+  C.NumQubits = 2;
+  C.Gates.push_back(Gate(GateKind::S, 1, {0}));
+  std::string Text = writeQc(C);
+  EXPECT_NE(Text.find("S q0 q1"), std::string::npos) << Text;
+  std::string Errors;
+  EXPECT_FALSE(parseQc(Text, &Errors));
+  EXPECT_NE(Errors.find("exactly one qubit"), std::string::npos) << Errors;
+}

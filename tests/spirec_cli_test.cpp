@@ -108,7 +108,41 @@ TEST(SpirecCli, MissingEntryExitsTwo) {
 TEST(SpirecCli, BadEmitLevelExitsTwo) {
   RunResult R = runSpirec(writeGoodProgram() + " --entry f --emit qasm");
   EXPECT_EQ(R.ExitCode, 2);
-  EXPECT_NE(R.Stderr.find("--emit level must be"), std::string::npos)
+  EXPECT_NE(R.Stderr.find("--emit must be"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, BadBasisNameExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f --basis qft");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--basis must be"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, QcInAndQasmInAreExclusive) {
+  RunResult R = runSpirec("--qc-in a.qc --qasm-in b.qasm");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("mutually exclusive"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, MissingQasmInputFileExitsTwo) {
+  RunResult R = runSpirec("--qasm-in /nonexistent/circ.qasm");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("cannot read"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, MalformedQasmInputExitsOne) {
+  std::string Path = ::testing::TempDir() + "spirec_cli_bad.qasm";
+  {
+    std::ofstream Out(Path);
+    Out << "OPENQASM 3.0;\nqubit[2] q;\nfrobnicate q[0];\n";
+  }
+  RunResult R = runSpirec("--qasm-in " + Path);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("unknown or unsupported gate"), std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find("circuit-compile stage"), std::string::npos)
       << R.Stderr;
 }
 
@@ -154,4 +188,22 @@ TEST(SpirecCli, GoodProgramSucceeds) {
   RunResult R = runSpirec(writeGoodProgram() + " --entry f --report");
   EXPECT_EQ(R.ExitCode, 0);
   EXPECT_EQ(R.Stderr, "") << R.Stderr;
+}
+
+TEST(SpirecCli, ReportWithCircuitInputExitsTwo) {
+  // Cost analysis needs the lowered IR, which circuit inputs lack; the
+  // old driver silently ignored --report here, the unified pipeline
+  // must reject it (dereferencing the absent cost was UB).
+  RunResult R = runSpirec("--qc-in a.qc --report");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--report needs a Tower program"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, RunWithCircuitInputExitsTwo) {
+  RunResult R = runSpirec("--qc-in a.qc --run x=1");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--run needs a Tower program"), std::string::npos)
+      << R.Stderr;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Interchange round-trip check, run by CI's roundtrip job (and usable
+# locally). For each example Tower program it:
+#
+#   1. compiles and emits the circuit in both formats (.qc, OpenQASM 3),
+#   2. re-imports each through the opposite --*-in flag and asserts
+#      basis-state equivalence via the simulator (spirec --check-equiv),
+#   3. legalizes onto the cx basis and asserts no multi-controlled gate
+#      (ctrl modifier / ccx) survives while T-complexity is preserved.
+#
+# Usage: tools/roundtrip_check.sh <path-to-spirec>
+set -euo pipefail
+
+SPIREC=${1:?usage: roundtrip_check.sh <path-to-spirec>}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# -- Example programs -------------------------------------------------------
+
+# The paper's running example (Fig. 1): list length.
+cat > "$tmp/length.tower" <<'EOF'
+type list = (uint, ptr<list>);
+fun length[n](xs: ptr<list>, acc: uint) {
+  with {
+    let is_empty <- xs == null;
+  } do if is_empty {
+    let out <- acc;
+  } else with {
+    let temp <- default<list>;
+    *xs <-> temp;
+    let next <- temp.2;
+    let r <- acc + 1;
+  } do {
+    let out <- length[n-1](next, r);
+  }
+  return out;
+}
+EOF
+
+# Nested conditionals (the Fig. 3 shape the Spire rewrites target).
+cat > "$tmp/nested.tower" <<'EOF'
+fun nested(a: bool, b: bool, x: uint) {
+  let r <- x;
+  if a {
+    if b {
+      let r2 <- r + 3;
+      r <-> r2;
+      let r2 -> x;
+    }
+  }
+  return r;
+}
+EOF
+
+# Arithmetic over words (adders and comparisons stress wide MCX).
+cat > "$tmp/arith.tower" <<'EOF'
+fun arith(a: uint, b: uint) {
+  with {
+    let s <- a + b;
+    let gt <- a < b;
+  } do if gt {
+    let out <- s + 1;
+  } else {
+    let out <- s;
+  }
+  return out;
+}
+EOF
+
+run_case() {
+  local name=$1 entry=$2 size=$3
+  local src="$tmp/$name.tower"
+  echo "== $name (entry $entry, size $size) =="
+
+  # 1. Emit both formats.
+  "$SPIREC" "$src" --entry "$entry" --size "$size" --emit qc -o "$tmp/$name.qc"
+  "$SPIREC" "$src" --entry "$entry" --size "$size" --emit qasm3 -o "$tmp/$name.qasm"
+
+  # 2. Cross-format re-import + simulator equivalence, both directions.
+  "$SPIREC" --qasm-in "$tmp/$name.qasm" --check-equiv "$tmp/$name.qc" -o /dev/null
+  "$SPIREC" --qc-in "$tmp/$name.qc" --check-equiv "$tmp/$name.qasm" -o /dev/null
+
+  # 3. The compile pipeline's own legalize stage (--basis cx): no ctrl
+  #    modifier or ccx may survive, and the re-emitted text must still
+  #    re-import cleanly.
+  "$SPIREC" "$src" --entry "$entry" --size "$size" --basis cx --emit qasm3 \
+      --timings -o "$tmp/$name.cx.qasm"
+  if grep -Eq 'ctrl|ccx' "$tmp/$name.cx.qasm"; then
+    echo "FAIL: multi-controlled gates survived --basis cx for $name" >&2
+    exit 1
+  fi
+  "$SPIREC" --qasm-in "$tmp/$name.cx.qasm" --emit qc -o /dev/null
+
+  #    Legalization must preserve T-complexity exactly (the Section 8.1
+  #    counting rule): compare the before/after figures circuit-in mode
+  #    reports on stderr ("N gates, T-complexity A -> M gates,
+  #    T-complexity B").
+  local tline tbefore tafter
+  tline=$("$SPIREC" --qc-in "$tmp/$name.qc" --basis cx -o /dev/null 2>&1 |
+          grep 'T-complexity')
+  tbefore=$(echo "$tline" | sed -E 's/.*T-complexity ([0-9]+) ->.*/\1/')
+  tafter=$(echo "$tline" | sed -E 's/.*-> .*T-complexity ([0-9]+).*/\1/')
+  if [ -z "$tbefore" ] || [ "$tbefore" != "$tafter" ]; then
+    echo "FAIL: --basis cx changed T-complexity for $name: $tline" >&2
+    exit 1
+  fi
+
+  # 4. Emission is a fixpoint: qasm3 -> reader -> writer reproduces the
+  #    gate body byte-for-byte (layout comments are not circuit content).
+  "$SPIREC" --qasm-in "$tmp/$name.qasm" --emit qasm3 -o "$tmp/$name.2.qasm"
+  if ! diff <(grep -v '^//' "$tmp/$name.qasm") "$tmp/$name.2.qasm" >/dev/null; then
+    echo "FAIL: qasm3 emission is not a fixpoint for $name" >&2
+    exit 1
+  fi
+}
+
+run_case length length 3
+run_case nested nested 0
+run_case arith arith 0
+
+echo "round-trip check: all example programs pass"

@@ -8,15 +8,22 @@
 ///
 /// Usage:
 ///   spirec <file.tower> --entry <fun> [--size N] [options]
-///   spirec --qc-in <file.qc> [--circuit-opt <name>] [--emit <level>]
-///          [-o <path>]
+///   spirec --qc-in <file.qc> | --qasm-in <file.qasm> [options]
 ///
 /// Modes (combinable):
 ///   --report              print the cost-model analysis (MCX- and
 ///                         T-complexity) before and after optimization
-///   --emit <level>        write the compiled circuit in .qc format;
-///                         level is one of mcx | toffoli | cliffordt
+///   --emit <fmt>          write the compiled circuit; fmt is qc or qasm3
+///                         (legacy gate-level spellings mcx | toffoli |
+///                         cliffordt are still accepted and mean .qc at
+///                         that level)
+///   --basis <name>        legalize the circuit onto a gate basis before
+///                         emission: mcx | toffoli | cx
 ///   -o <path>             output path for --emit (default: stdout)
+///   --check-equiv <file>  after the run, check the final circuit is
+///                         behaviorally equivalent (sampled basis states,
+///                         via the simulator) to the circuit in <file>
+///                         (.qc or OpenQASM 3, auto-detected)
 ///   --run k=v,k=v         interpret the program on a machine state with
 ///                         the given input registers and print the output
 ///   --dump-ir             print the (optimized) core IR
@@ -36,16 +43,14 @@
 ///                         peephole | rotation | cliffordt-cancel |
 ///                         toffoli-cancel | exhaustive
 ///
-/// Exit status: 0 on success, 1 on a compile or runtime error, 2 on a
-/// command-line error (always with a diagnostic on stderr).
+/// Exit status: 0 on success, 1 on a compile, runtime, or equivalence
+/// error, 2 on a command-line error (always with a diagnostic on stderr).
 /// docs/cli.md documents every flag and mode; keep the two in sync.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "circuit/QcReader.h"
-#include "circuit/QcWriter.h"
-#include "decompose/Decompose.h"
 #include "driver/Pipeline.h"
+#include "interchange/Interchange.h"
 #include "sim/Interpreter.h"
 
 #include <cstdio>
@@ -63,12 +68,13 @@ namespace {
 
 struct Options {
   std::string InputPath;
-  std::string QcInPath;
+  std::string CircuitInPath; ///< --qc-in / --qasm-in path.
   bool Report = false;
   bool DumpIR = false;
   bool Timings = false;
-  std::string EmitLevel; ///< "", "mcx", "toffoli", "cliffordt".
+  bool WantEmit = false; ///< --emit (or --basis / circuit-in) given.
   std::string OutputPath;
+  std::string CheckEquivPath;
   std::optional<std::string> RunInputs;
   std::string CircuitOpt;
   driver::PipelineOptions Pipeline;
@@ -77,15 +83,20 @@ struct Options {
 // Keep this text in sync with parseArgs and docs/cli.md.
 const char UsageText[] =
     "usage: spirec <file.tower> --entry <fun> [--size N] [options]\n"
-    "       spirec --qc-in <file.qc> [--circuit-opt <name>] "
-    "[--emit <level>] [-o <path>]\n"
+    "       spirec --qc-in <file.qc> | --qasm-in <file.qasm> [options]\n"
     "\n"
     "modes (combinable):\n"
     "  --report                  print the cost-model analysis before and\n"
     "                            after optimization\n"
-    "  --emit mcx|toffoli|cliffordt\n"
-    "                            write the compiled circuit in .qc format\n"
+    "  --emit qc|qasm3           write the compiled circuit in the given\n"
+    "                            format (legacy levels mcx|toffoli|cliffordt\n"
+    "                            mean .qc at that gate level)\n"
+    "  --basis mcx|toffoli|cx    legalize the circuit onto a gate basis\n"
+    "                            before emission\n"
     "  -o <path>                 output path for --emit (default: stdout)\n"
+    "  --check-equiv <file>      check the final circuit is behaviorally\n"
+    "                            equivalent to the circuit in <file>\n"
+    "                            (sampled basis states, via the simulator)\n"
     "  --run k=v,k=v             interpret the program on the given input\n"
     "                            registers and print the output\n"
     "  --dump-ir                 print the (optimized) core IR\n"
@@ -110,10 +121,13 @@ const char UsageText[] =
     "                            baseline\n"
     "  --qc-in <file.qc>         circuit-in mode: load a .qc circuit\n"
     "                            instead of compiling a Tower program\n"
+    "  --qasm-in <file.qasm>     circuit-in mode: load an OpenQASM 3\n"
+    "                            circuit (see docs/formats.md)\n"
     "  --help, -h                print this help and exit\n"
     "\n"
-    "exit status: 0 on success, 1 on a compile or runtime error, 2 on a\n"
-    "command-line error (always with a diagnostic on stderr).\n";
+    "exit status: 0 on success, 1 on a compile, runtime, or equivalence\n"
+    "error, 2 on a command-line error (always with a diagnostic on "
+    "stderr).\n";
 
 [[noreturn]] void usageError(const char *Message) {
   std::fprintf(stderr, "spirec: error: %s\n", Message);
@@ -147,8 +161,45 @@ circuitOptKind(const std::string &Name) {
   return std::nullopt;
 }
 
+/// Applies one --emit spelling: a format (qc | qasm3) or a legacy gate
+/// level (mcx | toffoli | cliffordt), which means .qc at that level. On
+/// the circuit-input axis a legacy level maps to the equivalent --basis
+/// (the level decompositions are exactly the legalizer's bases).
+void applyEmitSpec(const std::string &Spec, bool CircuitIn, bool HasBasis,
+                   driver::PipelineOptions &Pipe) {
+  if (std::optional<interchange::Format> F =
+          interchange::formatFromName(Spec)) {
+    Pipe.OutputFormat = *F;
+    return;
+  }
+  driver::CircuitLevel Level;
+  interchange::Basis Basis;
+  if (Spec == "mcx") {
+    Level = driver::CircuitLevel::MCX;
+    Basis = interchange::Basis::MCX;
+  } else if (Spec == "toffoli") {
+    Level = driver::CircuitLevel::Toffoli;
+    Basis = interchange::Basis::Toffoli;
+  } else if (Spec == "cliffordt") {
+    Level = driver::CircuitLevel::CliffordT;
+    Basis = interchange::Basis::CX;
+  } else {
+    usageError("--emit must be qc, qasm3, or a legacy gate level "
+               "(mcx, toffoli, cliffordt)");
+  }
+  if (CircuitIn) {
+    if (HasBasis)
+      usageError("--basis and a legacy --emit level are mutually "
+                 "exclusive; use --emit qc|qasm3 with --basis");
+    Pipe.Basis = Basis;
+  } else {
+    Pipe.EmitLevel = Level;
+  }
+}
+
 Options parseArgs(int Argc, char **Argv) {
   Options Opts;
+  std::string QcInPath, QasmInPath, EmitSpec, BasisName;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto next = [&](const char *What) -> const char * {
@@ -171,9 +222,13 @@ Options parseArgs(int Argc, char **Argv) {
     else if (Arg == "--timings")
       Opts.Timings = true;
     else if (Arg == "--emit")
-      Opts.EmitLevel = next("--emit");
+      EmitSpec = next("--emit");
+    else if (Arg == "--basis")
+      BasisName = next("--basis");
     else if (Arg == "-o")
       Opts.OutputPath = next("-o");
+    else if (Arg == "--check-equiv")
+      Opts.CheckEquivPath = next("--check-equiv");
     else if (Arg == "--run")
       Opts.RunInputs = next("--run");
     else if (Arg == "--no-flatten")
@@ -197,7 +252,9 @@ Options parseArgs(int Argc, char **Argv) {
     else if (Arg == "--circuit-opt")
       Opts.CircuitOpt = next("--circuit-opt");
     else if (Arg == "--qc-in")
-      Opts.QcInPath = next("--qc-in");
+      QcInPath = next("--qc-in");
+    else if (Arg == "--qasm-in")
+      QasmInPath = next("--qasm-in");
     else if (!Arg.empty() && Arg[0] == '-')
       usageError((std::string("unknown option ") + Arg).c_str());
     else if (Opts.InputPath.empty())
@@ -205,20 +262,50 @@ Options parseArgs(int Argc, char **Argv) {
     else
       usageError("multiple input files");
   }
-  if (!Opts.QcInPath.empty()) {
+
+  if (!QcInPath.empty() && !QasmInPath.empty())
+    usageError("--qc-in and --qasm-in are mutually exclusive");
+  if (!QcInPath.empty() || !QasmInPath.empty()) {
     if (!Opts.InputPath.empty() || !Opts.Pipeline.Entry.empty())
-      usageError("--qc-in is exclusive with a Tower input file");
+      usageError("circuit-in mode (--qc-in / --qasm-in) is exclusive "
+                 "with a Tower input file");
+    Opts.CircuitInPath = QcInPath.empty() ? QasmInPath : QcInPath;
+    Opts.Pipeline.Input = driver::InputKind::Circuit;
+    Opts.Pipeline.InputFormat = QcInPath.empty()
+                                    ? interchange::Format::Qasm3
+                                    : interchange::Format::Qc;
+    // Cost analysis and interpretation need the lowered IR, which a
+    // circuit input does not have.
+    if (Opts.Report)
+      usageError("--report needs a Tower program, not a circuit input");
+    if (Opts.RunInputs)
+      usageError("--run needs a Tower program, not a circuit input");
+    if (Opts.DumpIR)
+      usageError("--dump-ir needs a Tower program, not a circuit input");
   } else {
     if (Opts.InputPath.empty())
       usageError("no input file");
     if (Opts.Pipeline.Entry.empty())
       usageError("--entry is required");
   }
-  if (!Opts.EmitLevel.empty() && Opts.EmitLevel != "mcx" &&
-      Opts.EmitLevel != "toffoli" && Opts.EmitLevel != "cliffordt")
-    usageError("--emit level must be mcx, toffoli, or cliffordt");
+
+  if (!EmitSpec.empty())
+    applyEmitSpec(EmitSpec, Opts.Pipeline.Input == driver::InputKind::Circuit,
+                  !BasisName.empty(), Opts.Pipeline);
+  if (!BasisName.empty()) {
+    std::optional<interchange::Basis> B =
+        interchange::basisFromName(BasisName);
+    if (!B)
+      usageError("--basis must be mcx, toffoli, or cx");
+    Opts.Pipeline.Basis = *B;
+  }
   if (!Opts.CircuitOpt.empty() && !circuitOptKind(Opts.CircuitOpt))
     usageError("unknown --circuit-opt name");
+
+  // Emission happens in circuit-in mode, under --emit, or when --basis
+  // asked for a legalized circuit (default format: qc).
+  Opts.WantEmit = Opts.Pipeline.Input == driver::InputKind::Circuit ||
+                  !EmitSpec.empty() || !BasisName.empty();
   return Opts;
 }
 
@@ -255,40 +342,41 @@ void writeOutput(const Options &Opts, const std::string &Text) {
   Out << Text;
 }
 
-/// Circuit-in mode: load a .qc, optionally optimize, re-emit.
-int runQcMode(const Options &Opts) {
-  std::ifstream In(Opts.QcInPath);
+/// Reads a whole file, or exits 2 (missing inputs are CLI errors).
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path);
   if (!In) {
-    std::fprintf(stderr, "spirec: error: cannot read %s\n",
-                 Opts.QcInPath.c_str());
-    return 2;
+    std::fprintf(stderr, "spirec: error: cannot read %s\n", Path.c_str());
+    std::exit(2);
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// --check-equiv: compares the run's final circuit against the circuit
+/// in `Path` (format auto-detected) on sampled basis states. Returns the
+/// process exit code.
+int checkEquivalence(const circuit::Circuit &Final, const std::string &Path) {
+  std::string Text = readFileOrDie(Path);
   support::DiagnosticEngine Diags;
-  std::optional<circuit::Circuit> Circ = circuit::readQc(Buffer.str(), Diags);
-  if (!Circ) {
+  std::optional<circuit::Circuit> Other = interchange::readCircuit(
+      Text, interchange::detectFormat(Text), Diags);
+  if (!Other) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::fprintf(stderr, "spirec: error: cannot parse %s\n", Path.c_str());
     return 1;
   }
-  circuit::GateCounts Before = circuit::countGates(*Circ);
-  if (!Opts.CircuitOpt.empty()) {
-    *Circ = driver::applyCircuitOptimizer(*Circ,
-                                          *circuitOptKind(Opts.CircuitOpt));
-  } else if (Opts.EmitLevel == "toffoli") {
-    *Circ = decompose::toToffoli(*Circ);
-  } else if (Opts.EmitLevel == "cliffordt") {
-    *Circ = decompose::toCliffordT(*Circ);
+  interchange::EquivalenceReport Report =
+      interchange::checkEquivalence(Final, *Other);
+  if (!Report.Equivalent) {
+    std::fprintf(stderr,
+                 "spirec: error: circuits are NOT equivalent (%s)\n",
+                 Report.Detail.c_str());
+    return 1;
   }
-  circuit::GateCounts After = circuit::countGates(*Circ);
-  std::fprintf(stderr,
-               "spirec: %lld gates, T-complexity %lld -> %lld gates, "
-               "T-complexity %lld\n",
-               static_cast<long long>(Before.Total),
-               static_cast<long long>(Before.TComplexity),
-               static_cast<long long>(After.Total),
-               static_cast<long long>(After.TComplexity));
-  writeOutput(Opts, circuit::writeQc(*Circ));
+  std::fprintf(stderr, "spirec: equivalent on %u sampled basis states\n",
+               Report.SamplesRun);
   return 0;
 }
 
@@ -296,37 +384,19 @@ int runQcMode(const Options &Opts) {
 
 int main(int Argc, char **Argv) {
   Options Opts = parseArgs(Argc, Argv);
-
-  if (!Opts.QcInPath.empty())
-    return runQcMode(Opts);
+  driver::PipelineOptions &Pipe = Opts.Pipeline;
+  bool CircuitIn = Pipe.Input == driver::InputKind::Circuit;
 
   // A missing or unreadable input file is a command-line error. Read it
   // once here; the pipeline then runs over the in-memory source.
-  std::string Source;
-  {
-    std::ifstream In(Opts.InputPath);
-    if (!In) {
-      std::fprintf(stderr, "spirec: error: cannot read %s\n",
-                   Opts.InputPath.c_str());
-      return 2;
-    }
-    std::stringstream Buffer;
-    Buffer << In.rdbuf();
-    Source = Buffer.str();
-  }
+  std::string Source =
+      readFileOrDie(CircuitIn ? Opts.CircuitInPath : Opts.InputPath);
 
   // -- Configure and run the unified pipeline. -----------------------------
-  driver::PipelineOptions &Pipe = Opts.Pipeline;
-  Pipe.AnalyzeCost = Opts.Report;
-  if (!Opts.EmitLevel.empty()) {
-    Pipe.BuildCircuit = true;
-    if (!Opts.CircuitOpt.empty())
-      Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
-    else if (Opts.EmitLevel == "toffoli")
-      Pipe.EmitLevel = driver::CircuitLevel::Toffoli;
-    else if (Opts.EmitLevel == "cliffordt")
-      Pipe.EmitLevel = driver::CircuitLevel::CliffordT;
-  }
+  Pipe.AnalyzeCost = Opts.Report; // Rejected in circuit-in mode above.
+  Pipe.BuildCircuit = Opts.WantEmit || !Opts.CheckEquivPath.empty();
+  if (!Opts.CircuitOpt.empty())
+    Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
 
   driver::CompilationPipeline Pipeline(Pipe);
   driver::CompilationResult R = Pipeline.run(Source);
@@ -355,7 +425,7 @@ int main(int Argc, char **Argv) {
                 static_cast<long long>(R.OptimizedCost->T));
   }
 
-  if (Opts.DumpIR)
+  if (Opts.DumpIR && R.Optimized)
     std::printf("%s", R.Optimized->str().c_str());
 
   // -- Interpret. ----------------------------------------------------------
@@ -373,14 +443,27 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Interp.output(State)));
   }
 
-  // -- Emit the compiled circuit. ------------------------------------------
-  if (!Opts.EmitLevel.empty()) {
-    // Layouts describe MCX-level wires only; decomposition adds ancillas,
-    // so emit without input/output markers at lower levels.
-    bool MCXLevel = Opts.EmitLevel == "mcx" && Opts.CircuitOpt.empty();
-    writeOutput(Opts, circuit::writeQc(*R.finalCircuit(),
-                                       MCXLevel ? &R.Compiled->Layout
-                                                : nullptr));
+  // -- Circuit-in mode reports the gate-count change on stderr. ------------
+  if (CircuitIn && R.Compiled) {
+    circuit::GateCounts Before = circuit::countGates(R.Compiled->Circ);
+    circuit::GateCounts After = circuit::countGates(*R.finalCircuit());
+    std::fprintf(stderr,
+                 "spirec: %lld gates, T-complexity %lld -> %lld gates, "
+                 "T-complexity %lld\n",
+                 static_cast<long long>(Before.Total),
+                 static_cast<long long>(Before.TComplexity),
+                 static_cast<long long>(After.Total),
+                 static_cast<long long>(After.TComplexity));
+  }
+
+  // -- Emit the final circuit and check equivalence. -----------------------
+  if (Opts.WantEmit)
+    writeOutput(Opts, Pipeline.renderFinalCircuit(R));
+  if (!Opts.CheckEquivPath.empty()) {
+    const circuit::Circuit *Final = R.finalCircuit();
+    if (!Final)
+      usageError("--check-equiv needs a circuit (add --emit or --basis)");
+    return checkEquivalence(*Final, Opts.CheckEquivPath);
   }
   return 0;
 }
