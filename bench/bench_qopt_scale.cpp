@@ -1,0 +1,433 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Circuit optimization at scale: sweeps generated Clifford+T circuits
+/// from 10k to 1M gates through the netlist optimizer hot path
+/// (cancelAdjacentGates + phaseFold) and reports throughput per pass.
+///
+/// The pre-PR-4 cancellation was O(rounds x gates x lookahead) with a
+/// full circuit copy per round, and phase folding keyed a std::map on
+/// parity vectors; the netlist worklist and the hashed parity table make
+/// both near-linear. This bench is the regression guard: it fails
+/// (non-zero exit) if throughput at the deep end collapses superlinearly
+/// against the best observed rate, if the optimized circuit is worse
+/// than the reference passes produce, or if the stats stop accounting
+/// for the removed gates.
+///
+/// Results are also written as JSON (default `BENCH_qopt.json`, or
+/// argv[1]) — the first point of the repo's perf trajectory; pretty-print
+/// or diff runs with `tools/bench_report.py`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qopt/Passes.h"
+#include "support/Hash.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace spire;
+using namespace spire::circuit;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+// Deterministic across libstdc++ versions (this workload pins CI
+// behavior).
+using support::splitMix64;
+
+constexpr unsigned WorkloadQubits = 64;
+
+/// A random Clifford+T circuit with realistic optimizer material: CNOTs
+/// and Toffolis, phases, sparse H barriers, and ~18% adjacent duplicate
+/// pairs (what decomposed uncompute structure looks like to the
+/// cancellation pass).
+Circuit makeWorkload(uint64_t Seed, size_t NumGates) {
+  uint64_t Rng = Seed;
+  Circuit C;
+  C.NumQubits = WorkloadQubits;
+  C.Gates.reserve(NumGates);
+  auto qubit = [&] {
+    return static_cast<Qubit>(splitMix64(Rng) % WorkloadQubits);
+  };
+  while (C.Gates.size() < NumGates) {
+    Qubit T = qubit();
+    uint64_t R = splitMix64(Rng) % 100;
+    if (R < 30) {
+      Qubit A = qubit();
+      if (A == T)
+        A = (A + 1) % WorkloadQubits;
+      C.addX(T, {A});
+    } else if (R < 45) {
+      C.add(Gate(splitMix64(Rng) % 2 ? GateKind::T : GateKind::Tdg, T));
+    } else if (R < 55) {
+      uint64_t K = splitMix64(Rng) % 3;
+      C.add(Gate(K == 0 ? GateKind::S : K == 1 ? GateKind::Sdg
+                                                : GateKind::Z,
+                 T));
+    } else if (R < 62) {
+      C.addH(T);
+    } else if (R < 80 && !C.Gates.empty()) {
+      C.Gates.push_back(C.Gates.back()); // Adjacent cancellable pair.
+    } else if (R < 92) {
+      C.addX(T);
+    } else {
+      Qubit A = (T + 1 + splitMix64(Rng) % (WorkloadQubits - 1)) %
+                WorkloadQubits;
+      Qubit B = (T + 1 + splitMix64(Rng) % (WorkloadQubits - 1)) %
+                WorkloadQubits;
+      if (B == A)
+        B = (B + 1) % WorkloadQubits == T ? (B + 2) % WorkloadQubits
+                                          : (B + 1) % WorkloadQubits;
+      C.addX(T, {A, B});
+    }
+  }
+  return C;
+}
+
+/// Nested compute–uncompute mirror: a chain of pairwise non-commuting
+/// CNOTs followed by its own reversal — the shape the paper compiler's
+/// `appendReversed` uncomputation emits, and the reference pass's worst
+/// case: every copy-and-compact round peels only the innermost adjacent
+/// pair, so it needs gates/2 rounds (quadratic) where the netlist
+/// worklist cascades through the whole onion in one pass (linear).
+Circuit makeUncomputeLadder(size_t NumGates) {
+  Circuit C;
+  C.NumQubits = WorkloadQubits;
+  C.Gates.reserve(NumGates);
+  size_t Half = NumGates / 2;
+  for (size_t I = 0; I != Half; ++I) {
+    Qubit Ctl = static_cast<Qubit>(I % WorkloadQubits);
+    C.addX((Ctl + 1) % WorkloadQubits, {Ctl});
+  }
+  for (size_t I = Half; I-- > 0;)
+    C.Gates.push_back(C.Gates[I]);
+  return C;
+}
+
+/// Wire-disjoint nested mirror: X(0)..X(L-1) X(L-1)..X(0), one wire per
+/// layer. No pair shares a wire, so cancellation reach comes entirely
+/// from lookahead budget freed by inner removals — the shape that
+/// punishes an engine which only re-activates wire-neighbors (each
+/// re-seed pass would peel just ~lookahead/2 layers). The worklist also
+/// re-enqueues global-sequence neighbors, so this cancels to empty in
+/// one cascade.
+Circuit makeDisjointNest(size_t NumGates) {
+  size_t Half = NumGates / 2;
+  Circuit C;
+  C.NumQubits = static_cast<unsigned>(Half);
+  C.Gates.reserve(2 * Half);
+  for (size_t I = 0; I != Half; ++I)
+    C.addX(static_cast<Qubit>(I));
+  for (size_t I = Half; I-- > 0;)
+    C.addX(static_cast<Qubit>(I));
+  return C;
+}
+
+struct Row {
+  int64_t Gates = 0;
+  int64_t GatesOut = 0;
+  int64_t TIn = 0, TOut = 0;
+  double CancelSeconds = 0, FoldSeconds = 0;
+  int64_t CancelledPairs = 0, MergedRotations = 0;
+
+  double cancelRate() const {
+    return Gates / (CancelSeconds > 0 ? CancelSeconds : 1e-9);
+  }
+  double foldRate() const {
+    return Gates / (FoldSeconds > 0 ? FoldSeconds : 1e-9);
+  }
+};
+
+bool sweepPoint(size_t NumGates, Row &Out) {
+  Circuit C = makeWorkload(/*Seed=*/1, NumGates);
+  Out.Gates = static_cast<int64_t>(C.Gates.size());
+  Out.TIn = countGates(C).TComplexity;
+
+  qopt::OptStats Stats;
+  auto StartCancel = std::chrono::steady_clock::now();
+  Circuit Cancelled =
+      qopt::cancelAdjacentGates(C, qopt::CancelOptions::standard(), &Stats);
+  Out.CancelSeconds = secondsSince(StartCancel);
+
+  auto StartFold = std::chrono::steady_clock::now();
+  Circuit Folded = qopt::phaseFold(Cancelled, &Stats);
+  Out.FoldSeconds = secondsSince(StartFold);
+
+  Out.GatesOut = static_cast<int64_t>(Folded.Gates.size());
+  Out.TOut = countGates(Folded).TComplexity;
+  Out.CancelledPairs = Stats.CancelledPairs;
+  Out.MergedRotations = Stats.MergedRotations;
+
+  if (Out.TOut > Out.TIn) {
+    std::fprintf(stderr, "%lld gates: optimizer INCREASED T-complexity "
+                         "%lld -> %lld\n",
+                 static_cast<long long>(Out.Gates),
+                 static_cast<long long>(Out.TIn),
+                 static_cast<long long>(Out.TOut));
+    return false;
+  }
+  if (static_cast<int64_t>(C.Gates.size()) -
+          static_cast<int64_t>(Cancelled.Gates.size()) !=
+      2 * Stats.CancelledPairs) {
+    std::fprintf(stderr, "%lld gates: stats do not account for the "
+                         "removed gates\n",
+                 static_cast<long long>(Out.Gates));
+    return false;
+  }
+
+  std::printf("%9lld %9lld %9.3f %12.0f %8.3f %12.0f %10lld %9lld\n",
+              static_cast<long long>(Out.Gates),
+              static_cast<long long>(Out.GatesOut), Out.CancelSeconds,
+              Out.cancelRate(), Out.FoldSeconds, Out.foldRate(),
+              static_cast<long long>(Out.CancelledPairs),
+              static_cast<long long>(Out.MergedRotations));
+  return true;
+}
+
+/// Throughput at the deep end must stay within 4x of the best observed
+/// rate — a quadratic pass degrades ~50x over this sweep.
+bool linear(const char *Label, const std::vector<Row> &Rows,
+            double (Row::*Rate)() const) {
+  double Best = 0;
+  for (const Row &R : Rows)
+    Best = std::max(Best, (R.*Rate)());
+  double LastRate = (Rows.back().*Rate)();
+  bool OK = LastRate * 4 >= Best;
+  std::printf("%s: best %.0f gates/sec; %.0f gates/sec at %lld gates -> "
+              "%s\n",
+              Label, Best, LastRate,
+              static_cast<long long>(Rows.back().Gates),
+              OK ? "scales linearly (yes)" : "superlinear collapse (NO)");
+  return OK;
+}
+
+/// One netlist-pass point of a nest sweep (`Make` builds the circuit):
+/// the whole onion must cancel to the empty circuit, in one worklist
+/// cascade.
+bool ladderPoint(Circuit (*Make)(size_t), size_t NumGates, Row &Out) {
+  Circuit C = Make(NumGates);
+  Out.Gates = static_cast<int64_t>(C.Gates.size());
+  qopt::OptStats Stats;
+  auto Start = std::chrono::steady_clock::now();
+  Circuit Cancelled =
+      qopt::cancelAdjacentGates(C, qopt::CancelOptions::standard(), &Stats);
+  Out.CancelSeconds = secondsSince(Start);
+  Out.GatesOut = static_cast<int64_t>(Cancelled.Gates.size());
+  Out.CancelledPairs = Stats.CancelledPairs;
+  if (!Cancelled.Gates.empty()) {
+    std::fprintf(stderr, "%lld-gate uncompute ladder left %lld gates "
+                         "uncancelled\n",
+                 static_cast<long long>(Out.Gates),
+                 static_cast<long long>(Out.GatesOut));
+    return false;
+  }
+  std::printf("%9lld %9lld %9.3f %12.0f %10lld\n",
+              static_cast<long long>(Out.Gates),
+              static_cast<long long>(Out.GatesOut), Out.CancelSeconds,
+              Out.cancelRate(),
+              static_cast<long long>(Out.CancelledPairs));
+  return true;
+}
+
+/// The measured "before": the pre-netlist reference pass on the ladder,
+/// with its round cap lifted so it finishes the job the netlist pass
+/// does in one cascade. Quadratic — keep the sizes small.
+void referenceLadderPoint(size_t NumGates, double &RefSeconds) {
+  Circuit C = makeUncomputeLadder(NumGates);
+  qopt::CancelOptions Uncapped = qopt::CancelOptions::standard();
+  Uncapped.MaxRounds = static_cast<unsigned>(NumGates); // rounds = gates/2
+  auto Start = std::chrono::steady_clock::now();
+  Circuit Out = qopt::cancelAdjacentGatesReference(C, Uncapped);
+  RefSeconds = secondsSince(Start);
+  std::printf("%9lld %9zu %9.3f %12.0f   (reference, uncapped rounds)\n",
+              static_cast<long long>(NumGates), Out.Gates.size(),
+              RefSeconds,
+              NumGates / (RefSeconds > 0 ? RefSeconds : 1e-9));
+}
+
+/// Random-workload cross-check: the netlist fixpoint must be at least as
+/// strong as the reference passes' output at the small end.
+bool referenceRandomPoint(size_t NumGates, const Row &NewRow,
+                          double &RefSeconds, double &Speedup) {
+  Circuit C = makeWorkload(/*Seed=*/1, NumGates);
+  auto Start = std::chrono::steady_clock::now();
+  Circuit Cancelled =
+      qopt::cancelAdjacentGatesReference(C, qopt::CancelOptions::standard());
+  Circuit Folded = qopt::phaseFoldReference(Cancelled);
+  RefSeconds = secondsSince(Start);
+  double NewSeconds = NewRow.CancelSeconds + NewRow.FoldSeconds;
+  Speedup = RefSeconds / (NewSeconds > 0 ? NewSeconds : 1e-9);
+
+  if (static_cast<int64_t>(Folded.Gates.size()) < NewRow.GatesOut) {
+    std::fprintf(stderr, "netlist path lost optimizations: %zu gates vs "
+                         "reference %zu\n",
+                 static_cast<size_t>(NewRow.GatesOut), Folded.Gates.size());
+    return false;
+  }
+  std::printf("\nreference (pre-netlist) passes at %lld random gates: "
+              "%.3f s (netlist path: %.3f s)\n",
+              static_cast<long long>(NumGates), RefSeconds, NewSeconds);
+  return true;
+}
+
+void writeJson(const std::string &Path, const std::vector<Row> &Random,
+               const std::vector<Row> &Ladder, const std::vector<Row> &Nest,
+               const std::vector<std::pair<size_t, double>> &RefLadder,
+               double RefRandomSeconds, double LadderSpeedup,
+               bool CancelOK, bool FoldOK, bool LadderOK, bool NestOK) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"qopt_scale\",\n");
+  std::fprintf(F, "  \"qubits\": %u,\n", WorkloadQubits);
+  std::fprintf(F, "  \"random_points\": [\n");
+  for (size_t I = 0; I != Random.size(); ++I) {
+    const Row &R = Random[I];
+    std::fprintf(F,
+                 "    {\"gates\": %lld, \"gates_out\": %lld, "
+                 "\"cancel_seconds\": %.6f, \"cancel_gates_per_sec\": %.0f, "
+                 "\"fold_seconds\": %.6f, \"fold_gates_per_sec\": %.0f, "
+                 "\"t_in\": %lld, \"t_out\": %lld, "
+                 "\"cancelled_pairs\": %lld, \"merged_rotations\": %lld}%s\n",
+                 static_cast<long long>(R.Gates),
+                 static_cast<long long>(R.GatesOut), R.CancelSeconds,
+                 R.cancelRate(), R.FoldSeconds, R.foldRate(),
+                 static_cast<long long>(R.TIn),
+                 static_cast<long long>(R.TOut),
+                 static_cast<long long>(R.CancelledPairs),
+                 static_cast<long long>(R.MergedRotations),
+                 I + 1 == Random.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n  \"ladder_points\": [\n");
+  for (size_t I = 0; I != Ladder.size(); ++I) {
+    const Row &R = Ladder[I];
+    std::fprintf(F,
+                 "    {\"gates\": %lld, \"cancel_seconds\": %.6f, "
+                 "\"cancel_gates_per_sec\": %.0f}%s\n",
+                 static_cast<long long>(R.Gates), R.CancelSeconds,
+                 R.cancelRate(), I + 1 == Ladder.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n  \"nest_points\": [\n");
+  for (size_t I = 0; I != Nest.size(); ++I) {
+    const Row &R = Nest[I];
+    std::fprintf(F,
+                 "    {\"gates\": %lld, \"cancel_seconds\": %.6f, "
+                 "\"cancel_gates_per_sec\": %.0f}%s\n",
+                 static_cast<long long>(R.Gates), R.CancelSeconds,
+                 R.cancelRate(), I + 1 == Nest.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n  \"reference_ladder_points\": [\n");
+  for (size_t I = 0; I != RefLadder.size(); ++I)
+    std::fprintf(F, "    {\"gates\": %zu, \"cancel_seconds\": %.6f}%s\n",
+                 RefLadder[I].first, RefLadder[I].second,
+                 I + 1 == RefLadder.size() ? "" : ",");
+  std::fprintf(F,
+               "  ],\n  \"reference_random_seconds\": %.6f,\n"
+               "  \"ladder_speedup_at_%zu\": %.1f,\n",
+               RefRandomSeconds, RefLadder.back().first, LadderSpeedup);
+  std::fprintf(F,
+               "  \"linear\": {\"cancel\": %s, \"fold\": %s, "
+               "\"ladder\": %s, \"nest\": %s}\n}\n",
+               CancelOK ? "true" : "false", FoldOK ? "true" : "false",
+               LadderOK ? "true" : "false", NestOK ? "true" : "false");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::printf("== Circuit optimization at scale ==\n");
+  std::printf("\n-- random clifford+t workload (~18%% adjacent "
+              "duplicates) --\n");
+  std::printf("%9s %9s %9s %12s %8s %12s %10s %9s\n", "gates", "out",
+              "cancel s", "gates/sec", "fold s", "gates/sec", "pairs",
+              "merged");
+
+  const std::vector<size_t> Sizes = {10000, 30000, 100000, 300000, 1000000};
+  std::vector<Row> Random;
+  for (size_t Size : Sizes) {
+    Row R;
+    if (!sweepPoint(Size, R))
+      return 1;
+    Random.push_back(R);
+  }
+
+  double RefRandomSeconds = 0, RandomSpeedup = 0;
+  if (!referenceRandomPoint(Sizes.front(), Random.front(), RefRandomSeconds,
+                            RandomSpeedup))
+    return 1;
+
+  // The nested compute–uncompute onion: the netlist worklist cascades it
+  // away in one linear pass; the reference needs gates/2 rounds.
+  std::printf("\n-- uncompute-ladder workload (nested mirror pairs) --\n");
+  std::printf("%9s %9s %9s %12s %10s\n", "gates", "out", "cancel s",
+              "gates/sec", "pairs");
+  std::vector<Row> Ladder;
+  for (size_t Size : Sizes) {
+    Row R;
+    if (!ladderPoint(makeUncomputeLadder, Size, R))
+      return 1;
+    Ladder.push_back(R);
+  }
+  std::vector<std::pair<size_t, double>> RefLadder;
+  for (size_t Size : {3000ul, 10000ul, 30000ul}) {
+    double RefSeconds = 0;
+    referenceLadderPoint(Size, RefSeconds);
+    RefLadder.push_back({Size, RefSeconds});
+  }
+  // Speedup at the largest size the reference can stomach.
+  double NetlistAtRefSize = 0;
+  for (const Row &R : Ladder)
+    if (static_cast<size_t>(R.Gates) == RefLadder.back().first)
+      NetlistAtRefSize = R.CancelSeconds;
+  if (NetlistAtRefSize == 0) {
+    Row R;
+    if (!ladderPoint(makeUncomputeLadder, RefLadder.back().first, R))
+      return 1;
+    NetlistAtRefSize = R.CancelSeconds;
+  }
+  double LadderSpeedup =
+      RefLadder.back().second /
+      (NetlistAtRefSize > 0 ? NetlistAtRefSize : 1e-9);
+  std::printf("\nuncompute ladder at %zu gates: reference %.3f s, netlist "
+              "%.3f s -> %.0fx faster\n",
+              RefLadder.back().first, RefLadder.back().second,
+              NetlistAtRefSize, LadderSpeedup);
+
+  // Wire-disjoint nested pairs: cancellation reach comes only from
+  // freed lookahead budget; the global-neighbor re-enqueue must keep
+  // this linear (one cascade, two fixpoint passes) instead of one
+  // re-seed pass per ~64 peeled layers.
+  std::printf("\n-- disjoint-nest workload (no shared wires) --\n");
+  std::printf("%9s %9s %9s %12s %10s\n", "gates", "out", "cancel s",
+              "gates/sec", "pairs");
+  std::vector<Row> Nest;
+  for (size_t Size : Sizes) {
+    Row R;
+    if (!ladderPoint(makeDisjointNest, Size, R))
+      return 1;
+    Nest.push_back(R);
+  }
+
+  std::printf("\n");
+  bool CancelOK = linear("cancel (random)", Random, &Row::cancelRate);
+  bool FoldOK = linear("fold (random)", Random, &Row::foldRate);
+  bool LadderOK = linear("cancel (ladder)", Ladder, &Row::cancelRate);
+  bool NestOK = linear("cancel (disjoint nest)", Nest, &Row::cancelRate);
+
+  writeJson(Argc > 1 ? Argv[1] : "BENCH_qopt.json", Random, Ladder, Nest,
+            RefLadder, RefRandomSeconds, LadderSpeedup, CancelOK, FoldOK,
+            LadderOK, NestOK);
+  return CancelOK && FoldOK && LadderOK && NestOK ? 0 : 1;
+}

@@ -6,9 +6,8 @@ namespace spire::circuit {
 
 void Gate::normalize() {
   std::sort(Controls.begin(), Controls.end());
-  assert(std::adjacent_find(Controls.begin(), Controls.end()) ==
-             Controls.end() &&
-         "duplicate control qubit");
+  Controls.erase(std::unique(Controls.begin(), Controls.end()),
+                 Controls.end());
   assert(std::find(Controls.begin(), Controls.end(), Target) ==
              Controls.end() &&
          "gate target cannot also be a control");

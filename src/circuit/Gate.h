@@ -11,6 +11,12 @@
 /// primitive whose T-cost is c_CH = 8 (Lee et al. 2021), exactly as the
 /// paper's cost model treats it.
 ///
+/// Post-decompose circuits are overwhelmingly CNOT/Toffoli, so `Gate`
+/// stores its controls in a `ControlList` with two inline slots: the
+/// whole backend (compile, decompose, legalize, optimize, count) handles
+/// gates with <= 2 controls without touching the heap, and only true MCX
+/// gates spill.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIRE_CIRCUIT_GATE_H
@@ -18,12 +24,136 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 namespace spire::circuit {
 
 using Qubit = uint32_t;
+
+/// A sorted list of control qubits with small-buffer storage: up to two
+/// controls (NOT/CNOT/Toffoli/phases — everything a Clifford+T circuit
+/// contains) live inline; only multiply-controlled gates allocate. The
+/// interface is the subset of std::vector<Qubit> the backend uses, plus
+/// equality against std::vector for tests.
+class ControlList {
+public:
+  using value_type = Qubit;
+  using iterator = Qubit *;
+  using const_iterator = const Qubit *;
+
+  static constexpr uint32_t InlineCapacity = 2;
+
+  ControlList() = default;
+  ControlList(std::initializer_list<Qubit> Qs) {
+    append(Qs.begin(), Qs.end());
+  }
+  /*implicit*/ ControlList(const std::vector<Qubit> &Qs) {
+    append(Qs.data(), Qs.data() + Qs.size());
+  }
+  template <typename It> ControlList(It First, It Last) {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+  ControlList(const ControlList &O) { append(O.begin(), O.end()); }
+  ControlList(ControlList &&O) noexcept { stealFrom(O); }
+  ControlList &operator=(const ControlList &O) {
+    if (this == &O)
+      return *this;
+    Count = 0;
+    append(O.begin(), O.end());
+    return *this;
+  }
+  ControlList &operator=(ControlList &&O) noexcept {
+    if (this == &O)
+      return *this;
+    if (!isInline())
+      delete[] Data;
+    stealFrom(O);
+    return *this;
+  }
+  ~ControlList() {
+    if (!isInline())
+      delete[] Data;
+  }
+
+  iterator begin() { return Data; }
+  iterator end() { return Data + Count; }
+  const_iterator begin() const { return Data; }
+  const_iterator end() const { return Data + Count; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Qubit operator[](size_t I) const { return Data[I]; }
+  Qubit &operator[](size_t I) { return Data[I]; }
+  Qubit back() const { return Data[Count - 1]; }
+
+  void push_back(Qubit Q) {
+    if (Count == Cap)
+      grow();
+    Data[Count++] = Q;
+  }
+  /// Erases [First, Last), shifting the tail down (used by normalize()'s
+  /// sort-unique).
+  iterator erase(iterator First, iterator Last) {
+    std::memmove(First, Last, (end() - Last) * sizeof(Qubit));
+    Count -= static_cast<uint32_t>(Last - First);
+    return First;
+  }
+  void clear() { Count = 0; }
+
+  friend bool operator==(const ControlList &A, const ControlList &B) {
+    return A.Count == B.Count &&
+           std::memcmp(A.Data, B.Data, A.Count * sizeof(Qubit)) == 0;
+  }
+  friend bool operator!=(const ControlList &A, const ControlList &B) {
+    return !(A == B);
+  }
+  friend bool operator==(const ControlList &A, const std::vector<Qubit> &B) {
+    return A.Count == B.size() && std::equal(A.begin(), A.end(), B.begin());
+  }
+  friend bool operator==(const std::vector<Qubit> &A, const ControlList &B) {
+    return B == A;
+  }
+
+private:
+  bool isInline() const { return Data == InlineBuf; }
+  void grow() {
+    uint32_t NewCap = Cap * 2;
+    Qubit *NewData = new Qubit[NewCap];
+    std::memcpy(NewData, Data, Count * sizeof(Qubit));
+    if (!isInline())
+      delete[] Data;
+    Data = NewData;
+    Cap = NewCap;
+  }
+  void append(const Qubit *First, const Qubit *Last) {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+  /// Takes O's storage (heap buffer or inline copy); leaves O empty.
+  /// Precondition: this object holds no heap buffer.
+  void stealFrom(ControlList &O) {
+    if (O.isInline()) {
+      std::memcpy(InlineBuf, O.InlineBuf, sizeof(InlineBuf));
+      Data = InlineBuf;
+      Cap = InlineCapacity;
+    } else {
+      Data = O.Data;
+      Cap = O.Cap;
+      O.Data = O.InlineBuf;
+      O.Cap = InlineCapacity;
+    }
+    Count = O.Count;
+    O.Count = 0;
+  }
+
+  Qubit InlineBuf[InlineCapacity] = {0, 0};
+  Qubit *Data = InlineBuf;
+  uint32_t Count = 0;
+  uint32_t Cap = InlineCapacity;
+};
 
 enum class GateKind : uint8_t {
   X,   ///< NOT / CNOT / Toffoli / MCX depending on control count.
@@ -40,15 +170,18 @@ enum class GateKind : uint8_t {
 struct Gate {
   GateKind Kind = GateKind::X;
   Qubit Target = 0;
-  std::vector<Qubit> Controls;
+  ControlList Controls;
 
   Gate() = default;
-  Gate(GateKind Kind, Qubit Target, std::vector<Qubit> Controls = {})
+  Gate(GateKind Kind, Qubit Target, ControlList Controls = {})
       : Kind(Kind), Target(Target), Controls(std::move(Controls)) {
     normalize();
   }
 
-  /// Sorts the control list so structural equality is canonical.
+  /// Sorts the control list so structural equality is canonical, and
+  /// dedupes repeated controls (a doubled control is the same single
+  /// control). The target repeating a control has no such reading and
+  /// stays an assertion; readers diagnose it before construction.
   void normalize();
 
   unsigned numControls() const {
@@ -90,10 +223,10 @@ struct Circuit {
     assert(G.Target < NumQubits && "gate target out of range");
     Gates.push_back(std::move(G));
   }
-  void addX(Qubit Target, std::vector<Qubit> Controls = {}) {
+  void addX(Qubit Target, ControlList Controls = {}) {
     add(Gate(GateKind::X, Target, std::move(Controls)));
   }
-  void addH(Qubit Target, std::vector<Qubit> Controls = {}) {
+  void addH(Qubit Target, ControlList Controls = {}) {
     add(Gate(GateKind::H, Target, std::move(Controls)));
   }
 

@@ -139,12 +139,9 @@ std::optional<Circuit> readQc(std::string_view Text,
     }
     Qubit Target = Operands.back();
     Operands.pop_back();
-    std::sort(Operands.begin(), Operands.end());
-    if (std::adjacent_find(Operands.begin(), Operands.end()) !=
-        Operands.end()) {
-      Diags.error(Loc, "duplicate control qubit");
-      return std::nullopt;
-    }
+    // A doubled control is the same single control (Gate::normalize
+    // dedupes it); a target repeating a control has no sensible gate
+    // reading, so it stays a diagnostic.
     for (Qubit Q : Operands)
       if (Q == Target) {
         Diags.error(Loc, "gate target repeats a control qubit");

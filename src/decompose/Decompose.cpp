@@ -13,7 +13,7 @@ namespace {
 /// chain of ancillas starting at AncillaBase; returns the qubit holding
 /// the full conjunction and appends the ladder gates to Out. The caller
 /// re-emits the ladder in reverse to uncompute.
-Qubit emitAndLadder(const std::vector<Qubit> &Controls, Qubit AncillaBase,
+Qubit emitAndLadder(const ControlList &Controls, Qubit AncillaBase,
                     std::vector<Gate> &Out) {
   assert(Controls.size() >= 2 && "ladder needs at least two controls");
   Qubit Acc = AncillaBase;
@@ -49,8 +49,8 @@ Circuit toToffoli(const Circuit &C) {
     if (G.Kind == GateKind::X && NC > 2) {
       // Barenco Fig. 5: ladder over all controls but the last, then a
       // Toffoli of (ladder head, last control) onto the target.
-      std::vector<Qubit> LadderControls(G.Controls.begin(),
-                                        G.Controls.end() - 1);
+      ControlList LadderControls(G.Controls.begin(),
+                                 G.Controls.end() - 1);
       std::vector<Gate> Ladder;
       Qubit Head = emitAndLadder(LadderControls, AncillaBase, Ladder);
       for (const Gate &L : Ladder)
@@ -139,7 +139,7 @@ bool isNoAncillaBase(GateKind Kind, size_t NumControls) {
 /// the header comment). `Kind` is X or H; `Controls`/`Target` describe
 /// the gate; every wire of the circuit outside the gate's support may be
 /// borrowed in an unknown state.
-void expandDirty(GateKind Kind, const std::vector<Qubit> &Controls,
+void expandDirty(GateKind Kind, const ControlList &Controls,
                  Qubit Target, unsigned NumQubits, std::vector<Gate> &Out) {
   if (isNoAncillaBase(Kind, Controls.size())) {
     Out.push_back(Gate(Kind, Target, Controls));
@@ -167,8 +167,8 @@ void expandDirty(GateKind Kind, const std::vector<Qubit> &Controls,
   // V takes every control (V is X-kind and terminates independently).
   size_t Half = Kind == GateKind::H ? Controls.size()
                                     : (Controls.size() + 1) / 2;
-  std::vector<Qubit> First(Controls.begin(), Controls.begin() + Half);
-  std::vector<Qubit> Rest(Controls.begin() + Half, Controls.end());
+  ControlList First(Controls.begin(), Controls.begin() + Half);
+  ControlList Rest(Controls.begin() + Half, Controls.end());
   Rest.push_back(Aux);
 
   for (int Round = 0; Round != 2; ++Round) {

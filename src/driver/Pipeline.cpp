@@ -52,7 +52,8 @@ const char *optimizerName(CircuitOptimizerKind Kind) {
 }
 
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
-                                       CircuitOptimizerKind Kind) {
+                                       CircuitOptimizerKind Kind,
+                                       qopt::OptStats *Stats) {
   using circuit::Circuit;
   switch (Kind) {
   case CircuitOptimizerKind::None:
@@ -61,7 +62,8 @@ circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
   case CircuitOptimizerKind::Peephole: {
     // Decompose first, then a small-window inverse-pair peephole.
     Circuit CT = decompose::toCliffordT(MCXCircuit);
-    return qopt::cancelAdjacentGates(CT, qopt::CancelOptions::peephole());
+    return qopt::cancelAdjacentGates(CT, qopt::CancelOptions::peephole(),
+                                     Stats);
   }
 
   case CircuitOptimizerKind::CliffordTCancel: {
@@ -69,13 +71,14 @@ circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
     // over the Clifford+T gates — the -toCliffordT pipeline shape.
     Circuit CT = decompose::toCliffordT(MCXCircuit);
     Circuit Cancelled =
-        qopt::cancelAdjacentGates(CT, qopt::CancelOptions::standard());
-    return qopt::phaseFold(Cancelled);
+        qopt::cancelAdjacentGates(CT, qopt::CancelOptions::standard(),
+                                  Stats);
+    return qopt::phaseFold(Cancelled, Stats);
   }
 
   case CircuitOptimizerKind::RotationMerging: {
     Circuit CT = decompose::toCliffordT(MCXCircuit);
-    return qopt::phaseFold(CT);
+    return qopt::phaseFold(CT, Stats);
   }
 
   case CircuitOptimizerKind::ToffoliCancel: {
@@ -83,7 +86,8 @@ circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
     // Clifford+T (Section 8.3: the -mctExpand configuration).
     Circuit Toff = decompose::toToffoli(MCXCircuit);
     Circuit Cancelled =
-        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::standard());
+        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::standard(),
+                                  Stats);
     return decompose::toCliffordT(Cancelled);
   }
 
@@ -93,11 +97,13 @@ circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
     // like QuiZX's global-structure discovery.
     Circuit Toff = decompose::toToffoli(MCXCircuit);
     Circuit Cancelled =
-        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::exhaustive());
+        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::exhaustive(),
+                                  Stats);
     Circuit CT = decompose::toCliffordT(Cancelled);
-    Circuit Folded = qopt::phaseFold(CT);
+    Circuit Folded = qopt::phaseFold(CT, Stats);
     return qopt::cancelAdjacentGates(Folded,
-                                     qopt::CancelOptions::exhaustive());
+                                     qopt::CancelOptions::exhaustive(),
+                                     Stats);
   }
   }
   return decompose::toCliffordT(MCXCircuit);
@@ -252,8 +258,11 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
   if (R.Compiled && Options.CircuitOpt != CircuitOptimizerKind::None &&
       !stopAfter(Stage::Qopt) && !R.Failed) {
     runStage(R, Stage::Qopt, [&] {
+      qopt::OptStats Stats;
       R.Final.emplace(
-          applyCircuitOptimizer(R.Compiled->Circ, Options.CircuitOpt));
+          applyCircuitOptimizer(R.Compiled->Circ, Options.CircuitOpt,
+                                &Stats));
+      R.QoptStats = Stats;
       return true;
     });
   }

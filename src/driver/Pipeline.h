@@ -83,9 +83,13 @@ enum class CircuitOptimizerKind {
 const char *optimizerName(CircuitOptimizerKind Kind);
 
 /// Applies a circuit-optimizer baseline to an MCX-level compiled circuit
-/// and returns the resulting Clifford+T-level circuit.
+/// and returns the resulting Clifford+T-level circuit. When `Stats` is
+/// non-null the pass work counters (cancelled pairs, merged rotations,
+/// fixpoint passes) accumulate into it across every pass the
+/// configuration runs.
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
-                                       CircuitOptimizerKind Kind);
+                                       CircuitOptimizerKind Kind,
+                                       qopt::OptStats *Stats = nullptr);
 
 /// What the source text handed to run() contains.
 enum class InputKind {
@@ -194,6 +198,10 @@ struct CompilationResult {
   /// read the emitted circuit uniformly.
   std::optional<circuit::Circuit> Final;
   std::optional<estimate::Estimate> Resources;
+  /// Work counters of the qopt stage (cancelled pairs, merged rotations),
+  /// present when a circuit optimizer ran. Rendered next to the stage
+  /// timings by consumers that report them (spirec --timings, benches).
+  std::optional<qopt::OptStats> QoptStats;
 
   bool succeeded() const { return !Failed.has_value(); }
 

@@ -5,6 +5,7 @@
 #include "interchange/QasmReader.h"
 #include "interchange/QasmWriter.h"
 #include "sim/Simulator.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <cctype>
@@ -94,16 +95,10 @@ bool isXOnly(const Circuit &C) {
   });
 }
 
-/// SplitMix64: a tiny deterministic generator for basis-state sampling
-/// (<random> engines are not guaranteed stable across libstdc++ versions,
-/// and these samples pin CI behavior).
-uint64_t splitMix64(uint64_t &State) {
-  State += 0x9e3779b97f4a7c15ull;
-  uint64_t Z = State;
-  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
-  return Z ^ (Z >> 31);
-}
+/// Deterministic generator for basis-state sampling (<random> engines
+/// are not guaranteed stable across libstdc++ versions, and these
+/// samples pin CI behavior).
+using support::splitMix64;
 
 /// A random basis state over the first `Qubits` wires of a `Width`-wide
 /// register (the ancilla tail stays |0>).

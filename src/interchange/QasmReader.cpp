@@ -198,13 +198,11 @@ bool Reader::operand(Qubit &Out) {
 
 bool Reader::emit(GateKind Kind, Qubit Target, std::vector<Qubit> Controls,
                   support::SourceLoc Loc) {
-  std::vector<Qubit> Sorted = Controls;
-  std::sort(Sorted.begin(), Sorted.end());
-  if (std::adjacent_find(Sorted.begin(), Sorted.end()) != Sorted.end()) {
-    Diags.error(Loc, "duplicate control qubit");
-    return false;
-  }
-  for (Qubit Q : Sorted)
+  // A doubled control is the same single control (Gate::normalize dedupes
+  // it — `ctrl(2) @ x q[1], q[1], q[0]` means cx); the target repeating a
+  // control (`cx q[0], q[0]`) has no sensible gate reading and is
+  // diagnosed instead of silently producing a nonsense gate.
+  for (Qubit Q : Controls)
     if (Q == Target) {
       Diags.error(Loc, "gate target repeats a control qubit");
       return false;

@@ -17,7 +17,15 @@
 ///    unbounded gate ranges, cut at Hadamard gates.
 ///  * searchRewrite — a bounded-window, wall-clock-limited rewrite search
 ///    standing in for the Quartz/QUESO superoptimizers (Appendix G):
-///    partial improvement that plateaus, bounded only by its timeout.
+///    partial improvement that plateaus, bounded only by its timeout (or
+///    by its stale-round early exit once it reaches a fixpoint).
+///
+/// Since PR 4 the hot passes run over a circuit::Netlist (per-wire
+/// doubly-linked gate sequences): cancellation is a worklist-driven
+/// fixpoint with no per-round circuit copies, and phase folding keys its
+/// parity table on an incrementally maintained hash. The pre-netlist
+/// implementations are kept as *Reference entry points so differential
+/// tests can pit the two against each other.
 ///
 /// Every pass is semantics-preserving; the test suite verifies this by
 /// simulation on random basis states.
@@ -33,45 +41,89 @@
 
 namespace spire::qopt {
 
+/// Work counters of a pass run, accumulated across passes when one
+/// OptStats is threaded through a whole optimizer configuration. The
+/// driver surfaces these next to the qopt stage's wall-clock timing.
+struct OptStats {
+  int64_t CancelledPairs = 0;   ///< Inverse pairs removed by cancellation.
+  int64_t CancelPasses = 0;     ///< Full fixpoint passes (last finds nothing).
+  int64_t WorklistVisits = 0;   ///< Gates popped off the cancel worklist.
+  int64_t MergedRotations = 0;  ///< Phase gates absorbed by folding.
+  int64_t EmittedRotations = 0; ///< Phase gates re-emitted after folding.
+};
+
 struct CancelOptions {
   /// How far past commuting gates to search for a cancelling partner.
   /// Small values model peephole optimizers; ~0 lookahead beyond direct
   /// adjacency models the weakest ones. Use Unbounded for the expensive
   /// exhaustive configuration (the QuiZX stand-in).
   unsigned MaxLookahead = 128;
-  /// Fixpoint iteration bound.
+  static constexpr unsigned Unbounded = ~0u;
+  /// Safety cap on fixpoint iterations: full copy-and-compact rounds in
+  /// the reference implementation, full worklist re-seed passes in the
+  /// netlist one. The worklist's neighbor re-enqueue cascades removals
+  /// within a pass, so it typically reaches a true fixpoint in two
+  /// passes (the second finding nothing) and the cap only bounds
+  /// adversarial inputs.
   unsigned MaxRounds = 64;
 
   static CancelOptions peephole() { return {8, 8}; }
   static CancelOptions standard() { return {128, 64}; }
-  static CancelOptions exhaustive() { return {~0u, 1024}; }
+  static CancelOptions exhaustive() { return {Unbounded, 1024}; }
 };
 
 /// Cancels pairs of identical self-inverse gates (X-kind, H, Z) and
 /// adjacent inverse phase pairs (T/Tdg, S/Sdg) separated only by
 /// commuting gates. Works at any circuit level.
+///
+/// Runs as a worklist fixpoint over a wire-linked netlist: a cancelled
+/// pair is unlinked in O(1) and its wire-neighbors re-enqueued, so there
+/// are no per-round circuit copies and the cost is O(visited gates x
+/// lookahead) rather than O(rounds x gates x lookahead).
 circuit::Circuit cancelAdjacentGates(const circuit::Circuit &C,
-                                     const CancelOptions &Options);
+                                     const CancelOptions &Options,
+                                     OptStats *Stats = nullptr);
 
 /// Rotation merging over wire parities (phase folding). Expects a
 /// Clifford+T-level circuit; multiply-controlled X gates and CH are
-/// treated as parity barriers for their targets.
-circuit::Circuit phaseFold(const circuit::Circuit &C);
+/// treated as parity barriers for their targets. The parity table is
+/// hashed (incrementally maintained key) and parity supports are capped
+/// (an oversized parity degrades to an opaque fresh variable — the same
+/// conservative give-up as an H barrier, so merging is lost but soundness
+/// is not), making the pass linear-expected in the gate count.
+circuit::Circuit phaseFold(const circuit::Circuit &C,
+                           OptStats *Stats = nullptr);
+
+/// The pre-netlist implementations (copy-and-compact rounds; std::map
+/// parity table), kept verbatim as differential-testing oracles for the
+/// passes above and as the measured "before" of bench_qopt_scale.
+circuit::Circuit cancelAdjacentGatesReference(const circuit::Circuit &C,
+                                              const CancelOptions &Options);
+circuit::Circuit phaseFoldReference(const circuit::Circuit &C);
 
 /// Search-based optimization under a wall-clock budget: repeated
 /// small-window cancellation, phase merging, and randomized commuting
-/// reorderings, keeping the best circuit found. Deterministic for a
-/// fixed seed up to timer granularity.
+/// reorderings, keeping the best circuit found. Exits before the
+/// deadline after MaxStaleRounds consecutive rounds with no cancellation
+/// and no T-count improvement (a fixpoint the random transpositions are
+/// not escaping); until then, and with MaxStaleRounds = 0, it runs the
+/// full budget. Deterministic for a fixed seed whenever it exits via the
+/// stale-round check rather than the wall clock.
 struct SearchOptions {
   double TimeoutSeconds = 1.0;
   unsigned WindowSize = 16;
   uint64_t Seed = 1;
+  /// Consecutive no-improvement rounds tolerated before exiting early;
+  /// 0 keeps the legacy burn-the-whole-budget behavior.
+  unsigned MaxStaleRounds = 3;
 };
 circuit::Circuit searchRewrite(const circuit::Circuit &C,
                                const SearchOptions &Options);
 
 /// True when gates A and B commute under the conservative syntactic rules
-/// used by the passes (exposed for testing).
+/// used by the passes (exposed for testing). Gates touching disjoint
+/// qubit sets always commute under these rules — the property that lets
+/// the netlist passes skip them entirely.
 bool gatesCommute(const circuit::Gate &A, const circuit::Gate &B);
 
 } // namespace spire::qopt

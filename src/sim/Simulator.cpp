@@ -1,5 +1,7 @@
 #include "sim/Simulator.h"
 
+#include "support/Hash.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -20,6 +22,14 @@ void BitString::write(unsigned Offset, unsigned Width, uint64_t Value) {
   assert(Width <= 64 && "write wider than 64 bits");
   for (unsigned I = 0; I != Width; ++I)
     set(Offset + I, (Value >> I) & 1);
+}
+
+uint64_t BitString::hash() const {
+  // The SplitMix64 finalizer folded over the words.
+  uint64_t H = 0x9e3779b97f4a7c15ull ^ (Words.size() << 1);
+  for (uint64_t W : Words)
+    H = support::mix64(W + H);
+  return H;
 }
 
 static bool controlsActive(const Gate &G, const BitString &S) {

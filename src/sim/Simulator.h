@@ -19,7 +19,7 @@
 
 #include <complex>
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace spire::sim {
@@ -55,8 +55,17 @@ public:
     return A.Words == B.Words;
   }
 
+  /// Mixes the words into a 64-bit hash (for the sparse-state map).
+  uint64_t hash() const;
+
 private:
   std::vector<uint64_t> Words;
+};
+
+struct BitStringHash {
+  size_t operator()(const BitString &B) const {
+    return static_cast<size_t>(B.hash());
+  }
 };
 
 /// Runs an X-only circuit on a basis state in place. Asserts the circuit
@@ -67,8 +76,11 @@ void runBasis(const circuit::Circuit &C, BitString &State);
 
 /// Runs any circuit (X, H, CH, T, Tdg, S, Sdg, Z) on a basis state,
 /// returning the sparse final state. Amplitudes below 1e-12 are pruned.
+/// The state is a hashed map (not an ordered one), so per-gate updates
+/// are O(branches) expected — equivalence checking stays usable on the
+/// wide states the interchange round-trip job simulates.
 using Amplitude = std::complex<double>;
-using SparseState = std::map<BitString, Amplitude>;
+using SparseState = std::unordered_map<BitString, Amplitude, BitStringHash>;
 
 SparseState runState(const circuit::Circuit &C, const BitString &Initial);
 SparseState runState(const circuit::Circuit &C, const SparseState &Initial);

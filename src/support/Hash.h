@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: the one hash/PRNG primitive shared across the codebase —
+/// the qopt parity hash, the simulator's sparse-state hash, the
+/// interchange basis-state sampler, and the bench workload generators.
+/// Deterministic across platforms and libstdc++ versions (unlike
+/// <random> engines), which several CI jobs rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_HASH_H
+#define SPIRE_SUPPORT_HASH_H
+
+#include <cstdint>
+
+namespace spire::support {
+
+/// The SplitMix64 finalizer: mixes one 64-bit value.
+inline uint64_t mix64(uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// The SplitMix64 generator: advances `State` and returns the next
+/// value of the sequence (mix64 of the pre-advance state, which already
+/// includes the golden-gamma increment).
+inline uint64_t splitMix64(uint64_t &State) {
+  uint64_t Out = mix64(State);
+  State += 0x9e3779b97f4a7c15ull;
+  return Out;
+}
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_HASH_H

@@ -10,6 +10,7 @@
 #include "sim/Interpreter.h"
 #include "sim/Simulator.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 using namespace spire;
@@ -50,6 +51,51 @@ TEST(Gate, NormalizationSortsControls) {
   EXPECT_TRUE(G.touches(5));
   EXPECT_TRUE(G.touches(0));
   EXPECT_FALSE(G.touches(4));
+}
+
+TEST(Gate, NormalizationDedupesDuplicateControls) {
+  // A doubled control is the same single control — degenerate operand
+  // lists from imported circuits normalize instead of asserting.
+  Gate G(GateKind::X, 0, {5, 3, 5, 9, 3});
+  EXPECT_EQ(G.Controls, (std::vector<Qubit>{3, 5, 9}));
+  Gate Pair(GateKind::X, 1, {2, 2});
+  EXPECT_TRUE(Pair.isCNOT());
+}
+
+TEST(ControlList, InlineToHeapSpillAndBack) {
+  ControlList L;
+  EXPECT_TRUE(L.empty());
+  L.push_back(4);
+  L.push_back(2);
+  EXPECT_EQ(L.size(), 2u); // Still inline.
+  L.push_back(9);
+  L.push_back(7); // Spilled to the heap.
+  EXPECT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[2], 9u);
+
+  // Copies are deep and independent of storage mode.
+  ControlList Copy = L;
+  Copy.push_back(1);
+  EXPECT_EQ(L.size(), 4u);
+  EXPECT_EQ(Copy.size(), 5u);
+  EXPECT_FALSE(L == Copy);
+
+  // Moves steal the heap buffer and leave the source empty.
+  ControlList Moved = std::move(Copy);
+  EXPECT_EQ(Moved.size(), 5u);
+  EXPECT_TRUE(Copy.empty()); // NOLINT(bugprone-use-after-move)
+
+  // erase() keeps the remaining prefix/suffix contiguous.
+  ControlList Sorted({1, 2, 2, 3, 3});
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  EXPECT_EQ(Sorted, (std::vector<Qubit>{1, 2, 3}));
+
+  // Assignment across storage modes.
+  ControlList Small({8});
+  Small = Moved;
+  EXPECT_EQ(Small.size(), 5u);
+  Moved = ControlList({6});
+  EXPECT_EQ(Moved, (std::vector<Qubit>{6}));
 }
 
 TEST(Gate, TCostOfMCXFollowsSection81) {

@@ -282,6 +282,21 @@ TEST(QasmReaderErrors, RejectsDuplicateOperands) {
   EXPECT_NE(Errors.find("repeats a control"), std::string::npos) << Errors;
 }
 
+TEST(QasmReader, DedupesDuplicateControls) {
+  // A doubled control is the same single control: ccx with a repeated
+  // control reads as the CNOT (Gate::normalize dedupes); only the target
+  // repeating a control is an error.
+  std::optional<Circuit> C = parse("qubit[3] q; ccx q[1], q[1], q[0];");
+  ASSERT_TRUE(C.has_value());
+  ASSERT_EQ(C->Gates.size(), 1u);
+  EXPECT_EQ(C->Gates[0].Target, 0u);
+  EXPECT_EQ(C->Gates[0].Controls, std::vector<Qubit>{1});
+
+  std::string Errors;
+  EXPECT_FALSE(parse("qubit[3] q; ccx q[1], q[2], q[2];", &Errors));
+  EXPECT_NE(Errors.find("repeats a control"), std::string::npos) << Errors;
+}
+
 TEST(QasmReaderErrors, RejectsOutOfSubsetStatements) {
   std::string Errors;
   EXPECT_FALSE(parse("qubit[1] q; bit c; measure q[0];", &Errors));

@@ -229,10 +229,14 @@ TEST(QcReader, RejectsDuplicateQubitDeclaration) {
   EXPECT_NE(Errors.find("duplicate qubit"), std::string::npos);
 }
 
-TEST(QcReader, RejectsDuplicateControls) {
-  std::string Errors;
-  EXPECT_FALSE(parseQc(".v a b c\nBEGIN\ntof a a c\nEND\n", &Errors));
-  EXPECT_NE(Errors.find("duplicate control"), std::string::npos);
+TEST(QcReader, DedupesDuplicateControls) {
+  // A doubled control is the same single control: `tof a a c` reads as
+  // the CNOT `tof a c` (Gate::normalize dedupes).
+  std::optional<Circuit> C = parseQc(".v a b c\nBEGIN\ntof a a c\nEND\n");
+  ASSERT_TRUE(C.has_value());
+  ASSERT_EQ(C->Gates.size(), 1u);
+  EXPECT_EQ(C->Gates[0].Target, 2u);
+  EXPECT_EQ(C->Gates[0].Controls, (std::vector<Qubit>{0}));
 }
 
 TEST(QcReader, RejectsTargetAsControl) {

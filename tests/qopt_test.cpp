@@ -11,6 +11,7 @@
 #include "qopt/Passes.h"
 #include "sim/Simulator.h"
 
+#include <chrono>
 #include <gtest/gtest.h>
 #include <random>
 
@@ -245,6 +246,98 @@ TEST(SearchRewrite, NeverWorseAndSound) {
     In.set(Q, Rng() & 1);
   EXPECT_TRUE(sim::statesEquivalent(sim::runState(CT, In),
                                     sim::runState(Out, In)));
+}
+
+TEST(Cancel, StatsAccountForEveryRemovedGate) {
+  Circuit C;
+  C.NumQubits = 4;
+  C.addX(2, {0, 1});
+  C.addX(3, {0});
+  C.addX(2, {0, 1});
+  C.addX(3, {0});
+  C.add(Gate(GateKind::T, 1));
+  qopt::OptStats Stats;
+  Circuit Out = cancelAdjacentGates(C, CancelOptions::standard(), &Stats);
+  EXPECT_EQ(Out.Gates.size(), 1u);
+  EXPECT_EQ(Stats.CancelledPairs, 2);
+  // The last fixpoint pass finds nothing, so there are at least two.
+  EXPECT_GE(Stats.CancelPasses, 2);
+  EXPECT_GT(Stats.WorklistVisits, 0);
+}
+
+TEST(PhaseFold, StatsCountMergedAndEmittedRotations) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.add(Gate(GateKind::T, 0));
+  C.add(Gate(GateKind::T, 0));
+  qopt::OptStats Stats;
+  Circuit Out = phaseFold(C, &Stats);
+  ASSERT_EQ(Out.Gates.size(), 1u); // T T -> S
+  EXPECT_EQ(Stats.EmittedRotations, 1);
+  EXPECT_EQ(Stats.MergedRotations, 1); // Two in, one out.
+}
+
+TEST(Cancel, DisjointNestCancelsInTwoFixpointPasses) {
+  // X(0)..X(L-1) X(L-1)..X(0), one wire per layer: no pair shares a
+  // wire, so only freed lookahead budget makes outer pairs reachable.
+  // The worklist's global-neighbor re-enqueue must cascade the whole
+  // nest in one pass (plus the empty confirm pass) — without it, each
+  // full re-seed pass peels only ~lookahead/2 layers (quadratic, and
+  // unbounded by any round cap).
+  constexpr unsigned L = 2000;
+  Circuit C;
+  C.NumQubits = L;
+  for (unsigned I = 0; I != L; ++I)
+    C.addX(I);
+  for (unsigned I = L; I-- > 0;)
+    C.addX(I);
+  qopt::OptStats Stats;
+  Circuit Out = cancelAdjacentGates(C, CancelOptions::standard(), &Stats);
+  EXPECT_TRUE(Out.Gates.empty());
+  EXPECT_EQ(Stats.CancelledPairs, L);
+  EXPECT_EQ(Stats.CancelPasses, 2);
+}
+
+TEST(SearchRewrite, ExitsEarlyAtFixpoint) {
+  // An already-minimal circuit: no cancellation is possible, so the
+  // stale-round check must fire long before the (generous) deadline
+  // instead of burning it on random transpositions.
+  Circuit C;
+  C.NumQubits = 2;
+  C.addH(0);
+  C.addX(1, {0});
+  C.add(Gate(GateKind::T, 1));
+  C.addH(1);
+  SearchOptions Options;
+  Options.TimeoutSeconds = 30.0;
+  auto Start = std::chrono::steady_clock::now();
+  Circuit Out = searchRewrite(C, Options);
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_LT(Elapsed, 5.0) << "searchRewrite burned its budget at a fixpoint";
+  EXPECT_EQ(Out.Gates.size(), C.Gates.size());
+}
+
+TEST(SearchRewrite, DeterministicForAFixedSeed) {
+  // With the stale-round exit doing the stopping (deadline far away),
+  // the result depends only on the seed.
+  Circuit C;
+  C.NumQubits = 4;
+  C.addX(2, {0, 1});
+  C.addX(3, {0});
+  C.addX(2, {0, 1});
+  C.addH(1);
+  C.add(Gate(GateKind::T, 0));
+  C.add(Gate(GateKind::Tdg, 0));
+  SearchOptions Options;
+  Options.TimeoutSeconds = 30.0;
+  Options.Seed = 7;
+  Circuit A = searchRewrite(C, Options);
+  Circuit B = searchRewrite(C, Options);
+  ASSERT_EQ(A.Gates.size(), B.Gates.size());
+  for (size_t I = 0; I != A.Gates.size(); ++I)
+    EXPECT_TRUE(A.Gates[I] == B.Gates[I]) << "gate " << I;
 }
 
 TEST(CancelExhaustive, FullLookaheadBeatsPeephole) {

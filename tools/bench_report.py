@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Pretty-print and compare BENCH_*.json files emitted by the scale
+benches (currently bench_qopt_scale's BENCH_qopt.json; the schema below
+is generic over any file with <name>_points arrays of numeric records).
+
+Usage:
+  tools/bench_report.py BENCH_qopt.json            # pretty-print one run
+  tools/bench_report.py old.json new.json          # compare two runs
+
+Comparison prints the per-point delta of every *_seconds field (negative
+is faster) and flips the exit code to 1 when any shared series regressed
+by more than the --threshold factor (default 1.5x), so CI can use it as
+a coarse run-over-run guard.
+"""
+
+import argparse
+import json
+import sys
+
+
+def point_series(data):
+    """All "<name>_points" arrays in the file, keyed by series name."""
+    series = {}
+    for key, value in data.items():
+        if key.endswith("_points") and isinstance(value, list):
+            series[key[: -len("_points")]] = value
+    return series
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:,.3f}" if abs(value) < 1e6 else f"{value:,.0f}"
+    if isinstance(value, (int,)):
+        return f"{value:,}"
+    return str(value)
+
+
+def print_one(path, data):
+    print(f"== {path} ==")
+    name = data.get("bench", "?")
+    scalars = {
+        k: v
+        for k, v in data.items()
+        if not isinstance(v, (list, dict)) and k != "bench"
+    }
+    print(f"bench: {name}   " +
+          "  ".join(f"{k}={fmt(v)}" for k, v in sorted(scalars.items())))
+    for series, points in sorted(point_series(data).items()):
+        if not points:
+            continue
+        columns = list(points[0].keys())
+        print(f"\n[{series}]")
+        print("  ".join(f"{c:>18}" for c in columns))
+        for p in points:
+            print("  ".join(f"{fmt(p.get(c, '')):>18}" for c in columns))
+    checks = data.get("linear")
+    if isinstance(checks, dict):
+        verdicts = "  ".join(
+            f"{k}: {'linear' if v else 'SUPERLINEAR COLLAPSE'}"
+            for k, v in sorted(checks.items()))
+        print(f"\nscaling guards: {verdicts}")
+    print()
+
+
+def compare(old_path, old, new_path, new, threshold):
+    print(f"== {old_path} -> {new_path} ==")
+    regressed = False
+    old_series, new_series = point_series(old), point_series(new)
+    for series in sorted(set(old_series) & set(new_series)):
+        old_by_key = {p.get("gates"): p for p in old_series[series]}
+        print(f"\n[{series}]")
+        for p in new_series[series]:
+            key = p.get("gates")
+            q = old_by_key.get(key)
+            if q is None:
+                print(f"  gates={fmt(key)}: new point (no baseline)")
+                continue
+            deltas = []
+            for field, value in p.items():
+                if not field.endswith("_seconds"):
+                    continue
+                base = q.get(field)
+                if not isinstance(base, (int, float)) or base <= 0:
+                    continue
+                ratio = value / base
+                deltas.append(f"{field} {base:.3f}s -> {value:.3f}s "
+                              f"({ratio:.2f}x)")
+                if ratio > threshold:
+                    regressed = True
+            if deltas:
+                print(f"  gates={fmt(key)}: " + "; ".join(deltas))
+    print()
+    if regressed:
+        print(f"REGRESSION: some series slowed by more than "
+              f"{threshold:.2f}x")
+    else:
+        print(f"ok: no series slowed by more than {threshold:.2f}x")
+    return regressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+",
+                        help="one BENCH json to print, or two to compare")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="comparison regression factor (default 1.5)")
+    args = parser.parse_args()
+
+    loaded = []
+    for path in args.files:
+        try:
+            with open(path) as f:
+                loaded.append((path, json.load(f)))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+
+    if len(loaded) == 1:
+        print_one(*loaded[0])
+        return 0
+    if len(loaded) == 2:
+        (old_path, old), (new_path, new) = loaded
+        return 1 if compare(old_path, old, new_path, new,
+                            args.threshold) else 0
+    print("error: pass one file to print or two to compare",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

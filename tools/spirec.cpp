@@ -404,6 +404,15 @@ int main(int Argc, char **Argv) {
     for (const driver::StageTiming &T : R.Stages)
       std::fprintf(stderr, "spirec: %-15s %.3f s\n",
                    driver::stageName(T.Which), T.Seconds);
+    if (R.QoptStats)
+      std::fprintf(stderr,
+                   "spirec: qopt stats: %lld pairs cancelled, %lld "
+                   "rotations merged (%lld fixpoint passes, %lld worklist "
+                   "visits)\n",
+                   static_cast<long long>(R.QoptStats->CancelledPairs),
+                   static_cast<long long>(R.QoptStats->MergedRotations),
+                   static_cast<long long>(R.QoptStats->CancelPasses),
+                   static_cast<long long>(R.QoptStats->WorklistVisits));
   }
   if (!R.succeeded()) {
     std::fprintf(stderr, "%s", R.Diags.str().c_str());
@@ -454,6 +463,12 @@ int main(int Argc, char **Argv) {
                  static_cast<long long>(Before.TComplexity),
                  static_cast<long long>(After.Total),
                  static_cast<long long>(After.TComplexity));
+    if (R.QoptStats)
+      std::fprintf(stderr,
+                   "spirec: qopt: cancelled %lld pairs, merged %lld "
+                   "rotations\n",
+                   static_cast<long long>(R.QoptStats->CancelledPairs),
+                   static_cast<long long>(R.QoptStats->MergedRotations));
   }
 
   // -- Emit the final circuit and check equivalence. -----------------------
