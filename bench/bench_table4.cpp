@@ -44,7 +44,7 @@ int64_t flatteningUncomputationT(const CoreStmtList &Stmts,
     // statements that flattening introduced (fresh %cf variables).
     for (const auto &W : S->Body)
       if (W->K == CoreStmt::Kind::Assign &&
-          W->Name.rfind("%cf", 0) == 0)
+          W->Name.view().substr(0, 3) == "%cf")
         Total += Model.analyzeStmt(*W, Depth).T;
     Total += flatteningUncomputationT(S->Body, Model, Depth);
     Total += flatteningUncomputationT(S->DoBody, Model, Depth);

@@ -15,7 +15,9 @@
 
 #include "ast/Type.h"
 #include "support/SourceLoc.h"
+#include "support/Symbol.h"
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -84,6 +86,17 @@ public:
 
   // Payload (which fields are active depends on K).
   std::string Name;                         ///< Var name / callee name.
+  /// Interned form of Name, cached on first use: lowering and sema look
+  /// variables up once per reference, and re-hashing the spelling each
+  /// time measurably taxes deep-recursion compiles. Value-stable (a
+  /// spelling always interns to the same Symbol), so caching is safe
+  /// even across clones.
+  support::Symbol nameSym() const {
+    if (NameSym.empty() && !Name.empty())
+      NameSym = support::Symbol(Name);
+    return NameSym;
+  }
+  mutable support::Symbol NameSym;
   uint64_t UIntValue = 0;                   ///< UIntLit.
   bool BoolValue = false;                   ///< BoolLit.
   /// Inferred type, annotated by the type checker; also the optional
@@ -147,6 +160,18 @@ public:
 
   std::string Name;                ///< Let/UnLet target, Swap LHS, Hadamard.
   std::string Name2;               ///< Swap/MemSwap RHS variable.
+  /// Cached interned names (see Expr::nameSym).
+  support::Symbol nameSym() const {
+    if (NameSym.empty() && !Name.empty())
+      NameSym = support::Symbol(Name);
+    return NameSym;
+  }
+  support::Symbol name2Sym() const {
+    if (Name2Sym.empty() && !Name2.empty())
+      Name2Sym = support::Symbol(Name2);
+    return Name2Sym;
+  }
+  mutable support::Symbol NameSym, Name2Sym;
   std::unique_ptr<Expr> E;         ///< Let/UnLet RHS, If condition.
   StmtList Body;                   ///< If-then / with-block.
   StmtList ElseBody;               ///< If-else / do-block.
@@ -188,6 +213,26 @@ struct FunDecl {
   StmtList Body;
   std::string ReturnVar; ///< Variable named in the trailing `return`.
   SourceLoc Loc;
+
+  /// Cached interned names (see Expr::nameSym): the inliner binds every
+  /// parameter and resolves the return variable once per inlined
+  /// instance, up to 10^5 times per compile.
+  support::Symbol returnVarSym() const {
+    if (ReturnVarSym.empty() && !ReturnVar.empty())
+      ReturnVarSym = support::Symbol(ReturnVar);
+    return ReturnVarSym;
+  }
+  support::Symbol paramSym(size_t I) const {
+    assert(I < Params.size() && "parameter index out of range");
+    if (ParamSyms.size() != Params.size()) {
+      ParamSyms.clear();
+      for (const auto &[PName, PTy] : Params)
+        ParamSyms.push_back(support::Symbol(PName));
+    }
+    return ParamSyms[I];
+  }
+  mutable support::Symbol ReturnVarSym;
+  mutable std::vector<support::Symbol> ParamSyms;
 
   FunDecl clone() const;
   std::string str() const;

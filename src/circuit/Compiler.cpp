@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <unordered_map>
 
 using namespace spire::ir;
 
@@ -24,6 +26,9 @@ unsigned cellBitsFor(const CoreProgram &P, const TargetConfig &Config) {
 }
 
 namespace {
+
+using support::Symbol;
+using support::SymbolSet;
 
 /// A virtual operand bit used by the arithmetic emitters: a constant, a
 /// wire, or the AND of two wires (for multiplier partial products).
@@ -56,6 +61,14 @@ struct VBit {
 
 /// Compiles core IR to an MCX circuit. One instance per compilation; also
 /// reused by profilePrimitive with a pre-seeded variable map.
+///
+/// Statement traversal runs on an explicit action stack (compileStmts
+/// below), so with-block nesting that grows with the source recursion
+/// depth — the const-arg-recursion shape — compiles with O(1) C++ stack.
+/// Gate emission assembles control lists in a reused scratch buffer and
+/// hands them to ControlList's inline storage, so the per-gate hot path
+/// performs no heap allocation at all (the seed emitter built one or two
+/// std::vectors per gate, ~2.3 allocations/gate across a compile).
 class Emitter {
 public:
   Emitter(const ast::TypeContext &Types, const TargetConfig &Config,
@@ -68,12 +81,16 @@ public:
 
   Circuit C;
   std::vector<Qubit> Ctx;
-  std::map<std::string, BitRange> Vars;
-  /// Re-declaration depth per live variable: `let x <- e` on a live x
-  /// XORs into the same register (Appendix B.2) and its reversal
-  /// un-assigns the innermost re-declaration, so the register is released
-  /// only when the count returns to zero.
-  std::map<std::string, unsigned> DeclCount;
+  /// Register plus live re-declaration depth per variable: `let x <- e`
+  /// on a live x XORs into the same register (Appendix B.2) and its
+  /// reversal un-assigns the innermost re-declaration, so the register
+  /// is released only when the count returns to zero. One Symbol-keyed
+  /// hash lookup covers what used to be two string-keyed tree lookups.
+  struct VarInfo {
+    BitRange R;
+    unsigned Decl = 0;
+  };
+  std::unordered_map<Symbol, VarInfo> Vars;
   std::map<unsigned, std::vector<Qubit>> FreeByWidth;
   Qubit NextFree = 0;
   Qubit MemBase = 0;
@@ -85,8 +102,8 @@ public:
 
   /// One Appendix-D reservation scope per active with-do do-block.
   struct Reservation {
-    std::set<std::string> Affected;
-    std::map<std::string, BitRange> Parked;
+    SymbolSet Affected;
+    std::map<Symbol, BitRange> Parked;
   };
   std::vector<Reservation> Reservations;
 
@@ -121,7 +138,7 @@ public:
   /// Allocates a register for a newly declared variable, preferring a
   /// register parked for it by an enclosing do-block reservation
   /// (Appendix D: an affected variable is re-assigned its old register).
-  BitRange allocateFor(const std::string &Name, unsigned Width) {
+  BitRange allocateFor(Symbol Name, unsigned Width) {
     for (auto It = Reservations.rbegin(); It != Reservations.rend(); ++It) {
       auto P = It->Parked.find(Name);
       if (P != It->Parked.end()) {
@@ -136,7 +153,7 @@ public:
 
   /// Frees the register of an un-assigned variable, parking it instead if
   /// an enclosing do-block reservation covers the variable.
-  void releaseFor(const std::string &Name, BitRange R) {
+  void releaseFor(Symbol Name, BitRange R) {
     for (auto It = Reservations.rbegin(); It != Reservations.rend(); ++It) {
       if (It->Affected.count(Name)) {
         It->Parked[Name] = R;
@@ -171,27 +188,69 @@ public:
   // Gate emission primitives
   //===--------------------------------------------------------------------===//
 
-  /// Emits an X on Target controlled by the current context plus Extra.
-  /// The context is what makes `if` costly: every gate in a conditional
-  /// body carries the condition bits (Fig. 21).
-  void emitX(Qubit Target, std::vector<Qubit> Extra = {}) {
-    Extra.insert(Extra.end(), Ctx.begin(), Ctx.end());
-    std::sort(Extra.begin(), Extra.end());
-    Extra.erase(std::unique(Extra.begin(), Extra.end()), Extra.end());
-    assert(std::find(Extra.begin(), Extra.end(), Target) == Extra.end() &&
+  /// Reused control-assembly buffer: cleared and refilled per gate, never
+  /// reallocated in steady state.
+  std::vector<Qubit> GateScratch;
+
+  /// Sorts and dedupes the staged controls. Almost every gate has 0-3
+  /// controls (operand wires plus the if-context), so the tiny cases are
+  /// unrolled rather than paying a std::sort call per gate.
+  void sortUniqueScratch() {
+    auto &V = GateScratch;
+    if (V.size() <= 1)
+      return;
+    if (V.size() == 2) {
+      if (V[0] > V[1])
+        std::swap(V[0], V[1]);
+      if (V[0] == V[1])
+        V.pop_back();
+      return;
+    }
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+  }
+
+  /// Emits an X on Target controlled by the current context plus the
+  /// `Extra` controls already staged in GateScratch. The context is what
+  /// makes `if` costly: every gate in a conditional body carries the
+  /// condition bits (Fig. 21).
+  void emitXFromScratch(Qubit Target) {
+    GateScratch.insert(GateScratch.end(), Ctx.begin(), Ctx.end());
+    sortUniqueScratch();
+    assert(std::find(GateScratch.begin(), GateScratch.end(), Target) ==
+               GateScratch.end() &&
            "gate target collides with a control; unsupported self-"
            "referential assignment");
-    C.Gates.push_back(Gate(GateKind::X, Target, std::move(Extra)));
+    C.Gates.push_back(Gate(GateKind::X, Target,
+                           ControlList(GateScratch.data(),
+                                       GateScratch.data() +
+                                           GateScratch.size()),
+                           Gate::PresortedTag{}));
+  }
+
+  void emitX(Qubit Target) {
+    GateScratch.clear();
+    emitXFromScratch(Target);
+  }
+  void emitX(Qubit Target, std::initializer_list<Qubit> Extra) {
+    GateScratch.assign(Extra.begin(), Extra.end());
+    emitXFromScratch(Target);
+  }
+  void emitX(Qubit Target, const std::vector<Qubit> &Extra) {
+    GateScratch.assign(Extra.begin(), Extra.end());
+    emitXFromScratch(Target);
   }
 
   void emitH(Qubit Target) {
-    std::vector<Qubit> Controls(Ctx.begin(), Ctx.end());
-    std::sort(Controls.begin(), Controls.end());
+    GateScratch.assign(Ctx.begin(), Ctx.end());
     // Nested ifs over the same condition variable put its qubit in the
     // context twice; a duplicated control is the same single control.
-    Controls.erase(std::unique(Controls.begin(), Controls.end()),
-                   Controls.end());
-    C.Gates.push_back(Gate(GateKind::H, Target, std::move(Controls)));
+    sortUniqueScratch();
+    C.Gates.push_back(Gate(GateKind::H, Target,
+                           ControlList(GateScratch.data(),
+                                       GateScratch.data() +
+                                           GateScratch.size()),
+                           Gate::PresortedTag{}));
   }
 
   /// Target ^= V (a virtual bit), under the context.
@@ -211,10 +270,12 @@ public:
     }
   }
 
-  /// Target ^= AND of all Controls (virtual); a constant-false control
-  /// suppresses the gate, constant-true controls are dropped.
-  void emitXV(Qubit Target, const std::vector<VBit> &VControls,
-              std::vector<Qubit> Extra = {}) {
+  /// Target ^= AND of all VControls (virtual) and Extra wires; a
+  /// constant-false control suppresses the gate, constant-true controls
+  /// are dropped.
+  void emitXV(Qubit Target, std::initializer_list<VBit> VControls,
+              std::initializer_list<Qubit> Extra = {}) {
+    GateScratch.assign(Extra.begin(), Extra.end());
     for (const VBit &V : VControls) {
       switch (V.K) {
       case VBit::Kind::Zero:
@@ -222,15 +283,15 @@ public:
       case VBit::Kind::One:
         break;
       case VBit::Kind::Wire:
-        Extra.push_back(V.Q1);
+        GateScratch.push_back(V.Q1);
         break;
       case VBit::Kind::And2:
-        Extra.push_back(V.Q1);
-        Extra.push_back(V.Q2);
+        GateScratch.push_back(V.Q1);
+        GateScratch.push_back(V.Q2);
         break;
       }
     }
-    emitX(Target, std::move(Extra));
+    emitXFromScratch(Target);
   }
 
   /// Re-emits gates [Start, End) in reverse order; all must be X-kind
@@ -248,10 +309,10 @@ public:
   // Operand access
   //===--------------------------------------------------------------------===//
 
-  BitRange rangeOf(const std::string &Var) const {
+  BitRange rangeOf(Symbol Var) const {
     auto It = Vars.find(Var);
     assert(It != Vars.end() && "unbound variable reached the backend");
-    return It->second;
+    return It->second.R;
   }
 
   /// The i-th bit of an atom as a virtual bit.
@@ -334,24 +395,29 @@ public:
     release(Carry);
   }
 
-  std::vector<VBit> atomBits(const Atom &A, unsigned Width,
-                             unsigned Shift = 0) const {
-    std::vector<VBit> Bits;
-    Bits.reserve(Width);
+  /// Reused addend buffer for the arithmetic emitters: each emitVBEAdd
+  /// consumes its operand before the next one is staged, so a single
+  /// scratch serves every adder without per-add vector allocations.
+  std::vector<VBit> VScratch;
+
+  const std::vector<VBit> &atomBits(const Atom &A, unsigned Width,
+                                    unsigned Shift = 0) {
+    VScratch.clear();
+    VScratch.reserve(Width);
     for (unsigned I = 0; I != Width; ++I) {
       if (I < Shift)
-        Bits.push_back(VBit::zero());
+        VScratch.push_back(VBit::zero());
       else
-        Bits.push_back(atomBit(A, I - Shift));
+        VScratch.push_back(atomBit(A, I - Shift));
     }
-    return Bits;
+    return VScratch;
   }
 
-  static std::vector<VBit> constBits(uint64_t Value, unsigned Width) {
-    std::vector<VBit> Bits;
+  const std::vector<VBit> &constBits(uint64_t Value, unsigned Width) {
+    VScratch.clear();
     for (unsigned I = 0; I != Width; ++I)
-      Bits.push_back(VBit::constant(I < 64 && ((Value >> I) & 1)));
-    return Bits;
+      VScratch.push_back(VBit::constant(I < 64 && ((Value >> I) & 1)));
+    return VScratch;
   }
 
   //===--------------------------------------------------------------------===//
@@ -384,7 +450,7 @@ public:
     std::vector<Qubit> Controls;
     for (unsigned I = 0; I != Width; ++I)
       Controls.push_back(Diff.Offset + I);
-    emitX(Target, std::move(Controls));
+    emitX(Target, Controls);
     appendReversed(Mark, EndCompute);
     release(Diff);
   }
@@ -434,24 +500,24 @@ public:
         VBit BJ = atomBit(B, J);
         if (BJ.K == VBit::Kind::Zero)
           continue;
-        std::vector<VBit> Addend;
+        VScratch.clear();
         for (unsigned I = 0; I != Width; ++I) {
           if (I < J) {
-            Addend.push_back(VBit::zero());
+            VScratch.push_back(VBit::zero());
             continue;
           }
           VBit AI = atomBit(A, I - J);
           // Addend bit = a_{i-j} AND b_j, folded over constants.
           if (AI.K == VBit::Kind::Zero || BJ.K == VBit::Kind::Zero)
-            Addend.push_back(VBit::zero());
+            VScratch.push_back(VBit::zero());
           else if (AI.K == VBit::Kind::One)
-            Addend.push_back(BJ);
+            VScratch.push_back(BJ);
           else if (BJ.K == VBit::Kind::One)
-            Addend.push_back(AI);
+            VScratch.push_back(AI);
           else
-            Addend.push_back(VBit::and2(AI.Q1, BJ.Q1));
+            VScratch.push_back(VBit::and2(AI.Q1, BJ.Q1));
         }
-        emitVBEAdd(Addend, Acc);
+        emitVBEAdd(VScratch, Acc);
       }
       break;
     default:
@@ -509,7 +575,8 @@ public:
         // t ^= 1 ^ (~a & ~b).
         VBit A = atomBit(E.A, 0), B = atomBit(E.B, 0);
         emitX(Target.Offset);
-        std::vector<Qubit> Flipped;
+        Qubit Flipped[2];
+        unsigned NumFlipped = 0;
         auto Negate = [&](VBit &V) {
           switch (V.K) {
           case VBit::Kind::Zero:
@@ -520,7 +587,7 @@ public:
             break;
           case VBit::Kind::Wire:
             emitX(V.Q1);
-            Flipped.push_back(V.Q1);
+            Flipped[NumFlipped++] = V.Q1;
             break;
           case VBit::Kind::And2:
             assert(false && "unexpected virtual AND operand");
@@ -529,8 +596,8 @@ public:
         Negate(A);
         Negate(B);
         emitXV(Target.Offset, {A, B});
-        for (Qubit Q : Flipped)
-          emitX(Q);
+        for (unsigned I = 0; I != NumFlipped; ++I)
+          emitX(Flipped[I]);
         return;
       }
       case ast::BinaryOp::Eq:
@@ -555,10 +622,11 @@ public:
   }
 
   //===--------------------------------------------------------------------===//
-  // Statement compilation
+  // Statement compilation (worklist machine)
   //===--------------------------------------------------------------------===//
 
-  void compileStmt(const CoreStmt &S) {
+  /// Compiles one primitive (non-block) statement.
+  void compilePrimitive(const CoreStmt &S) {
     switch (S.K) {
     case CoreStmt::Kind::Skip:
       return;
@@ -567,56 +635,25 @@ public:
       auto It = Vars.find(S.Name);
       BitRange Target;
       if (It != Vars.end()) {
-        Target = It->second; // Re-declaration XORs into the same qubits.
-        ++DeclCount[S.Name];
+        Target = It->second.R; // Re-declaration XORs into the same qubits.
+        ++It->second.Decl;
       } else {
         Target = allocateFor(S.Name, widthOf(S.Ty));
-        Vars[S.Name] = Target;
-        DeclCount[S.Name] = 1;
+        Vars.emplace(S.Name, VarInfo{Target, 1});
       }
       emitXorExpr(Target, S.E);
       return;
     }
 
     case CoreStmt::Kind::UnAssign: {
-      BitRange Target = rangeOf(S.Name);
+      auto It = Vars.find(S.Name);
+      assert(It != Vars.end() && "unbound variable reached the backend");
+      BitRange Target = It->second.R;
       emitXorExpr(Target, S.E); // XOR of an equal value restores zero.
-      if (--DeclCount[S.Name] == 0) {
-        Vars.erase(S.Name);
-        DeclCount.erase(S.Name);
+      if (--It->second.Decl == 0) {
+        Vars.erase(It);
         releaseFor(S.Name, Target);
       }
-      return;
-    }
-
-    case CoreStmt::Kind::If: {
-      BitRange Cond = rangeOf(S.Name);
-      assert(Cond.Width == 1 && "if condition must be a single bit");
-      Ctx.push_back(Cond.Offset);
-      compileStmts(S.Body);
-      Ctx.pop_back();
-      return;
-    }
-
-    case CoreStmt::Kind::With: {
-      compileStmts(S.Body);
-      // Appendix D: variables referenced by the with-block and live at the
-      // start of the do-block must keep their registers across it.
-      Reservation R;
-      for (const std::string &Name : allVars(S.Body))
-        if (Vars.count(Name))
-          R.Affected.insert(Name);
-      Reservations.push_back(std::move(R));
-      compileStmts(S.DoBody);
-      Reservation Done = std::move(Reservations.back());
-      Reservations.pop_back();
-      for (const auto &[Name, Reg] : Done.Parked) {
-        // Consumed in the do-block and never re-created: now dead, but
-        // route through any outer reservation that also covers it.
-        releaseFor(Name, Reg);
-      }
-      CoreStmtList Rev = reverseStmts(S.Body);
-      compileStmts(Rev);
       return;
     }
 
@@ -637,6 +674,9 @@ public:
       BitRange P = rangeOf(S.Name);
       BitRange V = rangeOf(S.Name2);
       unsigned SwapBits = std::min(V.Width, CellBits);
+      std::vector<Qubit> Match;
+      for (unsigned I = 0; I != P.Width; ++I)
+        Match.push_back(P.Offset + I);
       for (unsigned Address = 1; Address <= Config.HeapCells; ++Address) {
         // Conjugate pointer bits so the address-match controls are all
         // positive on the pattern `Address`.
@@ -646,16 +686,13 @@ public:
             Conj.push_back(P.Offset + I);
         for (Qubit Q : Conj)
           emitX(Q);
-        std::vector<Qubit> Match;
-        for (unsigned I = 0; I != P.Width; ++I)
-          Match.push_back(P.Offset + I);
         Qubit Cell = MemBase + (Address - 1) * CellBits;
         for (unsigned I = 0; I != SwapBits; ++I) {
           Qubit M = Cell + I, W = V.Offset + I;
           emitX(M, {W});
-          std::vector<Qubit> Controls = Match;
-          Controls.push_back(M);
-          emitX(W, std::move(Controls));
+          GateScratch.assign(Match.begin(), Match.end());
+          GateScratch.push_back(M);
+          emitXFromScratch(W);
           emitX(M, {W});
         }
         for (Qubit Q : Conj)
@@ -670,19 +707,145 @@ public:
       emitH(X.Offset);
       return;
     }
+
+    case CoreStmt::Kind::If:
+    case CoreStmt::Kind::With:
+      assert(false && "block statement reached compilePrimitive");
+      return;
     }
   }
 
+  /// One pending step of the statement machine.
+  struct Action {
+    enum class K : uint8_t {
+      Exec,      ///< Compile *S (blocks expand into further actions).
+      PopCtx,    ///< End of an if-body: drop the innermost control bit.
+      WithDo,    ///< S's with-block is compiled: open the reservation
+                 ///< scope and queue the do-block.
+      WithClose, ///< S's do-block is compiled: close the reservation and
+                 ///< queue the uncomputation I[with-block].
+      FreeOwned, ///< Destroy `Owned` (a reversed-body copy that the
+                 ///< preceding Exec actions pointed into).
+    };
+    K Kind;
+    const CoreStmt *S = nullptr;
+    CoreStmtList Owned;
+
+    Action(K Kind, const CoreStmt *S) : Kind(Kind), S(S) {}
+    explicit Action(CoreStmtList Owned)
+        : Kind(K::FreeOwned), Owned(std::move(Owned)) {}
+  };
+
+  std::vector<Action> Work;
+
+  void queueExec(const CoreStmtList &Stmts) {
+    for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+      Work.push_back(Action(Action::K::Exec, It->get()));
+  }
+
+  void runMachine() {
+    while (!Work.empty()) {
+      Action A = std::move(Work.back());
+      Work.pop_back();
+      switch (A.Kind) {
+      case Action::K::Exec:
+        switch (A.S->K) {
+        case CoreStmt::Kind::If: {
+          BitRange Cond = rangeOf(A.S->Name);
+          assert(Cond.Width == 1 && "if condition must be a single bit");
+          Ctx.push_back(Cond.Offset);
+          Work.push_back(Action(Action::K::PopCtx, nullptr));
+          queueExec(A.S->Body);
+          break;
+        }
+        case CoreStmt::Kind::With:
+          Work.push_back(Action(Action::K::WithDo, A.S));
+          queueExec(A.S->Body);
+          break;
+        default:
+          compilePrimitive(*A.S);
+          break;
+        }
+        break;
+
+      case Action::K::PopCtx:
+        Ctx.pop_back();
+        break;
+
+      case Action::K::WithDo: {
+        // Appendix D: variables referenced by the with-block and live at
+        // the start of the do-block must keep their registers across it.
+        Reservation R;
+        for (Symbol Name : allVars(A.S->Body))
+          if (Vars.count(Name))
+            R.Affected.insert(Name);
+        Reservations.push_back(std::move(R));
+        Work.push_back(Action(Action::K::WithClose, A.S));
+        queueExec(A.S->DoBody);
+        break;
+      }
+
+      case Action::K::WithClose: {
+        Reservation Done = std::move(Reservations.back());
+        Reservations.pop_back();
+        // Parked registers consumed in the do-block and never
+        // re-created are now dead; release them in spelling order (the
+        // order the seed's string-keyed map iterated in) so register
+        // reuse — and therefore the emitted circuit — is byte-identical
+        // to the seed backend. This is a presentation-order boundary:
+        // the spellings are materialized only here.
+        std::vector<std::pair<std::string_view, Symbol>> ByName;
+        ByName.reserve(Done.Parked.size());
+        for (const auto &[Name, Reg] : Done.Parked)
+          ByName.emplace_back(Name.view(), Name);
+        std::sort(ByName.begin(), ByName.end());
+        for (const auto &[View, Name] : ByName)
+          releaseFor(Name, Done.Parked[Name]);
+        // Uncompute the with-block: queue I[body], keeping the reversed
+        // copy alive (FreeOwned) until its last statement has compiled.
+        CoreStmtList Rev = reverseStmts(A.S->Body);
+        Action Holder(std::move(Rev));
+        queueExecIntoHolder(Holder);
+        break;
+      }
+
+      case Action::K::FreeOwned:
+        break; // Owned list destroys here (worklist destructor).
+      }
+    }
+  }
+
+  /// Pushes the holder first, then Exec actions over its owned
+  /// statements, so the holder outlives every pointer into it. The
+  /// CoreStmt nodes live on the heap behind unique_ptrs, so the Exec
+  /// pointers stay valid however the Work vector reallocates; the holder
+  /// is re-read by index because push_back invalidates references.
+  void queueExecIntoHolder(Action &Holder) {
+    Work.push_back(std::move(Holder));
+    size_t HolderIdx = Work.size() - 1;
+    size_t N = Work[HolderIdx].Owned.size();
+    for (size_t I = N; I-- > 0;)
+      Work.push_back(
+          Action(Action::K::Exec, Work[HolderIdx].Owned[I].get()));
+  }
+
+  void compileStmt(const CoreStmt &S) {
+    assert(Work.empty() && "re-entrant statement machine");
+    Work.push_back(Action(Action::K::Exec, &S));
+    runMachine();
+  }
+
   void compileStmts(const CoreStmtList &Stmts) {
-    for (const auto &S : Stmts)
-      compileStmt(*S);
+    assert(Work.empty() && "re-entrant statement machine");
+    queueExec(Stmts);
+    runMachine();
   }
 };
 
 /// Collects (variable, type) pairs referenced by one primitive statement
 /// or an if-chain around one (the form profilePrimitive accepts).
 void collectStmtVarTypes(const CoreStmt &S,
-                         std::map<std::string, const ast::Type *> &Out) {
+                         std::map<Symbol, const ast::Type *> &Out) {
   auto AddAtom = [&](const Atom &A) {
     if (A.isVar())
       Out.emplace(A.Var, A.Ty);
@@ -710,8 +873,11 @@ CompileResult compileToCircuit(const CoreProgram &P,
   CircuitLayout Layout;
   for (const auto &[Name, Ty] : P.Inputs) {
     BitRange R = E.allocate(E.widthOf(Ty));
-    E.Vars[Name] = R;
-    Layout.Inputs[Name] = R;
+    // Decl starts at 0 (not 1): a body-level re-declaration of an input
+    // followed by its un-assignment frees the input's register, exactly
+    // as the declaration counting has always behaved.
+    E.Vars.emplace(Name, Emitter::VarInfo{R, 0});
+    Layout.Inputs[Name.str()] = R;
   }
   // Memory immediately after the inputs so its position is predictable.
   E.ensureMemory();
@@ -722,11 +888,32 @@ CompileResult compileToCircuit(const CoreProgram &P,
   if (P.NumAllocCells > 0)
     E.ensureAllocAncillas(/*EmitPrep=*/true);
 
-  E.compileStmts(P.Body);
+  // Compile top-level statements one at a time and extrapolate the final
+  // gate count at a few checkpoints, reserving the gate vector up front:
+  // recursion-inlined programs emit millions of near-uniform statements,
+  // and letting std::vector double its way up re-copies the whole gate
+  // list ~20 times (measured as a third of the compile stage). The first
+  // checkpoint waits for 16 statements so a single unrepresentative
+  // heavy statement cannot skew the projection, and the whole thing is
+  // capped so a pathological prefix cannot demand absurd memory (a
+  // reservation can only grow, never shrink).
+  constexpr size_t ReserveCap = size_t{1} << 25; // 32M gates (~1 GiB).
+  size_t NextCheckpoint = 16;
+  for (size_t I = 0; I != P.Body.size(); ++I) {
+    E.compileStmt(*P.Body[I]);
+    if (I + 1 == NextCheckpoint && I + 1 < P.Body.size()) {
+      NextCheckpoint *= 64;
+      size_t Projected =
+          (E.C.Gates.size() / (I + 1) + 1) * P.Body.size() + 64;
+      Projected = std::min(Projected, ReserveCap);
+      if (Projected > E.C.Gates.capacity())
+        E.C.Gates.reserve(Projected);
+    }
+  }
 
   auto Out = E.Vars.find(P.OutputVar);
   assert(Out != E.Vars.end() && "output variable not live at program end");
-  Layout.Output = Out->second;
+  Layout.Output = Out->second.R;
   Layout.NumQubits = E.NextFree;
 
   CompileResult Result;
@@ -755,10 +942,10 @@ PrimitiveProfile profilePrimitive(const CoreStmt &S,
   }
 #endif
   Emitter E(Types, Config, CellBits);
-  std::map<std::string, const ast::Type *> VarTypes;
+  std::map<Symbol, const ast::Type *> VarTypes;
   collectStmtVarTypes(S, VarTypes);
   for (const auto &[Name, Ty] : VarTypes)
-    E.Vars[Name] = E.allocate(E.widthOf(Ty));
+    E.Vars.emplace(Name, Emitter::VarInfo{E.allocate(E.widthOf(Ty)), 0});
   E.compileStmt(S);
 
   PrimitiveProfile Profile;

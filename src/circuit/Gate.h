@@ -178,6 +178,12 @@ struct Gate {
     normalize();
   }
 
+  /// Tag for the emitter's hot path: the control list is already sorted
+  /// and deduplicated, so construction skips normalize()'s re-sort.
+  struct PresortedTag {};
+  Gate(GateKind Kind, Qubit Target, ControlList Controls, PresortedTag)
+      : Kind(Kind), Target(Target), Controls(std::move(Controls)) {}
+
   /// Sorts the control list so structural equality is canonical, and
   /// dedupes repeated controls (a doubled control is the same single
   /// control). The target repeating a control has no such reading and

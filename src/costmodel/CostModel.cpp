@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
+#include <cstring>
 
 using namespace spire::ir;
 
@@ -10,35 +10,67 @@ namespace spire::costmodel {
 
 namespace {
 
+/// Appends a raw little-endian value to a packed signature key.
+template <typename T> void packInto(std::string &Key, T Value) {
+  char Bytes[sizeof(T)];
+  std::memcpy(Bytes, &Value, sizeof(T));
+  Key.append(Bytes, sizeof(T));
+}
+
+void packAtom(std::string &Key, const Atom &A, const TypeContext &Types,
+              unsigned WordBits) {
+  packInto<uint8_t>(Key, static_cast<uint8_t>(A.K));
+  if (A.isVar())
+    packInto<uint32_t>(Key, A.Var.id());
+  else
+    packInto<uint64_t>(Key, A.ConstBits);
+  packInto<uint8_t>(Key, A.IsAllocConst ? 1 : 0);
+  packInto<uint32_t>(Key, A.Ty ? Types.bitWidth(A.Ty, WordBits) : 0);
+}
+
 /// Structural signature of a primitive, including operand widths, so that
 /// profiles can be cached across the many identical statements produced
 /// by recursion inlining. If-wrapped primitives (see analyzeStmtUnder)
-/// hash their condition names through str() as well.
+/// contribute their condition symbols as well. Packed binary — symbol
+/// ids, kinds, and widths — rather than the seed's str() spelling, so a
+/// cache probe allocates one small flat string and never materializes
+/// variable names.
 std::string signatureOf(const CoreStmt &S, const TypeContext &Types,
                         unsigned WordBits) {
-  std::string Key = S.str();
+  std::string Key;
+  Key.reserve(64);
   const CoreStmt *Prim = &S;
-  while (Prim->K == CoreStmt::Kind::If)
+  while (Prim->K == CoreStmt::Kind::If) {
+    packInto<uint8_t>(Key, static_cast<uint8_t>(Prim->K));
+    packInto<uint32_t>(Key, Prim->Name.id());
     Prim = Prim->Body.front().get();
+  }
   auto AddWidth = [&](const ast::Type *Ty) {
-    Key += "#" + std::to_string(Ty ? Types.bitWidth(Ty, WordBits) : 0);
+    packInto<uint32_t>(Key, Ty ? Types.bitWidth(Ty, WordBits) : 0);
   };
+  packInto<uint8_t>(Key, static_cast<uint8_t>(Prim->K));
+  packInto<uint32_t>(Key, Prim->Name.id());
+  packInto<uint32_t>(Key, Prim->Name2.id());
   AddWidth(Prim->Ty);
   AddWidth(Prim->Ty2);
   if (Prim->K == CoreStmt::Kind::Assign ||
       Prim->K == CoreStmt::Kind::UnAssign) {
-    AddWidth(Prim->E.A.Ty);
-    if (Prim->E.K == CoreExpr::Kind::Pair ||
-        Prim->E.K == CoreExpr::Kind::Binary)
-      AddWidth(Prim->E.B.Ty);
-    AddWidth(Prim->E.Ty);
+    const CoreExpr &E = Prim->E;
+    packInto<uint8_t>(Key, static_cast<uint8_t>(E.K));
+    packInto<uint8_t>(Key, static_cast<uint8_t>(E.UOp));
+    packInto<uint8_t>(Key, static_cast<uint8_t>(E.BOp));
+    packInto<uint32_t>(Key, E.ProjIndex);
+    packAtom(Key, E.A, Types, WordBits);
+    if (E.K == CoreExpr::Kind::Pair || E.K == CoreExpr::Kind::Binary)
+      packAtom(Key, E.B, Types, WordBits);
+    AddWidth(E.Ty);
   }
   return Key;
 }
 
 /// The variables a primitive statement reads or writes.
-std::set<std::string> primitiveVars(const CoreStmt &S) {
-  std::set<std::string> Vars;
+SymbolSet primitiveVars(const CoreStmt &S) {
+  SymbolSet Vars;
   if (!S.Name.empty())
     Vars.insert(S.Name);
   if (!S.Name2.empty())
@@ -61,84 +93,118 @@ CostModel::profileFor(const CoreStmt &S) const {
   return Cache.emplace(std::move(Key), std::move(P)).first->second;
 }
 
-Cost CostModel::analyzeStmtUnder(const CoreStmt &S,
-                                 std::vector<std::string> &Conds) const {
-  switch (S.K) {
-  case CoreStmt::Kind::Skip:
-    return {};
+Cost CostModel::primitiveCost(const CoreStmt &S,
+                              const std::vector<Symbol> &Conds) const {
+  // Distinct enclosing conditions not read by the primitive each add
+  // one fresh control to every gate; conditions the primitive reads
+  // merge with the existing control on that variable's qubit, so they
+  // are accounted for by profiling an explicit if-wrapper. Nested ifs
+  // over the same variable contribute a single control (the compiler
+  // emits a deduplicated control list).
+  std::vector<Symbol> Unique;
+  for (Symbol C : Conds)
+    if (std::find(Unique.begin(), Unique.end(), C) == Unique.end())
+      Unique.push_back(C);
 
-  case CoreStmt::Kind::If: {
-    // C_T(if x { s }) distributes over sequencing; the added control bit
-    // is modeled by pushing the condition onto the enclosing stack.
-    Conds.push_back(S.Name);
-    Cost C = analyzeStmtsUnder(S.Body, Conds);
-    Conds.pop_back();
-    return C;
+  SymbolSet Read = primitiveVars(S);
+  unsigned Fresh = 0;
+  std::vector<Symbol> Coinciding;
+  for (Symbol C : Unique) {
+    if (Read.count(C))
+      Coinciding.push_back(C);
+    else
+      ++Fresh;
   }
 
-  case CoreStmt::Kind::With: {
-    // with { s1 } do { s2 } expands to s1; s2; I[s1], and reversal
-    // preserves gate counts statement by statement.
-    Cost C1 = analyzeStmtsUnder(S.Body, Conds);
-    Cost C2 = analyzeStmtsUnder(S.DoBody, Conds);
-    return C1 + C1 + C2;
-  }
-
-  case CoreStmt::Kind::Assign:
-  case CoreStmt::Kind::UnAssign:
-  case CoreStmt::Kind::Swap:
-  case CoreStmt::Kind::MemSwap:
-  case CoreStmt::Kind::Hadamard: {
-    // Distinct enclosing conditions not read by the primitive each add
-    // one fresh control to every gate; conditions the primitive reads
-    // merge with the existing control on that variable's qubit, so they
-    // are accounted for by profiling an explicit if-wrapper. Nested ifs
-    // over the same variable contribute a single control (the compiler
-    // emits a deduplicated control list).
-    std::vector<std::string> Unique;
-    for (const std::string &C : Conds)
-      if (std::find(Unique.begin(), Unique.end(), C) == Unique.end())
-        Unique.push_back(C);
-
-    std::set<std::string> Read = primitiveVars(S);
-    unsigned Fresh = 0;
-    std::vector<std::string> Coinciding;
-    for (const std::string &C : Unique) {
-      if (Read.count(C))
-        Coinciding.push_back(C);
-      else
-        ++Fresh;
-    }
-
-    Cost Result;
-    if (Coinciding.empty()) {
-      const circuit::PrimitiveProfile &P = profileFor(S);
-      Result.MCX = P.totalGates();
-      Result.T = P.tComplexityUnder(Fresh);
-      return Result;
-    }
-
-    // Build if c1 { if c2 { ... S } } for the coinciding conditions and
-    // profile the whole nest so control merging is exact.
-    CoreStmtPtr Wrapped = S.clone();
-    const ast::Type *Bool = Types.boolType();
-    for (auto It = Coinciding.rbegin(); It != Coinciding.rend(); ++It) {
-      CoreStmtList Body;
-      Body.push_back(std::move(Wrapped));
-      Wrapped = CoreStmt::ifStmt(*It, std::move(Body));
-      Wrapped->Ty = Bool; // Lets the profiler allocate the condition.
-    }
-    const circuit::PrimitiveProfile &P = profileFor(*Wrapped);
+  Cost Result;
+  if (Coinciding.empty()) {
+    const circuit::PrimitiveProfile &P = profileFor(S);
     Result.MCX = P.totalGates();
     Result.T = P.tComplexityUnder(Fresh);
     return Result;
   }
+
+  // Build if c1 { if c2 { ... S } } for the coinciding conditions and
+  // profile the whole nest so control merging is exact.
+  CoreStmtPtr Wrapped = S.clone();
+  const ast::Type *Bool = Types.boolType();
+  for (auto It = Coinciding.rbegin(); It != Coinciding.rend(); ++It) {
+    CoreStmtList Body;
+    Body.push_back(std::move(Wrapped));
+    Wrapped = CoreStmt::ifStmt(*It, std::move(Body));
+    Wrapped->Ty = Bool; // Lets the profiler allocate the condition.
   }
-  return {};
+  const circuit::PrimitiveProfile &P = profileFor(*Wrapped);
+  Result.MCX = P.totalGates();
+  Result.T = P.tComplexityUnder(Fresh);
+  return Result;
+}
+
+namespace {
+
+/// One pending step of the cost walk: visit a statement at a gate-count
+/// multiplier, or pop the innermost condition.
+struct CostItem {
+  const CoreStmt *S;
+  int64_t Mult;
+  bool PopCond;
+};
+
+} // namespace
+
+Cost CostModel::analyzeStmtUnder(const CoreStmt &S,
+                                 std::vector<Symbol> &Conds) const {
+  // C_MCX / C_T by structural walk (header comment): an explicit stack
+  // instead of recursion, with a per-item multiplier carrying the
+  // with-expansion factor (with { s1 } do { s2 } costs 2*C(s1) + C(s2),
+  // since the block expands to s1; s2; I[s1] and reversal preserves
+  // gate counts statement by statement).
+  Cost Total;
+  std::vector<CostItem> Work;
+  Work.push_back({&S, 1, false});
+  while (!Work.empty()) {
+    CostItem Item = Work.back();
+    Work.pop_back();
+    if (Item.PopCond) {
+      Conds.pop_back();
+      continue;
+    }
+    const CoreStmt &Cur = *Item.S;
+    switch (Cur.K) {
+    case CoreStmt::Kind::Skip:
+      break;
+
+    case CoreStmt::Kind::If:
+      // The added control bit is modeled by pushing the condition onto
+      // the enclosing stack until the body's statements are consumed.
+      Conds.push_back(Cur.Name);
+      Work.push_back({nullptr, 0, true});
+      for (auto It = Cur.Body.rbegin(); It != Cur.Body.rend(); ++It)
+        Work.push_back({It->get(), Item.Mult, false});
+      break;
+
+    case CoreStmt::Kind::With:
+      // Queue do-body first so the with-body pops (and profiles) first,
+      // matching the recursive evaluation order.
+      for (auto It = Cur.DoBody.rbegin(); It != Cur.DoBody.rend(); ++It)
+        Work.push_back({It->get(), Item.Mult, false});
+      for (auto It = Cur.Body.rbegin(); It != Cur.Body.rend(); ++It)
+        Work.push_back({It->get(), Item.Mult * 2, false});
+      break;
+
+    default: {
+      Cost C = primitiveCost(Cur, Conds);
+      Total.MCX += C.MCX * Item.Mult;
+      Total.T += C.T * Item.Mult;
+      break;
+    }
+    }
+  }
+  return Total;
 }
 
 Cost CostModel::analyzeStmtsUnder(const CoreStmtList &Stmts,
-                                  std::vector<std::string> &Conds) const {
+                                  std::vector<Symbol> &Conds) const {
   Cost Total;
   for (const auto &S : Stmts)
     Total += analyzeStmtUnder(*S, Conds);
@@ -148,17 +214,17 @@ Cost CostModel::analyzeStmtsUnder(const CoreStmtList &Stmts,
 Cost CostModel::analyzeStmt(const CoreStmt &S, unsigned Depth) const {
   // Synthetic condition names: IR variable names never contain spaces,
   // so these can never coincide with a variable the statement reads.
-  std::vector<std::string> Conds;
+  std::vector<Symbol> Conds;
   for (unsigned I = 0; I != Depth; ++I)
-    Conds.push_back(" cond" + std::to_string(I));
+    Conds.push_back(Symbol(" cond" + std::to_string(I)));
   return analyzeStmtUnder(S, Conds);
 }
 
 Cost CostModel::analyzeStmts(const CoreStmtList &Stmts,
                              unsigned Depth) const {
-  std::vector<std::string> Conds;
+  std::vector<Symbol> Conds;
   for (unsigned I = 0; I != Depth; ++I)
-    Conds.push_back(" cond" + std::to_string(I));
+    Conds.push_back(Symbol(" cond" + std::to_string(I)));
   return analyzeStmtsUnder(Stmts, Conds);
 }
 

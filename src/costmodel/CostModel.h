@@ -37,7 +37,9 @@
 #include "ir/Core.h"
 
 #include <cstdint>
-#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace spire::costmodel {
 
@@ -96,18 +98,31 @@ private:
   /// the primitive wrapped in the actual if-statements, rather than by
   /// depth arithmetic; so are repeated conditions of nested ifs over the
   /// same variable.
+  ///
+  /// The block walk is an explicit worklist (not structural recursion):
+  /// an If pushes its condition with a pop marker, a With queues its
+  /// body at twice the enclosing multiplier (the s1; s2; I[s1]
+  /// expansion) and its do-body at one — so IR whose with-nesting grows
+  /// with the recursion depth analyzes with O(1) C++ stack.
   Cost analyzeStmtsUnder(const ir::CoreStmtList &Stmts,
-                         std::vector<std::string> &Conds) const;
+                         std::vector<ir::Symbol> &Conds) const;
   Cost analyzeStmtUnder(const ir::CoreStmt &S,
-                        std::vector<std::string> &Conds) const;
+                        std::vector<ir::Symbol> &Conds) const;
+
+  /// Cost of one primitive statement under the given condition stack.
+  Cost primitiveCost(const ir::CoreStmt &S,
+                     const std::vector<ir::Symbol> &Conds) const;
 
   const circuit::PrimitiveProfile &profileFor(const ir::CoreStmt &S) const;
 
   const ir::TypeContext &Types;
   circuit::TargetConfig Config;
   unsigned CellBits;
-  /// Profile cache keyed by a structural signature of the primitive.
-  mutable std::map<std::string, circuit::PrimitiveProfile> Cache;
+  /// Profile cache keyed by a packed binary signature of the primitive
+  /// (statement kinds, symbol ids, operand widths — no pretty-printing;
+  /// the seed keyed this cache on str(), which built a fresh string per
+  /// analyzed statement).
+  mutable std::unordered_map<std::string, circuit::PrimitiveProfile> Cache;
 };
 
 /// Convenience: analyze a program in one call.

@@ -3,6 +3,7 @@
 #include "decompose/Decompose.h"
 #include "frontend/Parser.h"
 #include "sema/TypeChecker.h"
+#include "support/AllocStats.h"
 
 #include <chrono>
 #include <fstream>
@@ -125,14 +126,22 @@ double CompilationResult::totalSeconds() const {
 
 namespace {
 
-/// Times one stage body and appends its StageTiming. The body returns
-/// true on success; on failure the result's failed-stage marker is set.
+/// Times one stage body and appends its StageTiming (wall-clock seconds,
+/// heap allocations, and peak-RSS growth). The body returns true on
+/// success; on failure the result's failed-stage marker is set.
 template <typename Fn>
 bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
+  int64_t AllocsBefore = support::allocationCount();
+  int64_t RSSBefore = support::peakRSSKb();
   auto Start = std::chrono::steady_clock::now();
   bool OK = Body();
   auto End = std::chrono::steady_clock::now();
-  R.Stages.push_back({S, std::chrono::duration<double>(End - Start).count()});
+  StageTiming T;
+  T.Which = S;
+  T.Seconds = std::chrono::duration<double>(End - Start).count();
+  T.Allocs = support::allocationCount() - AllocsBefore;
+  T.PeakRSSDeltaKb = support::peakRSSKb() - RSSBefore;
+  R.Stages.push_back(T);
   if (!OK)
     R.Failed = S;
   return OK;

@@ -116,6 +116,13 @@ struct PipelineOptions {
   /// basis). Gates with no exact realization in the basis fail the
   /// stage with a diagnostic.
   std::optional<interchange::Basis> Basis;
+  /// Basis states sampled by equivalence checking. The pipeline itself
+  /// does not run equivalence checks; this rides along for the
+  /// check-equiv consumer (the spirec CLI), which enforces the contract
+  /// that an *explicit* request above the circuits' 2^qubits distinct
+  /// basis states is diagnosed — never silently truncated — while this
+  /// default adapts to small circuits.
+  unsigned CheckEquivSamples = 32;
 
   /// Spire's program-level optimizations (Section 6).
   opt::SpireOptions Spire = opt::SpireOptions::all();
@@ -166,10 +173,19 @@ struct PipelineOptions {
   }
 };
 
-/// Wall-clock record of one executed stage.
+/// Wall-clock and allocation record of one executed stage. The memory
+/// columns make allocation wins (the point of the interned-symbol IR)
+/// observable from `spirec --timings` and the scale benches without
+/// attaching a profiler.
 struct StageTiming {
   Stage Which = Stage::Parse;
   double Seconds = 0;
+  /// Heap allocations (global operator new calls) during the stage.
+  int64_t Allocs = 0;
+  /// Growth of the process peak RSS across the stage, in KiB. Peak RSS
+  /// is monotonic, so this attributes each high-water advance to the
+  /// stage that caused it (0 for stages that stayed under the peak).
+  int64_t PeakRSSDeltaKb = 0;
 };
 
 /// The staged result of a pipeline run: every artifact a stage produced,

@@ -115,6 +115,23 @@ sim::BitString sampleState(unsigned Qubits, unsigned Width,
   return S;
 }
 
+/// Chooses the I-th test state: when the sample budget covers the whole
+/// 2^Qubits space, enumerate it exhaustively (random sampling draws
+/// *with replacement*, so on a small space it would re-test duplicates
+/// and could miss the one differing state); otherwise sample randomly
+/// with the all-zero state always included.
+sim::BitString testState(unsigned Qubits, unsigned Width, unsigned Samples,
+                         unsigned I, uint64_t &Rng) {
+  bool Exhaustive =
+      Qubits < 64 && static_cast<uint64_t>(Samples) >= (uint64_t{1} << Qubits);
+  if (!Exhaustive)
+    return sampleState(Qubits, Width, Rng, I == 0);
+  sim::BitString S(Width);
+  if (Qubits > 0)
+    S.write(0, std::min(Qubits, 64u), I);
+  return S;
+}
+
 /// True when every qubit in [From, Width) of `S` is zero.
 bool tailIsZero(const sim::BitString &S, unsigned From, unsigned Width) {
   for (unsigned Q = From; Q != Width; ++Q)
@@ -138,11 +155,17 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
   // Sample over the narrower circuit's wires; the wider one's extra
   // wires are legalization ancillas and must stay clean.
   unsigned Common = std::min(A.NumQubits, B.NumQubits);
+  // A budget covering the whole space switches testState to exhaustive
+  // enumeration; cap the loop there too, so no caller burns simulations
+  // on duplicate states or reads a SamplesRun above the number of
+  // distinct states that exist.
+  if (Common < 64 && static_cast<uint64_t>(Samples) > (uint64_t{1} << Common))
+    Samples = static_cast<unsigned>(uint64_t{1} << Common);
   uint64_t Rng = Seed;
 
   if (isXOnly(A) && isXOnly(B)) {
     for (unsigned I = 0; I != Samples; ++I) {
-      sim::BitString SA = sampleState(Common, A.NumQubits, Rng, I == 0);
+      sim::BitString SA = testState(Common, A.NumQubits, Samples, I, Rng);
       sim::BitString SB(B.NumQubits);
       for (unsigned Q = 0; Q != Common; ++Q)
         SB.set(Q, SA.get(Q));
@@ -169,7 +192,7 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
   // global phase, but exponential in superposition size — callers keep
   // these circuits small (decomposition tests, --check-equiv on toys).
   for (unsigned I = 0; I != Samples; ++I) {
-    sim::BitString SA = sampleState(Common, A.NumQubits, Rng, I == 0);
+    sim::BitString SA = testState(Common, A.NumQubits, Samples, I, Rng);
     sim::BitString SB(B.NumQubits);
     for (unsigned Q = 0; Q != Common; ++Q)
       SB.set(Q, SA.get(Q));

@@ -76,8 +76,11 @@ struct EquivalenceReport {
 
 /// Checks that `A` and `B` act identically on `Samples` deterministically
 /// sampled basis states (seeded by `Seed`; the all-zero state is always
-/// among them). Qubit-count differences are tolerated per the ancilla
-/// contract described above.
+/// among them). When `Samples` covers the narrower circuit's whole
+/// 2^qubits space, the states are enumerated exhaustively instead of
+/// sampled (sampling draws with replacement, which on a small space
+/// could miss the one differing state). Qubit-count differences are
+/// tolerated per the ancilla contract described above.
 EquivalenceReport checkEquivalence(const circuit::Circuit &A,
                                    const circuit::Circuit &B,
                                    unsigned Samples = 32,

@@ -8,10 +8,10 @@ namespace spire::ir {
 // Atom
 //===----------------------------------------------------------------------===//
 
-Atom Atom::var(std::string Name, const Type *Ty) {
+Atom Atom::var(Symbol Name, const Type *Ty) {
   Atom A;
   A.K = Kind::Var;
-  A.Var = std::move(Name);
+  A.Var = Name;
   A.Ty = Ty;
   return A;
 }
@@ -32,7 +32,7 @@ Atom Atom::allocConst(uint64_t Address, const Type *Ty) {
 
 std::string Atom::str() const {
   if (isVar())
-    return Var;
+    return Var.str();
   if (Ty && Ty->isBool())
     return ConstBits ? "true" : "false";
   if (Ty && Ty->isPtr())
@@ -100,7 +100,14 @@ CoreExpr CoreExpr::binary(BinaryOp Op, Atom A, Atom B, const Type *Ty) {
   return E;
 }
 
-void CoreExpr::collectVars(std::set<std::string> &Out) const {
+void CoreExpr::appendVars(std::vector<Symbol> &Out) const {
+  if (A.isVar())
+    Out.push_back(A.Var);
+  if ((K == Kind::Pair || K == Kind::Binary) && B.isVar())
+    Out.push_back(B.Var);
+}
+
+void CoreExpr::collectVars(SymbolSet &Out) const {
   if (A.isVar())
     Out.insert(A.Var);
   if ((K == Kind::Pair || K == Kind::Binary) && B.isVar())
@@ -170,70 +177,288 @@ CoreStmt::~CoreStmt() {
   }
 }
 
-CoreStmtPtr CoreStmt::clone() const {
-  auto S = std::make_unique<CoreStmt>();
-  S->K = K;
-  S->Name = Name;
-  S->Name2 = Name2;
-  S->Ty = Ty;
-  S->Ty2 = Ty2;
-  S->E = E;
-  S->Body = cloneStmts(Body);
-  S->DoBody = cloneStmts(DoBody);
-  return S;
+namespace {
+
+/// Shared machinery for the deep-copy family (clone and reversal): one
+/// explicit worklist of (source, destination, mode) items, so copying
+/// depth-N nesting uses O(1) C++ stack.
+enum class CopyMode : uint8_t {
+  Clone,   ///< Verbatim structural copy.
+  Reverse, ///< The derived form I[s] of Section 4.
+};
+
+struct CopyItem {
+  const CoreStmt *Src;
+  CoreStmt *Dst;
+  CopyMode M;
+};
+
+void copyScalars(const CoreStmt &Src, CoreStmt &Dst) {
+  Dst.K = Src.K;
+  Dst.Name = Src.Name;
+  Dst.Name2 = Src.Name2;
+  Dst.Ty = Src.Ty;
+  Dst.Ty2 = Src.Ty2;
+  Dst.E = Src.E;
 }
 
-static std::string pad(unsigned Indent) { return std::string(Indent * 2, ' '); }
+/// Appends empty children to `Dst` mirroring `Src` and queues the pairs.
+/// `Reversed` queues (and lays out) the children in reverse order.
+void queueChildren(std::vector<CopyItem> &Work, const CoreStmtList &Src,
+                   CoreStmtList &Dst, CopyMode M, bool Reversed) {
+  Dst.reserve(Src.size());
+  for (size_t I = 0; I != Src.size(); ++I) {
+    const CoreStmt *Child =
+        Reversed ? Src[Src.size() - 1 - I].get() : Src[I].get();
+    Dst.push_back(std::make_unique<CoreStmt>());
+    Work.push_back({Child, Dst.back().get(), M});
+  }
+}
+
+void runCopyMachine(std::vector<CopyItem> &Work) {
+  while (!Work.empty()) {
+    CopyItem Item = Work.back();
+    Work.pop_back();
+    const CoreStmt &Src = *Item.Src;
+    CoreStmt &Dst = *Item.Dst;
+    if (Item.M == CopyMode::Clone) {
+      copyScalars(Src, Dst);
+      queueChildren(Work, Src.Body, Dst.Body, CopyMode::Clone, false);
+      queueChildren(Work, Src.DoBody, Dst.DoBody, CopyMode::Clone, false);
+      continue;
+    }
+    // Reverse: I[x <- e] = x -> e and vice versa; I[if x {s}] =
+    // if x {I[s]} with the sequence reversed; I[with{a}do{b}] =
+    // with{a}do{I[b]} (the with-block stays forward: (a; b; I[a])^-1 =
+    // a; I[b]; I[a]); everything else is self-inverse.
+    copyScalars(Src, Dst);
+    switch (Src.K) {
+    case CoreStmt::Kind::Assign:
+      Dst.K = CoreStmt::Kind::UnAssign;
+      break;
+    case CoreStmt::Kind::UnAssign:
+      Dst.K = CoreStmt::Kind::Assign;
+      break;
+    case CoreStmt::Kind::If:
+      queueChildren(Work, Src.Body, Dst.Body, CopyMode::Reverse, true);
+      continue;
+    case CoreStmt::Kind::With:
+      queueChildren(Work, Src.Body, Dst.Body, CopyMode::Clone, false);
+      queueChildren(Work, Src.DoBody, Dst.DoBody, CopyMode::Reverse, true);
+      continue;
+    case CoreStmt::Kind::Skip:
+    case CoreStmt::Kind::Swap:
+    case CoreStmt::Kind::MemSwap:
+    case CoreStmt::Kind::Hadamard:
+      break;
+    }
+  }
+}
+
+CoreStmtPtr copyOne(const CoreStmt &S, CopyMode M) {
+  auto Root = std::make_unique<CoreStmt>();
+  if (S.Body.empty() && S.DoBody.empty()) {
+    // Childless statement (the overwhelmingly common case in flat IR):
+    // no worklist needed, and reversal of a childless statement only
+    // flips the assign kinds.
+    copyScalars(S, *Root);
+    if (M == CopyMode::Reverse) {
+      if (S.K == CoreStmt::Kind::Assign)
+        Root->K = CoreStmt::Kind::UnAssign;
+      else if (S.K == CoreStmt::Kind::UnAssign)
+        Root->K = CoreStmt::Kind::Assign;
+    }
+    return Root;
+  }
+  std::vector<CopyItem> Work;
+  Work.push_back({&S, Root.get(), M});
+  runCopyMachine(Work);
+  return Root;
+}
+
+} // namespace
+
+CoreStmtPtr CoreStmt::clone() const { return copyOne(*this, CopyMode::Clone); }
+
+CoreStmtList cloneStmts(const CoreStmtList &Stmts) {
+  CoreStmtList Out;
+  Out.reserve(Stmts.size());
+  std::vector<CopyItem> Work;
+  for (const auto &S : Stmts) {
+    Out.push_back(std::make_unique<CoreStmt>());
+    Work.push_back({S.get(), Out.back().get(), CopyMode::Clone});
+  }
+  runCopyMachine(Work);
+  return Out;
+}
+
+CoreStmtPtr reverseStmt(const CoreStmt &S) {
+  return copyOne(S, CopyMode::Reverse);
+}
+
+CoreStmtList reverseStmts(const CoreStmtList &Stmts) {
+  CoreStmtList Out;
+  Out.reserve(Stmts.size());
+  std::vector<CopyItem> Work;
+  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It) {
+    Out.push_back(std::make_unique<CoreStmt>());
+    Work.push_back({It->get(), Out.back().get(), CopyMode::Reverse});
+  }
+  runCopyMachine(Work);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing (worklist machine; pinned at depth 200k by ir_test)
+//===----------------------------------------------------------------------===//
+
+static void appendPad(std::string &Out, unsigned Indent) {
+  // Clamp the indentation depth: without a cap, printing IR whose
+  // nesting grows with the recursion depth (one with-block per level
+  // under const-arg recursion) costs O(depth) pad characters per line —
+  // O(depth^2) text overall, hundreds of gigabytes at depth 200k. Levels
+  // beyond the clamp all print at the same margin; the text stays
+  // unambiguous (blocks are delimited by braces, not indentation).
+  constexpr unsigned MaxIndentLevels = 32;
+  Out.append(std::min(Indent, MaxIndentLevels) * 2, ' ');
+}
+
+namespace {
+
+/// One pending print step: a statement at a phase (blocks print in up to
+/// three pieces around their child lists), or a closing delimiter.
+struct PrintItem {
+  const CoreStmt *S;
+  unsigned Indent;
+  uint8_t Phase;
+};
+
+void pushChildrenToPrint(std::vector<PrintItem> &Work,
+                         const CoreStmtList &Stmts, unsigned Indent) {
+  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+    Work.push_back({It->get(), Indent, 0});
+}
+
+void runPrintMachine(std::vector<PrintItem> &Work, std::string &Out) {
+  while (!Work.empty()) {
+    PrintItem Item = Work.back();
+    Work.pop_back();
+    const CoreStmt &S = *Item.S;
+    switch (S.K) {
+    case CoreStmt::Kind::Skip:
+      appendPad(Out, Item.Indent);
+      Out += "skip;\n";
+      break;
+    case CoreStmt::Kind::Assign:
+      appendPad(Out, Item.Indent);
+      Out += S.Name.view();
+      Out += " <- " + S.E.str() + ";\n";
+      break;
+    case CoreStmt::Kind::UnAssign:
+      appendPad(Out, Item.Indent);
+      Out += S.Name.view();
+      Out += " -> " + S.E.str() + ";\n";
+      break;
+    case CoreStmt::Kind::If:
+      if (Item.Phase == 0) {
+        appendPad(Out, Item.Indent);
+        Out += "if ";
+        Out += S.Name.view();
+        Out += " {\n";
+        Work.push_back({&S, Item.Indent, 1});
+        pushChildrenToPrint(Work, S.Body, Item.Indent + 1);
+      } else {
+        appendPad(Out, Item.Indent);
+        Out += "}\n";
+      }
+      break;
+    case CoreStmt::Kind::With:
+      if (Item.Phase == 0) {
+        appendPad(Out, Item.Indent);
+        Out += "with {\n";
+        Work.push_back({&S, Item.Indent, 1});
+        pushChildrenToPrint(Work, S.Body, Item.Indent + 1);
+      } else if (Item.Phase == 1) {
+        appendPad(Out, Item.Indent);
+        Out += "} do {\n";
+        Work.push_back({&S, Item.Indent, 2});
+        pushChildrenToPrint(Work, S.DoBody, Item.Indent + 1);
+      } else {
+        appendPad(Out, Item.Indent);
+        Out += "}\n";
+      }
+      break;
+    case CoreStmt::Kind::Swap:
+      appendPad(Out, Item.Indent);
+      Out += S.Name.view();
+      Out += " <-> ";
+      Out += S.Name2.view();
+      Out += ";\n";
+      break;
+    case CoreStmt::Kind::MemSwap:
+      appendPad(Out, Item.Indent);
+      Out += "*";
+      Out += S.Name.view();
+      Out += " <-> ";
+      Out += S.Name2.view();
+      Out += ";\n";
+      break;
+    case CoreStmt::Kind::Hadamard:
+      appendPad(Out, Item.Indent);
+      Out += "H(";
+      Out += S.Name.view();
+      Out += ");\n";
+      break;
+    }
+  }
+}
+
+} // namespace
 
 std::string CoreStmt::str(unsigned Indent) const {
-  switch (K) {
-  case Kind::Skip:
-    return pad(Indent) + "skip;\n";
-  case Kind::Assign:
-    return pad(Indent) + Name + " <- " + E.str() + ";\n";
-  case Kind::UnAssign:
-    return pad(Indent) + Name + " -> " + E.str() + ";\n";
-  case Kind::If:
-    return pad(Indent) + "if " + Name + " {\n" + strStmts(Body, Indent + 1) +
-           pad(Indent) + "}\n";
-  case Kind::With:
-    return pad(Indent) + "with {\n" + strStmts(Body, Indent + 1) +
-           pad(Indent) + "} do {\n" + strStmts(DoBody, Indent + 1) +
-           pad(Indent) + "}\n";
-  case Kind::Swap:
-    return pad(Indent) + Name + " <-> " + Name2 + ";\n";
-  case Kind::MemSwap:
-    return pad(Indent) + "*" + Name + " <-> " + Name2 + ";\n";
-  case Kind::Hadamard:
-    return pad(Indent) + "H(" + Name + ");\n";
-  }
-  return pad(Indent) + "?\n";
+  std::string Out;
+  std::vector<PrintItem> Work;
+  Work.push_back({this, Indent, 0});
+  runPrintMachine(Work, Out);
+  return Out;
 }
+
+std::string strStmts(const CoreStmtList &Stmts, unsigned Indent) {
+  std::string Out;
+  std::vector<PrintItem> Work;
+  pushChildrenToPrint(Work, Stmts, Indent);
+  runPrintMachine(Work, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
 
 CoreStmtPtr CoreStmt::skip() { return std::make_unique<CoreStmt>(); }
 
-CoreStmtPtr CoreStmt::assign(std::string X, const Type *Ty, CoreExpr E) {
+CoreStmtPtr CoreStmt::assign(Symbol X, const Type *Ty, CoreExpr E) {
   auto S = std::make_unique<CoreStmt>();
   S->K = Kind::Assign;
-  S->Name = std::move(X);
+  S->Name = X;
   S->Ty = Ty;
   S->E = std::move(E);
   return S;
 }
 
-CoreStmtPtr CoreStmt::unassign(std::string X, const Type *Ty, CoreExpr E) {
+CoreStmtPtr CoreStmt::unassign(Symbol X, const Type *Ty, CoreExpr E) {
   auto S = std::make_unique<CoreStmt>();
   S->K = Kind::UnAssign;
-  S->Name = std::move(X);
+  S->Name = X;
   S->Ty = Ty;
   S->E = std::move(E);
   return S;
 }
 
-CoreStmtPtr CoreStmt::ifStmt(std::string CondVar, CoreStmtList Body) {
+CoreStmtPtr CoreStmt::ifStmt(Symbol CondVar, CoreStmtList Body) {
   auto S = std::make_unique<CoreStmt>();
   S->K = Kind::If;
-  S->Name = std::move(CondVar);
+  S->Name = CondVar;
   S->Body = std::move(Body);
   return S;
 }
@@ -246,43 +471,61 @@ CoreStmtPtr CoreStmt::with(CoreStmtList Body, CoreStmtList DoBody) {
   return S;
 }
 
-CoreStmtPtr CoreStmt::swap(std::string A, const Type *TyA, std::string B,
+CoreStmtPtr CoreStmt::swap(Symbol A, const Type *TyA, Symbol B,
                            const Type *TyB) {
   auto S = std::make_unique<CoreStmt>();
   S->K = Kind::Swap;
-  S->Name = std::move(A);
+  S->Name = A;
   S->Ty = TyA;
-  S->Name2 = std::move(B);
+  S->Name2 = B;
   S->Ty2 = TyB;
   return S;
 }
 
-CoreStmtPtr CoreStmt::memSwap(std::string Ptr, const Type *PtrTy,
-                              std::string Val, const Type *ValTy) {
+CoreStmtPtr CoreStmt::memSwap(Symbol Ptr, const Type *PtrTy, Symbol Val,
+                              const Type *ValTy) {
   auto S = std::make_unique<CoreStmt>();
   S->K = Kind::MemSwap;
-  S->Name = std::move(Ptr);
+  S->Name = Ptr;
   S->Ty = PtrTy;
-  S->Name2 = std::move(Val);
+  S->Name2 = Val;
   S->Ty2 = ValTy;
   return S;
 }
 
-CoreStmtPtr CoreStmt::hadamard(std::string X, const Type *Ty) {
+CoreStmtPtr CoreStmt::hadamard(Symbol X, const Type *Ty) {
   auto S = std::make_unique<CoreStmt>();
   S->K = Kind::Hadamard;
-  S->Name = std::move(X);
+  S->Name = X;
   S->Ty = Ty;
   return S;
 }
 
+//===----------------------------------------------------------------------===//
+// Structural equality (worklist; deep nesting safe)
+//===----------------------------------------------------------------------===//
+
 bool stmtEquals(const CoreStmt &A, const CoreStmt &B) {
-  if (A.K != B.K || A.Name != B.Name || A.Name2 != B.Name2)
-    return false;
-  if ((A.K == CoreStmt::Kind::Assign || A.K == CoreStmt::Kind::UnAssign) &&
-      !(A.E == B.E))
-    return false;
-  return stmtListEquals(A.Body, B.Body) && stmtListEquals(A.DoBody, B.DoBody);
+  std::vector<std::pair<const CoreStmt *, const CoreStmt *>> Work;
+  Work.push_back({&A, &B});
+  while (!Work.empty()) {
+    auto [X, Y] = Work.back();
+    Work.pop_back();
+    if (X->K != Y->K || X->Name != Y->Name || X->Name2 != Y->Name2)
+      return false;
+    if ((X->K == CoreStmt::Kind::Assign ||
+         X->K == CoreStmt::Kind::UnAssign) &&
+        !(X->E == Y->E))
+      return false;
+    if (X->Body.size() != Y->Body.size() ||
+        X->DoBody.size() != Y->DoBody.size())
+      return false;
+    for (size_t I = 0; I != X->Body.size(); ++I)
+      Work.push_back({X->Body[I].get(), Y->Body[I].get()});
+    for (size_t I = 0; I != X->DoBody.size(); ++I)
+      Work.push_back({X->DoBody[I].get(), Y->DoBody[I].get()});
+  }
+  return true;
 }
 
 bool stmtListEquals(const CoreStmtList &A, const CoreStmtList &B) {
@@ -294,118 +537,87 @@ bool stmtListEquals(const CoreStmtList &A, const CoreStmtList &B) {
   return true;
 }
 
-CoreStmtList cloneStmts(const CoreStmtList &Stmts) {
-  CoreStmtList Out;
-  Out.reserve(Stmts.size());
-  for (const auto &S : Stmts)
-    Out.push_back(S->clone());
-  return Out;
-}
-
-std::string strStmts(const CoreStmtList &Stmts, unsigned Indent) {
-  std::string Out;
-  for (const auto &S : Stmts)
-    Out += S->str(Indent);
-  return Out;
-}
-
 //===----------------------------------------------------------------------===//
-// Reversal and analyses
+// Analyses (worklist walks; one sort+unique per query)
 //===----------------------------------------------------------------------===//
 
-CoreStmtPtr reverseStmt(const CoreStmt &S) {
-  switch (S.K) {
-  case CoreStmt::Kind::Assign:
-    return CoreStmt::unassign(S.Name, S.Ty, S.E);
-  case CoreStmt::Kind::UnAssign:
-    return CoreStmt::assign(S.Name, S.Ty, S.E);
-  case CoreStmt::Kind::If:
-    return CoreStmt::ifStmt(S.Name, reverseStmts(S.Body));
-  case CoreStmt::Kind::With:
-    // (a; b; I[a])^-1 = a; I[b]; I[a].
-    return CoreStmt::with(cloneStmts(S.Body), reverseStmts(S.DoBody));
-  case CoreStmt::Kind::Skip:
-  case CoreStmt::Kind::Swap:
-  case CoreStmt::Kind::MemSwap:
-  case CoreStmt::Kind::Hadamard:
-    return S.clone();
-  }
-  return S.clone();
-}
+namespace {
 
-CoreStmtList reverseStmts(const CoreStmtList &Stmts) {
-  CoreStmtList Out;
-  Out.reserve(Stmts.size());
-  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
-    Out.push_back(reverseStmt(**It));
-  return Out;
-}
-
-static void modStmt(const CoreStmt &S, std::set<std::string> &Out) {
-  switch (S.K) {
-  case CoreStmt::Kind::Skip:
-    break;
-  case CoreStmt::Kind::Assign:
-  case CoreStmt::Kind::UnAssign:
-  case CoreStmt::Kind::Hadamard:
-    Out.insert(S.Name);
-    break;
-  case CoreStmt::Kind::Swap:
-    Out.insert(S.Name);
-    Out.insert(S.Name2);
-    break;
-  case CoreStmt::Kind::MemSwap:
-    Out.insert(S.Name2);
-    break;
-  case CoreStmt::Kind::If:
-    for (const auto &Sub : S.Body)
-      modStmt(*Sub, Out);
-    break;
-  case CoreStmt::Kind::With:
-    for (const auto &Sub : S.Body)
-      modStmt(*Sub, Out);
-    for (const auto &Sub : S.DoBody)
-      modStmt(*Sub, Out);
-    break;
-  }
-}
-
-std::set<std::string> modSet(const CoreStmtList &Stmts) {
-  std::set<std::string> Out;
+/// Walks `Stmts` without recursion, appending to `Acc` per statement via
+/// `Visit(const CoreStmt &, std::vector<Symbol> &)`.
+template <typename VisitFn>
+SymbolSet collectOverStmts(const CoreStmtList &Stmts, VisitFn Visit) {
+  std::vector<Symbol> Acc;
+  std::vector<const CoreStmt *> Work;
+  Work.reserve(Stmts.size());
   for (const auto &S : Stmts)
-    modStmt(*S, Out);
+    Work.push_back(S.get());
+  while (!Work.empty()) {
+    const CoreStmt *S = Work.back();
+    Work.pop_back();
+    Visit(*S, Acc);
+    for (const auto &Sub : S->Body)
+      Work.push_back(Sub.get());
+    for (const auto &Sub : S->DoBody)
+      Work.push_back(Sub.get());
+  }
+  SymbolSet Out;
+  Out.adoptUnsorted(std::move(Acc));
   return Out;
 }
 
-static void allVarsStmt(const CoreStmt &S, std::set<std::string> &Out) {
-  if (!S.Name.empty())
-    Out.insert(S.Name);
-  if (!S.Name2.empty())
-    Out.insert(S.Name2);
-  if (S.K == CoreStmt::Kind::Assign || S.K == CoreStmt::Kind::UnAssign)
-    S.E.collectVars(Out);
-  for (const auto &Sub : S.Body)
-    allVarsStmt(*Sub, Out);
-  for (const auto &Sub : S.DoBody)
-    allVarsStmt(*Sub, Out);
+} // namespace
+
+SymbolSet modSet(const CoreStmtList &Stmts) {
+  return collectOverStmts(Stmts, [](const CoreStmt &S,
+                                    std::vector<Symbol> &Acc) {
+    switch (S.K) {
+    case CoreStmt::Kind::Assign:
+    case CoreStmt::Kind::UnAssign:
+    case CoreStmt::Kind::Hadamard:
+      Acc.push_back(S.Name);
+      break;
+    case CoreStmt::Kind::Swap:
+      Acc.push_back(S.Name);
+      Acc.push_back(S.Name2);
+      break;
+    case CoreStmt::Kind::MemSwap:
+      Acc.push_back(S.Name2);
+      break;
+    case CoreStmt::Kind::Skip:
+    case CoreStmt::Kind::If:
+    case CoreStmt::Kind::With:
+      break; // Blocks contribute through their children.
+    }
+  });
 }
 
-std::set<std::string> allVars(const CoreStmtList &Stmts) {
-  std::set<std::string> Out;
-  for (const auto &S : Stmts)
-    allVarsStmt(*S, Out);
-  return Out;
+SymbolSet allVars(const CoreStmtList &Stmts) {
+  return collectOverStmts(Stmts, [](const CoreStmt &S,
+                                    std::vector<Symbol> &Acc) {
+    if (!S.Name.empty())
+      Acc.push_back(S.Name);
+    if (!S.Name2.empty())
+      Acc.push_back(S.Name2);
+    if (S.K == CoreStmt::Kind::Assign || S.K == CoreStmt::Kind::UnAssign)
+      S.E.appendVars(Acc);
+  });
 }
 
-CoreProgram CoreProgram::clone() const {
+CoreProgram CoreProgram::cloneShell() const {
   CoreProgram P;
   P.Types = Types;
   P.Inputs = Inputs;
   P.OutputVar = OutputVar;
   P.OutputTy = OutputTy;
-  P.Body = cloneStmts(Body);
   P.NumAllocCells = NumAllocCells;
   P.PointeeTypes = PointeeTypes;
+  return P;
+}
+
+CoreProgram CoreProgram::clone() const {
+  CoreProgram P = cloneShell();
+  P.Body = cloneStmts(Body);
   return P;
 }
 
@@ -414,9 +626,12 @@ std::string CoreProgram::str() const {
   for (size_t I = 0; I != Inputs.size(); ++I) {
     if (I)
       Out += ", ";
-    Out += Inputs[I].first + ": " + Inputs[I].second->str();
+    Out += Inputs[I].first.view();
+    Out += ": " + Inputs[I].second->str();
   }
-  Out += ") -> " + OutputVar + " {\n" + strStmts(Body, 1) + "}\n";
+  Out += ") -> ";
+  Out += OutputVar.view();
+  Out += " {\n" + strStmts(Body, 1) + "}\n";
   return Out;
 }
 

@@ -17,16 +17,31 @@
 /// (the paper's value forms n, true, false, null, ()). All atoms carry
 /// their type, annotated during lowering.
 ///
+/// Variable names are interned support::Symbols (4-byte ids into the
+/// process-wide spelling arena), so every scope lookup, mod-set query,
+/// and equality test in the middle end is an integer operation; spellings
+/// are materialized only by str() and diagnostics. The variable analyses
+/// (modSet, allVars, collectVars) return flat sorted SymbolSets built
+/// with one sort+unique pass — no per-element node allocation.
+///
+/// Recursion discipline: const-arg recursion lowers to IR whose
+/// with-block nesting grows with the recursion depth, so *everything*
+/// here that walks statement trees — destruction, clone, reversal,
+/// structural equality, printing, and the analyses — runs on explicit
+/// worklists with O(1) C++ stack, matching the PR 2 lowerer and letting
+/// deep programs flow through the whole pipeline (ir_test pins
+/// destruction and printing at depth 200k).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIRE_IR_CORE_H
 #define SPIRE_IR_CORE_H
 
 #include "ast/AST.h"
+#include "support/Symbol.h"
 
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +51,8 @@ using ast::BinaryOp;
 using ast::Type;
 using ast::TypeContext;
 using ast::UnaryOp;
+using support::Symbol;
+using support::SymbolSet;
 
 //===----------------------------------------------------------------------===//
 // Atoms
@@ -48,7 +65,7 @@ using ast::UnaryOp;
 struct Atom {
   enum class Kind { Var, Const };
   Kind K = Kind::Const;
-  std::string Var;       ///< For Kind::Var.
+  Symbol Var;            ///< For Kind::Var.
   uint64_t ConstBits = 0;///< For Kind::Const.
   const Type *Ty = nullptr;
   /// Marks a statically assigned heap-cell address produced by `alloc<T>`
@@ -63,7 +80,7 @@ struct Atom {
   /// A constant whose bit pattern is all zero (including null and ()).
   bool isZeroConst() const { return isConst() && ConstBits == 0; }
 
-  static Atom var(std::string Name, const Type *Ty);
+  static Atom var(Symbol Name, const Type *Ty);
   static Atom constant(uint64_t Bits, const Type *Ty);
   static Atom allocConst(uint64_t Address, const Type *Ty);
 
@@ -98,7 +115,10 @@ struct CoreExpr {
   bool isConst() const { return K == Kind::AtomE && A.isConst(); }
   bool isZeroConst() const { return isConst() && A.ConstBits == 0; }
 
-  void collectVars(std::set<std::string> &Out) const;
+  void collectVars(SymbolSet &Out) const;
+  /// Appends the variable operands (unsorted, possibly duplicated) —
+  /// the building block the sort+unique analyses batch over.
+  void appendVars(std::vector<Symbol> &Out) const;
   std::string str() const;
   friend bool operator==(const CoreExpr &A, const CoreExpr &B);
 };
@@ -127,9 +147,9 @@ struct CoreStmt {
   };
 
   Kind K = Kind::Skip;
-  std::string Name;   ///< Assign/UnAssign/Hadamard target, Swap LHS,
-                      ///< MemSwap pointer, If condition variable.
-  std::string Name2;  ///< Swap RHS, MemSwap value.
+  Symbol Name;   ///< Assign/UnAssign/Hadamard target, Swap LHS,
+                 ///< MemSwap pointer, If condition variable.
+  Symbol Name2;  ///< Swap RHS, MemSwap value.
   const Type *Ty = nullptr;  ///< Type of Name (where meaningful).
   const Type *Ty2 = nullptr; ///< Type of Name2 (Swap/MemSwap).
   CoreExpr E;         ///< Assign/UnAssign RHS.
@@ -151,15 +171,15 @@ struct CoreStmt {
   std::string str(unsigned Indent = 0) const;
 
   static CoreStmtPtr skip();
-  static CoreStmtPtr assign(std::string X, const Type *Ty, CoreExpr E);
-  static CoreStmtPtr unassign(std::string X, const Type *Ty, CoreExpr E);
-  static CoreStmtPtr ifStmt(std::string CondVar, CoreStmtList Body);
+  static CoreStmtPtr assign(Symbol X, const Type *Ty, CoreExpr E);
+  static CoreStmtPtr unassign(Symbol X, const Type *Ty, CoreExpr E);
+  static CoreStmtPtr ifStmt(Symbol CondVar, CoreStmtList Body);
   static CoreStmtPtr with(CoreStmtList Body, CoreStmtList DoBody);
-  static CoreStmtPtr swap(std::string A, const Type *TyA, std::string B,
+  static CoreStmtPtr swap(Symbol A, const Type *TyA, Symbol B,
                           const Type *TyB);
-  static CoreStmtPtr memSwap(std::string Ptr, const Type *PtrTy,
-                             std::string Val, const Type *ValTy);
-  static CoreStmtPtr hadamard(std::string X, const Type *Ty);
+  static CoreStmtPtr memSwap(Symbol Ptr, const Type *PtrTy, Symbol Val,
+                             const Type *ValTy);
+  static CoreStmtPtr hadamard(Symbol X, const Type *Ty);
 };
 
 /// Deep structural equality, used by optimization and reversal tests.
@@ -180,17 +200,17 @@ CoreStmtPtr reverseStmt(const CoreStmt &S);
 CoreStmtList reverseStmts(const CoreStmtList &Stmts);
 
 /// mod(s) from Fig. 20, extended to With (both blocks).
-std::set<std::string> modSet(const CoreStmtList &Stmts);
+SymbolSet modSet(const CoreStmtList &Stmts);
 
 /// All variable names referenced anywhere in the statements.
-std::set<std::string> allVars(const CoreStmtList &Stmts);
+SymbolSet allVars(const CoreStmtList &Stmts);
 
 /// A whole lowered program: a flat core statement list plus the variables
 /// that are inputs (function parameters) and the declared output.
 struct CoreProgram {
   std::shared_ptr<TypeContext> Types;
-  std::vector<std::pair<std::string, const Type *>> Inputs;
-  std::string OutputVar;
+  std::vector<std::pair<Symbol, const Type *>> Inputs;
+  Symbol OutputVar;
   const Type *OutputTy = nullptr;
   CoreStmtList Body;
   /// Number of heap cells statically assigned by `alloc<T>` lowering.
@@ -200,14 +220,25 @@ struct CoreProgram {
   std::vector<const Type *> PointeeTypes;
 
   CoreProgram clone() const;
+  /// Copies everything except Body (left empty). Passes that produce a
+  /// fresh body (the Spire rewriter) use this so the non-body field
+  /// list lives in exactly one place next to clone().
+  CoreProgram cloneShell() const;
   std::string str() const;
 };
 
 /// Generates fresh, globally unique variable names with a given prefix.
+/// The "%" sigil cannot appear in surface identifiers, so fresh names
+/// never collide with interned source spellings.
 class NameGen {
 public:
-  std::string fresh(const std::string &Prefix) {
-    return "%" + Prefix + std::to_string(Counter++);
+  Symbol fresh(std::string_view Prefix) {
+    std::string Spelling;
+    Spelling.reserve(Prefix.size() + 12);
+    Spelling += '%';
+    Spelling += Prefix;
+    Spelling += std::to_string(Counter++);
+    return Symbol(Spelling);
   }
 
 private:

@@ -9,7 +9,7 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 using namespace spire::ast;
@@ -19,14 +19,21 @@ namespace spire::lowering {
 
 namespace {
 
+using support::Symbol;
+using support::SymbolSet;
+
 /// A live variable binding in the current lowering scope: the core-IR name
 /// it was renamed to, plus its type.
 struct VarBinding {
-  std::string CoreName;
+  Symbol CoreName;
   const Type *Ty = nullptr;
 };
 
-using Scope = std::map<std::string, VarBinding>;
+/// Scopes key surface spellings by Symbol: one intern (a short-string
+/// hash) per reference, u32 equality thereafter — no per-lookup string
+/// compares and no tree-node churn when scopes are copied around
+/// with-blocks.
+using Scope = std::unordered_map<Symbol, VarBinding>;
 
 /// Whether a callee body is spliced forward or reversed (un-call).
 enum class CallMode { Forward, Reversed };
@@ -61,12 +68,31 @@ struct StmtWork {
 
   // If artifacts.
   CoreStmtList Pre;
-  std::string CondName, NotName;
+  Symbol CondName, NotName;
   CoreStmtList Then, Else;
 
   // With artifacts.
   Scope Snapshot, AfterWith;
   CoreStmtList WithBody, DoBody;
+
+  /// Returns the object to its just-constructed state while keeping the
+  /// container capacities (StmtWorks are pooled — one is acquired per
+  /// compound statement, which used to mean one heap allocation each).
+  void reset(Kind NewK) {
+    K = NewK;
+    Pending.clear();
+    NextPending = 0;
+    Phase = 0;
+    Pre.clear();
+    CondName = Symbol();
+    NotName = Symbol();
+    Then.clear();
+    Else.clear();
+    Snapshot.clear();
+    AfterWith.clear();
+    WithBody.clear();
+    DoBody.clear();
+  }
 };
 
 /// Epilogue data for an inlined-call frame: everything needed to finish
@@ -86,7 +112,7 @@ struct CallCompletion {
   /// in the caller's pending list for statement replay.
   enum class Dest { LetDirect, UnLetDirect, ExprPending };
   Dest D = Dest::ExprPending;
-  std::string LetName; ///< Surface variable for LetDirect/UnLetDirect.
+  Symbol LetName; ///< Surface variable for LetDirect/UnLetDirect.
 };
 
 /// One in-flight block lowering on the machine's explicit stack: a
@@ -118,7 +144,32 @@ struct Frame {
   enum class Deliver { Root, Then, Else, WithBlock, DoBlock, Call };
   Deliver D = Deliver::Root;
   Frame *Parent = nullptr;
-  std::unique_ptr<CallCompletion> Call; ///< For Deliver::Call frames.
+  CallCompletion Call; ///< For Deliver::Call frames.
+
+  /// Returns the frame to its just-constructed state, keeping container
+  /// capacities (frames are pooled across the up-to-10^5 inlined calls
+  /// of the recursive benchmarks; in particular the callee scope's hash
+  /// buckets are reused instead of reallocated per call).
+  void reset() {
+    Stmts = nullptr;
+    OwnedStmts.clear();
+    Next = 0;
+    Out = nullptr;
+    OwnedOut.clear();
+    S = nullptr;
+    OwnedScope.clear();
+    Work.reset();
+    D = Deliver::Root;
+    Parent = nullptr;
+    Call.Callee = nullptr;
+    Call.Mode = CallMode::Forward;
+    Call.ConstPrologue.clear();
+    Call.BoundResult.reset();
+    Call.SavedSizeParam.clear();
+    Call.SavedSizeValue = 0;
+    Call.D = CallCompletion::Dest::ExprPending;
+    Call.LetName = Symbol();
+  }
 };
 
 /// The lowerer, rewritten from mutual C++ recursion into an explicit
@@ -173,7 +224,7 @@ private:
   /// synchronously for the size<=0 base case. Returns false on error.
   bool startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
                        std::optional<VarBinding> BoundResult,
-                       CallCompletion::Dest D, std::string LetName);
+                       CallCompletion::Dest D, Symbol LetName);
 
   /// Inlines the call recorded by the last Flow::Suspend into the frame's
   /// pending list.
@@ -182,7 +233,7 @@ private:
     const Expr &Call = *SuspendedCall;
     SuspendedCall = nullptr;
     return startInlineCall(F, Call, CallMode::Forward, std::nullopt,
-                           CallCompletion::Dest::ExprPending, "");
+                           CallCompletion::Dest::ExprPending, Symbol());
   }
 
   // -- Expression flattening (recursive; depth bounded by the source). -----
@@ -197,7 +248,7 @@ private:
     unsigned SavedAllocCells = 0;
     size_t SavedPointees = 0;
     /// Touched name counters with their prior value (nullopt = absent).
-    std::vector<std::pair<std::string, std::optional<unsigned>>> Counters;
+    std::vector<std::pair<Symbol, std::optional<unsigned>>> Counters;
     /// Pending bodies moved into Pre: (pending index, start, length).
     struct Splice {
       size_t PendingIdx, Start, Len;
@@ -212,7 +263,7 @@ private:
   }
   void endAttempt() { ActiveJournal = nullptr; }
   void rollbackAttempt(Journal &J, CoreStmtList &Pre, StmtWork &W);
-  void journalCounter(const std::string &Name);
+  void journalCounter(Symbol Name);
 
   /// Evaluates a static size expression in the current instance.
   int64_t evalSize(const SizeExpr &E) const {
@@ -220,24 +271,28 @@ private:
   }
 
   /// Produces a unique core-IR name derived from a surface name.
-  std::string uniquify(const std::string &Name);
+  Symbol uniquify(Symbol Name);
 
   /// mod(body) of a callee, cached: collectModSet walks the whole body
   /// and the recursive benchmarks inline the same function up to 10^5
-  /// times.
-  const std::set<std::string> &modSetOf(const FunDecl &F);
+  /// times. The cached set is a flat sorted SymbolSet.
+  const SymbolSet &modSetOf(const FunDecl &F);
 
   ast::Program &Program;
   support::DiagnosticEngine &Diags;
   const LowerOptions &Opts;
   TypeContext &Types;
 
-  std::map<std::string, unsigned> NameCounters;
+  std::unordered_map<Symbol, unsigned> NameCounters;
   unsigned InlineInstances = 0;
   unsigned InlineDepth = 0;
   unsigned AllocCells = 0;
   std::vector<const Type *> PointeeTypes;
-  std::map<const FunDecl *, std::set<std::string>> ModSets;
+  std::map<const FunDecl *, SymbolSet> ModSets;
+
+  /// Interned-once spellings for the lowering-generated name families.
+  const Symbol TempPrefix = Symbol("%e");
+  const Symbol NotPrefix = Symbol("%not");
 
   std::string CurrentSizeParam;
   int64_t CurrentSizeValue = 0;
@@ -245,9 +300,40 @@ private:
   std::vector<std::unique_ptr<Frame>> Frames;
   const Expr *SuspendedCall = nullptr;
   Journal *ActiveJournal = nullptr;
+
+  /// Recycled machine objects (see Frame::reset / StmtWork::reset).
+  std::vector<std::unique_ptr<Frame>> FramePool;
+  std::vector<std::unique_ptr<StmtWork>> WorkPool;
+
+  std::unique_ptr<Frame> acquireFrame() {
+    if (FramePool.empty())
+      return std::make_unique<Frame>();
+    std::unique_ptr<Frame> F = std::move(FramePool.back());
+    FramePool.pop_back();
+    return F;
+  }
+  void recycleFrame(std::unique_ptr<Frame> F) {
+    F->reset();
+    FramePool.push_back(std::move(F));
+  }
+  std::unique_ptr<StmtWork> acquireWork(StmtWork::Kind K) {
+    if (WorkPool.empty()) {
+      auto W = std::make_unique<StmtWork>();
+      W->K = K;
+      return W;
+    }
+    std::unique_ptr<StmtWork> W = std::move(WorkPool.back());
+    WorkPool.pop_back();
+    W->reset(K);
+    return W;
+  }
+  void recycleWork(std::unique_ptr<StmtWork> W) {
+    if (W)
+      WorkPool.push_back(std::move(W));
+  }
 };
 
-void Lowerer::journalCounter(const std::string &Name) {
+void Lowerer::journalCounter(Symbol Name) {
   if (!ActiveJournal)
     return;
   auto It = NameCounters.find(Name);
@@ -256,15 +342,21 @@ void Lowerer::journalCounter(const std::string &Name) {
                                      : std::optional<unsigned>(It->second));
 }
 
-std::string Lowerer::uniquify(const std::string &Name) {
+Symbol Lowerer::uniquify(Symbol Name) {
   journalCounter(Name);
   unsigned &Counter = NameCounters[Name];
-  std::string Result =
-      Counter == 0 ? Name : Name + "'" + std::to_string(Counter);
+  // The common case — first use of the spelling — touches no strings at
+  // all; suffixed spellings are materialized (and interned) only when a
+  // name is actually reused.
+  Symbol Result =
+      Counter == 0
+          ? Name
+          : Symbol(Name.str() + "'" + std::to_string(Counter));
   ++Counter;
   // Guard against a user-written name colliding with a suffixed one.
   while (NameCounters.count(Result) && Result != Name) {
-    Result = Name + "'" + std::to_string(NameCounters[Name]);
+    Result = Symbol(Name.str() + "'" +
+                    std::to_string(NameCounters[Name]));
     ++NameCounters[Name];
   }
   if (Result != Name) {
@@ -274,7 +366,7 @@ std::string Lowerer::uniquify(const std::string &Name) {
   return Result;
 }
 
-const std::set<std::string> &Lowerer::modSetOf(const FunDecl &F) {
+const SymbolSet &Lowerer::modSetOf(const FunDecl &F) {
   auto It = ModSets.find(&F);
   if (It == ModSets.end())
     It = ModSets.emplace(&F, sema::collectModSet(F.Body)).first;
@@ -343,7 +435,7 @@ Flow Lowerer::atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out,
                       StmtWork &W) {
   switch (E.K) {
   case Expr::Kind::Var: {
-    auto It = S.find(E.Name);
+    auto It = S.find(E.nameSym());
     if (It == S.end()) {
       Diags.error(E.Loc, "use of undeclared variable '" + E.Name +
                              "' during lowering");
@@ -385,7 +477,7 @@ Flow Lowerer::atomize(const Expr &E, Scope &S, CoreStmtList &Pre, Atom &Out,
     Flow Fl = flattenExpr(E, S, Pre, Sub, W);
     if (Fl != Flow::OK)
       return Fl;
-    std::string Temp = uniquify("%e");
+    Symbol Temp = uniquify(TempPrefix);
     Atom Var = Atom::var(Temp, Sub.Ty);
     Pre.push_back(CoreStmt::assign(Temp, Sub.Ty, std::move(Sub)));
     Out = std::move(Var);
@@ -457,7 +549,7 @@ Flow Lowerer::flattenExpr(const Expr &E, Scope &S, CoreStmtList &Pre,
 
 bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
                               std::optional<VarBinding> BoundResult,
-                              CallCompletion::Dest D, std::string LetName) {
+                              CallCompletion::Dest D, Symbol LetName) {
   const FunDecl *Callee = Program.findFunction(Call.Name);
   assert(Callee && "call to unknown function survived type checking");
   bool Reversed = Mode == CallMode::Reversed;
@@ -493,7 +585,7 @@ bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
                                        BoundResult->Ty, std::move(Zero)));
       Result = *BoundResult;
     } else {
-      std::string Name = uniquify(Callee->Name + ".base");
+      Symbol Name = uniquify(Symbol(Callee->Name + ".base"));
       Final.push_back(CoreStmt::assign(Name, ResultTy, std::move(Zero)));
       Result = {Name, ResultTy};
     }
@@ -516,24 +608,26 @@ bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
     return false;
   }
 
-  // Bind parameters. Variable arguments alias the caller's registers (the
-  // callee body operates on them directly); constant arguments are
-  // substituted through a with-block temporary and must not be modified
-  // by the callee body, which we verify against mod(body).
-  Scope CalleeScope;
-  const std::set<std::string> &CalleeMods = modSetOf(*Callee);
+  // Bind parameters directly into the (pooled) callee frame's scope.
+  // Variable arguments alias the caller's registers (the callee body
+  // operates on them directly); constant arguments are substituted
+  // through a with-block temporary and must not be modified by the
+  // callee body, which we verify against mod(body).
+  std::unique_ptr<Frame> NF = acquireFrame();
+  Scope &CalleeScope = NF->OwnedScope;
+  const SymbolSet &CalleeMods = modSetOf(*Callee);
   CoreStmtList ConstPrologue;
   for (size_t I = 0; I != Call.Args.size(); ++I) {
     const Expr &Arg = *Call.Args[I];
     const auto &[PName, PTy] = Callee->Params[I];
     if (Arg.K == Expr::Kind::Var) {
-      auto It = Caller.S->find(Arg.Name);
+      auto It = Caller.S->find(Arg.nameSym());
       if (It == Caller.S->end()) {
         Diags.error(Arg.Loc, "argument variable '" + Arg.Name +
                                  "' is not live at the call");
         return false;
       }
-      CalleeScope[PName] = It->second;
+      CalleeScope[Callee->paramSym(I)] = It->second;
       continue;
     }
     Atom C;
@@ -552,55 +646,52 @@ bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
                            "(compound expressions are not supported)");
       return false;
     }
-    if (CalleeMods.count(PName)) {
+    if (CalleeMods.count(Callee->paramSym(I))) {
       Diags.error(Arg.Loc, "constant argument bound to parameter '" + PName +
                                "' which the callee modifies; pass a "
                                "variable instead");
       return false;
     }
-    std::string Temp = uniquify(PName);
+    Symbol Temp = uniquify(Callee->paramSym(I));
     VarBinding TempBinding{Temp, PTy};
     ConstPrologue.push_back(
         CoreStmt::assign(Temp, PTy, CoreExpr::atom(std::move(C))));
-    CalleeScope[PName] = TempBinding;
+    CalleeScope[Callee->paramSym(I)] = TempBinding;
   }
 
   if (BoundResult) {
-    if (CalleeScope.count(Callee->ReturnVar)) {
+    if (CalleeScope.count(Callee->returnVarSym())) {
       Diags.error(Call.Loc, "cannot bind the result of '" + Call.Name +
                                 "': its return variable shadows a "
                                 "parameter");
       return false;
     }
-    CalleeScope[Callee->ReturnVar] = *BoundResult;
+    CalleeScope[Callee->returnVarSym()] = *BoundResult;
   }
 
-  auto C = std::make_unique<CallCompletion>();
-  C->Callee = Callee;
-  C->Mode = Mode;
-  C->ConstPrologue = std::move(ConstPrologue);
-  C->BoundResult = std::move(BoundResult);
-  C->SavedSizeParam = std::move(CurrentSizeParam);
-  C->SavedSizeValue = CurrentSizeValue;
-  C->D = D;
-  C->LetName = std::move(LetName);
+  CallCompletion &C = NF->Call;
+  C.Callee = Callee;
+  C.Mode = Mode;
+  C.ConstPrologue = std::move(ConstPrologue);
+  C.BoundResult = std::move(BoundResult);
+  C.SavedSizeParam = std::move(CurrentSizeParam);
+  C.SavedSizeValue = CurrentSizeValue;
+  C.D = D;
+  C.LetName = LetName;
   CurrentSizeParam = Callee->SizeParam;
   CurrentSizeValue = CalleeSize;
 
-  auto NF = std::make_unique<Frame>();
   NF->D = Frame::Deliver::Call;
   NF->Parent = &Caller;
   // A directly bound call with no constant prologue splices flat at the
   // caller's current end, so its body can accumulate there in place;
   // otherwise the body is wrapped or memoized on completion and needs its
   // own list.
-  NF->Call = std::move(C);
-  if (NF->Call->ConstPrologue.empty() &&
+  if (NF->Call.ConstPrologue.empty() &&
       D != CallCompletion::Dest::ExprPending)
     NF->Out = Caller.Out;
   else
     NF->Out = &NF->OwnedOut;
-  NF->OwnedScope = std::move(CalleeScope);
   NF->S = &NF->OwnedScope;
   if (Reversed) {
     NF->OwnedStmts = ast::reverseStmts(Callee->Body);
@@ -616,7 +707,7 @@ bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
 }
 
 bool Lowerer::finishCall(Frame &F) {
-  CallCompletion &C = *F.Call;
+  CallCompletion &C = F.Call;
   CurrentSizeParam = std::move(C.SavedSizeParam);
   CurrentSizeValue = C.SavedSizeValue;
   --InlineDepth;
@@ -633,7 +724,7 @@ bool Lowerer::finishCall(Frame &F) {
 
   VarBinding Result;
   if (C.Mode == CallMode::Forward) {
-    auto RV = F.S->find(C.Callee->ReturnVar);
+    auto RV = F.S->find(C.Callee->returnVarSym());
     if (RV == F.S->end()) {
       Diags.error(C.Callee->Loc, "return variable '" + C.Callee->ReturnVar +
                                      "' is not live at the end of '" +
@@ -670,7 +761,7 @@ bool Lowerer::deliverCall(Frame &Caller, CallCompletion &C,
 
 void Lowerer::pushBlockFrame(Frame &Parent, const StmtList &Stmts,
                              Frame::Deliver D) {
-  auto NF = std::make_unique<Frame>();
+  std::unique_ptr<Frame> NF = acquireFrame();
   NF->Stmts = &Stmts;
   NF->Out = &NF->OwnedOut;
   NF->S = Parent.S; // Nested blocks share the enclosing scope object.
@@ -680,10 +771,8 @@ void Lowerer::pushBlockFrame(Frame &Parent, const StmtList &Stmts,
 }
 
 bool Lowerer::runExprStmt(Frame &F, const Stmt &St) {
-  if (!F.Work) {
-    F.Work = std::make_unique<StmtWork>();
-    F.Work->K = StmtWork::Kind::Expr;
-  }
+  if (!F.Work)
+    F.Work = acquireWork(StmtWork::Kind::Expr);
   StmtWork &W = *F.Work;
   W.NextPending = 0;
 
@@ -691,7 +780,7 @@ bool Lowerer::runExprStmt(Frame &F, const Stmt &St) {
   Scope &S = *F.S;
   auto Target = S.end();
   if (IsUnLet) {
-    Target = S.find(St.Name);
+    Target = S.find(St.nameSym());
     if (Target == S.end()) {
       Diags.error(St.Loc, "un-assignment of unbound variable '" + St.Name +
                               "' during lowering");
@@ -718,14 +807,14 @@ bool Lowerer::runExprStmt(Frame &F, const Stmt &St) {
                               std::move(RHS));
     S.erase(Target);
   } else {
-    auto It = S.find(St.Name);
-    std::string CoreName;
+    auto It = S.find(St.nameSym());
+    Symbol CoreName;
     if (It != S.end()) {
       // Re-declaration: XOR into the same register (Appendix B.2).
       CoreName = It->second.CoreName;
     } else {
-      CoreName = uniquify(St.Name);
-      S[St.Name] = {CoreName, RHS.Ty};
+      CoreName = uniquify(St.nameSym());
+      S[St.nameSym()] = {CoreName, RHS.Ty};
     }
     const Type *Ty = RHS.Ty;
     Main = CoreStmt::assign(CoreName, Ty, std::move(RHS));
@@ -737,7 +826,7 @@ bool Lowerer::runExprStmt(Frame &F, const Stmt &St) {
     DoBody.push_back(std::move(Main));
     F.Out->push_back(CoreStmt::with(std::move(Pre), std::move(DoBody)));
   }
-  F.Work.reset();
+  recycleWork(std::move(F.Work));
   ++F.Next;
   return true;
 }
@@ -755,7 +844,7 @@ bool Lowerer::emitIf(Frame &F, const Stmt &St) {
   } else {
     F.Out->push_back(CoreStmt::with(std::move(W.Pre), std::move(DoBody)));
   }
-  F.Work.reset();
+  recycleWork(std::move(F.Work));
   ++F.Next;
   return true;
 }
@@ -787,7 +876,7 @@ bool Lowerer::resumeIf(Frame &F, const Stmt &St) {
     assert(CondAtom.isVar() && "condition atom should be a variable");
     W.CondName = CondAtom.Var;
     if (HasElse) {
-      W.NotName = uniquify("%not");
+      W.NotName = uniquify(NotPrefix);
       Pre.push_back(CoreStmt::assign(
           W.NotName, Types.boolType(),
           CoreExpr::unary(UnaryOp::Not, CondAtom, Types.boolType())));
@@ -843,7 +932,7 @@ bool Lowerer::resumeWith(Frame &F, const Stmt &St) {
     S = std::move(Final);
     F.Out->push_back(
         CoreStmt::with(std::move(W.WithBody), std::move(W.DoBody)));
-    F.Work.reset();
+    recycleWork(std::move(F.Work));
     ++F.Next;
     return true;
   }
@@ -880,7 +969,7 @@ bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
     // variable is pre-bound to it so writes XOR into the same register.
     if (St.E->K == Expr::Kind::Call) {
       std::optional<VarBinding> Bound;
-      auto Existing = S.find(St.Name);
+      auto Existing = S.find(St.nameSym());
       if (Existing != S.end())
         Bound = Existing->second;
       return startInlineCall(F, *St.E, CallMode::Forward, std::move(Bound),
@@ -890,7 +979,7 @@ bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
   }
 
   case Stmt::Kind::UnLet: {
-    auto It = S.find(St.Name);
+    auto It = S.find(St.nameSym());
     if (It == S.end()) {
       Diags.error(St.Loc, "un-assignment of unbound variable '" + St.Name +
                               "' during lowering");
@@ -906,7 +995,7 @@ bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
   }
 
   case Stmt::Kind::Swap: {
-    auto A = S.find(St.Name), B = S.find(St.Name2);
+    auto A = S.find(St.nameSym()), B = S.find(St.name2Sym());
     if (A == S.end() || B == S.end()) {
       Diags.error(St.Loc, "swap of unbound variable during lowering");
       return false;
@@ -918,7 +1007,7 @@ bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
   }
 
   case Stmt::Kind::MemSwap: {
-    auto P = S.find(St.Name), V = S.find(St.Name2);
+    auto P = S.find(St.nameSym()), V = S.find(St.name2Sym());
     if (P == S.end() || V == S.end()) {
       Diags.error(St.Loc, "memory swap of unbound variable during lowering");
       return false;
@@ -931,7 +1020,7 @@ bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
   }
 
   case Stmt::Kind::Hadamard: {
-    auto X = S.find(St.Name);
+    auto X = S.find(St.nameSym());
     if (X == S.end()) {
       Diags.error(St.Loc, "h() of unbound variable during lowering");
       return false;
@@ -942,13 +1031,11 @@ bool Lowerer::dispatchStmt(Frame &F, const Stmt &St) {
   }
 
   case Stmt::Kind::If:
-    F.Work = std::make_unique<StmtWork>();
-    F.Work->K = StmtWork::Kind::If;
+    F.Work = acquireWork(StmtWork::Kind::If);
     return resumeIf(F, St);
 
   case Stmt::Kind::With:
-    F.Work = std::make_unique<StmtWork>();
-    F.Work->K = StmtWork::Kind::With;
+    F.Work = acquireWork(StmtWork::Kind::With);
     return resumeWith(F, St);
   }
   return false;
@@ -963,30 +1050,38 @@ bool Lowerer::stepFrame(Frame &F) {
 bool Lowerer::completeFrame() {
   std::unique_ptr<Frame> F = std::move(Frames.back());
   Frames.pop_back();
+  bool OK = false;
   switch (F->D) {
   case Frame::Deliver::Root:
     // The root frame writes directly into the result body.
-    return true;
+    OK = true;
+    break;
   case Frame::Deliver::Then:
     F->Parent->Work->Then = std::move(F->OwnedOut);
     F->Parent->Work->Phase = 2;
-    return true;
+    OK = true;
+    break;
   case Frame::Deliver::Else:
     F->Parent->Work->Else = std::move(F->OwnedOut);
     F->Parent->Work->Phase = 4;
-    return true;
+    OK = true;
+    break;
   case Frame::Deliver::WithBlock:
     F->Parent->Work->WithBody = std::move(F->OwnedOut);
     F->Parent->Work->Phase = 2;
-    return true;
+    OK = true;
+    break;
   case Frame::Deliver::DoBlock:
     F->Parent->Work->DoBody = std::move(F->OwnedOut);
     F->Parent->Work->Phase = 4;
-    return true;
+    OK = true;
+    break;
   case Frame::Deliver::Call:
-    return finishCall(*F);
+    OK = finishCall(*F);
+    break;
   }
-  return false;
+  recycleFrame(std::move(F));
+  return OK;
 }
 
 bool Lowerer::runMachine() {
@@ -1030,7 +1125,7 @@ std::optional<CoreProgram> Lowerer::run(const std::string &Entry,
   CurrentSizeParam = F->SizeParam;
   CurrentSizeValue = SizeValue;
 
-  auto Root = std::make_unique<Frame>();
+  std::unique_ptr<Frame> Root = acquireFrame();
   Root->Stmts = &F->Body;
   Root->Out = &Result.Body;
   Root->S = &RootScope;

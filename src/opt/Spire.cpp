@@ -8,142 +8,400 @@ namespace spire::opt {
 
 namespace {
 
+using support::Symbol;
+
+//===----------------------------------------------------------------------===//
+// The Fig. 22 rewriter as an explicit worklist machine.
+//
+// The paper's 12-line OCaml recurses structurally; const-arg recursion
+// lowers to one with-block of nesting per level, so C++ recursion here
+// overflowed the stack around depth ~15k (the ROADMAP known-limit this
+// PR retires). The machine keeps one heap frame per open block instead:
+// each frame rewrites one statement list — either plainly (Mode::Stmts,
+// the old rewriteStmts) or elementwise under an if-condition (Mode::If,
+// the old rewriteIf) — and delivers its output to its parent.
+//
+// Fresh-name order is part of the observable output (the %cfN
+// flattening temporaries), so each frame advances its per-item phase
+// *before* pushing children, evaluating sub-rewrites in exactly the
+// order the recursive code did.
+//===----------------------------------------------------------------------===//
+
 class Rewriter {
 public:
   Rewriter(const SpireOptions &Options, NameGen &Names,
            const TypeContext &Types)
       : Options(Options), Names(Names), Types(Types) {}
 
-  /// Appends the rewrite of S to Out (one statement may become several
-  /// because of the if-splitting rule).
-  void rewriteStmt(const CoreStmt &S, CoreStmtList &Out) {
-    switch (S.K) {
-    case CoreStmt::Kind::If:
-      rewriteIf(S.Name, S.Body, Out);
-      return;
-    case CoreStmt::Kind::With: {
-      Out.push_back(
-          CoreStmt::with(rewriteStmts(S.Body), rewriteStmts(S.DoBody)));
-      return;
-    }
-    default:
-      Out.push_back(S.clone());
-      return;
-    }
-  }
-
   CoreStmtList rewriteStmts(const CoreStmtList &Stmts) {
-    CoreStmtList Out;
-    for (const auto &S : Stmts)
-      rewriteStmt(*S, Out);
-    return Out;
+    CoreStmtList Result;
+    Frames.clear();
+    pushFrame(Frame::Mode::Stmts, Symbol(), &Stmts, nullptr,
+              Frame::Deliver::Root);
+    while (!Frames.empty()) {
+      Frame &F = *Frames.back();
+      if (F.Idx == itemCount(F)) {
+        deliver(std::move(F.Out), F.D, Result);
+        Frames.pop_back();
+        continue;
+      }
+      step(F);
+    }
+    return Result;
   }
 
 private:
-  /// Rewrites `if x { Body }` elementwise, following the paper's Fig. 22.
-  void rewriteIf(const std::string &X, const CoreStmtList &Body,
-                 CoreStmtList &Out) {
-    for (const auto &Sub : Body) {
-      switch (Sub->K) {
-      case CoreStmt::Kind::With: {
-        if (Options.ConditionalNarrowing) {
-          // if x { with { s1 } do { s2 } } ~> with { s1 } do { if x {s2} }
-          CoreStmtList Narrowed;
-          rewriteIf(X, Sub->DoBody, Narrowed);
-          Out.push_back(
-              CoreStmt::with(rewriteStmts(Sub->Body), std::move(Narrowed)));
-          continue;
-        }
-        if (Options.ConditionalFlattening) {
-          // Narrowing is off: distribute the condition through the block
-          // instead — if x { with {s1} do {s2} } becomes
-          // with { if x {s1} } do { if x {s2} }. Both sides expand to
-          // if x {s1}; if x {s2}; if x {I[s1]} (the Section 6.1
-          // if-splitting rule applied to the with-do expansion), so no
-          // control bits are saved here, but nested ifs inside the
-          // do-block become visible to flattening — which is what makes
-          // conditional flattening alone asymptotically effective
-          // (Section 8.2's 88.2% figure).
-          CoreStmtList GuardedWith, GuardedDo;
-          rewriteIf(X, Sub->Body, GuardedWith);
-          rewriteIf(X, Sub->DoBody, GuardedDo);
-          Out.push_back(CoreStmt::with(std::move(GuardedWith),
-                                       std::move(GuardedDo)));
-          continue;
-        }
-        break;
-      }
-      case CoreStmt::Kind::If: {
-        if (Options.ConditionalFlattening) {
-          // if x { if y { s } } ~> with { z <- x && y } do { if z { s } }
-          std::string Z = Names.fresh("cf");
-          const ast::Type *Bool = Types.boolType();
-          CoreStmtList WithBody;
-          WithBody.push_back(CoreStmt::assign(
-              Z, Bool,
-              CoreExpr::binary(ast::BinaryOp::And, Atom::var(X, Bool),
-                               Atom::var(Sub->Name, Bool), Bool)));
-          CoreStmtList Flattened;
-          rewriteIf(Z, Sub->Body, Flattened);
-          Out.push_back(
-              CoreStmt::with(std::move(WithBody), std::move(Flattened)));
-          continue;
-        }
-        break;
-      }
-      default:
-        break;
-      }
-      // Fallback: keep the statement under a single-statement if, with
-      // its interior rewritten (the if-splitting rule of Section 6.1).
-      CoreStmtList Inner;
-      rewriteStmt(*Sub, Inner);
-      // rewriteStmt can fan out (splitting); wrap each piece.
-      for (auto &Piece : Inner) {
-        CoreStmtList One;
-        One.push_back(std::move(Piece));
-        Out.push_back(CoreStmt::ifStmt(X, std::move(One)));
-      }
+  struct Frame {
+    enum class Mode : uint8_t { Stmts, If };
+    /// Where this frame's finished Out goes: the machine result, the
+    /// parent's staging lists, or straight onto the parent's Out (the
+    /// rewriteIf-appends-into-caller case).
+    enum class Deliver : uint8_t { Root, Tmp1, Tmp2, Append };
+
+    Mode M = Mode::Stmts;
+    Symbol X; ///< Condition variable (Mode::If).
+    const CoreStmtList *In = nullptr;
+    const CoreStmt *Single = nullptr; ///< Rewrite exactly one statement.
+    size_t Idx = 0;
+    uint8_t Phase = 0; ///< Per-item progress; 0 = item not started.
+    Symbol Z;          ///< Fresh %cf temporary of the current item.
+    CoreStmtList Tmp1, Tmp2; ///< Staged child results for the item.
+    CoreStmtList Out;
+    Deliver D = Deliver::Root;
+  };
+
+  size_t itemCount(const Frame &F) const {
+    return F.Single ? 1 : F.In->size();
+  }
+  const CoreStmt &item(const Frame &F) const {
+    return F.Single ? *F.Single : *(*F.In)[F.Idx];
+  }
+
+  void pushFrame(Frame::Mode M, Symbol X, const CoreStmtList *In,
+                 const CoreStmt *Single, Frame::Deliver D) {
+    auto F = std::make_unique<Frame>();
+    F->M = M;
+    F->X = X;
+    F->In = In;
+    F->Single = Single;
+    F->D = D;
+    Frames.push_back(std::move(F));
+  }
+
+  void deliver(CoreStmtList Out, Frame::Deliver D, CoreStmtList &Result) {
+    if (D == Frame::Deliver::Root) {
+      Result = std::move(Out);
+      return;
     }
+    Frame &Parent = *Frames[Frames.size() - 2];
+    switch (D) {
+    case Frame::Deliver::Tmp1:
+      Parent.Tmp1 = std::move(Out);
+      break;
+    case Frame::Deliver::Tmp2:
+      Parent.Tmp2 = std::move(Out);
+      break;
+    case Frame::Deliver::Append:
+      for (auto &S : Out)
+        Parent.Out.push_back(std::move(S));
+      break;
+    case Frame::Deliver::Root:
+      break;
+    }
+  }
+
+  void advance(Frame &F) {
+    ++F.Idx;
+    F.Phase = 0;
+    F.Tmp1.clear();
+    F.Tmp2.clear();
+  }
+
+  void step(Frame &F) {
+    const CoreStmt &S = item(F);
+    if (F.M == Frame::Mode::Stmts)
+      stepStmts(F, S);
+    else
+      stepIf(F, S);
+  }
+
+  /// One step of plain list rewriting (the old rewriteStmt body).
+  void stepStmts(Frame &F, const CoreStmt &S) {
+    switch (S.K) {
+    case CoreStmt::Kind::If:
+      if (F.Phase == 0) {
+        F.Phase = 1;
+        pushFrame(Frame::Mode::If, S.Name, &S.Body, nullptr,
+                  Frame::Deliver::Append);
+        return;
+      }
+      advance(F);
+      return;
+
+    case CoreStmt::Kind::With:
+      switch (F.Phase) {
+      case 0:
+        F.Phase = 1;
+        pushFrame(Frame::Mode::Stmts, Symbol(), &S.Body, nullptr,
+                  Frame::Deliver::Tmp1);
+        return;
+      case 1:
+        F.Phase = 2;
+        pushFrame(Frame::Mode::Stmts, Symbol(), &S.DoBody, nullptr,
+                  Frame::Deliver::Tmp2);
+        return;
+      default:
+        F.Out.push_back(
+            CoreStmt::with(std::move(F.Tmp1), std::move(F.Tmp2)));
+        advance(F);
+        return;
+      }
+
+    default:
+      F.Out.push_back(S.clone());
+      advance(F);
+      return;
+    }
+  }
+
+  /// One step of `if X { ... }` elementwise rewriting (Fig. 22).
+  void stepIf(Frame &F, const CoreStmt &Sub) {
+    switch (Sub.K) {
+    case CoreStmt::Kind::With:
+      if (Options.ConditionalNarrowing) {
+        // if x { with { s1 } do { s2 } } ~> with { s1 } do { if x {s2} }
+        switch (F.Phase) {
+        case 0: // Narrow the do-block first (fresh-name order).
+          F.Phase = 1;
+          pushFrame(Frame::Mode::If, F.X, &Sub.DoBody, nullptr,
+                    Frame::Deliver::Tmp1);
+          return;
+        case 1: // Then rewrite the with-block plainly.
+          F.Phase = 2;
+          pushFrame(Frame::Mode::Stmts, Symbol(), &Sub.Body, nullptr,
+                    Frame::Deliver::Tmp2);
+          return;
+        default:
+          F.Out.push_back(
+              CoreStmt::with(std::move(F.Tmp2), std::move(F.Tmp1)));
+          advance(F);
+          return;
+        }
+      }
+      if (Options.ConditionalFlattening) {
+        // Narrowing is off: distribute the condition through the block
+        // instead — if x { with {s1} do {s2} } becomes
+        // with { if x {s1} } do { if x {s2} }. Both sides expand to
+        // if x {s1}; if x {s2}; if x {I[s1]} (the Section 6.1
+        // if-splitting rule applied to the with-do expansion), so no
+        // control bits are saved here, but nested ifs inside the
+        // do-block become visible to flattening — which is what makes
+        // conditional flattening alone asymptotically effective
+        // (Section 8.2's 88.2% figure).
+        switch (F.Phase) {
+        case 0:
+          F.Phase = 1;
+          pushFrame(Frame::Mode::If, F.X, &Sub.Body, nullptr,
+                    Frame::Deliver::Tmp1);
+          return;
+        case 1:
+          F.Phase = 2;
+          pushFrame(Frame::Mode::If, F.X, &Sub.DoBody, nullptr,
+                    Frame::Deliver::Tmp2);
+          return;
+        default:
+          F.Out.push_back(
+              CoreStmt::with(std::move(F.Tmp1), std::move(F.Tmp2)));
+          advance(F);
+          return;
+        }
+      }
+      break;
+
+    case CoreStmt::Kind::If:
+      if (Options.ConditionalFlattening) {
+        // if x { if y { s } } ~> with { z <- x && y } do { if z { s } }
+        if (F.Phase == 0) {
+          F.Z = Names.fresh("cf");
+          const ast::Type *Bool = Types.boolType();
+          F.Tmp1.clear();
+          F.Tmp1.push_back(CoreStmt::assign(
+              F.Z, Bool,
+              CoreExpr::binary(ast::BinaryOp::And, Atom::var(F.X, Bool),
+                               Atom::var(Sub.Name, Bool), Bool)));
+          F.Phase = 1;
+          pushFrame(Frame::Mode::If, F.Z, &Sub.Body, nullptr,
+                    Frame::Deliver::Tmp2);
+          return;
+        }
+        F.Out.push_back(
+            CoreStmt::with(std::move(F.Tmp1), std::move(F.Tmp2)));
+        advance(F);
+        return;
+      }
+      break;
+
+    default:
+      break;
+    }
+
+    // Fallback: keep the statement under a single-statement if, with
+    // its interior rewritten (the if-splitting rule of Section 6.1).
+    if (F.Phase == 0) {
+      F.Phase = 1;
+      pushFrame(Frame::Mode::Stmts, Symbol(), nullptr, &Sub,
+                Frame::Deliver::Tmp1);
+      return;
+    }
+    // The single-statement rewrite can fan out (splitting); wrap each
+    // piece.
+    for (auto &Piece : F.Tmp1) {
+      CoreStmtList One;
+      One.push_back(std::move(Piece));
+      F.Out.push_back(CoreStmt::ifStmt(F.X, std::move(One)));
+    }
+    advance(F);
   }
 
   const SpireOptions &Options;
   NameGen &Names;
   const TypeContext &Types;
+  std::vector<std::unique_ptr<Frame>> Frames;
 };
 
-/// Bottom-up with-do flattening:
-///   with { a } do { with { b } do { c } } ~> with { a; b } do { c }
-/// (both expand to a; b; c; I[b]; I[a]).
-CoreStmtPtr flattenWithDoStmt(const CoreStmt &S);
+//===----------------------------------------------------------------------===//
+// Bottom-up with-do flattening:
+//   with { a } do { with { b } do { c } } ~> with { a; b } do { c }
+// (both expand to a; b; c; I[b]; I[a]).
+//
+// Also a worklist machine, and chain-aware: the old bottom-up recursion
+// merged the accumulated inner body into each enclosing level, moving
+// O(depth) statements per level — quadratic on the one-with-per-level IR
+// const-arg recursion produces (measured 0.2 s at depth 10k, and the
+// dominant opt cost). The machine walks the whole singleton-With chain
+// up front and concatenates each level's flattened with-block once:
+// linear, and byte-identical output (flattening maps statements
+// elementwise, so a do-block is a singleton With after flattening iff it
+// was one before).
+//===----------------------------------------------------------------------===//
 
-CoreStmtList flattenWithDoStmts(const CoreStmtList &Stmts) {
-  CoreStmtList Out;
-  Out.reserve(Stmts.size());
-  for (const auto &S : Stmts)
-    Out.push_back(flattenWithDoStmt(*S));
-  return Out;
-}
-
-CoreStmtPtr flattenWithDoStmt(const CoreStmt &S) {
-  switch (S.K) {
-  case CoreStmt::Kind::If:
-    return CoreStmt::ifStmt(S.Name, flattenWithDoStmts(S.Body));
-  case CoreStmt::Kind::With: {
-    CoreStmtList Body = flattenWithDoStmts(S.Body);
-    CoreStmtList DoBody = flattenWithDoStmts(S.DoBody);
-    while (DoBody.size() == 1 && DoBody[0]->K == CoreStmt::Kind::With) {
-      CoreStmtPtr Inner = std::move(DoBody[0]);
-      for (auto &B : Inner->Body)
-        Body.push_back(std::move(B));
-      DoBody = std::move(Inner->DoBody);
+class WithDoFlattener {
+public:
+  CoreStmtList run(const CoreStmtList &Stmts) {
+    CoreStmtList Result;
+    pushFrame(&Stmts, Frame::Deliver::Root);
+    while (!Frames.empty()) {
+      Frame &F = *Frames.back();
+      if (F.Idx == F.In->size()) {
+        deliver(F, Result);
+        Frames.pop_back();
+        continue;
+      }
+      step(F);
     }
-    return CoreStmt::with(std::move(Body), std::move(DoBody));
+    return Result;
   }
-  default:
-    return S.clone();
+
+private:
+  struct Frame {
+    enum class Deliver : uint8_t { Root, Staged, Merged };
+    const CoreStmtList *In = nullptr;
+    size_t Idx = 0;
+    uint8_t Phase = 0;
+    /// The singleton-With chain of the current item (With only):
+    /// Chain[0] is the item itself, each next element the sole With in
+    /// the previous one's do-block.
+    std::vector<const CoreStmt *> Chain;
+    size_t ChainIdx = 0;
+    CoreStmtList MergedBody; ///< Concatenated flattened with-blocks.
+    CoreStmtList Staged;     ///< Child result (if-body / final do-body).
+    CoreStmtList Out;
+    Deliver D = Deliver::Root;
+  };
+
+  void pushFrame(const CoreStmtList *In, Frame::Deliver D) {
+    auto F = std::make_unique<Frame>();
+    F->In = In;
+    F->D = D;
+    Frames.push_back(std::move(F));
   }
-}
+
+  void deliver(Frame &F, CoreStmtList &Result) {
+    if (F.D == Frame::Deliver::Root) {
+      Result = std::move(F.Out);
+      return;
+    }
+    Frame &Parent = *Frames[Frames.size() - 2];
+    if (F.D == Frame::Deliver::Staged) {
+      Parent.Staged = std::move(F.Out);
+      return;
+    }
+    for (auto &S : F.Out)
+      Parent.MergedBody.push_back(std::move(S));
+  }
+
+  void advance(Frame &F) {
+    ++F.Idx;
+    F.Phase = 0;
+    F.Chain.clear();
+    F.ChainIdx = 0;
+    F.MergedBody.clear();
+    F.Staged.clear();
+  }
+
+  void step(Frame &F) {
+    const CoreStmt &S = *(*F.In)[F.Idx];
+    switch (S.K) {
+    case CoreStmt::Kind::If:
+      if (F.Phase == 0) {
+        F.Phase = 1;
+        pushFrame(&S.Body, Frame::Deliver::Staged);
+        return;
+      }
+      F.Out.push_back(CoreStmt::ifStmt(S.Name, std::move(F.Staged)));
+      advance(F);
+      return;
+
+    case CoreStmt::Kind::With: {
+      if (F.Phase == 0) {
+        // Collect the whole singleton-With chain once.
+        const CoreStmt *N = &S;
+        F.Chain.push_back(N);
+        while (N->DoBody.size() == 1 &&
+               N->DoBody[0]->K == CoreStmt::Kind::With) {
+          N = N->DoBody[0].get();
+          F.Chain.push_back(N);
+        }
+        F.ChainIdx = 0;
+        F.Phase = 1;
+      }
+      if (F.Phase == 1) {
+        if (F.ChainIdx < F.Chain.size()) {
+          // Flatten the next level's with-block straight onto the
+          // merged body.
+          const CoreStmt *Level = F.Chain[F.ChainIdx++];
+          pushFrame(&Level->Body, Frame::Deliver::Merged);
+          return;
+        }
+        F.Phase = 2;
+        pushFrame(&F.Chain.back()->DoBody, Frame::Deliver::Staged);
+        return;
+      }
+      F.Out.push_back(
+          CoreStmt::with(std::move(F.MergedBody), std::move(F.Staged)));
+      advance(F);
+      return;
+    }
+
+    default:
+      F.Out.push_back(S.clone());
+      advance(F);
+      return;
+    }
+  }
+
+  std::vector<std::unique_ptr<Frame>> Frames;
+};
 
 } // namespace
 
@@ -153,16 +411,19 @@ CoreStmtList optimizeStmts(const CoreStmtList &Stmts,
   Rewriter R(Options, Names, Types);
   CoreStmtList Out = R.rewriteStmts(Stmts);
   if (Options.FlattenWithDo)
-    Out = flattenWithDoStmts(Out);
+    Out = WithDoFlattener().run(Out);
   return Out;
 }
 
 CoreProgram optimizeProgram(const CoreProgram &Program,
                             const SpireOptions &Options) {
-  CoreProgram Out = Program.clone();
   if (!Options.ConditionalFlattening && !Options.ConditionalNarrowing &&
       !Options.FlattenWithDo)
-    return Out;
+    return Program.clone();
+  // Copy the program shell only; the rewrite produces the new body, so
+  // cloning the old one (to immediately replace it) would walk and copy
+  // the whole IR a third time.
+  CoreProgram Out = Program.cloneShell();
   NameGen Names;
   Out.Body = optimizeStmts(Program.Body, Options, Names, *Program.Types);
   return Out;

@@ -8,32 +8,32 @@ using namespace spire::ast;
 
 namespace spire::sema {
 
-void collectFreeVars(const Expr &E, std::set<std::string> &Out) {
+void collectFreeVars(const Expr &E, SymbolSet &Out) {
   if (E.K == Expr::Kind::Var)
-    Out.insert(E.Name);
+    Out.insert(Symbol(E.Name));
   for (const auto &A : E.Args)
     collectFreeVars(*A, Out);
 }
 
-static void collectModStmt(const Stmt &S, std::set<std::string> &Out) {
+static void collectModStmt(const Stmt &S, SymbolSet &Out) {
   switch (S.K) {
   case Stmt::Kind::Let:
   case Stmt::Kind::UnLet:
-    Out.insert(S.Name);
+    Out.insert(Symbol(S.Name));
     if (S.E->K == Expr::Kind::Call) {
       // Conservative: an inlined callee may modify its arguments.
       collectFreeVars(*S.E, Out);
     }
     break;
   case Stmt::Kind::Swap:
-    Out.insert(S.Name);
-    Out.insert(S.Name2);
+    Out.insert(Symbol(S.Name));
+    Out.insert(Symbol(S.Name2));
     break;
   case Stmt::Kind::MemSwap:
-    Out.insert(S.Name2);
+    Out.insert(Symbol(S.Name2));
     break;
   case Stmt::Kind::Hadamard:
-    Out.insert(S.Name);
+    Out.insert(Symbol(S.Name));
     break;
   case Stmt::Kind::If:
   case Stmt::Kind::With:
@@ -47,28 +47,28 @@ static void collectModStmt(const Stmt &S, std::set<std::string> &Out) {
   }
 }
 
-std::set<std::string> collectModSet(const StmtList &Stmts) {
-  std::set<std::string> Out;
+SymbolSet collectModSet(const StmtList &Stmts) {
+  SymbolSet Out;
   for (const auto &S : Stmts)
     collectModStmt(*S, Out);
   return Out;
 }
 
-const TypeChecker::Binding *TypeChecker::lookup(const std::string &Name) const {
+const TypeChecker::Binding *TypeChecker::lookup(Symbol Name) const {
   for (auto It = Context.rbegin(); It != Context.rend(); ++It)
     if (It->Name == Name)
       return &*It;
   return nullptr;
 }
 
-bool TypeChecker::declare(const std::string &Name, const Type *Ty,
+bool TypeChecker::declare(Symbol Name, const Type *Ty,
                           support::SourceLoc Loc) {
   if (const Binding *Existing = lookup(Name)) {
     // Re-declaration (paper Appendix B.1, first change): allowed, but the
     // variable reuses the original qubits, so the width must agree; we
     // require type equality.
     if (!Types.typesEqual(Existing->Ty, Ty)) {
-      Diags.error(Loc, "re-declaration of '" + Name + "' with type " +
+      Diags.error(Loc, "re-declaration of '" + Name.str() + "' with type " +
                            Ty->str() + " conflicts with existing type " +
                            Existing->Ty->str());
       return false;
@@ -78,13 +78,13 @@ bool TypeChecker::declare(const std::string &Name, const Type *Ty,
   return true;
 }
 
-bool TypeChecker::undeclare(const std::string &Name, const Type *Ty,
+bool TypeChecker::undeclare(Symbol Name, const Type *Ty,
                             support::SourceLoc Loc) {
   for (auto It = Context.rbegin(); It != Context.rend(); ++It) {
     if (It->Name != Name)
       continue;
     if (!Types.typesEqual(It->Ty, Ty)) {
-      Diags.error(Loc, "un-assignment of '" + Name + "' at type " +
+      Diags.error(Loc, "un-assignment of '" + Name.str() + "' at type " +
                            Ty->str() + " conflicts with declared type " +
                            It->Ty->str());
       return false;
@@ -92,12 +92,13 @@ bool TypeChecker::undeclare(const std::string &Name, const Type *Ty,
     Context.erase(std::next(It).base());
     return true;
   }
-  Diags.error(Loc, "un-assignment of undeclared variable '" + Name + "'");
+  Diags.error(Loc,
+              "un-assignment of undeclared variable '" + Name.str() + "'");
   return false;
 }
 
-std::set<std::string> TypeChecker::domain() const {
-  std::set<std::string> Dom;
+SymbolSet TypeChecker::domain() const {
+  SymbolSet Dom;
   for (const Binding &B : Context)
     Dom.insert(B.Name);
   return Dom;
@@ -159,15 +160,15 @@ bool TypeChecker::checkStmt(Stmt &S) {
     return true;
 
   case Stmt::Kind::Let: {
-    const Binding *Existing = lookup(S.Name);
+    const Binding *Existing = lookup(S.nameSym());
     const Type *Ty = checkExpr(*S.E, Existing ? Existing->Ty : nullptr);
     if (!Ty)
       return false;
-    return declare(S.Name, Ty, S.Loc);
+    return declare(S.nameSym(), Ty, S.Loc);
   }
 
   case Stmt::Kind::UnLet: {
-    const Binding *Existing = lookup(S.Name);
+    const Binding *Existing = lookup(S.nameSym());
     if (!Existing) {
       Diags.error(S.Loc, "un-assignment of undeclared variable '" + S.Name +
                              "'");
@@ -176,12 +177,12 @@ bool TypeChecker::checkStmt(Stmt &S) {
     const Type *Ty = checkExpr(*S.E, Existing->Ty);
     if (!Ty)
       return false;
-    return undeclare(S.Name, Ty, S.Loc);
+    return undeclare(S.nameSym(), Ty, S.Loc);
   }
 
   case Stmt::Kind::Swap: {
-    const Binding *A = lookup(S.Name);
-    const Binding *B = lookup(S.Name2);
+    const Binding *A = lookup(S.nameSym());
+    const Binding *B = lookup(S.name2Sym());
     if (!A || !B) {
       Diags.error(S.Loc, "swap of undeclared variable '" +
                              (A ? S.Name2 : S.Name) + "'");
@@ -196,8 +197,8 @@ bool TypeChecker::checkStmt(Stmt &S) {
   }
 
   case Stmt::Kind::MemSwap: {
-    const Binding *P = lookup(S.Name);
-    const Binding *V = lookup(S.Name2);
+    const Binding *P = lookup(S.nameSym());
+    const Binding *V = lookup(S.name2Sym());
     if (!P || !V) {
       Diags.error(S.Loc, "memory swap of undeclared variable '" +
                              (P ? S.Name2 : S.Name) + "'");
@@ -218,7 +219,7 @@ bool TypeChecker::checkStmt(Stmt &S) {
   }
 
   case Stmt::Kind::Hadamard: {
-    const Binding *X = lookup(S.Name);
+    const Binding *X = lookup(S.nameSym());
     if (!X) {
       Diags.error(S.Loc, "h() of undeclared variable '" + S.Name + "'");
       return false;
@@ -241,32 +242,32 @@ bool TypeChecker::checkStmt(Stmt &S) {
     }
     // S-If side condition: free variables of the condition may not be
     // modified by either branch.
-    std::set<std::string> Free;
+    SymbolSet Free;
     collectFreeVars(*S.E, Free);
-    std::set<std::string> Mod = collectModSet(S.Body);
-    for (const std::string &M : collectModSet(S.ElseBody))
+    SymbolSet Mod = collectModSet(S.Body);
+    for (Symbol M : collectModSet(S.ElseBody))
       Mod.insert(M);
-    for (const std::string &Name : Free) {
+    for (Symbol Name : Free) {
       if (Mod.count(Name)) {
-        Diags.error(S.Loc, "if condition variable '" + Name +
+        Diags.error(S.Loc, "if condition variable '" + Name.str() +
                                "' is modified inside the conditional body");
         return false;
       }
     }
     // S-If side condition: dom G is preserved (branches may add bindings
     // but may not consume outer ones).
-    std::set<std::string> Before = domain();
+    SymbolSet Before = domain();
     if (!checkStmts(S.Body))
       return false;
     // The else branch type-checks in the context left by the then branch,
     // matching the sequential desugaring if x { s1 }; if !x { s2 }.
     if (!checkStmts(S.ElseBody))
       return false;
-    std::set<std::string> After = domain();
-    for (const std::string &Name : Before) {
+    SymbolSet After = domain();
+    for (Symbol Name : Before) {
       if (!After.count(Name)) {
         Diags.error(S.Loc, "conditional body consumes outer variable '" +
-                               Name + "'");
+                               Name.str() + "'");
         return false;
       }
     }
@@ -296,7 +297,7 @@ const Type *TypeChecker::checkExpr(Expr &E, const Type *Expected) {
 
   switch (E.K) {
   case Expr::Kind::Var: {
-    const Binding *B = lookup(E.Name);
+    const Binding *B = lookup(E.nameSym());
     if (!B) {
       Diags.error(E.Loc, "use of undeclared variable '" + E.Name + "'");
       return nullptr;
@@ -468,7 +469,7 @@ const Type *TypeChecker::checkExpr(Expr &E, const Type *Expected) {
     }
     // Return type: known for previously checked functions; for recursive
     // self-calls, adopt the expected type and verify at function end.
-    auto It = ReturnTypes.find(E.Name);
+    auto It = ReturnTypes.find(E.nameSym());
     if (It != ReturnTypes.end())
       return Annotate(It->second);
     if (CurrentFunction && E.Name == CurrentFunction->Name) {

@@ -20,20 +20,25 @@
 
 #include "ast/AST.h"
 #include "support/Diagnostics.h"
+#include "support/Symbol.h"
 
 #include <map>
-#include <set>
 #include <string>
 
 namespace spire::sema {
 
+using support::Symbol;
+using support::SymbolSet;
+
 /// Collects the names a statement sequence may modify, following mod(s)
 /// from Fig. 20 (extended conservatively to surface constructs: a call
 /// counts its bound variable and all argument variables as modified).
-std::set<std::string> collectModSet(const ast::StmtList &Stmts);
+/// Surface names are interned here — the set the lowerer caches per
+/// callee is a flat sorted SymbolSet, not a tree of strings.
+SymbolSet collectModSet(const ast::StmtList &Stmts);
 
 /// Collects the free variable names of an expression.
-void collectFreeVars(const ast::Expr &E, std::set<std::string> &Out);
+void collectFreeVars(const ast::Expr &E, SymbolSet &Out);
 
 /// Checks a whole program. Returns true on success. Expression nodes are
 /// annotated in place.
@@ -46,13 +51,13 @@ public:
 
   /// Return type of a checked function.
   const ast::Type *returnTypeOf(const std::string &Name) const {
-    auto It = ReturnTypes.find(Name);
+    auto It = ReturnTypes.find(Symbol(Name));
     return It == ReturnTypes.end() ? nullptr : It->second;
   }
 
 private:
   struct Binding {
-    std::string Name;
+    Symbol Name;
     const ast::Type *Ty;
   };
 
@@ -64,18 +69,16 @@ private:
   const ast::Type *checkExpr(ast::Expr &E,
                              const ast::Type *Expected = nullptr);
 
-  const Binding *lookup(const std::string &Name) const;
-  bool declare(const std::string &Name, const ast::Type *Ty,
-               support::SourceLoc Loc);
-  bool undeclare(const std::string &Name, const ast::Type *Ty,
-                 support::SourceLoc Loc);
-  std::set<std::string> domain() const;
+  const Binding *lookup(Symbol Name) const;
+  bool declare(Symbol Name, const ast::Type *Ty, support::SourceLoc Loc);
+  bool undeclare(Symbol Name, const ast::Type *Ty, support::SourceLoc Loc);
+  SymbolSet domain() const;
 
   ast::Program &Program;
   support::DiagnosticEngine &Diags;
   ast::TypeContext &Types;
   std::vector<Binding> Context;
-  std::map<std::string, const ast::Type *> ReturnTypes;
+  std::map<Symbol, const ast::Type *> ReturnTypes;
   const ast::FunDecl *CurrentFunction = nullptr;
   const ast::Type *AssumedSelfReturn = nullptr;
 };

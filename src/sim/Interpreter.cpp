@@ -1,5 +1,6 @@
 #include "sim/Interpreter.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace spire::ir;
@@ -7,8 +8,16 @@ using namespace spire::ir;
 namespace spire::sim {
 
 std::string MachineState::str() const {
-  std::string Out = "regs {";
+  // Presentation boundary: materialize spellings and sort by them, so
+  // the dump does not depend on global interning order (Regs itself is
+  // ordered by symbol id).
+  std::vector<std::pair<std::string, uint64_t>> Sorted;
+  Sorted.reserve(Regs.size());
   for (const auto &[Name, Value] : Regs)
+    Sorted.emplace_back(Name.str(), Value);
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out = "regs {";
+  for (const auto &[Name, Value] : Sorted)
     Out += " " + Name + "=" + std::to_string(Value);
   Out += " } mem {";
   for (size_t A = 1; A < Mem.size(); ++A)
@@ -112,7 +121,7 @@ bool Interpreter::execStmt(const CoreStmt &S, MachineState &State) {
       return true;
     DeclCount.erase(S.Name);
     if (R != 0) {
-      Error = "un-assignment of '" + S.Name +
+      Error = "un-assignment of '" + S.Name.str() +
               "' did not restore zero (value " + std::to_string(R) + ")";
       return false;
     }
@@ -161,7 +170,7 @@ bool Interpreter::execStmt(const CoreStmt &S, MachineState &State) {
   }
 
   case CoreStmt::Kind::Hadamard:
-    Error = "interpreter cannot execute H(" + S.Name +
+    Error = "interpreter cannot execute H(" + S.Name.str() +
             "); use the state-vector simulator";
     return false;
   }

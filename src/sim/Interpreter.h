@@ -28,14 +28,18 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace spire::sim {
 
 /// A classical machine state: register file plus memory. Memory cell
-/// addresses are 1-based; index 0 of Mem is unused.
+/// addresses are 1-based; index 0 of Mem is unused. Registers key on
+/// interned Symbols (spelling-level callers — tests, spirec --run —
+/// keep writing `S.Regs["xs"]`; the implicit intern happens once per
+/// site, and every interpreter step is then a u32-keyed lookup).
 struct MachineState {
-  std::map<std::string, uint64_t> Regs;
+  std::map<ir::Symbol, uint64_t> Regs;
   std::vector<uint64_t> Mem; ///< size HeapCells + 1.
 
   static MachineState make(unsigned HeapCells) {
@@ -85,7 +89,7 @@ private:
   unsigned CellBits;
   std::string Error;
   /// Live re-declaration depth per variable (see Interpreter.cpp).
-  std::map<std::string, unsigned> DeclCount;
+  std::unordered_map<ir::Symbol, unsigned> DeclCount;
 };
 
 /// Encodes a machine state onto the compiled circuit's qubit layout

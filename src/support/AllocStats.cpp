@@ -1,0 +1,108 @@
+#include "support/AllocStats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <sys/resource.h>
+
+namespace {
+
+std::atomic<int64_t> GAllocations{0};
+
+void *allocateCounted(std::size_t Size) {
+  if (Size == 0)
+    Size = 1;
+  for (;;) {
+    if (void *P = std::malloc(Size)) {
+      GAllocations.fetch_add(1, std::memory_order_relaxed);
+      return P;
+    }
+    std::new_handler Handler = std::get_new_handler();
+    if (!Handler)
+      throw std::bad_alloc();
+    Handler();
+  }
+}
+
+void *allocateCountedAligned(std::size_t Size, std::size_t Align) {
+  if (Size == 0)
+    Size = 1;
+  for (;;) {
+    void *P = nullptr;
+    if (posix_memalign(&P, Align < sizeof(void *) ? sizeof(void *) : Align,
+                       Size) == 0) {
+      GAllocations.fetch_add(1, std::memory_order_relaxed);
+      return P;
+    }
+    std::new_handler Handler = std::get_new_handler();
+    if (!Handler)
+      throw std::bad_alloc();
+    Handler();
+  }
+}
+
+} // namespace
+
+namespace spire::support {
+
+int64_t allocationCount() {
+  return GAllocations.load(std::memory_order_relaxed);
+}
+
+int64_t peakRSSKb() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  return static_cast<int64_t>(Usage.ru_maxrss); // KiB on Linux.
+}
+
+} // namespace spire::support
+
+//===----------------------------------------------------------------------===//
+// Replacement global allocation functions (counting pass-throughs).
+// Linked into a binary only when something in it references the
+// AllocStats API above (this TU is otherwise never pulled from the
+// archive).
+//===----------------------------------------------------------------------===//
+
+void *operator new(std::size_t Size) { return allocateCounted(Size); }
+void *operator new[](std::size_t Size) { return allocateCounted(Size); }
+
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  if (Size == 0)
+    Size = 1;
+  void *P = std::malloc(Size);
+  if (P)
+    GAllocations.fetch_add(1, std::memory_order_relaxed);
+  return P;
+}
+void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
+  return operator new(Size, std::nothrow);
+}
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  return allocateCountedAligned(Size, static_cast<std::size_t>(Align));
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return allocateCountedAligned(Size, static_cast<std::size_t>(Align));
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}

@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight allocation observability: a process-wide counter of heap
+/// allocations (incremented by the replacement global operator new in
+/// AllocStats.cpp) and the process peak RSS. The driver samples both
+/// around every pipeline stage so allocation wins — the point of the
+/// interned-symbol IR — are visible in `spirec --timings` and the scale
+/// benches without attaching a profiler.
+///
+/// The counter is a single relaxed atomic increment per allocation; the
+/// cost is unmeasurable next to the allocation itself. Binaries that
+/// never reference these symbols do not pull in the replacement
+/// operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_ALLOCSTATS_H
+#define SPIRE_SUPPORT_ALLOCSTATS_H
+
+#include <cstdint>
+
+namespace spire::support {
+
+/// Heap allocations (global operator new calls) since process start.
+/// Monotonic; subtract two samples to count a region's allocations.
+int64_t allocationCount();
+
+/// Peak resident set size of the process in KiB, from getrusage.
+/// Monotonic over the process lifetime; 0 when unavailable.
+int64_t peakRSSKb();
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_ALLOCSTATS_H

@@ -1,0 +1,85 @@
+#include "support/Symbol.h"
+
+#include "support/Hash.h"
+
+#include <cstring>
+
+namespace spire::support {
+
+namespace {
+
+uint64_t hashSpelling(std::string_view S) {
+  // FNV-1a over the bytes, finished with a SplitMix64 scramble: cheap,
+  // and the scramble keeps short-identifier distributions well spread
+  // across power-of-two bucket counts.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  uint64_t State = H;
+  return splitMix64(State);
+}
+
+} // namespace
+
+SymbolTable::SymbolTable() {
+  Buckets.assign(1024, 0);
+  BucketMask = Buckets.size() - 1;
+  Spellings.push_back(std::string_view()); // Id 0: the empty spelling.
+}
+
+SymbolTable &SymbolTable::global() {
+  static SymbolTable Table;
+  return Table;
+}
+
+const char *SymbolTable::arenaCopy(std::string_view Spelling) {
+  if (Spelling.size() > ChunkCap - ChunkUsed) {
+    size_t Cap = Spelling.size() > (size_t{64} << 10) ? Spelling.size()
+                                                      : (size_t{64} << 10);
+    Chunks.push_back(std::make_unique<char[]>(Cap));
+    ChunkUsed = 0;
+    ChunkCap = Cap;
+  }
+  char *Dst = Chunks.back().get() + ChunkUsed;
+  std::memcpy(Dst, Spelling.data(), Spelling.size());
+  ChunkUsed += Spelling.size();
+  return Dst;
+}
+
+void SymbolTable::grow() {
+  std::vector<uint32_t> Old = std::move(Buckets);
+  Buckets.assign(Old.size() * 2, 0);
+  BucketMask = Buckets.size() - 1;
+  for (uint32_t Id : Old) {
+    if (Id == 0)
+      continue;
+    size_t Slot = hashSpelling(Spellings[Id]) & BucketMask;
+    while (Buckets[Slot] != 0)
+      Slot = (Slot + 1) & BucketMask;
+    Buckets[Slot] = Id;
+  }
+}
+
+uint32_t SymbolTable::intern(std::string_view Spelling) {
+  if (Spelling.empty())
+    return 0;
+  size_t Slot = hashSpelling(Spelling) & BucketMask;
+  while (Buckets[Slot] != 0) {
+    if (Spellings[Buckets[Slot]] == Spelling)
+      return Buckets[Slot];
+    Slot = (Slot + 1) & BucketMask;
+  }
+  uint32_t Id = static_cast<uint32_t>(Spellings.size());
+  Spellings.push_back(std::string_view(arenaCopy(Spelling),
+                                       Spelling.size()));
+  Buckets[Slot] = Id;
+  // Keep the load factor under 2/3 (the empty-slot scan above relies on
+  // free slots existing).
+  if (Spellings.size() * 3 > Buckets.size() * 2)
+    grow();
+  return Id;
+}
+
+} // namespace spire::support

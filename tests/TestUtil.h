@@ -57,13 +57,13 @@ public:
 
 private:
   struct Binding {
-    std::string Name;
+    ir::Symbol Name;
     const ast::Type *Ty;
   };
 
   uint64_t roll(uint64_t N) { return Rng() % N; }
 
-  bool isProtected(const std::string &Name) const {
+  bool isProtected(ir::Symbol Name) const {
     return Protected.count(Name) != 0;
   }
 
@@ -81,8 +81,8 @@ private:
   }
 
   /// A bool variable usable as an if condition that statements below may
-  /// not modify; returns empty if none is live.
-  std::string pickCondition(const std::set<std::string> &Forbidden) {
+  /// not modify; returns the empty symbol if none is live.
+  ir::Symbol pickCondition(const ir::SymbolSet &Forbidden) {
     std::vector<const Binding *> Candidates;
     for (const Binding &B : Live)
       if (B.Ty->isBool() && !Forbidden.count(B.Name))
@@ -188,8 +188,8 @@ private:
         unsigned Inner = 1 + roll(std::min(Budget, 4u));
         genStmts(Body, Inner, Depth + 1);
         // The condition must not be modified by the body.
-        std::set<std::string> Mods = ir::modSet(Body);
-        std::string Cond = pickCondition(Mods);
+        ir::SymbolSet Mods = ir::modSet(Body);
+        ir::Symbol Cond = pickCondition(Mods);
         Budget -= std::min(Budget, Inner);
         if (Cond.empty())
           continue; // Drop the block; no usable condition.
@@ -212,9 +212,9 @@ private:
       }
       // The do-block must not modify anything the with-block reads or
       // created, or its reversal would not restore the temporaries.
-      std::set<std::string> SavedProtected = Protected;
-      std::set<std::string> WithVars = ir::allVars(WithBody);
-      Protected.insert(WithVars.begin(), WithVars.end());
+      ir::SymbolSet SavedProtected = Protected;
+      for (ir::Symbol V : ir::allVars(WithBody))
+        Protected.insert(V);
       unsigned DoInner = 1 + roll(std::min(Budget, 3u));
       genStmts(DoBody, DoInner, Depth + 1);
       Protected = std::move(SavedProtected);
@@ -233,7 +233,7 @@ private:
   std::mt19937_64 Rng;
   std::shared_ptr<ir::TypeContext> Types;
   std::vector<Binding> Live;
-  std::set<std::string> Protected;
+  ir::SymbolSet Protected;
   unsigned Counter = 0;
 };
 

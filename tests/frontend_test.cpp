@@ -293,7 +293,7 @@ TEST(ModSet, CoversConstructs) {
       "  h(c);"
       "  let out <- a;"
       "  return out; }");
-  std::set<std::string> Mods = sema::collectModSet(P.Functions[0].Body);
+  sema::SymbolSet Mods = sema::collectModSet(P.Functions[0].Body);
   EXPECT_TRUE(Mods.count("a"));
   EXPECT_TRUE(Mods.count("b"));
   EXPECT_TRUE(Mods.count("d"));

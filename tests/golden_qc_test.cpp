@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+// Differential guard for the interned-symbol middle end: every paper
+// benchmark, compiled source -> .qc through the full default pipeline,
+// must emit byte-identical text to the golden files captured from the
+// seed (pre-Symbol, string-keyed) pipeline. A diff here means the
+// refactored middle end changed observable behavior — register
+// allocation order, name generation, or gate emission — rather than just
+// its internal representation.
+//
+// Regenerating (only when an *intentional* output change lands):
+//   SPIRE_REGEN_GOLDENS=1 ./tests/golden_qc_test
+// rewrites tests/golden/*.qc in the source tree; commit the diff with an
+// explanation of why the output legitimately changed.
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Harness.h"
+#include "driver/Pipeline.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+using namespace spire;
+
+#ifndef SPIRE_GOLDEN_DIR
+#error "SPIRE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+/// Golden capture size: deep enough that recursion inlining, with-block
+/// reservations, and re-declaration aliasing all fire, small enough that
+/// the files stay reviewable.
+int64_t goldenSize(const benchmarks::BenchmarkProgram &B) {
+  if (!B.SizeIndexed)
+    return 0;
+  // The radix-tree Set benchmarks grow gate counts fastest; capture them
+  // one level shallower to keep the committed goldens reviewable.
+  return B.Group == "Set" ? 2 : 3;
+}
+
+std::string compileToQc(const benchmarks::BenchmarkProgram &B) {
+  driver::PipelineOptions Opts;
+  Opts.BuildCircuit = true;
+  Opts.AnalyzeCost = false;
+  driver::CompilationResult R =
+      benchmarks::runPipelineOrDie(B, goldenSize(B), Opts);
+  driver::CompilationPipeline Pipeline(std::move(Opts));
+  return Pipeline.renderFinalCircuit(R);
+}
+
+std::string goldenPath(const benchmarks::BenchmarkProgram &B) {
+  return std::string(SPIRE_GOLDEN_DIR) + "/" + B.Name + ".qc";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+TEST(GoldenQc, BenchmarksEmitSeedIdenticalQc) {
+  bool Regen = std::getenv("SPIRE_REGEN_GOLDENS") != nullptr;
+  for (const benchmarks::BenchmarkProgram &B : benchmarks::allBenchmarks()) {
+    std::string Text = compileToQc(B);
+    ASSERT_FALSE(Text.empty()) << B.Name;
+    std::string Path = goldenPath(B);
+    if (Regen) {
+      std::ofstream Out(Path);
+      ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+      Out << Text;
+      continue;
+    }
+    std::string Expected = readFile(Path);
+    ASSERT_FALSE(Expected.empty())
+        << "missing golden " << Path
+        << " (run with SPIRE_REGEN_GOLDENS=1 to capture)";
+    EXPECT_EQ(Text, Expected)
+        << B.Name << ": .qc output diverged from the seed pipeline";
+  }
+}

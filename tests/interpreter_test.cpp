@@ -27,13 +27,13 @@ struct InterpFixture : ::testing::Test {
   }
 
   CoreProgram makeProgram(CoreStmtList Body,
-                          std::vector<std::pair<std::string, const Type *>>
+                          std::vector<std::pair<Symbol, const Type *>>
                               Inputs) {
     CoreProgram P;
     P.Types = Types;
     P.Inputs = std::move(Inputs);
     P.Body = std::move(Body);
-    P.OutputVar = P.Inputs.empty() ? "" : P.Inputs.front().first;
+    P.OutputVar = P.Inputs.empty() ? Symbol() : P.Inputs.front().first;
     P.OutputTy = P.Inputs.empty() ? nullptr : P.Inputs.front().second;
     P.PointeeTypes.push_back(UInt);
     return P;

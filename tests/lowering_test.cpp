@@ -22,7 +22,7 @@ CoreProgram lower(const char *Source, const char *Entry, int64_t Size = 0,
 }
 
 uint64_t runProgram(const CoreProgram &P,
-                    std::map<std::string, uint64_t> Inputs) {
+                    std::map<Symbol, uint64_t> Inputs) {
   circuit::TargetConfig Config;
   sim::MachineState S = sim::MachineState::make(Config.HeapCells);
   S.Regs = std::move(Inputs);

@@ -207,3 +207,73 @@ TEST(SpirecCli, RunWithCircuitInputExitsTwo) {
   EXPECT_NE(R.Stderr.find("--run needs a Tower program"), std::string::npos)
       << R.Stderr;
 }
+
+TEST(SpirecCli, CheckEquivSamplesFlagWorks) {
+  // Emit a circuit, then check it against itself with a custom sample
+  // count; the stderr report must reflect the requested count.
+  std::string Program = writeGoodProgram();
+  std::string Qc = ::testing::TempDir() + "spirec_cli_equiv.qc";
+  RunResult Emit = runSpirec("'" + Program + "' --entry f --emit qc -o '" +
+                             Qc + "'");
+  ASSERT_EQ(Emit.ExitCode, 0) << Emit.Stderr;
+  RunResult R = runSpirec("'" + Program + "' --entry f --emit qc -o " +
+                          "/dev/null --check-equiv '" + Qc +
+                          "' --check-equiv-samples 2");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("equivalent on 2 sampled basis states"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, CheckEquivSamplesAboveStateSpaceIsDiagnosed) {
+  // The good program compiles to 2 variable qubits plus the 16 default
+  // 1-bit heap cells: 18 wires, 2^18 = 262144 distinct basis states.
+  // Requesting more must be an error, not a silent truncation.
+  std::string Program = writeGoodProgram();
+  std::string Qc = ::testing::TempDir() + "spirec_cli_equiv2.qc";
+  RunResult Emit = runSpirec("'" + Program + "' --entry f --emit qc -o '" +
+                             Qc + "'");
+  ASSERT_EQ(Emit.ExitCode, 0) << Emit.Stderr;
+  RunResult R = runSpirec("'" + Program + "' --entry f --emit qc -o " +
+                          "/dev/null --check-equiv '" + Qc +
+                          "' --check-equiv-samples 300000");
+  EXPECT_EQ(R.ExitCode, 2) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("distinct basis states"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, CheckEquivSamplesRejectsNonPositive) {
+  std::string Program = writeGoodProgram();
+  RunResult R = runSpirec("'" + Program + "' --entry f --emit qc "
+                          "--check-equiv-samples 0");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--check-equiv-samples"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, TimingsReportAllocationColumns) {
+  std::string Program = writeGoodProgram();
+  RunResult R = runSpirec("'" + Program + "' --entry f --timings");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("allocs"), std::string::npos) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("KiB peak RSS"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, DefaultCheckEquivSamplesAdaptToSmallCircuits) {
+  // With --heap-cells 1 the good program compiles to 3 wires (2
+  // variables + one 1-bit cell): 8 distinct basis states. The default
+  // 32-sample count must adapt down to 8 rather than erroring — only an
+  // *explicit* over-request is diagnosed.
+  std::string Program = writeGoodProgram();
+  std::string Qc = ::testing::TempDir() + "spirec_cli_tiny.qc";
+  RunResult Emit = runSpirec("'" + Program + "' --entry f --heap-cells 1 "
+                             "--emit qc -o '" + Qc + "'");
+  ASSERT_EQ(Emit.ExitCode, 0) << Emit.Stderr;
+  RunResult R = runSpirec("'" + Program + "' --entry f --heap-cells 1 "
+                          "--emit qc -o /dev/null --check-equiv '" + Qc +
+                          "'");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("equivalent on 8 sampled basis states"),
+            std::string::npos)
+      << R.Stderr;
+}

@@ -233,3 +233,82 @@ TEST_P(PolyFitProperty, DegreeIsMinimal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolyFitProperty,
                          ::testing::Range<uint64_t>(950, 970));
+
+//===----------------------------------------------------------------------===//
+// Symbol interning (support/Symbol.h): the identity backbone of the
+// middle end. Duplicate spellings must collapse to one id, distinct
+// spellings must never collide, and spellings must survive arena growth.
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+TEST(Symbol, InterningDeduplicatesSpellings) {
+  Symbol A("length");
+  Symbol B(std::string("length"));
+  Symbol C(std::string_view("length"));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(B, C);
+  EXPECT_EQ(A.view(), "length");
+}
+
+TEST(Symbol, DistinctSpellingsGetDistinctIds) {
+  Symbol A("x"), B("x'1"), C("x'2"), D("%e0");
+  EXPECT_NE(A, B);
+  EXPECT_NE(B, C);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(B.str(), "x'1");
+}
+
+TEST(Symbol, EmptySymbolBehavesLikeEmptyString) {
+  Symbol Default;
+  Symbol Interned("");
+  EXPECT_TRUE(Default.empty());
+  EXPECT_EQ(Default, Interned);
+  EXPECT_EQ(Default.id(), 0u);
+  EXPECT_EQ(Default.view(), "");
+  EXPECT_FALSE(Symbol("nonempty").empty());
+}
+
+TEST(Symbol, SpellingsSurviveTableGrowthAndLongNames) {
+  // Force rehashes and multiple arena chunks; previously returned views
+  // must stay valid and correct throughout.
+  Symbol First("growth-probe-first");
+  std::string_view FirstView = First.view();
+  std::vector<Symbol> Many;
+  for (int I = 0; I != 5000; ++I)
+    Many.push_back(Symbol("growth-probe-" + std::to_string(I)));
+  std::string Long(200000, 'q'); // Larger than one 64 KiB arena chunk.
+  Symbol Big(Long);
+  EXPECT_EQ(First.view(), FirstView);
+  EXPECT_EQ(Big.view().size(), Long.size());
+  for (int I = 0; I != 5000; ++I)
+    EXPECT_EQ(Many[I].view(), "growth-probe-" + std::to_string(I));
+}
+
+TEST(SymbolSet, FlatSetOperations) {
+  SymbolSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(Symbol("b")));
+  EXPECT_TRUE(S.insert(Symbol("a")));
+  EXPECT_FALSE(S.insert(Symbol("a"))) << "duplicate insert must be a no-op";
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.count(Symbol("a")));
+  EXPECT_FALSE(S.count(Symbol("zz-not-there")));
+  EXPECT_EQ(S.spellings(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SymbolSet, AdoptUnsortedSortsAndDedupes) {
+  std::vector<Symbol> Raw{Symbol("w"), Symbol("q"), Symbol("w"),
+                          Symbol("q"), Symbol("m")};
+  SymbolSet S;
+  S.adoptUnsorted(std::move(Raw));
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(S.spellings(), (std::vector<std::string>{"m", "q", "w"}));
+  // Sorted by id, not spelling: ids are strictly increasing in interning
+  // order, and membership relies on that invariant.
+  uint32_t Prev = 0;
+  for (Symbol Sym : S) {
+    EXPECT_GT(Sym.id(), Prev);
+    Prev = Sym.id();
+  }
+}

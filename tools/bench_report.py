@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Pretty-print and compare BENCH_*.json files emitted by the scale
-benches (currently bench_qopt_scale's BENCH_qopt.json; the schema below
-is generic over any file with <name>_points arrays of numeric records).
+benches (bench_qopt_scale's BENCH_qopt.json, bench_pipeline_scale's
+BENCH_pipeline.json; the schema below is generic over any file with
+<name>_points arrays of numeric records, keyed per point by "gates" or
+"size").
 
 Usage:
   tools/bench_report.py BENCH_qopt.json            # pretty-print one run
@@ -25,6 +27,17 @@ def point_series(data):
         if key.endswith("_points") and isinstance(value, list):
             series[key[: -len("_points")]] = value
     return series
+
+
+def point_key_field(points):
+    """The field identifying a point within its series: "size" for the
+    pipeline bench (whose points also carry a non-identifying "gates"
+    count — zero for the whole nesting sweep), "gates" for the qopt
+    bench."""
+    for field in ("size", "gates"):
+        if points and field in points[0]:
+            return field
+    return None
 
 
 def fmt(value):
@@ -62,18 +75,19 @@ def print_one(path, data):
     print()
 
 
-def compare(old_path, old, new_path, new, threshold):
+def compare(old_path, old, new_path, new, threshold, min_seconds):
     print(f"== {old_path} -> {new_path} ==")
     regressed = False
     old_series, new_series = point_series(old), point_series(new)
     for series in sorted(set(old_series) & set(new_series)):
-        old_by_key = {p.get("gates"): p for p in old_series[series]}
+        key_field = point_key_field(new_series[series]) or "gates"
+        old_by_key = {p.get(key_field): p for p in old_series[series]}
         print(f"\n[{series}]")
         for p in new_series[series]:
-            key = p.get("gates")
+            key = p.get(key_field)
             q = old_by_key.get(key)
             if q is None:
-                print(f"  gates={fmt(key)}: new point (no baseline)")
+                print(f"  {key_field}={fmt(key)}: new point (no baseline)")
                 continue
             deltas = []
             for field, value in p.items():
@@ -83,12 +97,15 @@ def compare(old_path, old, new_path, new, threshold):
                 if not isinstance(base, (int, float)) or base <= 0:
                     continue
                 ratio = value / base
+                # Sub-millisecond baselines are pure scheduler noise on a
+                # shared runner; report them but never fail on them.
+                gate = base >= min_seconds
                 deltas.append(f"{field} {base:.3f}s -> {value:.3f}s "
-                              f"({ratio:.2f}x)")
-                if ratio > threshold:
+                              f"({ratio:.2f}x{'' if gate else ', ignored'})")
+                if gate and ratio > threshold:
                     regressed = True
             if deltas:
-                print(f"  gates={fmt(key)}: " + "; ".join(deltas))
+                print(f"  {key_field}={fmt(key)}: " + "; ".join(deltas))
     print()
     if regressed:
         print(f"REGRESSION: some series slowed by more than "
@@ -104,6 +121,10 @@ def main():
                         help="one BENCH json to print, or two to compare")
     parser.add_argument("--threshold", type=float, default=1.5,
                         help="comparison regression factor (default 1.5)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="ignore regressions on baseline timings "
+                             "below this many seconds (default 0.01; "
+                             "tiny timings are scheduler noise)")
     args = parser.parse_args()
 
     loaded = []
@@ -121,7 +142,7 @@ def main():
     if len(loaded) == 2:
         (old_path, old), (new_path, new) = loaded
         return 1 if compare(old_path, old, new_path, new,
-                            args.threshold) else 0
+                            args.threshold, args.min_seconds) else 0
     print("error: pass one file to print or two to compare",
           file=sys.stderr)
     return 2

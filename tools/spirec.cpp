@@ -27,7 +27,9 @@
 ///   --run k=v,k=v         interpret the program on a machine state with
 ///                         the given input registers and print the output
 ///   --dump-ir             print the (optimized) core IR
-///   --timings             print per-stage wall-clock timings to stderr
+///   --timings             print per-stage wall-clock seconds, heap
+///                         allocation counts, and peak-RSS growth to
+///                         stderr
 ///
 /// Options:
 ///   --no-flatten          disable conditional flattening
@@ -39,6 +41,9 @@
 ///                             (default 100000)
 ///   --max-inline-instances N  lowering's bound on total inlined calls
 ///                             (default 100000)
+///   --check-equiv-samples N   basis states sampled by --check-equiv
+///                             (default 32; diagnosed when above the
+///                             circuits' 2^qubits distinct states)
 ///   --circuit-opt <name>  additionally run a circuit-optimizer baseline:
 ///                         peephole | rotation | cliffordt-cancel |
 ///                         toffoli-cancel | exhaustive
@@ -57,6 +62,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -75,6 +81,10 @@ struct Options {
   bool WantEmit = false; ///< --emit (or --basis / circuit-in) given.
   std::string OutputPath;
   std::string CheckEquivPath;
+  /// Whether --check-equiv-samples was given explicitly: an explicit
+  /// request above the circuits' state space is an error; the default
+  /// silently adapts to small circuits instead.
+  bool CheckEquivSamplesSet = false;
   std::optional<std::string> RunInputs;
   std::string CircuitOpt;
   driver::PipelineOptions Pipeline;
@@ -97,6 +107,9 @@ const char UsageText[] =
     "  --check-equiv <file>      check the final circuit is behaviorally\n"
     "                            equivalent to the circuit in <file>\n"
     "                            (sampled basis states, via the simulator)\n"
+    "  --check-equiv-samples N   basis states to sample for --check-equiv\n"
+    "                            (default 32; an N above the circuits'\n"
+    "                            2^qubits distinct states is an error)\n"
     "  --run k=v,k=v             interpret the program on the given input\n"
     "                            registers and print the output\n"
     "  --dump-ir                 print the (optimized) core IR\n"
@@ -229,6 +242,17 @@ Options parseArgs(int Argc, char **Argv) {
       Opts.OutputPath = next("-o");
     else if (Arg == "--check-equiv")
       Opts.CheckEquivPath = next("--check-equiv");
+    else if (Arg == "--check-equiv-samples") {
+      int64_t N = parseInt(next("--check-equiv-samples"),
+                           "--check-equiv-samples");
+      // Reject out-of-range counts before the unsigned narrowing: 2^32
+      // must not silently become 0 samples (a vacuous check).
+      if (N <= 0 || N > std::numeric_limits<unsigned>::max())
+        usageError("--check-equiv-samples must be a positive 32-bit "
+                   "count");
+      Opts.Pipeline.CheckEquivSamples = static_cast<unsigned>(N);
+      Opts.CheckEquivSamplesSet = true;
+    }
     else if (Arg == "--run")
       Opts.RunInputs = next("--run");
     else if (Arg == "--no-flatten")
@@ -357,7 +381,8 @@ std::string readFileOrDie(const std::string &Path) {
 /// --check-equiv: compares the run's final circuit against the circuit
 /// in `Path` (format auto-detected) on sampled basis states. Returns the
 /// process exit code.
-int checkEquivalence(const circuit::Circuit &Final, const std::string &Path) {
+int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
+                     unsigned Samples, bool SamplesExplicit) {
   std::string Text = readFileOrDie(Path);
   support::DiagnosticEngine Diags;
   std::optional<circuit::Circuit> Other = interchange::readCircuit(
@@ -367,8 +392,27 @@ int checkEquivalence(const circuit::Circuit &Final, const std::string &Path) {
     std::fprintf(stderr, "spirec: error: cannot parse %s\n", Path.c_str());
     return 1;
   }
+  // Sampling happens over the narrower circuit's wires; asking for more
+  // samples than that space has distinct basis states would only re-test
+  // duplicates while claiming broader coverage. An explicit request is
+  // diagnosed (never silently truncated); the default count adapts to
+  // small circuits, where fewer samples already cover every state.
+  unsigned Common = std::min(Final.NumQubits, Other->NumQubits);
+  if (Common < 64 && Samples > (uint64_t{1} << Common)) {
+    uint64_t Distinct = uint64_t{1} << Common;
+    if (SamplesExplicit) {
+      std::fprintf(stderr,
+                   "spirec: error: --check-equiv-samples %u exceeds the "
+                   "%llu distinct basis states of the %u-qubit comparison; "
+                   "pass at most %llu\n",
+                   Samples, static_cast<unsigned long long>(Distinct),
+                   Common, static_cast<unsigned long long>(Distinct));
+      return 2;
+    }
+    Samples = static_cast<unsigned>(Distinct);
+  }
   interchange::EquivalenceReport Report =
-      interchange::checkEquivalence(Final, *Other);
+      interchange::checkEquivalence(Final, *Other, Samples);
   if (!Report.Equivalent) {
     std::fprintf(stderr,
                  "spirec: error: circuits are NOT equivalent (%s)\n",
@@ -402,8 +446,12 @@ int main(int Argc, char **Argv) {
   driver::CompilationResult R = Pipeline.run(Source);
   if (Opts.Timings) {
     for (const driver::StageTiming &T : R.Stages)
-      std::fprintf(stderr, "spirec: %-15s %.3f s\n",
-                   driver::stageName(T.Which), T.Seconds);
+      std::fprintf(stderr,
+                   "spirec: %-15s %.3f s  %10lld allocs  %+8lld KiB peak "
+                   "RSS\n",
+                   driver::stageName(T.Which), T.Seconds,
+                   static_cast<long long>(T.Allocs),
+                   static_cast<long long>(T.PeakRSSDeltaKb));
     if (R.QoptStats)
       std::fprintf(stderr,
                    "spirec: qopt stats: %lld pairs cancelled, %lld "
@@ -448,7 +496,7 @@ int main(int Argc, char **Argv) {
                    Interp.error().c_str());
       return 1;
     }
-    std::printf("%s = %llu\n", R.Optimized->OutputVar.c_str(),
+    std::printf("%s = %llu\n", R.Optimized->OutputVar.str().c_str(),
                 static_cast<unsigned long long>(Interp.output(State)));
   }
 
@@ -478,7 +526,9 @@ int main(int Argc, char **Argv) {
     const circuit::Circuit *Final = R.finalCircuit();
     if (!Final)
       usageError("--check-equiv needs a circuit (add --emit or --basis)");
-    return checkEquivalence(*Final, Opts.CheckEquivPath);
+    return checkEquivalence(*Final, Opts.CheckEquivPath,
+                            Pipe.CheckEquivSamples,
+                            Opts.CheckEquivSamplesSet);
   }
   return 0;
 }
