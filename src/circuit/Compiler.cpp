@@ -915,6 +915,17 @@ CompileResult compileToCircuit(const CoreProgram &P,
   assert(Out != E.Vars.end() && "output variable not live at program end");
   Layout.Output = Out->second.R;
   Layout.NumQubits = E.NextFree;
+  // Record the still-live registers (inputs, output, leaked temporaries)
+  // and the deliberately-|1> alloc ancilla: everything else must exit at
+  // |0>, and the static ancilla-cleanness analysis holds it to that.
+  for (const auto &[Name, Info] : E.Vars)
+    Layout.LiveAtExit.push_back(Info.R);
+  std::sort(Layout.LiveAtExit.begin(), Layout.LiveAtExit.end(),
+            [](const BitRange &A, const BitRange &B) {
+              return A.Offset < B.Offset;
+            });
+  if (E.AllocAncillas)
+    Layout.PreparedOneWire = E.OneBit;
 
   CompileResult Result;
   Result.Circ = std::move(E.C);

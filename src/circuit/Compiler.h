@@ -38,12 +38,25 @@ struct BitRange {
 
 /// Where everything ended up, for simulation and inspection.
 struct CircuitLayout {
+  static constexpr Qubit NoWire = 0xffffffffu;
+
   std::map<std::string, BitRange> Inputs;
   BitRange Output;
   Qubit MemBase = 0;
   unsigned CellBits = 0;
   unsigned HeapCells = 0;
   unsigned NumQubits = 0;
+  /// Registers still holding a live variable when compilation ended —
+  /// the inputs, the declared output, and any temporaries the program
+  /// never un-assigned. Every other allocated wire is an ancilla or a
+  /// released register and owes the compute/uncompute discipline a |0>
+  /// at circuit exit; analysis::CleanSpec::forLayout builds that
+  /// obligation from this exemption list.
+  std::vector<BitRange> LiveAtExit;
+  /// The constant-|1> ancilla of the popcount-uniform alloc-address
+  /// writer: prepared by one X at circuit start and intentionally left
+  /// at |1>. NoWire when the program allocates no heap cells.
+  Qubit PreparedOneWire = NoWire;
 
   /// Qubit range of heap cell `Address` (1-based).
   BitRange cell(unsigned Address) const {

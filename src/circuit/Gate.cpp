@@ -58,6 +58,24 @@ std::string Circuit::str() const {
   return Out;
 }
 
+std::string checkGateOperands(Qubit Target, const Qubit *CtrlBegin,
+                              const Qubit *CtrlEnd, unsigned NumQubits) {
+  auto outOfRange = [&](Qubit Q) {
+    return "qubit index " + std::to_string(Q) +
+           " out of range for a circuit with " + std::to_string(NumQubits) +
+           " wires";
+  };
+  if (NumQubits != 0 && Target >= NumQubits)
+    return outOfRange(Target);
+  for (const Qubit *C = CtrlBegin; C != CtrlEnd; ++C) {
+    if (NumQubits != 0 && *C >= NumQubits)
+      return outOfRange(*C);
+    if (*C == Target)
+      return "gate target repeats a control qubit";
+  }
+  return "";
+}
+
 int64_t tCostOfMCX(unsigned NumControls) {
   if (NumControls <= 1)
     return 0;

@@ -273,6 +273,16 @@ struct GateCounts {
 
 GateCounts countGates(const Circuit &C);
 
+/// Operand well-formedness for a (prospective) gate, shared by the
+/// interchange readers and analysis::verifyCircuit so every entry point
+/// rejects the same shapes with the same words: the target repeating a
+/// control (no sensible gate reading; a *doubled control* is fine and
+/// dedupes), and — when `NumQubits` is nonzero — any operand outside the
+/// declared wires. Returns the empty string when well-formed, otherwise
+/// the diagnostic message.
+std::string checkGateOperands(Qubit Target, const Qubit *CtrlBegin,
+                              const Qubit *CtrlEnd, unsigned NumQubits);
+
 /// T-depth of a circuit (Amy et al. 2014): the number of T stages on the
 /// critical path, where gates acting on disjoint qubits may share a
 /// stage. T and Tdg gates contribute one stage on the qubits they touch;

@@ -140,13 +140,16 @@ std::optional<Circuit> readQc(std::string_view Text,
     Qubit Target = Operands.back();
     Operands.pop_back();
     // A doubled control is the same single control (Gate::normalize
-    // dedupes it); a target repeating a control has no sensible gate
-    // reading, so it stays a diagnostic.
-    for (Qubit Q : Operands)
-      if (Q == Target) {
-        Diags.error(Loc, "gate target repeats a control qubit");
-        return std::nullopt;
-      }
+    // dedupes it); the shared operand check rejects a target repeating a
+    // control — and any out-of-range index — with the same words every
+    // reader and analysis::verifyCircuit use.
+    std::string Bad =
+        checkGateOperands(Target, Operands.data(),
+                          Operands.data() + Operands.size(), C.NumQubits);
+    if (!Bad.empty()) {
+      Diags.error(Loc, Bad);
+      return std::nullopt;
+    }
     C.add(Gate(Kind, Target, std::move(Operands)));
   }
 

@@ -1,16 +1,64 @@
 #include "driver/Pipeline.h"
 
+#include "analysis/Analysis.h"
 #include "decompose/Decompose.h"
 #include "frontend/Parser.h"
 #include "sema/TypeChecker.h"
 #include "support/AllocStats.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 namespace spire::driver {
+
+bool verifyEachDefault() {
+  // Cached: the default is an environment policy, not per-pipeline
+  // state (spirec --verify-each overrides it per invocation).
+  static const bool On = [] {
+    const char *V = std::getenv("SPIRE_VERIFY_EACH");
+    return V && *V && std::string_view(V) != "0";
+  }();
+  return On;
+}
+
+namespace {
+
+/// Stage-boundary IR verification: reports violations as diagnostics
+/// under `Context` ("verify(lower)", ...) and fails the stage.
+bool verifyIrArtifact(const ir::CoreProgram &P,
+                      const circuit::TargetConfig &Target,
+                      support::DiagnosticEngine &Diags, const char *Context) {
+  analysis::VerifyReport V = analysis::verifyProgram(P, Target);
+  if (V.ok())
+    return true;
+  V.reportTo(Diags, Context);
+  return false;
+}
+
+/// Stage-boundary circuit verification: structural well-formedness plus
+/// netlist integrity always; the affine-parity ancilla-cleanness proof
+/// only when a compiled layout is available (the circuit-input axis has
+/// no input/ancilla classification, so parity obligations don't apply).
+bool verifyCircuitArtifact(const circuit::Circuit &C,
+                           const circuit::CircuitLayout *Layout,
+                           support::DiagnosticEngine &Diags,
+                           const char *Context) {
+  analysis::VerifyReport V = analysis::verifyCircuit(C);
+  if (V.ok() && Layout) {
+    analysis::CleanSpec Spec =
+        analysis::CleanSpec::forLayout(*Layout, C.NumQubits);
+    V.merge(analysis::analyzeParity(C, Spec).Report);
+  }
+  if (V.ok())
+    return true;
+  V.reportTo(Diags, Context);
+  return false;
+}
+
+} // namespace
 
 const char *stageName(Stage S) {
   switch (S) {
@@ -54,57 +102,84 @@ const char *optimizerName(CircuitOptimizerKind Kind) {
 
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
                                        CircuitOptimizerKind Kind,
-                                       qopt::OptStats *Stats) {
+                                       qopt::OptStats *Stats,
+                                       support::DiagnosticEngine *VerifyDiags) {
   using circuit::Circuit;
+  // Per-pass verification hook: every pass output (including the
+  // decomposition steps) goes through the structural circuit verifier
+  // before the next pass consumes it, so a pass that corrupts the gate
+  // stream is blamed by name instead of surfacing as a downstream
+  // equivalence failure.
+  auto verified = [&](Circuit C, const char *Pass) {
+    if (VerifyDiags) {
+      analysis::VerifyReport V = analysis::verifyCircuit(C);
+      if (!V.ok())
+        V.reportTo(*VerifyDiags, Pass);
+    }
+    return C;
+  };
   switch (Kind) {
   case CircuitOptimizerKind::None:
-    return decompose::toCliffordT(MCXCircuit);
+    return verified(decompose::toCliffordT(MCXCircuit),
+                    "qopt/decompose-clifford+t");
 
   case CircuitOptimizerKind::Peephole: {
     // Decompose first, then a small-window inverse-pair peephole.
-    Circuit CT = decompose::toCliffordT(MCXCircuit);
-    return qopt::cancelAdjacentGates(CT, qopt::CancelOptions::peephole(),
-                                     Stats);
+    Circuit CT = verified(decompose::toCliffordT(MCXCircuit),
+                          "qopt/decompose-clifford+t");
+    return verified(qopt::cancelAdjacentGates(
+                        CT, qopt::CancelOptions::peephole(), Stats),
+                    "qopt/cancel-peephole");
   }
 
   case CircuitOptimizerKind::CliffordTCancel: {
     // Decompose first, then standard cancellation plus rotation merging
     // over the Clifford+T gates — the -toCliffordT pipeline shape.
-    Circuit CT = decompose::toCliffordT(MCXCircuit);
-    Circuit Cancelled =
+    Circuit CT = verified(decompose::toCliffordT(MCXCircuit),
+                          "qopt/decompose-clifford+t");
+    Circuit Cancelled = verified(
         qopt::cancelAdjacentGates(CT, qopt::CancelOptions::standard(),
-                                  Stats);
-    return qopt::phaseFold(Cancelled, Stats);
+                                  Stats),
+        "qopt/cancel-standard");
+    return verified(qopt::phaseFold(Cancelled, Stats), "qopt/phase-fold");
   }
 
   case CircuitOptimizerKind::RotationMerging: {
-    Circuit CT = decompose::toCliffordT(MCXCircuit);
-    return qopt::phaseFold(CT, Stats);
+    Circuit CT = verified(decompose::toCliffordT(MCXCircuit),
+                          "qopt/decompose-clifford+t");
+    return verified(qopt::phaseFold(CT, Stats), "qopt/phase-fold");
   }
 
   case CircuitOptimizerKind::ToffoliCancel: {
     // Simplify in terms of Toffoli gates *before* translating to
     // Clifford+T (Section 8.3: the -mctExpand configuration).
-    Circuit Toff = decompose::toToffoli(MCXCircuit);
-    Circuit Cancelled =
+    Circuit Toff = verified(decompose::toToffoli(MCXCircuit),
+                            "qopt/decompose-toffoli");
+    Circuit Cancelled = verified(
         qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::standard(),
-                                  Stats);
-    return decompose::toCliffordT(Cancelled);
+                                  Stats),
+        "qopt/cancel-standard");
+    return verified(decompose::toCliffordT(Cancelled),
+                    "qopt/decompose-clifford+t");
   }
 
   case CircuitOptimizerKind::ExhaustiveCancel: {
     // Unbounded-lookahead fixpoint cancellation at the Toffoli level,
     // then decomposition and rotation merging: stronger and much slower,
     // like QuiZX's global-structure discovery.
-    Circuit Toff = decompose::toToffoli(MCXCircuit);
-    Circuit Cancelled =
+    Circuit Toff = verified(decompose::toToffoli(MCXCircuit),
+                            "qopt/decompose-toffoli");
+    Circuit Cancelled = verified(
         qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::exhaustive(),
-                                  Stats);
-    Circuit CT = decompose::toCliffordT(Cancelled);
-    Circuit Folded = qopt::phaseFold(CT, Stats);
-    return qopt::cancelAdjacentGates(Folded,
-                                     qopt::CancelOptions::exhaustive(),
-                                     Stats);
+                                  Stats),
+        "qopt/cancel-exhaustive");
+    Circuit CT = verified(decompose::toCliffordT(Cancelled),
+                          "qopt/decompose-clifford+t");
+    Circuit Folded =
+        verified(qopt::phaseFold(CT, Stats), "qopt/phase-fold");
+    return verified(qopt::cancelAdjacentGates(
+                        Folded, qopt::CancelOptions::exhaustive(), Stats),
+                    "qopt/cancel-exhaustive");
   }
   }
   return decompose::toCliffordT(MCXCircuit);
@@ -170,6 +245,10 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
       Parsed.Circ = std::move(*C);
       Parsed.Layout.NumQubits = Parsed.Circ.NumQubits;
       R.Compiled.emplace(std::move(Parsed));
+      if (Options.VerifyEach &&
+          !verifyCircuitArtifact(R.Compiled->Circ, /*Layout=*/nullptr,
+                                 R.Diags, "verify(circuit-compile)"))
+        return false;
       return true;
     });
     if (!OK)
@@ -214,16 +293,25 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
     if (!Core)
       return false;
     R.Core.emplace(std::move(*Core));
+    if (Options.VerifyEach &&
+        !verifyIrArtifact(*R.Core, Options.Target, R.Diags, "verify(lower)"))
+      return false;
     return true;
   });
   if (!OK || stopAfter(Stage::SpireOpt))
     return R;
 
   // -- Spire's program-level rewrites (Section 6). -------------------------
-  runStage(R, Stage::SpireOpt, [&] {
+  OK = runStage(R, Stage::SpireOpt, [&] {
     R.Optimized.emplace(opt::optimizeProgram(*R.Core, Options.Spire));
+    if (Options.VerifyEach &&
+        !verifyIrArtifact(*R.Optimized, Options.Target, R.Diags,
+                          "verify(spire-opt)"))
+      return false;
     return true;
   });
+  if (!OK)
+    return R;
 
   // -- Circuit compilation and decomposition (Section 7). ------------------
   if (Options.BuildCircuit && !stopAfter(Stage::CircuitCompile)) {
@@ -245,6 +333,15 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
           R.Final.emplace(decompose::toCliffordT(R.Compiled->Circ));
           break;
         }
+      }
+      if (Options.VerifyEach) {
+        if (!verifyCircuitArtifact(R.Compiled->Circ, &R.Compiled->Layout,
+                                   R.Diags, "verify(circuit-compile)"))
+          return false;
+        if (R.Final &&
+            !verifyCircuitArtifact(*R.Final, &R.Compiled->Layout, R.Diags,
+                                   "verify(decompose)"))
+          return false;
       }
       return true;
     });
@@ -268,10 +365,21 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
       !stopAfter(Stage::Qopt) && !R.Failed) {
     runStage(R, Stage::Qopt, [&] {
       qopt::OptStats Stats;
-      R.Final.emplace(
-          applyCircuitOptimizer(R.Compiled->Circ, Options.CircuitOpt,
-                                &Stats));
+      unsigned ErrorsBefore = R.Diags.errorCount();
+      R.Final.emplace(applyCircuitOptimizer(
+          R.Compiled->Circ, Options.CircuitOpt, &Stats,
+          Options.VerifyEach ? &R.Diags : nullptr));
       R.QoptStats = Stats;
+      if (Options.VerifyEach) {
+        if (R.Diags.errorCount() > ErrorsBefore)
+          return false; // A per-pass verification hook fired.
+        const circuit::CircuitLayout *Layout =
+            Options.Input == InputKind::Tower ? &R.Compiled->Layout
+                                              : nullptr;
+        if (!verifyCircuitArtifact(*R.Final, Layout, R.Diags,
+                                   "verify(qopt)"))
+          return false;
+      }
       return true;
     });
   }
@@ -287,6 +395,14 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
       if (!Legal)
         return false;
       R.Final.emplace(std::move(*Legal));
+      if (Options.VerifyEach) {
+        const circuit::CircuitLayout *Layout =
+            Options.Input == InputKind::Tower ? &R.Compiled->Layout
+                                              : nullptr;
+        if (!verifyCircuitArtifact(*R.Final, Layout, R.Diags,
+                                   "verify(legalize)"))
+          return false;
+      }
       return true;
     });
     if (!OK)

@@ -86,10 +86,21 @@ const char *optimizerName(CircuitOptimizerKind Kind);
 /// and returns the resulting Clifford+T-level circuit. When `Stats` is
 /// non-null the pass work counters (cancelled pairs, merged rotations,
 /// fixpoint passes) accumulate into it across every pass the
-/// configuration runs.
+/// configuration runs. When `VerifyDiags` is non-null the static
+/// circuit verifier runs after every pass application (decompose,
+/// cancel, fold) and reports violations there — the --verify-each
+/// hook; callers fail on VerifyDiags->hasErrors().
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
                                        CircuitOptimizerKind Kind,
-                                       qopt::OptStats *Stats = nullptr);
+                                       qopt::OptStats *Stats = nullptr,
+                                       support::DiagnosticEngine *VerifyDiags =
+                                           nullptr);
+
+/// Whether PipelineOptions::VerifyEach should default on: true when the
+/// SPIRE_VERIFY_EACH environment variable is set to anything but "0"
+/// (the Debug/sanitizer CI lanes export it so every pipeline consumer —
+/// tools, tests, benches — runs verified there without plumbing).
+bool verifyEachDefault();
 
 /// What the source text handed to run() contains.
 enum class InputKind {
@@ -139,6 +150,15 @@ struct PipelineOptions {
   /// Last stage to execute; later stages are skipped entirely. Lets
   /// lowering-only consumers avoid the Spire rewrite's program clone.
   Stage StopAfter = Stage::Estimate;
+
+  /// Runs the static verifier (src/analysis) on every stage artifact:
+  /// IR invariants after lower and spire-opt; circuit + netlist
+  /// well-formedness and affine-parity ancilla cleanness after
+  /// circuit-compile, after *every* qopt pass application, and after
+  /// legalize. Any violation fails the producing stage with
+  /// diagnostics. The spirec --verify-each flag sets this; see
+  /// verifyEachDefault() for the environment default.
+  bool VerifyEach = verifyEachDefault();
 
   /// Whether to run the circuit-compile stage (and the stages after it
   /// that need a circuit). Cost-model-only consumers leave this off and

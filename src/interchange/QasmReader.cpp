@@ -200,13 +200,16 @@ bool Reader::emit(GateKind Kind, Qubit Target, std::vector<Qubit> Controls,
                   support::SourceLoc Loc) {
   // A doubled control is the same single control (Gate::normalize dedupes
   // it — `ctrl(2) @ x q[1], q[1], q[0]` means cx); the target repeating a
-  // control (`cx q[0], q[0]`) has no sensible gate reading and is
-  // diagnosed instead of silently producing a nonsense gate.
-  for (Qubit Q : Controls)
-    if (Q == Target) {
-      Diags.error(Loc, "gate target repeats a control qubit");
-      return false;
-    }
+  // control (`cx q[0], q[0]`) has no sensible gate reading. The shared
+  // operand check diagnoses both that and any out-of-range index with
+  // the same words the .qc reader and analysis::verifyCircuit use.
+  std::string Bad = circuit::checkGateOperands(
+      Target, Controls.data(), Controls.data() + Controls.size(),
+      C.NumQubits);
+  if (!Bad.empty()) {
+    Diags.error(Loc, Bad);
+    return false;
+  }
   C.add(Gate(Kind, Target, std::move(Controls)));
   return true;
 }

@@ -98,89 +98,119 @@ uint64_t Interpreter::evalExpr(const CoreExpr &E,
   return 0;
 }
 
-bool Interpreter::execStmt(const CoreStmt &S, MachineState &State) {
-  switch (S.K) {
-  case CoreStmt::Kind::Skip:
+bool Interpreter::execAssign(const CoreStmt &S, MachineState &State) {
+  uint64_t V = evalExpr(S.E, State);
+  State.Regs[S.Name] ^= V & maskOf(S.Ty);
+  ++DeclCount[S.Name];
+  return true;
+}
+
+bool Interpreter::execUnAssign(const CoreStmt &S, MachineState &State) {
+  uint64_t V = evalExpr(S.E, State);
+  uint64_t &R = State.Regs[S.Name];
+  R ^= V & maskOf(S.Ty);
+  // The zero invariant applies only when the outermost declaration is
+  // removed; intermediate re-declaration layers may hold other layers'
+  // contributions (e.g. reversed conditional re-declarations).
+  if (--DeclCount[S.Name] > 0)
     return true;
-
-  case CoreStmt::Kind::Assign: {
-    uint64_t V = evalExpr(S.E, State);
-    State.Regs[S.Name] ^= V & maskOf(S.Ty);
-    ++DeclCount[S.Name];
-    return true;
-  }
-
-  case CoreStmt::Kind::UnAssign: {
-    uint64_t V = evalExpr(S.E, State);
-    uint64_t &R = State.Regs[S.Name];
-    R ^= V & maskOf(S.Ty);
-    // The zero invariant applies only when the outermost declaration is
-    // removed; intermediate re-declaration layers may hold other layers'
-    // contributions (e.g. reversed conditional re-declarations).
-    if (--DeclCount[S.Name] > 0)
-      return true;
-    DeclCount.erase(S.Name);
-    if (R != 0) {
-      Error = "un-assignment of '" + S.Name.str() +
-              "' did not restore zero (value " + std::to_string(R) + ")";
-      return false;
-    }
-    State.Regs.erase(S.Name);
-    return true;
-  }
-
-  case CoreStmt::Kind::If: {
-    auto It = State.Regs.find(S.Name);
-    bool Cond = It != State.Regs.end() && (It->second & 1);
-    if (Cond)
-      return execStmts(S.Body, State);
-    return true;
-  }
-
-  case CoreStmt::Kind::With: {
-    if (!execStmts(S.Body, State))
-      return false;
-    if (!execStmts(S.DoBody, State))
-      return false;
-    CoreStmtList Rev = reverseStmts(S.Body);
-    return execStmts(Rev, State);
-  }
-
-  case CoreStmt::Kind::Swap: {
-    uint64_t A = State.Regs[S.Name];
-    uint64_t B = State.Regs[S.Name2];
-    State.Regs[S.Name] = B;
-    State.Regs[S.Name2] = A;
-    return true;
-  }
-
-  case CoreStmt::Kind::MemSwap: {
-    uint64_t Address = State.Regs[S.Name] & maskOf(S.Ty);
-    if (Address == 0 || Address >= State.Mem.size())
-      return true; // Null or out-of-range dereference is a no-op.
-    unsigned SwapBits = std::min(widthOf(S.Ty2), CellBits);
-    uint64_t Mask = SwapBits >= 64 ? ~uint64_t(0)
-                                   : ((uint64_t(1) << SwapBits) - 1);
-    uint64_t &Cell = State.Mem[Address];
-    uint64_t &Reg = State.Regs[S.Name2];
-    uint64_t CellLow = Cell & Mask, RegLow = Reg & Mask;
-    Cell = (Cell & ~Mask) | RegLow;
-    Reg = (Reg & ~Mask) | CellLow;
-    return true;
-  }
-
-  case CoreStmt::Kind::Hadamard:
-    Error = "interpreter cannot execute H(" + S.Name.str() +
-            "); use the state-vector simulator";
+  DeclCount.erase(S.Name);
+  if (R != 0) {
+    Error = "un-assignment of '" + S.Name.str() +
+            "' did not restore zero (value " + std::to_string(R) + ")";
     return false;
   }
-  return false;
+  State.Regs.erase(S.Name);
+  return true;
 }
 
 bool Interpreter::execStmts(const CoreStmtList &Stmts, MachineState &State) {
-  for (const auto &S : Stmts)
-    if (!execStmt(*S, State))
+  // Explicit worklist: each frame iterates one statement list, forward
+  // or reversed. A reversed frame executes inverses in place — I[s1;s2]
+  // = I[s2];I[s1] via backward iteration, I[x <- e] = x -> e and vice
+  // versa — so a with-block's uncomputation leg is just its body frame
+  // with Rev set, with no reverseStmts() clone and no C++ recursion.
+  struct Frame {
+    const CoreStmtList *List;
+    size_t Pos;
+    bool Rev;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({&Stmts, 0, false});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.Pos == F.List->size()) {
+      Stack.pop_back();
+      continue;
+    }
+    const CoreStmt &S =
+        F.Rev ? *(*F.List)[F.List->size() - 1 - F.Pos] : *(*F.List)[F.Pos];
+    const bool Rev = F.Rev;
+    ++F.Pos; // F may dangle after a push below; advance first.
+
+    switch (S.K) {
+    case CoreStmt::Kind::Skip:
+      break;
+
+    case CoreStmt::Kind::Assign:
+      if (!(Rev ? execUnAssign(S, State) : execAssign(S, State)))
+        return false;
+      break;
+
+    case CoreStmt::Kind::UnAssign:
+      if (!(Rev ? execAssign(S, State) : execUnAssign(S, State)))
+        return false;
+      break;
+
+    case CoreStmt::Kind::If: {
+      // I[if x { s }] = if x { I[s] }: same condition (the body may not
+      // modify it), body direction-inherited.
+      auto It = State.Regs.find(S.Name);
+      bool Cond = It != State.Regs.end() && (It->second & 1);
+      if (Cond)
+        Stack.push_back({&S.Body, 0, Rev});
+      break;
+    }
+
+    case CoreStmt::Kind::With:
+      // Forward: body; do; I[body]. Reversed (I[with{a}do{b}] =
+      // with{a}do{I[b]}): a; I[b]; I[a]. Both orders are "body forward,
+      // do-body direction-inherited, body reversed", pushed LIFO.
+      Stack.push_back({&S.Body, 0, true});
+      Stack.push_back({&S.DoBody, 0, Rev});
+      Stack.push_back({&S.Body, 0, false});
+      break;
+
+    case CoreStmt::Kind::Swap: {
+      uint64_t A = State.Regs[S.Name];
+      uint64_t B = State.Regs[S.Name2];
+      State.Regs[S.Name] = B;
+      State.Regs[S.Name2] = A;
+      break;
+    }
+
+    case CoreStmt::Kind::MemSwap: {
+      uint64_t Address = State.Regs[S.Name] & maskOf(S.Ty);
+      if (Address == 0 || Address >= State.Mem.size())
+        break; // Null or out-of-range dereference is a no-op.
+      unsigned SwapBits = std::min(widthOf(S.Ty2), CellBits);
+      uint64_t Mask = SwapBits >= 64 ? ~uint64_t(0)
+                                     : ((uint64_t(1) << SwapBits) - 1);
+      uint64_t &Cell = State.Mem[Address];
+      uint64_t &Reg = State.Regs[S.Name2];
+      uint64_t CellLow = Cell & Mask, RegLow = Reg & Mask;
+      Cell = (Cell & ~Mask) | RegLow;
+      Reg = (Reg & ~Mask) | CellLow;
+      break;
+    }
+
+    case CoreStmt::Kind::Hadamard:
+      Error = "interpreter cannot execute H(" + S.Name.str() +
+              "); use the state-vector simulator";
       return false;
+    }
+  }
   return true;
 }
 

@@ -57,6 +57,14 @@ struct MachineState {
 /// Executes a core program on a machine state. Unbound variables read as
 /// zero-initialized registers (consistent with the circuit, where every
 /// register starts at |0>).
+///
+/// The statement walk is an explicit worklist machine (the repo's
+/// standard recursion discipline): each frame iterates one statement
+/// list either forward or reversed, and a reversed frame executes each
+/// primitive's inverse in place (Assign <-> UnAssign; the rest are
+/// self-inverse), so With-block uncomputation needs neither C++
+/// recursion nor a materialized I[s] clone. Depth-100k with-nesting
+/// runs in O(1) C++ stack (pinned by interpreter_test).
 class Interpreter {
 public:
   Interpreter(const ir::CoreProgram &Program,
@@ -76,7 +84,8 @@ public:
 
 private:
   bool execStmts(const ir::CoreStmtList &Stmts, MachineState &State);
-  bool execStmt(const ir::CoreStmt &S, MachineState &State);
+  bool execAssign(const ir::CoreStmt &S, MachineState &State);
+  bool execUnAssign(const ir::CoreStmt &S, MachineState &State);
   uint64_t evalExpr(const ir::CoreExpr &E, const MachineState &State) const;
   uint64_t evalAtom(const ir::Atom &A, const MachineState &State) const;
   uint64_t maskOf(const ast::Type *Ty) const;

@@ -62,6 +62,36 @@ TEST(Gate, NormalizationDedupesDuplicateControls) {
   EXPECT_TRUE(Pair.isCNOT());
 }
 
+TEST(Gate, CheckGateOperandsSharedDiagnostics) {
+  // The one operand check every reader and the circuit verifier share:
+  // same wording for the same defect, wherever a gate comes from.
+  std::vector<Qubit> Ctrls{1, 2};
+  EXPECT_EQ(checkGateOperands(0, Ctrls.data(), Ctrls.data() + Ctrls.size(),
+                              /*NumQubits=*/3),
+            "");
+  EXPECT_NE(checkGateOperands(2, Ctrls.data(), Ctrls.data() + Ctrls.size(),
+                              3)
+                .find("repeats a control"),
+            std::string::npos);
+  EXPECT_NE(checkGateOperands(5, Ctrls.data(), Ctrls.data() + Ctrls.size(),
+                              3)
+                .find("out of range"),
+            std::string::npos);
+  EXPECT_NE(checkGateOperands(0, Ctrls.data(), Ctrls.data() + Ctrls.size(),
+                              2)
+                .find("out of range"),
+            std::string::npos);
+  // NumQubits == 0 skips the range check (callers that grow the wire
+  // count as they read); the repeat check still applies.
+  EXPECT_EQ(checkGateOperands(5, Ctrls.data(), Ctrls.data() + Ctrls.size(),
+                              0),
+            "");
+  EXPECT_NE(checkGateOperands(1, Ctrls.data(), Ctrls.data() + Ctrls.size(),
+                              0)
+                .find("repeats a control"),
+            std::string::npos);
+}
+
 TEST(ControlList, InlineToHeapSpillAndBack) {
   ControlList L;
   EXPECT_TRUE(L.empty());

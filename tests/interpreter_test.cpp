@@ -168,6 +168,36 @@ TEST_F(InterpFixture, EncodeDecodeRoundTrip) {
   EXPECT_EQ(Back.Mem, S.Mem);
 }
 
+TEST_F(InterpFixture, WithNestingAtDepth100kRunsInConstantCxxStack) {
+  // Pins the interpreter's explicit worklist machine: with-blocks nested
+  // 100k deep (each body and uncompute leg one level further in) must
+  // execute without C++ recursion. Innermost statement: out ^= 1,
+  // executed once; every with-body ancilla must restore to zero.
+  constexpr unsigned Depth = 100000;
+  CoreStmtList Inner;
+  Inner.push_back(CoreStmt::assign(
+      "out", UInt, CoreExpr::atom(Atom::constant(1, UInt))));
+  for (unsigned I = 0; I != Depth; ++I) {
+    Symbol T = Symbol("t" + std::to_string(I));
+    CoreStmtList WithBody;
+    WithBody.push_back(CoreStmt::assign(
+        T, UInt, CoreExpr::atom(Atom::constant(1, UInt))));
+    CoreStmtList DoBody = std::move(Inner);
+    Inner = CoreStmtList();
+    Inner.push_back(CoreStmt::with(std::move(WithBody), std::move(DoBody)));
+  }
+  CoreProgram P = makeProgram(std::move(Inner), {{"a", UInt}});
+  P.OutputVar = "out";
+  P.OutputTy = UInt;
+  sim::MachineState S = sim::MachineState::make(Config.HeapCells);
+  S.Regs["a"] = 5;
+  EXPECT_EQ(run(P, S), 1u);
+  // Every with-ancilla was uncomputed and erased; only the input and the
+  // output survive.
+  EXPECT_EQ(S.Regs.size(), 2u);
+  EXPECT_EQ(S.Regs["a"], 5u);
+}
+
 //===----------------------------------------------------------------------===//
 // Reversibility: running s; I[s] restores the machine state (the
 // property underlying the with-do construct and all uncomputation).

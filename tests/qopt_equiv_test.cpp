@@ -9,6 +9,7 @@
 // seed that found it.
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "benchmarks/Harness.h"
 #include "interchange/Interchange.h"
 #include "qopt/Passes.h"
@@ -90,6 +91,34 @@ void expectEquivalent(const Circuit &A, const Circuit &B, uint64_t Seed,
       << What << " diverged (seed " << Seed << "): " << Report.Detail;
 }
 
+/// Stage-boundary verification, fuzz edition: every pass output must
+/// uphold the gate/netlist invariants the pipeline's --verify-each mode
+/// enforces on real compiles.
+void expectVerified(const Circuit &C, uint64_t Seed, const char *What) {
+  analysis::VerifyReport V = analysis::verifyCircuit(C);
+  EXPECT_TRUE(V.ok()) << What << " (seed " << Seed << "):\n" << V.str();
+}
+
+/// Parity differential: an optimizer pass preserves semantics, so
+/// wherever the affine-parity analysis is exact on BOTH the original
+/// and the optimized circuit, the exit parities must agree wire for
+/// wire. ("?" on either side means the wire left the affine fragment
+/// there — nothing to compare.)
+void expectSameParities(const Circuit &Before, const Circuit &After,
+                        uint64_t Seed, const char *What) {
+  ASSERT_EQ(Before.NumQubits, After.NumQubits);
+  analysis::CleanSpec Spec = analysis::CleanSpec::allUnknown(Before.NumQubits);
+  analysis::ParityResult A = analysis::analyzeParity(Before, Spec);
+  analysis::ParityResult B = analysis::analyzeParity(After, Spec);
+  for (unsigned Q = 0; Q != Before.NumQubits; ++Q) {
+    if (A.WireParity[Q] == "?" || B.WireParity[Q] == "?")
+      continue;
+    EXPECT_EQ(A.WireParity[Q], B.WireParity[Q])
+        << What << " changed the exit parity of wire " << Q << " (seed "
+        << Seed << ")";
+  }
+}
+
 class QoptDifferential : public ::testing::TestWithParam<uint64_t> {};
 
 } // namespace
@@ -106,6 +135,16 @@ TEST_P(QoptDifferential, CancelPlusFoldMatchesReferencePath) {
   Circuit RefCancelled =
       qopt::cancelAdjacentGatesReference(C, qopt::CancelOptions::standard());
   Circuit RefOut = qopt::phaseFoldReference(RefCancelled);
+
+  // Every intermediate artifact passes the static verifier, and the
+  // affine-parity summaries survive each pass unchanged wherever they
+  // are exact (the static cousin of the simulation oracle below).
+  expectVerified(NewCancelled, Seed, "cancel output");
+  expectVerified(NewOut, Seed, "fold output");
+  expectVerified(RefCancelled, Seed, "reference cancel output");
+  expectVerified(RefOut, Seed, "reference fold output");
+  expectSameParities(C, NewCancelled, Seed, "cancel");
+  expectSameParities(C, NewOut, Seed, "cancel+fold");
 
   // Both paths must preserve the circuit's behavior...
   expectEquivalent(C, NewOut, Seed * 7 + 1, "netlist path");

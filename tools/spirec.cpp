@@ -26,6 +26,12 @@
 ///                         (.qc or OpenQASM 3, auto-detected)
 ///   --run k=v,k=v         interpret the program on a machine state with
 ///                         the given input registers and print the output
+///   --verify-each         run the static verifier (src/analysis) on every
+///                         stage artifact and fail on any violation; also
+///                         on by default when SPIRE_VERIFY_EACH is set
+///   --analyze             print the static-analysis lint summary for the
+///                         compiled circuit (wire cleanness at exit, dead
+///                         gates, affine coverage); violations exit 1
 ///   --dump-ir             print the (optimized) core IR
 ///   --timings             print per-stage wall-clock seconds, heap
 ///                         allocation counts, and peak-RSS growth to
@@ -54,6 +60,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "driver/Pipeline.h"
 #include "interchange/Interchange.h"
 #include "sim/Interpreter.h"
@@ -78,6 +85,7 @@ struct Options {
   bool Report = false;
   bool DumpIR = false;
   bool Timings = false;
+  bool Analyze = false;
   bool WantEmit = false; ///< --emit (or --basis / circuit-in) given.
   std::string OutputPath;
   std::string CheckEquivPath;
@@ -112,6 +120,15 @@ const char UsageText[] =
     "                            2^qubits distinct states is an error)\n"
     "  --run k=v,k=v             interpret the program on the given input\n"
     "                            registers and print the output\n"
+    "  --verify-each             run the static verifier on every stage\n"
+    "                            artifact (IR invariants, circuit/netlist\n"
+    "                            well-formedness, ancilla-cleanness parity)\n"
+    "                            and fail on any violation; also on by\n"
+    "                            default when SPIRE_VERIFY_EACH is set\n"
+    "  --analyze                 print the static-analysis lint summary\n"
+    "                            for the compiled circuit (wire cleanness\n"
+    "                            at exit, dead gates, affine coverage);\n"
+    "                            violations exit 1\n"
     "  --dump-ir                 print the (optimized) core IR\n"
     "  --timings                 print per-stage timings to stderr\n"
     "\n"
@@ -255,6 +272,10 @@ Options parseArgs(int Argc, char **Argv) {
     }
     else if (Arg == "--run")
       Opts.RunInputs = next("--run");
+    else if (Arg == "--verify-each")
+      Opts.Pipeline.VerifyEach = true;
+    else if (Arg == "--analyze")
+      Opts.Analyze = true;
     else if (Arg == "--no-flatten")
       Opts.Pipeline.Spire.ConditionalFlattening = false;
     else if (Arg == "--no-narrow")
@@ -438,7 +459,8 @@ int main(int Argc, char **Argv) {
 
   // -- Configure and run the unified pipeline. -----------------------------
   Pipe.AnalyzeCost = Opts.Report; // Rejected in circuit-in mode above.
-  Pipe.BuildCircuit = Opts.WantEmit || !Opts.CheckEquivPath.empty();
+  Pipe.BuildCircuit =
+      Opts.WantEmit || !Opts.CheckEquivPath.empty() || Opts.Analyze;
   if (!Opts.CircuitOpt.empty())
     Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
 
@@ -498,6 +520,53 @@ int main(int Argc, char **Argv) {
     }
     std::printf("%s = %llu\n", R.Optimized->OutputVar.str().c_str(),
                 static_cast<unsigned long long>(Interp.output(State)));
+  }
+
+  // -- Static-analysis lint mode. ------------------------------------------
+  if (Opts.Analyze && R.Compiled) {
+    const circuit::Circuit &C = R.Compiled->Circ;
+    analysis::VerifyReport V;
+    if (R.Optimized)
+      V.merge(analysis::verifyProgram(*R.Optimized, Pipe.Target));
+    V.merge(analysis::verifyCircuit(C));
+    // Parity cleanness obligations need the compiled layout's wire
+    // classification; an imported circuit gets the obligation-free spec
+    // (the lint counts are still informative).
+    analysis::CleanSpec Spec =
+        CircuitIn ? analysis::CleanSpec::allUnknown(C.NumQubits)
+                  : analysis::CleanSpec::forLayout(R.Compiled->Layout,
+                                                   C.NumQubits);
+    analysis::ParityResult PR = analysis::analyzeParity(C, Spec);
+    V.merge(PR.Report);
+    std::printf("analyze: %u wires at exit: %zu clean, %zu dirty, "
+                "%zu unknown\n",
+                C.NumQubits, PR.count(analysis::Cleanness::Clean),
+                PR.count(analysis::Cleanness::Dirty),
+                PR.count(analysis::Cleanness::Unknown));
+    // Dirty inputs/memory/outputs are expected (they carry the result);
+    // the obligation counts are what a lint user acts on.
+    size_t Obligated = 0, Proved = 0;
+    for (unsigned Q = 0; Q != C.NumQubits; ++Q) {
+      if (Q >= Spec.RequireClean.size() || !Spec.RequireClean[Q])
+        continue;
+      ++Obligated;
+      if (PR.WireExit[Q] == analysis::Cleanness::Clean)
+        ++Proved;
+    }
+    std::printf("analyze: %zu ancilla wires must return to |0>; "
+                "%zu proved clean\n",
+                Obligated, Proved);
+    std::printf("analyze: %zu gates: %zu statically dead, %zu outside "
+                "the affine (X/CNOT) fragment%s\n",
+                C.Gates.size(), PR.DeadGates.size(), PR.NonAffineGates,
+                PR.fullyAffine() ? " (exact parity model)" : "");
+    if (!V.ok()) {
+      std::fprintf(stderr, "%s", V.str().c_str());
+      std::fprintf(stderr, "spirec: error: %zu static-analysis "
+                           "violation(s)\n",
+                   V.Violations.size());
+      return 1;
+    }
   }
 
   // -- Circuit-in mode reports the gate-count change on stderr. ------------
