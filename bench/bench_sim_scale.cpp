@@ -1,0 +1,351 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulation throughput at scale: sweeps random X-only circuits from
+/// 10k to 300k gates through the bit-sliced batch simulator and the
+/// gate-at-a-time interpreter (sim::runBasis) on identical inputs, and
+/// reports basis-state-gate applications per second for both.
+///
+/// The interpreter advances one basis state per pass and walks every
+/// gate's ControlList; the bit-sliced tape advances 64 states per pass
+/// with one or two word ops per gate. This bench is the regression
+/// guard for the backend: it fails (non-zero exit) if the bit-sliced
+/// path drops below 20x the interpreter's throughput, if throughput at
+/// the deep end collapses superlinearly against the best observed rate,
+/// or if the two backends disagree on any lane of the timed blocks.
+///
+/// A separate exhaustive point sweeps all 2^20 basis states of a
+/// 20-qubit circuit — the workload the equivalence checker's exhaustive
+/// mode runs — and reports states/sec.
+///
+/// Results are also written as JSON (default `BENCH_sim.json`, or
+/// argv[1]); pretty-print or diff runs with `tools/bench_report.py`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/BitSliced.h"
+#include "sim/Simulator.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace spire;
+using namespace spire::circuit;
+using namespace spire::sim;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+// Deterministic across libstdc++ versions (this workload pins CI
+// behavior).
+using support::splitMix64;
+
+constexpr unsigned WorkloadQubits = 24;
+constexpr uint64_t TimedBlocks = 256; // 16384 states per timed sweep
+
+/// A random X-only circuit with the gate mix compiled Tower programs
+/// exhibit: CNOT-heavy, Toffolis from arithmetic, occasional bare X and
+/// true MCX, plus SWAP triples for the fusion path.
+Circuit makeWorkload(uint64_t Seed, size_t NumGates) {
+  uint64_t Rng = Seed;
+  Circuit C;
+  C.NumQubits = WorkloadQubits;
+  C.Gates.reserve(NumGates);
+  auto qubit = [&] {
+    return static_cast<Qubit>(splitMix64(Rng) % WorkloadQubits);
+  };
+  auto distinctFrom = [&](Qubit T) {
+    Qubit Q = qubit();
+    return Q == T ? (Q + 1) % WorkloadQubits : Q;
+  };
+  while (C.Gates.size() < NumGates) {
+    Qubit T = qubit();
+    uint64_t R = splitMix64(Rng) % 100;
+    if (R < 45) {
+      C.addX(T, {distinctFrom(T)});
+    } else if (R < 75) {
+      Qubit A = distinctFrom(T);
+      Qubit B = distinctFrom(T);
+      if (B == A)
+        B = (B + 1) % WorkloadQubits == T ? (B + 2) % WorkloadQubits
+                                          : (B + 1) % WorkloadQubits;
+      C.addX(T, {A, B});
+    } else if (R < 85) {
+      C.addX(T);
+    } else if (R < 93) {
+      // The three-CNOT SWAP idiom the tape compiler fuses.
+      Qubit A = distinctFrom(T);
+      C.addX(T, {A});
+      C.addX(A, {T});
+      C.addX(T, {A});
+    } else {
+      ControlList Controls;
+      for (unsigned I = 0; I != 4; ++I) {
+        Qubit Q = distinctFrom(T);
+        Controls.push_back(Q);
+      }
+      C.addX(T, Controls);
+    }
+  }
+  C.Gates.resize(NumGates); // the SWAP idiom can overshoot by two
+  return C;
+}
+
+struct Row {
+  int64_t Gates = 0;
+  size_t Ops = 0;
+  double CompileSeconds = 0;
+  double BitSlicedSeconds = 0;
+  double InterpSeconds = 0;
+  uint64_t BitSlicedStates = 0;
+  uint64_t InterpStates = 0;
+
+  /// Basis-state-gate applications per second: the unit that makes the
+  /// one-state interpreter and the 64-state block path comparable.
+  double bitslicedRate() const {
+    return double(BitSlicedStates) * double(Gates) /
+           (BitSlicedSeconds > 0 ? BitSlicedSeconds : 1e-9);
+  }
+  double interpRate() const {
+    return double(InterpStates) * double(Gates) /
+           (InterpSeconds > 0 ? InterpSeconds : 1e-9);
+  }
+  double ratio() const {
+    return bitslicedRate() / (interpRate() > 0 ? interpRate() : 1e-9);
+  }
+};
+
+bool sweepPoint(size_t NumGates, Row &Out) {
+  Circuit C = makeWorkload(/*Seed=*/1, NumGates);
+  Out.Gates = static_cast<int64_t>(C.Gates.size());
+
+  auto StartCompile = std::chrono::steady_clock::now();
+  std::optional<BitSlicedSimulator> Tape = BitSlicedSimulator::compile(C);
+  Out.CompileSeconds = secondsSince(StartCompile);
+  if (!Tape) {
+    std::fprintf(stderr, "%zu gates: X-only workload did not compile\n",
+                 NumGates);
+    return false;
+  }
+  Out.Ops = Tape->numOps();
+
+  // Bit-sliced leg: TimedBlocks random 64-state blocks. Keep the first
+  // block's input and output for the cross-check below.
+  std::vector<uint64_t> In(WorkloadQubits), L(WorkloadQubits),
+      FirstOut(WorkloadQubits);
+  uint64_t Rng = 0xb17e5ull;
+  loadRandomBlock(In.data(), WorkloadQubits, WorkloadQubits, Rng);
+  auto StartBits = std::chrono::steady_clock::now();
+  for (uint64_t B = 0; B != TimedBlocks; ++B) {
+    if (B == 0)
+      std::copy(In.begin(), In.end(), L.begin());
+    else
+      loadRandomBlock(L.data(), WorkloadQubits, WorkloadQubits, Rng);
+    Tape->runBlock(L.data());
+    if (B == 0)
+      std::copy(L.begin(), L.end(), FirstOut.begin());
+  }
+  Out.BitSlicedSeconds = secondsSince(StartBits);
+  Out.BitSlicedStates = TimedBlocks * LaneBits;
+
+  // Interpreter leg: the same 64 states of the first block, one
+  // runBasis pass each.
+  Out.InterpStates = LaneBits;
+  auto StartInterp = std::chrono::steady_clock::now();
+  uint64_t Checksum = 0;
+  for (unsigned Bit = 0; Bit != LaneBits; ++Bit) {
+    BitString S(WorkloadQubits);
+    for (unsigned Q = 0; Q != WorkloadQubits; ++Q)
+      S.set(Q, (In[Q] >> Bit) & 1);
+    runBasis(C, S);
+    Checksum ^= S.get(0);
+  }
+  Out.InterpSeconds = secondsSince(StartInterp);
+  (void)Checksum;
+
+  // The two backends must agree on every lane of the timed block.
+  for (unsigned Bit = 0; Bit != LaneBits; ++Bit)
+    if (!laneAgreesWithBasis(C, In.data(), FirstOut.data(), Bit)) {
+      std::fprintf(stderr, "%zu gates: bit-sliced backend disagrees with "
+                           "interpreter on lane bit %u\n",
+                   NumGates, Bit);
+      return false;
+    }
+
+  std::printf("%9lld %9zu %9.3f %14.3e %9.3f %14.3e %8.1fx\n",
+              static_cast<long long>(Out.Gates), Out.Ops,
+              Out.InterpSeconds, Out.interpRate(), Out.BitSlicedSeconds,
+              Out.bitslicedRate(), Out.ratio());
+  return true;
+}
+
+struct ExhaustivePoint {
+  unsigned Qubits = 0;
+  int64_t Gates = 0;
+  uint64_t States = 0;
+  double Seconds = 0;
+  double statesPerSec() const {
+    return double(States) / (Seconds > 0 ? Seconds : 1e-9);
+  }
+};
+
+/// Sweeps all 2^20 basis states of a 20-qubit workload — the shape the
+/// equivalence checker's exhaustive mode runs at its size ceiling.
+bool exhaustivePoint(ExhaustivePoint &Out) {
+  const unsigned Q = 20;
+  const size_t NumGates = 4096;
+  Circuit C = makeWorkload(/*Seed=*/7, NumGates);
+  C.NumQubits = Q;
+  for (Gate &G : C.Gates) {
+    G.Target %= Q;
+    bool Bad = false;
+    for (Qubit &Ctl : G.Controls) {
+      Ctl %= Q;
+      if (Ctl == G.Target)
+        Bad = true;
+    }
+    if (Bad)
+      G.Controls.clear(); // degenerate after remap: keep it a plain X
+    G.normalize();
+  }
+  std::optional<BitSlicedSimulator> Tape = BitSlicedSimulator::compile(C);
+  if (!Tape) {
+    std::fprintf(stderr, "exhaustive workload did not compile\n");
+    return false;
+  }
+  Out.Qubits = Q;
+  Out.Gates = static_cast<int64_t>(C.Gates.size());
+  Out.States = uint64_t(1) << Q;
+
+  std::vector<uint64_t> L(Q);
+  uint64_t Checksum = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t B = 0; B != Out.States / LaneBits; ++B) {
+    loadCounterBlock(L.data(), Q, B * LaneBits, Q);
+    Tape->runBlock(L.data());
+    Checksum ^= L[0];
+  }
+  Out.Seconds = secondsSince(Start);
+  (void)Checksum;
+  std::printf("\nexhaustive: %u qubits, %lld gates, all %llu states in "
+              "%.3f s -> %.3e states/sec\n",
+              Out.Qubits, static_cast<long long>(Out.Gates),
+              static_cast<unsigned long long>(Out.States), Out.Seconds,
+              Out.statesPerSec());
+  return true;
+}
+
+/// Throughput at the deep end must stay within 4x of the best observed
+/// rate — a superlinear backend degrades far more over this sweep.
+bool linear(const char *Label, const std::vector<Row> &Rows,
+            double (Row::*Rate)() const) {
+  double Best = 0;
+  for (const Row &R : Rows)
+    Best = std::max(Best, (R.*Rate)());
+  double LastRate = (Rows.back().*Rate)();
+  bool OK = LastRate * 4 >= Best;
+  std::printf("%s: best %.3e state-gates/sec; %.3e at %lld gates -> %s\n",
+              Label, Best, LastRate,
+              static_cast<long long>(Rows.back().Gates),
+              OK ? "scales linearly (yes)" : "superlinear collapse (NO)");
+  return OK;
+}
+
+void writeJson(const std::string &Path, const std::vector<Row> &Sweep,
+               const ExhaustivePoint &Ex, double MinRatio, bool RatioOK,
+               bool BitSlicedOK, bool InterpOK) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"sim_scale\",\n");
+  std::fprintf(F, "  \"qubits\": %u,\n", WorkloadQubits);
+  std::fprintf(F, "  \"timed_blocks\": %llu,\n",
+               static_cast<unsigned long long>(TimedBlocks));
+  std::fprintf(F, "  \"sweep_points\": [\n");
+  for (size_t I = 0; I != Sweep.size(); ++I) {
+    const Row &R = Sweep[I];
+    std::fprintf(F,
+                 "    {\"gates\": %lld, \"ops\": %zu, "
+                 "\"compile_seconds\": %.6f, "
+                 "\"interp_seconds\": %.6f, "
+                 "\"interp_state_gates_per_sec\": %.0f, "
+                 "\"bitsliced_seconds\": %.6f, "
+                 "\"bitsliced_state_gates_per_sec\": %.0f, "
+                 "\"speedup\": %.1f}%s\n",
+                 static_cast<long long>(R.Gates), R.Ops, R.CompileSeconds,
+                 R.InterpSeconds, R.interpRate(), R.BitSlicedSeconds,
+                 R.bitslicedRate(), R.ratio(),
+                 I + 1 == Sweep.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ],\n  \"exhaustive_points\": [\n");
+  std::fprintf(F,
+               "    {\"gates\": %lld, \"qubits\": %u, \"states\": %llu, "
+               "\"bitsliced_seconds\": %.6f, \"states_per_sec\": %.0f}\n",
+               static_cast<long long>(Ex.Gates), Ex.Qubits,
+               static_cast<unsigned long long>(Ex.States), Ex.Seconds,
+               Ex.statesPerSec());
+  std::fprintf(F, "  ],\n  \"min_speedup\": %.1f,\n", MinRatio);
+  std::fprintf(F,
+               "  \"linear\": {\"bitsliced\": %s, \"interp\": %s, "
+               "\"speedup_20x\": %s}\n}\n",
+               BitSlicedOK ? "true" : "false", InterpOK ? "true" : "false",
+               RatioOK ? "true" : "false");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::printf("== Simulation throughput at scale ==\n");
+  std::printf("\n-- random X-only workload, %u qubits, %llu-block "
+              "bit-sliced sweeps --\n",
+              WorkloadQubits,
+              static_cast<unsigned long long>(TimedBlocks));
+  std::printf("%9s %9s %9s %14s %9s %14s %9s\n", "gates", "ops",
+              "interp s", "st-gates/sec", "sliced s", "st-gates/sec",
+              "speedup");
+
+  const std::vector<size_t> Sizes = {10000, 30000, 100000, 300000};
+  std::vector<Row> Sweep;
+  for (size_t Size : Sizes) {
+    Row R;
+    if (!sweepPoint(Size, R))
+      return 1;
+    Sweep.push_back(R);
+  }
+
+  ExhaustivePoint Ex;
+  if (!exhaustivePoint(Ex))
+    return 1;
+
+  std::printf("\n");
+  bool BitSlicedOK = linear("bit-sliced", Sweep, &Row::bitslicedRate);
+  bool InterpOK = linear("interpreter", Sweep, &Row::interpRate);
+
+  // The acceptance bar: the bit-sliced path must hold >= 20x the
+  // interpreter's throughput at every size.
+  double MinRatio = Sweep.front().ratio();
+  for (const Row &R : Sweep)
+    MinRatio = std::min(MinRatio, R.ratio());
+  bool RatioOK = MinRatio >= 20.0;
+  std::printf("speedup over interpreter: min %.1fx across the sweep -> "
+              "%s\n",
+              MinRatio, RatioOK ? "meets the 20x bar (yes)"
+                                : "below the 20x bar (NO)");
+
+  writeJson(Argc > 1 ? Argv[1] : "BENCH_sim.json", Sweep, Ex, MinRatio,
+            RatioOK, BitSlicedOK, InterpOK);
+  return BitSlicedOK && InterpOK && RatioOK ? 0 : 1;
+}

@@ -127,12 +127,16 @@ struct PipelineOptions {
   /// basis). Gates with no exact realization in the basis fail the
   /// stage with a diagnostic.
   std::optional<interchange::Basis> Basis;
-  /// Basis states sampled by equivalence checking. The pipeline itself
-  /// does not run equivalence checks; this rides along for the
-  /// check-equiv consumer (the spirec CLI), which enforces the contract
-  /// that an *explicit* request above the circuits' 2^qubits distinct
-  /// basis states is diagnosed — never silently truncated — while this
-  /// default adapts to small circuits.
+  /// Basis-state budget for equivalence checking's sampled modes. The
+  /// pipeline itself does not run equivalence checks; this rides along
+  /// for the check-equiv consumer (the spirec CLI). Classical (X-only)
+  /// circuit pairs are swept by the bit-sliced batch backend — small
+  /// ones exhaustively over all 2^qubits states, where this budget is
+  /// ignored, larger ones in random 64-state blocks covering at least
+  /// this many states. A request above the circuits' 2^qubits distinct
+  /// states clamps to an exhaustive sweep; only non-classical circuits
+  /// (state-vector path, no exhaustive mode) diagnose an explicit
+  /// over-request.
   unsigned CheckEquivSamples = 32;
 
   /// Spire's program-level optimizations (Section 6).

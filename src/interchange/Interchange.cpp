@@ -4,11 +4,14 @@
 #include "circuit/QcWriter.h"
 #include "interchange/QasmReader.h"
 #include "interchange/QasmWriter.h"
+#include "sim/BitSliced.h"
 #include "sim/Simulator.h"
 #include "support/Hash.h"
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <limits>
 
 namespace spire::interchange {
 
@@ -87,13 +90,13 @@ std::optional<Circuit> readCircuit(std::string_view Text, Format F,
   return std::nullopt;
 }
 
-namespace {
-
-bool isXOnly(const Circuit &C) {
+bool isClassical(const Circuit &C) {
   return std::all_of(C.Gates.begin(), C.Gates.end(), [](const Gate &G) {
     return G.Kind == GateKind::X;
   });
 }
+
+namespace {
 
 /// Deterministic generator for basis-state sampling (<random> engines
 /// are not guaranteed stable across libstdc++ versions, and these
@@ -147,50 +150,143 @@ std::string describeState(const sim::BitString &S, unsigned Width) {
   return Out; // Qubit 0 first.
 }
 
+std::string describeLaneState(const uint64_t *L, unsigned Width,
+                              unsigned Bit) {
+  std::string Out;
+  for (unsigned Q = 0; Q != Width; ++Q)
+    Out += ((L[Q] >> Bit) & 1) ? '1' : '0';
+  return Out; // Qubit 0 first.
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// The bit-sliced sweep over an X-only pair: both tapes advance the same
+/// 64-state blocks — all 2^Common states when `Exhaustive`, random
+/// blocks otherwise (state 0 of the first block pinned to all-zero) —
+/// and every block must agree on the common wires with a clean ancilla
+/// tail on both sides.
+void runBitSlicedSweep(const Circuit &A, const Circuit &B,
+                       const sim::BitSlicedSimulator &TapeA,
+                       const sim::BitSlicedSimulator &TapeB,
+                       unsigned Common, uint64_t Blocks, bool Exhaustive,
+                       const EquivalenceOptions &Opts,
+                       EquivalenceReport &Report) {
+  std::vector<uint64_t> InA(A.NumQubits), LA(A.NumQubits);
+  std::vector<uint64_t> InB(B.NumQubits), LB(B.NumQubits);
+  uint64_t Rng = Opts.Seed;
+  for (uint64_t Block = 0; Block != Blocks; ++Block) {
+    if (Exhaustive)
+      sim::loadCounterBlock(InA.data(), A.NumQubits,
+                            Block * sim::LaneBits, Common);
+    else
+      sim::loadRandomBlock(InA.data(), A.NumQubits, Common, Rng);
+    if (!Exhaustive && Block == 0)
+      for (unsigned Q = 0; Q != A.NumQubits; ++Q)
+        InA[Q] &= ~uint64_t(1); // The all-zero state is always tested.
+    for (unsigned Q = 0; Q != B.NumQubits; ++Q)
+      InB[Q] = Q < Common ? InA[Q] : 0;
+
+    LA = InA;
+    LB = InB;
+    TapeA.runBlock(LA.data());
+    TapeB.runBlock(LB.data());
+
+    // One diff word accumulates every way the block can disagree:
+    // common-wire divergence and dirty ancilla tails on either side.
+    uint64_t Diff = 0;
+    for (unsigned Q = 0; Q != Common; ++Q)
+      Diff |= LA[Q] ^ LB[Q];
+    for (unsigned Q = Common; Q != A.NumQubits; ++Q)
+      Diff |= LA[Q];
+    for (unsigned Q = Common; Q != B.NumQubits; ++Q)
+      Diff |= LB[Q];
+    if (Diff != 0) {
+      unsigned Bit = 0;
+      while (!((Diff >> Bit) & 1))
+        ++Bit;
+      Report.Detail = "basis state " +
+                      describeLaneState(InA.data(), Common, Bit) +
+                      " maps to " +
+                      describeLaneState(LA.data(), A.NumQubits, Bit) +
+                      " vs " +
+                      describeLaneState(LB.data(), B.NumQubits, Bit);
+      return;
+    }
+
+    if (Opts.CrossCheck) {
+      // Lane-agreement oracle: replay one state of the block through
+      // the gate-at-a-time interpreter and require the bit-sliced lanes
+      // to match wire-for-wire on both circuits.
+      unsigned Bit =
+          static_cast<unsigned>(splitMix64(Rng) % sim::LaneBits);
+      if (!sim::laneAgreesWithBasis(A, InA.data(), LA.data(), Bit) ||
+          !sim::laneAgreesWithBasis(B, InB.data(), LB.data(), Bit)) {
+        Report.Detail = "bit-sliced backend disagrees with sim::runBasis "
+                        "on basis state " +
+                        describeLaneState(InA.data(), Common, Bit);
+        return;
+      }
+    }
+  }
+  Report.Equivalent = true;
+}
+
 } // namespace
 
 EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
-                                   unsigned Samples, uint64_t Seed) {
+                                   const EquivalenceOptions &Opts) {
   EquivalenceReport Report;
-  // Sample over the narrower circuit's wires; the wider one's extra
+  auto Start = std::chrono::steady_clock::now();
+  // Sweep over the narrower circuit's wires; the wider one's extra
   // wires are legalization ancillas and must stay clean.
   unsigned Common = std::min(A.NumQubits, B.NumQubits);
-  // A budget covering the whole space switches testState to exhaustive
-  // enumeration; cap the loop there too, so no caller burns simulations
-  // on duplicate states or reads a SamplesRun above the number of
-  // distinct states that exist.
-  if (Common < 64 && static_cast<uint64_t>(Samples) > (uint64_t{1} << Common))
-    Samples = static_cast<unsigned>(uint64_t{1} << Common);
-  uint64_t Rng = Seed;
+  // A budget covering the whole space means exhaustive enumeration; cap
+  // it there too, so no caller burns simulations on duplicate states or
+  // reads a StatesRun above the number of distinct states that exist.
+  uint64_t Space =
+      Common < 64 ? (uint64_t{1} << Common) : ~uint64_t(0);
+  unsigned Samples = Opts.Samples;
+  if (static_cast<uint64_t>(Samples) > Space)
+    Samples = static_cast<unsigned>(Space);
+  uint64_t Rng = Opts.Seed;
 
-  if (isXOnly(A) && isXOnly(B)) {
-    for (unsigned I = 0; I != Samples; ++I) {
-      sim::BitString SA = testState(Common, A.NumQubits, Samples, I, Rng);
-      sim::BitString SB(B.NumQubits);
-      for (unsigned Q = 0; Q != Common; ++Q)
-        SB.set(Q, SA.get(Q));
-      sim::BitString Input = SA;
-      sim::runBasis(A, SA);
-      sim::runBasis(B, SB);
-      ++Report.SamplesRun;
-      bool Match = tailIsZero(SA, Common, A.NumQubits) &&
-                   tailIsZero(SB, Common, B.NumQubits);
-      for (unsigned Q = 0; Match && Q != Common; ++Q)
-        Match = SA.get(Q) == SB.get(Q);
-      if (!Match) {
-        Report.Detail = "basis state " + describeState(Input, Common) +
-                        " maps to " + describeState(SA, A.NumQubits) +
-                        " vs " + describeState(SB, B.NumQubits);
-        return Report;
-      }
-    }
-    Report.Equivalent = true;
+  if (isClassical(A) && isClassical(B)) {
+    std::optional<sim::BitSlicedSimulator> TapeA =
+        sim::BitSlicedSimulator::compile(A);
+    std::optional<sim::BitSlicedSimulator> TapeB =
+        sim::BitSlicedSimulator::compile(B);
+    Report.BitSliced = true;
+    // Exhaustive whenever the whole space is small enough — or the
+    // caller's budget covers it anyway.
+    bool Exhaustive = Common <= Opts.MaxExhaustiveQubits ||
+                      static_cast<uint64_t>(Opts.Samples) >= Space;
+    // Whole 64-state blocks: every sweep advances at least 64 states
+    // (one sample costs the same as 64 on this backend). An exhaustive
+    // space below 64 states still occupies one block — the counter
+    // lanes just repeat, and StatesRun reports distinct states.
+    uint64_t Blocks =
+        Exhaustive
+            ? std::max<uint64_t>(1, Space / sim::LaneBits)
+            : (std::max(Samples, 1u) + sim::LaneBits - 1) / sim::LaneBits;
+    runBitSlicedSweep(A, B, *TapeA, *TapeB, Common, Blocks, Exhaustive,
+                      Opts, Report);
+    Report.Exhaustive = Exhaustive;
+    Report.StatesRun = Exhaustive ? Space : Blocks * sim::LaneBits;
+    Report.SamplesRun = static_cast<unsigned>(
+        std::min<uint64_t>(Report.StatesRun,
+                           std::numeric_limits<unsigned>::max()));
+    Report.Seconds = secondsSince(Start);
     return Report;
   }
 
   // State-vector path for circuits with H or phase gates: exact up to
   // global phase, but exponential in superposition size — callers keep
   // these circuits small (decomposition tests, --check-equiv on toys).
+  Report.Exhaustive = static_cast<uint64_t>(Samples) >= Space;
   for (unsigned I = 0; I != Samples; ++I) {
     sim::BitString SA = testState(Common, A.NumQubits, Samples, I, Rng);
     sim::BitString SB(B.NumQubits);
@@ -199,6 +295,7 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
     sim::SparseState FA = sim::runState(A, SA);
     sim::SparseState FB = sim::runState(B, SB);
     ++Report.SamplesRun;
+    ++Report.StatesRun;
     // Project the wider state onto the common wires, insisting the
     // ancilla tail is exactly |0> in every branch.
     auto project = [&](const sim::SparseState &S, unsigned Width,
@@ -220,11 +317,21 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
     if (!Match) {
       Report.Detail = "states diverge from basis state " +
                       describeState(SA, Common);
+      Report.Seconds = secondsSince(Start);
       return Report;
     }
   }
   Report.Equivalent = true;
+  Report.Seconds = secondsSince(Start);
   return Report;
+}
+
+EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
+                                   unsigned Samples, uint64_t Seed) {
+  EquivalenceOptions Opts;
+  Opts.Samples = Samples;
+  Opts.Seed = Seed;
+  return checkEquivalence(A, B, Opts);
 }
 
 } // namespace spire::interchange

@@ -13,15 +13,18 @@
 ///   Qasm3  the OpenQASM 3 subset of interchange/QasmReader and
 ///          interchange/QasmWriter.
 ///
-/// Equivalence: two circuits are compared on sampled basis states. X-only
-/// (classical reversible) circuits — every compiled Tower program without
-/// `h` — run through sim::runBasis, which scales to whole-benchmark
-/// circuits; anything with H or phase gates falls back to the sparse
-/// state-vector simulator and sim::statesEquivalent (small circuits
-/// only). A circuit with *more* qubits than the other (legalization adds
-/// ancillas) is accepted when the extra wires start at |0> and return to
-/// |0>, which is exactly the clean-ancilla contract of the decompose
-/// ladder.
+/// Equivalence: the checker dispatches on circuit classification. X-only
+/// (classical reversible) pairs — every compiled Tower program without
+/// `h` — run through the bit-sliced batch simulator (sim::BitSliced),
+/// 64 basis states per machine word: at or below
+/// EquivalenceOptions::MaxExhaustiveQubits common qubits the sweep
+/// covers *all* 2^n basis states (a proof, reported Exhaustive), and
+/// above it the requested sample budget runs as random 64-state blocks.
+/// Anything with H or phase gates falls back to the sparse state-vector
+/// simulator and sim::statesEquivalent (small circuits only). A circuit
+/// with *more* qubits than the other (legalization adds ancillas) is
+/// accepted when the extra wires start at |0> and return to |0>, which
+/// is exactly the clean-ancilla contract of the decompose ladder.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -66,21 +69,62 @@ std::string writeCircuit(const circuit::Circuit &C, Format F,
 std::optional<circuit::Circuit> readCircuit(std::string_view Text, Format F,
                                             support::DiagnosticEngine &Diags);
 
-/// Outcome of an equivalence check over sampled basis states.
+/// True when the circuit is classical reversible (X-kind gates only) —
+/// the fragment the bit-sliced batch backend evaluates. Circuits with H
+/// or phase gates take the state-vector path and cannot be checked
+/// exhaustively.
+bool isClassical(const circuit::Circuit &C);
+
+/// Outcome of an equivalence check over basis states.
 struct EquivalenceReport {
   bool Equivalent = false;
+  /// Whether the sweep covered every one of the narrower circuit's
+  /// 2^qubits basis states — a proof over all inputs, not a sample.
+  bool Exhaustive = false;
+  /// Whether the bit-sliced batch backend ran the sweep (X-only pair);
+  /// false means the sparse state-vector simulator did.
+  bool BitSliced = false;
+  /// Basis states actually evaluated (distinct states when Exhaustive).
+  uint64_t StatesRun = 0;
+  /// Legacy alias of StatesRun, clamped to unsigned.
   unsigned SamplesRun = 0;
+  /// Wall-clock seconds of the sweep (states/sec = StatesRun/Seconds).
+  double Seconds = 0;
   /// Human-readable mismatch description (empty when Equivalent).
   std::string Detail;
 };
 
-/// Checks that `A` and `B` act identically on `Samples` deterministically
-/// sampled basis states (seeded by `Seed`; the all-zero state is always
-/// among them). When `Samples` covers the narrower circuit's whole
-/// 2^qubits space, the states are enumerated exhaustively instead of
-/// sampled (sampling draws with replacement, which on a small space
-/// could miss the one differing state). Qubit-count differences are
+/// Everything that configures an equivalence check.
+struct EquivalenceOptions {
+  /// Basis-state budget for sampled sweeps. On the bit-sliced path it is
+  /// rounded up to whole 64-state blocks; on every path it is clamped to
+  /// the narrower circuit's 2^qubits distinct states, which upgrades the
+  /// sweep to exhaustive enumeration (sampling draws with replacement,
+  /// so on a small space it could miss the one differing state).
+  unsigned Samples = 32;
+  /// Seed of the deterministic SplitMix64 sample stream.
+  uint64_t Seed = 0x5eedc1c5u;
+  /// X-only comparisons at or below this many common qubits are swept
+  /// exhaustively regardless of Samples: 2^20 states are only 16384
+  /// bit-sliced blocks.
+  unsigned MaxExhaustiveQubits = 20;
+  /// Validates the bit-sliced backend against the gate-at-a-time
+  /// sim::runBasis interpreter, lane-for-lane on one state per 64-state
+  /// block — the --verify-each hook. Any disagreement fails the check
+  /// with a backend-divergence Detail.
+  bool CrossCheck = false;
+};
+
+/// Checks that `A` and `B` act identically on basis states per the
+/// dispatch described above (exhaustive bit-sliced sweep, batched
+/// bit-sliced samples, or sparse state-vector samples; the all-zero
+/// state is always among sampled states). Qubit-count differences are
 /// tolerated per the ancilla contract described above.
+EquivalenceReport checkEquivalence(const circuit::Circuit &A,
+                                   const circuit::Circuit &B,
+                                   const EquivalenceOptions &Opts);
+
+/// Convenience overload with default exhaustive/cross-check settings.
 EquivalenceReport checkEquivalence(const circuit::Circuit &A,
                                    const circuit::Circuit &B,
                                    unsigned Samples = 32,

@@ -483,13 +483,91 @@ TEST(Interchange, CrossFormatRoundTripPreservesCircuit) {
 //===----------------------------------------------------------------------===//
 
 TEST(Equivalence, AcceptsIdenticalXCircuits) {
+  // X-only at 8 qubits: the bit-sliced backend sweeps all 2^8 states
+  // regardless of the requested sample budget — a proof, not a sample.
   Circuit C;
   C.NumQubits = 8;
   C.addX(3, {0, 1});
   C.addX(7, {2});
   EquivalenceReport R = checkEquivalence(C, C, 16);
   EXPECT_TRUE(R.Equivalent);
-  EXPECT_EQ(R.SamplesRun, 16u);
+  EXPECT_TRUE(R.Exhaustive);
+  EXPECT_TRUE(R.BitSliced);
+  EXPECT_EQ(R.StatesRun, 256u);
+  EXPECT_EQ(R.SamplesRun, 256u);
+}
+
+TEST(Equivalence, LargeXCircuitsGetBatchedBlocks) {
+  // Above the exhaustive threshold the sweep runs whole 64-state blocks:
+  // a 40-qubit comparison with the default budget still covers >= 64
+  // states (one interpreter run used to buy exactly one).
+  Circuit A;
+  A.NumQubits = 40;
+  for (unsigned Q = 0; Q + 1 < A.NumQubits; ++Q)
+    A.addX(Q + 1, {Q});
+  EquivalenceReport R = checkEquivalence(A, A, 32);
+  EXPECT_TRUE(R.Equivalent);
+  EXPECT_FALSE(R.Exhaustive);
+  EXPECT_TRUE(R.BitSliced);
+  EXPECT_EQ(R.StatesRun, 64u);
+
+  EquivalenceOptions Opts;
+  Opts.Samples = 1000; // Rounds up to 16 blocks.
+  EquivalenceReport R2 = checkEquivalence(A, A, Opts);
+  EXPECT_TRUE(R2.Equivalent);
+  EXPECT_EQ(R2.StatesRun, 1024u);
+}
+
+TEST(Equivalence, ExhaustiveSweepCatchesSingleStateDifference) {
+  // The two circuits agree everywhere except on the all-ones input —
+  // the one state random sampling at small budgets can miss, and the
+  // reason exhaustive mode exists. 10 qubits: 1024 states, 16 blocks.
+  Circuit A, B;
+  A.NumQubits = B.NumQubits = 10;
+  ControlList AllButLast;
+  for (unsigned Q = 0; Q + 1 < A.NumQubits; ++Q)
+    AllButLast.push_back(Q);
+  A.addX(9, AllButLast);
+  EquivalenceReport R = checkEquivalence(A, B, 4);
+  EXPECT_FALSE(R.Equivalent);
+  EXPECT_TRUE(R.BitSliced);
+  EXPECT_NE(R.Detail.find("basis state 111111111"), std::string::npos)
+      << R.Detail;
+}
+
+TEST(Equivalence, CrossCheckValidatesBitSlicedAgainstInterpreter) {
+  // The --verify-each hook: every block replays one state through
+  // sim::runBasis and compares lane-for-lane.
+  Circuit C;
+  C.NumQubits = 12;
+  C.addX(4, {0, 1, 2});
+  C.addX(11, {4});
+  C.addX(0);
+  EquivalenceOptions Opts;
+  Opts.CrossCheck = true;
+  EquivalenceReport R = checkEquivalence(C, C, Opts);
+  EXPECT_TRUE(R.Equivalent) << R.Detail;
+  EXPECT_TRUE(R.Exhaustive);
+  EXPECT_EQ(R.StatesRun, 4096u);
+}
+
+TEST(Equivalence, ReportsSweepTiming) {
+  Circuit C;
+  C.NumQubits = 16;
+  C.addX(15, {0});
+  EquivalenceReport R = checkEquivalence(C, C, 4);
+  EXPECT_TRUE(R.Equivalent);
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_EQ(R.StatesRun, uint64_t{1} << 16);
+}
+
+TEST(Equivalence, ClassifiesCircuits) {
+  Circuit X;
+  X.NumQubits = 2;
+  X.addX(1, {0});
+  EXPECT_TRUE(isClassical(X));
+  X.addH(0);
+  EXPECT_FALSE(isClassical(X));
 }
 
 TEST(Equivalence, CatchesBehavioralDifference) {

@@ -13,9 +13,11 @@
 #include "benchmarks/Harness.h"
 #include "interchange/Interchange.h"
 #include "qopt/Passes.h"
+#include "sim/BitSliced.h"
 #include "sim/Simulator.h"
 
 #include <gtest/gtest.h>
+#include <algorithm>
 #include <random>
 
 using namespace spire;
@@ -81,14 +83,24 @@ Circuit randomCliffordT(uint64_t Seed, unsigned NumQubits,
   return C;
 }
 
-/// Simulation-backed equivalence on sampled basis states (the same
-/// oracle the interchange round-trip job uses).
+/// Simulation-backed equivalence (the same oracle the interchange
+/// round-trip job uses). The 1024-state budget exceeds the 6-qubit
+/// state space, so every fuzz comparison is exhaustive — on the
+/// bit-sliced backend for X-only pairs, on the sparse state vector
+/// otherwise — and CrossCheck replays one lane per block through
+/// sim::runBasis to keep the two backends honest against each other.
 void expectEquivalent(const Circuit &A, const Circuit &B, uint64_t Seed,
                       const char *What) {
+  interchange::EquivalenceOptions Opts;
+  Opts.Samples = 1024;
+  Opts.Seed = Seed;
+  Opts.CrossCheck = true;
   interchange::EquivalenceReport Report =
-      interchange::checkEquivalence(A, B, /*Samples=*/4, Seed);
+      interchange::checkEquivalence(A, B, Opts);
   EXPECT_TRUE(Report.Equivalent)
       << What << " diverged (seed " << Seed << "): " << Report.Detail;
+  EXPECT_TRUE(Report.Exhaustive)
+      << What << ": 1024-state budget must cover the 6-qubit space";
 }
 
 /// Stage-boundary verification, fuzz edition: every pass output must
@@ -179,6 +191,44 @@ TEST_P(QoptDifferential, ExhaustiveCancelMatchesReferenceExactly) {
       XOnly, qopt::CancelOptions::exhaustive());
   EXPECT_EQ(New.Gates.size(), Ref.Gates.size()) << "seed " << Seed;
   expectEquivalent(XOnly, New, Seed, "exhaustive netlist path");
+
+  // X-only pair at 6 qubits: the dispatch must pick the bit-sliced
+  // backend and prove equivalence over all 64 basis states.
+  interchange::EquivalenceReport R = interchange::checkEquivalence(
+      XOnly, New, interchange::EquivalenceOptions());
+  EXPECT_TRUE(R.Equivalent) << R.Detail;
+  EXPECT_TRUE(R.BitSliced);
+  EXPECT_TRUE(R.Exhaustive);
+  EXPECT_EQ(R.StatesRun, 64u) << "seed " << Seed;
+}
+
+TEST_P(QoptDifferential, BitSlicedLanesAgreeWithInterpreter) {
+  // Lane-agreement oracle: compile a random X-only circuit to the
+  // bit-sliced tape, run one 64-state counter block, then replay every
+  // one of the 64 lanes through the gate-at-a-time interpreter
+  // (sim::runBasis) and compare wire for wire. Any tape mis-compile —
+  // wrong control polarity, bad swap fusion, mis-ordered MCX
+  // accumulator — shows up as a named bit position here.
+  const uint64_t Seed = GetParam() * 17 + 9;
+  Circuit C = randomCliffordT(Seed, 6, 30, /*MaxH=*/0);
+  Circuit XOnly;
+  XOnly.NumQubits = C.NumQubits;
+  for (const Gate &G : C.Gates)
+    if (G.Kind == GateKind::X)
+      XOnly.Gates.push_back(G);
+
+  std::optional<sim::BitSlicedSimulator> Tape =
+      sim::BitSlicedSimulator::compile(XOnly);
+  ASSERT_TRUE(Tape.has_value());
+  EXPECT_EQ(Tape->numGates(), XOnly.Gates.size());
+
+  uint64_t In[6], Out[6];
+  sim::loadCounterBlock(In, XOnly.NumQubits, /*Base=*/0, XOnly.NumQubits);
+  std::copy(In, In + XOnly.NumQubits, Out);
+  Tape->runBlock(Out);
+  for (unsigned Bit = 0; Bit != sim::LaneBits; ++Bit)
+    EXPECT_TRUE(sim::laneAgreesWithBasis(XOnly, In, Out, Bit))
+        << "seed " << Seed << " lane bit " << Bit;
 }
 
 TEST_P(QoptDifferential, PhaseFoldAloneMatchesReferenceGateForGate) {

@@ -209,8 +209,9 @@ TEST(SpirecCli, RunWithCircuitInputExitsTwo) {
 }
 
 TEST(SpirecCli, CheckEquivSamplesFlagWorks) {
-  // Emit a circuit, then check it against itself with a custom sample
-  // count; the stderr report must reflect the requested count.
+  // The good program compiles to an 18-wire X-only circuit: within the
+  // bit-sliced backend's exhaustive threshold, so even a 2-sample
+  // request is upgraded to a sweep of all 2^18 basis states.
   std::string Program = writeGoodProgram();
   std::string Qc = ::testing::TempDir() + "spirec_cli_equiv.qc";
   RunResult Emit = runSpirec("'" + Program + "' --entry f --emit qc -o '" +
@@ -220,15 +221,18 @@ TEST(SpirecCli, CheckEquivSamplesFlagWorks) {
                           "/dev/null --check-equiv '" + Qc +
                           "' --check-equiv-samples 2");
   EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
-  EXPECT_NE(R.Stderr.find("equivalent on 2 sampled basis states"),
-            std::string::npos)
+  EXPECT_NE(
+      R.Stderr.find("equivalent on all 262144 basis states (exhaustive)"),
+      std::string::npos)
       << R.Stderr;
 }
 
-TEST(SpirecCli, CheckEquivSamplesAboveStateSpaceIsDiagnosed) {
+TEST(SpirecCli, CheckEquivSamplesAboveStateSpaceClampsToExhaustive) {
   // The good program compiles to 2 variable qubits plus the 16 default
   // 1-bit heap cells: 18 wires, 2^18 = 262144 distinct basis states.
-  // Requesting more must be an error, not a silent truncation.
+  // For classical circuits an over-request is satisfied exactly by the
+  // exhaustive sweep — every distinct state checked once — so it
+  // succeeds rather than erroring.
   std::string Program = writeGoodProgram();
   std::string Qc = ::testing::TempDir() + "spirec_cli_equiv2.qc";
   RunResult Emit = runSpirec("'" + Program + "' --entry f --emit qc -o '" +
@@ -237,9 +241,44 @@ TEST(SpirecCli, CheckEquivSamplesAboveStateSpaceIsDiagnosed) {
   RunResult R = runSpirec("'" + Program + "' --entry f --emit qc -o " +
                           "/dev/null --check-equiv '" + Qc +
                           "' --check-equiv-samples 300000");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(
+      R.Stderr.find("equivalent on all 262144 basis states (exhaustive)"),
+      std::string::npos)
+      << R.Stderr;
+}
+
+TEST(SpirecCli, CheckEquivOverRequestOnNonClassicalIsDiagnosed) {
+  // Non-classical circuits cannot take the exhaustive bit-sliced path,
+  // so an explicit request above the state space stays an error.
+  std::string Qc = ::testing::TempDir() + "spirec_cli_hadamard.qc";
+  {
+    std::ofstream Out(Qc);
+    Out << ".v q0 q1 q2\n\nBEGIN\nH q0\ntof q0 q1\nEND\n";
+  }
+  RunResult R = runSpirec("--qc-in '" + Qc + "' --emit qc -o /dev/null "
+                          "--check-equiv '" + Qc +
+                          "' --check-equiv-samples 300000");
   EXPECT_EQ(R.ExitCode, 2) << R.Stderr;
   EXPECT_NE(R.Stderr.find("distinct basis states"), std::string::npos)
       << R.Stderr;
+}
+
+TEST(SpirecCli, TimingsReportEquivalenceThroughput) {
+  // --timings alongside --check-equiv reports the backend used and the
+  // sweep's states/sec so bench regressions are visible from the CLI.
+  std::string Program = writeGoodProgram();
+  std::string Qc = ::testing::TempDir() + "spirec_cli_equiv3.qc";
+  RunResult Emit = runSpirec("'" + Program + "' --entry f --emit qc -o '" +
+                             Qc + "'");
+  ASSERT_EQ(Emit.ExitCode, 0) << Emit.Stderr;
+  RunResult R = runSpirec("'" + Program + "' --entry f --emit qc -o " +
+                          "/dev/null --check-equiv '" + Qc +
+                          "' --timings");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("bit-sliced backend"), std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find("states/sec"), std::string::npos) << R.Stderr;
 }
 
 TEST(SpirecCli, CheckEquivSamplesRejectsNonPositive) {
@@ -261,9 +300,8 @@ TEST(SpirecCli, TimingsReportAllocationColumns) {
 
 TEST(SpirecCli, DefaultCheckEquivSamplesAdaptToSmallCircuits) {
   // With --heap-cells 1 the good program compiles to 3 wires (2
-  // variables + one 1-bit cell): 8 distinct basis states. The default
-  // 32-sample count must adapt down to 8 rather than erroring — only an
-  // *explicit* over-request is diagnosed.
+  // variables + one 1-bit cell): 8 distinct basis states, all of which
+  // the exhaustive sweep covers in a single bit-sliced block.
   std::string Program = writeGoodProgram();
   std::string Qc = ::testing::TempDir() + "spirec_cli_tiny.qc";
   RunResult Emit = runSpirec("'" + Program + "' --entry f --heap-cells 1 "
@@ -273,7 +311,7 @@ TEST(SpirecCli, DefaultCheckEquivSamplesAdaptToSmallCircuits) {
                           "--emit qc -o /dev/null --check-equiv '" + Qc +
                           "'");
   EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
-  EXPECT_NE(R.Stderr.find("equivalent on 8 sampled basis states"),
+  EXPECT_NE(R.Stderr.find("equivalent on all 8 basis states (exhaustive)"),
             std::string::npos)
       << R.Stderr;
 }

@@ -77,7 +77,17 @@ run_case() {
   "$SPIREC" "$src" --entry "$entry" --size "$size" --emit qasm3 -o "$tmp/$name.qasm"
 
   # 2. Cross-format re-import + simulator equivalence, both directions.
-  "$SPIREC" --qasm-in "$tmp/$name.qasm" --check-equiv "$tmp/$name.qc" -o /dev/null
+  #    Compiled Tower programs are X-only, so the bit-sliced backend must
+  #    engage: the report says either "all N basis states (exhaustive)"
+  #    (a full 2^n proof, circuits up to 20 wires) or "N batched basis
+  #    states" (64-state blocks above that) — never the one-state-at-a-
+  #    time "sampled" path.
+  equiv_line=$("$SPIREC" --qasm-in "$tmp/$name.qasm" \
+      --check-equiv "$tmp/$name.qc" -o /dev/null 2>&1 | grep 'equivalent on')
+  if ! echo "$equiv_line" | grep -Eq 'exhaustive|batched'; then
+    echo "FAIL: bit-sliced backend did not engage for $name: $equiv_line" >&2
+    exit 1
+  fi
   "$SPIREC" --qc-in "$tmp/$name.qc" --check-equiv "$tmp/$name.qasm" -o /dev/null
 
   # 3. The compile pipeline's own legalize stage (--basis cx): no ctrl
@@ -117,5 +127,22 @@ run_case() {
 run_case length length 3
 run_case nested nested 0
 run_case arith arith 0
+
+# -- Exhaustive equivalence -------------------------------------------------
+# At --word-bits 2 --heap-cells 1 the nested program compiles to 13
+# wires, far under the 20-qubit exhaustive ceiling, so the round trip
+# must be proven on ALL 2^13 basis states, not a sample.
+echo "== nested (exhaustive equivalence) =="
+"$SPIREC" "$tmp/nested.tower" --entry nested --word-bits 2 --heap-cells 1 \
+    --emit qc -o "$tmp/nested.tiny.qc"
+exhaustive_line=$("$SPIREC" "$tmp/nested.tower" --entry nested \
+    --word-bits 2 --heap-cells 1 --emit qc -o /dev/null \
+    --check-equiv "$tmp/nested.tiny.qc" 2>&1 | grep 'equivalent on')
+if ! echo "$exhaustive_line" | grep -q 'exhaustive'; then
+  echo "FAIL: small round trip was not proven exhaustively:" \
+       "$exhaustive_line" >&2
+  exit 1
+fi
+echo "$exhaustive_line"
 
 echo "round-trip check: all example programs pass"

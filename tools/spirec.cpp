@@ -21,9 +21,13 @@
 ///                         emission: mcx | toffoli | cx
 ///   -o <path>             output path for --emit (default: stdout)
 ///   --check-equiv <file>  after the run, check the final circuit is
-///                         behaviorally equivalent (sampled basis states,
-///                         via the simulator) to the circuit in <file>
-///                         (.qc or OpenQASM 3, auto-detected)
+///                         behaviorally equivalent to the circuit in
+///                         <file> (.qc or OpenQASM 3, auto-detected):
+///                         exhaustive over all 2^n basis states for
+///                         X-only circuits up to ~20 qubits (bit-sliced,
+///                         64 states per word), bit-sliced random
+///                         batches above that, sampled state-vector
+///                         simulation for non-classical circuits
 ///   --run k=v,k=v         interpret the program on a machine state with
 ///                         the given input registers and print the output
 ///   --verify-each         run the static verifier (src/analysis) on every
@@ -47,9 +51,13 @@
 ///                             (default 100000)
 ///   --max-inline-instances N  lowering's bound on total inlined calls
 ///                             (default 100000)
-///   --check-equiv-samples N   basis states sampled by --check-equiv
-///                             (default 32; diagnosed when above the
-///                             circuits' 2^qubits distinct states)
+///   --check-equiv-samples N   basis-state budget for --check-equiv's
+///                             sampled modes (default 32; ignored when
+///                             the sweep is exhaustive; above the
+///                             circuits' 2^qubits distinct states it
+///                             clamps to an exhaustive sweep, diagnosed
+///                             instead when the circuits are not
+///                             classical)
 ///   --circuit-opt <name>  additionally run a circuit-optimizer baseline:
 ///                         peephole | rotation | cliffordt-cancel |
 ///                         toffoli-cancel | exhaustive
@@ -90,8 +98,10 @@ struct Options {
   std::string OutputPath;
   std::string CheckEquivPath;
   /// Whether --check-equiv-samples was given explicitly: an explicit
-  /// request above the circuits' state space is an error; the default
-  /// silently adapts to small circuits instead.
+  /// request above the circuits' state space clamps to an exhaustive
+  /// sweep on classical circuits and is an error on non-classical ones
+  /// (whose state-vector path cannot enumerate exhaustively); the
+  /// default silently adapts to small circuits instead.
   bool CheckEquivSamplesSet = false;
   std::optional<std::string> RunInputs;
   std::string CircuitOpt;
@@ -113,11 +123,15 @@ const char UsageText[] =
     "                            before emission\n"
     "  -o <path>                 output path for --emit (default: stdout)\n"
     "  --check-equiv <file>      check the final circuit is behaviorally\n"
-    "                            equivalent to the circuit in <file>\n"
-    "                            (sampled basis states, via the simulator)\n"
-    "  --check-equiv-samples N   basis states to sample for --check-equiv\n"
-    "                            (default 32; an N above the circuits'\n"
-    "                            2^qubits distinct states is an error)\n"
+    "                            equivalent to the circuit in <file>:\n"
+    "                            exhaustive over all 2^n basis states for\n"
+    "                            X-only circuits up to ~20 qubits, batched\n"
+    "                            bit-sliced samples above, state-vector\n"
+    "                            samples for non-classical circuits\n"
+    "  --check-equiv-samples N   basis-state budget for the sampled modes\n"
+    "                            (default 32; above the circuits' 2^qubits\n"
+    "                            states it clamps to exhaustive, an error\n"
+    "                            only for non-classical circuits)\n"
     "  --run k=v,k=v             interpret the program on the given input\n"
     "                            registers and print the output\n"
     "  --verify-each             run the static verifier on every stage\n"
@@ -400,10 +414,13 @@ std::string readFileOrDie(const std::string &Path) {
 }
 
 /// --check-equiv: compares the run's final circuit against the circuit
-/// in `Path` (format auto-detected) on sampled basis states. Returns the
-/// process exit code.
+/// in `Path` (format auto-detected) on basis states — exhaustively when
+/// both circuits are classical and small enough, on bit-sliced batches
+/// otherwise, with the state-vector path as the non-classical fallback.
+/// Returns the process exit code.
 int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
-                     unsigned Samples, bool SamplesExplicit) {
+                     unsigned Samples, bool SamplesExplicit, bool Timings,
+                     bool CrossCheck) {
   std::string Text = readFileOrDie(Path);
   support::DiagnosticEngine Diags;
   std::optional<circuit::Circuit> Other = interchange::readCircuit(
@@ -413,35 +430,62 @@ int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
     std::fprintf(stderr, "spirec: error: cannot parse %s\n", Path.c_str());
     return 1;
   }
-  // Sampling happens over the narrower circuit's wires; asking for more
-  // samples than that space has distinct basis states would only re-test
-  // duplicates while claiming broader coverage. An explicit request is
-  // diagnosed (never silently truncated); the default count adapts to
-  // small circuits, where fewer samples already cover every state.
+  // Sweeping happens over the narrower circuit's wires; asking for more
+  // samples than that space has distinct basis states means the user
+  // wants *all* of them. On the classical (X-only) pair the bit-sliced
+  // backend delivers exactly that — the request clamps to an exhaustive
+  // sweep and the report says so. Only the state-vector path, which
+  // cannot enumerate exhaustively at scale, diagnoses an explicit
+  // over-request; the default count adapts to small circuits silently.
   unsigned Common = std::min(Final.NumQubits, Other->NumQubits);
-  if (Common < 64 && Samples > (uint64_t{1} << Common)) {
+  bool Classical =
+      interchange::isClassical(Final) && interchange::isClassical(*Other);
+  if (!Classical && Common < 64 && Samples > (uint64_t{1} << Common)) {
     uint64_t Distinct = uint64_t{1} << Common;
     if (SamplesExplicit) {
       std::fprintf(stderr,
                    "spirec: error: --check-equiv-samples %u exceeds the "
-                   "%llu distinct basis states of the %u-qubit comparison; "
-                   "pass at most %llu\n",
+                   "%llu distinct basis states of the %u-qubit comparison "
+                   "and the circuits are not classical (exhaustive mode "
+                   "needs X-only circuits); pass at most %llu\n",
                    Samples, static_cast<unsigned long long>(Distinct),
                    Common, static_cast<unsigned long long>(Distinct));
       return 2;
     }
     Samples = static_cast<unsigned>(Distinct);
   }
+  interchange::EquivalenceOptions EquivOpts;
+  EquivOpts.Samples = Samples;
+  EquivOpts.CrossCheck = CrossCheck;
   interchange::EquivalenceReport Report =
-      interchange::checkEquivalence(Final, *Other, Samples);
+      interchange::checkEquivalence(Final, *Other, EquivOpts);
+  if (Timings) {
+    double StatesPerSec =
+        Report.StatesRun / (Report.Seconds > 0 ? Report.Seconds : 1e-9);
+    std::fprintf(stderr,
+                 "spirec: check-equiv: %s backend, %.3f s, %.3g "
+                 "states/sec\n",
+                 Report.BitSliced ? "bit-sliced" : "state-vector",
+                 Report.Seconds, StatesPerSec);
+  }
   if (!Report.Equivalent) {
     std::fprintf(stderr,
                  "spirec: error: circuits are NOT equivalent (%s)\n",
                  Report.Detail.c_str());
     return 1;
   }
-  std::fprintf(stderr, "spirec: equivalent on %u sampled basis states\n",
-               Report.SamplesRun);
+  if (Report.Exhaustive)
+    std::fprintf(stderr,
+                 "spirec: equivalent on all %llu basis states "
+                 "(exhaustive)\n",
+                 static_cast<unsigned long long>(Report.StatesRun));
+  else if (Report.BitSliced)
+    std::fprintf(stderr,
+                 "spirec: equivalent on %llu batched basis states\n",
+                 static_cast<unsigned long long>(Report.StatesRun));
+  else
+    std::fprintf(stderr, "spirec: equivalent on %u sampled basis states\n",
+                 Report.SamplesRun);
   return 0;
 }
 
@@ -597,7 +641,8 @@ int main(int Argc, char **Argv) {
       usageError("--check-equiv needs a circuit (add --emit or --basis)");
     return checkEquivalence(*Final, Opts.CheckEquivPath,
                             Pipe.CheckEquivSamples,
-                            Opts.CheckEquivSamplesSet);
+                            Opts.CheckEquivSamplesSet, Opts.Timings,
+                            Pipe.VerifyEach);
   }
   return 0;
 }
