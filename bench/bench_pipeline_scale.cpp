@@ -37,12 +37,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchmarks/Harness.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "support/AllocStats.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -171,42 +174,52 @@ void writeJson(const std::string &Path, const std::vector<Row> &SizeRows,
                const std::vector<Row> &NestRows, double BaselineAt100k,
                double SpeedupAt100k, bool SizeOK, bool NestOK,
                bool SpeedupOK) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
+  // Unified emission path (obs::JsonWriter + the metrics registry
+  // snapshot): the point keys are unchanged so committed trajectory
+  // files diff cleanly against new runs via tools/bench_report.py.
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "spire-bench-v1");
+  W.kv("bench", "pipeline_scale");
+  auto writeRows = [&](const char *Name, const std::vector<Row> &Rows) {
+    W.key(Name);
+    W.beginArray();
+    for (const Row &R : Rows) {
+      W.beginObject();
+      W.kv("size", R.Size);
+      W.kv("gates", R.Gates);
+      W.kv("lower_seconds", R.LowerSeconds, 6);
+      W.kv("opt_seconds", R.OptSeconds, 6);
+      W.kv("compile_seconds", R.CompileSeconds, 6);
+      W.kv("estimate_seconds", R.EstimateSeconds, 6);
+      W.kv("aggregate_seconds", R.aggregate(), 6);
+      W.kv("size_per_sec", static_cast<int64_t>(R.rate()));
+      W.kv("allocs", R.Allocs);
+      W.endObject();
+    }
+    W.endArray();
+  };
+  writeRows("size_points", SizeRows);
+  writeRows("nest_points", NestRows);
+  W.kv("seed_baseline_aggregate_seconds_at_100k", BaselineAt100k, 6);
+  W.kv("speedup_vs_seed_at_100k", SpeedupAt100k, 4);
+  W.key("linear");
+  W.beginObject();
+  W.kv("size", SizeOK);
+  W.kv("nest", NestOK);
+  W.kv("speedup_2x", SpeedupOK);
+  W.endObject();
+  W.key("metrics");
+  obs::publishProcessMetrics();
+  obs::writeMetricsObject(W, obs::Registry::global().snapshot());
+  W.endObject();
+
+  std::ofstream Out(Path);
+  if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return;
   }
-  auto writeRows = [&](const char *Name, const std::vector<Row> &Rows) {
-    std::fprintf(F, "  \"%s\": [\n", Name);
-    for (size_t I = 0; I != Rows.size(); ++I) {
-      const Row &R = Rows[I];
-      std::fprintf(
-          F,
-          "    {\"size\": %lld, \"gates\": %lld, "
-          "\"lower_seconds\": %.6f, \"opt_seconds\": %.6f, "
-          "\"compile_seconds\": %.6f, \"estimate_seconds\": %.6f, "
-          "\"aggregate_seconds\": %.6f, \"size_per_sec\": %.0f, "
-          "\"allocs\": %lld}%s\n",
-          static_cast<long long>(R.Size), static_cast<long long>(R.Gates),
-          R.LowerSeconds, R.OptSeconds, R.CompileSeconds,
-          R.EstimateSeconds, R.aggregate(), R.rate(),
-          static_cast<long long>(R.Allocs), I + 1 == Rows.size() ? "" : ",");
-    }
-    std::fprintf(F, "  ],\n");
-  };
-  std::fprintf(F, "{\n  \"bench\": \"pipeline_scale\",\n");
-  writeRows("size_points", SizeRows);
-  writeRows("nest_points", NestRows);
-  std::fprintf(F,
-               "  \"seed_baseline_aggregate_seconds_at_100k\": %.6f,\n"
-               "  \"speedup_vs_seed_at_100k\": %.2f,\n",
-               BaselineAt100k, SpeedupAt100k);
-  std::fprintf(F,
-               "  \"linear\": {\"size\": %s, \"nest\": %s, "
-               "\"speedup_2x\": %s}\n}\n",
-               SizeOK ? "true" : "false", NestOK ? "true" : "false",
-               SpeedupOK ? "true" : "false");
-  std::fclose(F);
+  Out << W.str() << '\n';
   std::printf("wrote %s\n", Path.c_str());
 }
 

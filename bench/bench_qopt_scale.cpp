@@ -20,11 +20,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "qopt/Passes.h"
 #include "support/Hash.h"
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -283,64 +286,75 @@ void writeJson(const std::string &Path, const std::vector<Row> &Random,
                const std::vector<std::pair<size_t, double>> &RefLadder,
                double RefRandomSeconds, double LadderSpeedup,
                bool CancelOK, bool FoldOK, bool LadderOK, bool NestOK) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
+  // Unified emission path (obs::JsonWriter + metrics snapshot); point
+  // keys unchanged so committed trajectory files diff cleanly.
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "spire-bench-v1");
+  W.kv("bench", "qopt_scale");
+  W.kv("qubits", WorkloadQubits);
+  W.key("random_points");
+  W.beginArray();
+  for (const Row &R : Random) {
+    W.beginObject();
+    W.kv("gates", R.Gates);
+    W.kv("gates_out", R.GatesOut);
+    W.kv("cancel_seconds", R.CancelSeconds, 6);
+    W.kv("cancel_gates_per_sec", static_cast<int64_t>(R.cancelRate()));
+    W.kv("fold_seconds", R.FoldSeconds, 6);
+    W.kv("fold_gates_per_sec", static_cast<int64_t>(R.foldRate()));
+    W.kv("t_in", R.TIn);
+    W.kv("t_out", R.TOut);
+    W.kv("cancelled_pairs", R.CancelledPairs);
+    W.kv("merged_rotations", R.MergedRotations);
+    W.endObject();
+  }
+  W.endArray();
+  auto writeCancelRows = [&](const char *Name, const std::vector<Row> &Rows) {
+    W.key(Name);
+    W.beginArray();
+    for (const Row &R : Rows) {
+      W.beginObject();
+      W.kv("gates", R.Gates);
+      W.kv("cancel_seconds", R.CancelSeconds, 6);
+      W.kv("cancel_gates_per_sec", static_cast<int64_t>(R.cancelRate()));
+      W.endObject();
+    }
+    W.endArray();
+  };
+  writeCancelRows("ladder_points", Ladder);
+  writeCancelRows("nest_points", Nest);
+  W.key("reference_ladder_points");
+  W.beginArray();
+  for (const auto &[Gates, Seconds] : RefLadder) {
+    W.beginObject();
+    W.kv("gates", static_cast<uint64_t>(Gates));
+    W.kv("cancel_seconds", Seconds, 6);
+    W.endObject();
+  }
+  W.endArray();
+  W.kv("reference_random_seconds", RefRandomSeconds, 6);
+  std::string SpeedupKey =
+      "ladder_speedup_at_" + std::to_string(RefLadder.back().first);
+  W.kv(SpeedupKey, LadderSpeedup, 4);
+  W.key("linear");
+  W.beginObject();
+  W.kv("cancel", CancelOK);
+  W.kv("fold", FoldOK);
+  W.kv("ladder", LadderOK);
+  W.kv("nest", NestOK);
+  W.endObject();
+  W.key("metrics");
+  obs::publishProcessMetrics();
+  obs::writeMetricsObject(W, obs::Registry::global().snapshot());
+  W.endObject();
+
+  std::ofstream Out(Path);
+  if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return;
   }
-  std::fprintf(F, "{\n  \"bench\": \"qopt_scale\",\n");
-  std::fprintf(F, "  \"qubits\": %u,\n", WorkloadQubits);
-  std::fprintf(F, "  \"random_points\": [\n");
-  for (size_t I = 0; I != Random.size(); ++I) {
-    const Row &R = Random[I];
-    std::fprintf(F,
-                 "    {\"gates\": %lld, \"gates_out\": %lld, "
-                 "\"cancel_seconds\": %.6f, \"cancel_gates_per_sec\": %.0f, "
-                 "\"fold_seconds\": %.6f, \"fold_gates_per_sec\": %.0f, "
-                 "\"t_in\": %lld, \"t_out\": %lld, "
-                 "\"cancelled_pairs\": %lld, \"merged_rotations\": %lld}%s\n",
-                 static_cast<long long>(R.Gates),
-                 static_cast<long long>(R.GatesOut), R.CancelSeconds,
-                 R.cancelRate(), R.FoldSeconds, R.foldRate(),
-                 static_cast<long long>(R.TIn),
-                 static_cast<long long>(R.TOut),
-                 static_cast<long long>(R.CancelledPairs),
-                 static_cast<long long>(R.MergedRotations),
-                 I + 1 == Random.size() ? "" : ",");
-  }
-  std::fprintf(F, "  ],\n  \"ladder_points\": [\n");
-  for (size_t I = 0; I != Ladder.size(); ++I) {
-    const Row &R = Ladder[I];
-    std::fprintf(F,
-                 "    {\"gates\": %lld, \"cancel_seconds\": %.6f, "
-                 "\"cancel_gates_per_sec\": %.0f}%s\n",
-                 static_cast<long long>(R.Gates), R.CancelSeconds,
-                 R.cancelRate(), I + 1 == Ladder.size() ? "" : ",");
-  }
-  std::fprintf(F, "  ],\n  \"nest_points\": [\n");
-  for (size_t I = 0; I != Nest.size(); ++I) {
-    const Row &R = Nest[I];
-    std::fprintf(F,
-                 "    {\"gates\": %lld, \"cancel_seconds\": %.6f, "
-                 "\"cancel_gates_per_sec\": %.0f}%s\n",
-                 static_cast<long long>(R.Gates), R.CancelSeconds,
-                 R.cancelRate(), I + 1 == Nest.size() ? "" : ",");
-  }
-  std::fprintf(F, "  ],\n  \"reference_ladder_points\": [\n");
-  for (size_t I = 0; I != RefLadder.size(); ++I)
-    std::fprintf(F, "    {\"gates\": %zu, \"cancel_seconds\": %.6f}%s\n",
-                 RefLadder[I].first, RefLadder[I].second,
-                 I + 1 == RefLadder.size() ? "" : ",");
-  std::fprintf(F,
-               "  ],\n  \"reference_random_seconds\": %.6f,\n"
-               "  \"ladder_speedup_at_%zu\": %.1f,\n",
-               RefRandomSeconds, RefLadder.back().first, LadderSpeedup);
-  std::fprintf(F,
-               "  \"linear\": {\"cancel\": %s, \"fold\": %s, "
-               "\"ladder\": %s, \"nest\": %s}\n}\n",
-               CancelOK ? "true" : "false", FoldOK ? "true" : "false",
-               LadderOK ? "true" : "false", NestOK ? "true" : "false");
-  std::fclose(F);
+  Out << W.str() << '\n';
   std::printf("wrote %s\n", Path.c_str());
 }
 

@@ -23,6 +23,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "sim/BitSliced.h"
 #include "sim/Simulator.h"
 #include "support/Hash.h"
@@ -30,6 +32,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -263,45 +266,57 @@ bool linear(const char *Label, const std::vector<Row> &Rows,
 void writeJson(const std::string &Path, const std::vector<Row> &Sweep,
                const ExhaustivePoint &Ex, double MinRatio, bool RatioOK,
                bool BitSlicedOK, bool InterpOK) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "spire-bench-v1");
+  W.kv("bench", "sim_scale");
+  W.kv("qubits", WorkloadQubits);
+  W.kv("timed_blocks", static_cast<uint64_t>(TimedBlocks));
+  W.key("sweep_points");
+  W.beginArray();
+  for (const Row &R : Sweep) {
+    W.beginObject();
+    W.kv("gates", R.Gates);
+    W.kv("ops", static_cast<uint64_t>(R.Ops));
+    W.kv("compile_seconds", R.CompileSeconds, 6);
+    W.kv("interp_seconds", R.InterpSeconds, 6);
+    W.kv("interp_state_gates_per_sec",
+         static_cast<int64_t>(R.interpRate()));
+    W.kv("bitsliced_seconds", R.BitSlicedSeconds, 6);
+    W.kv("bitsliced_state_gates_per_sec",
+         static_cast<int64_t>(R.bitslicedRate()));
+    W.kv("speedup", R.ratio(), 3);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("exhaustive_points");
+  W.beginArray();
+  W.beginObject();
+  W.kv("gates", Ex.Gates);
+  W.kv("qubits", Ex.Qubits);
+  W.kv("states", static_cast<uint64_t>(Ex.States));
+  W.kv("bitsliced_seconds", Ex.Seconds, 6);
+  W.kv("states_per_sec", static_cast<int64_t>(Ex.statesPerSec()));
+  W.endObject();
+  W.endArray();
+  W.kv("min_speedup", MinRatio, 3);
+  W.key("linear");
+  W.beginObject();
+  W.kv("bitsliced", BitSlicedOK);
+  W.kv("interp", InterpOK);
+  W.kv("speedup_20x", RatioOK);
+  W.endObject();
+  W.key("metrics");
+  obs::publishProcessMetrics();
+  obs::writeMetricsObject(W, obs::Registry::global().snapshot());
+  W.endObject();
+
+  std::ofstream Out(Path);
+  if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return;
   }
-  std::fprintf(F, "{\n  \"bench\": \"sim_scale\",\n");
-  std::fprintf(F, "  \"qubits\": %u,\n", WorkloadQubits);
-  std::fprintf(F, "  \"timed_blocks\": %llu,\n",
-               static_cast<unsigned long long>(TimedBlocks));
-  std::fprintf(F, "  \"sweep_points\": [\n");
-  for (size_t I = 0; I != Sweep.size(); ++I) {
-    const Row &R = Sweep[I];
-    std::fprintf(F,
-                 "    {\"gates\": %lld, \"ops\": %zu, "
-                 "\"compile_seconds\": %.6f, "
-                 "\"interp_seconds\": %.6f, "
-                 "\"interp_state_gates_per_sec\": %.0f, "
-                 "\"bitsliced_seconds\": %.6f, "
-                 "\"bitsliced_state_gates_per_sec\": %.0f, "
-                 "\"speedup\": %.1f}%s\n",
-                 static_cast<long long>(R.Gates), R.Ops, R.CompileSeconds,
-                 R.InterpSeconds, R.interpRate(), R.BitSlicedSeconds,
-                 R.bitslicedRate(), R.ratio(),
-                 I + 1 == Sweep.size() ? "" : ",");
-  }
-  std::fprintf(F, "  ],\n  \"exhaustive_points\": [\n");
-  std::fprintf(F,
-               "    {\"gates\": %lld, \"qubits\": %u, \"states\": %llu, "
-               "\"bitsliced_seconds\": %.6f, \"states_per_sec\": %.0f}\n",
-               static_cast<long long>(Ex.Gates), Ex.Qubits,
-               static_cast<unsigned long long>(Ex.States), Ex.Seconds,
-               Ex.statesPerSec());
-  std::fprintf(F, "  ],\n  \"min_speedup\": %.1f,\n", MinRatio);
-  std::fprintf(F,
-               "  \"linear\": {\"bitsliced\": %s, \"interp\": %s, "
-               "\"speedup_20x\": %s}\n}\n",
-               BitSlicedOK ? "true" : "false", InterpOK ? "true" : "false",
-               RatioOK ? "true" : "false");
-  std::fclose(F);
+  Out << W.take() << "\n";
   std::printf("wrote %s\n", Path.c_str());
 }
 

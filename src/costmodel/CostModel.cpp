@@ -1,5 +1,7 @@
 #include "costmodel/CostModel.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -84,10 +86,20 @@ SymbolSet primitiveVars(const CoreStmt &S) {
 
 const circuit::PrimitiveProfile &
 CostModel::profileFor(const CoreStmt &S) const {
+  // Hoisted handles: one registry lookup per process, one relaxed
+  // fetch_add per probe. These are the ROADMAP item-2 cache counters —
+  // the daemon's artifact cache will report hit rates the same way.
+  static obs::Registry::Counter Hits =
+      obs::Registry::global().counter("costmodel.profile_cache.hits");
+  static obs::Registry::Counter Misses =
+      obs::Registry::global().counter("costmodel.profile_cache.misses");
   std::string Key = signatureOf(S, Types, Config.WordBits);
   auto It = Cache.find(Key);
-  if (It != Cache.end())
+  if (It != Cache.end()) {
+    ++Hits;
     return It->second;
+  }
+  ++Misses;
   circuit::PrimitiveProfile P =
       circuit::profilePrimitive(S, Types, Config, CellBits);
   return Cache.emplace(std::move(Key), std::move(P)).first->second;

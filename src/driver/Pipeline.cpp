@@ -3,6 +3,9 @@
 #include "analysis/Analysis.h"
 #include "decompose/Decompose.h"
 #include "frontend/Parser.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sema/TypeChecker.h"
 #include "support/AllocStats.h"
 
@@ -10,6 +13,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 #include <utility>
 
 namespace spire::driver {
@@ -26,12 +30,23 @@ bool verifyEachDefault() {
 
 namespace {
 
+/// Verification work feeds the `verify.*` registry metrics so a
+/// --verify-each run reports how much checking it did (and a daemon can
+/// scrape violation totals).
+void recordVerifyMetrics(const analysis::VerifyReport &V) {
+  auto &Reg = obs::Registry::global();
+  ++Reg.counter("verify.checks");
+  Reg.counter("verify.violations") +=
+      static_cast<int64_t>(V.Violations.size());
+}
+
 /// Stage-boundary IR verification: reports violations as diagnostics
 /// under `Context` ("verify(lower)", ...) and fails the stage.
 bool verifyIrArtifact(const ir::CoreProgram &P,
                       const circuit::TargetConfig &Target,
                       support::DiagnosticEngine &Diags, const char *Context) {
   analysis::VerifyReport V = analysis::verifyProgram(P, Target);
+  recordVerifyMetrics(V);
   if (V.ok())
     return true;
   V.reportTo(Diags, Context);
@@ -50,8 +65,18 @@ bool verifyCircuitArtifact(const circuit::Circuit &C,
   if (V.ok() && Layout) {
     analysis::CleanSpec Spec =
         analysis::CleanSpec::forLayout(*Layout, C.NumQubits);
-    V.merge(analysis::analyzeParity(C, Spec).Report);
+    analysis::ParityResult PR = analysis::analyzeParity(C, Spec);
+    int64_t Obligations = 0;
+    for (bool Req : Spec.RequireClean)
+      Obligations += Req;
+    int64_t Unproved = static_cast<int64_t>(PR.Report.Violations.size());
+    auto &Reg = obs::Registry::global();
+    Reg.counter("analysis.parity.obligations") += Obligations;
+    Reg.counter("analysis.parity.proved_clean") +=
+        Obligations > Unproved ? Obligations - Unproved : 0;
+    V.merge(std::move(PR.Report));
   }
+  recordVerifyMetrics(V);
   if (V.ok())
     return true;
   V.reportTo(Diags, Context);
@@ -105,81 +130,102 @@ circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
                                        qopt::OptStats *Stats,
                                        support::DiagnosticEngine *VerifyDiags) {
   using circuit::Circuit;
-  // Per-pass verification hook: every pass output (including the
-  // decomposition steps) goes through the structural circuit verifier
-  // before the next pass consumes it, so a pass that corrupts the gate
-  // stream is blamed by name instead of surfacing as a downstream
-  // equivalence failure.
-  auto verified = [&](Circuit C, const char *Pass) {
+  // Per-pass hook: every pass (including the decomposition steps) runs
+  // inside a named trace span carrying its gate-count and OptStats work
+  // deltas as args, and its output goes through the structural circuit
+  // verifier (when VerifyDiags is set) before the next pass consumes it,
+  // so a pass that corrupts the gate stream is blamed by name instead of
+  // surfacing as a downstream equivalence failure.
+  auto runPass = [&](const char *Pass, const Circuit &In, auto Fn) {
+    obs::Span Sp(Pass);
+    qopt::OptStats Before = Stats ? *Stats : qopt::OptStats();
+    Circuit Out = Fn(In);
+    Sp.arg("gates_in", static_cast<int64_t>(In.Gates.size()));
+    Sp.arg("gates_out", static_cast<int64_t>(Out.Gates.size()));
+    if (Stats) {
+      if (int64_t D = Stats->CancelledPairs - Before.CancelledPairs)
+        Sp.arg("cancelled_pairs", D);
+      if (int64_t D = Stats->WorklistVisits - Before.WorklistVisits)
+        Sp.arg("worklist_visits", D);
+      if (int64_t D = Stats->MergedRotations - Before.MergedRotations)
+        Sp.arg("merged_rotations", D);
+      if (int64_t D = Stats->EmittedRotations - Before.EmittedRotations)
+        Sp.arg("emitted_rotations", D);
+    }
+    ++obs::Registry::global().counter("qopt.passes_run");
     if (VerifyDiags) {
-      analysis::VerifyReport V = analysis::verifyCircuit(C);
+      analysis::VerifyReport V = analysis::verifyCircuit(Out);
+      recordVerifyMetrics(V);
       if (!V.ok())
         V.reportTo(*VerifyDiags, Pass);
     }
-    return C;
+    return Out;
   };
+  auto decomposeCliffordT = [&](const Circuit &In) {
+    return runPass("qopt/decompose-clifford+t", In,
+                   [](const Circuit &C) { return decompose::toCliffordT(C); });
+  };
+  auto decomposeToffoli = [&](const Circuit &In) {
+    return runPass("qopt/decompose-toffoli", In,
+                   [](const Circuit &C) { return decompose::toToffoli(C); });
+  };
+  auto cancel = [&](const char *Pass, const Circuit &In,
+                    qopt::CancelOptions Opts) {
+    return runPass(Pass, In, [&](const Circuit &C) {
+      return qopt::cancelAdjacentGates(C, Opts, Stats);
+    });
+  };
+  auto fold = [&](const Circuit &In) {
+    return runPass("qopt/phase-fold", In, [&](const Circuit &C) {
+      return qopt::phaseFold(C, Stats);
+    });
+  };
+
   switch (Kind) {
   case CircuitOptimizerKind::None:
-    return verified(decompose::toCliffordT(MCXCircuit),
-                    "qopt/decompose-clifford+t");
+    return decomposeCliffordT(MCXCircuit);
 
   case CircuitOptimizerKind::Peephole: {
     // Decompose first, then a small-window inverse-pair peephole.
-    Circuit CT = verified(decompose::toCliffordT(MCXCircuit),
-                          "qopt/decompose-clifford+t");
-    return verified(qopt::cancelAdjacentGates(
-                        CT, qopt::CancelOptions::peephole(), Stats),
-                    "qopt/cancel-peephole");
+    Circuit CT = decomposeCliffordT(MCXCircuit);
+    return cancel("qopt/cancel-peephole", CT,
+                  qopt::CancelOptions::peephole());
   }
 
   case CircuitOptimizerKind::CliffordTCancel: {
     // Decompose first, then standard cancellation plus rotation merging
     // over the Clifford+T gates — the -toCliffordT pipeline shape.
-    Circuit CT = verified(decompose::toCliffordT(MCXCircuit),
-                          "qopt/decompose-clifford+t");
-    Circuit Cancelled = verified(
-        qopt::cancelAdjacentGates(CT, qopt::CancelOptions::standard(),
-                                  Stats),
-        "qopt/cancel-standard");
-    return verified(qopt::phaseFold(Cancelled, Stats), "qopt/phase-fold");
+    Circuit CT = decomposeCliffordT(MCXCircuit);
+    Circuit Cancelled = cancel("qopt/cancel-standard", CT,
+                               qopt::CancelOptions::standard());
+    return fold(Cancelled);
   }
 
   case CircuitOptimizerKind::RotationMerging: {
-    Circuit CT = verified(decompose::toCliffordT(MCXCircuit),
-                          "qopt/decompose-clifford+t");
-    return verified(qopt::phaseFold(CT, Stats), "qopt/phase-fold");
+    Circuit CT = decomposeCliffordT(MCXCircuit);
+    return fold(CT);
   }
 
   case CircuitOptimizerKind::ToffoliCancel: {
     // Simplify in terms of Toffoli gates *before* translating to
     // Clifford+T (Section 8.3: the -mctExpand configuration).
-    Circuit Toff = verified(decompose::toToffoli(MCXCircuit),
-                            "qopt/decompose-toffoli");
-    Circuit Cancelled = verified(
-        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::standard(),
-                                  Stats),
-        "qopt/cancel-standard");
-    return verified(decompose::toCliffordT(Cancelled),
-                    "qopt/decompose-clifford+t");
+    Circuit Toff = decomposeToffoli(MCXCircuit);
+    Circuit Cancelled = cancel("qopt/cancel-standard", Toff,
+                               qopt::CancelOptions::standard());
+    return decomposeCliffordT(Cancelled);
   }
 
   case CircuitOptimizerKind::ExhaustiveCancel: {
     // Unbounded-lookahead fixpoint cancellation at the Toffoli level,
     // then decomposition and rotation merging: stronger and much slower,
     // like QuiZX's global-structure discovery.
-    Circuit Toff = verified(decompose::toToffoli(MCXCircuit),
-                            "qopt/decompose-toffoli");
-    Circuit Cancelled = verified(
-        qopt::cancelAdjacentGates(Toff, qopt::CancelOptions::exhaustive(),
-                                  Stats),
-        "qopt/cancel-exhaustive");
-    Circuit CT = verified(decompose::toCliffordT(Cancelled),
-                          "qopt/decompose-clifford+t");
-    Circuit Folded =
-        verified(qopt::phaseFold(CT, Stats), "qopt/phase-fold");
-    return verified(qopt::cancelAdjacentGates(
-                        Folded, qopt::CancelOptions::exhaustive(), Stats),
-                    "qopt/cancel-exhaustive");
+    Circuit Toff = decomposeToffoli(MCXCircuit);
+    Circuit Cancelled = cancel("qopt/cancel-exhaustive", Toff,
+                               qopt::CancelOptions::exhaustive());
+    Circuit CT = decomposeCliffordT(Cancelled);
+    Circuit Folded = fold(CT);
+    return cancel("qopt/cancel-exhaustive", Folded,
+                  qopt::CancelOptions::exhaustive());
   }
   }
   return decompose::toCliffordT(MCXCircuit);
@@ -204,12 +250,22 @@ namespace {
 /// Times one stage body and appends its StageTiming (wall-clock seconds,
 /// heap allocations, and peak-RSS growth). The body returns true on
 /// success; on failure the result's failed-stage marker is set.
+///
+/// Every stage also runs inside a trace span named after the stage (its
+/// allocation and RSS work counters attach as span args; bodies taking an
+/// `obs::Span &` can attach stage-specific ones like gate counts) and
+/// publishes `stage.<name>.*` metrics into the global registry.
 template <typename Fn>
 bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
+  obs::Span Sp(stageName(S));
   int64_t AllocsBefore = support::allocationCount();
   int64_t RSSBefore = support::peakRSSKb();
   auto Start = std::chrono::steady_clock::now();
-  bool OK = Body();
+  bool OK;
+  if constexpr (std::is_invocable_v<Fn &, obs::Span &>)
+    OK = Body(Sp);
+  else
+    OK = Body();
   auto End = std::chrono::steady_clock::now();
   StageTiming T;
   T.Which = S;
@@ -217,6 +273,14 @@ bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
   T.Allocs = support::allocationCount() - AllocsBefore;
   T.PeakRSSDeltaKb = support::peakRSSKb() - RSSBefore;
   R.Stages.push_back(T);
+  Sp.arg("allocs", T.Allocs);
+  Sp.arg("peak_rss_delta_kb", T.PeakRSSDeltaKb);
+  Sp.arg("ok", OK);
+  auto &Reg = obs::Registry::global();
+  std::string Prefix = std::string("stage.") + stageName(S);
+  Reg.histogram(Prefix + ".seconds").observe(T.Seconds);
+  Reg.counter(Prefix + ".allocs") += T.Allocs;
+  ++Reg.counter(Prefix + ".runs");
   if (!OK)
     R.Failed = S;
   return OK;
@@ -226,6 +290,7 @@ bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
 
 CompilationResult CompilationPipeline::run(std::string_view Source) const {
   CompilationResult R;
+  ++obs::Registry::global().counter("pipeline.runs");
   auto stopAfter = [&](Stage S) {
     return static_cast<int>(Options.StopAfter) < static_cast<int>(S);
   };
@@ -236,7 +301,7 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
     // run over it exactly as they would over a compiled circuit.
     if (stopAfter(Stage::CircuitCompile))
       return R;
-    bool OK = runStage(R, Stage::CircuitCompile, [&] {
+    bool OK = runStage(R, Stage::CircuitCompile, [&](obs::Span &Sp) {
       std::optional<circuit::Circuit> C =
           interchange::readCircuit(Source, Options.InputFormat, R.Diags);
       if (!C)
@@ -245,6 +310,8 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
       Parsed.Circ = std::move(*C);
       Parsed.Layout.NumQubits = Parsed.Circ.NumQubits;
       R.Compiled.emplace(std::move(Parsed));
+      Sp.arg("gates", static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
+      Sp.arg("qubits", R.Compiled->Circ.NumQubits);
       if (Options.VerifyEach &&
           !verifyCircuitArtifact(R.Compiled->Circ, /*Layout=*/nullptr,
                                  R.Diags, "verify(circuit-compile)"))
@@ -317,9 +384,11 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
   if (Options.BuildCircuit && !stopAfter(Stage::CircuitCompile)) {
     bool QoptWillRun = Options.CircuitOpt != CircuitOptimizerKind::None &&
                        !stopAfter(Stage::Qopt);
-    runStage(R, Stage::CircuitCompile, [&] {
+    runStage(R, Stage::CircuitCompile, [&](obs::Span &Sp) {
       R.Compiled.emplace(
           circuit::compileToCircuit(*R.Optimized, Options.Target));
+      Sp.arg("gates", static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
+      Sp.arg("qubits", R.Compiled->Circ.NumQubits);
       if (!QoptWillRun) {
         switch (Options.EmitLevel) {
         case CircuitLevel::MCX:
@@ -363,13 +432,23 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
   // Clifford+T, standing in for the Section 8.3 baselines.
   if (R.Compiled && Options.CircuitOpt != CircuitOptimizerKind::None &&
       !stopAfter(Stage::Qopt) && !R.Failed) {
-    runStage(R, Stage::Qopt, [&] {
+    runStage(R, Stage::Qopt, [&](obs::Span &Sp) {
       qopt::OptStats Stats;
       unsigned ErrorsBefore = R.Diags.errorCount();
       R.Final.emplace(applyCircuitOptimizer(
           R.Compiled->Circ, Options.CircuitOpt, &Stats,
           Options.VerifyEach ? &R.Diags : nullptr));
       R.QoptStats = Stats;
+      Sp.arg("gates_in", static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
+      Sp.arg("gates_out", static_cast<int64_t>(R.Final->Gates.size()));
+      Sp.arg("cancelled_pairs", Stats.CancelledPairs);
+      Sp.arg("merged_rotations", Stats.MergedRotations);
+      auto &Reg = obs::Registry::global();
+      Reg.counter("qopt.cancelled_pairs") += Stats.CancelledPairs;
+      Reg.counter("qopt.cancel_passes") += Stats.CancelPasses;
+      Reg.counter("qopt.worklist_visits") += Stats.WorklistVisits;
+      Reg.counter("qopt.merged_rotations") += Stats.MergedRotations;
+      Reg.counter("qopt.emitted_rotations") += Stats.EmittedRotations;
       if (Options.VerifyEach) {
         if (R.Diags.errorCount() > ErrorsBefore)
           return false; // A per-pass verification hook fired.
@@ -389,12 +468,15 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
   if (R.Compiled && Options.Basis && !stopAfter(Stage::Legalize) &&
       !R.Failed && !interchange::conformsTo(*R.finalCircuit(),
                                             *Options.Basis)) {
-    bool OK = runStage(R, Stage::Legalize, [&] {
+    bool OK = runStage(R, Stage::Legalize, [&](obs::Span &Sp) {
+      Sp.arg("gates_in",
+             static_cast<int64_t>(R.finalCircuit()->Gates.size()));
       std::optional<circuit::Circuit> Legal =
           interchange::legalize(*R.finalCircuit(), *Options.Basis, R.Diags);
       if (!Legal)
         return false;
       R.Final.emplace(std::move(*Legal));
+      Sp.arg("gates_out", static_cast<int64_t>(R.Final->Gates.size()));
       if (Options.VerifyEach) {
         const circuit::CircuitLayout *Layout =
             Options.Input == InputKind::Tower ? &R.Compiled->Layout
@@ -456,6 +538,43 @@ CompilationPipeline::renderFinalCircuit(const CompilationResult &R) const {
   if (!R.Final && R.Compiled && Options.Input == InputKind::Tower)
     Layout = &R.Compiled->Layout;
   return interchange::writeCircuit(*Circ, Options.OutputFormat, Layout);
+}
+
+std::string renderMetricsJson(const CompilationResult &R) {
+  obs::publishProcessMetrics();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "spire-metrics-v1");
+  W.kv("succeeded", R.succeeded());
+  if (R.Failed)
+    W.kv("failed_stage", stageName(*R.Failed));
+  W.kv("total_seconds", R.totalSeconds(), 9);
+  W.kv("errors", static_cast<int64_t>(R.Diags.errorCount()));
+  W.key("stages");
+  W.beginArray();
+  for (const StageTiming &T : R.Stages) {
+    W.beginObject();
+    W.kv("stage", stageName(T.Which));
+    W.kv("seconds", T.Seconds, 9);
+    W.kv("allocs", T.Allocs);
+    W.kv("peak_rss_delta_kb", T.PeakRSSDeltaKb);
+    W.endObject();
+  }
+  W.endArray();
+  if (R.QoptStats) {
+    W.key("qopt_stats");
+    W.beginObject();
+    W.kv("cancelled_pairs", R.QoptStats->CancelledPairs.value());
+    W.kv("cancel_passes", R.QoptStats->CancelPasses.value());
+    W.kv("worklist_visits", R.QoptStats->WorklistVisits.value());
+    W.kv("merged_rotations", R.QoptStats->MergedRotations.value());
+    W.kv("emitted_rotations", R.QoptStats->EmittedRotations.value());
+    W.endObject();
+  }
+  W.key("metrics");
+  obs::writeMetricsObject(W, obs::Registry::global().snapshot());
+  W.endObject();
+  return W.take();
 }
 
 CompilationResult CompilationPipeline::runFile(const std::string &Path) const {

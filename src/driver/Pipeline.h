@@ -262,6 +262,13 @@ struct CompilationResult {
   double totalSeconds() const;
 };
 
+/// Renders a machine-readable run report (`spirec --metrics-json`): the
+/// "spire-metrics-v1" schema with every StageTiming, the qopt work
+/// counters, and a snapshot of the global obs::Registry (refreshed with
+/// the process gauges first) — a strict superset of what `--timings`
+/// prints. docs/observability.md documents the schema and metric names.
+std::string renderMetricsJson(const CompilationResult &R);
+
 /// The single compile-pipeline implementation. Construct with options,
 /// then run over source text; the pipeline itself is stateless across
 /// runs and a const instance may be reused.

@@ -4,6 +4,8 @@
 #include "circuit/QcWriter.h"
 #include "interchange/QasmReader.h"
 #include "interchange/QasmWriter.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sim/BitSliced.h"
 #include "sim/Simulator.h"
 #include "support/Hash.h"
@@ -254,11 +256,18 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
     Samples = static_cast<unsigned>(Space);
   uint64_t Rng = Opts.Seed;
 
+  ++obs::Registry::global().counter("equiv.checks");
+
   if (isClassical(A) && isClassical(B)) {
-    std::optional<sim::BitSlicedSimulator> TapeA =
-        sim::BitSlicedSimulator::compile(A);
-    std::optional<sim::BitSlicedSimulator> TapeB =
-        sim::BitSlicedSimulator::compile(B);
+    std::optional<sim::BitSlicedSimulator> TapeA;
+    std::optional<sim::BitSlicedSimulator> TapeB;
+    {
+      obs::Span Sp("equiv/compile-tape");
+      TapeA = sim::BitSlicedSimulator::compile(A);
+      TapeB = sim::BitSlicedSimulator::compile(B);
+      Sp.arg("gates", static_cast<int64_t>(A.Gates.size() +
+                                           B.Gates.size()));
+    }
     Report.BitSliced = true;
     // Exhaustive whenever the whole space is small enough — or the
     // caller's budget covers it anyway.
@@ -272,10 +281,23 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
         Exhaustive
             ? std::max<uint64_t>(1, Space / sim::LaneBits)
             : (std::max(Samples, 1u) + sim::LaneBits - 1) / sim::LaneBits;
-    runBitSlicedSweep(A, B, *TapeA, *TapeB, Common, Blocks, Exhaustive,
-                      Opts, Report);
-    Report.Exhaustive = Exhaustive;
-    Report.StatesRun = Exhaustive ? Space : Blocks * sim::LaneBits;
+    {
+      obs::Span Sp("equiv/sweep");
+      runBitSlicedSweep(A, B, *TapeA, *TapeB, Common, Blocks, Exhaustive,
+                        Opts, Report);
+      Report.Exhaustive = Exhaustive;
+      Report.StatesRun = Exhaustive ? Space : Blocks * sim::LaneBits;
+      Sp.arg("common_qubits", Common);
+      Sp.arg("blocks", static_cast<int64_t>(Blocks));
+      Sp.arg("states_run", static_cast<int64_t>(Report.StatesRun));
+      Sp.arg("exhaustive", Exhaustive);
+    }
+    auto &Reg = obs::Registry::global();
+    Reg.counter("sim.bitsliced.states_run") +=
+        static_cast<int64_t>(Report.StatesRun);
+    Reg.counter("sim.bitsliced.blocks_run") += static_cast<int64_t>(Blocks);
+    if (Exhaustive)
+      ++Reg.counter("equiv.exhaustive_sweeps");
     Report.SamplesRun = static_cast<unsigned>(
         std::min<uint64_t>(Report.StatesRun,
                            std::numeric_limits<unsigned>::max()));
@@ -287,6 +309,12 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
   // global phase, but exponential in superposition size — callers keep
   // these circuits small (decomposition tests, --check-equiv on toys).
   Report.Exhaustive = static_cast<uint64_t>(Samples) >= Space;
+  obs::Span Sp("equiv/state-vector");
+  auto noteSamples = [&] {
+    Sp.arg("samples_run", Report.SamplesRun);
+    obs::Registry::global().counter("sim.statevector.samples_run") +=
+        Report.SamplesRun;
+  };
   for (unsigned I = 0; I != Samples; ++I) {
     sim::BitString SA = testState(Common, A.NumQubits, Samples, I, Rng);
     sim::BitString SB(B.NumQubits);
@@ -318,11 +346,13 @@ EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
       Report.Detail = "states diverge from basis state " +
                       describeState(SA, Common);
       Report.Seconds = secondsSince(Start);
+      noteSamples();
       return Report;
     }
   }
   Report.Equivalent = true;
   Report.Seconds = secondsSince(Start);
+  noteSamples();
   return Report;
 }
 

@@ -1,6 +1,8 @@
 #include "lowering/Lower.h"
 
 #include "ast/Reverse.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sema/TypeChecker.h"
 
 #include <cassert>
@@ -277,6 +279,38 @@ private:
   /// and the recursive benchmarks inline the same function up to 10^5
   /// times. The cached set is a flat sorted SymbolSet.
   const SymbolSet &modSetOf(const FunDecl &F);
+
+  // -- Inline-frame trace batches. -----------------------------------------
+  // A depth-100k lowering inlines one frame per call; per-frame spans
+  // would drown the trace, so instances are grouped into spans of
+  // TraceBatchSize (each reporting its instance count as an arg). Only
+  // active when tracing is enabled; the open batch is closed (and the
+  // `lower.inline_instances` counter flushed) at the end of run().
+  static constexpr unsigned TraceBatchSize = 4096;
+  bool TraceBatchOpen = false;
+  unsigned TraceBatchStart = 0;
+
+  void noteInlineInstanceTrace() {
+    if (!obs::Tracer::global().enabled())
+      return;
+    if (TraceBatchOpen &&
+        InlineInstances - TraceBatchStart >= TraceBatchSize)
+      closeInlineBatchTrace();
+    if (!TraceBatchOpen) {
+      obs::Tracer::global().begin("lower/inline-batch");
+      TraceBatchOpen = true;
+      TraceBatchStart = InlineInstances - 1;
+    }
+  }
+
+  void closeInlineBatchTrace() {
+    if (!TraceBatchOpen)
+      return;
+    obs::TraceArg Instances{"instances",
+                            InlineInstances - TraceBatchStart};
+    obs::Tracer::global().end("lower/inline-batch", &Instances, 1);
+    TraceBatchOpen = false;
+  }
 
   ast::Program &Program;
   support::DiagnosticEngine &Diags;
@@ -561,6 +595,7 @@ bool Lowerer::startInlineCall(Frame &Caller, const Expr &Call, CallMode Mode,
                               " instances; is the recursion unbounded?");
     return false;
   }
+  noteInlineInstanceTrace();
 
   int64_t CalleeSize = 0;
   if (!Callee->SizeParam.empty())
@@ -1131,7 +1166,11 @@ std::optional<CoreProgram> Lowerer::run(const std::string &Entry,
   Root->S = &RootScope;
   Root->D = Frame::Deliver::Root;
   Frames.push_back(std::move(Root));
-  if (!runMachine())
+  bool MachineOK = runMachine();
+  closeInlineBatchTrace();
+  obs::Registry::global().counter("lower.inline_instances") +=
+      InlineInstances;
+  if (!MachineOK)
     return std::nullopt;
 
   auto RV = RootScope.find(F->ReturnVar);

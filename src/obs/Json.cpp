@@ -1,0 +1,156 @@
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace spire {
+namespace obs {
+
+void JsonWriter::escape(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+void JsonWriter::newlineIndent() {
+  if (Indent == 0)
+    return;
+  Out += '\n';
+  Out.append(Stack.size() * Indent, ' ');
+}
+
+void JsonWriter::beforeValue() {
+  if (Stack.empty()) {
+    assert(!Started && "more than one top-level JSON value");
+    Started = true;
+    return;
+  }
+  Level &L = Stack.back();
+  if (L.IsArray) {
+    if (L.HasElements)
+      Out += ',';
+    L.HasElements = true;
+    newlineIndent();
+  } else {
+    assert(PendingKey && "object value with no pending key");
+    PendingKey = false;
+  }
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && !Stack.back().IsArray && "key outside an object");
+  assert(!PendingKey && "two keys in a row");
+  Level &L = Stack.back();
+  if (L.HasElements)
+    Out += ',';
+  L.HasElements = true;
+  newlineIndent();
+  Out += '"';
+  escape(Out, K);
+  Out += Indent ? "\": " : "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  Started = true;
+  Out += '{';
+  Stack.push_back({false, false});
+}
+
+void JsonWriter::endObject() {
+  assert(!Stack.empty() && !Stack.back().IsArray && "mismatched endObject");
+  assert(!PendingKey && "dangling key at endObject");
+  bool HadElements = Stack.back().HasElements;
+  Stack.pop_back();
+  if (HadElements)
+    newlineIndent();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  Started = true;
+  Out += '[';
+  Stack.push_back({true, false});
+}
+
+void JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().IsArray && "mismatched endArray");
+  bool HadElements = Stack.back().HasElements;
+  Stack.pop_back();
+  if (HadElements)
+    newlineIndent();
+  Out += ']';
+}
+
+void JsonWriter::value(std::string_view S) {
+  beforeValue();
+  Out += '"';
+  escape(Out, S);
+  Out += '"';
+}
+
+void JsonWriter::value(bool B) {
+  beforeValue();
+  Out += B ? "true" : "false";
+}
+
+void JsonWriter::value(int64_t N) {
+  beforeValue();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t N) {
+  beforeValue();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  Out += Buf;
+}
+
+void JsonWriter::value(double D, int Precision) {
+  beforeValue();
+  if (!std::isfinite(D)) {
+    Out += "null";
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, D);
+  Out += Buf;
+}
+
+void JsonWriter::rawValue(std::string_view Raw) {
+  beforeValue();
+  Out += Raw;
+}
+
+} // namespace obs
+} // namespace spire

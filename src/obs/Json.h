@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+// A small streaming JSON writer shared by every machine-readable artifact
+// the toolchain emits: `spirec --metrics-json`, `spirec --trace-json`, and
+// the `BENCH_*.json` scale-bench reports. Replaces the per-bench hand-rolled
+// fprintf emitters so the escaping and number formatting rules live in one
+// place.
+//
+// Usage is push-style; the writer tracks the container stack and inserts
+// commas, newlines, and indentation:
+//
+//   JsonWriter W;
+//   W.beginObject();
+//   W.kv("schema", "spire-bench-v1");
+//   W.key("points");
+//   W.beginArray();
+//   ...
+//   W.endArray();
+//   W.endObject();
+//   Out << W.str();
+//
+// Misnesting (a value with no pending key inside an object, endArray on an
+// object, ...) asserts in debug builds; the writer is for trusted in-process
+// producers, not a general serialization library.
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_OBS_JSON_H
+#define SPIRE_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spire {
+namespace obs {
+
+class JsonWriter {
+public:
+  /// \p Indent is the per-level indentation width; 0 emits compact
+  /// single-line JSON (used for trace events, where one-event-per-line
+  /// output would still be megabytes of whitespace).
+  explicit JsonWriter(unsigned Indent = 2) : Indent(Indent) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the key for the next value. Only valid directly inside an
+  /// object.
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(bool B);
+  void value(int64_t N);
+  void value(uint64_t N);
+  void value(int N) { value(static_cast<int64_t>(N)); }
+  void value(unsigned N) { value(static_cast<uint64_t>(N)); }
+  /// Doubles print with %.*g; NaN/inf (invalid JSON) print as null.
+  void value(double D, int Precision = 6);
+
+  /// key + value in one call.
+  template <typename T> void kv(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+  void kv(std::string_view K, double V, int Precision) {
+    key(K);
+    value(V, Precision);
+  }
+
+  /// Emits \p Raw verbatim in value position (caller guarantees it is a
+  /// valid JSON fragment, e.g. a preformatted number).
+  void rawValue(std::string_view Raw);
+
+  /// True once every container opened has been closed.
+  bool complete() const { return Started && Stack.empty(); }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+  /// Appends \p S with JSON string escaping (no surrounding quotes) to
+  /// \p Out — shared by the writer and any caller that formats strings
+  /// manually.
+  static void escape(std::string &Out, std::string_view S);
+
+private:
+  struct Level {
+    bool IsArray;
+    bool HasElements;
+  };
+
+  /// Comma/newline/indent bookkeeping before an element in value
+  /// position.
+  void beforeValue();
+  void newlineIndent();
+
+  std::string Out;
+  std::vector<Level> Stack;
+  unsigned Indent;
+  bool PendingKey = false;
+  bool Started = false;
+};
+
+} // namespace obs
+} // namespace spire
+
+#endif // SPIRE_OBS_JSON_H

@@ -1,0 +1,170 @@
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+#include "support/AllocStats.h"
+#include "support/Symbol.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace spire {
+namespace obs {
+
+const char *metricKindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::Histogram:
+    return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// fetch_add for atomic<double> (member fetch_add is C++20).
+void atomicAdd(std::atomic<double> &A, double V) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (!A.compare_exchange_weak(Cur, Cur + V, std::memory_order_relaxed))
+    ;
+}
+
+void atomicMin(std::atomic<double> &A, double V) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+void atomicMax(std::atomic<double> &A, double V) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+} // namespace
+
+void Registry::Histogram::observe(double V) {
+  if (!H)
+    return;
+  H->Count.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(H->Sum, V);
+  atomicMin(H->Min, V);
+  atomicMax(H->Max, V);
+}
+
+Registry::Cell *Registry::cellFor(std::string_view Name, MetricKind Kind) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ByName.find(Name);
+  if (It != ByName.end())
+    return It->second->Kind == Kind ? It->second : nullptr;
+  Cells.emplace_back(std::string(Name), Kind);
+  Cell *C = &Cells.back();
+  C->Min.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+  C->Max.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+  // Key the map by the cell's own name storage: deque elements never move,
+  // and the string's heap buffer is stable once constructed.
+  ByName.emplace(std::string_view(C->Name), C);
+  return C;
+}
+
+Registry::Counter Registry::counter(std::string_view Name) {
+  Counter H;
+  if (Cell *C = cellFor(Name, MetricKind::Counter))
+    H.C = &C->Value;
+  return H;
+}
+
+Registry::Gauge Registry::gauge(std::string_view Name) {
+  Gauge H;
+  if (Cell *C = cellFor(Name, MetricKind::Gauge))
+    H.C = &C->Value;
+  return H;
+}
+
+Registry::Histogram Registry::histogram(std::string_view Name) {
+  Histogram H;
+  H.H = cellFor(Name, MetricKind::Histogram);
+  return H;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::vector<MetricSample> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out.reserve(Cells.size());
+    for (const Cell &C : Cells) {
+      MetricSample S;
+      S.Name = C.Name;
+      S.Kind = C.Kind;
+      S.Value = C.Value.load(std::memory_order_relaxed);
+      S.Count = C.Count.load(std::memory_order_relaxed);
+      S.Sum = C.Sum.load(std::memory_order_relaxed);
+      S.Min = C.Min.load(std::memory_order_relaxed);
+      S.Max = C.Max.load(std::memory_order_relaxed);
+      if (S.Count == 0)
+        S.Min = S.Max = 0;
+      Out.push_back(std::move(S));
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (Cell &C : Cells) {
+    C.Value.store(0, std::memory_order_relaxed);
+    C.Count.store(0, std::memory_order_relaxed);
+    C.Sum.store(0.0, std::memory_order_relaxed);
+    C.Min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    C.Max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+  }
+}
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+void publishProcessMetrics(Registry &R) {
+  R.gauge("symbols.interned")
+      .set(static_cast<int64_t>(support::SymbolTable::global().size()));
+  R.gauge("process.allocations")
+      .set(static_cast<int64_t>(support::allocationCount()));
+  R.gauge("process.peak_rss_kb")
+      .set(static_cast<int64_t>(support::peakRSSKb()));
+}
+
+void writeMetricsObject(JsonWriter &W,
+                        const std::vector<MetricSample> &Samples) {
+  W.beginObject();
+  for (const MetricSample &S : Samples) {
+    W.key(S.Name);
+    W.beginObject();
+    W.kv("kind", metricKindName(S.Kind));
+    if (S.Kind == MetricKind::Histogram) {
+      W.kv("count", S.Count);
+      W.kv("sum", S.Sum, 9);
+      W.kv("min", S.Min, 9);
+      W.kv("max", S.Max, 9);
+    } else {
+      W.kv("value", S.Value);
+    }
+    W.endObject();
+  }
+  W.endObject();
+}
+
+} // namespace obs
+} // namespace spire

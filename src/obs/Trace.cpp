@@ -1,0 +1,158 @@
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spire {
+namespace obs {
+
+void Tracer::enable(size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.assign(std::max<size_t>(Capacity, 16), TraceEvent());
+  Head = Live = 0;
+  Dropped = 0;
+  TidMap.clear();
+  Origin = std::chrono::steady_clock::now();
+  On.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { On.store(false, std::memory_order_relaxed); }
+
+void Tracer::record(const char *Name, char Phase, const TraceArg *Args,
+                    unsigned NumArgs) {
+  auto Now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Ring.empty())
+    return;
+  TraceEvent &E = Ring[Head];
+  Head = (Head + 1) % Ring.size();
+  if (Live == Ring.size())
+    ++Dropped;
+  else
+    ++Live;
+  E.Name = Name;
+  E.Phase = Phase;
+  E.TsNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now - Origin)
+          .count());
+  auto TidIt = TidMap.emplace(std::this_thread::get_id(),
+                              static_cast<uint32_t>(TidMap.size()));
+  E.Tid = TidIt.first->second;
+  E.NumArgs = std::min(NumArgs, TraceEvent::MaxArgs);
+  for (unsigned I = 0; I != E.NumArgs; ++I)
+    E.Args[I] = Args[I];
+}
+
+void Tracer::begin(const char *Name, const TraceArg *Args, unsigned NumArgs) {
+  if (enabled())
+    record(Name, 'B', Args, NumArgs);
+}
+
+void Tracer::end(const char *Name, const TraceArg *Args, unsigned NumArgs) {
+  if (enabled())
+    record(Name, 'E', Args, NumArgs);
+}
+
+uint64_t Tracer::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  Out.reserve(Live);
+  size_t Start = (Head + Ring.size() - Live) % Ring.size();
+  for (size_t I = 0; I != Live; ++I)
+    Out.push_back(Ring[(Start + I) % Ring.size()]);
+  return Out;
+}
+
+namespace {
+
+void writeEvent(JsonWriter &W, const char *Name, char Phase, uint32_t Tid,
+                uint64_t TsNs, const TraceArg *Args, unsigned NumArgs) {
+  W.beginObject();
+  W.kv("name", Name);
+  W.kv("cat", "spire");
+  W.key("ph");
+  W.value(std::string_view(&Phase, 1));
+  W.kv("pid", 1);
+  W.kv("tid", static_cast<int64_t>(Tid));
+  // Chrome's ts unit is microseconds; keep nanosecond precision as a
+  // fraction.
+  char TsBuf[48];
+  std::snprintf(TsBuf, sizeof(TsBuf), "%llu.%03u",
+                static_cast<unsigned long long>(TsNs / 1000),
+                static_cast<unsigned>(TsNs % 1000));
+  W.key("ts");
+  W.rawValue(TsBuf);
+  if (NumArgs) {
+    W.key("args");
+    W.beginObject();
+    for (unsigned I = 0; I != NumArgs; ++I)
+      W.kv(Args[I].Key, Args[I].Value);
+    W.endObject();
+  }
+  W.endObject();
+}
+
+} // namespace
+
+std::string Tracer::chromeTraceJson() const {
+  std::vector<TraceEvent> Events = events();
+  uint64_t DroppedNow = droppedEvents();
+
+  // Repair balance: per-tid stacks of open 'B' indices. An 'E' with no
+  // open 'B' lost its begin to wraparound — drop it. Whatever is still
+  // open at the end gets a synthetic 'E' at the last timestamp.
+  std::vector<char> Emit(Events.size(), 1);
+  std::unordered_map<uint32_t, std::vector<size_t>> Open;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    if (E.Phase == 'B') {
+      Open[E.Tid].push_back(I);
+    } else {
+      auto &Stack = Open[E.Tid];
+      if (Stack.empty())
+        Emit[I] = 0;
+      else
+        Stack.pop_back();
+    }
+  }
+  uint64_t LastTs = Events.empty() ? 0 : Events.back().TsNs;
+
+  JsonWriter W(0);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (!Emit[I])
+      continue;
+    const TraceEvent &E = Events[I];
+    writeEvent(W, E.Name, E.Phase, E.Tid, E.TsNs, E.Args, E.NumArgs);
+  }
+  // Close stragglers innermost-first per tid.
+  for (auto &Entry : Open)
+    for (auto It = Entry.second.rbegin(); It != Entry.second.rend(); ++It)
+      writeEvent(W, Events[*It].Name, 'E', Entry.first, LastTs, nullptr, 0);
+  W.endArray();
+  W.kv("displayTimeUnit", "ms");
+  W.key("otherData");
+  W.beginObject();
+  W.kv("tool", "spirec");
+  W.kv("dropped_events", DroppedNow);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+} // namespace obs
+} // namespace spire

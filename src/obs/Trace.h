@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+// Scoped-span tracer: a flight-recorder ring buffer of begin/end events
+// rendered as Chrome trace-event JSON (`spirec --trace-json`, open the file
+// in chrome://tracing or https://ui.perfetto.dev). Spans are emitted at
+// every pipeline stage boundary, every individual qopt pass, legalization,
+// equivalence-check phases, and lowerer inline-frame batches; each span
+// carries its work counters as trace args so the timeline shows *what* a
+// phase did, not just how long it took (docs/observability.md has the span
+// hierarchy).
+//
+// Design constraints:
+//  - Disabled cost is one relaxed atomic load per span (the common case —
+//    tracing is off unless --trace-json was passed), so instrumentation can
+//    stay unconditionally in hot-ish paths like per-pass boundaries.
+//  - Span names and arg keys must be string literals (or otherwise outlive
+//    the tracer): events store `const char *` to keep recording
+//    allocation-free.
+//  - The ring overwrites its oldest events when full rather than growing,
+//    so a runaway compile cannot OOM through its own telemetry; the JSON
+//    writer repairs begin/end balance at the cut.
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_OBS_TRACE_H
+#define SPIRE_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace spire {
+namespace obs {
+
+struct TraceArg {
+  const char *Key = "";
+  int64_t Value = 0;
+};
+
+struct TraceEvent {
+  static constexpr unsigned MaxArgs = 8;
+
+  const char *Name = "";
+  char Phase = 'B'; ///< 'B' begins a span, 'E' ends the innermost one.
+  uint32_t Tid = 0; ///< Dense per-tracer thread index (0 = first thread).
+  uint64_t TsNs = 0; ///< Nanoseconds since enable().
+  unsigned NumArgs = 0;
+  TraceArg Args[MaxArgs];
+};
+
+class Tracer {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+  bool enabled() const { return On.load(std::memory_order_relaxed); }
+
+  /// Starts recording (clearing any previous events) with a ring of
+  /// \p Capacity events. The enable() instant is timestamp zero.
+  void enable(size_t Capacity = DefaultCapacity);
+  void disable();
+
+  void begin(const char *Name, const TraceArg *Args = nullptr,
+             unsigned NumArgs = 0);
+  void end(const char *Name, const TraceArg *Args = nullptr,
+           unsigned NumArgs = 0);
+
+  /// Events overwritten by ring wraparound since enable().
+  uint64_t droppedEvents() const;
+
+  /// Chronological (oldest-first) copy of the ring.
+  std::vector<TraceEvent> events() const;
+
+  /// Renders the ring as a Chrome trace-event JSON document
+  /// (`{"traceEvents": [...], ...}`). Wraparound or a dump taken with
+  /// spans still open would leave the stream unbalanced, so the writer
+  /// drops 'E' events whose 'B' was overwritten and synthesizes closing
+  /// 'E' events for spans still open at the end — every emitted event
+  /// pairs up, which the validator (tools/validate_trace.py) and the
+  /// viewers both require.
+  std::string chromeTraceJson() const;
+
+  /// The process-wide tracer every subsystem records into.
+  static Tracer &global();
+
+private:
+  void record(const char *Name, char Phase, const TraceArg *Args,
+              unsigned NumArgs);
+
+  std::atomic<bool> On{false};
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Ring;
+  size_t Head = 0;     ///< Next slot to write.
+  size_t Live = 0;     ///< Events currently in the ring.
+  uint64_t Dropped = 0;
+  std::chrono::steady_clock::time_point Origin;
+  std::unordered_map<std::thread::id, uint32_t> TidMap;
+};
+
+/// RAII span: records 'B' at construction (when tracing is enabled) and
+/// 'E' with the accumulated args at destruction. Args attach to the end
+/// event so counters computed during the span are visible on it.
+class Span {
+public:
+  explicit Span(const char *Name, Tracer &T = Tracer::global())
+      : T(T.enabled() ? &T : nullptr), Name(Name) {
+    if (this->T)
+      this->T->begin(Name);
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span() {
+    if (T)
+      T->end(Name, Args, NumArgs);
+  }
+
+  /// Attaches `Key: Value` to the span (silently dropped past
+  /// TraceEvent::MaxArgs or when tracing is off). \p Key must be a
+  /// string literal.
+  void arg(const char *Key, int64_t Value) {
+    if (T && NumArgs < TraceEvent::MaxArgs)
+      Args[NumArgs++] = {Key, Value};
+  }
+
+private:
+  Tracer *T;
+  const char *Name;
+  TraceArg Args[TraceEvent::MaxArgs];
+  unsigned NumArgs = 0;
+};
+
+} // namespace obs
+} // namespace spire
+
+#endif // SPIRE_OBS_TRACE_H

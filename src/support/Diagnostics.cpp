@@ -1,6 +1,19 @@
 #include "support/Diagnostics.h"
 
+#include "obs/Metrics.h"
+
 namespace spire::support {
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+  ++obs::Registry::global().counter("diags.errors");
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  ++obs::Registry::global().counter("diags.warnings");
+}
 
 std::string Diagnostic::str() const {
   std::string Out;

@@ -36,15 +36,13 @@ struct Diagnostic {
 /// conventions, no stage throws.
 class DiagnosticEngine {
 public:
-  void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
-    ++NumErrors;
-  }
+  /// error/warning also bump the process-wide `diags.errors` /
+  /// `diags.warnings` metrics (defined out of line to keep the header
+  /// free of the obs dependency).
+  void error(SourceLoc Loc, std::string Message);
   void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
 
-  void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
-  }
+  void warning(SourceLoc Loc, std::string Message);
 
   void note(SourceLoc Loc, std::string Message) {
     Diags.push_back({DiagKind::Note, Loc, std::move(Message)});

@@ -172,6 +172,21 @@ TEST_P(QoptDifferential, CancelPlusFoldMatchesReferencePath) {
   EXPECT_EQ(C.Gates.size() - NewCancelled.Gates.size(),
             static_cast<size_t>(2 * Stats.CancelledPairs))
       << "seed " << Seed;
+  // Counter non-regression against the reference pass: the worklist
+  // fixpoint must log at least as much cancellation work as the
+  // reference fixpoint actually removed, from at least one pass, with
+  // at least one worklist visit per cancelled pair. These pin the
+  // counters' meaning now that OptStats cells are relaxed atomics
+  // (obs::AtomicCounter) — a racy or dropped update would show up as a
+  // shortfall somewhere in the 100-seed sweep.
+  EXPECT_GE(static_cast<size_t>(2 * Stats.CancelledPairs),
+            C.Gates.size() - RefCancelled.Gates.size())
+      << "seed " << Seed << ": worklist logged less cancellation work "
+      << "than the reference pass achieved";
+  EXPECT_GE(Stats.CancelPasses.value(), 1) << "seed " << Seed;
+  EXPECT_GE(Stats.WorklistVisits.value(), Stats.CancelledPairs.value())
+      << "seed " << Seed;
+  EXPECT_GE(Stats.MergedRotations.value(), 0) << "seed " << Seed;
 }
 
 TEST_P(QoptDifferential, ExhaustiveCancelMatchesReferenceExactly) {

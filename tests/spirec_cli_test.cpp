@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <sys/wait.h>
 
@@ -296,6 +297,97 @@ TEST(SpirecCli, TimingsReportAllocationColumns) {
   EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
   EXPECT_NE(R.Stderr.find("allocs"), std::string::npos) << R.Stderr;
   EXPECT_NE(R.Stderr.find("KiB peak RSS"), std::string::npos) << R.Stderr;
+}
+
+namespace {
+
+/// Reads a whole file; empty string when it cannot be opened.
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Counts non-overlapping occurrences of Needle in S.
+size_t countOccurrences(const std::string &S, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = S.find(Needle); At != std::string::npos;
+       At = S.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(SpirecCli, TraceJsonEmitsBalancedChromeTrace) {
+  std::string Trace = ::testing::TempDir() + "spirec_cli_trace.json";
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f --emit qc -o "
+                          "/dev/null --circuit-opt cliffordt-cancel "
+                          "--trace-json '" + Trace + "'");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  std::string Json = slurp(Trace);
+  ASSERT_FALSE(Json.empty());
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  // Every begin pairs with an end, and the stage + pass spans are there.
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"B\""),
+            countOccurrences(Json, "\"ph\":\"E\""))
+      << Json;
+  for (const char *Span :
+       {"\"name\":\"parse\"", "\"name\":\"typecheck\"",
+        "\"name\":\"lower\"", "\"name\":\"qopt\"",
+        "\"name\":\"qopt/decompose-clifford+t\""})
+    EXPECT_NE(Json.find(Span), std::string::npos) << Span;
+}
+
+TEST(SpirecCli, MetricsJsonIsWellFormedSuperset) {
+  std::string Metrics = ::testing::TempDir() + "spirec_cli_metrics.json";
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f --emit qc -o "
+                          "/dev/null --circuit-opt cliffordt-cancel "
+                          "--metrics-json '" + Metrics + "'");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  std::string Json = slurp(Metrics);
+  ASSERT_FALSE(Json.empty());
+  EXPECT_NE(Json.find("\"schema\": \"spire-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"succeeded\": true"), std::string::npos);
+  EXPECT_NE(Json.find("\"stage\": \"qopt\""), std::string::npos);
+  EXPECT_NE(Json.find("\"qopt_stats\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"symbols.interned\":"), std::string::npos);
+}
+
+TEST(SpirecCli, MetricsJsonWrittenOnCompileFailure) {
+  // A failed compile still reports: exit 1 from the compile, but the
+  // metrics file names the failing stage.
+  std::string Metrics = ::testing::TempDir() + "spirec_cli_metrics_fail.json";
+  RunResult R = runSpirec(writeBadProgram() + " --entry broken "
+                          "--metrics-json '" + Metrics + "'");
+  EXPECT_EQ(R.ExitCode, 1);
+  std::string Json = slurp(Metrics);
+  EXPECT_NE(Json.find("\"succeeded\": false"), std::string::npos);
+  EXPECT_NE(Json.find("\"failed_stage\": \"parse\""), std::string::npos);
+}
+
+TEST(SpirecCli, UnwritableTraceJsonPathExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f "
+                          "--trace-json /nonexistent-dir/t.json");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("cannot open"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, UnwritableMetricsJsonPathExitsTwo) {
+  RunResult R = runSpirec(writeGoodProgram() + " --entry f "
+                          "--metrics-json /nonexistent-dir/m.json");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("cannot open"), std::string::npos) << R.Stderr;
+}
+
+TEST(SpirecCli, TimingsReportCacheAndSymbolCounters) {
+  std::string Program = writeGoodProgram();
+  RunResult R = runSpirec("'" + Program + "' --entry f --report --timings");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("costmodel profile cache"), std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find("interned"), std::string::npos) << R.Stderr;
 }
 
 TEST(SpirecCli, DefaultCheckEquivSamplesAdaptToSmallCircuits) {

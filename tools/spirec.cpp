@@ -38,8 +38,19 @@
 ///                         gates, affine coverage); violations exit 1
 ///   --dump-ir             print the (optimized) core IR
 ///   --timings             print per-stage wall-clock seconds, heap
-///                         allocation counts, and peak-RSS growth to
+///                         allocation counts, peak-RSS growth, and the
+///                         cost-model cache / symbol-table counters to
 ///                         stderr
+///   --trace-json <file>   record a Chrome trace-event timeline of the
+///                         whole invocation (pipeline stages, individual
+///                         qopt passes, legalization, equivalence-check
+///                         phases, lowerer inline batches — each span
+///                         carrying its work counters as args); open the
+///                         file in chrome://tracing or Perfetto
+///   --metrics-json <file> dump the run report + metrics registry as
+///                         JSON (schema spire-metrics-v1, a machine-
+///                         readable superset of --timings; see
+///                         docs/observability.md)
 ///
 /// Options:
 ///   --no-flatten          disable conditional flattening
@@ -71,7 +82,10 @@
 #include "analysis/Analysis.h"
 #include "driver/Pipeline.h"
 #include "interchange/Interchange.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sim/Interpreter.h"
+#include "support/Symbol.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -105,6 +119,8 @@ struct Options {
   bool CheckEquivSamplesSet = false;
   std::optional<std::string> RunInputs;
   std::string CircuitOpt;
+  std::string TraceJsonPath;   ///< --trace-json output path.
+  std::string MetricsJsonPath; ///< --metrics-json output path.
   driver::PipelineOptions Pipeline;
 };
 
@@ -144,7 +160,14 @@ const char UsageText[] =
     "                            at exit, dead gates, affine coverage);\n"
     "                            violations exit 1\n"
     "  --dump-ir                 print the (optimized) core IR\n"
-    "  --timings                 print per-stage timings to stderr\n"
+    "  --timings                 print per-stage timings (plus cost-model\n"
+    "                            cache and symbol-table counters) to stderr\n"
+    "  --trace-json <file>       record a Chrome trace-event timeline of\n"
+    "                            the invocation (open in chrome://tracing\n"
+    "                            or Perfetto; see docs/observability.md)\n"
+    "  --metrics-json <file>     dump the run report and metrics registry\n"
+    "                            as JSON (spire-metrics-v1, a superset of\n"
+    "                            --timings)\n"
     "\n"
     "options:\n"
     "  --entry <fun>             entry function to compile (required)\n"
@@ -310,6 +333,10 @@ Options parseArgs(int Argc, char **Argv) {
           next("--max-inline-instances"), "--max-inline-instances"));
     else if (Arg == "--circuit-opt")
       Opts.CircuitOpt = next("--circuit-opt");
+    else if (Arg == "--trace-json")
+      Opts.TraceJsonPath = next("--trace-json");
+    else if (Arg == "--metrics-json")
+      Opts.MetricsJsonPath = next("--metrics-json");
     else if (Arg == "--qc-in")
       QcInPath = next("--qc-in");
     else if (Arg == "--qasm-in")
@@ -489,10 +516,12 @@ int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  Options Opts = parseArgs(Argc, Argv);
+/// Everything between argument parsing and the observability dumps: the
+/// pipeline run plus every mode. Fills \p R so the caller can render the
+/// metrics report after *all* work (including --check-equiv, whose spans
+/// and counters belong in the artifacts) has happened. Returns the
+/// process exit code.
+int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
   driver::PipelineOptions &Pipe = Opts.Pipeline;
   bool CircuitIn = Pipe.Input == driver::InputKind::Circuit;
 
@@ -509,7 +538,7 @@ int main(int Argc, char **Argv) {
     Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
 
   driver::CompilationPipeline Pipeline(Pipe);
-  driver::CompilationResult R = Pipeline.run(Source);
+  R = Pipeline.run(Source);
   if (Opts.Timings) {
     for (const driver::StageTiming &T : R.Stages)
       std::fprintf(stderr,
@@ -527,6 +556,18 @@ int main(int Argc, char **Argv) {
                    static_cast<long long>(R.QoptStats->MergedRotations),
                    static_cast<long long>(R.QoptStats->CancelPasses),
                    static_cast<long long>(R.QoptStats->WorklistVisits));
+    // The first ROADMAP item-2 counters: cache effectiveness and interner
+    // size, scraped from the metrics registry (zero hits/misses simply
+    // means no mode needed the cost model this run).
+    auto &Reg = obs::Registry::global();
+    std::fprintf(
+        stderr, "spirec: costmodel profile cache: %lld hits, %lld misses\n",
+        static_cast<long long>(
+            Reg.counter("costmodel.profile_cache.hits").value()),
+        static_cast<long long>(
+            Reg.counter("costmodel.profile_cache.misses").value()));
+    std::fprintf(stderr, "spirec: symbols: %zu interned\n",
+                 support::SymbolTable::global().size());
   }
   if (!R.succeeded()) {
     std::fprintf(stderr, "%s", R.Diags.str().c_str());
@@ -645,4 +686,46 @@ int main(int Argc, char **Argv) {
                             Pipe.VerifyEach);
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts = parseArgs(Argc, Argv);
+
+  // Open the observability outputs eagerly: a bad --trace-json or
+  // --metrics-json path is a command-line error (exit 2) before any
+  // compile work starts, like a bad -o path.
+  std::ofstream TraceOut, MetricsOut;
+  if (!Opts.TraceJsonPath.empty()) {
+    TraceOut.open(Opts.TraceJsonPath);
+    if (!TraceOut) {
+      std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
+                   Opts.TraceJsonPath.c_str());
+      return 2;
+    }
+    obs::Tracer::global().enable();
+  }
+  if (!Opts.MetricsJsonPath.empty()) {
+    MetricsOut.open(Opts.MetricsJsonPath);
+    if (!MetricsOut) {
+      std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
+                   Opts.MetricsJsonPath.c_str());
+      return 2;
+    }
+  }
+
+  driver::CompilationResult R;
+  int Code = runCompilerModes(Opts, R);
+
+  // Dump after all modes so the artifacts cover the entire invocation —
+  // including failed compiles (a trace of the failure is exactly what
+  // the flag is for).
+  if (TraceOut.is_open()) {
+    TraceOut << obs::Tracer::global().chromeTraceJson() << '\n';
+    obs::Tracer::global().disable();
+  }
+  if (MetricsOut.is_open())
+    MetricsOut << driver::renderMetricsJson(R) << '\n';
+  return Code;
 }

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Structural validator for the observability outputs of `spirec`:
+Chrome trace-event files from `--trace-json` and unified metrics dumps
+from `--metrics-json`. CI runs this after the obs smoke compiles; the
+obs_test golden checks cover the same invariants in-process.
+
+A trace file must be valid JSON with a "traceEvents" list whose entries
+carry name/ph/pid/tid/ts, whose B/E events balance per tid (every E
+matches the name of the innermost open B), and whose timestamps are
+monotonically non-decreasing in file order. A metrics file must declare
+schema spire-metrics-v1, list per-stage seconds/allocs, and carry the
+unified metrics object.
+
+Usage:
+  tools/validate_trace.py --trace out.trace.json \
+      --require-span parse --require-span qopt
+  tools/validate_trace.py --metrics out.metrics.json \
+      --require-metric pipeline.runs
+
+Exit 0 when every file validates, 1 on any violation (all violations are
+printed, not just the first).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def load(path, errors):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(errors, path, f"cannot parse: {err}")
+        return None
+
+
+def validate_trace(path, require_spans, errors):
+    before = len(errors)
+    data = load(path, errors)
+    if data is None:
+        return
+    if not isinstance(data, dict):
+        return fail(errors, path, "top level is not an object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(errors, path, "no traceEvents list")
+    if not events:
+        return fail(errors, path, "traceEvents is empty")
+
+    seen_names = set()
+    open_stacks = {}  # tid -> [names of open B spans]
+    last_ts = None
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(errors, path, f"{where}: not an object")
+            continue
+        missing = [k for k in ("name", "ph", "pid", "tid", "ts")
+                   if k not in ev]
+        if missing:
+            fail(errors, path, f"{where}: missing {', '.join(missing)}")
+            continue
+        name, ph, tid, ts = ev["name"], ev["ph"], ev["tid"], ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(errors, path, f"{where}: non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            fail(errors, path,
+                 f"{where}: ts went backwards ({ts} after {last_ts})")
+        last_ts = ts
+        args = ev.get("args")
+        if args is not None and not isinstance(args, dict):
+            fail(errors, path, f"{where}: args is not an object")
+        if ph == "B":
+            open_stacks.setdefault(tid, []).append(name)
+            seen_names.add(name)
+        elif ph == "E":
+            stack = open_stacks.get(tid) or []
+            if not stack:
+                fail(errors, path,
+                     f"{where}: E '{name}' with no open span on tid {tid}")
+            elif stack[-1] != name:
+                fail(errors, path,
+                     f"{where}: E '{name}' does not close innermost "
+                     f"'{stack[-1]}' on tid {tid}")
+            else:
+                stack.pop()
+        else:
+            fail(errors, path, f"{where}: unexpected phase {ph!r}")
+    for tid, stack in sorted(open_stacks.items()):
+        if stack:
+            fail(errors, path,
+                 f"unclosed spans on tid {tid}: {', '.join(stack)}")
+    for span in require_spans:
+        if span not in seen_names:
+            fail(errors, path, f"required span '{span}' never opened "
+                 f"(saw: {', '.join(sorted(seen_names))})")
+    if len(errors) == before:
+        dropped = data.get("otherData", {}).get("dropped_events")
+        print(f"{path}: ok — {len(events)} events, "
+              f"{len(seen_names)} distinct spans"
+              + (f", {dropped} dropped" if dropped else ""))
+
+
+def validate_metrics(path, require_metrics, expect_success, errors):
+    before = len(errors)
+    data = load(path, errors)
+    if data is None:
+        return
+    if not isinstance(data, dict):
+        return fail(errors, path, "top level is not an object")
+    if data.get("schema") != "spire-metrics-v1":
+        fail(errors, path,
+             f"schema is {data.get('schema')!r}, want spire-metrics-v1")
+    if "succeeded" not in data:
+        fail(errors, path, "missing 'succeeded'")
+    elif expect_success and not data["succeeded"]:
+        fail(errors, path,
+             f"run failed at stage {data.get('failed_stage')!r}")
+    if not isinstance(data.get("total_seconds"), (int, float)):
+        fail(errors, path, "missing numeric total_seconds")
+    stages = data.get("stages")
+    if not isinstance(stages, list) or not stages:
+        fail(errors, path, "missing or empty stages list")
+    else:
+        for i, st in enumerate(stages):
+            if not isinstance(st, dict) or "stage" not in st:
+                fail(errors, path, f"stages[{i}]: missing 'stage'")
+                continue
+            for field in ("seconds", "allocs"):
+                if not isinstance(st.get(field), (int, float)):
+                    fail(errors, path,
+                         f"stages[{i}] ({st['stage']}): missing {field}")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(errors, path, "missing or empty metrics object")
+        metrics = {}
+    for key in require_metrics:
+        if key not in metrics:
+            fail(errors, path, f"required metric '{key}' absent")
+    if len(errors) == before:
+        names = [st.get("stage", "?") for st in stages]
+        print(f"{path}: ok — stages [{', '.join(names)}], "
+              f"{len(metrics)} metrics")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="FILE",
+                        help="Chrome trace-event file to validate "
+                             "(repeatable)")
+    parser.add_argument("--metrics", action="append", default=[],
+                        metavar="FILE",
+                        help="spire-metrics-v1 file to validate "
+                             "(repeatable)")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="span name every trace file must contain "
+                             "(repeatable)")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="metric key every metrics file must carry "
+                             "(repeatable)")
+    parser.add_argument("--allow-failure", action="store_true",
+                        help="accept metrics files from failed runs "
+                             "(default: succeeded must be true)")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("pass at least one --trace or --metrics file")
+
+    errors = []
+    for path in args.trace:
+        validate_trace(path, args.require_span, errors)
+    for path in args.metrics:
+        validate_metrics(path, args.require_metric,
+                         not args.allow_failure, errors)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
