@@ -1,6 +1,7 @@
 #include "analysis/Analysis.h"
 
 #include "circuit/Netlist.h"
+#include "support/Governor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -611,6 +612,11 @@ ParityResult analyzeParity(const Circuit &C, const CleanSpec &Spec) {
   ParityDomain D(C.NumQubits, Spec);
 
   for (size_t I = 0; I != C.Gates.size(); ++I) {
+    // Governor checkpoint at the parity-matrix row ops. The partial
+    // result is not trustworthy after a trip; callers must discard it
+    // (the pipeline's verify hook checks the governor before merging).
+    if (!support::Governor::poll())
+      return Result;
     const Gate &G = C.Gates[I];
     if (G.Target >= C.NumQubits)
       continue; // verifyCircuit's problem, not ours.

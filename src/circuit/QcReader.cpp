@@ -1,5 +1,8 @@
 #include "circuit/QcReader.h"
 
+#include "support/FaultInjector.h"
+#include "support/Governor.h"
+
 #include <algorithm>
 #include <map>
 #include <sstream>
@@ -22,8 +25,16 @@ std::vector<std::string> tokenize(const std::string &Line) {
 
 } // namespace
 
+/// Adversarial inputs can declare absurd wire counts; everything past
+/// this is rejected before it can size downstream structures.
+constexpr unsigned MaxQcQubits = 1u << 24;
+
 std::optional<Circuit> readQc(std::string_view Text,
                               support::DiagnosticEngine &Diags) {
+  support::faultAlloc("read/qc");
+  if (support::faultDiag("read/qc", Diags))
+    return std::nullopt;
+
   Circuit C;
   std::map<std::string, Qubit> QubitByName;
   bool SawVars = false, InBody = false, SawEnd = false;
@@ -33,6 +44,15 @@ std::optional<Circuit> readQc(std::string_view Text,
   std::string Line;
   while (std::getline(Stream, Line)) {
     ++LineNo;
+    // Governor checkpoint per line, with the growing gate list charged
+    // against the gate cap so a huge input stops early.
+    if (!support::Governor::poll() ||
+        !support::Governor::pollGates(
+            static_cast<int64_t>(C.Gates.size()))) {
+      if (auto *G = support::Governor::current())
+        G->report(Diags);
+      return std::nullopt;
+    }
     std::vector<std::string> Tokens = tokenize(Line);
     if (Tokens.empty())
       continue;
@@ -59,6 +79,11 @@ std::optional<Circuit> readQc(std::string_view Text,
       for (size_t I = 1; I != Tokens.size(); ++I) {
         if (QubitByName.count(Tokens[I])) {
           Diags.error(Loc, "duplicate qubit '" + Tokens[I] + "'");
+          return std::nullopt;
+        }
+        if (C.NumQubits >= MaxQcQubits) {
+          Diags.error(Loc, "too many qubits (limit " +
+                               std::to_string(MaxQcQubits) + ")");
           return std::nullopt;
         }
         QubitByName[Tokens[I]] = C.NumQubits++;

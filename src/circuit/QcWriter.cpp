@@ -1,5 +1,7 @@
 #include "circuit/QcWriter.h"
 
+#include "support/Governor.h"
+
 namespace spire::circuit {
 
 static std::string qubitName(Qubit Q) { return "q" + std::to_string(Q); }
@@ -22,7 +24,16 @@ std::string writeQc(const Circuit &C, const CircuitLayout *Layout) {
   }
 
   Out += "\nBEGIN\n";
+  size_t GateIndex = 0;
   for (const Gate &G : C.Gates) {
+    // Output-size checkpoint: when the governor's output cap trips, the
+    // emission stops; the caller checks the governor before writing the
+    // (truncated) text anywhere.
+    if ((GateIndex++ & 1023) == 0) {
+      auto *Gov = support::Governor::current();
+      if (Gov && !Gov->checkOutputBytes(static_cast<int64_t>(Out.size())))
+        return Out;
+    }
     // Every line is the gate mnemonic followed by its operands, controls
     // first and target last (Mosca's convention: `tof` with k operands
     // covers NOT, CNOT, Toffoli, and larger MCX uniformly; multi-operand

@@ -8,10 +8,14 @@
 #include "obs/Trace.h"
 #include "sema/TypeChecker.h"
 #include "support/AllocStats.h"
+#include "support/FaultInjector.h"
+#include "support/Governor.h"
 
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <new>
 #include <sstream>
 #include <type_traits>
 #include <utility>
@@ -66,6 +70,11 @@ bool verifyCircuitArtifact(const circuit::Circuit &C,
     analysis::CleanSpec Spec =
         analysis::CleanSpec::forLayout(*Layout, C.NumQubits);
     analysis::ParityResult PR = analysis::analyzeParity(C, Spec);
+    // A governor trip aborts the parity sweep mid-matrix; its partial
+    // report would blame sound ancillae, so fail the stage and let the
+    // stage wrapper attach the single resource-limit diagnostic.
+    if (auto *G = support::Governor::current(); G && G->exceeded())
+      return false;
     int64_t Obligations = 0;
     for (bool Req : Spec.RequireClean)
       Obligations += Req;
@@ -128,15 +137,23 @@ const char *optimizerName(CircuitOptimizerKind Kind) {
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
                                        CircuitOptimizerKind Kind,
                                        qopt::OptStats *Stats,
-                                       support::DiagnosticEngine *VerifyDiags) {
+                                       support::DiagnosticEngine *VerifyDiags,
+                                       support::DiagnosticEngine *FaultDiags) {
   using circuit::Circuit;
   // Per-pass hook: every pass (including the decomposition steps) runs
   // inside a named trace span carrying its gate-count and OptStats work
   // deltas as args, and its output goes through the structural circuit
   // verifier (when VerifyDiags is set) before the next pass consumes it,
   // so a pass that corrupts the gate stream is blamed by name instead of
-  // surfacing as a downstream equivalence failure.
-  auto runPass = [&](const char *Pass, const Circuit &In, auto Fn) {
+  // surfacing as a downstream equivalence failure. The pass name is also
+  // a fault-injection site (alloc faults unwind to the stage wrapper;
+  // diag faults report into FaultDiags and skip the pass), and each
+  // pass's output is charged against the governor's gate cap.
+  auto runPass = [&](const char *Pass, const Circuit &In,
+                     auto Fn) -> Circuit {
+    support::faultAlloc(Pass);
+    if (FaultDiags && support::faultDiag(Pass, *FaultDiags))
+      return In;
     obs::Span Sp(Pass);
     qopt::OptStats Before = Stats ? *Stats : qopt::OptStats();
     Circuit Out = Fn(In);
@@ -153,6 +170,7 @@ circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
         Sp.arg("emitted_rotations", D);
     }
     ++obs::Registry::global().counter("qopt.passes_run");
+    support::Governor::pollGates(static_cast<int64_t>(Out.Gates.size()));
     if (VerifyDiags) {
       analysis::VerifyReport V = analysis::verifyCircuit(Out);
       recordVerifyMetrics(V);
@@ -255,6 +273,12 @@ namespace {
 /// allocation and RSS work counters attach as span args; bodies taking an
 /// `obs::Span &` can attach stage-specific ones like gate counts) and
 /// publishes `stage.<name>.*` metrics into the global registry.
+///
+/// Robustness wrapper: the stage name is a fault-injection site, the
+/// body runs under a catch for allocation failure (real bad_alloc or an
+/// injected alloc fault both become a diagnosed stage failure instead
+/// of a crash), and a tripped governor converts the checkpoint bail-out
+/// into one `resource-limit` diagnostic + CompilationResult::LimitHit.
 template <typename Fn>
 bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
   obs::Span Sp(stageName(S));
@@ -262,10 +286,29 @@ bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
   int64_t RSSBefore = support::peakRSSKb();
   auto Start = std::chrono::steady_clock::now();
   bool OK;
-  if constexpr (std::is_invocable_v<Fn &, obs::Span &>)
-    OK = Body(Sp);
-  else
-    OK = Body();
+  try {
+    support::faultAlloc(stageName(S));
+    if (support::faultDiag(stageName(S), R.Diags)) {
+      OK = false;
+    } else if constexpr (std::is_invocable_v<Fn &, obs::Span &>) {
+      OK = Body(Sp);
+    } else {
+      OK = Body();
+    }
+  } catch (const std::bad_alloc &) {
+    R.Diags.error(std::string("out of memory in the ") + stageName(S) +
+                  " stage");
+    OK = false;
+  } catch (const std::exception &E) {
+    R.Diags.error(std::string("internal error in the ") + stageName(S) +
+                  " stage: " + E.what());
+    OK = false;
+  }
+  if (auto *G = support::Governor::current(); G && G->exceeded()) {
+    G->report(R.Diags);
+    R.LimitHit = G->limit();
+    OK = false;
+  }
   auto End = std::chrono::steady_clock::now();
   StageTiming T;
   T.Which = S;
@@ -290,6 +333,12 @@ bool runStage(CompilationResult &R, Stage S, Fn &&Body) {
 
 CompilationResult CompilationPipeline::run(std::string_view Source) const {
   CompilationResult R;
+  // Arm a governor for this run's budgets unless the caller (spirec, the
+  // batch driver) already installed one covering a wider scope — nested
+  // compiles share the outermost token.
+  support::Governor RunGov(Options.Limits);
+  support::GovernorScope GovScope(support::Governor::current() ? nullptr
+                                                               : &RunGov);
   ++obs::Registry::global().counter("pipeline.runs");
   auto stopAfter = [&](Stage S) {
     return static_cast<int>(Options.StopAfter) < static_cast<int>(S);
@@ -310,6 +359,8 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
       Parsed.Circ = std::move(*C);
       Parsed.Layout.NumQubits = Parsed.Circ.NumQubits;
       R.Compiled.emplace(std::move(Parsed));
+      support::Governor::pollGates(
+          static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
       Sp.arg("gates", static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
       Sp.arg("qubits", R.Compiled->Circ.NumQubits);
       if (Options.VerifyEach &&
@@ -387,6 +438,8 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
     runStage(R, Stage::CircuitCompile, [&](obs::Span &Sp) {
       R.Compiled.emplace(
           circuit::compileToCircuit(*R.Optimized, Options.Target));
+      support::Governor::pollGates(
+          static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
       Sp.arg("gates", static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
       Sp.arg("qubits", R.Compiled->Circ.NumQubits);
       if (!QoptWillRun) {
@@ -402,6 +455,9 @@ CompilationResult CompilationPipeline::run(std::string_view Source) const {
           R.Final.emplace(decompose::toCliffordT(R.Compiled->Circ));
           break;
         }
+        if (R.Final)
+          support::Governor::pollGates(
+              static_cast<int64_t>(R.Final->Gates.size()));
       }
       if (Options.VerifyEach) {
         if (!verifyCircuitArtifact(R.Compiled->Circ, &R.Compiled->Layout,
@@ -437,7 +493,7 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
       unsigned ErrorsBefore = R.Diags.errorCount();
       R.Final.emplace(applyCircuitOptimizer(
           R.Compiled->Circ, Options.CircuitOpt, &Stats,
-          Options.VerifyEach ? &R.Diags : nullptr));
+          Options.VerifyEach ? &R.Diags : nullptr, &R.Diags));
       R.QoptStats = Stats;
       Sp.arg("gates_in", static_cast<int64_t>(R.Compiled->Circ.Gates.size()));
       Sp.arg("gates_out", static_cast<int64_t>(R.Final->Gates.size()));
@@ -449,9 +505,9 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
       Reg.counter("qopt.worklist_visits") += Stats.WorklistVisits;
       Reg.counter("qopt.merged_rotations") += Stats.MergedRotations;
       Reg.counter("qopt.emitted_rotations") += Stats.EmittedRotations;
+      if (R.Diags.errorCount() > ErrorsBefore)
+        return false; // A per-pass verify hook or injected fault fired.
       if (Options.VerifyEach) {
-        if (R.Diags.errorCount() > ErrorsBefore)
-          return false; // A per-pass verification hook fired.
         const circuit::CircuitLayout *Layout =
             Options.Input == InputKind::Tower ? &R.Compiled->Layout
                                               : nullptr;
@@ -476,6 +532,8 @@ void CompilationPipeline::runBackendStages(CompilationResult &R) const {
       if (!Legal)
         return false;
       R.Final.emplace(std::move(*Legal));
+      support::Governor::pollGates(
+          static_cast<int64_t>(R.Final->Gates.size()));
       Sp.arg("gates_out", static_cast<int64_t>(R.Final->Gates.size()));
       if (Options.VerifyEach) {
         const circuit::CircuitLayout *Layout =
@@ -545,9 +603,13 @@ std::string renderMetricsJson(const CompilationResult &R) {
   obs::JsonWriter W;
   W.beginObject();
   W.kv("schema", "spire-metrics-v1");
-  W.kv("succeeded", R.succeeded());
+  // A resource-limit trip after the last stage (emission caps, the
+  // equivalence sweep) leaves Failed unset but is still not a success.
+  W.kv("succeeded", R.succeeded() && !R.LimitHit);
   if (R.Failed)
     W.kv("failed_stage", stageName(*R.Failed));
+  if (R.LimitHit)
+    W.kv("limit_hit", support::resourceLimitName(*R.LimitHit));
   W.kv("total_seconds", R.totalSeconds(), 9);
   W.kv("errors", static_cast<int64_t>(R.Diags.errorCount()));
   W.key("stages");

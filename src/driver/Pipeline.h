@@ -38,6 +38,7 @@
 #include "opt/Spire.h"
 #include "qopt/Passes.h"
 #include "support/Diagnostics.h"
+#include "support/Governor.h"
 
 #include <optional>
 #include <string>
@@ -89,11 +90,17 @@ const char *optimizerName(CircuitOptimizerKind Kind);
 /// configuration runs. When `VerifyDiags` is non-null the static
 /// circuit verifier runs after every pass application (decompose,
 /// cancel, fold) and reports violations there — the --verify-each
-/// hook; callers fail on VerifyDiags->hasErrors().
+/// hook; callers fail on VerifyDiags->hasErrors(). `FaultDiags` (when
+/// non-null) receives injected per-pass diag faults (see
+/// support/FaultInjector.h); the pipeline passes the run's engine so
+/// every pass is a named injection site, and callers likewise fail on
+/// new errors.
 circuit::Circuit applyCircuitOptimizer(const circuit::Circuit &MCXCircuit,
                                        CircuitOptimizerKind Kind,
                                        qopt::OptStats *Stats = nullptr,
                                        support::DiagnosticEngine *VerifyDiags =
+                                           nullptr,
+                                       support::DiagnosticEngine *FaultDiags =
                                            nullptr);
 
 /// Whether PipelineOptions::VerifyEach should default on: true when the
@@ -150,6 +157,15 @@ struct PipelineOptions {
   /// iterative, so exceeding either bound yields a diagnostic at the
   /// lower stage rather than a stack overflow.
   unsigned MaxInlineDepth = 100000;
+
+  /// Resource budgets for the run (wall-clock deadline, allocation
+  /// budget, gate/output caps; all 0 = unlimited). When any is set the
+  /// pipeline arms a support::Governor for the run — unless the caller
+  /// already installed one covering a larger scope (spirec arms one per
+  /// invocation / per batch entry) — and every worklist checkpoint
+  /// polls it. A tripped budget fails the current stage with a single
+  /// `resource-limit` diagnostic and records CompilationResult::LimitHit.
+  support::GovernorLimits Limits;
 
   /// Last stage to execute; later stages are skipped entirely. Lets
   /// lowering-only consumers avoid the Spire rewrite's program clone.
@@ -222,6 +238,10 @@ struct CompilationResult {
   std::vector<StageTiming> Stages;
   /// Set when a stage failed; later stages are skipped.
   std::optional<Stage> Failed;
+  /// Set when the failure was a tripped resource budget (the governor's
+  /// `resource-limit` diagnostic names it). Surfaces as the `limit_hit`
+  /// field of `--metrics-json` and drives spirec's exit code 2.
+  std::optional<support::ResourceLimit> LimitHit;
 
   /// Stage artifacts, present when the producing stage ran successfully.
   std::optional<ast::Program> AST;            ///< After typecheck.

@@ -8,6 +8,8 @@
 #include "obs/Trace.h"
 #include "sim/BitSliced.h"
 #include "sim/Simulator.h"
+#include "support/FaultInjector.h"
+#include "support/Governor.h"
 #include "support/Hash.h"
 
 #include <algorithm>
@@ -181,6 +183,13 @@ void runBitSlicedSweep(const Circuit &A, const Circuit &B,
   std::vector<uint64_t> InB(B.NumQubits), LB(B.NumQubits);
   uint64_t Rng = Opts.Seed;
   for (uint64_t Block = 0; Block != Blocks; ++Block) {
+    // Governor checkpoint per 64-state block: a tripped budget stops
+    // the sweep with the report still Equivalent=false/undetailed; the
+    // caller checks the governor before trusting any partial verdict.
+    if (!support::Governor::poll()) {
+      Report.Detail = "equivalence sweep stopped by resource limit";
+      return;
+    }
     if (Exhaustive)
       sim::loadCounterBlock(InA.data(), A.NumQubits,
                             Block * sim::LaneBits, Common);
@@ -241,6 +250,7 @@ void runBitSlicedSweep(const Circuit &A, const Circuit &B,
 
 EquivalenceReport checkEquivalence(const Circuit &A, const Circuit &B,
                                    const EquivalenceOptions &Opts) {
+  support::faultAlloc("equiv/check");
   EquivalenceReport Report;
   auto Start = std::chrono::steady_clock::now();
   // Sweep over the narrower circuit's wires; the wider one's extra

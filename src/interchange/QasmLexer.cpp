@@ -1,5 +1,7 @@
 #include "interchange/QasmLexer.h"
 
+#include "support/Governor.h"
+
 #include <cctype>
 #include <cstdlib>
 
@@ -63,6 +65,16 @@ bool QasmLexer::skipTrivia() {
 
 QasmToken QasmLexer::lex() {
   QasmToken T;
+  // Governor checkpoint in the token loop: a tripped budget turns the
+  // stream into an Invalid token with the resource-limit diagnostic
+  // attached, which stops the reader like any other lex error.
+  if (!support::Governor::poll()) {
+    if (auto *G = support::Governor::current())
+      G->report(Diags);
+    T.Kind = QasmTokenKind::Invalid;
+    T.Loc = support::SourceLoc{Line, Column};
+    return T;
+  }
   if (!skipTrivia()) {
     T.Kind = QasmTokenKind::Invalid;
     T.Loc = support::SourceLoc{Line, Column};
@@ -72,7 +84,16 @@ QasmToken QasmLexer::lex() {
   char C = current();
 
   if (C == '\0') {
-    T.Kind = QasmTokenKind::End;
+    // End-of-input only at the actual end of the buffer: an embedded
+    // NUL byte in the middle of the text would otherwise silently
+    // truncate the program (parse "everything before the NUL" and drop
+    // the rest), so it is diagnosed like any other stray byte.
+    if (Pos >= Text.size()) {
+      T.Kind = QasmTokenKind::End;
+      return T;
+    }
+    Diags.error(T.Loc, "NUL byte in input");
+    T.Kind = QasmTokenKind::Invalid;
     return T;
   }
 

@@ -1,6 +1,7 @@
 #include "interchange/QasmReader.h"
 
 #include "interchange/QasmLexer.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <map>
@@ -246,6 +247,14 @@ bool Reader::gateStatement() {
         if (!expect(QasmTokenKind::RParen, "')' after the control count"))
           return false;
       }
+      // The per-modifier count is bounded above, but a deep stack of
+      // ctrl(...) modifiers could still overflow the running total;
+      // cap the aggregate at the same bound.
+      if (ModifierControls > (1u << 24) - K) {
+        Diags.error(Mod.Loc, "too many controls across ctrl modifiers "
+                             "(limit 16777216)");
+        return false;
+      }
       ModifierControls += K;
     } else {
       Inverted = !Inverted;
@@ -362,6 +371,9 @@ std::optional<Circuit> Reader::run() {
 
 std::optional<Circuit> readQasm3(std::string_view Text,
                                  support::DiagnosticEngine &Diags) {
+  support::faultAlloc("read/qasm3");
+  if (support::faultDiag("read/qasm3", Diags))
+    return std::nullopt;
   return Reader(Text, Diags).run();
 }
 

@@ -1,5 +1,7 @@
 #include "interchange/QasmWriter.h"
 
+#include "support/Governor.h"
+
 namespace spire::interchange {
 
 using circuit::Circuit;
@@ -86,8 +88,17 @@ std::string writeQasm3(const Circuit &C,
   // header (and readQasm3 accepts a program with no declaration back).
   if (C.NumQubits != 0)
     Out += "qubit[" + std::to_string(C.NumQubits) + "] q;\n";
-  for (const Gate &G : C.Gates)
+  size_t GateIndex = 0;
+  for (const Gate &G : C.Gates) {
+    // Output-size checkpoint: stop emitting once the governor's output
+    // cap trips; callers check the governor before using the text.
+    if ((GateIndex++ & 1023) == 0) {
+      auto *Gov = support::Governor::current();
+      if (Gov && !Gov->checkOutputBytes(static_cast<int64_t>(Out.size())))
+        return Out;
+    }
     writeGate(Out, G);
+  }
   return Out;
 }
 

@@ -4,6 +4,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "sema/TypeChecker.h"
+#include "support/Governor.h"
 
 #include <cassert>
 #include <cstdio>
@@ -1121,6 +1122,11 @@ bool Lowerer::completeFrame() {
 
 bool Lowerer::runMachine() {
   while (!Frames.empty()) {
+    // Governor checkpoint: a tripped budget unwinds the machine cleanly
+    // (frames recycle on destruction); the driver's stage wrapper turns
+    // the bail-out into the resource-limit diagnostic.
+    if (!support::Governor::poll())
+      return false;
     Frame &F = *Frames.back();
     if (!F.Work && F.Next == F.Stmts->size()) {
       if (!completeFrame())

@@ -1,6 +1,7 @@
 #include "qopt/Passes.h"
 
 #include "circuit/Netlist.h"
+#include "support/Governor.h"
 #include "support/Hash.h"
 
 #include <algorithm>
@@ -93,13 +94,23 @@ public:
   int64_t run(OptStats *Stats) {
     int64_t TotalPairs = 0;
     bool Changed = true;
-    for (unsigned Pass = 0; Changed && Pass != Options.MaxRounds; ++Pass) {
+    bool Tripped = false;
+    for (unsigned Pass = 0; Changed && !Tripped && Pass != Options.MaxRounds;
+         ++Pass) {
       Changed = false;
       // Seed in reverse so the LIFO pops gates in circuit order.
       for (Netlist::NodeId Id = static_cast<Netlist::NodeId>(N.size());
            Id-- > 0;)
         enqueue(Id);
       while (!Work.empty()) {
+        // Governor checkpoint: bail out of the fixpoint early on a
+        // tripped budget. The netlist stays sound (cancellation only
+        // ever removes complete inverse pairs), so the partial result
+        // is a valid circuit; the stage wrapper reports the limit.
+        if (!support::Governor::poll()) {
+          Tripped = true;
+          break;
+        }
         Netlist::NodeId A = Work.back();
         Work.pop_back();
         Queued[A] = 0;
@@ -389,6 +400,11 @@ Circuit phaseFold(const Circuit &C, OptStats *Stats) {
   int64_t PhaseGatesIn = 0;
 
   for (size_t I = 0; I != C.Gates.size(); ++I) {
+    // Governor checkpoint: folding is a pure rewrite, so on a tripped
+    // budget the unmodified input is a sound early answer; the stage
+    // wrapper reports the limit and fails the run.
+    if (!support::Governor::poll())
+      return C;
     const Gate &G = C.Gates[I];
     if (G.isPhase() && G.Controls.empty()) {
       IsPhaseGate[I] = true;

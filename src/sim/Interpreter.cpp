@@ -1,5 +1,7 @@
 #include "sim/Interpreter.h"
 
+#include "support/Governor.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -139,6 +141,12 @@ bool Interpreter::execStmts(const CoreStmtList &Stmts, MachineState &State) {
   Stack.push_back({&Stmts, 0, false});
 
   while (!Stack.empty()) {
+    // Governor checkpoint: a tripped budget stops the simulation with
+    // an explicit error instead of running an unbounded program.
+    if (!support::Governor::poll()) {
+      Error = "simulation stopped by resource limit";
+      return false;
+    }
     Frame &F = Stack.back();
     if (F.Pos == F.List->size()) {
       Stack.pop_back();

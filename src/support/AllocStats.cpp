@@ -9,13 +9,20 @@
 namespace {
 
 std::atomic<int64_t> GAllocations{0};
+std::atomic<int64_t> GAllocatedBytes{0};
+
+void countAllocation(std::size_t Size) {
+  GAllocations.fetch_add(1, std::memory_order_relaxed);
+  GAllocatedBytes.fetch_add(static_cast<int64_t>(Size),
+                            std::memory_order_relaxed);
+}
 
 void *allocateCounted(std::size_t Size) {
   if (Size == 0)
     Size = 1;
   for (;;) {
     if (void *P = std::malloc(Size)) {
-      GAllocations.fetch_add(1, std::memory_order_relaxed);
+      countAllocation(Size);
       return P;
     }
     std::new_handler Handler = std::get_new_handler();
@@ -32,7 +39,7 @@ void *allocateCountedAligned(std::size_t Size, std::size_t Align) {
     void *P = nullptr;
     if (posix_memalign(&P, Align < sizeof(void *) ? sizeof(void *) : Align,
                        Size) == 0) {
-      GAllocations.fetch_add(1, std::memory_order_relaxed);
+      countAllocation(Size);
       return P;
     }
     std::new_handler Handler = std::get_new_handler();
@@ -48,6 +55,10 @@ namespace spire::support {
 
 int64_t allocationCount() {
   return GAllocations.load(std::memory_order_relaxed);
+}
+
+int64_t allocatedBytes() {
+  return GAllocatedBytes.load(std::memory_order_relaxed);
 }
 
 int64_t peakRSSKb() {
@@ -74,7 +85,7 @@ void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
     Size = 1;
   void *P = std::malloc(Size);
   if (P)
-    GAllocations.fetch_add(1, std::memory_order_relaxed);
+    countAllocation(Size);
   return P;
 }
 void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {

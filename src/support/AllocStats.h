@@ -26,6 +26,12 @@ namespace spire::support {
 /// Monotonic; subtract two samples to count a region's allocations.
 int64_t allocationCount();
 
+/// Total bytes requested from global operator new since process start.
+/// Monotonic (frees are not subtracted); subtract two samples to bound
+/// a region's allocation traffic. Feeds the Governor's allocation
+/// budget (`spirec --max-alloc-mb`).
+int64_t allocatedBytes();
+
 /// Peak resident set size of the process in KiB, from getrusage.
 /// Monotonic over the process lifetime; 0 when unavailable.
 int64_t peakRSSKb();

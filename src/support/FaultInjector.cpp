@@ -1,0 +1,223 @@
+#include "support/FaultInjector.h"
+
+#include "obs/Metrics.h"
+#include "support/Diagnostics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+namespace spire::support {
+
+namespace {
+
+struct InjectorState {
+  std::mutex Mu;
+  std::optional<FaultSpec> Active; // Guarded by Mu.
+  int64_t Arrivals = 0;            // Arrivals at Active->Site so far.
+  bool Fired = false;              // One-shot: never fires twice.
+  bool EnvChecked = false;         // SPIRE_FAULT parsed already.
+  std::atomic<bool> Armed{false};  // Fast-path flag.
+};
+
+InjectorState &state() {
+  static InjectorState S;
+  return S;
+}
+
+/// Parses SPIRE_FAULT on first use so CLI-driven tests need no
+/// in-process setup. Malformed specs are ignored (the matrix test arms
+/// programmatically and checks parse errors separately).
+void ensureEnvParsed(InjectorState &S) {
+  if (S.EnvChecked)
+    return;
+  S.EnvChecked = true;
+  const char *Env = std::getenv("SPIRE_FAULT");
+  if (!Env || !*Env)
+    return;
+  std::string Error;
+  if (std::optional<FaultSpec> Spec = parseFaultSpec(Env, Error)) {
+    S.Active = std::move(*Spec);
+    S.Armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+/// Returns true when the armed fault of kind \p K fires at \p Site.
+bool shouldFire(const char *Site, FaultKind K) {
+  InjectorState &S = state();
+  if (!S.Armed.load(std::memory_order_relaxed))
+    return false;
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (!S.Active || S.Fired || S.Active->Kind != K ||
+      S.Active->Site != Site)
+    return false;
+  if (S.Arrivals++ < S.Active->After)
+    return false;
+  S.Fired = true;
+  S.Armed.store(false, std::memory_order_relaxed);
+  ++obs::Registry::global().counter("fault.injected");
+  return true;
+}
+
+} // namespace
+
+const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Alloc:
+    return "alloc";
+  case FaultKind::Io:
+    return "io";
+  case FaultKind::Diag:
+    return "diag";
+  }
+  return "?";
+}
+
+std::optional<FaultSpec> parseFaultSpec(std::string_view Text,
+                                        std::string &Error) {
+  FaultSpec Spec;
+  bool HaveSite = false, HaveKind = false;
+  while (!Text.empty()) {
+    size_t Comma = Text.find(',');
+    std::string_view Field = Text.substr(0, Comma);
+    Text = Comma == std::string_view::npos ? std::string_view()
+                                           : Text.substr(Comma + 1);
+    size_t Eq = Field.find('=');
+    if (Eq == std::string_view::npos) {
+      Error = "expected key=value, got '" + std::string(Field) + "'";
+      return std::nullopt;
+    }
+    std::string_view Key = Field.substr(0, Eq);
+    std::string_view Value = Field.substr(Eq + 1);
+    if (Key == "site") {
+      Spec.Site = std::string(Value);
+      HaveSite = !Spec.Site.empty();
+    } else if (Key == "kind") {
+      if (Value == "alloc")
+        Spec.Kind = FaultKind::Alloc;
+      else if (Value == "io")
+        Spec.Kind = FaultKind::Io;
+      else if (Value == "diag")
+        Spec.Kind = FaultKind::Diag;
+      else {
+        Error = "unknown fault kind '" + std::string(Value) +
+                "' (expected alloc|io|diag)";
+        return std::nullopt;
+      }
+      HaveKind = true;
+    } else if (Key == "after") {
+      char *End = nullptr;
+      std::string V(Value);
+      long long N = std::strtoll(V.c_str(), &End, 10);
+      if (!End || *End != '\0' || N < 0) {
+        Error = "after= expects a non-negative integer, got '" + V + "'";
+        return std::nullopt;
+      }
+      Spec.After = N;
+    } else {
+      Error = "unknown fault field '" + std::string(Key) +
+              "' (expected site/kind/after)";
+      return std::nullopt;
+    }
+  }
+  if (!HaveSite || !HaveKind) {
+    Error = "fault spec needs site=<name> and kind=alloc|io|diag";
+    return std::nullopt;
+  }
+  return Spec;
+}
+
+void armFault(FaultSpec Spec) {
+  InjectorState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.EnvChecked = true; // Programmatic arming overrides the environment.
+  S.Active = std::move(Spec);
+  S.Arrivals = 0;
+  S.Fired = false;
+  S.Armed.store(true, std::memory_order_relaxed);
+}
+
+void disarmFault() {
+  InjectorState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.EnvChecked = true;
+  S.Active.reset();
+  S.Arrivals = 0;
+  S.Fired = false;
+  S.Armed.store(false, std::memory_order_relaxed);
+}
+
+bool faultArmed() {
+  InjectorState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  ensureEnvParsed(S);
+  return S.Armed.load(std::memory_order_relaxed);
+}
+
+void faultAlloc(const char *Site) {
+  {
+    InjectorState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ensureEnvParsed(S);
+  }
+  if (shouldFire(Site, FaultKind::Alloc))
+    throw std::bad_alloc();
+}
+
+bool faultDiag(const char *Site, DiagnosticEngine &Diags) {
+  {
+    InjectorState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ensureEnvParsed(S);
+  }
+  if (!shouldFire(Site, FaultKind::Diag))
+    return false;
+  Diags.error(std::string("injected fault at ") + Site);
+  return true;
+}
+
+bool faultIo(const char *Site) {
+  {
+    InjectorState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ensureEnvParsed(S);
+  }
+  return shouldFire(Site, FaultKind::Io);
+}
+
+const std::vector<FaultSite> &faultSiteCatalog() {
+  // Keep in sync with docs/robustness.md. Stage names match
+  // driver::stageName; pass names match the qopt span names.
+  static const std::vector<FaultSite> Catalog = {
+      // Pipeline stages (alloc unwinds, diag fails the stage).
+      {"parse", true, false, true},
+      {"typecheck", true, false, true},
+      {"lower", true, false, true},
+      {"spire-opt", true, false, true},
+      {"circuit-compile", true, false, true},
+      {"qopt", true, false, true},
+      {"legalize", true, false, true},
+      {"estimate", true, false, true},
+      // qopt passes (hooked inside the stage's runPass wrapper).
+      {"qopt/decompose-clifford+t", true, false, true},
+      {"qopt/decompose-toffoli", true, false, true},
+      {"qopt/cancel-standard", true, false, true},
+      {"qopt/cancel-peephole", true, false, true},
+      {"qopt/cancel-exhaustive", true, false, true},
+      {"qopt/phase-fold", true, false, true},
+      // Interchange readers.
+      {"read/qc", true, false, true},
+      {"read/qasm3", true, false, true},
+      // File I/O boundaries in spirec.
+      {"io/input", false, true, false},
+      {"write/output", true, true, false},
+      {"write/metrics", true, true, false},
+      {"write/trace", true, true, false},
+      // Equivalence checking.
+      {"equiv/check", true, false, true},
+  };
+  return Catalog;
+}
+
+} // namespace spire::support

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for robustness testing. A single fault
+/// spec can be armed process-wide — from the `SPIRE_FAULT` environment
+/// variable (`site=<name>,kind=alloc|io|diag[,after=N]`) or
+/// programmatically — and fires exactly once, on the (N+1)-th arrival at
+/// the named site:
+///
+///   - `alloc`: the site throws std::bad_alloc, exercising the same
+///     unwind a real allocation failure takes (caught at the stage
+///     wrapper / tool boundary, never escaping as a crash).
+///   - `diag`:  the site reports "injected fault at <site>" through its
+///     DiagnosticEngine and fails, exercising the error-propagation
+///     path.
+///   - `io`:    the site's file operation reports failure, exercising
+///     the atomic-write / unreadable-input paths.
+///
+/// Sites are string names registered in the catalog below: every
+/// pipeline stage (by `stageName`), every qopt pass (by its span name),
+/// both readers, the file emitters, and the equivalence checker. Hooks
+/// cost a single relaxed atomic load when nothing is armed, so they are
+/// free in production.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_FAULTINJECTOR_H
+#define SPIRE_SUPPORT_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spire::support {
+
+class DiagnosticEngine;
+
+enum class FaultKind : uint8_t { Alloc, Io, Diag };
+
+const char *faultKindName(FaultKind K);
+
+/// One armed fault: fire `Kind` at the (After+1)-th arrival at `Site`.
+struct FaultSpec {
+  std::string Site;
+  FaultKind Kind = FaultKind::Diag;
+  int64_t After = 0;
+};
+
+/// Parses a `site=<name>,kind=alloc|io|diag[,after=N]` spec. Returns
+/// nullopt and fills \p Error on malformed input.
+std::optional<FaultSpec> parseFaultSpec(std::string_view Text,
+                                        std::string &Error);
+
+/// Arms \p S process-wide, replacing any active spec (including one
+/// armed from the environment). For in-process tests.
+void armFault(FaultSpec S);
+
+/// Disarms any active fault (and suppresses future re-arming from the
+/// environment for this process).
+void disarmFault();
+
+/// True while a spec is armed and has not fired yet.
+bool faultArmed();
+
+/// Hook: throws std::bad_alloc when an armed `alloc` fault fires at
+/// \p Site. No-op otherwise.
+void faultAlloc(const char *Site);
+
+/// Hook: reports "injected fault at <site>" into \p Diags and returns
+/// true when an armed `diag` fault fires at \p Site.
+bool faultDiag(const char *Site, DiagnosticEngine &Diags);
+
+/// Hook: returns true (meaning: fail this I/O operation) when an armed
+/// `io` fault fires at \p Site.
+bool faultIo(const char *Site);
+
+/// One catalog entry: a site name plus the kinds that are meaningful to
+/// inject there (io only where a file operation exists, etc.).
+struct FaultSite {
+  const char *Name;
+  bool Alloc;
+  bool Io;
+  bool Diag;
+};
+
+/// Every registered injection site. The robustness matrix test iterates
+/// this; docs/robustness.md lists it.
+const std::vector<FaultSite> &faultSiteCatalog();
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_FAULTINJECTOR_H

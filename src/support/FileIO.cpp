@@ -1,0 +1,130 @@
+#include "support/FileIO.h"
+
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace spire::support {
+
+namespace {
+
+/// True when \p Path names an existing non-regular file (device, pipe,
+/// socket). rename(2) onto those would replace the special file with a
+/// regular one, so they take the direct-write path.
+bool isNonRegularDestination(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return false; // Missing: the rename will create a regular file.
+  return !S_ISREG(St.st_mode);
+}
+
+std::string tempPathFor(const std::string &Path) {
+  return Path + ".tmp." + std::to_string(::getpid());
+}
+
+bool writeDirect(const std::string &Path, std::string_view Contents,
+                 std::string &Error) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out.write(Contents.data(), static_cast<std::streamsize>(Contents.size()));
+  Out.flush();
+  if (!Out) {
+    Error = "write to " + Path + " failed";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Error,
+              const char *FaultSite) {
+  if (FaultSite && faultIo(FaultSite)) {
+    Error = "cannot read " + Path + " (injected fault at " + FaultSite + ")";
+    return false;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read " + Path;
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  if (In.bad()) {
+    Error = "read of " + Path + " failed";
+    return false;
+  }
+  Out = Buffer.str();
+  return true;
+}
+
+bool writeFileAtomic(const std::string &Path, std::string_view Contents,
+                     std::string &Error, const char *FaultSite) {
+  if (isNonRegularDestination(Path)) {
+    if (FaultSite && faultIo(FaultSite)) {
+      Error = "write to " + Path + " failed (injected fault at " +
+              FaultSite + ")";
+      return false;
+    }
+    return writeDirect(Path, Contents, Error);
+  }
+
+  const std::string Temp = tempPathFor(Path);
+  {
+    std::ofstream Out(Temp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Error = "cannot open " + Path + " for writing";
+      return false;
+    }
+    Out.write(Contents.data(), static_cast<std::streamsize>(Contents.size()));
+    Out.flush();
+    if (!Out) {
+      Error = "write to " + Path + " failed";
+      Out.close();
+      std::remove(Temp.c_str());
+      return false;
+    }
+  }
+  // The injected fault fires after the temp is staged but before the
+  // rename commits: the destination must remain untouched and the temp
+  // must not leak — exactly the torn-write scenario the tests pin.
+  if (FaultSite && faultIo(FaultSite)) {
+    std::remove(Temp.c_str());
+    Error = "write to " + Path + " failed (injected fault at " + FaultSite +
+            ")";
+    return false;
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    std::remove(Temp.c_str());
+    Error = "cannot move " + Temp + " into place as " + Path;
+    return false;
+  }
+  return true;
+}
+
+bool probeWritable(const std::string &Path, std::string &Error) {
+  struct stat St;
+  const bool Existed = ::stat(Path.c_str(), &St) == 0;
+  // Append mode creates a missing file without truncating an existing
+  // one, so the probe is non-destructive either way.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    if (!Out) {
+      Error = "cannot open " + Path + " for writing";
+      return false;
+    }
+  }
+  if (!Existed)
+    std::remove(Path.c_str());
+  return true;
+}
+
+} // namespace spire::support

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable file I/O for the tool layer. Every artifact spirec emits
+/// (`-o`, `--metrics-json`, `--trace-json`) goes through
+/// `writeFileAtomic`, which stages the bytes in a sibling temp file and
+/// renames it into place — an injected I/O fault, a full disk, or a
+/// mid-write kill can lose the artifact but can never leave a torn or
+/// truncated one. Destinations that are not regular files (`/dev/null`,
+/// pipes) are written directly, since rename(2) onto them would replace
+/// the special file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_FILEIO_H
+#define SPIRE_SUPPORT_FILEIO_H
+
+#include <string>
+#include <string_view>
+
+namespace spire::support {
+
+/// Reads the whole file at \p Path into \p Out. On failure returns
+/// false with a one-line reason in \p Error. \p FaultSite (when
+/// non-null) names the injection site checked before the read.
+bool readFile(const std::string &Path, std::string &Out, std::string &Error,
+              const char *FaultSite = nullptr);
+
+/// Writes \p Contents to \p Path atomically (temp file + rename; direct
+/// write for non-regular destinations). On failure returns false with a
+/// one-line reason in \p Error and leaves any existing destination
+/// untouched. \p FaultSite (when non-null) names the injection site
+/// checked before the rename commits.
+bool writeFileAtomic(const std::string &Path, std::string_view Contents,
+                     std::string &Error, const char *FaultSite = nullptr);
+
+/// Cheap writability probe for \p Path: verifies the destination (or a
+/// fresh file beside it) can be opened for writing, without truncating
+/// existing content. Lets spirec reject a bad output path up front
+/// (exit 2) before spending the compile.
+bool probeWritable(const std::string &Path, std::string &Error);
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_FILEIO_H

@@ -1,0 +1,141 @@
+#include "support/Governor.h"
+
+#include "support/AllocStats.h"
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+
+namespace spire::support {
+
+thread_local Governor *Governor::Current = nullptr;
+
+const char *resourceLimitName(ResourceLimit L) {
+  switch (L) {
+  case ResourceLimit::None:
+    return "none";
+  case ResourceLimit::Deadline:
+    return "deadline";
+  case ResourceLimit::AllocBytes:
+    return "alloc-bytes";
+  case ResourceLimit::Gates:
+    return "gates";
+  case ResourceLimit::OutputBytes:
+    return "output-bytes";
+  }
+  return "none";
+}
+
+Governor::Governor(const GovernorLimits &L) : Limits(L), Armed(L.any()) {
+  if (!Armed)
+    return;
+  BaselineAllocBytes = allocatedBytes();
+  Start = std::chrono::steady_clock::now();
+  auto &Reg = obs::Registry::global();
+  Checks = Reg.counter("governor.checks");
+  LimitHits = Reg.counter("governor.limit_hits");
+}
+
+void Governor::trip(ResourceLimit L) {
+  if (Hit != ResourceLimit::None)
+    return;
+  Hit = L;
+  TrippedAt = std::chrono::steady_clock::now();
+  TrippedAllocBytes = allocatedBytes() - BaselineAllocBytes;
+  ++LimitHits;
+}
+
+bool Governor::checkNow() {
+  if (Hit != ResourceLimit::None)
+    return false;
+  if (!Armed)
+    return true;
+  ++Checks;
+  if (Limits.TimeoutMs > 0) {
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    if (Elapsed > Limits.TimeoutMs) {
+      trip(ResourceLimit::Deadline);
+      return false;
+    }
+  }
+  if (Limits.MaxAllocBytes > 0 &&
+      allocatedBytes() - BaselineAllocBytes > Limits.MaxAllocBytes) {
+    trip(ResourceLimit::AllocBytes);
+    return false;
+  }
+  return true;
+}
+
+bool Governor::checkGates(int64_t Gates) {
+  if (Hit != ResourceLimit::None)
+    return false;
+  if (Armed && Limits.MaxGates > 0 && Gates > Limits.MaxGates) {
+    TrippedGates = Gates;
+    trip(ResourceLimit::Gates);
+    return false;
+  }
+  return true;
+}
+
+bool Governor::checkOutputBytes(int64_t Bytes) {
+  if (Hit != ResourceLimit::None)
+    return false;
+  if (Armed && Limits.MaxOutputBytes > 0 && Bytes > Limits.MaxOutputBytes) {
+    TrippedOutputBytes = Bytes;
+    trip(ResourceLimit::OutputBytes);
+    return false;
+  }
+  return true;
+}
+
+std::string Governor::describe() const {
+  if (Hit == ResourceLimit::None)
+    return "";
+  char Buf[160];
+  switch (Hit) {
+  case ResourceLimit::Deadline: {
+    auto Ran = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   TrippedAt - Start)
+                   .count();
+    std::snprintf(Buf, sizeof(Buf),
+                  "wall-clock budget of %lld ms exceeded (ran %lld ms)",
+                  static_cast<long long>(Limits.TimeoutMs),
+                  static_cast<long long>(Ran));
+    break;
+  }
+  case ResourceLimit::AllocBytes:
+    std::snprintf(Buf, sizeof(Buf),
+                  "allocation budget of %lld MiB exceeded (allocated "
+                  "%lld MiB)",
+                  static_cast<long long>(Limits.MaxAllocBytes >> 20),
+                  static_cast<long long>(TrippedAllocBytes >> 20));
+    break;
+  case ResourceLimit::Gates:
+    std::snprintf(Buf, sizeof(Buf),
+                  "gate cap of %lld exceeded (circuit reached %lld gates)",
+                  static_cast<long long>(Limits.MaxGates),
+                  static_cast<long long>(TrippedGates));
+    break;
+  case ResourceLimit::OutputBytes:
+    std::snprintf(Buf, sizeof(Buf),
+                  "output cap of %lld bytes exceeded (artifact reached "
+                  "%lld bytes)",
+                  static_cast<long long>(Limits.MaxOutputBytes),
+                  static_cast<long long>(TrippedOutputBytes));
+    break;
+  case ResourceLimit::None:
+    Buf[0] = '\0';
+    break;
+  }
+  return Buf;
+}
+
+void Governor::report(DiagnosticEngine &Diags) {
+  if (Hit == ResourceLimit::None || Reported)
+    return;
+  Reported = true;
+  Diags.error("resource-limit: " + describe());
+}
+
+} // namespace spire::support

@@ -1,0 +1,172 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative resource governor: a cancellation/budget token carried in
+/// `driver::PipelineOptions` and polled at every worklist checkpoint
+/// (lowerer frames, qopt worklist pops, parity-matrix rows, bit-sliced
+/// sweep blocks, reader token loops). When a budget is exceeded the
+/// governor trips once and stays tripped; the checkpoint unwinds its
+/// stage cleanly and the driver reports a single `resource-limit`
+/// diagnostic (spirec exit code 2, `--metrics-json` still written with
+/// `succeeded:false` and a `limit_hit` field).
+///
+/// Cost model: checkpoints call the static `Governor::poll()`, which is
+/// one thread_local load plus a null check when no governor is
+/// installed — unmeasurable on the compile path (the ≤ 2% bar on
+/// BENCH_pipeline.json). With a governor armed, the deadline/allocation
+/// probes run only every `CheckStride` polls; gate/output caps are
+/// plain integer compares charged explicitly by the stages that grow
+/// artifacts.
+///
+/// Installation is scoped and thread-local: `GovernorScope` saves and
+/// restores the active governor RAII-style, so batch mode arms a fresh
+/// budget per input and nested pipelines (equivalence checking compiles
+/// too) share the outermost token.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_SUPPORT_GOVERNOR_H
+#define SPIRE_SUPPORT_GOVERNOR_H
+
+#include "obs/Metrics.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace spire::support {
+
+class DiagnosticEngine;
+
+/// Which budget a tripped governor ran out of.
+enum class ResourceLimit : uint8_t {
+  None,
+  Deadline,    ///< --timeout-ms wall-clock budget.
+  AllocBytes,  ///< --max-alloc-mb heap-traffic budget.
+  Gates,       ///< --max-gates circuit-size cap.
+  OutputBytes, ///< emitted-artifact size cap.
+};
+
+/// Stable lowercase name for \p L ("deadline", "alloc-bytes", "gates",
+/// "output-bytes"); used in diagnostics and the metrics `limit_hit`
+/// field.
+const char *resourceLimitName(ResourceLimit L);
+
+/// The budgets a governor enforces. All default to 0 = unlimited.
+struct GovernorLimits {
+  int64_t TimeoutMs = 0;
+  int64_t MaxAllocBytes = 0;
+  int64_t MaxGates = 0;
+  int64_t MaxOutputBytes = 0;
+
+  bool any() const {
+    return TimeoutMs > 0 || MaxAllocBytes > 0 || MaxGates > 0 ||
+           MaxOutputBytes > 0;
+  }
+};
+
+class Governor {
+public:
+  Governor() = default;
+  /// Arms the governor: snapshots the allocation baseline and starts the
+  /// deadline clock. A default (all-zero) \p L yields a disarmed
+  /// governor that never trips.
+  explicit Governor(const GovernorLimits &L);
+
+  bool enabled() const { return Armed; }
+  bool exceeded() const { return Hit != ResourceLimit::None; }
+  ResourceLimit limit() const { return Hit; }
+
+  /// Human description of the tripped budget, e.g.
+  /// "wall-clock budget of 100 ms exceeded (ran 234 ms)". Empty when not
+  /// tripped.
+  std::string describe() const;
+
+  /// Reports `resource-limit: <describe>` into \p Diags once; repeat
+  /// calls (the checkpoint that tripped plus the stage wrapper) are
+  /// no-ops so the user sees a single error.
+  void report(DiagnosticEngine &Diags);
+
+  /// Checkpoint probe for the installed governor's owner: returns false
+  /// once any budget is exceeded. Deadline/allocation probes run every
+  /// `CheckStride` calls; in between this is two loads and a mask.
+  bool check() {
+    if (Hit != ResourceLimit::None)
+      return false;
+    if (!Armed || (++Polls & (CheckStride - 1)) != 0)
+      return true;
+    return checkNow();
+  }
+
+  /// Immediate (unstrided) deadline + allocation probe.
+  bool checkNow();
+
+  /// Charges a circuit of \p Gates gates against the gate cap. Immediate
+  /// compare; call after any step that grows a circuit.
+  bool checkGates(int64_t Gates);
+
+  /// Charges an artifact of \p Bytes bytes against the output-size cap.
+  bool checkOutputBytes(int64_t Bytes);
+
+  /// The governor installed for this thread, or null.
+  static Governor *current() { return Current; }
+
+  /// Static checkpoint used by library worklists: true = keep going.
+  /// A single thread_local load when no governor is installed.
+  static bool poll() {
+    Governor *G = Current;
+    return !G || G->check();
+  }
+
+  /// Static gate-cap checkpoint for readers/passes that grow circuits.
+  static bool pollGates(int64_t Gates) {
+    Governor *G = Current;
+    return !G || G->checkGates(Gates);
+  }
+
+private:
+  friend class GovernorScope;
+
+  /// Probe stride for check(); power of two. At ~100 ns per worklist
+  /// step this bounds deadline overshoot to well under a millisecond.
+  static constexpr uint64_t CheckStride = 1024;
+
+  static thread_local Governor *Current;
+
+  void trip(ResourceLimit L);
+
+  GovernorLimits Limits;
+  bool Armed = false;
+  bool Reported = false;
+  ResourceLimit Hit = ResourceLimit::None;
+  uint64_t Polls = 0;
+  int64_t BaselineAllocBytes = 0;
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::steady_clock::time_point TrippedAt;
+  int64_t TrippedAllocBytes = 0;
+  int64_t TrippedGates = 0;
+  int64_t TrippedOutputBytes = 0;
+  obs::Registry::Counter Checks;    ///< governor.checks
+  obs::Registry::Counter LimitHits; ///< governor.limit_hits
+};
+
+/// RAII installer: makes \p G (when armed) the thread's current governor
+/// and restores the previous one on destruction. Passing a null or
+/// disarmed governor leaves the surrounding installation in place.
+class GovernorScope {
+public:
+  explicit GovernorScope(Governor *G) : Prev(Governor::Current) {
+    if (G && G->enabled())
+      Governor::Current = G;
+  }
+  GovernorScope(const GovernorScope &) = delete;
+  GovernorScope &operator=(const GovernorScope &) = delete;
+  ~GovernorScope() { Governor::Current = Prev; }
+
+private:
+  Governor *Prev;
+};
+
+} // namespace spire::support
+
+#endif // SPIRE_SUPPORT_GOVERNOR_H

@@ -1,0 +1,4 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[3] q;
+ctrl(16777215) @ ctrl(16777215) @ x q[0], q[1], q[2];

@@ -1,0 +1,4 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+qubit[99999999999999999999999999] q;
+x q[0];

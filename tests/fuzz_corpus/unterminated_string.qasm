@@ -1,0 +1,4 @@
+OPENQASM 3.0;
+include "stdgates.inc
+qubit[2] q;
+x q[0];

@@ -9,6 +9,7 @@
 /// Usage:
 ///   spirec <file.tower> --entry <fun> [--size N] [options]
 ///   spirec --qc-in <file.qc> | --qasm-in <file.qasm> [options]
+///   spirec --batch <list> [options]
 ///
 /// Modes (combinable):
 ///   --report              print the cost-model analysis (MCX- and
@@ -73,8 +74,29 @@
 ///                         peephole | rotation | cliffordt-cancel |
 ///                         toffoli-cancel | exhaustive
 ///
-/// Exit status: 0 on success, 1 on a compile, runtime, or equivalence
-/// error, 2 on a command-line error (always with a diagnostic on stderr).
+/// Resource governor (docs/robustness.md):
+///   --timeout-ms N        wall-clock budget for the whole invocation
+///   --max-alloc-mb N      heap-traffic budget (bytes requested from the
+///                         counting allocator, frees not subtracted)
+///   --max-gates N         cap on the size any circuit may reach
+///   --max-output-mb N     cap on an emitted artifact's size
+/// A tripped budget stops the compile cleanly with a `resource-limit`
+/// diagnostic and exit code 2; --metrics-json is still written with
+/// `succeeded: false` and a `limit_hit` field.
+///
+/// Batch mode:
+///   --batch <list>        compile every input named in <list> (one path
+///                         per line, `#` comments) in a single process
+///                         with per-input failure isolation; prints one
+///                         summary line per input and exits 0 only when
+///                         every input succeeded. Exclusive with a single
+///                         input and the emit/check/run modes; the shared
+///                         flags (--entry, --basis, --circuit-opt, the
+///                         governor budgets) apply to every input.
+///
+/// Exit status: 0 on success, 1 on a compile, runtime, equivalence, or
+/// batch error, 2 on a command-line error, an unwritable artifact, or a
+/// resource-limit trip (always with a diagnostic on stderr).
 /// docs/cli.md documents every flag and mode; keep the two in sync.
 ///
 //===----------------------------------------------------------------------===//
@@ -82,16 +104,23 @@
 #include "analysis/Analysis.h"
 #include "driver/Pipeline.h"
 #include "interchange/Interchange.h"
+#include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "sim/Interpreter.h"
+#include "support/FaultInjector.h"
+#include "support/FileIO.h"
+#include "support/Governor.h"
 #include "support/Symbol.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <limits>
+#include <new>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -121,6 +150,7 @@ struct Options {
   std::string CircuitOpt;
   std::string TraceJsonPath;   ///< --trace-json output path.
   std::string MetricsJsonPath; ///< --metrics-json output path.
+  std::string BatchPath;       ///< --batch input-list path.
   driver::PipelineOptions Pipeline;
 };
 
@@ -128,6 +158,7 @@ struct Options {
 const char UsageText[] =
     "usage: spirec <file.tower> --entry <fun> [--size N] [options]\n"
     "       spirec --qc-in <file.qc> | --qasm-in <file.qasm> [options]\n"
+    "       spirec --batch <list> [options]\n"
     "\n"
     "modes (combinable):\n"
     "  --report                  print the cost-model analysis before and\n"
@@ -190,11 +221,20 @@ const char UsageText[] =
     "                            instead of compiling a Tower program\n"
     "  --qasm-in <file.qasm>     circuit-in mode: load an OpenQASM 3\n"
     "                            circuit (see docs/formats.md)\n"
+    "  --batch <list>            compile every input named in <list> (one\n"
+    "                            path per line, # comments) with per-input\n"
+    "                            failure isolation; exit 0 only when every\n"
+    "                            input succeeds\n"
+    "  --timeout-ms N            wall-clock budget; exceeding it stops the\n"
+    "                            compile with a resource-limit error\n"
+    "  --max-alloc-mb N          heap-traffic budget in MiB\n"
+    "  --max-gates N             cap on the size any circuit may reach\n"
+    "  --max-output-mb N         cap on an emitted artifact's size in MiB\n"
     "  --help, -h                print this help and exit\n"
     "\n"
-    "exit status: 0 on success, 1 on a compile, runtime, or equivalence\n"
-    "error, 2 on a command-line error (always with a diagnostic on "
-    "stderr).\n";
+    "exit status: 0 on success, 1 on a compile, runtime, equivalence, or\n"
+    "batch error, 2 on a command-line error, an unwritable artifact, or a\n"
+    "resource-limit trip (always with a diagnostic on stderr).\n";
 
 [[noreturn]] void usageError(const char *Message) {
   std::fprintf(stderr, "spirec: error: %s\n", Message);
@@ -207,6 +247,18 @@ int64_t parseInt(const char *Text, const char *What) {
   long long Value = std::strtoll(Text, &End, 10);
   if (End == Text || *End != '\0') {
     std::string Message = std::string("invalid integer for ") + What;
+    usageError(Message.c_str());
+  }
+  return Value;
+}
+
+/// Governor budgets must be positive (0 would mean "trip immediately",
+/// which nobody wants spelled that way; leave a budget off to disable
+/// it).
+int64_t parsePositiveInt(const char *Text, const char *What) {
+  int64_t Value = parseInt(Text, What);
+  if (Value <= 0) {
+    std::string Message = std::string(What) + " must be positive";
     usageError(Message.c_str());
   }
   return Value;
@@ -341,6 +393,20 @@ Options parseArgs(int Argc, char **Argv) {
       QcInPath = next("--qc-in");
     else if (Arg == "--qasm-in")
       QasmInPath = next("--qasm-in");
+    else if (Arg == "--batch")
+      Opts.BatchPath = next("--batch");
+    else if (Arg == "--timeout-ms")
+      Opts.Pipeline.Limits.TimeoutMs =
+          parsePositiveInt(next("--timeout-ms"), "--timeout-ms");
+    else if (Arg == "--max-alloc-mb")
+      Opts.Pipeline.Limits.MaxAllocBytes =
+          parsePositiveInt(next("--max-alloc-mb"), "--max-alloc-mb") << 20;
+    else if (Arg == "--max-gates")
+      Opts.Pipeline.Limits.MaxGates =
+          parsePositiveInt(next("--max-gates"), "--max-gates");
+    else if (Arg == "--max-output-mb")
+      Opts.Pipeline.Limits.MaxOutputBytes =
+          parsePositiveInt(next("--max-output-mb"), "--max-output-mb") << 20;
     else if (!Arg.empty() && Arg[0] == '-')
       usageError((std::string("unknown option ") + Arg).c_str());
     else if (Opts.InputPath.empty())
@@ -351,7 +417,20 @@ Options parseArgs(int Argc, char **Argv) {
 
   if (!QcInPath.empty() && !QasmInPath.empty())
     usageError("--qc-in and --qasm-in are mutually exclusive");
-  if (!QcInPath.empty() || !QasmInPath.empty()) {
+  if (!Opts.BatchPath.empty()) {
+    // Batch mode shares the compile configuration (--entry, --basis,
+    // --circuit-opt, the governor budgets) across inputs but has no
+    // single-input modes: nothing sensible interleaves N circuits on
+    // one stdout or compares them against one reference.
+    if (!Opts.InputPath.empty() || !QcInPath.empty() || !QasmInPath.empty())
+      usageError("--batch is exclusive with a single input");
+    if (!EmitSpec.empty() || !Opts.OutputPath.empty() ||
+        !Opts.CheckEquivPath.empty() || Opts.RunInputs || Opts.Report ||
+        Opts.DumpIR || Opts.Analyze)
+      usageError("--batch supports only the shared compile flags, not "
+                 "--emit/-o/--check-equiv/--run/--report/--dump-ir/"
+                 "--analyze");
+  } else if (!QcInPath.empty() || !QasmInPath.empty()) {
     if (!Opts.InputPath.empty() || !Opts.Pipeline.Entry.empty())
       usageError("circuit-in mode (--qc-in / --qasm-in) is exclusive "
                  "with a Tower input file");
@@ -389,9 +468,11 @@ Options parseArgs(int Argc, char **Argv) {
     usageError("unknown --circuit-opt name");
 
   // Emission happens in circuit-in mode, under --emit, or when --basis
-  // asked for a legalized circuit (default format: qc).
-  Opts.WantEmit = Opts.Pipeline.Input == driver::InputKind::Circuit ||
-                  !EmitSpec.empty() || !BasisName.empty();
+  // asked for a legalized circuit (default format: qc). Batch mode
+  // never emits.
+  Opts.WantEmit = Opts.BatchPath.empty() &&
+                  (Opts.Pipeline.Input == driver::InputKind::Circuit ||
+                   !EmitSpec.empty() || !BasisName.empty());
   return Opts;
 }
 
@@ -414,30 +495,30 @@ parseRunInputs(const std::string &Text) {
 }
 
 void writeOutput(const Options &Opts, const std::string &Text) {
+  support::faultAlloc("write/output");
   if (Opts.OutputPath.empty()) {
     std::fputs(Text.c_str(), stdout);
     return;
   }
-  std::ofstream Out(Opts.OutputPath);
-  if (!Out) {
+  std::string Error;
+  if (!support::writeFileAtomic(Opts.OutputPath, Text, Error,
+                                "write/output")) {
     // A bad -o path is a command-line error, like an unreadable input.
-    std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
-                 Opts.OutputPath.c_str());
+    // The atomic write means a failure here leaves no torn file behind.
+    std::fprintf(stderr, "spirec: error: %s\n", Error.c_str());
     std::exit(2);
   }
-  Out << Text;
 }
 
-/// Reads a whole file, or exits 2 (missing inputs are CLI errors).
+/// Reads a whole file, or exits 2 (missing inputs are CLI errors). Input
+/// reads are the `io/input` fault-injection site.
 std::string readFileOrDie(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "spirec: error: cannot read %s\n", Path.c_str());
+  std::string Text, Error;
+  if (!support::readFile(Path, Text, Error, "io/input")) {
+    std::fprintf(stderr, "spirec: error: %s\n", Error.c_str());
     std::exit(2);
   }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  return Buffer.str();
+  return Text;
 }
 
 /// --check-equiv: compares the run's final circuit against the circuit
@@ -448,6 +529,14 @@ std::string readFileOrDie(const std::string &Path) {
 int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
                      unsigned Samples, bool SamplesExplicit, bool Timings,
                      bool CrossCheck) {
+  // Diag-kind injection site; the alloc kind fires inside
+  // interchange::checkEquivalence itself.
+  support::DiagnosticEngine FaultDiags;
+  if (support::faultDiag("equiv/check", FaultDiags)) {
+    std::fprintf(stderr, "%s", FaultDiags.str().c_str());
+    std::fprintf(stderr, "spirec: error: equivalence check failed\n");
+    return 1;
+  }
   std::string Text = readFileOrDie(Path);
   support::DiagnosticEngine Diags;
   std::optional<circuit::Circuit> Other = interchange::readCircuit(
@@ -496,6 +585,14 @@ int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
                  Report.Seconds, StatesPerSec);
   }
   if (!Report.Equivalent) {
+    // A governor trip mid-sweep leaves the check unfinished, not
+    // failed: report the budget, not a bogus inequivalence.
+    if (auto *G = support::Governor::current(); G && G->exceeded()) {
+      support::DiagnosticEngine GovDiags;
+      G->report(GovDiags);
+      std::fprintf(stderr, "%s", GovDiags.str().c_str());
+      return 2;
+    }
     std::fprintf(stderr,
                  "spirec: error: circuits are NOT equivalent (%s)\n",
                  Report.Detail.c_str());
@@ -674,8 +771,16 @@ int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
   }
 
   // -- Emit the final circuit and check equivalence. -----------------------
-  if (Opts.WantEmit)
-    writeOutput(Opts, Pipeline.renderFinalCircuit(R));
+  if (Opts.WantEmit) {
+    std::string Text = Pipeline.renderFinalCircuit(R);
+    // The writers stop growing the text when the governor's output cap
+    // trips; never ship the truncated artifact (main reports the limit).
+    if (auto *G = support::Governor::current(); G && G->exceeded()) {
+      R.LimitHit = G->limit();
+      return 2;
+    }
+    writeOutput(Opts, Text);
+  }
   if (!Opts.CheckEquivPath.empty()) {
     const circuit::Circuit *Final = R.finalCircuit();
     if (!Final)
@@ -688,44 +793,251 @@ int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
   return 0;
 }
 
+// -- Batch mode. -----------------------------------------------------------
+
+/// One --batch entry's outcome, for the summary lines and the
+/// spire-batch-v1 metrics report.
+struct BatchOutcome {
+  std::string Path;
+  bool OK = false;
+  std::string Detail;   ///< First error line when not OK.
+  std::string LimitHit; ///< resourceLimitName when a budget tripped.
+  double Seconds = 0;
+};
+
+std::string firstLine(const std::string &Text) {
+  size_t NL = Text.find('\n');
+  return NL == std::string::npos ? Text : Text.substr(0, NL);
+}
+
+/// Input kind for a batch entry, by extension: .qc and .qasm/.qasm3 are
+/// circuits, everything else compiles as a Tower program.
+driver::InputKind batchInputKind(const std::string &Path,
+                                 interchange::Format &Format) {
+  size_t Dot = Path.rfind('.');
+  std::string Ext = Dot == std::string::npos ? "" : Path.substr(Dot + 1);
+  if (Ext == "qc") {
+    Format = interchange::Format::Qc;
+    return driver::InputKind::Circuit;
+  }
+  if (Ext == "qasm" || Ext == "qasm3") {
+    Format = interchange::Format::Qasm3;
+    return driver::InputKind::Circuit;
+  }
+  return driver::InputKind::Tower;
+}
+
+/// Compiles one batch entry under its own governor and catch wall.
+/// Failures (including injected faults and real OOM) stay inside the
+/// entry: this is the per-request isolation contract the future daemon
+/// mode inherits.
+BatchOutcome runBatchEntry(const Options &Opts, const std::string &Path) {
+  BatchOutcome Out;
+  Out.Path = Path;
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    driver::PipelineOptions Pipe = Opts.Pipeline;
+    Pipe.Input = batchInputKind(Path, Pipe.InputFormat);
+    Pipe.AnalyzeCost = false;
+    Pipe.BuildCircuit = true;
+    if (!Opts.CircuitOpt.empty())
+      Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
+    std::string Source, Error;
+    if (Pipe.Input == driver::InputKind::Tower && Pipe.Entry.empty()) {
+      Out.Detail = "--entry is required for Tower inputs";
+    } else if (!support::readFile(Path, Source, Error, "io/input")) {
+      Out.Detail = Error;
+    } else {
+      // A fresh budget per input: one runaway entry trips its own
+      // governor and the next entry starts with full budgets again.
+      support::Governor Gov(Pipe.Limits);
+      support::GovernorScope GovScope(&Gov);
+      driver::CompilationPipeline Pipeline(Pipe);
+      driver::CompilationResult R = Pipeline.run(Source);
+      if (Gov.exceeded() && !R.LimitHit)
+        R.LimitHit = Gov.limit();
+      if (R.LimitHit)
+        Out.LimitHit = support::resourceLimitName(*R.LimitHit);
+      if (R.succeeded() && !R.LimitHit) {
+        Out.OK = true;
+      } else {
+        Out.Detail = firstLine(R.Diags.str());
+        if (Out.Detail.empty())
+          Out.Detail = "compilation failed";
+      }
+    }
+  } catch (const std::bad_alloc &) {
+    Out.Detail = "out of memory";
+  } catch (const std::exception &E) {
+    Out.Detail = std::string("internal error: ") + E.what();
+  }
+  Out.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+/// Runs every input named in the --batch list. Returns the process exit
+/// code: 0 only when every input compiled.
+int runBatch(const Options &Opts, std::vector<BatchOutcome> &Outcomes) {
+  std::string ListText = readFileOrDie(Opts.BatchPath);
+  std::vector<std::string> Paths;
+  std::stringstream Lines(ListText);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(B, E - B + 1);
+    if (Line[0] == '#')
+      continue;
+    Paths.push_back(Line);
+  }
+  if (Paths.empty())
+    usageError("--batch list names no inputs");
+
+  size_t Succeeded = 0;
+  for (const std::string &Path : Paths) {
+    BatchOutcome Out = runBatchEntry(Opts, Path);
+    if (Out.OK) {
+      ++Succeeded;
+      std::printf("spirec: batch: ok     %s (%.3f s)\n", Path.c_str(),
+                  Out.Seconds);
+    } else {
+      std::printf("spirec: batch: FAILED %s (%s)\n", Path.c_str(),
+                  Out.Detail.c_str());
+    }
+    Outcomes.push_back(std::move(Out));
+  }
+  std::printf("spirec: batch: %zu/%zu inputs succeeded\n", Succeeded,
+              Paths.size());
+  return Succeeded == Paths.size() ? 0 : 1;
+}
+
+/// spire-batch-v1: per-input outcomes plus the process-wide metrics
+/// registry (which accumulates across entries).
+std::string renderBatchMetricsJson(const std::vector<BatchOutcome> &Outcomes) {
+  obs::publishProcessMetrics();
+  size_t OK = 0;
+  for (const BatchOutcome &O : Outcomes)
+    OK += O.OK ? 1 : 0;
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "spire-batch-v1");
+  W.kv("succeeded", OK == Outcomes.size());
+  W.kv("inputs_total", static_cast<uint64_t>(Outcomes.size()));
+  W.kv("inputs_succeeded", static_cast<uint64_t>(OK));
+  W.key("inputs");
+  W.beginArray();
+  for (const BatchOutcome &O : Outcomes) {
+    W.beginObject();
+    W.kv("path", O.Path);
+    W.kv("succeeded", O.OK);
+    if (!O.LimitHit.empty())
+      W.kv("limit_hit", O.LimitHit);
+    if (!O.Detail.empty())
+      W.kv("error", O.Detail);
+    W.kv("seconds", O.Seconds, 6);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("metrics");
+  obs::writeMetricsObject(W, obs::Registry::global().snapshot());
+  W.endObject();
+  return W.take();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options Opts = parseArgs(Argc, Argv);
 
-  // Open the observability outputs eagerly: a bad --trace-json or
-  // --metrics-json path is a command-line error (exit 2) before any
-  // compile work starts, like a bad -o path.
-  std::ofstream TraceOut, MetricsOut;
+  // A bad --trace-json or --metrics-json path is still a command-line
+  // error (exit 2) before any compile work starts, like a bad -o path;
+  // the probe replaces the old eager open so the artifacts themselves
+  // can be staged atomically after the run.
+  std::string ProbeError;
   if (!Opts.TraceJsonPath.empty()) {
-    TraceOut.open(Opts.TraceJsonPath);
-    if (!TraceOut) {
-      std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
-                   Opts.TraceJsonPath.c_str());
+    if (!support::probeWritable(Opts.TraceJsonPath, ProbeError)) {
+      std::fprintf(stderr, "spirec: error: %s\n", ProbeError.c_str());
       return 2;
     }
     obs::Tracer::global().enable();
   }
-  if (!Opts.MetricsJsonPath.empty()) {
-    MetricsOut.open(Opts.MetricsJsonPath);
-    if (!MetricsOut) {
-      std::fprintf(stderr, "spirec: error: cannot open %s for writing\n",
-                   Opts.MetricsJsonPath.c_str());
-      return 2;
-    }
+  if (!Opts.MetricsJsonPath.empty() &&
+      !support::probeWritable(Opts.MetricsJsonPath, ProbeError)) {
+    std::fprintf(stderr, "spirec: error: %s\n", ProbeError.c_str());
+    return 2;
   }
 
   driver::CompilationResult R;
-  int Code = runCompilerModes(Opts, R);
+  std::vector<BatchOutcome> Batch;
+  int Code = 0;
+  if (!Opts.BatchPath.empty()) {
+    Code = runBatch(Opts, Batch);
+  } else {
+    // One governor covers the whole invocation — pipeline, modes,
+    // equivalence check, emission. The pipeline sees it installed and
+    // shares it instead of arming its own.
+    support::Governor Gov(Opts.Pipeline.Limits);
+    support::GovernorScope GovScope(&Gov);
+    try {
+      Code = runCompilerModes(Opts, R);
+    } catch (const std::bad_alloc &) {
+      // Backstop for allocation failures outside the stage wrappers
+      // (equivalence checking, emission, injected write/* faults).
+      std::fprintf(stderr, "spirec: error: out of memory\n");
+      Code = 1;
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "spirec: error: internal error: %s\n", E.what());
+      Code = 1;
+    }
+    if (Gov.exceeded()) {
+      if (!R.LimitHit)
+        R.LimitHit = Gov.limit();
+      // One-shot: silent when a checkpoint already reported the trip.
+      support::DiagnosticEngine GovDiags;
+      Gov.report(GovDiags);
+      std::fprintf(stderr, "%s", GovDiags.str().c_str());
+    }
+    if (R.LimitHit)
+      Code = 2; // Resource-limit trips exit 2; metrics still written.
+  }
 
   // Dump after all modes so the artifacts cover the entire invocation —
   // including failed compiles (a trace of the failure is exactly what
-  // the flag is for).
-  if (TraceOut.is_open()) {
-    TraceOut << obs::Tracer::global().chromeTraceJson() << '\n';
-    obs::Tracer::global().disable();
+  // the flag is for). Atomic writes: a fault here loses the artifact
+  // but never leaves a torn one.
+  auto dumpArtifact = [&Code](const std::string &Path, const char *Site,
+                              std::string Json) {
+    if (Path.empty())
+      return;
+    std::string Error;
+    if (!support::writeFileAtomic(Path, Json, Error, Site)) {
+      std::fprintf(stderr, "spirec: error: %s\n", Error.c_str());
+      Code = 2;
+    }
+  };
+  try {
+    if (!Opts.TraceJsonPath.empty()) {
+      support::faultAlloc("write/trace");
+      dumpArtifact(Opts.TraceJsonPath, "write/trace",
+                   obs::Tracer::global().chromeTraceJson() + "\n");
+      obs::Tracer::global().disable();
+    }
+    if (!Opts.MetricsJsonPath.empty()) {
+      support::faultAlloc("write/metrics");
+      dumpArtifact(Opts.MetricsJsonPath, "write/metrics",
+                   (Opts.BatchPath.empty() ? driver::renderMetricsJson(R)
+                                           : renderBatchMetricsJson(Batch)) +
+                       "\n");
+    }
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr,
+                 "spirec: error: out of memory writing observability "
+                 "artifacts\n");
+    Code = 1;
   }
-  if (MetricsOut.is_open())
-    MetricsOut << driver::renderMetricsJson(R) << '\n';
   return Code;
 }

@@ -107,7 +107,8 @@ def validate_trace(path, require_spans, errors):
               + (f", {dropped} dropped" if dropped else ""))
 
 
-def validate_metrics(path, require_metrics, expect_success, errors):
+def validate_metrics(path, require_metrics, expect_success, expect_limit,
+                     errors):
     before = len(errors)
     data = load(path, errors)
     if data is None:
@@ -122,6 +123,14 @@ def validate_metrics(path, require_metrics, expect_success, errors):
     elif expect_success and not data["succeeded"]:
         fail(errors, path,
              f"run failed at stage {data.get('failed_stage')!r}")
+    if expect_limit is not None:
+        if data.get("limit_hit") != expect_limit:
+            fail(errors, path,
+                 f"limit_hit is {data.get('limit_hit')!r}, "
+                 f"want {expect_limit!r}")
+        if data.get("succeeded"):
+            fail(errors, path,
+                 "a resource-limit trip must report succeeded: false")
     if not isinstance(data.get("total_seconds"), (int, float)):
         fail(errors, path, "missing numeric total_seconds")
     stages = data.get("stages")
@@ -149,6 +158,57 @@ def validate_metrics(path, require_metrics, expect_success, errors):
               f"{len(metrics)} metrics")
 
 
+def validate_batch_metrics(path, require_metrics, expect_succeeded,
+                           errors):
+    """spire-batch-v1: per-input outcomes plus the shared metrics
+    registry, from `spirec --batch ... --metrics-json`."""
+    before = len(errors)
+    data = load(path, errors)
+    if data is None:
+        return
+    if not isinstance(data, dict):
+        return fail(errors, path, "top level is not an object")
+    if data.get("schema") != "spire-batch-v1":
+        fail(errors, path,
+             f"schema is {data.get('schema')!r}, want spire-batch-v1")
+    inputs = data.get("inputs")
+    if not isinstance(inputs, list) or not inputs:
+        return fail(errors, path, "missing or empty inputs list")
+    ok = 0
+    for i, entry in enumerate(inputs):
+        if not isinstance(entry, dict) or "path" not in entry:
+            fail(errors, path, f"inputs[{i}]: missing 'path'")
+            continue
+        if "succeeded" not in entry:
+            fail(errors, path, f"inputs[{i}] ({entry['path']}): "
+                 "missing 'succeeded'")
+        elif entry["succeeded"]:
+            ok += 1
+        elif "error" not in entry and "limit_hit" not in entry:
+            fail(errors, path, f"inputs[{i}] ({entry['path']}): failed "
+                 "without an error or limit_hit")
+    if data.get("inputs_total") != len(inputs):
+        fail(errors, path, f"inputs_total {data.get('inputs_total')!r} "
+             f"!= {len(inputs)} listed inputs")
+    if data.get("inputs_succeeded") != ok:
+        fail(errors, path,
+             f"inputs_succeeded {data.get('inputs_succeeded')!r} != "
+             f"{ok} inputs marked succeeded")
+    if expect_succeeded is not None and ok != expect_succeeded:
+        fail(errors, path,
+             f"{ok} inputs succeeded, want {expect_succeeded}")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(errors, path, "missing or empty metrics object")
+        metrics = {}
+    for key in require_metrics:
+        if key not in metrics:
+            fail(errors, path, f"required metric '{key}' absent")
+    if len(errors) == before:
+        print(f"{path}: ok — {ok}/{len(inputs)} inputs succeeded, "
+              f"{len(metrics)} metrics")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", action="append", default=[],
@@ -170,16 +230,34 @@ def main():
     parser.add_argument("--allow-failure", action="store_true",
                         help="accept metrics files from failed runs "
                              "(default: succeeded must be true)")
+    parser.add_argument("--expect-limit", metavar="NAME", default=None,
+                        help="metrics files must record limit_hit NAME "
+                             "(deadline|alloc-bytes|gates|output-bytes) "
+                             "with succeeded false; implies "
+                             "--allow-failure")
+    parser.add_argument("--batch-metrics", action="append", default=[],
+                        metavar="FILE",
+                        help="spire-batch-v1 file to validate "
+                             "(repeatable)")
+    parser.add_argument("--expect-batch-succeeded", type=int,
+                        metavar="N", default=None,
+                        help="batch metrics files must record exactly N "
+                             "succeeded inputs")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("pass at least one --trace or --metrics file")
+    if not args.trace and not args.metrics and not args.batch_metrics:
+        parser.error("pass at least one --trace, --metrics, or "
+                     "--batch-metrics file")
 
     errors = []
     for path in args.trace:
         validate_trace(path, args.require_span, errors)
     for path in args.metrics:
         validate_metrics(path, args.require_metric,
-                         not args.allow_failure, errors)
+                         not args.allow_failure and not args.expect_limit,
+                         args.expect_limit, errors)
+    for path in args.batch_metrics:
+        validate_batch_metrics(path, args.require_metric,
+                               args.expect_batch_succeeded, errors)
     for message in errors:
         print(f"error: {message}", file=sys.stderr)
     return 1 if errors else 0
