@@ -1,0 +1,130 @@
+#include "driver/Service.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/ArtifactCache.h"
+
+#include <chrono>
+
+namespace spire::driver {
+
+const char *toolVersion() { return "spirec-0.10"; }
+
+std::string optionsFingerprint(const PipelineOptions &O) {
+  std::string F;
+  F.reserve(192);
+  auto kv = [&F](const char *K, const std::string &V) {
+    F += K;
+    F += '=';
+    F += V;
+    F += ';';
+  };
+  auto kn = [&kv](const char *K, int64_t N) { kv(K, std::to_string(N)); };
+  // Enum fields go in as stable integers: renaming an enumerator must
+  // not silently invalidate the cache, reordering one must (the emitted
+  // artifact changes with the meaning, and the format version guards
+  // deliberate renumberings).
+  kn("v", support::ArtifactCacheFormatVersion);
+  kv("tool", toolVersion());
+  kv("entry", O.Entry);
+  kn("size", O.Size);
+  kn("input", static_cast<int>(O.Input));
+  kn("informat", static_cast<int>(O.InputFormat));
+  kn("outformat", static_cast<int>(O.OutputFormat));
+  kn("basis", O.Basis ? static_cast<int>(*O.Basis) : -1);
+  kn("flatten", O.Spire.ConditionalFlattening);
+  kn("narrow", O.Spire.ConditionalNarrowing);
+  kn("withdo", O.Spire.FlattenWithDo);
+  kn("wordbits", O.Target.WordBits);
+  kn("heapcells", O.Target.HeapCells);
+  kn("maxinst", O.MaxInlineInstances);
+  kn("maxdepth", O.MaxInlineDepth);
+  kn("stopafter", static_cast<int>(O.StopAfter));
+  kn("emitlevel", static_cast<int>(O.EmitLevel));
+  kn("copt", static_cast<int>(O.CircuitOpt));
+  return F;
+}
+
+CacheKey cacheKeyFor(const PipelineOptions &Options,
+                     std::string_view Source) {
+  CacheKey Key;
+  Key.Hi = support::hashBytes(optionsFingerprint(Options));
+  Key.Lo = support::hashBytes(Source);
+  return Key;
+}
+
+ServiceResponse Service::handle(const ServiceRequest &Request) {
+  obs::Span Sp("service/request");
+  ++obs::Registry::global().counter("service.requests");
+  auto Start = std::chrono::steady_clock::now();
+  auto finish = [&Start](ServiceResponse &Resp) -> ServiceResponse & {
+    Resp.Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    return Resp;
+  };
+
+  ServiceResponse Resp;
+  CacheKey Key;
+  if (Cache) {
+    Key = cacheKeyFor(Request.Pipe, Request.Source);
+    if (std::optional<std::string> Hit = Cache->lookup(Key.Hi, Key.Lo)) {
+      Resp.OK = true;
+      Resp.CacheHit = true;
+      Resp.Artifact = std::move(*Hit);
+      Sp.arg("cache_hit", 1);
+      return finish(Resp);
+    }
+  }
+
+  // A fresh budget per request: one runaway request trips its own
+  // governor, the next starts with full budgets again. The catch wall
+  // keeps OOM and internal errors inside this request.
+  support::Governor Gov(Request.Pipe.Limits);
+  support::GovernorScope Scope(&Gov);
+  try {
+    CompilationPipeline Pipeline(Request.Pipe);
+    CompilationResult R = Pipeline.run(Request.Source);
+    if (Gov.exceeded() && !R.LimitHit)
+      R.LimitHit = Gov.limit();
+    if (R.succeeded() && !R.LimitHit) {
+      Resp.Artifact = Pipeline.renderFinalCircuit(R);
+      // The writers stop growing the text when the output cap trips;
+      // never serve (or cache) the truncated artifact.
+      if (Gov.exceeded()) {
+        R.LimitHit = Gov.limit();
+      } else {
+        Resp.OK = true;
+        if (Cache && !Resp.Artifact.empty())
+          Cache->store(Key.Hi, Key.Lo, Resp.Artifact);
+      }
+    }
+    if (R.LimitHit) {
+      Resp.LimitHit = R.LimitHit;
+      support::DiagnosticEngine GovDiags;
+      Gov.report(GovDiags);
+      std::string Report = GovDiags.str();
+      size_t NL = Report.find('\n');
+      Resp.Error = NL == std::string::npos ? Report : Report.substr(0, NL);
+      if (Resp.Error.empty())
+        Resp.Error = std::string("resource limit: ") +
+                     support::resourceLimitName(*R.LimitHit);
+    } else if (!Resp.OK) {
+      std::string Diags = R.Diags.str();
+      size_t NL = Diags.find('\n');
+      Resp.Error = NL == std::string::npos ? Diags : Diags.substr(0, NL);
+      if (Resp.Error.empty())
+        Resp.Error = "compilation failed";
+    }
+  } catch (const std::bad_alloc &) {
+    Resp.Error = "out of memory";
+  } catch (const std::exception &E) {
+    Resp.Error = std::string("internal error: ") + E.what();
+  }
+  if (!Resp.OK)
+    ++obs::Registry::global().counter("service.failures");
+  Sp.arg("ok", Resp.OK ? 1 : 0);
+  return finish(Resp);
+}
+
+} // namespace spire::driver

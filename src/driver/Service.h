@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile service: one request-in, artifact-out entry point shared
+/// by `spirec --batch` and `spirec --serve`, layered over
+/// CompilationPipeline with the two properties a long-lived process
+/// needs:
+///
+///   * Request isolation — every request runs under its own fresh
+///     support::Governor and a catch wall, so a poisoned request (OOM,
+///     internal error, tripped budget, injected fault) fails *that
+///     request* and never the process.
+///   * Artifact caching — when constructed over a support::ArtifactCache
+///     the service keys each request by cacheKeyFor() and serves
+///     verified hits without compiling; misses compile and store. Cache
+///     damage of any kind degrades to a recompute, never to a wrong or
+///     failed answer (the cache's own contract).
+///
+/// The cache key hashes the input bytes together with every
+/// PipelineOptions field that can change the emitted artifact
+/// (optionsFingerprint); fields that only affect reporting or budgets
+/// stay out so equivalent requests share entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIRE_DRIVER_SERVICE_H
+#define SPIRE_DRIVER_SERVICE_H
+
+#include "driver/Pipeline.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spire::support {
+class ArtifactCache;
+}
+
+namespace spire::driver {
+
+/// Space-free tool id stamped into cache manifests; entries written by
+/// a different build read as misses, never as stale artifacts.
+const char *toolVersion();
+
+/// Stable, human-auditable `k=v;` rendering of every PipelineOptions
+/// field that affects the emitted artifact bytes (plus the cache format
+/// version and tool id). Budget, verification, and reporting knobs are
+/// deliberately absent: they change how a run is policed, not what it
+/// emits.
+std::string optionsFingerprint(const PipelineOptions &Options);
+
+/// 128-bit cache key: Hi hashes the options fingerprint, Lo the input
+/// bytes, both through support::hashBytes.
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+};
+CacheKey cacheKeyFor(const PipelineOptions &Options, std::string_view Source);
+
+/// One compile request: fully-configured pipeline options plus the
+/// input text they apply to.
+struct ServiceRequest {
+  PipelineOptions Pipe;
+  std::string Source;
+};
+
+struct ServiceResponse {
+  bool OK = false;
+  bool CacheHit = false;
+  /// The rendered final circuit (Pipe.OutputFormat) when OK.
+  std::string Artifact;
+  /// First error line when not OK.
+  std::string Error;
+  /// Set when the request tripped its resource budget.
+  std::optional<support::ResourceLimit> LimitHit;
+  double Seconds = 0;
+};
+
+class Service {
+public:
+  /// \p Cache may be null: the service then compiles every request.
+  explicit Service(support::ArtifactCache *Cache = nullptr)
+      : Cache(Cache) {}
+
+  /// Handles one request end to end: cache lookup, compile on miss
+  /// under a fresh governor + catch wall, render, store. Never throws;
+  /// every failure mode lands in the response. Counters:
+  /// service.requests / service.failures; span: service/request.
+  ServiceResponse handle(const ServiceRequest &Request);
+
+private:
+  support::ArtifactCache *Cache;
+};
+
+} // namespace spire::driver
+
+#endif // SPIRE_DRIVER_SERVICE_H

@@ -1,0 +1,320 @@
+#include "support/ArtifactCache.h"
+
+#include "obs/Metrics.h"
+#include "support/FaultInjector.h"
+#include "support/FileIO.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace spire::support {
+
+namespace {
+
+std::string hex(uint64_t V, int Digits) {
+  static const char *Alphabet = "0123456789abcdef";
+  std::string Out(static_cast<size_t>(Digits), '0');
+  for (int I = Digits - 1; I >= 0 && V; --I, V >>= 4)
+    Out[static_cast<size_t>(I)] = Alphabet[V & 0xf];
+  return Out;
+}
+
+bool parseHex(std::string_view Text, uint64_t &Out) {
+  if (Text.empty() || Text.size() > 16)
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else
+      return false;
+    Out = (Out << 4) | static_cast<uint64_t>(Digit);
+  }
+  return true;
+}
+
+/// Fields of one parsed `SPIREART1 ...` manifest line.
+struct Manifest {
+  uint64_t KeyHi = 0, KeyLo = 0;
+  uint64_t Hash = 0;
+  uint64_t Size = 0;
+  std::string Tool;
+};
+
+/// Parses the header line (without the trailing newline). Returns false
+/// on any structural damage.
+bool parseManifest(std::string_view Line, Manifest &M) {
+  constexpr std::string_view Magic = "SPIREART1 ";
+  if (Line.substr(0, Magic.size()) != Magic)
+    return false;
+  Line.remove_prefix(Magic.size());
+  bool HaveKey = false, HaveHash = false, HaveSize = false, HaveTool = false;
+  while (!Line.empty()) {
+    size_t Space = Line.find(' ');
+    std::string_view Field = Line.substr(0, Space);
+    Line = Space == std::string_view::npos ? std::string_view()
+                                           : Line.substr(Space + 1);
+    size_t Eq = Field.find('=');
+    if (Eq == std::string_view::npos)
+      return false;
+    std::string_view Key = Field.substr(0, Eq);
+    std::string_view Value = Field.substr(Eq + 1);
+    if (Key == "key") {
+      if (Value.size() != 32 || !parseHex(Value.substr(0, 16), M.KeyHi) ||
+          !parseHex(Value.substr(16), M.KeyLo))
+        return false;
+      HaveKey = true;
+    } else if (Key == "hash") {
+      if (Value.size() != 16 || !parseHex(Value, M.Hash))
+        return false;
+      HaveHash = true;
+    } else if (Key == "size") {
+      M.Size = 0;
+      if (Value.empty())
+        return false;
+      for (char C : Value) {
+        if (C < '0' || C > '9')
+          return false;
+        M.Size = M.Size * 10 + static_cast<uint64_t>(C - '0');
+      }
+      HaveSize = true;
+    } else if (Key == "tool") {
+      M.Tool = std::string(Value);
+      HaveTool = true;
+    } else {
+      return false;
+    }
+  }
+  return HaveKey && HaveHash && HaveSize && HaveTool;
+}
+
+/// Runs \p Op up to 1 + RetryAttempts times with doubling backoff.
+/// Counts each retry; counts one io_error when every attempt failed.
+template <typename OpFn>
+bool withRetries(const CacheConfig &Config, OpFn Op) {
+  int Backoff = std::max(Config.RetryBackoffMs, 1);
+  for (int Attempt = 0;; ++Attempt) {
+    if (Op())
+      return true;
+    if (Attempt >= Config.RetryAttempts) {
+      ++obs::Registry::global().counter("cache.io_errors");
+      return false;
+    }
+    ++obs::Registry::global().counter("cache.retries");
+    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+    Backoff *= 2;
+  }
+}
+
+bool makeDir(const std::string &Path, std::string &Error) {
+  if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST) {
+    struct stat St;
+    if (::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+      return true;
+  }
+  Error = "cannot create cache directory " + Path + ": " +
+          std::strerror(errno);
+  return false;
+}
+
+} // namespace
+
+uint64_t hashBytes(std::string_view Data) {
+  uint64_t H = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(Data.size());
+  size_t I = 0;
+  for (; I + 8 <= Data.size(); I += 8) {
+    uint64_t Chunk = 0;
+    for (int B = 0; B < 8; ++B)
+      Chunk |= static_cast<uint64_t>(static_cast<uint8_t>(Data[I + B]))
+               << (8 * B);
+    H = mix64(H ^ Chunk);
+  }
+  if (I < Data.size()) {
+    uint64_t Tail = 0;
+    for (int B = 0; I < Data.size(); ++I, ++B)
+      Tail |= static_cast<uint64_t>(static_cast<uint8_t>(Data[I])) << (8 * B);
+    H = mix64(H ^ Tail);
+  }
+  return mix64(H);
+}
+
+std::string ArtifactCache::entryName(uint64_t KeyHi, uint64_t KeyLo) {
+  return hex(KeyHi, 16) + hex(KeyLo, 16) + ".art";
+}
+
+std::string ArtifactCache::entryPath(uint64_t KeyHi, uint64_t KeyLo) const {
+  return Config.Dir + "/" + entryName(KeyHi, KeyLo);
+}
+
+std::unique_ptr<ArtifactCache> ArtifactCache::open(const CacheConfig &Config,
+                                                   std::string &Error) {
+  std::string Err;
+  if (!makeDir(Config.Dir, Err) ||
+      !makeDir(Config.Dir + "/quarantine", Err)) {
+    Error = Err;
+    return nullptr;
+  }
+  // Startup hygiene: reap staging temps orphaned by writers that died
+  // before their rename. An io fault here degrades to skipping the
+  // sweep (the temps are harmless, just disk noise); a kill fault
+  // simulates dying mid-scan.
+  faultKill("cache.scan");
+  if (!faultIo("cache.scan")) {
+    int Swept = sweepStaleTempFiles(Config.Dir);
+    if (Swept)
+      obs::Registry::global().counter("cache.stale_temps_removed") += Swept;
+  }
+  return std::unique_ptr<ArtifactCache>(new ArtifactCache(Config));
+}
+
+std::optional<std::string> ArtifactCache::lookup(uint64_t KeyHi,
+                                                 uint64_t KeyLo) {
+  const std::string Path = entryPath(KeyHi, KeyLo);
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0) {
+    ++Misses;
+    ++obs::Registry::global().counter("cache.misses");
+    return std::nullopt;
+  }
+  faultKill("cache.read");
+
+  std::string Raw;
+  bool Read = withRetries(Config, [&] {
+    std::string Err;
+    return readFile(Path, Raw, Err, "cache.read");
+  });
+  if (!Read) {
+    // Retries exhausted: degrade to a miss, never fail the request.
+    ++Misses;
+    ++obs::Registry::global().counter("cache.misses");
+    return std::nullopt;
+  }
+
+  size_t Newline = Raw.find('\n');
+  Manifest M;
+  std::string Reason;
+  if (Newline == std::string::npos ||
+      !parseManifest(std::string_view(Raw).substr(0, Newline), M))
+    Reason = "unparseable manifest";
+  else if (M.KeyHi != KeyHi || M.KeyLo != KeyLo)
+    Reason = "key mismatch";
+  else if (M.Tool != Config.ToolVersion)
+    Reason = "tool version mismatch";
+  else if (Raw.size() - Newline - 1 != M.Size)
+    Reason = "payload size mismatch";
+  else if (hashBytes(std::string_view(Raw).substr(Newline + 1)) != M.Hash)
+    Reason = "payload hash mismatch";
+  if (!Reason.empty()) {
+    quarantine(Path, Reason);
+    ++Misses;
+    ++obs::Registry::global().counter("cache.misses");
+    return std::nullopt;
+  }
+
+  // Touch the entry so LRU eviction sees the use.
+  ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
+  ++Hits;
+  ++obs::Registry::global().counter("cache.hits");
+  return Raw.substr(Newline + 1);
+}
+
+bool ArtifactCache::store(uint64_t KeyHi, uint64_t KeyLo,
+                          std::string_view Payload) {
+  std::string Entry = "SPIREART1 key=" + hex(KeyHi, 16) + hex(KeyLo, 16) +
+                      " hash=" + hex(hashBytes(Payload), 16) +
+                      " size=" + std::to_string(Payload.size()) +
+                      " tool=" + Config.ToolVersion + "\n";
+  Entry.append(Payload.data(), Payload.size());
+
+  const std::string Path = entryPath(KeyHi, KeyLo);
+  bool Wrote = withRetries(Config, [&] {
+    std::string Err;
+    return writeFileAtomic(Path, Entry, Err, "cache.write");
+  });
+  if (!Wrote) {
+    ++obs::Registry::global().counter("cache.store_failures");
+    return false;
+  }
+  ++Stores;
+  ++obs::Registry::global().counter("cache.stores");
+  enforceSizeCap();
+  return true;
+}
+
+void ArtifactCache::quarantine(const std::string &Path,
+                               const std::string &Reason) {
+  size_t Slash = Path.rfind('/');
+  std::string Name =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  std::string Dest = Config.Dir + "/quarantine/" + Name;
+  if (std::rename(Path.c_str(), Dest.c_str()) != 0)
+    std::remove(Path.c_str()); // Second-best: at least stop serving it.
+  ++Corrupt;
+  ++obs::Registry::global().counter("cache.corrupt");
+  (void)Reason; // Reported through the counter; callers stay silent.
+}
+
+void ArtifactCache::enforceSizeCap() {
+  if (Config.MaxBytes <= 0)
+    return;
+  faultKill("cache.evict");
+  if (faultIo("cache.evict"))
+    return; // Degrade: skip this round, the next store retries.
+
+  struct EntryInfo {
+    std::string Name;
+    int64_t Size;
+    struct timespec MTime;
+  };
+  std::vector<EntryInfo> Entries;
+  int64_t Total = 0;
+  DIR *D = ::opendir(Config.Dir.c_str());
+  if (!D)
+    return;
+  while (struct dirent *Ent = ::readdir(D)) {
+    std::string Name = Ent->d_name;
+    if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".art")
+      continue;
+    struct stat St;
+    if (::stat((Config.Dir + "/" + Name).c_str(), &St) != 0 ||
+        !S_ISREG(St.st_mode))
+      continue;
+    Entries.push_back({std::move(Name), St.st_size, St.st_mtim});
+    Total += St.st_size;
+  }
+  ::closedir(D);
+  if (Total <= Config.MaxBytes)
+    return;
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              if (A.MTime.tv_sec != B.MTime.tv_sec)
+                return A.MTime.tv_sec < B.MTime.tv_sec;
+              return A.MTime.tv_nsec < B.MTime.tv_nsec;
+            });
+  for (const EntryInfo &E : Entries) {
+    if (Total <= Config.MaxBytes)
+      break;
+    if (std::remove((Config.Dir + "/" + E.Name).c_str()) != 0)
+      continue; // A racer got there first; its accounting is its own.
+    Total -= E.Size;
+    ++Evicted;
+    ++obs::Registry::global().counter("cache.evicted");
+  }
+}
+
+} // namespace spire::support

@@ -4,6 +4,7 @@
 #include "support/Diagnostics.h"
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <mutex>
 #include <new>
@@ -70,6 +71,8 @@ const char *faultKindName(FaultKind K) {
     return "io";
   case FaultKind::Diag:
     return "diag";
+  case FaultKind::Kill:
+    return "kill";
   }
   return "?";
 }
@@ -100,9 +103,11 @@ std::optional<FaultSpec> parseFaultSpec(std::string_view Text,
         Spec.Kind = FaultKind::Io;
       else if (Value == "diag")
         Spec.Kind = FaultKind::Diag;
+      else if (Value == "kill")
+        Spec.Kind = FaultKind::Kill;
       else {
         Error = "unknown fault kind '" + std::string(Value) +
-                "' (expected alloc|io|diag)";
+                "' (expected alloc|io|diag|kill)";
         return std::nullopt;
       }
       HaveKind = true;
@@ -122,7 +127,7 @@ std::optional<FaultSpec> parseFaultSpec(std::string_view Text,
     }
   }
   if (!HaveSite || !HaveKind) {
-    Error = "fault spec needs site=<name> and kind=alloc|io|diag";
+    Error = "fault spec needs site=<name> and kind=alloc|io|diag|kill";
     return std::nullopt;
   }
   return Spec;
@@ -186,6 +191,16 @@ bool faultIo(const char *Site) {
   return shouldFire(Site, FaultKind::Io);
 }
 
+void faultKill(const char *Site) {
+  {
+    InjectorState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ensureEnvParsed(S);
+  }
+  if (shouldFire(Site, FaultKind::Kill))
+    ::raise(SIGKILL); // No unwinding: the point is an abrupt death.
+}
+
 const std::vector<FaultSite> &faultSiteCatalog() {
   // Keep in sync with docs/robustness.md. Stage names match
   // driver::stageName; pass names match the qopt span names.
@@ -216,6 +231,12 @@ const std::vector<FaultSite> &faultSiteCatalog() {
       {"write/trace", true, true, false},
       // Equivalence checking.
       {"equiv/check", true, false, true},
+      // Artifact cache (io degrades to uncached operation; kill
+      // simulates abrupt death for the crash-consistency matrix).
+      {"cache.scan", false, true, false, true},
+      {"cache.read", false, true, false, true},
+      {"cache.write", false, true, false, true},
+      {"cache.evict", false, true, false, true},
   };
   return Catalog;
 }

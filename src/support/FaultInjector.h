@@ -15,6 +15,10 @@
 ///     path.
 ///   - `io`:    the site's file operation reports failure, exercising
 ///     the atomic-write / unreadable-input paths.
+///   - `kill`:  the process raises SIGKILL at the site, simulating an
+///     abrupt death (power loss, OOM-killer) at that exact instant.
+///     Only crash-consistency sites (`cache.*`, the atomic writers)
+///     advertise it; tools/crash_check.py drives the matrix.
 ///
 /// Sites are string names registered in the catalog below: every
 /// pipeline stage (by `stageName`), every qopt pass (by its span name),
@@ -37,7 +41,7 @@ namespace spire::support {
 
 class DiagnosticEngine;
 
-enum class FaultKind : uint8_t { Alloc, Io, Diag };
+enum class FaultKind : uint8_t { Alloc, Io, Diag, Kill };
 
 const char *faultKindName(FaultKind K);
 
@@ -48,8 +52,8 @@ struct FaultSpec {
   int64_t After = 0;
 };
 
-/// Parses a `site=<name>,kind=alloc|io|diag[,after=N]` spec. Returns
-/// nullopt and fills \p Error on malformed input.
+/// Parses a `site=<name>,kind=alloc|io|diag|kill[,after=N]` spec.
+/// Returns nullopt and fills \p Error on malformed input.
 std::optional<FaultSpec> parseFaultSpec(std::string_view Text,
                                         std::string &Error);
 
@@ -76,6 +80,12 @@ bool faultDiag(const char *Site, DiagnosticEngine &Diags);
 /// `io` fault fires at \p Site.
 bool faultIo(const char *Site);
 
+/// Hook: raises SIGKILL (no unwinding, no atexit) when an armed `kill`
+/// fault fires at \p Site. The process dies mid-operation, exactly as a
+/// power loss would; crash-consistency tests assert the on-disk state
+/// left behind still validates.
+void faultKill(const char *Site);
+
 /// One catalog entry: a site name plus the kinds that are meaningful to
 /// inject there (io only where a file operation exists, etc.).
 struct FaultSite {
@@ -83,6 +93,7 @@ struct FaultSite {
   bool Alloc;
   bool Io;
   bool Diag;
+  bool Kill = false;
 };
 
 /// Every registered injection site. The robustness matrix test iterates

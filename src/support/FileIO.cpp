@@ -2,10 +2,15 @@
 
 #include "support/FaultInjector.h"
 
+#include <cctype>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -93,9 +98,12 @@ bool writeFileAtomic(const std::string &Path, std::string_view Contents,
       return false;
     }
   }
-  // The injected fault fires after the temp is staged but before the
-  // rename commits: the destination must remain untouched and the temp
-  // must not leak — exactly the torn-write scenario the tests pin.
+  // Injected faults fire after the temp is staged but before the rename
+  // commits: a kill here leaves the orphaned temp for the stale sweep
+  // to reap, and an io fault must leave the destination untouched with
+  // no leaked temp — exactly the torn-write scenarios the tests pin.
+  if (FaultSite)
+    faultKill(FaultSite);
   if (FaultSite && faultIo(FaultSite)) {
     std::remove(Temp.c_str());
     Error = "write to " + Path + " failed (injected fault at " + FaultSite +
@@ -125,6 +133,37 @@ bool probeWritable(const std::string &Path, std::string &Error) {
   if (!Existed)
     std::remove(Path.c_str());
   return true;
+}
+
+int sweepStaleTempFiles(const std::string &Dir) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  int Removed = 0;
+  while (struct dirent *Ent = ::readdir(D)) {
+    std::string Name = Ent->d_name;
+    size_t Marker = Name.rfind(".tmp.");
+    if (Marker == std::string::npos)
+      continue;
+    std::string PidText = Name.substr(Marker + 5);
+    if (PidText.empty())
+      continue;
+    char *End = nullptr;
+    long Pid = std::strtol(PidText.c_str(), &End, 10);
+    if (!End || *End != '\0' || Pid <= 0)
+      continue;
+    if (Pid == static_cast<long>(::getpid()))
+      continue; // Our own in-flight staging file.
+    // kill(pid, 0) probes liveness without signalling. ESRCH means the
+    // writer is gone and its temp is orphaned; EPERM means it exists
+    // but belongs to someone else, so leave it alone.
+    if (::kill(static_cast<pid_t>(Pid), 0) == 0 || errno != ESRCH)
+      continue;
+    if (std::remove((Dir + "/" + Name).c_str()) == 0)
+      ++Removed;
+  }
+  ::closedir(D);
+  return Removed;
 }
 
 } // namespace spire::support

@@ -40,6 +40,13 @@ bool writeFileAtomic(const std::string &Path, std::string_view Contents,
 /// (exit 2) before spending the compile.
 bool probeWritable(const std::string &Path, std::string &Error);
 
+/// Removes orphaned `*.tmp.<pid>` staging files in \p Dir left behind by
+/// writers that died before their rename committed. A temp is orphaned
+/// when its embedded pid no longer names a live process (and is not this
+/// process). Returns the number of files removed; unreadable directories
+/// count as zero (the sweep is best-effort hygiene, never an error).
+int sweepStaleTempFiles(const std::string &Dir);
+
 } // namespace spire::support
 
 #endif // SPIRE_SUPPORT_FILEIO_H

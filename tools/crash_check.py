@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Crash-consistency matrix for the spirec artifact cache.
+
+For every kill-capable cache fault site (cache.scan, cache.read,
+cache.write, cache.evict) this harness:
+
+  1. arranges the cache state the site needs (a warm entry for
+     cache.read, a size cap for cache.evict),
+  2. runs spirec with `SPIRE_FAULT=site=<site>,kind=kill`, asserting the
+     process actually died from SIGKILL at that instant,
+  3. validates every committed `*.art` entry left on disk from the
+     outside — an independent Python re-implementation of the manifest
+     parse and the SplitMix64 content hash (keep in sync with
+     src/support/ArtifactCache.cpp) — proving the abrupt death never
+     published a torn entry,
+  4. re-runs the same compile cleanly, asserting exit 0, output
+     byte-identical to an uncached reference, and that the startup sweep
+     left no orphaned `*.tmp.<pid>` staging file behind.
+
+Exit 0 when every scenario holds, 1 otherwise (all violations printed).
+
+Usage:
+  tools/crash_check.py --spirec build/tools/spirec [--input file.qc]
+"""
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+MASK = (1 << 64) - 1
+
+KILL_SITES = ["cache.scan", "cache.read", "cache.write", "cache.evict"]
+
+DEFAULT_INPUT = (
+    ".v q0 q1 q2\n"
+    "\n"
+    "BEGIN\n"
+    "tof q0 q1 q2\n"
+    "tof q0 q1\n"
+    "END\n"
+)
+
+
+def mix64(z):
+    z = (z + 0x9E3779B97F4A7C15) & MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK
+    return z ^ (z >> 31)
+
+
+def hash_bytes(data):
+    """Mirror of spire::support::hashBytes."""
+    h = (0x9E3779B97F4A7C15 ^ len(data)) & MASK
+    full = len(data) - len(data) % 8
+    for i in range(0, full, 8):
+        chunk = int.from_bytes(data[i : i + 8], "little")
+        h = mix64(h ^ chunk)
+    if full < len(data):
+        tail = int.from_bytes(data[full:], "little")
+        h = mix64(h ^ tail)
+    return mix64(h)
+
+
+MANIFEST_RE = re.compile(
+    rb"\ASPIREART1 key=([0-9a-f]{32}) hash=([0-9a-f]{16}) "
+    rb"size=([0-9]+) tool=(\S+)\Z"
+)
+
+
+def validate_entry(path):
+    """Returns None when the committed entry is internally consistent,
+    else a one-line reason."""
+    raw = open(path, "rb").read()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        return "no manifest line"
+    match = MANIFEST_RE.match(raw[:newline])
+    if not match:
+        return "malformed manifest: %r" % raw[:newline][:80]
+    key, digest, size, _tool = match.groups()
+    if os.path.basename(path) != key.decode() + ".art":
+        return "entry name does not match manifest key"
+    payload = raw[newline + 1 :]
+    if len(payload) != int(size):
+        return "size mismatch: manifest %s, payload %d" % (
+            size.decode(),
+            len(payload),
+        )
+    if hash_bytes(payload) != int(digest, 16):
+        return "payload hash mismatch"
+    return None
+
+
+def cache_entries(cache_dir):
+    if not os.path.isdir(cache_dir):
+        return []
+    return [
+        os.path.join(cache_dir, name)
+        for name in sorted(os.listdir(cache_dir))
+        if name.endswith(".art")
+    ]
+
+
+def stale_temps(cache_dir):
+    found = []
+    for root, _dirs, files in os.walk(cache_dir):
+        found += [os.path.join(root, f) for f in files if ".tmp." in f]
+    return found
+
+
+def run_spirec(spirec, args, fault=None):
+    env = dict(os.environ)
+    env.pop("SPIRE_FAULT", None)
+    env.pop("SPIRE_CACHE_DIR", None)
+    if fault:
+        env["SPIRE_FAULT"] = fault
+    return subprocess.run(
+        [spirec] + args, env=env, capture_output=True, text=True
+    )
+
+
+def check_scenario(spirec, site, workdir, reference, errors):
+    """One row of the kill matrix; appends violations to `errors`."""
+
+    def fail(message):
+        errors.append("%s: %s" % (site, message))
+
+    cache = os.path.join(workdir, "cache-" + site.replace(".", "-"))
+    shutil.rmtree(cache, ignore_errors=True)
+    inp = os.path.join(workdir, "input.qc")
+    out = os.path.join(workdir, site.replace(".", "-") + ".qc")
+    base = ["--qc-in", inp, "--cache-dir", cache]
+    if site == "cache.evict":
+        base += ["--cache-max-mb", "1"]
+    if site == "cache.read":
+        # The read site only fires on a warm entry.
+        warm = run_spirec(spirec, base + ["-o", os.devnull])
+        if warm.returncode != 0:
+            fail("warm-up run failed: %s" % warm.stderr.strip())
+            return
+
+    killed = run_spirec(
+        spirec,
+        base + ["-o", out],
+        fault="site=%s,kind=kill" % site,
+    )
+    if killed.returncode != -signal.SIGKILL:
+        fail(
+            "expected death by SIGKILL, got rc=%d: %s"
+            % (killed.returncode, (killed.stderr or killed.stdout).strip())
+        )
+        return
+
+    # Whatever the kill left behind, every *committed* entry validates.
+    for entry in cache_entries(cache):
+        reason = validate_entry(entry)
+        if reason:
+            fail("torn entry %s after kill: %s" % (entry, reason))
+
+    # The next run self-heals: correct output, swept staging area.
+    heal = run_spirec(spirec, base + ["-o", out])
+    if heal.returncode != 0:
+        fail("clean re-run failed rc=%d: %s" % (heal.returncode, heal.stderr))
+        return
+    if open(out, "rb").read() != reference:
+        fail("re-run output differs from uncached reference")
+    leftovers = stale_temps(cache)
+    if leftovers:
+        fail("stale temp files survived the sweep: %s" % leftovers)
+    for entry in cache_entries(cache):
+        reason = validate_entry(entry)
+        if reason:
+            fail("invalid entry %s after re-run: %s" % (entry, reason))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--spirec",
+        default=os.environ.get("SPIREC", ""),
+        help="path to the spirec binary (default: $SPIREC)",
+    )
+    parser.add_argument(
+        "--input",
+        default="",
+        help=".qc circuit to compile (default: a built-in 3-qubit circuit)",
+    )
+    parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="keep the scratch directory for inspection",
+    )
+    args = parser.parse_args()
+    if not args.spirec or not os.path.exists(args.spirec):
+        print("crash_check: spirec binary not found (--spirec or $SPIREC)")
+        return 2
+
+    workdir = tempfile.mkdtemp(prefix="spire-crash-check-")
+    errors = []
+    try:
+        inp = os.path.join(workdir, "input.qc")
+        if args.input:
+            shutil.copyfile(args.input, inp)
+        else:
+            with open(inp, "w") as f:
+                f.write(DEFAULT_INPUT)
+
+        ref_path = os.path.join(workdir, "reference.qc")
+        ref = run_spirec(args.spirec, ["--qc-in", inp, "-o", ref_path])
+        if ref.returncode != 0:
+            print("crash_check: reference compile failed: %s" % ref.stderr)
+            return 2
+        reference = open(ref_path, "rb").read()
+
+        for site in KILL_SITES:
+            before = len(errors)
+            check_scenario(args.spirec, site, workdir, reference, errors)
+            status = "ok" if len(errors) == before else "FAIL"
+            print("crash_check: kill at %-12s ... %s" % (site, status))
+    finally:
+        if args.keep:
+            print("crash_check: scratch kept at %s" % workdir)
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    for message in errors:
+        print("crash_check: FAIL: %s" % message)
+    if not errors:
+        print("crash_check: all %d kill scenarios consistent" % len(KILL_SITES))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 ///   spirec <file.tower> --entry <fun> [--size N] [options]
 ///   spirec --qc-in <file.qc> | --qasm-in <file.qasm> [options]
 ///   spirec --batch <list> [options]
+///   spirec --serve <fifo|file> [options]
 ///
 /// Modes (combinable):
 ///   --report              print the cost-model analysis (MCX- and
@@ -93,6 +94,39 @@
 ///                         input and the emit/check/run modes; the shared
 ///                         flags (--entry, --basis, --circuit-opt, the
 ///                         governor budgets) apply to every input.
+///   --batch-retries N     retry a transiently-failed input (injected io
+///                         fault, tripped deadline — the budget doubles
+///                         for the retry) up to N times with exponential
+///                         backoff before counting it failed; the
+///                         spire-batch-v1 report records `attempts` per
+///                         input
+///
+/// Artifact cache (docs/service.md):
+///   --cache-dir <d>       persistent content-addressed artifact cache
+///                         (env SPIRE_CACHE_DIR): single-input emits and
+///                         batch/serve requests whose key (input bytes +
+///                         output-affecting options + format version)
+///                         has a verified entry skip compilation; misses
+///                         compile and store via atomic stage-and-rename.
+///                         Corrupt entries are quarantined and silently
+///                         recomputed; a sick cache degrades to uncached
+///                         operation, never a failed request.
+///   --cache-max-mb N      size cap; oldest-used entries are evicted
+///                         after each store
+///
+/// Serve mode:
+///   --serve <fifo|file>   long-lived request loop keeping the cache and
+///                         symbol table warm: reads one request per line
+///                         (`compile <input> <output> [entry [size]]`,
+///                         `#` comments, `shutdown`), compiles each under
+///                         a fresh governor + catch wall (one poisoned
+///                         request can never take the service down), and
+///                         answers on stdout. A FIFO is re-opened after
+///                         each writer hangs up until `shutdown`; a
+///                         regular file is drained once. Exit 0 on a
+///                         clean shutdown even when individual requests
+///                         failed — per-request outcomes live in the
+///                         response lines and the spire-batch-v1 report.
 ///
 /// Exit status: 0 on success, 1 on a compile, runtime, equivalence, or
 /// batch error, 2 on a command-line error, an unwritable artifact, or a
@@ -103,11 +137,13 @@
 
 #include "analysis/Analysis.h"
 #include "driver/Pipeline.h"
+#include "driver/Service.h"
 #include "interchange/Interchange.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "sim/Interpreter.h"
+#include "support/ArtifactCache.h"
 #include "support/FaultInjector.h"
 #include "support/FileIO.h"
 #include "support/Governor.h"
@@ -120,11 +156,15 @@
 #include <exception>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <new>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 using namespace spire;
 
@@ -151,6 +191,10 @@ struct Options {
   std::string TraceJsonPath;   ///< --trace-json output path.
   std::string MetricsJsonPath; ///< --metrics-json output path.
   std::string BatchPath;       ///< --batch input-list path.
+  int64_t BatchRetries = 0;    ///< --batch-retries count.
+  std::string CacheDir;        ///< --cache-dir / SPIRE_CACHE_DIR.
+  int64_t CacheMaxMb = 0;      ///< --cache-max-mb (0 = unlimited).
+  std::string ServePath;       ///< --serve request source.
   driver::PipelineOptions Pipeline;
 };
 
@@ -159,6 +203,7 @@ const char UsageText[] =
     "usage: spirec <file.tower> --entry <fun> [--size N] [options]\n"
     "       spirec --qc-in <file.qc> | --qasm-in <file.qasm> [options]\n"
     "       spirec --batch <list> [options]\n"
+    "       spirec --serve <fifo|file> [options]\n"
     "\n"
     "modes (combinable):\n"
     "  --report                  print the cost-model analysis before and\n"
@@ -225,6 +270,23 @@ const char UsageText[] =
     "                            path per line, # comments) with per-input\n"
     "                            failure isolation; exit 0 only when every\n"
     "                            input succeeds\n"
+    "  --batch-retries N         retry transiently-failed batch inputs\n"
+    "                            (injected io faults, tripped deadlines —\n"
+    "                            the budget doubles per retry) up to N\n"
+    "                            times with exponential backoff\n"
+    "  --cache-dir <d>           persistent content-addressed artifact\n"
+    "                            cache (env SPIRE_CACHE_DIR): verified\n"
+    "                            hits skip compilation, corrupt entries\n"
+    "                            are quarantined and recomputed, a sick\n"
+    "                            cache degrades to uncached operation\n"
+    "                            (docs/service.md)\n"
+    "  --cache-max-mb N          cache size cap in MiB; oldest-used\n"
+    "                            entries are evicted after each store\n"
+    "  --serve <fifo|file>       long-lived request loop: one request per\n"
+    "                            line (compile <in> <out> [entry [size]]\n"
+    "                            or shutdown), each under a fresh governor\n"
+    "                            and catch wall; a FIFO re-opens between\n"
+    "                            writers, a regular file drains once\n"
     "  --timeout-ms N            wall-clock budget; exceeding it stops the\n"
     "                            compile with a resource-limit error\n"
     "  --max-alloc-mb N          heap-traffic budget in MiB\n"
@@ -395,6 +457,18 @@ Options parseArgs(int Argc, char **Argv) {
       QasmInPath = next("--qasm-in");
     else if (Arg == "--batch")
       Opts.BatchPath = next("--batch");
+    else if (Arg == "--batch-retries") {
+      Opts.BatchRetries = parseInt(next("--batch-retries"),
+                                   "--batch-retries");
+      if (Opts.BatchRetries < 0)
+        usageError("--batch-retries must be non-negative");
+    } else if (Arg == "--cache-dir")
+      Opts.CacheDir = next("--cache-dir");
+    else if (Arg == "--cache-max-mb")
+      Opts.CacheMaxMb =
+          parsePositiveInt(next("--cache-max-mb"), "--cache-max-mb");
+    else if (Arg == "--serve")
+      Opts.ServePath = next("--serve");
     else if (Arg == "--timeout-ms")
       Opts.Pipeline.Limits.TimeoutMs =
           parsePositiveInt(next("--timeout-ms"), "--timeout-ms");
@@ -417,7 +491,29 @@ Options parseArgs(int Argc, char **Argv) {
 
   if (!QcInPath.empty() && !QasmInPath.empty())
     usageError("--qc-in and --qasm-in are mutually exclusive");
-  if (!Opts.BatchPath.empty()) {
+  // The environment default keeps CI recipes and wrapper scripts from
+  // threading --cache-dir through every invocation.
+  if (Opts.CacheDir.empty())
+    if (const char *Env = std::getenv("SPIRE_CACHE_DIR"); Env && *Env)
+      Opts.CacheDir = Env;
+  if (Opts.CacheMaxMb > 0 && Opts.CacheDir.empty())
+    usageError("--cache-max-mb needs --cache-dir (or SPIRE_CACHE_DIR)");
+  if (Opts.BatchRetries > 0 && Opts.BatchPath.empty())
+    usageError("--batch-retries needs --batch");
+  if (!Opts.ServePath.empty()) {
+    // Serve mode owns the process: requests bring their own inputs and
+    // outputs, so every single-input mode is meaningless here.
+    if (!Opts.BatchPath.empty())
+      usageError("--serve is exclusive with --batch");
+    if (!Opts.InputPath.empty() || !QcInPath.empty() || !QasmInPath.empty())
+      usageError("--serve is exclusive with a single input");
+    if (!EmitSpec.empty() || !Opts.OutputPath.empty() ||
+        !Opts.CheckEquivPath.empty() || Opts.RunInputs || Opts.Report ||
+        Opts.DumpIR || Opts.Analyze)
+      usageError("--serve supports only the shared compile flags, not "
+                 "--emit/-o/--check-equiv/--run/--report/--dump-ir/"
+                 "--analyze");
+  } else if (!Opts.BatchPath.empty()) {
     // Batch mode shares the compile configuration (--entry, --basis,
     // --circuit-opt, the governor budgets) across inputs but has no
     // single-input modes: nothing sensible interleaves N circuits on
@@ -468,9 +564,9 @@ Options parseArgs(int Argc, char **Argv) {
     usageError("unknown --circuit-opt name");
 
   // Emission happens in circuit-in mode, under --emit, or when --basis
-  // asked for a legalized circuit (default format: qc). Batch mode
-  // never emits.
-  Opts.WantEmit = Opts.BatchPath.empty() &&
+  // asked for a legalized circuit (default format: qc). Batch and serve
+  // modes never emit through -o.
+  Opts.WantEmit = Opts.BatchPath.empty() && Opts.ServePath.empty() &&
                   (Opts.Pipeline.Input == driver::InputKind::Circuit ||
                    !EmitSpec.empty() || !BasisName.empty());
   return Opts;
@@ -618,7 +714,8 @@ int checkEquivalence(const circuit::Circuit &Final, const std::string &Path,
 /// metrics report after *all* work (including --check-equiv, whose spans
 /// and counters belong in the artifacts) has happened. Returns the
 /// process exit code.
-int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
+int runCompilerModes(Options &Opts, driver::CompilationResult &R,
+                     support::ArtifactCache *Cache) {
   driver::PipelineOptions &Pipe = Opts.Pipeline;
   bool CircuitIn = Pipe.Input == driver::InputKind::Circuit;
 
@@ -633,6 +730,28 @@ int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
       Opts.WantEmit || !Opts.CheckEquivPath.empty() || Opts.Analyze;
   if (!Opts.CircuitOpt.empty())
     Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
+
+  // -- Artifact cache: only a pure emit run is cacheable. Every other
+  // mode wants byproducts of the compile itself (IR, costs, lints,
+  // interpreter runs), which a cached artifact cannot provide.
+  const bool CacheEligible =
+      Cache && Opts.WantEmit && !Opts.Report && !Opts.DumpIR &&
+      !Opts.Analyze && !Opts.RunInputs && Opts.CheckEquivPath.empty();
+  driver::CacheKey Key;
+  if (CacheEligible) {
+    Key = driver::cacheKeyFor(Pipe, Source);
+    if (std::optional<std::string> Hit = Cache->lookup(Key.Hi, Key.Lo)) {
+      // Served from cache: charge the output cap (the compile never ran,
+      // so nothing else charged it) and emit.
+      if (auto *G = support::Governor::current();
+          G && !G->checkOutputBytes(static_cast<int64_t>(Hit->size()))) {
+        R.LimitHit = G->limit();
+        return 2;
+      }
+      writeOutput(Opts, *Hit);
+      return 0;
+    }
+  }
 
   driver::CompilationPipeline Pipeline(Pipe);
   R = Pipeline.run(Source);
@@ -779,6 +898,11 @@ int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
       R.LimitHit = G->limit();
       return 2;
     }
+    // Store before emitting: a crash during the final write still
+    // leaves the next run a warm entry. Store failures are absorbed by
+    // the cache (the artifact is already in hand).
+    if (CacheEligible)
+      Cache->store(Key.Hi, Key.Lo, Text);
     writeOutput(Opts, Text);
   }
   if (!Opts.CheckEquivPath.empty()) {
@@ -795,11 +919,13 @@ int runCompilerModes(Options &Opts, driver::CompilationResult &R) {
 
 // -- Batch mode. -----------------------------------------------------------
 
-/// One --batch entry's outcome, for the summary lines and the
-/// spire-batch-v1 metrics report.
+/// One --batch entry's (or serve request's) outcome, for the summary
+/// lines and the spire-batch-v1 metrics report.
 struct BatchOutcome {
   std::string Path;
   bool OK = false;
+  bool Cached = false;  ///< Served from the artifact cache.
+  int Attempts = 1;     ///< Compile attempts (> 1 under --batch-retries).
   std::string Detail;   ///< First error line when not OK.
   std::string LimitHit; ///< resourceLimitName when a budget tripped.
   double Seconds = 0;
@@ -827,49 +953,68 @@ driver::InputKind batchInputKind(const std::string &Path,
   return driver::InputKind::Tower;
 }
 
-/// Compiles one batch entry under its own governor and catch wall.
-/// Failures (including injected faults and real OOM) stay inside the
-/// entry: this is the per-request isolation contract the future daemon
-/// mode inherits.
-BatchOutcome runBatchEntry(const Options &Opts, const std::string &Path) {
+/// Builds the per-request pipeline configuration a batch entry or serve
+/// request compiles under: shared flags plus the input kind derived from
+/// the path's extension.
+driver::PipelineOptions requestPipeOptions(const Options &Opts,
+                                           const std::string &Path) {
+  driver::PipelineOptions Pipe = Opts.Pipeline;
+  Pipe.Input = batchInputKind(Path, Pipe.InputFormat);
+  Pipe.AnalyzeCost = false;
+  Pipe.BuildCircuit = true;
+  if (!Opts.CircuitOpt.empty())
+    Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
+  return Pipe;
+}
+
+/// A failure worth retrying under --batch-retries: an injected fault
+/// (one-shot by construction), a mid-stream read error, or a tripped
+/// deadline (the budget doubles for the retry). Missing files and
+/// compile errors are permanent.
+bool transientFailure(const BatchOutcome &Out) {
+  return Out.LimitHit == "deadline" ||
+         Out.Detail.find("injected fault") != std::string::npos ||
+         Out.Detail.rfind("read of ", 0) == 0;
+}
+
+/// Compiles one batch entry through the service (own governor + catch
+/// wall per attempt; per-input isolation is the contract serve mode
+/// inherits), retrying transient failures with exponential backoff.
+BatchOutcome runBatchEntry(const Options &Opts, const std::string &Path,
+                           driver::Service &Svc) {
   BatchOutcome Out;
   Out.Path = Path;
   auto Start = std::chrono::steady_clock::now();
-  try {
-    driver::PipelineOptions Pipe = Opts.Pipeline;
-    Pipe.Input = batchInputKind(Path, Pipe.InputFormat);
-    Pipe.AnalyzeCost = false;
-    Pipe.BuildCircuit = true;
-    if (!Opts.CircuitOpt.empty())
-      Pipe.CircuitOpt = *circuitOptKind(Opts.CircuitOpt);
+  driver::PipelineOptions Pipe = requestPipeOptions(Opts, Path);
+  int BackoffMs = 10;
+  for (int Attempt = 1;; ++Attempt) {
+    Out.Attempts = Attempt;
+    Out.OK = false;
+    Out.Cached = false;
+    Out.Detail.clear();
+    Out.LimitHit.clear();
     std::string Source, Error;
     if (Pipe.Input == driver::InputKind::Tower && Pipe.Entry.empty()) {
       Out.Detail = "--entry is required for Tower inputs";
-    } else if (!support::readFile(Path, Source, Error, "io/input")) {
+      break; // Permanent: no retry can supply the flag.
+    }
+    if (!support::readFile(Path, Source, Error, "io/input")) {
       Out.Detail = Error;
     } else {
-      // A fresh budget per input: one runaway entry trips its own
-      // governor and the next entry starts with full budgets again.
-      support::Governor Gov(Pipe.Limits);
-      support::GovernorScope GovScope(&Gov);
-      driver::CompilationPipeline Pipeline(Pipe);
-      driver::CompilationResult R = Pipeline.run(Source);
-      if (Gov.exceeded() && !R.LimitHit)
-        R.LimitHit = Gov.limit();
-      if (R.LimitHit)
-        Out.LimitHit = support::resourceLimitName(*R.LimitHit);
-      if (R.succeeded() && !R.LimitHit) {
-        Out.OK = true;
-      } else {
-        Out.Detail = firstLine(R.Diags.str());
-        if (Out.Detail.empty())
-          Out.Detail = "compilation failed";
-      }
+      driver::ServiceRequest Req{Pipe, std::move(Source)};
+      driver::ServiceResponse Resp = Svc.handle(Req);
+      Out.OK = Resp.OK;
+      Out.Cached = Resp.CacheHit;
+      Out.Detail = Resp.Error;
+      if (Resp.LimitHit)
+        Out.LimitHit = support::resourceLimitName(*Resp.LimitHit);
     }
-  } catch (const std::bad_alloc &) {
-    Out.Detail = "out of memory";
-  } catch (const std::exception &E) {
-    Out.Detail = std::string("internal error: ") + E.what();
+    if (Out.OK || Attempt > Opts.BatchRetries || !transientFailure(Out))
+      break;
+    if (Out.LimitHit == "deadline" && Pipe.Limits.TimeoutMs > 0)
+      Pipe.Limits.TimeoutMs *= 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+    BackoffMs *= 2;
   }
   Out.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
@@ -879,7 +1024,8 @@ BatchOutcome runBatchEntry(const Options &Opts, const std::string &Path) {
 
 /// Runs every input named in the --batch list. Returns the process exit
 /// code: 0 only when every input compiled.
-int runBatch(const Options &Opts, std::vector<BatchOutcome> &Outcomes) {
+int runBatch(const Options &Opts, support::ArtifactCache *Cache,
+             std::vector<BatchOutcome> &Outcomes) {
   std::string ListText = readFileOrDie(Opts.BatchPath);
   std::vector<std::string> Paths;
   std::stringstream Lines(ListText);
@@ -897,13 +1043,20 @@ int runBatch(const Options &Opts, std::vector<BatchOutcome> &Outcomes) {
   if (Paths.empty())
     usageError("--batch list names no inputs");
 
+  driver::Service Svc(Cache);
   size_t Succeeded = 0;
   for (const std::string &Path : Paths) {
-    BatchOutcome Out = runBatchEntry(Opts, Path);
+    BatchOutcome Out = runBatchEntry(Opts, Path, Svc);
     if (Out.OK) {
       ++Succeeded;
-      std::printf("spirec: batch: ok     %s (%.3f s)\n", Path.c_str(),
-                  Out.Seconds);
+      std::string Suffix;
+      if (Out.Cached)
+        Suffix = "cached, ";
+      std::printf("spirec: batch: ok     %s (%s%.3f s", Path.c_str(),
+                  Suffix.c_str(), Out.Seconds);
+      if (Out.Attempts > 1)
+        std::printf(", %d attempts", Out.Attempts);
+      std::printf(")\n");
     } else {
       std::printf("spirec: batch: FAILED %s (%s)\n", Path.c_str(),
                   Out.Detail.c_str());
@@ -916,8 +1069,10 @@ int runBatch(const Options &Opts, std::vector<BatchOutcome> &Outcomes) {
 }
 
 /// spire-batch-v1: per-input outcomes plus the process-wide metrics
-/// registry (which accumulates across entries).
-std::string renderBatchMetricsJson(const std::vector<BatchOutcome> &Outcomes) {
+/// registry (which accumulates across entries). Serve mode reuses the
+/// schema with mode "serve" (requests as inputs).
+std::string renderBatchMetricsJson(const std::vector<BatchOutcome> &Outcomes,
+                                   const char *Mode = "batch") {
   obs::publishProcessMetrics();
   size_t OK = 0;
   for (const BatchOutcome &O : Outcomes)
@@ -925,6 +1080,7 @@ std::string renderBatchMetricsJson(const std::vector<BatchOutcome> &Outcomes) {
   obs::JsonWriter W;
   W.beginObject();
   W.kv("schema", "spire-batch-v1");
+  W.kv("mode", Mode);
   W.kv("succeeded", OK == Outcomes.size());
   W.kv("inputs_total", static_cast<uint64_t>(Outcomes.size()));
   W.kv("inputs_succeeded", static_cast<uint64_t>(OK));
@@ -934,6 +1090,8 @@ std::string renderBatchMetricsJson(const std::vector<BatchOutcome> &Outcomes) {
     W.beginObject();
     W.kv("path", O.Path);
     W.kv("succeeded", O.OK);
+    W.kv("cached", O.Cached);
+    W.kv("attempts", static_cast<uint64_t>(O.Attempts));
     if (!O.LimitHit.empty())
       W.kv("limit_hit", O.LimitHit);
     if (!O.Detail.empty())
@@ -946,6 +1104,143 @@ std::string renderBatchMetricsJson(const std::vector<BatchOutcome> &Outcomes) {
   obs::writeMetricsObject(W, obs::Registry::global().snapshot());
   W.endObject();
   return W.take();
+}
+
+// -- Serve mode. -----------------------------------------------------------
+
+/// Splits a request line on whitespace.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::stringstream Stream(Line);
+  std::string Tok;
+  while (Stream >> Tok)
+    Toks.push_back(Tok);
+  return Toks;
+}
+
+/// Handles one `compile <input> <output> [entry [size]]` request. Every
+/// failure mode — unreadable input, compile error, tripped budget,
+/// unwritable output, injected fault, OOM — stays inside the request.
+BatchOutcome runServeRequest(const Options &Opts, driver::Service &Svc,
+                             const std::vector<std::string> &Toks) {
+  BatchOutcome Out;
+  Out.Path = Toks.size() > 1 ? Toks[1] : "?";
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    if (Toks.size() < 3 || Toks.size() > 5 || Toks[0] != "compile") {
+      Out.Detail = "bad request (want: compile <input> <output> "
+                   "[entry [size]] | shutdown)";
+    } else {
+      const std::string &InPath = Toks[1], &OutPath = Toks[2];
+      driver::PipelineOptions Pipe = requestPipeOptions(Opts, InPath);
+      if (Toks.size() >= 4)
+        Pipe.Entry = Toks[3];
+      if (Toks.size() >= 5) {
+        char *End = nullptr;
+        Pipe.Size = std::strtoll(Toks[4].c_str(), &End, 10);
+        if (!End || *End != '\0') {
+          Out.Detail = "bad size '" + Toks[4] + "'";
+          Out.Seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count();
+          return Out;
+        }
+      }
+      std::string Source, Error;
+      if (Pipe.Input == driver::InputKind::Tower && Pipe.Entry.empty()) {
+        Out.Detail = "entry is required for Tower inputs";
+      } else if (!support::readFile(InPath, Source, Error, "io/input")) {
+        Out.Detail = Error;
+      } else {
+        driver::ServiceRequest Req{std::move(Pipe), std::move(Source)};
+        driver::ServiceResponse Resp = Svc.handle(Req);
+        Out.Cached = Resp.CacheHit;
+        if (Resp.LimitHit)
+          Out.LimitHit = support::resourceLimitName(*Resp.LimitHit);
+        if (!Resp.OK) {
+          Out.Detail = Resp.Error;
+        } else if (!support::writeFileAtomic(OutPath, Resp.Artifact, Error,
+                                             "write/output")) {
+          Out.Detail = Error;
+        } else {
+          Out.OK = true;
+        }
+      }
+    }
+  } catch (const std::bad_alloc &) {
+    Out.Detail = "out of memory";
+  } catch (const std::exception &E) {
+    Out.Detail = std::string("internal error: ") + E.what();
+  }
+  Out.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}
+
+/// The long-lived request loop behind `--serve <fifo|file>`: reads one
+/// request per line, keeps the cache and symbol table warm across
+/// requests, and answers on stdout (flushed per request). A FIFO blocks
+/// until a writer connects and is re-opened after each hang-up until a
+/// `shutdown` request; a regular file is drained once. Exit 0 on clean
+/// shutdown — per-request failures are isolated by design and live in
+/// the response lines and the spire-batch-v1 report, not the exit code.
+int runServe(const Options &Opts, support::ArtifactCache *Cache,
+             std::vector<BatchOutcome> &Requests) {
+  struct stat St;
+  if (::stat(Opts.ServePath.c_str(), &St) != 0) {
+    std::fprintf(stderr,
+                 "spirec: error: cannot open %s (--serve needs an "
+                 "existing fifo or file)\n",
+                 Opts.ServePath.c_str());
+    return 2;
+  }
+  const bool Fifo = S_ISFIFO(St.st_mode);
+  driver::Service Svc(Cache);
+  size_t Succeeded = 0;
+  bool Shutdown = false;
+  while (!Shutdown) {
+    // On a FIFO this open blocks until a writer connects; EOF means the
+    // writer hung up, and the next iteration waits for the next one.
+    std::ifstream In(Opts.ServePath, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "spirec: error: cannot read %s\n",
+                   Opts.ServePath.c_str());
+      return 2;
+    }
+    std::string Line;
+    while (std::getline(In, Line)) {
+      size_t B = Line.find_first_not_of(" \t\r");
+      if (B == std::string::npos)
+        continue;
+      size_t E = Line.find_last_not_of(" \t\r");
+      Line = Line.substr(B, E - B + 1);
+      if (Line[0] == '#')
+        continue;
+      if (Line == "shutdown") {
+        Shutdown = true;
+        break;
+      }
+      BatchOutcome Out = runServeRequest(Opts, Svc, tokenize(Line));
+      if (Out.OK) {
+        ++Succeeded;
+        std::printf("spirec: serve: ok     %s (%s, %.3f s)\n",
+                    Out.Path.c_str(), Out.Cached ? "hit" : "miss",
+                    Out.Seconds);
+      } else {
+        std::printf("spirec: serve: FAILED %s (%s)\n", Out.Path.c_str(),
+                    Out.Detail.c_str());
+      }
+      std::fflush(stdout);
+      Requests.push_back(std::move(Out));
+    }
+    if (!Fifo)
+      break; // Regular file: one drain pass.
+  }
+  std::printf("spirec: serve: %zu/%zu requests succeeded\n", Succeeded,
+              Requests.size());
+  std::fflush(stdout);
+  return 0;
 }
 
 } // namespace
@@ -971,11 +1266,34 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Open the artifact cache once per process; batch and serve requests
+  // share it. A cache that cannot be opened degrades to uncached
+  // operation with a warning — cache damage never fails a compile.
+  std::unique_ptr<support::ArtifactCache> Cache;
+  if (!Opts.CacheDir.empty()) {
+    support::CacheConfig Config;
+    Config.Dir = Opts.CacheDir;
+    Config.MaxBytes = Opts.CacheMaxMb << 20;
+    Config.ToolVersion = driver::toolVersion();
+    // Test hook: SPIRE_CACHE_RETRIES=0 exposes the degrade-to-uncached
+    // path behind a single injected fault (the default retry absorbs
+    // one-shot faults before they can degrade anything).
+    if (const char *Env = std::getenv("SPIRE_CACHE_RETRIES"); Env && *Env)
+      Config.RetryAttempts = static_cast<int>(std::strtol(Env, nullptr, 10));
+    std::string CacheError;
+    Cache = support::ArtifactCache::open(Config, CacheError);
+    if (!Cache)
+      std::fprintf(stderr, "spirec: warning: cache disabled: %s\n",
+                   CacheError.c_str());
+  }
+
   driver::CompilationResult R;
   std::vector<BatchOutcome> Batch;
   int Code = 0;
-  if (!Opts.BatchPath.empty()) {
-    Code = runBatch(Opts, Batch);
+  if (!Opts.ServePath.empty()) {
+    Code = runServe(Opts, Cache.get(), Batch);
+  } else if (!Opts.BatchPath.empty()) {
+    Code = runBatch(Opts, Cache.get(), Batch);
   } else {
     // One governor covers the whole invocation — pipeline, modes,
     // equivalence check, emission. The pipeline sees it installed and
@@ -983,7 +1301,7 @@ int main(int Argc, char **Argv) {
     support::Governor Gov(Opts.Pipeline.Limits);
     support::GovernorScope GovScope(&Gov);
     try {
-      Code = runCompilerModes(Opts, R);
+      Code = runCompilerModes(Opts, R, Cache.get());
     } catch (const std::bad_alloc &) {
       // Backstop for allocation failures outside the stage wrappers
       // (equivalence checking, emission, injected write/* faults).
@@ -1028,10 +1346,14 @@ int main(int Argc, char **Argv) {
     }
     if (!Opts.MetricsJsonPath.empty()) {
       support::faultAlloc("write/metrics");
-      dumpArtifact(Opts.MetricsJsonPath, "write/metrics",
-                   (Opts.BatchPath.empty() ? driver::renderMetricsJson(R)
-                                           : renderBatchMetricsJson(Batch)) +
-                       "\n");
+      std::string Json;
+      if (!Opts.ServePath.empty())
+        Json = renderBatchMetricsJson(Batch, "serve");
+      else if (!Opts.BatchPath.empty())
+        Json = renderBatchMetricsJson(Batch);
+      else
+        Json = driver::renderMetricsJson(R);
+      dumpArtifact(Opts.MetricsJsonPath, "write/metrics", Json + "\n");
     }
   } catch (const std::bad_alloc &) {
     std::fprintf(stderr,

@@ -107,8 +107,22 @@ def validate_trace(path, require_spans, errors):
               + (f", {dropped} dropped" if dropped else ""))
 
 
+def check_cache_hits(path, metrics, expect_cache, errors):
+    """`--expect-cache N`: the unified metrics object must record exactly
+    N artifact-cache hits."""
+    if expect_cache is None:
+        return
+    entry = metrics.get("cache.hits")
+    value = entry.get("value") if isinstance(entry, dict) else None
+    if expect_cache > 0 and entry is None:
+        fail(errors, path, f"cache.hits absent, want {expect_cache}")
+    elif entry is not None and value != expect_cache:
+        fail(errors, path,
+             f"cache.hits is {value!r}, want {expect_cache}")
+
+
 def validate_metrics(path, require_metrics, expect_success, expect_limit,
-                     errors):
+                     expect_cache, errors):
     before = len(errors)
     data = load(path, errors)
     if data is None:
@@ -152,6 +166,7 @@ def validate_metrics(path, require_metrics, expect_success, expect_limit,
     for key in require_metrics:
         if key not in metrics:
             fail(errors, path, f"required metric '{key}' absent")
+    check_cache_hits(path, metrics, expect_cache, errors)
     if len(errors) == before:
         names = [st.get("stage", "?") for st in stages]
         print(f"{path}: ok — stages [{', '.join(names)}], "
@@ -159,7 +174,7 @@ def validate_metrics(path, require_metrics, expect_success, expect_limit,
 
 
 def validate_batch_metrics(path, require_metrics, expect_succeeded,
-                           errors):
+                           expect_cache, errors):
     """spire-batch-v1: per-input outcomes plus the shared metrics
     registry, from `spirec --batch ... --metrics-json`."""
     before = len(errors)
@@ -204,6 +219,7 @@ def validate_batch_metrics(path, require_metrics, expect_succeeded,
     for key in require_metrics:
         if key not in metrics:
             fail(errors, path, f"required metric '{key}' absent")
+    check_cache_hits(path, metrics, expect_cache, errors)
     if len(errors) == before:
         print(f"{path}: ok — {ok}/{len(inputs)} inputs succeeded, "
               f"{len(metrics)} metrics")
@@ -243,6 +259,10 @@ def main():
                         metavar="N", default=None,
                         help="batch metrics files must record exactly N "
                              "succeeded inputs")
+    parser.add_argument("--expect-cache", type=int, metavar="N",
+                        default=None,
+                        help="metrics files must record exactly N "
+                             "artifact-cache hits (cache.hits)")
     args = parser.parse_args()
     if not args.trace and not args.metrics and not args.batch_metrics:
         parser.error("pass at least one --trace, --metrics, or "
@@ -254,10 +274,11 @@ def main():
     for path in args.metrics:
         validate_metrics(path, args.require_metric,
                          not args.allow_failure and not args.expect_limit,
-                         args.expect_limit, errors)
+                         args.expect_limit, args.expect_cache, errors)
     for path in args.batch_metrics:
         validate_batch_metrics(path, args.require_metric,
-                               args.expect_batch_succeeded, errors)
+                               args.expect_batch_succeeded,
+                               args.expect_cache, errors)
     for message in errors:
         print(f"error: {message}", file=sys.stderr)
     return 1 if errors else 0
